@@ -1,0 +1,288 @@
+//! Graph composition under pluggable label semantics.
+//!
+//! The paper defines composition as "the union of the graphs, `G1 ∪ G2`,
+//! with (potentially) shared nodes or shared nodes and unitable edges",
+//! where node equality is label identity *or synonymy*. The matcher
+//! abstraction lets us dial semantics up and down — the §5 future-work
+//! question this crate exists to answer experimentally:
+//!
+//! * [`NoSemantics`] — labels must be byte-identical,
+//! * [`LightSemantics`] — labels are normalised and looked up in a synonym
+//!   table (no math, no units, no database),
+//! * heavy semantics — the full SBML merge in `sbml-compose` (math patterns,
+//!   unit reconciliation, conflict log), which operates on models rather
+//!   than bare graphs.
+
+use std::collections::HashMap;
+
+use bio_synonyms::SynonymTable;
+
+use crate::graph::{Graph, NodeId};
+
+/// Node/edge label equality policy.
+pub trait LabelMatcher {
+    /// Are two node labels the same entity?
+    fn nodes_match(&self, a: &str, b: &str) -> bool;
+    /// Canonical index key for a node label (must agree with
+    /// [`LabelMatcher::nodes_match`]: matching labels share a key).
+    fn node_key(&self, label: &str) -> String;
+    /// Are two edge labels unitable (the paper's `ψ` comparison)?
+    fn edges_match(&self, a: &str, b: &str) -> bool {
+        a == b
+    }
+}
+
+/// Exact label equality — composition "without semantics".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSemantics;
+
+impl LabelMatcher for NoSemantics {
+    fn nodes_match(&self, a: &str, b: &str) -> bool {
+        a == b
+    }
+
+    fn node_key(&self, label: &str) -> String {
+        label.to_owned()
+    }
+}
+
+/// Normalised labels plus synonym-table closure — "light semantics".
+#[derive(Debug, Clone, Default)]
+pub struct LightSemantics {
+    /// The synonym table consulted for node labels.
+    pub synonyms: SynonymTable,
+}
+
+impl LightSemantics {
+    /// Light semantics with the builtin biochemical synonym groups.
+    pub fn with_builtins() -> LightSemantics {
+        LightSemantics { synonyms: SynonymTable::with_builtins() }
+    }
+}
+
+impl LabelMatcher for LightSemantics {
+    fn nodes_match(&self, a: &str, b: &str) -> bool {
+        self.synonyms.are_synonyms(a, b)
+    }
+
+    fn node_key(&self, label: &str) -> String {
+        self.synonyms.match_key(label)
+    }
+}
+
+/// Composition statistics (what the merge shared vs. copied).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComposeStats {
+    /// Nodes of `b` matched onto nodes of `a`.
+    pub nodes_shared: usize,
+    /// Nodes of `b` added as new nodes.
+    pub nodes_added: usize,
+    /// Edges of `b` found already present.
+    pub edges_shared: usize,
+    /// Edges of `b` added.
+    pub edges_added: usize,
+}
+
+/// Compose two graphs: the union of `a` and `b` with nodes matched by the
+/// matcher and edges deduplicated when both endpoints matched and the edge
+/// labels are unitable. Returns the composed graph and statistics.
+///
+/// Matches the paper's examples: identical models compose to themselves
+/// (Fig. 1), disjoint models concatenate (Fig. 2), overlapping models share
+/// exactly the common subnetwork (Fig. 3).
+pub fn compose<M: LabelMatcher>(a: &Graph, b: &Graph, matcher: &M) -> (Graph, ComposeStats) {
+    let mut out = a.clone();
+    let mut stats = ComposeStats::default();
+
+    // Index a's nodes by canonical key. Nodes of `a` that collide on key
+    // keep the first occurrence (first-model-wins, as in the paper).
+    let mut index: HashMap<String, NodeId> = HashMap::with_capacity(out.node_count());
+    for id in out.node_ids() {
+        index.entry(matcher.node_key(out.node_label(id))).or_insert(id);
+    }
+
+    // Map b's nodes into the composed graph.
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::with_capacity(b.node_count());
+    for b_id in b.node_ids() {
+        let label = b.node_label(b_id);
+        let key = matcher.node_key(label);
+        match index.get(&key) {
+            Some(&existing) if matcher.nodes_match(out.node_label(existing), label) => {
+                mapping.insert(b_id, existing);
+                stats.nodes_shared += 1;
+            }
+            _ => {
+                let new_id = out.add_node(label.to_owned());
+                index.insert(key, new_id);
+                mapping.insert(b_id, new_id);
+                stats.nodes_added += 1;
+            }
+        }
+    }
+
+    // Union edges.
+    for e_id in b.edge_ids() {
+        let (from, to, label) = b.edge(e_id);
+        let (nf, nt) = (mapping[&from], mapping[&to]);
+        let duplicate = out
+            .edge_ids()
+            .any(|eid| {
+                let (f, t, l) = out.edge(eid);
+                f == nf && t == nt && matcher.edges_match(l, label)
+            });
+        if duplicate {
+            stats.edges_shared += 1;
+        } else {
+            out.add_edge(nf, nt, label.to_owned());
+            stats.edges_added += 1;
+        }
+    }
+
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1a() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_edge(a, b, "k1");
+        g.add_edge(b, c, "k2");
+        g.add_edge(c, b, "k3");
+        g
+    }
+
+    #[test]
+    fn fig1_identical_models_compose_to_same() {
+        // Paper Fig. 1: a + a = a.
+        let g = fig1a();
+        let (composed, stats) = compose(&g, &g, &NoSemantics);
+        assert_eq!(composed.node_count(), 3);
+        assert_eq!(composed.edge_count(), 3);
+        assert_eq!(stats.nodes_shared, 3);
+        assert_eq!(stats.nodes_added, 0);
+        assert_eq!(stats.edges_shared, 3);
+        assert_eq!(stats.edges_added, 0);
+    }
+
+    #[test]
+    fn fig2_disjoint_models_concatenate() {
+        // Paper Fig. 2: (A->B->C) + (D->E).
+        let mut g1 = Graph::new();
+        let a = g1.add_node("A");
+        let b = g1.add_node("B");
+        let c = g1.add_node("C");
+        g1.add_edge(a, b, "k1");
+        g1.add_edge(b, c, "k2");
+
+        let mut g2 = Graph::new();
+        let d = g2.add_node("D");
+        let e = g2.add_node("E");
+        g2.add_edge(d, e, "k3");
+
+        let (composed, stats) = compose(&g1, &g2, &NoSemantics);
+        assert_eq!(composed.node_count(), 5);
+        assert_eq!(composed.edge_count(), 3);
+        assert_eq!(stats.nodes_added, 2);
+        assert_eq!(stats.edges_added, 1);
+    }
+
+    #[test]
+    fn fig3_shared_subnetwork_merges() {
+        // Paper Fig. 3: (A->B<->C->D) + (A->B->C) shares A->B and B->C.
+        let mut g1 = Graph::new();
+        let a = g1.add_node("A");
+        let b = g1.add_node("B");
+        let c = g1.add_node("C");
+        let d = g1.add_node("D");
+        g1.add_edge(a, b, "k1");
+        g1.add_edge(b, c, "k2");
+        g1.add_edge(c, b, "k3");
+        g1.add_edge(c, d, "k4");
+
+        let mut g2 = Graph::new();
+        let a2 = g2.add_node("A");
+        let b2 = g2.add_node("B");
+        let c2 = g2.add_node("C");
+        g2.add_edge(a2, b2, "k1");
+        g2.add_edge(b2, c2, "k2");
+
+        let (composed, stats) = compose(&g1, &g2, &NoSemantics);
+        assert_eq!(composed.node_count(), 4, "a+b=a (paper Fig. 3c)");
+        assert_eq!(composed.edge_count(), 4);
+        assert_eq!(stats.nodes_shared, 3);
+        assert_eq!(stats.edges_shared, 2);
+    }
+
+    #[test]
+    fn light_semantics_matches_synonyms() {
+        let mut g1 = Graph::new();
+        g1.add_node("glucose");
+        let mut g2 = Graph::new();
+        g2.add_node("dextrose");
+
+        let (strict, _) = compose(&g1, &g2, &NoSemantics);
+        assert_eq!(strict.node_count(), 2, "no semantics: different labels");
+
+        let light = LightSemantics::with_builtins();
+        let (merged, stats) = compose(&g1, &g2, &light);
+        assert_eq!(merged.node_count(), 1, "light semantics: synonyms unify");
+        assert_eq!(stats.nodes_shared, 1);
+    }
+
+    #[test]
+    fn light_semantics_normalises_case_and_separators() {
+        let mut g1 = Graph::new();
+        g1.add_node("Fructose 6-Phosphate");
+        let mut g2 = Graph::new();
+        g2.add_node("fructose_6_phosphate");
+        let light = LightSemantics::default(); // no synonym groups at all
+        let (merged, _) = compose(&g1, &g2, &light);
+        assert_eq!(merged.node_count(), 1);
+    }
+
+    #[test]
+    fn edges_between_shared_nodes_deduplicate_only_when_unitable() {
+        let mut g1 = Graph::new();
+        let a = g1.add_node("A");
+        let b = g1.add_node("B");
+        g1.add_edge(a, b, "k1");
+
+        let mut g2 = Graph::new();
+        let a2 = g2.add_node("A");
+        let b2 = g2.add_node("B");
+        g2.add_edge(a2, b2, "k_different");
+
+        let (composed, stats) = compose(&g1, &g2, &NoSemantics);
+        assert_eq!(composed.node_count(), 2);
+        assert_eq!(composed.edge_count(), 2, "different edge labels both kept");
+        assert_eq!(stats.edges_added, 1);
+    }
+
+    #[test]
+    fn compose_with_empty_is_identity() {
+        let g = fig1a();
+        let empty = Graph::new();
+        let (left, _) = compose(&g, &empty, &NoSemantics);
+        assert_eq!(left, g);
+        let (right, _) = compose(&empty, &g, &NoSemantics);
+        assert_eq!(right.node_count(), g.node_count());
+        assert_eq!(right.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn duplicate_labels_in_first_graph_keep_first() {
+        let mut g1 = Graph::new();
+        g1.add_node("X");
+        g1.add_node("X"); // duplicate label
+        let mut g2 = Graph::new();
+        g2.add_node("X");
+        let (composed, stats) = compose(&g1, &g2, &NoSemantics);
+        assert_eq!(composed.node_count(), 2, "b's X matches the first a X");
+        assert_eq!(stats.nodes_shared, 1);
+    }
+}

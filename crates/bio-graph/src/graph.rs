@@ -1,0 +1,199 @@
+//! A directed labelled multigraph with stable integer handles.
+
+use std::fmt;
+
+/// Handle to a node (index into the node arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Handle to an edge (index into the edge arena).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeData {
+    pub label: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EdgeData {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub label: String,
+}
+
+/// A directed labelled multigraph `G = (V, E, L, φ, ψ)` in the paper's
+/// notation: `φ` labels nodes, `ψ` labels edges.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Graph {
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) edges: Vec<EdgeData>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The paper's model-size metric: `|V| + |E|`.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// Add a node with the given label, returning its handle.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData { label: label.into() });
+        id
+    }
+
+    /// Add a directed labelled edge.
+    ///
+    /// # Panics
+    /// If either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: impl Into<String>) -> EdgeId {
+        assert!((from.0 as usize) < self.nodes.len(), "edge source out of range");
+        assert!((to.0 as usize) < self.nodes.len(), "edge target out of range");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { from, to, label: label.into() });
+        id
+    }
+
+    /// Node label (φ).
+    pub fn node_label(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].label
+    }
+
+    /// Edge endpoints and label (ψ).
+    pub fn edge(&self, id: EdgeId) -> (NodeId, NodeId, &str) {
+        let e = &self.edges[id.0 as usize];
+        (e.from, e.to, e.label.as_str())
+    }
+
+    /// Iterate over node handles.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over edge handles.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Find the first node with the given label.
+    pub fn find_node(&self, label: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.label == label).map(|i| NodeId(i as u32))
+    }
+
+    /// True if an edge `from → to` with the given label exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId, label: &str) -> bool {
+        self.edges.iter().any(|e| e.from == from && e.to == to && e.label == label)
+    }
+
+    /// Out-neighbours of a node.
+    pub fn successors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges.iter().filter(move |e| e.from == id).map(|e| e.to)
+    }
+
+    /// In-neighbours of a node.
+    pub fn predecessors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.edges.iter().filter(move |e| e.to == id).map(|e| e.from)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph: {} nodes, {} edges", self.node_count(), self.edge_count())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -[{}]-> {}",
+                self.nodes[e.from.0 as usize].label, e.label, self.nodes[e.to.0 as usize].label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Graph {
+        // Paper Fig. 1(a): A -> B <-> C
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_edge(a, b, "k1");
+        g.add_edge(b, c, "k2");
+        g.add_edge(c, b, "k3");
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = abc();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.size(), 6);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let g = abc();
+        let a = g.find_node("A").unwrap();
+        assert_eq!(g.node_label(a), "A");
+        assert!(g.find_node("Z").is_none());
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.2, "k1");
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = abc();
+        let (a, b, c) =
+            (g.find_node("A").unwrap(), g.find_node("B").unwrap(), g.find_node("C").unwrap());
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b]);
+        assert_eq!(g.successors(b).collect::<Vec<_>>(), vec![c]);
+        assert_eq!(g.predecessors(b).collect::<Vec<_>>(), vec![a, c]);
+        assert!(g.has_edge(b, c, "k2"));
+        assert!(!g.has_edge(b, c, "k9"));
+        assert!(!g.has_edge(a, c, "k1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn foreign_node_rejected() {
+        let mut g = abc();
+        g.add_edge(NodeId(99), NodeId(0), "bad");
+    }
+
+    #[test]
+    fn multigraph_allows_parallel_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_edge(a, b, "k1");
+        g.add_edge(a, b, "k1");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let text = abc().to_string();
+        assert!(text.contains("A -[k1]-> B"));
+        assert!(text.contains("3 nodes, 3 edges"));
+    }
+}

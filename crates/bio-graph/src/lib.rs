@@ -1,0 +1,26 @@
+//! Generic labelled graphs and semantics-free composition.
+//!
+//! The paper formalises models as labelled graphs `G = (V, E, L, φ, ψ)` and
+//! asks in its future work: "is it possible to perform efficient and correct
+//! composition without semantics?" This crate is that generic layer:
+//!
+//! * [`Graph`] — a directed labelled multigraph,
+//! * [`compose`](mod@compose) — graph union with node matching driven by a pluggable
+//!   [`LabelMatcher`] ([`NoSemantics`] = exact labels, [`LightSemantics`] =
+//!   normalised labels + synonym closure, versus the *heavy semantics* of
+//!   the full SBML merge in `sbml-compose`),
+//! * [`extract::species_reaction_graph`] — the species/reaction graph of an
+//!   SBML model (the node/edge counts behind Figure 8's size axis),
+//! * [`metrics`] — sizes, degrees and connected components used by the
+//!   corpus generator and benches.
+
+pub mod compose;
+pub mod extract;
+pub mod graph;
+pub mod metrics;
+pub mod zoom;
+
+pub use compose::{compose, ComposeStats, LabelMatcher, LightSemantics, NoSemantics};
+pub use extract::species_reaction_graph;
+pub use graph::{EdgeId, Graph, NodeId};
+pub use zoom::{neighbourhood, quotient, Quotient};

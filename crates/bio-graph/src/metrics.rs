@@ -1,0 +1,114 @@
+//! Structural metrics over graphs: degrees, components, density.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Out-degree of a node.
+pub fn out_degree(g: &Graph, id: NodeId) -> usize {
+    g.successors(id).count()
+}
+
+/// In-degree of a node.
+pub fn in_degree(g: &Graph, id: NodeId) -> usize {
+    g.predecessors(id).count()
+}
+
+/// Weakly connected components (edge direction ignored); returns one
+/// representative node list per component, in discovery order.
+pub fn weakly_connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in g.node_ids() {
+        if seen[start.0 as usize] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start.0 as usize] = true;
+        while let Some(node) = queue.pop_front() {
+            component.push(node);
+            for next in g.successors(node).chain(g.predecessors(node)) {
+                if !seen[next.0 as usize] {
+                    seen[next.0 as usize] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        components.push(component);
+    }
+    components
+}
+
+/// Edge density: `|E| / |V|²` (0 for the empty graph).
+pub fn density(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        0.0
+    } else {
+        g.edge_count() as f64 / (n * n) as f64
+    }
+}
+
+/// Mean degree (in+out) per node (0 for the empty graph).
+pub fn mean_degree(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        let _e = g.add_node("E"); // isolated
+        g.add_edge(a, b, "e1");
+        g.add_edge(b, a, "e2");
+        g.add_edge(c, d, "e3");
+        g
+    }
+
+    #[test]
+    fn degrees() {
+        let g = two_islands();
+        let a = g.find_node("A").unwrap();
+        assert_eq!(out_degree(&g, a), 1);
+        assert_eq!(in_degree(&g, a), 1);
+        let e = g.find_node("E").unwrap();
+        assert_eq!(out_degree(&g, e) + in_degree(&g, e), 0);
+    }
+
+    #[test]
+    fn components() {
+        let g = two_islands();
+        let comps = weakly_connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = Graph::new();
+        assert_eq!(weakly_connected_components(&g).len(), 0);
+        assert_eq!(density(&g), 0.0);
+        assert_eq!(mean_degree(&g), 0.0);
+    }
+
+    #[test]
+    fn density_and_mean_degree() {
+        let g = two_islands();
+        assert!((density(&g) - 3.0 / 25.0).abs() < 1e-12);
+        assert!((mean_degree(&g) - 6.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Semantic graph zooming (the paper's future-work item 4: "indexes to
+//! support zooming in and out of networks and their subparts").
+//!
+//! *Zooming out* is a graph quotient: nodes collapse into groups under a
+//! key function (compartment, species type, synonym class, pathway label)
+//! and edges become group-to-group edges with multiplicities. *Zooming in*
+//! is neighbourhood extraction (`sbml_compose::extract_submodel` does the
+//! model-level version; [`neighbourhood`] is the graph-level one).
+
+use std::collections::HashMap;
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of a quotient: the collapsed graph plus the mapping from original
+/// nodes to quotient nodes.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    /// The zoomed-out graph (node labels = group keys; edge labels carry
+    /// the multiplicity as `"<count>x"`).
+    pub graph: Graph,
+    /// Original node → quotient node.
+    pub mapping: HashMap<NodeId, NodeId>,
+}
+
+/// Collapse a graph under a node-key function. Nodes with equal keys merge;
+/// parallel inter-group edges merge with a multiplicity count; intra-group
+/// edges collapse to self-loops (also counted).
+pub fn quotient<K: Fn(&str) -> String>(g: &Graph, key_of: K) -> Quotient {
+    let mut out = Graph::new();
+    let mut group_ids: HashMap<String, NodeId> = HashMap::new();
+    let mut mapping: HashMap<NodeId, NodeId> = HashMap::with_capacity(g.node_count());
+
+    for node in g.node_ids() {
+        let key = key_of(g.node_label(node));
+        let group = *group_ids
+            .entry(key.clone())
+            .or_insert_with(|| out.add_node(key));
+        mapping.insert(node, group);
+    }
+
+    // Count edges between groups.
+    let mut counts: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+    for edge in g.edge_ids() {
+        let (from, to, _) = g.edge(edge);
+        *counts.entry((mapping[&from], mapping[&to])).or_insert(0) += 1;
+    }
+    let mut ordered: Vec<((NodeId, NodeId), usize)> = counts.into_iter().collect();
+    ordered.sort_by_key(|((f, t), _)| (f.0, t.0));
+    for ((from, to), count) in ordered {
+        out.add_edge(from, to, format!("{count}x"));
+    }
+
+    Quotient { graph: out, mapping }
+}
+
+/// Graph-level zoom-in: the sub-graph within `radius` hops (ignoring edge
+/// direction) of the given seed nodes. Returns the subgraph and the
+/// old→new node mapping.
+pub fn neighbourhood(g: &Graph, seeds: &[NodeId], radius: usize) -> (Graph, HashMap<NodeId, NodeId>) {
+    let mut keep: Vec<bool> = vec![false; g.node_count()];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if (s.0 as usize) < g.node_count() && !keep[s.0 as usize] {
+            keep[s.0 as usize] = true;
+            frontier.push(s);
+        }
+    }
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &node in &frontier {
+            for n in g.successors(node).chain(g.predecessors(node)) {
+                if !keep[n.0 as usize] {
+                    keep[n.0 as usize] = true;
+                    next.push(n);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    let mut out = Graph::new();
+    let mut mapping = HashMap::new();
+    for node in g.node_ids() {
+        if keep[node.0 as usize] {
+            let new = out.add_node(g.node_label(node).to_owned());
+            mapping.insert(node, new);
+        }
+    }
+    for edge in g.edge_ids() {
+        let (from, to, label) = g.edge(edge);
+        if let (Some(&nf), Some(&nt)) = (mapping.get(&from), mapping.get(&to)) {
+            out.add_edge(nf, nt, label.to_owned());
+        }
+    }
+    (out, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Six species in two compartments, labelled "comp:species".
+    fn two_compartment_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("cyto:A");
+        let b = g.add_node("cyto:B");
+        let c = g.add_node("cyto:C");
+        let x = g.add_node("nuc:X");
+        let y = g.add_node("nuc:Y");
+        g.add_edge(a, b, "r1");
+        g.add_edge(b, c, "r2");
+        g.add_edge(c, x, "transport");
+        g.add_edge(x, y, "r3");
+        g.add_edge(y, x, "r4");
+        g
+    }
+
+    fn compartment_of(label: &str) -> String {
+        label.split(':').next().unwrap_or(label).to_owned()
+    }
+
+    #[test]
+    fn quotient_by_compartment() {
+        let g = two_compartment_graph();
+        let q = quotient(&g, compartment_of);
+        assert_eq!(q.graph.node_count(), 2, "two compartments");
+        let cyto = q.graph.find_node("cyto").unwrap();
+        let nuc = q.graph.find_node("nuc").unwrap();
+        // cyto has 2 internal edges -> self loop "2x"; one edge to nuc;
+        // nuc has 2 internal edges.
+        assert!(q.graph.has_edge(cyto, cyto, "2x"));
+        assert!(q.graph.has_edge(cyto, nuc, "1x"));
+        assert!(q.graph.has_edge(nuc, nuc, "2x"));
+        assert_eq!(q.graph.edge_count(), 3);
+        // mapping covers every original node
+        assert_eq!(q.mapping.len(), g.node_count());
+    }
+
+    #[test]
+    fn quotient_identity_under_unique_keys() {
+        let g = two_compartment_graph();
+        let q = quotient(&g, |label| label.to_owned());
+        assert_eq!(q.graph.node_count(), g.node_count());
+        assert_eq!(q.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn quotient_to_point_under_constant_key() {
+        let g = two_compartment_graph();
+        let q = quotient(&g, |_| "all".to_owned());
+        assert_eq!(q.graph.node_count(), 1);
+        assert_eq!(q.graph.edge_count(), 1, "all edges merge into one self-loop");
+        let (_, _, label) = q.graph.edge(crate::graph::EdgeId(0));
+        assert_eq!(label, "5x");
+    }
+
+    #[test]
+    fn neighbourhood_zoom_in() {
+        let g = two_compartment_graph();
+        let a = g.find_node("cyto:A").unwrap();
+        let (zoom0, _) = neighbourhood(&g, &[a], 0);
+        assert_eq!(zoom0.node_count(), 1);
+        assert_eq!(zoom0.edge_count(), 0);
+
+        let (zoom1, _) = neighbourhood(&g, &[a], 1);
+        assert_eq!(zoom1.node_count(), 2, "A and B");
+        assert_eq!(zoom1.edge_count(), 1);
+
+        let (zoom_all, _) = neighbourhood(&g, &[a], 10);
+        assert_eq!(zoom_all.node_count(), g.node_count());
+        assert_eq!(zoom_all.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn neighbourhood_respects_direction_blindness() {
+        // Y is reachable from X only via the reverse edge at radius 1.
+        let g = two_compartment_graph();
+        let y = g.find_node("nuc:Y").unwrap();
+        let (zoom, _) = neighbourhood(&g, &[y], 1);
+        assert!(zoom.find_node("nuc:X").is_some(), "predecessors included");
+    }
+
+    #[test]
+    fn works_with_model_extraction() {
+        // Full pipeline: SBML model -> species graph -> compartment quotient.
+        use sbml_model::builder::ModelBuilder;
+        let m = ModelBuilder::new("m")
+            .compartment("cyto", 1.0)
+            .compartment("nuc", 0.2)
+            .species_in("A", "cyto", 1.0)
+            .species_in("B", "cyto", 1.0)
+            .species_in("N", "nuc", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r1", &["A"], &["B"], "k*A")
+            .reaction("imp", &["B"], &["N"], "k*B")
+            .build();
+        let g = crate::extract::species_reaction_graph(&m);
+        // Key nodes by their compartment via the model.
+        let q = quotient(&g, |label| {
+            m.species_by_id(label)
+                .map(|s| s.compartment.clone())
+                .unwrap_or_else(|| label.to_owned())
+        });
+        assert_eq!(q.graph.node_count(), 2);
+        let cyto = q.graph.find_node("cyto").unwrap();
+        let nuc = q.graph.find_node("nuc").unwrap();
+        assert!(q.graph.has_edge(cyto, nuc, "1x"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Deterministic ODE integration: fixed-step RK4 and adaptive RKF45.
+
+use sbml_model::Model;
+
+use crate::system::{ReactionSystem, SimError};
+use crate::trace::Trace;
+
+/// Simulate with classic fourth-order Runge–Kutta at a fixed step.
+/// Samples every step; events are checked at step boundaries.
+pub fn simulate_rk4(model: &Model, t_end: f64, dt: f64) -> Result<Trace, SimError> {
+    if dt.is_nan() || t_end.is_nan() || dt <= 0.0 || t_end < 0.0 {
+        return Err(SimError::BadArguments {
+            detail: format!("t_end={t_end}, dt={dt} (need dt > 0, t_end >= 0)"),
+        });
+    }
+    let sys = ReactionSystem::compile(model)?;
+    simulate_rk4_system(&sys, t_end, dt)
+}
+
+/// RK4 over an already-compiled system (reused by benches and MC2).
+pub fn simulate_rk4_system(sys: &ReactionSystem, t_end: f64, dt: f64) -> Result<Trace, SimError> {
+    let mut state = sys.initial.clone();
+    let mut trace = Trace::new(sys.species.clone());
+    let mut event_state = vec![false; sys.events.len()];
+    let mut t = 0.0;
+    trace.push(t, state.clone());
+    // Fire any events true at t=0 without counting them as transitions.
+    sys.apply_events(&mut state, t, &mut event_state)?;
+
+    while t < t_end - 1e-12 {
+        let h = dt.min(t_end - t);
+        let k1 = sys.derivatives(&state, t)?;
+        let s2: Vec<f64> = state.iter().zip(&k1).map(|(y, k)| y + 0.5 * h * k).collect();
+        let k2 = sys.derivatives(&s2, t + 0.5 * h)?;
+        let s3: Vec<f64> = state.iter().zip(&k2).map(|(y, k)| y + 0.5 * h * k).collect();
+        let k3 = sys.derivatives(&s3, t + 0.5 * h)?;
+        let s4: Vec<f64> = state.iter().zip(&k3).map(|(y, k)| y + h * k).collect();
+        let k4 = sys.derivatives(&s4, t + h)?;
+        for i in 0..state.len() {
+            state[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+        sys.apply_events(&mut state, t, &mut event_state)?;
+        trace.push(t, state.clone());
+    }
+    Ok(trace)
+}
+
+/// Runge–Kutta–Fehlberg 4(5) adaptive integration. `tol` is the local
+/// error tolerance per unit step; samples at accepted steps.
+pub fn simulate_rkf45(model: &Model, t_end: f64, tol: f64) -> Result<Trace, SimError> {
+    if tol.is_nan() || t_end.is_nan() || tol <= 0.0 || t_end < 0.0 {
+        return Err(SimError::BadArguments {
+            detail: format!("t_end={t_end}, tol={tol} (need tol > 0, t_end >= 0)"),
+        });
+    }
+    let sys = ReactionSystem::compile(model)?;
+    let mut state = sys.initial.clone();
+    let mut trace = Trace::new(sys.species.clone());
+    let mut event_state = vec![false; sys.events.len()];
+    let mut t = 0.0;
+    let mut h = (t_end / 100.0).max(1e-6);
+    trace.push(t, state.clone());
+    sys.apply_events(&mut state, t, &mut event_state)?;
+
+    const MIN_STEP: f64 = 1e-10;
+    let mut steps = 0usize;
+    const MAX_STEPS: usize = 2_000_000;
+
+    while t < t_end - 1e-12 {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(SimError::BadArguments {
+                detail: format!("RKF45 exceeded {MAX_STEPS} steps (stiff system?)"),
+            });
+        }
+        h = h.min(t_end - t);
+        // Fehlberg coefficients.
+        let k1 = sys.derivatives(&state, t)?;
+        let y2: Vec<f64> = add(&state, &[(h / 4.0, &k1)]);
+        let k2 = sys.derivatives(&y2, t + h / 4.0)?;
+        let y3: Vec<f64> = add(&state, &[(3.0 * h / 32.0, &k1), (9.0 * h / 32.0, &k2)]);
+        let k3 = sys.derivatives(&y3, t + 3.0 * h / 8.0)?;
+        let y4: Vec<f64> = add(
+            &state,
+            &[
+                (1932.0 * h / 2197.0, &k1),
+                (-7200.0 * h / 2197.0, &k2),
+                (7296.0 * h / 2197.0, &k3),
+            ],
+        );
+        let k4 = sys.derivatives(&y4, t + 12.0 * h / 13.0)?;
+        let y5: Vec<f64> = add(
+            &state,
+            &[
+                (439.0 * h / 216.0, &k1),
+                (-8.0 * h, &k2),
+                (3680.0 * h / 513.0, &k3),
+                (-845.0 * h / 4104.0, &k4),
+            ],
+        );
+        let k5 = sys.derivatives(&y5, t + h)?;
+        let y6: Vec<f64> = add(
+            &state,
+            &[
+                (-8.0 * h / 27.0, &k1),
+                (2.0 * h, &k2),
+                (-3544.0 * h / 2565.0, &k3),
+                (1859.0 * h / 4104.0, &k4),
+                (-11.0 * h / 40.0, &k5),
+            ],
+        );
+        let k6 = sys.derivatives(&y6, t + h / 2.0)?;
+
+        // 4th-order solution and 5th-order error estimate.
+        let mut err: f64 = 0.0;
+        let mut next = state.clone();
+        for i in 0..state.len() {
+            let order4 = state[i]
+                + h * (25.0 / 216.0 * k1[i]
+                    + 1408.0 / 2565.0 * k3[i]
+                    + 2197.0 / 4104.0 * k4[i]
+                    - k5[i] / 5.0);
+            let order5 = state[i]
+                + h * (16.0 / 135.0 * k1[i]
+                    + 6656.0 / 12825.0 * k3[i]
+                    + 28561.0 / 56430.0 * k4[i]
+                    - 9.0 / 50.0 * k5[i]
+                    + 2.0 / 55.0 * k6[i]);
+            err = err.max((order5 - order4).abs());
+            next[i] = order4;
+        }
+
+        if err <= tol * h.max(MIN_STEP) || h <= MIN_STEP {
+            // accept
+            state = next;
+            t += h;
+            sys.apply_events(&mut state, t, &mut event_state)?;
+            trace.push(t, state.clone());
+        }
+        // adapt step
+        let scale = if err > 0.0 { 0.84 * (tol * h / err).powf(0.25) } else { 2.0 };
+        h = (h * scale.clamp(0.1, 4.0)).max(MIN_STEP);
+    }
+    Ok(trace)
+}
+
+fn add(base: &[f64], terms: &[(f64, &Vec<f64>)]) -> Vec<f64> {
+    let mut out = base.to_vec();
+    for (coeff, v) in terms {
+        for (o, x) in out.iter_mut().zip(v.iter()) {
+            *o += coeff * x;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn decay(k: f64) -> Model {
+        ModelBuilder::new("decay")
+            .compartment("cell", 1.0)
+            .species("A", 100.0)
+            .parameter("k", k)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build()
+    }
+
+    #[test]
+    fn rk4_matches_analytic_exponential() {
+        let trace = simulate_rk4(&decay(0.5), 4.0, 0.01).unwrap();
+        let expected = 100.0 * (-0.5_f64 * 4.0).exp();
+        let got = trace.final_value("A").unwrap();
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn rkf45_matches_analytic_exponential() {
+        let trace = simulate_rkf45(&decay(0.5), 4.0, 1e-8).unwrap();
+        let expected = 100.0 * (-0.5_f64 * 4.0).exp();
+        let got = trace.final_value("A").unwrap();
+        assert!((got - expected).abs() < 1e-4, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn conservation_in_closed_system() {
+        // A <-> B conserves A + B.
+        let m = ModelBuilder::new("iso")
+            .compartment("cell", 1.0)
+            .species("A", 60.0)
+            .species("B", 40.0)
+            .parameter("kf", 0.3)
+            .parameter("kr", 0.1)
+            .reaction("f", &["A"], &["B"], "kf*A")
+            .reaction("r", &["B"], &["A"], "kr*B")
+            .build();
+        let trace = simulate_rk4(&m, 20.0, 0.01).unwrap();
+        for row in &trace.data {
+            let total: f64 = row.iter().sum();
+            assert!((total - 100.0).abs() < 1e-6, "mass must be conserved, got {total}");
+        }
+        // equilibrium: A/B = kr/kf => B = 75, A = 25
+        assert!((trace.final_value("A").unwrap() - 25.0).abs() < 0.1);
+        assert!((trace.final_value("B").unwrap() - 75.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn michaelis_menten_saturates() {
+        // Fig. 12 kinetics: v = Vmax*S/(Km+S).
+        let m = ModelBuilder::new("mm")
+            .compartment("cell", 1.0)
+            .species("S", 1000.0)
+            .species("P", 0.0)
+            .parameter("Vmax", 5.0)
+            .parameter("Km", 10.0)
+            .reaction("cat", &["S"], &["P"], "Vmax*S/(Km+S)")
+            .build();
+        let trace = simulate_rk4(&m, 1.0, 0.001).unwrap();
+        // At S >> Km the rate is ~Vmax: P(1) ≈ 5.
+        let p = trace.final_value("P").unwrap();
+        assert!((p - 5.0).abs() < 0.05, "{p}");
+    }
+
+    #[test]
+    fn mass_action_second_order() {
+        // A + B -> C with k*A*B (paper Fig. 11).
+        let m = ModelBuilder::new("bi")
+            .compartment("cell", 1.0)
+            .species("A", 10.0)
+            .species("B", 10.0)
+            .species("C", 0.0)
+            .parameter("k", 0.01)
+            .reaction("bind", &["A", "B"], &["C"], "k*A*B")
+            .build();
+        let trace = simulate_rk4(&m, 50.0, 0.01).unwrap();
+        // Equal initial amounts: A(t) = A0/(1 + k*A0*t) = 10/(1+0.01*10*50) = 10/6
+        let a = trace.final_value("A").unwrap();
+        assert!((a - 10.0 / 6.0).abs() < 1e-3, "{a}");
+        // C = A0 - A
+        let c = trace.final_value("C").unwrap();
+        assert!((c - (10.0 - 10.0 / 6.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reversible_mass_action_net_rate() {
+        // Paper Fig. 11 right: rate = k1*A - k2*B as a single reversible law.
+        let m = ModelBuilder::new("rev")
+            .compartment("cell", 1.0)
+            .species("A", 100.0)
+            .species("B", 0.0)
+            .parameter("k1", 0.2)
+            .parameter("k2", 0.1)
+            .reversible_reaction("iso", &["A"], &["B"], "k1*A - k2*B")
+            .build();
+        let trace = simulate_rk4(&m, 60.0, 0.01).unwrap();
+        // equilibrium A/B = k2/k1 -> B = 2A; A+B=100 -> A=33.33
+        assert!((trace.final_value("A").unwrap() - 100.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn events_inject_mass() {
+        let m = ModelBuilder::new("ev")
+            .compartment("cell", 1.0)
+            .species("A", 0.0)
+            .event("pulse", "time >= 5", &[("A", "A + 100")])
+            .build();
+        let trace = simulate_rk4(&m, 10.0, 0.1).unwrap();
+        assert_eq!(trace.value_at("A", 4.0), Some(0.0));
+        assert!((trace.final_value("A").unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rkf45_uses_fewer_steps_on_smooth_problems() {
+        let fine = simulate_rk4(&decay(0.1), 10.0, 0.001).unwrap();
+        let adaptive = simulate_rkf45(&decay(0.1), 10.0, 1e-6).unwrap();
+        assert!(
+            adaptive.len() < fine.len() / 5,
+            "adaptive {} vs fixed {}",
+            adaptive.len(),
+            fine.len()
+        );
+        // and still accurate
+        let diff = (adaptive.final_value("A").unwrap() - fine.final_value("A").unwrap()).abs();
+        assert!(diff < 1e-3);
+    }
+
+    #[test]
+    fn bad_arguments_rejected() {
+        assert!(matches!(
+            simulate_rk4(&decay(0.1), 1.0, 0.0),
+            Err(SimError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            simulate_rk4(&decay(0.1), -1.0, 0.1),
+            Err(SimError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            simulate_rkf45(&decay(0.1), 1.0, -1e-6),
+            Err(SimError::BadArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn rk4_step_clamps_to_horizon() {
+        let trace = simulate_rk4(&decay(0.1), 0.25, 0.1).unwrap();
+        let last = *trace.times.last().unwrap();
+        assert!((last - 0.25).abs() < 1e-9, "{last}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Terminal rendering of traces — the paper's §4.1.2 "visual comparison of
+//! simulations", as an ASCII time-series plot.
+//!
+//! Deliberately simple: one character column per time bucket, `height` rows,
+//! one glyph per species. Good enough to eyeball whether two simulations
+//! told the same story, which is exactly how the paper used it ("the graphs
+//! of these simulations were then compared to confirm correctness").
+
+use crate::trace::Trace;
+
+/// Render selected species of a trace as an ASCII plot.
+///
+/// * `species`: which columns to draw (empty = all, up to 8),
+/// * `width`/`height`: plot size in characters (clamped to sane minima).
+pub fn ascii_plot(trace: &Trace, species: &[&str], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+    let selected: Vec<(usize, String)> = if species.is_empty() {
+        trace.species.iter().take(GLYPHS.len()).cloned().enumerate().collect()
+    } else {
+        species
+            .iter()
+            .filter_map(|s| trace.column(s).map(|c| (c, (*s).to_owned())))
+            .take(GLYPHS.len())
+            .collect()
+    };
+    if selected.is_empty() || trace.is_empty() {
+        return "(nothing to plot)\n".to_owned();
+    }
+
+    // Global y-range across the selected series.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for row in &trace.data {
+        for (col, _) in &selected {
+            lo = lo.min(row[*col]);
+            hi = hi.max(row[*col]);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "(non-finite values; cannot plot)\n".to_owned();
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    let t0 = trace.times[0];
+    let t1 = *trace.times.last().expect("non-empty");
+    let t_span = (t1 - t0).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (series_idx, (col, _)) in selected.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // grid is indexed [y][x]
+        for x in 0..width {
+            let t = t0 + t_span * x as f64 / (width - 1) as f64;
+            let id = &trace.species[*col];
+            let Some(v) = trace.value_at(id, t) else { continue };
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let y = y.min(height - 1);
+            grid[y][x] = GLYPHS[series_idx];
+        }
+    }
+
+    let mut out = String::with_capacity((width + 12) * (height + 3));
+    out.push_str(&format!("{hi:>10.3} ┤"));
+    for (i, row) in grid.iter().enumerate() {
+        if i > 0 {
+            out.push_str("           │");
+        }
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{lo:>10.3} └"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("            t = {t0:.2} … {t1:.2}\n"));
+    for (i, (_, name)) in selected.iter().enumerate() {
+        out.push_str(&format!("            {} {}\n", GLYPHS[i], name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        let mut t = Trace::new(vec!["up".into(), "down".into()]);
+        for i in 0..=10 {
+            t.push(i as f64, vec![i as f64, 10.0 - i as f64]);
+        }
+        t
+    }
+
+    #[test]
+    fn plots_all_species_by_default() {
+        let p = ascii_plot(&ramp(), &[], 40, 10);
+        assert!(p.contains("* up"));
+        assert!(p.contains("+ down"));
+        assert!(p.contains("10.000"));
+        assert!(p.contains("0.000"));
+    }
+
+    #[test]
+    fn ramp_occupies_opposite_corners() {
+        let p = ascii_plot(&ramp(), &["up"], 30, 8);
+        let lines: Vec<&str> = p.lines().collect();
+        // "up" rises: last data row (low values) has the glyph early,
+        // first data row (high values) has it late.
+        let first = lines[0];
+        let last = lines[7];
+        assert!(first.trim_end().ends_with('*'), "{p}");
+        assert!(last.contains('*'), "{p}");
+        let first_pos = first.rfind('*').unwrap();
+        let last_pos = last.find('*').unwrap();
+        assert!(last_pos < first_pos, "rising series: low early, high late\n{p}");
+    }
+
+    #[test]
+    fn empty_and_unknown_species() {
+        let empty = Trace::new(vec!["A".into()]);
+        assert!(ascii_plot(&empty, &[], 40, 10).contains("nothing to plot"));
+        assert!(ascii_plot(&ramp(), &["nope"], 40, 10).contains("nothing to plot"));
+    }
+
+    #[test]
+    fn flat_series_handled() {
+        let mut t = Trace::new(vec!["flat".into()]);
+        t.push(0.0, vec![5.0]);
+        t.push(1.0, vec![5.0]);
+        let p = ascii_plot(&t, &[], 20, 5);
+        assert!(p.contains('*'), "{p}");
+    }
+
+    #[test]
+    fn size_clamped() {
+        let p = ascii_plot(&ramp(), &[], 1, 1);
+        assert!(p.lines().count() >= 4, "minimum dimensions enforced");
+    }
+}

@@ -1,0 +1,250 @@
+//! Gillespie's direct stochastic simulation algorithm.
+//!
+//! Species values are treated as molecule counts; kinetic laws supply the
+//! propensities, with the combinatorial correction for multi-molecule
+//! reactants (`X·(X−1)/2` in place of `X²` for a homodimerisation, after
+//! Wilkinson — the same book the paper's Fig. 6 conversions come from).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbml_model::Model;
+
+use crate::system::{ReactionSystem, SimError};
+use crate::trace::Trace;
+
+/// Simulate one stochastic trajectory up to `t_end`, sampling the state
+/// every `sample_dt`, using the given RNG seed.
+pub fn simulate_ssa(
+    model: &Model,
+    t_end: f64,
+    sample_dt: f64,
+    seed: u64,
+) -> Result<Trace, SimError> {
+    if sample_dt.is_nan() || t_end.is_nan() || sample_dt <= 0.0 || t_end < 0.0 {
+        return Err(SimError::BadArguments {
+            detail: format!("t_end={t_end}, sample_dt={sample_dt}"),
+        });
+    }
+    let sys = ReactionSystem::compile(model)?;
+    simulate_ssa_system(&sys, t_end, sample_dt, seed)
+}
+
+/// SSA over a precompiled system (reused by MC2 for repeated runs).
+pub fn simulate_ssa_system(
+    sys: &ReactionSystem,
+    t_end: f64,
+    sample_dt: f64,
+    seed: u64,
+) -> Result<Trace, SimError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Integer molecule counts.
+    let mut state: Vec<f64> = sys.initial.iter().map(|v| v.round().max(0.0)).collect();
+    let mut trace = Trace::new(sys.species.clone());
+    let mut t = 0.0;
+    let mut next_sample = 0.0;
+
+    // sample t=0
+    while next_sample <= t_end + 1e-12 {
+        if t >= next_sample {
+            trace.push(next_sample, state.clone());
+            next_sample += sample_dt;
+        } else {
+            break;
+        }
+    }
+
+    loop {
+        // Propensities from kinetic laws with combinatorial correction.
+        let env = sys.env_for(&state, t);
+        let mut total = 0.0;
+        let mut propensities = Vec::with_capacity(sys.reactions.len());
+        for r in &sys.reactions {
+            let mut a = sbml_math::evaluate(&r.rate, &env).map_err(|source| SimError::Eval {
+                context: format!("propensity of '{}'", r.id),
+                source,
+            })?;
+            if !a.is_finite() || a < 0.0 {
+                a = 0.0;
+            }
+            // Combinatorial correction for n-th order in a single species:
+            // replace X^n with X(X-1)...(X-n+1)/n! — ratio applied directly.
+            for &(i, stoich) in &r.reactants {
+                let n = stoich.round() as u64;
+                if n >= 2 {
+                    let x = state[i];
+                    let xn = x.powi(n as i32);
+                    if xn > 0.0 {
+                        let mut falling = 1.0;
+                        let mut fact = 1.0;
+                        for j in 0..n {
+                            falling *= (x - j as f64).max(0.0);
+                            fact *= (j + 1) as f64;
+                        }
+                        a *= (falling / fact) / xn;
+                    }
+                }
+            }
+            // Can't fire if a reactant is exhausted.
+            if r.reactants.iter().any(|&(i, stoich)| state[i] < stoich) {
+                a = 0.0;
+            }
+            propensities.push(a);
+            total += a;
+        }
+
+        if total <= 0.0 {
+            break; // system exhausted: state constant hereafter
+        }
+
+        // Time to next event ~ Exp(total).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let tau = -u1.ln() / total;
+        let t_next = t + tau;
+
+        // Emit samples crossed by this jump (state is constant in between).
+        while next_sample <= t_end + 1e-12 && next_sample < t_next {
+            trace.push(next_sample, state.clone());
+            next_sample += sample_dt;
+        }
+        if t_next > t_end {
+            break;
+        }
+        t = t_next;
+
+        // Choose the reaction.
+        let pick: f64 = rng.gen_range(0.0..total);
+        let mut acc = 0.0;
+        let mut chosen = propensities.len() - 1;
+        for (idx, a) in propensities.iter().enumerate() {
+            acc += a;
+            if pick < acc {
+                chosen = idx;
+                break;
+            }
+        }
+        for &(i, d) in &sys.reactions[chosen].delta {
+            state[i] = (state[i] + d).max(0.0);
+        }
+    }
+
+    // Fill trailing samples with the final state.
+    while next_sample <= t_end + 1e-12 {
+        trace.push(next_sample, state.clone());
+        next_sample += sample_dt;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn decay() -> Model {
+        ModelBuilder::new("decay")
+            .compartment("cell", 1.0)
+            .species("A", 1000.0)
+            .parameter("k", 0.5)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = simulate_ssa(&decay(), 2.0, 0.1, 42).unwrap();
+        let b = simulate_ssa(&decay(), 2.0, 0.1, 42).unwrap();
+        assert_eq!(a, b);
+        let c = simulate_ssa(&decay(), 2.0, 0.1, 43).unwrap();
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn tracks_ode_mean_for_large_counts() {
+        // With 1000 molecules the stochastic mean tracks the ODE closely.
+        let mut finals = Vec::new();
+        for seed in 0..20 {
+            let t = simulate_ssa(&decay(), 1.0, 0.5, seed).unwrap();
+            finals.push(t.final_value("A").unwrap());
+        }
+        let mean: f64 = finals.iter().sum::<f64>() / finals.len() as f64;
+        let expected = 1000.0 * (-0.5_f64).exp(); // ≈ 606.5
+        assert!(
+            (mean - expected).abs() < 25.0,
+            "mean {mean} should approximate ODE {expected}"
+        );
+    }
+
+    #[test]
+    fn exhaustion_stops_firing() {
+        let m = ModelBuilder::new("tiny")
+            .compartment("cell", 1.0)
+            .species("A", 3.0)
+            .parameter("k", 100.0)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build();
+        let t = simulate_ssa(&m, 10.0, 1.0, 7).unwrap();
+        assert_eq!(t.final_value("A"), Some(0.0));
+        // monotone non-increasing
+        let col = t.column("A").unwrap();
+        for w in t.data.windows(2) {
+            assert!(w[1][col] <= w[0][col]);
+        }
+    }
+
+    #[test]
+    fn counts_never_negative() {
+        let m = ModelBuilder::new("bi")
+            .compartment("cell", 1.0)
+            .species("A", 50.0)
+            .species("B", 30.0)
+            .species("C", 0.0)
+            .parameter("k", 0.1)
+            .reaction("bind", &["A", "B"], &["C"], "k*A*B")
+            .build();
+        let t = simulate_ssa(&m, 5.0, 0.1, 11).unwrap();
+        for row in &t.data {
+            for &v in row {
+                assert!(v >= 0.0);
+            }
+        }
+        // B limits: exactly 30 C can form
+        assert!(t.final_value("C").unwrap() <= 30.0);
+    }
+
+    #[test]
+    fn homodimerisation_uses_combinatorial_propensity() {
+        // 2A -> D. With X=2 molecules the propensity must be k·X(X−1)/2 = k,
+        // not k·X² — so exactly one dimer forms and the system halts.
+        use sbml_model::{KineticLaw, Reaction, SpeciesReference};
+        let mut r = Reaction::new("dim");
+        r.reactants = vec![SpeciesReference::new("A").with_stoichiometry(2.0)];
+        r.products = vec![SpeciesReference::new("D")];
+        r.kinetic_law = Some(KineticLaw::new(sbml_math::infix::parse("k*A*A").unwrap()));
+        let m = ModelBuilder::new("dimer")
+            .compartment("cell", 1.0)
+            .species("A", 2.0)
+            .species("D", 0.0)
+            .parameter("k", 10.0)
+            .reaction_full(r)
+            .build();
+        let t = simulate_ssa(&m, 100.0, 10.0, 3).unwrap();
+        assert_eq!(t.final_value("D"), Some(1.0));
+        assert_eq!(t.final_value("A"), Some(0.0));
+    }
+
+    #[test]
+    fn sampling_grid_is_regular() {
+        let t = simulate_ssa(&decay(), 1.0, 0.25, 5).unwrap();
+        let expected: Vec<f64> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        assert_eq!(t.times.len(), expected.len());
+        for (a, b) in t.times.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bad_arguments() {
+        assert!(simulate_ssa(&decay(), 1.0, 0.0, 1).is_err());
+        assert!(simulate_ssa(&decay(), -1.0, 0.1, 1).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Compiling a model into an executable reaction system.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sbml_math::rewrite::inline_call;
+use sbml_math::{evaluate, Env, MathExpr};
+use sbml_model::{Model, Rule};
+
+/// Errors preparing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The model references something the simulator cannot resolve.
+    Unresolvable {
+        /// Description (component and identifier).
+        detail: String,
+    },
+    /// Math evaluation failed mid-simulation.
+    Eval {
+        /// Where.
+        context: String,
+        /// The math error.
+        source: sbml_math::MathError,
+    },
+    /// Bad simulation parameters (non-positive step, negative horizon...).
+    BadArguments {
+        /// Description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Unresolvable { detail } => write!(f, "cannot simulate: {detail}"),
+            SimError::Eval { context, source } => write!(f, "evaluation error in {context}: {source}"),
+            SimError::BadArguments { detail } => write!(f, "bad simulation arguments: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One compiled reaction: inlined rate expression plus net stoichiometry.
+#[derive(Debug, Clone)]
+pub struct CompiledReaction {
+    /// Reaction id (for reporting).
+    pub id: String,
+    /// Rate expression with function definitions inlined and local
+    /// parameters substituted as constants.
+    pub rate: MathExpr,
+    /// Net state change per firing: (species index, delta).
+    pub delta: Vec<(usize, f64)>,
+    /// Reactant multiset for SSA propensity corrections:
+    /// (species index, stoichiometry).
+    pub reactants: Vec<(usize, f64)>,
+}
+
+/// An executable system compiled from a model.
+#[derive(Debug, Clone)]
+pub struct ReactionSystem {
+    /// Species ids in state-vector order (dynamic species only — boundary
+    /// and constant species stay in the environment, not the state).
+    pub species: Vec<String>,
+    /// Initial state.
+    pub initial: Vec<f64>,
+    /// Compiled reactions.
+    pub reactions: Vec<CompiledReaction>,
+    /// Rate rules: (species index in state, derivative expression) — only
+    /// rate rules targeting dynamic species are integrated.
+    pub rate_rules: Vec<(usize, MathExpr)>,
+    /// Assignment rules applied before each derivative evaluation:
+    /// (variable, expression).
+    pub assignments: Vec<(String, MathExpr)>,
+    /// Events: (trigger, [(variable, expression)]).
+    pub events: Vec<(MathExpr, Vec<(String, MathExpr)>)>,
+    /// The base environment: parameters, compartments, constant species,
+    /// function definitions.
+    pub base_env: Env,
+    species_index: HashMap<String, usize>,
+}
+
+impl ReactionSystem {
+    /// Compile a model. Initial assignments are honoured; function calls in
+    /// kinetic laws are inlined once.
+    pub fn compile(model: &Model) -> Result<ReactionSystem, SimError> {
+        let mut base_env = Env::new();
+        for f in &model.function_definitions {
+            base_env.set_function(f.id.clone(), f.as_lambda());
+        }
+        for c in &model.compartments {
+            base_env.set_var(c.id.clone(), c.size.unwrap_or(1.0));
+        }
+        for p in &model.parameters {
+            if let Some(v) = p.value {
+                base_env.set_var(p.id.clone(), v);
+            }
+        }
+
+        // Dynamic species become the state vector; constant/boundary
+        // species are environment constants.
+        let mut species = Vec::new();
+        let mut species_index = HashMap::new();
+        let mut initial = Vec::new();
+        for s in &model.species {
+            let value = s.initial_value().unwrap_or(0.0);
+            if s.constant || s.boundary_condition {
+                base_env.set_var(s.id.clone(), value);
+            } else {
+                species_index.insert(s.id.clone(), species.len());
+                species.push(s.id.clone());
+                initial.push(value);
+            }
+        }
+
+        // Apply initial assignments (over both state and env).
+        {
+            let mut env = base_env.clone();
+            for (id, value) in species_index.iter().map(|(id, &i)| (id.clone(), initial[i])) {
+                env.set_var(id, value);
+            }
+            for ia in &model.initial_assignments {
+                if let Ok(v) = evaluate(&ia.math, &env) {
+                    if let Some(&i) = species_index.get(&ia.symbol) {
+                        initial[i] = v;
+                    } else {
+                        base_env.set_var(ia.symbol.clone(), v);
+                    }
+                    env.set_var(ia.symbol.clone(), v);
+                }
+            }
+        }
+
+        // Compile reactions.
+        let functions = base_env.functions.clone();
+        let mut reactions = Vec::with_capacity(model.reactions.len());
+        for r in &model.reactions {
+            let Some(kl) = &r.kinetic_law else {
+                continue; // reactions without kinetics contribute nothing
+            };
+            // Inline function calls (repeat until no calls remain, bounded).
+            let mut rate = kl.math.clone();
+            for _ in 0..8 {
+                let mut inlined_any = false;
+                rate = inline_functions(&rate, &functions, &mut inlined_any);
+                if !inlined_any {
+                    break;
+                }
+            }
+            // Bind local parameters as constants.
+            for p in &kl.parameters {
+                if let Some(v) = p.value {
+                    rate = sbml_math::rewrite::substitute(&rate, &p.id, &MathExpr::Num(v));
+                }
+            }
+
+            let mut delta: HashMap<usize, f64> = HashMap::new();
+            for sr in &r.reactants {
+                if let Some(&i) = species_index.get(&sr.species) {
+                    *delta.entry(i).or_insert(0.0) -= sr.stoichiometry;
+                }
+            }
+            for sr in &r.products {
+                if let Some(&i) = species_index.get(&sr.species) {
+                    *delta.entry(i).or_insert(0.0) += sr.stoichiometry;
+                }
+            }
+            let mut delta: Vec<(usize, f64)> =
+                delta.into_iter().filter(|(_, d)| *d != 0.0).collect();
+            delta.sort_by_key(|(i, _)| *i);
+            let reactants = r
+                .reactants
+                .iter()
+                .filter_map(|sr| species_index.get(&sr.species).map(|&i| (i, sr.stoichiometry)))
+                .collect();
+            reactions.push(CompiledReaction { id: r.id.clone(), rate, delta, reactants });
+        }
+
+        // Rules.
+        let mut rate_rules = Vec::new();
+        let mut assignments = Vec::new();
+        for rule in &model.rules {
+            match rule {
+                Rule::Rate { variable, math } => {
+                    if let Some(&i) = species_index.get(variable) {
+                        rate_rules.push((i, math.clone()));
+                    }
+                    // Rate rules on parameters are treated as unresolvable
+                    // only if the parameter is actually used — keep simple:
+                    // ignored (documented limitation).
+                }
+                Rule::Assignment { variable, math } => {
+                    assignments.push((variable.clone(), math.clone()));
+                }
+                Rule::Algebraic { .. } => {
+                    // Algebraic rules require a DAE solver; out of scope.
+                }
+            }
+        }
+
+        let events = model
+            .events
+            .iter()
+            .map(|ev| {
+                let assigns =
+                    ev.assignments.iter().map(|a| (a.variable.clone(), a.math.clone())).collect();
+                (ev.trigger.clone(), assigns)
+            })
+            .collect();
+
+        Ok(ReactionSystem {
+            species,
+            initial,
+            reactions,
+            rate_rules,
+            assignments,
+            events,
+            base_env,
+            species_index,
+        })
+    }
+
+    /// Index of a dynamic species in the state vector.
+    pub fn species_position(&self, id: &str) -> Option<usize> {
+        self.species_index.get(id).copied()
+    }
+
+    /// Build the evaluation environment for a state.
+    pub fn env_for(&self, state: &[f64], time: f64) -> Env {
+        let mut env = self.base_env.clone();
+        env.time = time;
+        for (i, id) in self.species.iter().enumerate() {
+            env.set_var(id.clone(), state[i]);
+        }
+        // Assignment rules (may overwrite parameters or species).
+        for (variable, math) in &self.assignments {
+            if let Ok(v) = evaluate(math, &env) {
+                env.set_var(variable.clone(), v);
+            }
+        }
+        env
+    }
+
+    /// Evaluate dy/dt at a state.
+    pub fn derivatives(&self, state: &[f64], time: f64) -> Result<Vec<f64>, SimError> {
+        let env = self.env_for(state, time);
+        let mut dy = vec![0.0; state.len()];
+        for r in &self.reactions {
+            let rate = evaluate(&r.rate, &env).map_err(|source| SimError::Eval {
+                context: format!("reaction '{}'", r.id),
+                source,
+            })?;
+            for &(i, d) in &r.delta {
+                dy[i] += d * rate;
+            }
+        }
+        for (i, math) in &self.rate_rules {
+            dy[*i] += evaluate(math, &env).map_err(|source| SimError::Eval {
+                context: "rate rule".to_owned(),
+                source,
+            })?;
+        }
+        Ok(dy)
+    }
+
+    /// Check events against a state; returns updated state if any fired.
+    /// `previously_true` tracks trigger values to fire only on transitions.
+    pub fn apply_events(
+        &self,
+        state: &mut [f64],
+        time: f64,
+        previously_true: &mut [bool],
+    ) -> Result<bool, SimError> {
+        let mut fired = false;
+        for (idx, (trigger, assigns)) in self.events.iter().enumerate() {
+            let env = self.env_for(state, time);
+            let now_true = evaluate(trigger, &env).map_err(|source| SimError::Eval {
+                context: "event trigger".to_owned(),
+                source,
+            })? != 0.0;
+            if now_true && !previously_true[idx] {
+                for (variable, math) in assigns {
+                    let value = evaluate(math, &env).map_err(|source| SimError::Eval {
+                        context: "event assignment".to_owned(),
+                        source,
+                    })?;
+                    if let Some(&i) = self.species_index.get(variable) {
+                        state[i] = value;
+                        fired = true;
+                    }
+                }
+            }
+            previously_true[idx] = now_true;
+        }
+        Ok(fired)
+    }
+}
+
+/// Inline one layer of function-definition calls.
+fn inline_functions(
+    expr: &MathExpr,
+    functions: &HashMap<String, (Vec<String>, MathExpr)>,
+    inlined_any: &mut bool,
+) -> MathExpr {
+    match expr {
+        MathExpr::Call { function, args } => {
+            let new_args: Vec<MathExpr> =
+                args.iter().map(|a| inline_functions(a, functions, inlined_any)).collect();
+            if let Some((params, body)) = functions.get(function) {
+                if params.len() == new_args.len() {
+                    *inlined_any = true;
+                    return inline_call(params, body, &new_args);
+                }
+            }
+            MathExpr::Call { function: function.clone(), args: new_args }
+        }
+        MathExpr::Apply { op, args } => MathExpr::Apply {
+            op: *op,
+            args: args.iter().map(|a| inline_functions(a, functions, inlined_any)).collect(),
+        },
+        MathExpr::Piecewise { pieces, otherwise } => MathExpr::Piecewise {
+            pieces: pieces
+                .iter()
+                .map(|(v, c)| {
+                    (
+                        inline_functions(v, functions, inlined_any),
+                        inline_functions(c, functions, inlined_any),
+                    )
+                })
+                .collect(),
+            otherwise: otherwise
+                .as_ref()
+                .map(|o| Box::new(inline_functions(o, functions, inlined_any))),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn decay() -> Model {
+        ModelBuilder::new("decay")
+            .compartment("cell", 1.0)
+            .species("A", 100.0)
+            .parameter("k", 0.5)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build()
+    }
+
+    #[test]
+    fn compile_basics() {
+        let sys = ReactionSystem::compile(&decay()).unwrap();
+        assert_eq!(sys.species, vec!["A".to_owned()]);
+        assert_eq!(sys.initial, vec![100.0]);
+        assert_eq!(sys.reactions.len(), 1);
+        assert_eq!(sys.reactions[0].delta, vec![(0, -1.0)]);
+        assert_eq!(sys.species_position("A"), Some(0));
+        assert_eq!(sys.species_position("Z"), None);
+    }
+
+    #[test]
+    fn derivatives_mass_action() {
+        let sys = ReactionSystem::compile(&decay()).unwrap();
+        let dy = sys.derivatives(&[100.0], 0.0).unwrap();
+        assert_eq!(dy, vec![-50.0]); // -k*A = -0.5*100
+    }
+
+    #[test]
+    fn constant_species_not_in_state() {
+        let mut m = decay();
+        m.species.push({
+            let mut s = sbml_model::Species::new("E", "cell", 7.0);
+            s.constant = true;
+            s
+        });
+        let sys = ReactionSystem::compile(&m).unwrap();
+        assert_eq!(sys.species.len(), 1, "constant species excluded from state");
+        assert_eq!(sys.base_env.vars.get("E"), Some(&7.0));
+    }
+
+    #[test]
+    fn boundary_species_not_consumed() {
+        let m = ModelBuilder::new("b")
+            .compartment("cell", 1.0)
+            .species("S", 10.0)
+            .species("P", 0.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["S"], &["P"], "k*S")
+            .build();
+        let mut m2 = m.clone();
+        m2.species[0].boundary_condition = true;
+        let sys = ReactionSystem::compile(&m2).unwrap();
+        // S is boundary: only P in state, produced at rate k*S = 10.
+        assert_eq!(sys.species, vec!["P".to_owned()]);
+        let dy = sys.derivatives(&[0.0], 0.0).unwrap();
+        assert_eq!(dy, vec![10.0]);
+    }
+
+    #[test]
+    fn function_definitions_inlined() {
+        let m = ModelBuilder::new("mm")
+            .function("mm", &["S", "V", "K"], "V*S/(K+S)")
+            .compartment("cell", 1.0)
+            .species("S", 10.0)
+            .parameter("Vmax", 2.0)
+            .parameter("Km", 5.0)
+            .reaction("consume", &["S"], &[], "mm(S, Vmax, Km)")
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        let dy = sys.derivatives(&[10.0], 0.0).unwrap();
+        // -Vmax*S/(Km+S) = -2*10/15
+        assert!((dy[0] + 2.0 * 10.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_parameters_bound() {
+        let mut m = decay();
+        m.reactions[0]
+            .kinetic_law
+            .as_mut()
+            .unwrap()
+            .parameters
+            .push(sbml_model::Parameter::new("k", 2.0)); // shadows global 0.5
+        let sys = ReactionSystem::compile(&m).unwrap();
+        let dy = sys.derivatives(&[100.0], 0.0).unwrap();
+        assert_eq!(dy, vec![-200.0], "local k=2 wins over global k=0.5");
+    }
+
+    #[test]
+    fn initial_assignment_overrides() {
+        let m = ModelBuilder::new("ia")
+            .compartment("cell", 1.0)
+            .species("A", 1.0)
+            .parameter("k", 3.0)
+            .initial_assignment("A", "k * 10")
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        assert_eq!(sys.initial, vec![30.0]);
+    }
+
+    #[test]
+    fn assignment_rules_feed_rates() {
+        let m = ModelBuilder::new("ar")
+            .compartment("cell", 1.0)
+            .species("A", 10.0)
+            .parameter("keff", 0.0) // overwritten by rule
+            .assignment_rule("keff", "0.1 * 2")
+            .reaction("deg", &["A"], &[], "keff*A")
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        let dy = sys.derivatives(&[10.0], 0.0).unwrap();
+        assert!((dy[0] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_rules_integrated() {
+        let m = ModelBuilder::new("rr")
+            .compartment("cell", 1.0)
+            .species("X", 0.0)
+            .rate_rule("X", "3")
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        let dy = sys.derivatives(&[0.0], 0.0).unwrap();
+        assert_eq!(dy, vec![3.0]);
+    }
+
+    #[test]
+    fn events_fire_on_transition_only() {
+        let m = ModelBuilder::new("ev")
+            .compartment("cell", 1.0)
+            .species("A", 0.0)
+            .event("e", "time >= 5", &[("A", "A + 10")])
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        let mut state = vec![0.0];
+        let mut prev = vec![false];
+        assert!(!sys.apply_events(&mut state, 1.0, &mut prev).unwrap());
+        assert!(sys.apply_events(&mut state, 6.0, &mut prev).unwrap());
+        assert_eq!(state, vec![10.0]);
+        // Still true at 7.0 — no re-fire.
+        assert!(!sys.apply_events(&mut state, 7.0, &mut prev).unwrap());
+        assert_eq!(state, vec![10.0]);
+    }
+
+    #[test]
+    fn unknown_identifier_in_rate_errors() {
+        let m = ModelBuilder::new("bad")
+            .compartment("cell", 1.0)
+            .species("A", 1.0)
+            .reaction("r", &["A"], &[], "mystery*A")
+            .build();
+        let sys = ReactionSystem::compile(&m).unwrap();
+        assert!(matches!(sys.derivatives(&[1.0], 0.0), Err(SimError::Eval { .. })));
+    }
+}

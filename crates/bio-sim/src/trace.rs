@@ -1,0 +1,239 @@
+//! Time-series traces and the §4.1.3 residual-sum-of-squares comparison.
+
+use std::fmt;
+
+/// A simulation trace: sampled values of every dynamic species over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Species ids, one per column.
+    pub species: Vec<String>,
+    /// Sample times (strictly increasing).
+    pub times: Vec<f64>,
+    /// Row-major samples: `data[t][s]`.
+    pub data: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// An empty trace over the given species.
+    pub fn new(species: Vec<String>) -> Trace {
+        Trace { species, times: Vec::new(), data: Vec::new() }
+    }
+
+    /// Append a sample row.
+    ///
+    /// # Panics
+    /// If the row width does not match the species count.
+    pub fn push(&mut self, time: f64, row: Vec<f64>) {
+        assert_eq!(row.len(), self.species.len(), "row width mismatch");
+        self.times.push(time);
+        self.data.push(row);
+    }
+
+    /// Column index of a species.
+    pub fn column(&self, species: &str) -> Option<usize> {
+        self.species.iter().position(|s| s == species)
+    }
+
+    /// The last sampled value of a species.
+    pub fn final_value(&self, species: &str) -> Option<f64> {
+        let col = self.column(species)?;
+        self.data.last().map(|row| row[col])
+    }
+
+    /// Linear interpolation of a species at time `t` (clamped to the
+    /// sampled range).
+    pub fn value_at(&self, species: &str, t: f64) -> Option<f64> {
+        let col = self.column(species)?;
+        if self.times.is_empty() {
+            return None;
+        }
+        if t <= self.times[0] {
+            return Some(self.data[0][col]);
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return Some(self.data.last().expect("non-empty")[col]);
+        }
+        // binary search for the bracketing interval
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.data[idx - 1][col], self.data[idx][col]);
+        let alpha = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        Some(v0 + alpha * (v1 - v0))
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Render as CSV (time column first), the exchange format of the
+    /// paper's §4.1.3 ("a file of time series data of concentrations").
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 16);
+        out.push_str("time");
+        for s in &self.species {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for (t, row) in self.times.iter().zip(&self.data) {
+            out.push_str(&format!("{t}"));
+            for v in row {
+                out.push(',');
+                out.push_str(&format!("{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Display renders the CSV form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_csv())
+    }
+}
+
+/// Residual sum of squares between two traces over their **shared**
+/// species, sampling the second trace at the first trace's time points
+/// (§4.1.3: "the sum of squares between identical species from the two
+/// models ... close to 0 for all identical species").
+///
+/// Returns `None` when the traces share no species or either is empty.
+pub fn rss_aligned(a: &Trace, b: &Trace) -> Option<f64> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let shared: Vec<&String> = a.species.iter().filter(|s| b.column(s).is_some()).collect();
+    if shared.is_empty() {
+        return None;
+    }
+    let mut rss = 0.0;
+    for s in shared {
+        let col_a = a.column(s).expect("from a");
+        for (idx, &t) in a.times.iter().enumerate() {
+            let va = a.data[idx][col_a];
+            let vb = b.value_at(s, t).expect("b non-empty");
+            rss += (va - vb) * (va - vb);
+        }
+    }
+    Some(rss)
+}
+
+/// Per-species RSS, for reporting which species diverge.
+pub fn rss_per_species(a: &Trace, b: &Trace) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for s in &a.species {
+        let Some(col_a) = a.column(s) else { continue };
+        if b.column(s).is_none() {
+            continue;
+        }
+        let mut rss = 0.0;
+        for (idx, &t) in a.times.iter().enumerate() {
+            let va = a.data[idx][col_a];
+            if let Some(vb) = b.value_at(s, t) {
+                rss += (va - vb) * (va - vb);
+            }
+        }
+        out.push((s.clone(), rss));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        let mut t = Trace::new(vec!["A".into(), "B".into()]);
+        t.push(0.0, vec![0.0, 10.0]);
+        t.push(1.0, vec![1.0, 9.0]);
+        t.push(2.0, vec![2.0, 8.0]);
+        t
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = ramp();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.column("B"), Some(1));
+        assert_eq!(t.column("Z"), None);
+        assert_eq!(t.final_value("A"), Some(2.0));
+    }
+
+    #[test]
+    fn interpolation() {
+        let t = ramp();
+        assert_eq!(t.value_at("A", 0.5), Some(0.5));
+        assert_eq!(t.value_at("A", 1.75), Some(1.75));
+        assert_eq!(t.value_at("B", 0.5), Some(9.5));
+        // clamping
+        assert_eq!(t.value_at("A", -5.0), Some(0.0));
+        assert_eq!(t.value_at("A", 99.0), Some(2.0));
+    }
+
+    #[test]
+    fn rss_identical_is_zero() {
+        let t = ramp();
+        assert_eq!(rss_aligned(&t, &t), Some(0.0));
+    }
+
+    #[test]
+    fn rss_detects_divergence() {
+        let a = ramp();
+        let mut b = ramp();
+        for row in &mut b.data {
+            row[0] += 1.0; // shift species A
+        }
+        let rss = rss_aligned(&a, &b).unwrap();
+        assert!((rss - 3.0).abs() < 1e-12, "3 samples × 1² = 3, got {rss}");
+        // per-species attribution
+        let per = rss_per_species(&a, &b);
+        let a_rss = per.iter().find(|(s, _)| s == "A").unwrap().1;
+        let b_rss = per.iter().find(|(s, _)| s == "B").unwrap().1;
+        assert!(a_rss > 2.9 && b_rss == 0.0);
+    }
+
+    #[test]
+    fn rss_over_shared_species_only() {
+        let a = ramp();
+        let mut c = Trace::new(vec!["B".into(), "Z".into()]);
+        c.push(0.0, vec![10.0, 0.0]);
+        c.push(2.0, vec![8.0, 0.0]);
+        // B matches (linear interpolation fills t=1), Z ignored.
+        let rss = rss_aligned(&a, &c).unwrap();
+        assert!(rss < 1e-12, "{rss}");
+    }
+
+    #[test]
+    fn rss_no_overlap_none() {
+        let a = ramp();
+        let mut z = Trace::new(vec!["Q".into()]);
+        z.push(0.0, vec![1.0]);
+        assert_eq!(rss_aligned(&a, &z), None);
+        assert_eq!(rss_aligned(&a, &Trace::new(vec!["A".into()])), None);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = ramp().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,A,B");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_width_panics() {
+        let mut t = Trace::new(vec!["A".into()]);
+        t.push(0.0, vec![1.0, 2.0]);
+    }
+}

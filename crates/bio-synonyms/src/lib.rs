@@ -1,0 +1,293 @@
+//! Local synonym tables for biological entity names.
+//!
+//! The paper replaces semanticSBML's online-database annotation step with
+//! *local synonym tables*: "our synonym tables are smaller and contain only
+//! the entries required for the composition", and "new biological entities
+//! can be added to support composition, as needed". Species equality during
+//! merge is `φ(n1) ≈ φ(n2)`: identifiers identical **or synonymous**.
+//!
+//! A [`SynonymTable`] maps *normalised* names into synonym groups. Name
+//! normalisation (case folding, whitespace/underscore/hyphen collapsing)
+//! handles the incidental variation between models; explicit groups handle
+//! true synonymy (`glucose` = `dextrose` = `D-glucose`).
+//!
+//! # Example
+//!
+//! ```
+//! use bio_synonyms::SynonymTable;
+//!
+//! let mut table = SynonymTable::new();
+//! table.add_group(["glucose", "dextrose", "D-glucose"]);
+//! assert!(table.are_synonyms("Glucose", "dextrose"));
+//! assert!(table.are_synonyms("d_glucose", "glucose")); // normalisation
+//! assert!(!table.are_synonyms("glucose", "fructose"));
+//! assert_eq!(table.canonical("DEXTROSE"), Some("glucose"));
+//! ```
+
+use std::collections::HashMap;
+
+/// Normalise an entity name for matching: Unicode-aware lowercasing, and
+/// runs of whitespace/underscores/hyphens collapse to a single underscore.
+pub fn normalize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut pending_sep = false;
+    for c in name.trim().chars() {
+        if c.is_whitespace() || c == '_' || c == '-' {
+            pending_sep = !out.is_empty();
+        } else {
+            if pending_sep {
+                out.push('_');
+                pending_sep = false;
+            }
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
+}
+
+/// A table of synonym groups over normalised names.
+#[derive(Debug, Clone, Default)]
+pub struct SynonymTable {
+    /// Group id → member names as originally registered (first = canonical).
+    groups: Vec<Vec<String>>,
+    /// Normalised name → group id.
+    index: HashMap<String, usize>,
+}
+
+impl SynonymTable {
+    /// An empty table.
+    pub fn new() -> SynonymTable {
+        SynonymTable::default()
+    }
+
+    /// A table preloaded with common biochemical synonym groups — the
+    /// "smaller synonym tables" that replace the 54,929-entry annotation
+    /// database of the semanticSBML baseline.
+    pub fn with_builtins() -> SynonymTable {
+        let mut t = SynonymTable::new();
+        t.add_group(["glucose", "dextrose", "D-glucose", "Glc"]);
+        t.add_group(["ATP", "adenosine triphosphate", "adenosine 5'-triphosphate"]);
+        t.add_group(["ADP", "adenosine diphosphate"]);
+        t.add_group(["AMP", "adenosine monophosphate"]);
+        t.add_group(["NAD", "NAD+", "nicotinamide adenine dinucleotide"]);
+        t.add_group(["NADH", "reduced nicotinamide adenine dinucleotide"]);
+        t.add_group(["phosphate", "Pi", "inorganic phosphate", "orthophosphate"]);
+        t.add_group(["pyruvate", "pyruvic acid"]);
+        t.add_group(["lactate", "lactic acid"]);
+        t.add_group(["citrate", "citric acid"]);
+        t.add_group(["oxygen", "O2", "dioxygen"]);
+        t.add_group(["carbon dioxide", "CO2"]);
+        t.add_group(["water", "H2O"]);
+        t.add_group(["hydrogen ion", "H+", "proton"]);
+        t.add_group(["calcium", "Ca2+", "calcium ion"]);
+        t.add_group(["glyceraldehyde 3-phosphate", "G3P", "GAP"]);
+        t.add_group(["fructose 6-phosphate", "F6P"]);
+        t.add_group(["glucose 6-phosphate", "G6P"]);
+        t.add_group(["phosphoenolpyruvate", "PEP"]);
+        t.add_group(["acetyl-CoA", "acetyl coenzyme A"]);
+        t
+    }
+
+    /// Number of synonym groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total registered names.
+    pub fn name_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Register a group of mutually synonymous names. Names already known
+    /// merge their groups (union semantics).
+    pub fn add_group<I, S>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let names: Vec<String> = names.into_iter().map(|s| s.as_ref().to_owned()).collect();
+        if names.is_empty() {
+            return;
+        }
+        // Find an existing group to join, if any member is known.
+        let existing = names.iter().find_map(|n| self.index.get(&normalize(n)).copied());
+        let group_id = match existing {
+            Some(id) => id,
+            None => {
+                self.groups.push(Vec::new());
+                self.groups.len() - 1
+            }
+        };
+        for name in names {
+            let key = normalize(&name);
+            if key.is_empty() {
+                continue;
+            }
+            match self.index.get(&key).copied() {
+                None => {
+                    self.index.insert(key, group_id);
+                    self.groups[group_id].push(name);
+                }
+                Some(other) if other != group_id => self.merge_groups(group_id, other),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Register `synonym` as an alternative for `canonical`.
+    pub fn add_synonym(&mut self, canonical: &str, synonym: &str) {
+        self.add_group([canonical, synonym]);
+    }
+
+    fn merge_groups(&mut self, keep: usize, absorb: usize) {
+        let moved = std::mem::take(&mut self.groups[absorb]);
+        for name in &moved {
+            self.index.insert(normalize(name), keep);
+        }
+        self.groups[keep].extend(moved);
+    }
+
+    /// The canonical (first-registered) name of the group `name` belongs
+    /// to, or `None` if the name is unknown.
+    pub fn canonical(&self, name: &str) -> Option<&str> {
+        let group = *self.index.get(&normalize(name))?;
+        self.groups[group].first().map(String::as_str)
+    }
+
+    /// Are two names equal under normalisation or registered synonymy?
+    /// This is the `≈` of the paper's node-equality definition.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        let (na, nb) = (normalize(a), normalize(b));
+        if na == nb {
+            return !na.is_empty();
+        }
+        match (self.index.get(&na), self.index.get(&nb)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
+    }
+
+    /// A canonical matching key for indexing: the group's canonical name if
+    /// known, otherwise the normalised input.
+    pub fn match_key(&self, name: &str) -> String {
+        match self.canonical(name) {
+            Some(c) => normalize(c),
+            None => normalize(name),
+        }
+    }
+
+    /// Absorb every group of `other` into this table.
+    pub fn extend_from(&mut self, other: &SynonymTable) {
+        for group in &other.groups {
+            if !group.is_empty() {
+                self.add_group(group.iter().map(String::as_str));
+            }
+        }
+    }
+
+    /// Iterate over groups (canonical name first in each).
+    pub fn groups(&self) -> impl Iterator<Item = &[String]> {
+        self.groups.iter().filter(|g| !g.is_empty()).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(normalize("  D-Glucose  "), "d_glucose");
+        assert_eq!(normalize("adenosine   triphosphate"), "adenosine_triphosphate");
+        assert_eq!(normalize("A__B--C"), "a_b_c");
+        assert_eq!(normalize("ATP"), "atp");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("-x-"), "x");
+    }
+
+    #[test]
+    fn same_name_is_synonym_of_itself() {
+        let t = SynonymTable::new();
+        assert!(t.are_synonyms("ATP", "atp"));
+        assert!(t.are_synonyms("a b", "a_b"));
+        assert!(!t.are_synonyms("", ""));
+        assert!(!t.are_synonyms("x", "y"));
+    }
+
+    #[test]
+    fn group_membership() {
+        let mut t = SynonymTable::new();
+        t.add_group(["glucose", "dextrose"]);
+        assert!(t.are_synonyms("glucose", "dextrose"));
+        assert!(t.are_synonyms("dextrose", "glucose"), "symmetry");
+        assert!(!t.are_synonyms("glucose", "fructose"));
+        assert_eq!(t.canonical("dextrose"), Some("glucose"));
+        assert_eq!(t.canonical("fructose"), None);
+    }
+
+    #[test]
+    fn transitive_union_of_groups() {
+        let mut t = SynonymTable::new();
+        t.add_group(["a", "b"]);
+        t.add_group(["c", "d"]);
+        assert!(!t.are_synonyms("a", "c"));
+        // Bridge the two groups.
+        t.add_group(["b", "c"]);
+        assert!(t.are_synonyms("a", "d"), "groups must union transitively");
+        assert_eq!(t.group_count(), 2, "bridging reuses an existing group slot");
+        assert_eq!(t.groups().count(), 1, "the absorbed slot is left empty");
+    }
+
+    #[test]
+    fn match_key_canonicalises() {
+        let mut t = SynonymTable::new();
+        t.add_group(["glucose", "dextrose"]);
+        assert_eq!(t.match_key("DEXTROSE"), "glucose");
+        assert_eq!(t.match_key("unknown thing"), "unknown_thing");
+    }
+
+    #[test]
+    fn add_synonym_shorthand() {
+        let mut t = SynonymTable::new();
+        t.add_synonym("ATP", "adenosine triphosphate");
+        assert!(t.are_synonyms("atp", "Adenosine  Triphosphate"));
+    }
+
+    #[test]
+    fn builtins_sanity() {
+        let t = SynonymTable::with_builtins();
+        assert!(t.group_count() >= 20);
+        assert!(t.are_synonyms("glucose", "Glc"));
+        assert!(t.are_synonyms("H2O", "water"));
+        assert!(t.are_synonyms("Pi", "inorganic phosphate"));
+        assert!(!t.are_synonyms("ATP", "ADP"));
+    }
+
+    #[test]
+    fn extend_from_unions() {
+        let mut a = SynonymTable::new();
+        a.add_group(["x", "y"]);
+        let mut b = SynonymTable::new();
+        b.add_group(["y", "z"]);
+        a.extend_from(&b);
+        assert!(a.are_synonyms("x", "z"));
+    }
+
+    #[test]
+    fn empty_and_whitespace_names_ignored() {
+        let mut t = SynonymTable::new();
+        t.add_group(["", "  ", "real"]);
+        assert_eq!(t.name_count(), 1);
+        assert_eq!(t.canonical("real"), Some("real"));
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut t = SynonymTable::new();
+        t.add_group(["a", "b"]);
+        t.add_group(["a", "b"]);
+        t.add_group(["A", "B"]);
+        assert_eq!(t.name_count(), 2);
+        assert_eq!(t.groups().count(), 1);
+    }
+}

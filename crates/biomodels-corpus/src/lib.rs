@@ -1,0 +1,534 @@
+//! Deterministic synthetic stand-in for the BioModels corpus.
+//!
+//! The paper's Figure 8 composes "187 models ... sourced from the BioModels
+//! database. Model size ranged from 0 to 194 nodes and 0 to 313 edges",
+//! every model with every other in ascending size order. The real curated
+//! files are not redistributable here, so this crate generates a corpus
+//! with the same *shape*:
+//!
+//! * exactly **187 models**, sizes spanning **0–194 nodes** and **0–313
+//!   edges** with the right-skewed distribution real BioModels has (many
+//!   small models, a long tail of large ones),
+//! * species drawn from a shared pool (plus common biochemical vocabulary),
+//!   so distinct models overlap and composition actually *shares* nodes,
+//! * kinetic laws spanning the paper's Figures 10–12: first- and
+//!   second-order mass action, reversible mass action, explicit
+//!   Michaelis–Menten and Michaelis–Menten via a function definition,
+//! * a sprinkling of events, rules, initial assignments and unit
+//!   definitions so every Fig. 4 pipeline stage does real work,
+//!
+//! plus the **17-model corpus** of the Figure 9 comparison ("only 17 test
+//! models ... with all models already annotated biologically", 4–7 nodes,
+//! 0–3 edges — names resolvable in the annotation database).
+//!
+//! Everything is seeded: `corpus_187()` returns byte-identical models on
+//! every call, which the benches rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbml_model::builder::ModelBuilder;
+use sbml_model::Model;
+
+/// Names shared with the annotation database / synonym tables, so the
+/// baselines' lookups and SBMLCompose's synonym matching both get hits.
+pub const COMMON_SPECIES: &[&str] = &[
+    "glucose", "ATP", "ADP", "NAD", "NADH", "pyruvate", "lactate", "citrate", "oxygen",
+    "water", "phosphate", "fructose", "G6P", "F6P", "PEP", "G3P",
+];
+
+/// Number of models in the Figure 8 corpus.
+pub const CORPUS_SIZE: usize = 187;
+/// Maximum node count, as in the paper.
+pub const MAX_NODES: usize = 194;
+/// Maximum edge count, as in the paper.
+pub const MAX_EDGES: usize = 313;
+
+/// The planned (nodes, edges) of corpus model `i`, following a right-skewed
+/// ramp from (0, 0) to exactly (194, 313).
+pub fn planned_size(index: usize) -> (usize, usize) {
+    assert!(index < CORPUS_SIZE, "corpus has {CORPUS_SIZE} models");
+    let frac = index as f64 / (CORPUS_SIZE - 1) as f64;
+    // Right-skew: most models small (BioModels reality), tail to the max.
+    let nodes = (MAX_NODES as f64 * frac.powf(1.6)).round() as usize;
+    let edges = (MAX_EDGES as f64 * frac.powf(1.6)).round() as usize;
+    (nodes, edges)
+}
+
+/// Generate corpus model `index` (deterministic).
+pub fn generate_model(index: usize) -> Model {
+    let (nodes, edges) = planned_size(index);
+    let mut rng = StdRng::seed_from_u64(0xB10_0000 + index as u64);
+    build_model(&format!("BIOMD{index:04}"), nodes, edges, &mut rng, index)
+}
+
+/// The full 187-model Figure 8 corpus, in ascending size order.
+pub fn corpus_187() -> Vec<Model> {
+    (0..CORPUS_SIZE).map(generate_model).collect()
+}
+
+/// The 17 small annotated models of the Figure 9 comparison
+/// (4–7 nodes, 0–3 edges, all species named from the common vocabulary).
+pub fn corpus_17() -> Vec<Model> {
+    (0..17)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0x5E_17 + i as u64);
+            let nodes = 4 + (i % 4); // 4..=7
+            let edges = i % 4; // 0..=3
+            build_small_annotated(&format!("SEMSBML{i:02}"), nodes, edges, &mut rng, i)
+        })
+        .collect()
+}
+
+/// Species id for pool slot `n`: common vocabulary first, then generic.
+fn pool_species(n: usize) -> (String, Option<String>) {
+    if n < COMMON_SPECIES.len() {
+        let display = COMMON_SPECIES[n];
+        // ids must be simple; display names keep their natural form
+        let id = display.to_lowercase().replace([' ', '-'], "_");
+        (id, Some(display.to_owned()))
+    } else {
+        (format!("sp_{n:03}"), None)
+    }
+}
+
+fn build_model(id: &str, nodes: usize, edges: usize, rng: &mut StdRng, index: usize) -> Model {
+    let mut b = ModelBuilder::new(id).name(format!("synthetic BioModels entry {index}"));
+    if nodes == 0 {
+        // The paper's corpus includes size-0 models; they are legal SBML.
+        return b.build();
+    }
+    b = b.compartment("cell", 1.0);
+
+    // Species from an overlapping pool: model i starts at offset i*3 so
+    // neighbouring models share a suffix/prefix of the pool.
+    let pool_size = 420usize;
+    let offset = (index * 3) % pool_size;
+    let mut ids: Vec<String> = Vec::with_capacity(nodes);
+    for j in 0..nodes {
+        let (sid, name) = pool_species((offset + j) % pool_size);
+        let amount = rng.gen_range(0.0..100.0_f64).round();
+        b = match name {
+            Some(display) => b.species_named(&sid, &display, amount),
+            None => b.species(&sid, amount),
+        };
+        ids.push(sid);
+    }
+
+    // A Michaelis–Menten function definition for some models (exercises
+    // function-definition merging; Fig. 12 kinetics).
+    let has_mm_fn = index.is_multiple_of(5);
+    if has_mm_fn {
+        b = b.function("mm", &["S", "Vmax", "Km"], "Vmax*S/(Km+S)");
+    }
+
+    // Reactions until the planned edge budget is consumed.
+    let mut remaining = edges;
+    let mut r_idx = 0usize;
+    while remaining > 0 {
+        let bimolecular = remaining >= 2 && nodes >= 3 && rng.gen_bool(0.2);
+        let kind = rng.gen_range(0..10);
+        let s = |rng: &mut StdRng| ids[rng.gen_range(0..ids.len())].clone();
+        let k_id = format!("k{r_idx}");
+        let k_val = round3(rng.gen_range(0.01..2.0));
+        if bimolecular {
+            // A + B -> C : 2 reactants × 1 product = 2 edges.
+            let (a, bb, c) = (s(rng), s(rng), s(rng));
+            if a == bb {
+                continue; // avoid accidental homodimer complicating counts
+            }
+            b = b.parameter(&k_id, k_val).reaction(
+                &format!("r{r_idx}"),
+                &[a.as_str(), bb.as_str()],
+                &[c.as_str()],
+                &format!("{k_id}*{a}*{bb}"),
+            );
+            remaining -= 2;
+        } else {
+            let (from, to) = (s(rng), s(rng));
+            b = match kind {
+                // reversible mass action (paper Fig. 11)
+                0 => {
+                    let kr_id = format!("kr{r_idx}");
+                    let kr_val = round3(rng.gen_range(0.01..1.0));
+                    b.parameter(&k_id, k_val).parameter(&kr_id, kr_val).reversible_reaction(
+                        &format!("r{r_idx}"),
+                        &[from.as_str()],
+                        &[to.as_str()],
+                        &format!("{k_id}*{from} - {kr_id}*{to}"),
+                    )
+                }
+                // explicit Michaelis–Menten (paper Fig. 12)
+                1 => {
+                    let vmax = format!("Vmax{r_idx}");
+                    let km = format!("Km{r_idx}");
+                    b.parameter(&vmax, round3(rng.gen_range(0.5..10.0)))
+                        .parameter(&km, round3(rng.gen_range(1.0..20.0)))
+                        .reaction(
+                            &format!("r{r_idx}"),
+                            &[from.as_str()],
+                            &[to.as_str()],
+                            &format!("{vmax}*{from}/({km}+{from})"),
+                        )
+                }
+                // MM via the shared function definition
+                2 if has_mm_fn => {
+                    let vmax = format!("Vmax{r_idx}");
+                    let km = format!("Km{r_idx}");
+                    b.parameter(&vmax, round3(rng.gen_range(0.5..10.0)))
+                        .parameter(&km, round3(rng.gen_range(1.0..20.0)))
+                        .reaction(
+                            &format!("r{r_idx}"),
+                            &[from.as_str()],
+                            &[to.as_str()],
+                            &format!("mm({from}, {vmax}, {km})"),
+                        )
+                }
+                // degradation (1 edge by the nodes+edges metric)
+                3 => b.parameter(&k_id, k_val).reaction(
+                    &format!("r{r_idx}"),
+                    &[from.as_str()],
+                    &[],
+                    &format!("{k_id}*{from}"),
+                ),
+                // plain first-order mass action (paper Fig. 10)
+                _ => b.parameter(&k_id, k_val).reaction(
+                    &format!("r{r_idx}"),
+                    &[from.as_str()],
+                    &[to.as_str()],
+                    &format!("{k_id}*{from}"),
+                ),
+            };
+            remaining -= 1;
+        }
+        r_idx += 1;
+    }
+
+    // Occasional extra component kinds so every merge stage is exercised.
+    if index.is_multiple_of(7) && nodes >= 2 {
+        b = b.initial_assignment(&ids[0].clone(), "2 * 5");
+    }
+    if index.is_multiple_of(11) && nodes >= 2 {
+        let first = ids[0].clone();
+        b = b.constraint(&format!("{first} >= 0"), Some("non-negative"));
+    }
+    if index.is_multiple_of(13) && nodes >= 1 {
+        let first = ids[0].clone();
+        b = b.event(
+            &format!("pulse_{index}"),
+            "time >= 50",
+            &[(first.as_str(), &format!("{first} + 10") as &str)],
+        );
+    }
+    if index.is_multiple_of(17) {
+        use sbml_units::{Unit, UnitDefinition, UnitKind};
+        b = b.unit_definition(UnitDefinition::new(
+            "per_second",
+            vec![Unit::of(UnitKind::Second).pow(-1)],
+        ));
+    }
+
+    b.build()
+}
+
+fn build_small_annotated(
+    id: &str,
+    nodes: usize,
+    edges: usize,
+    rng: &mut StdRng,
+    index: usize,
+) -> Model {
+    let mut b = ModelBuilder::new(id)
+        .name(format!("annotated comparison model {index}"))
+        .compartment("cell", 1.0);
+    // All species from the common vocabulary (rotating window) so that the
+    // baseline's database lookups resolve, as the paper's 17 models did.
+    let mut ids = Vec::with_capacity(nodes);
+    for j in 0..nodes {
+        let (sid, name) = pool_species((index + j) % COMMON_SPECIES.len());
+        let display = name.expect("common species have names");
+        let amount = rng.gen_range(1.0..50.0_f64).round();
+        b = b.species_named(&sid, &display, amount);
+        ids.push(sid);
+    }
+    for e in 0..edges {
+        let from = ids[e % ids.len()].clone();
+        let to = ids[(e + 1) % ids.len()].clone();
+        if from == to {
+            continue;
+        }
+        let k = format!("k{e}");
+        b = b.parameter(&k, round3(rng.gen_range(0.05..1.0))).reaction(
+            &format!("r{e}"),
+            &[from.as_str()],
+            &[to.as_str()],
+            &format!("{k}*{from}"),
+        );
+    }
+    b.build()
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Synonym groups used by [`synonym_variant`]: pairs of (canonical, alias)
+/// drawn from the builtin synonym table, so heavy-semantics matching can
+/// unify the variant with the original while id-based matching cannot.
+const SYNONYM_ALIASES: &[(&str, &str)] = &[
+    ("glucose", "dextrose"),
+    ("ATP", "adenosine triphosphate"),
+    ("ADP", "adenosine diphosphate"),
+    ("NAD", "NAD+"),
+    ("pyruvate", "pyruvic acid"),
+    ("lactate", "lactic acid"),
+    ("citrate", "citric acid"),
+    ("oxygen", "O2"),
+    ("water", "H2O"),
+    ("phosphate", "Pi"),
+    ("G6P", "glucose 6-phosphate"),
+    ("F6P", "fructose 6-phosphate"),
+    ("PEP", "phosphoenolpyruvate"),
+    ("G3P", "glyceraldehyde 3-phosphate"),
+];
+
+/// Produce a *synonym-divergent* twin of a model, as if a second group had
+/// curated the same pathway independently:
+///
+/// * every species id gets a `v2_` prefix (no id-level matches possible),
+/// * species named with common vocabulary are renamed to a registered
+///   synonym (`glucose` → `dextrose`, ...), so only synonym-aware matching
+///   recovers the correspondence,
+/// * commutative kinetic-law operands are reversed (`k*A` stays, `k*A*B`
+///   becomes `B*A*k` structurally), exercising the Fig. 7 pattern,
+/// * reaction and parameter ids get a `v2_` prefix too.
+///
+/// Heavy semantics should merge the twin back into the original with full
+/// sharing; no-semantics should share nothing.
+pub fn synonym_variant(model: &Model) -> Model {
+    let mut twin = model.clone();
+    twin.id = format!("{}_v2", model.id);
+
+    // Batch-rename every global id with a v2_ prefix.
+    let mut renames = std::collections::HashMap::new();
+    for id in model.global_ids() {
+        if id == "cell" {
+            continue; // shared compartment keeps its identity
+        }
+        renames.insert(id.clone(), format!("v2_{id}"));
+    }
+    sbml_compose::rename::apply_renames(&mut twin, &renames);
+
+    // Swap display names to synonyms where we have them. Unnamed species
+    // get their original id as a display name — a second curator typically
+    // preserves the biological label even while minting fresh ids, and
+    // name-based matching is exactly what the paper's synonym tables feed.
+    for (s, original) in twin.species.iter_mut().zip(&model.species) {
+        match &s.name {
+            Some(name) => {
+                if let Some((_, alias)) =
+                    SYNONYM_ALIASES.iter().find(|(canon, _)| canon.eq_ignore_ascii_case(name))
+                {
+                    s.name = Some((*alias).to_owned());
+                }
+            }
+            None => s.name = Some(original.id.clone()),
+        }
+    }
+
+    // Reverse commutative operand order in every kinetic law.
+    for r in &mut twin.reactions {
+        if let Some(kl) = &mut r.kinetic_law {
+            kl.math = reverse_commutative(&kl.math);
+        }
+    }
+    twin
+}
+
+/// Recursively reverse the operand order of commutative applications.
+fn reverse_commutative(expr: &sbml_math::MathExpr) -> sbml_math::MathExpr {
+    use sbml_math::MathExpr;
+    match expr {
+        MathExpr::Apply { op, args } => {
+            let mut new_args: Vec<MathExpr> = args.iter().map(reverse_commutative).collect();
+            if op.is_commutative() {
+                new_args.reverse();
+            }
+            MathExpr::Apply { op: *op, args: new_args }
+        }
+        MathExpr::Call { function, args } => MathExpr::Call {
+            function: function.clone(),
+            args: args.iter().map(reverse_commutative).collect(),
+        },
+        MathExpr::Piecewise { pieces, otherwise } => MathExpr::Piecewise {
+            pieces: pieces
+                .iter()
+                .map(|(v, c)| (reverse_commutative(v), reverse_commutative(c)))
+                .collect(),
+            otherwise: otherwise.as_ref().map(|o| Box::new(reverse_commutative(o))),
+        },
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_documented_shape() {
+        let corpus = corpus_187();
+        assert_eq!(corpus.len(), CORPUS_SIZE);
+        let nodes: Vec<usize> = corpus.iter().map(Model::nodes).collect();
+        let edges: Vec<usize> = corpus.iter().map(Model::edges).collect();
+        assert_eq!(*nodes.first().unwrap(), 0, "smallest model has 0 nodes");
+        assert_eq!(*nodes.iter().max().unwrap(), MAX_NODES, "largest hits 194 nodes");
+        assert_eq!(*edges.iter().max().unwrap(), MAX_EDGES, "largest hits 313 edges");
+        // ascending size order (nodes+edges), as the experiment requires
+        let sizes: Vec<usize> = corpus.iter().map(Model::size).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted, "corpus must come out in ascending size order");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_model(42);
+        let b = generate_model(42);
+        assert_eq!(a, b);
+        let c = generate_model(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planned_sizes_are_exact() {
+        for i in [0, 1, 50, 100, 186] {
+            let (n, e) = planned_size(i);
+            let m = generate_model(i);
+            assert_eq!(m.nodes(), n, "model {i} nodes");
+            assert_eq!(m.edges(), e, "model {i} edges");
+        }
+    }
+
+    #[test]
+    fn models_are_valid_sbml() {
+        for i in [0, 1, 13, 35, 70, 119, 186] {
+            let m = generate_model(i);
+            let issues = sbml_model::validate(&m);
+            let errors: Vec<_> = issues
+                .iter()
+                .filter(|x| x.severity == sbml_model::Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "model {i}: {errors:?}");
+            // and they round-trip through SBML text
+            let text = sbml_model::write_sbml(&m);
+            let back = sbml_model::parse_sbml(&text).unwrap();
+            assert_eq!(back, m, "model {i} round trip");
+        }
+    }
+
+    #[test]
+    fn corpus_17_shape() {
+        let models = corpus_17();
+        assert_eq!(models.len(), 17);
+        for m in &models {
+            assert!((4..=7).contains(&m.nodes()), "nodes {} out of 4–7", m.nodes());
+            assert!(m.edges() <= 3, "edges {} out of 0–3", m.edges());
+            // all species annotated (names from the common vocabulary)
+            for s in &m.species {
+                assert!(s.name.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn models_overlap_for_composition() {
+        // Neighbouring corpus models share species (pool overlap), so
+        // composition has real work to do.
+        let a = generate_model(100);
+        let b = generate_model(101);
+        let ids_a: std::collections::BTreeSet<_> =
+            a.species.iter().map(|s| s.id.clone()).collect();
+        let shared = b.species.iter().filter(|s| ids_a.contains(&s.id)).count();
+        assert!(shared > 0, "adjacent models must overlap");
+    }
+
+    #[test]
+    fn corpus_models_compose_cleanly() {
+        let composer = sbml_compose::Composer::default();
+        let a = generate_model(30);
+        let b = generate_model(31);
+        let result = composer.compose(&a, &b);
+        // No validity errors in the composed model.
+        let issues = sbml_model::validate(&result.model);
+        let errors: Vec<_> = issues
+            .iter()
+            .filter(|x| x.severity == sbml_model::Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}\n{}", result.log.to_text());
+    }
+
+    #[test]
+    fn largest_model_simulates() {
+        // The biggest corpus model must at least compile into a system and
+        // take a few ODE steps without error.
+        let m = generate_model(186);
+        let trace = bio_sim::ode::simulate_rk4(&m, 0.1, 0.01).unwrap();
+        assert!(trace.len() > 5);
+    }
+}
+
+#[cfg(test)]
+mod synonym_variant_tests {
+    use super::*;
+
+    #[test]
+    fn variant_shares_nothing_by_id_everything_by_synonym() {
+        let original = corpus_17()[4].clone();
+        let twin = synonym_variant(&original);
+        // No species id survives verbatim.
+        let orig_ids: std::collections::BTreeSet<_> =
+            original.species.iter().map(|s| s.id.clone()).collect();
+        assert!(twin.species.iter().all(|s| !orig_ids.contains(&s.id)));
+
+        // Heavy semantics re-unifies all species; none-semantics cannot.
+        let heavy = sbml_compose::Composer::default().compose(&original, &twin);
+        assert_eq!(
+            heavy.model.species.len(),
+            original.species.len(),
+            "heavy semantics must unify every synonym pair\n{}",
+            heavy.log.to_text()
+        );
+        let none = sbml_compose::Composer::new(sbml_compose::ComposeOptions::none())
+            .compose(&original, &twin);
+        assert_eq!(
+            none.model.species.len(),
+            original.species.len() + twin.species.len(),
+            "no-semantics must share nothing"
+        );
+    }
+
+    #[test]
+    fn variant_is_valid_and_deterministic() {
+        let m = generate_model(50);
+        let t1 = synonym_variant(&m);
+        let t2 = synonym_variant(&m);
+        assert_eq!(t1, t2);
+        let issues = sbml_model::validate(&t1);
+        assert!(
+            issues.iter().all(|i| i.severity != sbml_model::Severity::Error),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn commutative_reversal_preserves_patterns() {
+        use sbml_math::pattern::Pattern;
+        let m = generate_model(60);
+        for r in &m.reactions {
+            if let Some(kl) = &r.kinetic_law {
+                let reversed = reverse_commutative(&kl.math);
+                assert_eq!(Pattern::of(&kl.math), Pattern::of(&reversed), "{}", r.id);
+            }
+        }
+    }
+}

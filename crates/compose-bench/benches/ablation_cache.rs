@@ -1,0 +1,49 @@
+//! Criterion bench for the math-pattern cache ablation: the paper stores
+//! mappings/patterns "to reduce comparison time" — this measures what that
+//! buys on reaction-heavy merges where every lookup needs a pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbml_compose::{ComposeOptions, Composer};
+
+fn bench_pattern_cache(c: &mut Criterion) {
+    let corpus = biomodels_corpus::corpus_187();
+    // Rename the second model's reaction ids so every reaction must be
+    // matched by *content* (pattern), the cache-sensitive path.
+    let a = corpus[150].clone();
+    let mut b = corpus[150].clone();
+    for (k, r) in b.reactions.iter_mut().enumerate() {
+        r.id = format!("other_{k}");
+    }
+
+    let mut group = c.benchmark_group("ablation/pattern_cache");
+    for (name, cached) in [("cached", true), ("uncached", false)] {
+        let composer = Composer::new(ComposeOptions::default().with_pattern_cache(cached));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| std::hint::black_box(composer.compose(a, b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_computation(c: &mut Criterion) {
+    use sbml_math::{infix, pattern::Pattern};
+    let exprs: Vec<_> = [
+        "k1*A",
+        "k1*A*B - k2*C",
+        "Vmax*S/(Km+S)",
+        "(a+b+c+d)*(e+f+g+h)/(i+j+k)",
+    ]
+    .iter()
+    .map(|s| infix::parse(s).unwrap())
+    .collect();
+    c.bench_function("ablation/pattern_of_4_laws", |b| {
+        b.iter(|| {
+            for e in &exprs {
+                std::hint::black_box(Pattern::of(e));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_pattern_cache, bench_pattern_computation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the index-structure ablation (future-work §5.7):
+//! hash map vs B-tree vs linear scan on a large corpus pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbml_compose::{ComposeOptions, Composer, IndexKind};
+
+fn bench_index_kinds(c: &mut Criterion) {
+    let corpus = biomodels_corpus::corpus_187();
+    let a = &corpus[170];
+    let b = &corpus[169];
+    let mut group = c.benchmark_group("ablation/index");
+    for (name, kind) in [
+        ("hashmap", IndexKind::HashMap),
+        ("btree", IndexKind::BTree),
+        ("linear_scan", IndexKind::LinearScan),
+    ] {
+        let composer = Composer::new(ComposeOptions::default().with_index(kind));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(a, b), |bench, (a, b)| {
+            bench.iter(|| std::hint::black_box(composer.compose(a, b)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_kinds);
+criterion_main!(benches);

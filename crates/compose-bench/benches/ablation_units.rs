@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 6 unit machinery: signature computation,
+//! conversion factors and the deterministic↔stochastic rate bridge used
+//! during conflict checking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbml_units::convert::{conversion_factor, deterministic_to_stochastic, ReactionOrder};
+use sbml_units::{Unit, UnitDefinition, UnitKind};
+
+fn bench_unit_machinery(c: &mut Criterion) {
+    let per_mm_per_s = UnitDefinition::new(
+        "per_mM_per_s",
+        vec![
+            Unit::of(UnitKind::Mole).pow(-1).scaled(-3),
+            Unit::of(UnitKind::Litre),
+            Unit::of(UnitKind::Second).pow(-1),
+        ],
+    );
+    let per_m_per_s = UnitDefinition::new(
+        "per_M_per_s",
+        vec![
+            Unit::of(UnitKind::Mole).pow(-1),
+            Unit::of(UnitKind::Litre),
+            Unit::of(UnitKind::Second).pow(-1),
+        ],
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.bench_function("signature", |b| {
+        b.iter(|| std::hint::black_box(per_mm_per_s.signature()));
+    });
+    group.bench_function("conversion_factor", |b| {
+        b.iter(|| std::hint::black_box(conversion_factor(&per_mm_per_s, &per_m_per_s)));
+    });
+    group.bench_function("det_to_stoch_all_orders", |b| {
+        b.iter(|| {
+            for order in [ReactionOrder::Zeroth, ReactionOrder::First, ReactionOrder::Second] {
+                std::hint::black_box(deterministic_to_stochastic(1e-3, order, 1e-15));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_machinery);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks behind **Figure 8**: composition time for
+//! representative pairs across the corpus size range, plus the XML
+//! pipeline components (parse + serialize) around the merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbml_compose::Composer;
+
+fn bench_pairs(c: &mut Criterion) {
+    let corpus = biomodels_corpus::corpus_187();
+    let composer = Composer::default();
+    let mut group = c.benchmark_group("fig8/compose_pair");
+    for &i in &[10usize, 60, 120, 186] {
+        let a = &corpus[i];
+        let b = &corpus[i.saturating_sub(1)];
+        let label = format!("size_{}x{}", a.size(), b.size());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(a, b), |bench, (a, b)| {
+            bench.iter(|| std::hint::black_box(composer.compose(a, b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_self_merge_scaling(c: &mut Criterion) {
+    // Self-merge isolates duplicate-detection cost (all components match).
+    let corpus = biomodels_corpus::corpus_187();
+    let composer = Composer::default();
+    let mut group = c.benchmark_group("fig8/self_merge");
+    for &i in &[30usize, 90, 150, 186] {
+        let m = &corpus[i];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("size_{}", m.size())),
+            m,
+            |bench, m| {
+                bench.iter(|| std::hint::black_box(composer.compose(m, m)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_xml_round_trip(c: &mut Criterion) {
+    // The paper's pipeline includes reading/writing SBML text.
+    let corpus = biomodels_corpus::corpus_187();
+    let m = &corpus[150];
+    let text = sbml_model::write_sbml(m);
+    let mut group = c.benchmark_group("fig8/xml");
+    group.bench_function("write_sbml_large_model", |b| {
+        b.iter(|| std::hint::black_box(sbml_model::write_sbml(m)));
+    });
+    group.bench_function("parse_sbml_large_model", |b| {
+        b.iter(|| std::hint::black_box(sbml_model::parse_sbml(&text).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairs, bench_self_merge_scaling, bench_xml_round_trip);
+criterion_main!(benches);

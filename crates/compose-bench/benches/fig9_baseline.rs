@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks behind **Figure 9**: SBMLCompose vs the
+//! simulated semanticSBML on pairs from the 17-model corpus, and a
+//! decomposition of the baseline's cost (database load vs merge proper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbml_compose::Composer;
+use semantic_baseline::{AnnotationDb, SemanticBaseline};
+
+fn bench_engines(c: &mut Criterion) {
+    let models = biomodels_corpus::corpus_17();
+    let (a, b) = (&models[3], &models[11]);
+    let composer = Composer::default();
+    let baseline = SemanticBaseline::default();
+
+    let mut group = c.benchmark_group("fig9/engines");
+    group.sample_size(20); // the baseline is slow by design
+    group.bench_function("sbmlcompose", |bench| {
+        bench.iter(|| std::hint::black_box(composer.compose(a, b)));
+    });
+    group.bench_function("semanticsbml_sim", |bench| {
+        bench.iter(|| std::hint::black_box(baseline.merge(a, b)));
+    });
+    group.finish();
+}
+
+fn bench_baseline_cost_breakdown(c: &mut Criterion) {
+    // Where does the baseline's time go? Mostly the per-run DB load.
+    let mut group = c.benchmark_group("fig9/baseline_breakdown");
+    group.sample_size(20);
+    group.bench_function("annotation_db_load", |bench| {
+        bench.iter(|| std::hint::black_box(AnnotationDb::load()));
+    });
+    let db = AnnotationDb::load();
+    let models = biomodels_corpus::corpus_17();
+    group.bench_function("annotate_one_model", |bench| {
+        bench.iter(|| std::hint::black_box(semantic_baseline::annotate::annotate(&models[7], &db)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_baseline_cost_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! **Index-structure ablation** (the paper's future-work item 7): does the
+//! lookup index take composition from O(nm) to O(n+m)?
+//!
+//! Composes same-size model pairs of growing size under three index
+//! structures: hash map (the paper's implementation), B-tree, and a
+//! deliberate linear scan (no index). The linear scan exhibits the O(nm)
+//! growth the paper measured; the hash map grows ~linearly in n+m.
+//!
+//! Usage: `cargo run --release -p compose-bench --bin ablation_index`
+//! Output: `results/ablation_index.csv`.
+
+use compose_bench::{time_median, write_csv};
+use sbml_compose::{ComposeOptions, Composer, IndexKind};
+
+fn main() {
+    let corpus = biomodels_corpus::corpus_187();
+    // Pick models spanning the size range; pair each with its neighbour.
+    let picks = [20usize, 60, 100, 130, 155, 170, 180, 186];
+    let kinds =
+        [("hashmap", IndexKind::HashMap), ("btree", IndexKind::BTree), ("linear", IndexKind::LinearScan)];
+
+    let mut rows = Vec::new();
+    println!("index ablation over {} size points", picks.len());
+    println!("{:>6} {:>6} {:>12} {:>12} {:>12}", "size_a", "size_b", "hashmap_ms", "btree_ms", "linear_ms");
+    for &i in &picks {
+        let a = &corpus[i];
+        let b = &corpus[i - 1];
+        let mut cells = Vec::new();
+        for (_, kind) in kinds {
+            let composer = Composer::new(ComposeOptions::default().with_index(kind));
+            let secs = time_median(5, || {
+                std::hint::black_box(composer.compose(a, b));
+            });
+            cells.push(secs * 1e3);
+        }
+        println!(
+            "{:>6} {:>6} {:>12.4} {:>12.4} {:>12.4}",
+            a.size(),
+            b.size(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+        rows.push(format!(
+            "{},{},{:.6},{:.6},{:.6}",
+            a.size(),
+            b.size(),
+            cells[0],
+            cells[1],
+            cells[2]
+        ));
+    }
+    let path = write_csv("ablation_index.csv", "size_a,size_b,hashmap_ms,btree_ms,linear_ms", &rows);
+    println!("series written to {}", path.display());
+}

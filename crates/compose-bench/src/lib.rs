@@ -1,0 +1,152 @@
+//! Shared harness utilities for regenerating the paper's figures.
+//!
+//! The binaries in `src/bin/` each regenerate one experimental artefact
+//! (CSV series + console summary); the Criterion benches in `benches/`
+//! give statistically robust micro-measurements of the same code paths.
+//!
+//! | artefact | binary | bench |
+//! |---|---|---|
+//! | Figure 8 (all-pairs scaling, 187 models) | `fig8` | `fig8_pairs` |
+//! | Figure 9 (vs semanticSBML, 17 models) | `fig9` | `fig9_baseline` |
+//! | future-work §5.7 index ablation | `ablation_index` | `ablation_index` |
+//! | §5 heavy/light/no semantics ablation | `ablation_semantics` | — |
+//! | pattern-cache ablation | — | `ablation_cache` |
+//! | Fig. 6 unit conversions | — | `ablation_units` |
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `runs` executions of `f` (min 1).
+pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let runs = runs.max(1);
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+/// `log10` of a time in milliseconds, the paper's Figure 8/9 y-axis.
+/// Times are clamped below at 1 µs to keep the log finite.
+pub fn log10_ms(seconds: f64) -> f64 {
+    (seconds * 1e3).max(1e-3).log10()
+}
+
+/// The workspace `results/` directory (created on demand). Harness
+/// binaries run from the workspace root (`cargo run -p compose-bench`), so
+/// a relative `results/` lands next to `Cargo.toml`; if the workspace root
+/// is identifiable via `CARGO_MANIFEST_DIR`'s grandparent, prefer that.
+pub fn results_dir() -> PathBuf {
+    let dir = option_env!("CARGO_MANIFEST_DIR")
+        .map(Path::new)
+        .and_then(|p| p.parent()) // crates/
+        .and_then(|p| p.parent()) // workspace root
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Write a CSV file into `results/`, returning its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = fs::File::create(&path).expect("create results CSV");
+    writeln!(out, "{header}").expect("write header");
+    for row in rows {
+        writeln!(out, "{row}").expect("write row");
+    }
+    path
+}
+
+/// Pearson correlation between two equal-length series.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Simple descriptive statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Compute [`Stats`] of a series (NaN-free input expected).
+pub fn stats(series: &[f64]) -> Stats {
+    assert!(!series.is_empty());
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Stats {
+        min: sorted[0],
+        median: sorted[sorted.len() / 2],
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_positive() {
+        let t = time_median(3, || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        assert!((0.0..1.0).contains(&t));
+    }
+
+    #[test]
+    fn log10_clamps() {
+        assert_eq!(log10_ms(0.0), -3.0);
+        assert!((log10_ms(1.0) - 3.0).abs() < 1e-12); // 1 s = 1000 ms
+        assert!((log10_ms(0.001) - 0.0).abs() < 1e-12); // 1 ms
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let anti: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((correlation(&xs, &anti) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+}

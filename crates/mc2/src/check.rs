@@ -1,0 +1,261 @@
+//! Finite-trace LTL semantics.
+//!
+//! A trace is a finite sequence of sampled states. Semantics follow MC2:
+//! `G φ` = φ at every remaining sample; `F φ` = φ at some remaining sample;
+//! `X φ` = φ at the next sample (false at the last); `φ U ψ` = ψ at some
+//! remaining sample with φ at every sample before it. Time-bounded variants
+//! restrict to samples whose time lies in `[lo, hi]` (absolute trace time).
+
+use bio_sim::Trace;
+use sbml_math::{evaluate, Env};
+
+use crate::formula::Formula;
+
+/// Evaluate a formula on a trace (at the first sample). Returns an error
+/// string when an atom references an unknown identifier.
+pub fn check_trace(trace: &Trace, formula: &Formula) -> Result<bool, String> {
+    if trace.is_empty() {
+        return Err("empty trace".to_owned());
+    }
+    holds_at(trace, formula, 0)
+}
+
+fn env_at(trace: &Trace, idx: usize) -> Env {
+    let mut env = Env::new();
+    env.time = trace.times[idx];
+    for (col, id) in trace.species.iter().enumerate() {
+        env.set_var(id.clone(), trace.data[idx][col]);
+    }
+    env
+}
+
+fn holds_at(trace: &Trace, formula: &Formula, idx: usize) -> Result<bool, String> {
+    match formula {
+        Formula::Atom(expr) => {
+            let env = env_at(trace, idx);
+            let v = evaluate(expr, &env).map_err(|e| format!("atom evaluation failed: {e}"))?;
+            Ok(v != 0.0)
+        }
+        Formula::Not(inner) => Ok(!holds_at(trace, inner, idx)?),
+        Formula::And(l, r) => Ok(holds_at(trace, l, idx)? && holds_at(trace, r, idx)?),
+        Formula::Or(l, r) => Ok(holds_at(trace, l, idx)? || holds_at(trace, r, idx)?),
+        Formula::Implies(l, r) => Ok(!holds_at(trace, l, idx)? || holds_at(trace, r, idx)?),
+        Formula::Next(inner) => {
+            if idx + 1 < trace.len() {
+                holds_at(trace, inner, idx + 1)
+            } else {
+                Ok(false)
+            }
+        }
+        Formula::Eventually { inner, bound } => {
+            for j in idx..trace.len() {
+                if in_bound(trace.times[j], bound) && holds_at(trace, inner, j)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Globally { inner, bound } => {
+            for j in idx..trace.len() {
+                if in_bound(trace.times[j], bound) && !holds_at(trace, inner, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Until { left, right, bound } => {
+            for j in idx..trace.len() {
+                if in_bound(trace.times[j], bound) && holds_at(trace, right, j)? {
+                    return Ok(true);
+                }
+                if !holds_at(trace, left, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(false)
+        }
+        Formula::WeakUntil { left, right } => {
+            // φ W ψ = (φ U ψ) ∨ G φ
+            for j in idx..trace.len() {
+                if holds_at(trace, right, j)? {
+                    return Ok(true);
+                }
+                if !holds_at(trace, left, j)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true) // φ held to the end of the trace
+        }
+        Formula::Release { left, right } => {
+            // φ R ψ: ψ must hold up to and including the first φ-sample.
+            for j in idx..trace.len() {
+                if !holds_at(trace, right, j)? {
+                    return Ok(false);
+                }
+                if holds_at(trace, left, j)? {
+                    return Ok(true);
+                }
+            }
+            Ok(true) // ψ held to the end: released by trace end
+        }
+    }
+}
+
+fn in_bound(t: f64, bound: &Option<(f64, f64)>) -> bool {
+    match bound {
+        None => true,
+        Some((lo, hi)) => t >= *lo && t <= *hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trace where A ramps 0→5 and B ramps 10→5 over t = 0..5.
+    fn ramp() -> Trace {
+        let mut t = Trace::new(vec!["A".into(), "B".into()]);
+        for i in 0..=5 {
+            t.push(i as f64, vec![i as f64, 10.0 - i as f64]);
+        }
+        t
+    }
+
+    fn check(src: &str) -> bool {
+        check_trace(&ramp(), &Formula::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn atoms_at_first_sample() {
+        assert!(check("A == 0"));
+        assert!(check("B == 10"));
+        assert!(!check("A > 0"));
+    }
+
+    #[test]
+    fn eventually_and_globally() {
+        assert!(check("F(A >= 5)"));
+        assert!(!check("F(A > 5)"));
+        assert!(check("G(A >= 0)"));
+        assert!(check("G(A + B == 10)"), "invariant holds along the ramp");
+        assert!(!check("G(A < 3)"));
+    }
+
+    #[test]
+    fn bounded_operators() {
+        assert!(check("F[0,2](A == 2)"));
+        assert!(!check("F[0,1](A == 2)"), "A hits 2 only at t=2");
+        assert!(check("G[3,5](A >= 3)"));
+        assert!(!check("G[0,5](A >= 3)"));
+    }
+
+    #[test]
+    fn next() {
+        assert!(check("X(A == 1)"));
+        assert!(!check("X(A == 2)"));
+        // X at the end of the trace is false
+        let mut single = Trace::new(vec!["A".into()]);
+        single.push(0.0, vec![1.0]);
+        assert!(!check_trace(&single, &Formula::parse("X(A == 1)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn until() {
+        // B stays above 5 until A reaches 5 (simultaneously at t=5).
+        assert!(check("(B >= 5) U (A == 5)"));
+        // B > 7 fails before A reaches 5:
+        assert!(!check("(B > 7) U (A == 5)"));
+        // Right side never true:
+        assert!(!check("(B >= 0) U (A > 99)"));
+    }
+
+    #[test]
+    fn connectives() {
+        assert!(check("(G(A >= 0) && F(B == 5))"));
+        assert!(!check("(G(A >= 0) && F(B == -1))"));
+        assert!(check("(F(A > 99) -> F(B > 99))"), "vacuous implication");
+        assert!(check("!F(A > 99)"));
+    }
+
+    #[test]
+    fn unknown_identifier_is_error() {
+        assert!(check_trace(&ramp(), &Formula::parse("Zed > 0").unwrap()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_error() {
+        let t = Trace::new(vec!["A".into()]);
+        assert!(check_trace(&t, &Formula::parse("A > 0").unwrap()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod weak_until_release_tests {
+    use super::*;
+    use crate::formula::Formula;
+
+    fn ramp() -> Trace {
+        // A: 0..5 rising; B: 10..5 falling over t=0..5
+        let mut t = Trace::new(vec!["A".into(), "B".into()]);
+        for i in 0..=5 {
+            t.push(i as f64, vec![i as f64, 10.0 - i as f64]);
+        }
+        t
+    }
+
+    fn check(src: &str) -> bool {
+        check_trace(&ramp(), &Formula::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn weak_until_with_trigger() {
+        // Same as strong until when the right side eventually holds.
+        assert!(check("(B >= 5) W (A == 5)"));
+        assert!(!check("(B > 7) W (A == 5)"));
+    }
+
+    #[test]
+    fn weak_until_without_trigger_holds_if_left_global() {
+        // Right side never true, but left holds throughout: W succeeds
+        // where U fails.
+        assert!(check("(B >= 5) W (A > 99)"));
+        assert!(!check("(B >= 5) U (A > 99)"));
+    }
+
+    #[test]
+    fn release_requires_right_until_release_point() {
+        // B >= 5 holds throughout; A==3 releases at t=3.
+        assert!(check("(A == 3) R (B >= 5)"));
+        // Right fails at t=0 (B == 10, so B < 8 false)... construct a case
+        // where the obligation fails before release:
+        assert!(!check("(A == 5) R (B > 6)"), "B drops to 6 before A reaches 5");
+    }
+
+    #[test]
+    fn release_without_release_point_needs_global_right() {
+        assert!(check("(A > 99) R (B >= 5)"), "never released: G(B >= 5) holds");
+        assert!(!check("(A > 99) R (B > 5)"), "B == 5 at the end violates");
+    }
+
+    #[test]
+    fn parser_recognises_w_and_r() {
+        assert!(matches!(
+            Formula::parse("(A > 1) W (B > 1)").unwrap(),
+            Formula::WeakUntil { .. }
+        ));
+        assert!(matches!(
+            Formula::parse("(A > 1) R (B > 1)").unwrap(),
+            Formula::Release { .. }
+        ));
+    }
+
+    #[test]
+    fn release_duality_with_until() {
+        // φ R ψ == !(!φ U !ψ) on every sampled trace here.
+        for (phi, psi) in [("A == 3", "B >= 5"), ("A == 5", "B > 6"), ("A > 99", "B >= 5")] {
+            let direct = check(&format!("({phi}) R ({psi})"));
+            let dual = check(&format!("!((!({phi})) U (!({psi})))"));
+            assert_eq!(direct, dual, "{phi} R {psi}");
+        }
+    }
+}

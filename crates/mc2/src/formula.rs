@@ -1,0 +1,400 @@
+//! PLTL formulas and their text syntax.
+//!
+//! Grammar (loosest to tightest):
+//!
+//! ```text
+//! formula  := until
+//! until    := unary ( 'U' ['[' lo ',' hi ']'] unary )?
+//! unary    := '!' unary
+//!           | ('G' | 'F' | 'X') ['[' lo ',' hi ']'] unary
+//!           | '(' formula ( ('&&' | '||' | '->') formula )* ')'
+//!           | atom
+//! atom     := arithmetic comparison (parsed by sbml-math), e.g. `A >= 2*k`
+//! ```
+//!
+//! Atoms are arbitrary boolean-valued [`sbml_math::MathExpr`]s over species
+//! ids, parameters and `time`.
+
+use sbml_math::{infix, MathExpr};
+
+/// A PLTL formula over simulation traces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Boolean-valued state expression.
+    Atom(MathExpr),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Next sample.
+    Next(Box<Formula>),
+    /// Eventually, optionally time-bounded `[lo, hi]`.
+    Eventually {
+        /// Inner formula.
+        inner: Box<Formula>,
+        /// Optional time bound (absolute trace time).
+        bound: Option<(f64, f64)>,
+    },
+    /// Globally, optionally time-bounded.
+    Globally {
+        /// Inner formula.
+        inner: Box<Formula>,
+        /// Optional time bound.
+        bound: Option<(f64, f64)>,
+    },
+    /// Until, optionally time-bounded on the right obligation.
+    Until {
+        /// Left formula (must hold until...).
+        left: Box<Formula>,
+        /// Right formula (...this holds).
+        right: Box<Formula>,
+        /// Optional time bound.
+        bound: Option<(f64, f64)>,
+    },
+    /// Weak until `φ W ψ`: like until, but satisfied when φ holds to the
+    /// end of the trace without ψ ever becoming true.
+    WeakUntil {
+        /// Left formula.
+        left: Box<Formula>,
+        /// Right formula.
+        right: Box<Formula>,
+    },
+    /// Release `φ R ψ`: ψ holds up to and including the sample where φ
+    /// first holds (or to the end of the trace if φ never does) —
+    /// the dual of until.
+    Release {
+        /// Left (releasing) formula.
+        left: Box<Formula>,
+        /// Right (obliged) formula.
+        right: Box<Formula>,
+    },
+}
+
+impl Formula {
+    /// Parse a formula from text.
+    pub fn parse(src: &str) -> Result<Formula, String> {
+        let mut p = Parser { src, pos: 0 };
+        let f = p.parse_until()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!("trailing input at byte {}: {:?}", p.pos, &p.src[p.pos..]));
+        }
+        Ok(f)
+    }
+
+    /// Convenience constructors used by tests and examples.
+    pub fn atom(expr: MathExpr) -> Formula {
+        Formula::Atom(expr)
+    }
+
+    /// `F φ`.
+    pub fn eventually(inner: Formula) -> Formula {
+        Formula::Eventually { inner: Box::new(inner), bound: None }
+    }
+
+    /// `G φ`.
+    pub fn globally(inner: Formula) -> Formula {
+        Formula::Globally { inner: Box::new(inner), bound: None }
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is an operator keyword (G/F/X/U) at the cursor, as a standalone
+    /// token (not a prefix of an identifier like `Glucose`)?
+    fn at_keyword(&mut self, kw: char) -> bool {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        if !rest.starts_with(kw) {
+            return false;
+        }
+        !matches!(rest[kw.len_utf8()..].chars().next(),
+            Some(c) if c.is_alphanumeric() || c == '_')
+    }
+
+    fn parse_bound(&mut self) -> Result<Option<(f64, f64)>, String> {
+        self.skip_ws();
+        if !self.eat("[") {
+            return Ok(None);
+        }
+        let lo = self.parse_number()?;
+        if !self.eat(",") {
+            return Err(format!("expected ',' in time bound at byte {}", self.pos));
+        }
+        let hi = self.parse_number()?;
+        if !self.eat("]") {
+            return Err(format!("expected ']' in time bound at byte {}", self.pos));
+        }
+        if lo > hi {
+            return Err(format!("empty time bound [{lo},{hi}]"));
+        }
+        Ok(Some((lo, hi)))
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_digit() || bytes[end] == b'.' || bytes[end] == b'-'
+                || bytes[end] == b'e' || bytes[end] == b'E' || bytes[end] == b'+')
+        {
+            end += 1;
+        }
+        let text = &self.src[start..end];
+        let v: f64 = text.parse().map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_until(&mut self) -> Result<Formula, String> {
+        let left = self.parse_unary()?;
+        if self.at_keyword('U') {
+            self.pos += 1;
+            let bound = self.parse_bound()?;
+            let right = self.parse_unary()?;
+            return Ok(Formula::Until { left: Box::new(left), right: Box::new(right), bound });
+        }
+        if self.at_keyword('W') {
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            return Ok(Formula::WeakUntil { left: Box::new(left), right: Box::new(right) });
+        }
+        if self.at_keyword('R') {
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            return Ok(Formula::Release { left: Box::new(left), right: Box::new(right) });
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, String> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(Formula::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.at_keyword('G') {
+            self.pos += 1;
+            let bound = self.parse_bound()?;
+            return Ok(Formula::Globally { inner: Box::new(self.parse_unary()?), bound });
+        }
+        if self.at_keyword('F') {
+            self.pos += 1;
+            let bound = self.parse_bound()?;
+            return Ok(Formula::Eventually { inner: Box::new(self.parse_unary()?), bound });
+        }
+        if self.at_keyword('X') {
+            self.pos += 1;
+            return Ok(Formula::Next(Box::new(self.parse_unary()?)));
+        }
+        if self.peek_char() == Some('(') {
+            // Could be a parenthesised formula with connectives, or an atom
+            // beginning with '(' — try formula first.
+            let saved = self.pos;
+            self.pos += 1;
+            match self.parse_until() {
+                Ok(mut acc) => {
+                    loop {
+                        self.skip_ws();
+                        if self.eat("&&") {
+                            let rhs = self.parse_until()?;
+                            acc = Formula::And(Box::new(acc), Box::new(rhs));
+                        } else if self.eat("||") {
+                            let rhs = self.parse_until()?;
+                            acc = Formula::Or(Box::new(acc), Box::new(rhs));
+                        } else if self.eat("->") {
+                            let rhs = self.parse_until()?;
+                            acc = Formula::Implies(Box::new(acc), Box::new(rhs));
+                        } else {
+                            break;
+                        }
+                    }
+                    if self.eat(")") {
+                        return Ok(acc);
+                    }
+                    // fall through to atom parse
+                    self.pos = saved;
+                }
+                Err(_) => {
+                    self.pos = saved;
+                }
+            }
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, String> {
+        self.skip_ws();
+        // An atom runs to the first top-level temporal keyword or closing
+        // paren at depth 0.
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        let mut depth = 0usize;
+        let mut end = start;
+        while end < bytes.len() {
+            let c = bytes[end] as char;
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                }
+                'U' | 'G' | 'F' | 'X' | 'W' | 'R' if depth == 0 => {
+                    // keyword only if standalone
+                    let prev_ok = end == start
+                        || !(bytes[end - 1] as char).is_alphanumeric()
+                            && bytes[end - 1] != b'_';
+                    let next = bytes.get(end + 1).map(|&b| b as char);
+                    let next_ok =
+                        !matches!(next, Some(c) if c.is_alphanumeric() || c == '_');
+                    if prev_ok && next_ok {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let text = self.src[start..end].trim();
+        if text.is_empty() {
+            return Err(format!("expected an atomic proposition at byte {start}"));
+        }
+        let expr = infix::parse(text).map_err(|e| format!("bad atom {text:?}: {e}"))?;
+        self.pos = end;
+        Ok(Formula::Atom(expr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms() {
+        let f = Formula::parse("A >= 2").unwrap();
+        assert!(matches!(f, Formula::Atom(_)));
+        let f = Formula::parse("A + B < 2*k").unwrap();
+        assert!(matches!(f, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn temporal_operators() {
+        assert!(matches!(
+            Formula::parse("G(A >= 0)").unwrap(),
+            Formula::Globally { bound: None, .. }
+        ));
+        assert!(matches!(
+            Formula::parse("F(B > 5)").unwrap(),
+            Formula::Eventually { bound: None, .. }
+        ));
+        assert!(matches!(Formula::parse("X(A > 0)").unwrap(), Formula::Next(_)));
+    }
+
+    #[test]
+    fn bounded_operators() {
+        match Formula::parse("F[0,10](B > 5)").unwrap() {
+            Formula::Eventually { bound: Some((lo, hi)), .. } => {
+                assert_eq!((lo, hi), (0.0, 10.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        match Formula::parse("G[2.5,7.5](A < 100)").unwrap() {
+            Formula::Globally { bound: Some((lo, hi)), .. } => {
+                assert_eq!((lo, hi), (2.5, 7.5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn until() {
+        match Formula::parse("(A > 1) U (B > 2)").unwrap() {
+            Formula::Until { bound: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        match Formula::parse("(A > 1) U[0,5] (B > 2)").unwrap() {
+            Formula::Until { bound: Some((0.0, 5.0)), .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connectives() {
+        match Formula::parse("(A > 1 && B > 2)").unwrap() {
+            // && inside parens parses as one atomic expression via sbml-math
+            Formula::Atom(_) => {}
+            other => panic!("{other:?}"),
+        }
+        // Formula-level connectives combine temporal subformulas.
+        match Formula::parse("(G(A >= 0) && F(B > 5))").unwrap() {
+            Formula::And(l, r) => {
+                assert!(matches!(*l, Formula::Globally { .. }));
+                assert!(matches!(*r, Formula::Eventually { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match Formula::parse("(F(A > 1) -> F(B > 1))").unwrap() {
+            Formula::Implies(..) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_nesting() {
+        assert!(matches!(Formula::parse("!F(A > 5)").unwrap(), Formula::Not(_)));
+        assert!(matches!(
+            Formula::parse("G(F(A > 5))").unwrap(),
+            Formula::Globally { .. }
+        ));
+    }
+
+    #[test]
+    fn identifiers_starting_with_keyword_letters() {
+        // `Glucose` starts with G but is an identifier, not an operator.
+        let f = Formula::parse("Glucose > 5").unwrap();
+        assert!(matches!(f, Formula::Atom(_)));
+        let f = Formula::parse("F(Glucose > 5)").unwrap();
+        assert!(matches!(f, Formula::Eventually { .. }));
+        let f = Formula::parse("Final_product >= X_factor").unwrap();
+        assert!(matches!(f, Formula::Atom(_)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Formula::parse("").is_err());
+        assert!(Formula::parse("F[5,2](A > 1)").is_err(), "empty bound");
+        assert!(Formula::parse("G(A >").is_err());
+        assert!(Formula::parse("(A > 1) U").is_err());
+    }
+}

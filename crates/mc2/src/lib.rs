@@ -1,0 +1,38 @@
+//! MC2 — a Monte-Carlo model checker over simulation traces.
+//!
+//! The paper evaluates composed models by "model checking of properties ...
+//! expressed using temporal logic. We then used the Monte Carlo Model
+//! Checker (MC2)" (Donaldson & Gilbert, CMSB 2008). MC2's approach:
+//! express a property in probabilistic LTL, run `N` independent stochastic
+//! simulations, evaluate the LTL formula on each finite trace, and estimate
+//! `P(φ)` as the satisfaction fraction.
+//!
+//! * [`formula`] — the PLTL syntax tree and a text parser
+//!   (`"G(A >= 0)"`, `"F[0,10](B > 5)"`, `"(A > 1) U (B > 2)"`),
+//! * [`check`] — finite-trace LTL semantics over [`bio_sim::Trace`],
+//! * [`monte_carlo`] — the probability estimator with confidence interval.
+//!
+//! # Example
+//!
+//! ```
+//! use mc2::{check_probability, formula::Formula};
+//! use sbml_model::builder::ModelBuilder;
+//!
+//! let model = ModelBuilder::new("decay")
+//!     .compartment("cell", 1.0)
+//!     .species("A", 50.0)
+//!     .parameter("k", 1.0)
+//!     .reaction("deg", &["A"], &[], "k*A")
+//!     .build();
+//! let phi = Formula::parse("F(A < 5)").unwrap(); // decay eventually empties A
+//! let result = check_probability(&model, &phi, 40, 20.0, 0.5).unwrap();
+//! assert!(result.estimate > 0.95);
+//! ```
+
+pub mod check;
+pub mod formula;
+pub mod monte_carlo;
+
+pub use check::check_trace;
+pub use formula::Formula;
+pub use monte_carlo::{check_probability, Mc2Result};

@@ -1,0 +1,143 @@
+//! Probability estimation over repeated stochastic runs.
+//!
+//! `P(φ)` is estimated as the fraction of `N` independent Gillespie
+//! trajectories satisfying φ, with a Wilson score interval so callers can
+//! reason about estimator confidence (MC2 reports sample estimates the
+//! same way).
+
+use bio_sim::ssa::simulate_ssa_system;
+use bio_sim::system::ReactionSystem;
+use sbml_model::Model;
+
+use crate::check::check_trace;
+use crate::formula::Formula;
+
+/// Result of a Monte-Carlo probability check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mc2Result {
+    /// Number of runs.
+    pub runs: usize,
+    /// Runs satisfying the formula.
+    pub satisfying: usize,
+    /// Point estimate `satisfying / runs`.
+    pub estimate: f64,
+    /// 95% Wilson score interval.
+    pub interval: (f64, f64),
+    /// Whether `estimate >= threshold` for the queried threshold.
+    pub satisfied: bool,
+}
+
+/// Estimate `P(φ)` over `runs` SSA trajectories of length `t_end`
+/// (sampled at `t_end / 200`), and compare against `threshold`
+/// (the `P ≥ θ [φ]` query form).
+pub fn check_probability(
+    model: &Model,
+    formula: &Formula,
+    runs: usize,
+    t_end: f64,
+    threshold: f64,
+) -> Result<Mc2Result, String> {
+    if runs == 0 {
+        return Err("need at least one run".to_owned());
+    }
+    let sys = ReactionSystem::compile(model).map_err(|e| e.to_string())?;
+    let sample_dt = (t_end / 200.0).max(1e-6);
+    let mut satisfying = 0usize;
+    for seed in 0..runs as u64 {
+        let trace =
+            simulate_ssa_system(&sys, t_end, sample_dt, seed).map_err(|e| e.to_string())?;
+        if check_trace(&trace, formula)? {
+            satisfying += 1;
+        }
+    }
+    let estimate = satisfying as f64 / runs as f64;
+    let interval = wilson_interval(satisfying, runs, 1.959_963_984_540_054);
+    Ok(Mc2Result { runs, satisfying, estimate, interval, satisfied: estimate >= threshold })
+}
+
+/// Wilson score interval for a binomial proportion.
+fn wilson_interval(successes: usize, n: usize, z: f64) -> (f64, f64) {
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let margin = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (((centre - margin) / denom).max(0.0), ((centre + margin) / denom).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn decay() -> Model {
+        ModelBuilder::new("decay")
+            .compartment("cell", 1.0)
+            .species("A", 50.0)
+            .parameter("k", 1.0)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build()
+    }
+
+    #[test]
+    fn certain_property_estimates_one() {
+        let phi = Formula::parse("G(A >= 0)").unwrap();
+        let r = check_probability(&decay(), &phi, 20, 5.0, 0.9).unwrap();
+        assert_eq!(r.estimate, 1.0);
+        assert!(r.satisfied);
+        assert_eq!(r.satisfying, 20);
+        assert!(r.interval.0 > 0.8);
+    }
+
+    #[test]
+    fn impossible_property_estimates_zero() {
+        let phi = Formula::parse("F(A > 1000)").unwrap();
+        let r = check_probability(&decay(), &phi, 20, 5.0, 0.1).unwrap();
+        assert_eq!(r.estimate, 0.0);
+        assert!(!r.satisfied);
+        assert!(r.interval.1 < 0.25);
+    }
+
+    #[test]
+    fn eventual_decay_detected() {
+        let phi = Formula::parse("F(A < 5)").unwrap();
+        let r = check_probability(&decay(), &phi, 30, 20.0, 0.5).unwrap();
+        assert!(r.estimate > 0.95, "{r:?}");
+    }
+
+    #[test]
+    fn intermediate_probability_in_open_interval() {
+        // With only 5 initial molecules and a short horizon, reaching 0 by
+        // t=1 (k=1) has some nontrivial probability strictly inside (0,1).
+        let m = ModelBuilder::new("tiny")
+            .compartment("cell", 1.0)
+            .species("A", 5.0)
+            .parameter("k", 1.0)
+            .reaction("deg", &["A"], &[], "k*A")
+            .build();
+        let phi = Formula::parse("F[0,1](A == 0)").unwrap();
+        let r = check_probability(&m, &phi, 200, 1.0, 0.5).unwrap();
+        assert!(r.estimate > 0.05 && r.estimate < 0.95, "estimate {}", r.estimate);
+        assert!(r.interval.0 < r.estimate && r.estimate < r.interval.1);
+    }
+
+    #[test]
+    fn zero_runs_rejected() {
+        let phi = Formula::parse("G(A >= 0)").unwrap();
+        assert!(check_probability(&decay(), &phi, 0, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn wilson_interval_sane() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo > 0.39 && lo < 0.51);
+        assert!(hi > 0.49 && hi < 0.61);
+        let (lo, hi) = wilson_interval(0, 10, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.35);
+        let (lo, hi) = wilson_interval(10, 10, 1.96);
+        assert!(lo > 0.65);
+        assert_eq!(hi, 1.0);
+    }
+}

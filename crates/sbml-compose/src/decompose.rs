@@ -1,0 +1,490 @@
+//! Model decomposition — the inverse of composition.
+//!
+//! The paper's work plan asks for "a method for XML graph decomposition or
+//! splitting" (future work item 2) and "indexes to support zooming in and
+//! out of networks and their subparts" (item 4). This module implements
+//! both operations over models:
+//!
+//! * [`split_components`] — partition a model into its weakly connected
+//!   reaction-network components, each a self-contained valid model
+//!   carrying exactly the parameters/functions/units it needs,
+//! * [`extract_submodel`] — "zoom in": the submodel within a given
+//!   reaction-radius of a set of seed species,
+//! * round-trip law: composing the split parts reproduces the original
+//!   network (tested in `tests/decompose.rs`).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use sbml_math::rewrite::collect_identifiers;
+use sbml_model::{Model, Reaction};
+
+/// Split a model into its weakly connected components.
+///
+/// Two species are connected when some reaction links them (as reactant,
+/// product or modifier); each component model receives the species and
+/// reactions of one component plus every supporting component it
+/// references: compartments, (used) parameters, function definitions, unit
+/// definitions, rules/events/assignments touching its species. Isolated
+/// species form singleton components. A model with no species yields
+/// a single clone of itself.
+pub fn split_components(model: &Model) -> Vec<Model> {
+    if model.species.is_empty() {
+        return vec![model.clone()];
+    }
+
+    // Union-find over species indexes.
+    let index_of: HashMap<&str, usize> =
+        model.species.iter().enumerate().map(|(i, s)| (s.id.as_str(), i)).collect();
+    let mut parent: Vec<usize> = (0..model.species.len()).collect();
+
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+
+    for r in &model.reactions {
+        let members: Vec<usize> = r
+            .reactants
+            .iter()
+            .chain(&r.products)
+            .chain(&r.modifiers)
+            .filter_map(|sr| index_of.get(sr.species.as_str()).copied())
+            .collect();
+        for w in members.windows(2) {
+            union(&mut parent, w[0], w[1]);
+        }
+    }
+
+    // Group species by root.
+    let mut groups: HashMap<usize, BTreeSet<usize>> = HashMap::new();
+    for i in 0..model.species.len() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().insert(i);
+    }
+    // Deterministic order: by smallest member index.
+    let mut group_list: Vec<BTreeSet<usize>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| *g.iter().next().expect("non-empty group"));
+
+    group_list
+        .into_iter()
+        .enumerate()
+        .map(|(n, members)| {
+            let species_ids: BTreeSet<&str> =
+                members.iter().map(|&i| model.species[i].id.as_str()).collect();
+            build_submodel(model, &species_ids, &format!("{}_part{}", model.id, n))
+        })
+        .collect()
+}
+
+/// Zoom into the submodel within `radius` reaction-hops of `seeds`.
+///
+/// Radius 0 keeps only the seed species (and reactions entirely inside the
+/// seed set); each extra hop pulls in every reaction touching the frontier
+/// along with all of its participants.
+pub fn extract_submodel(model: &Model, seeds: &[&str], radius: usize) -> Model {
+    let mut kept: BTreeSet<&str> = seeds
+        .iter()
+        .copied()
+        .filter(|id| model.species_by_id(id).is_some())
+        .collect();
+    let mut frontier: VecDeque<&str> = kept.iter().copied().collect();
+
+    for _ in 0..radius {
+        let mut next_frontier = VecDeque::new();
+        while let Some(sp) = frontier.pop_front() {
+            for r in &model.reactions {
+                let touches = r
+                    .reactants
+                    .iter()
+                    .chain(&r.products)
+                    .chain(&r.modifiers)
+                    .any(|sr| sr.species == sp);
+                if !touches {
+                    continue;
+                }
+                for sr in r.reactants.iter().chain(&r.products).chain(&r.modifiers) {
+                    if model.species_by_id(&sr.species).is_some()
+                        && kept.insert(sr.species.as_str())
+                    {
+                        next_frontier.push_back(
+                            model.species_by_id(&sr.species).map(|s| s.id.as_str()).expect("just checked"),
+                        );
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    build_submodel(model, &kept, &format!("{}_zoom", model.id))
+}
+
+/// Assemble a self-contained model over a species subset: reactions whose
+/// participants all lie inside, plus the referenced support components.
+fn build_submodel(model: &Model, species_ids: &BTreeSet<&str>, id: &str) -> Model {
+    let mut out = Model::new(id);
+    out.name = model.name.clone();
+
+    // Species.
+    for s in &model.species {
+        if species_ids.contains(s.id.as_str()) {
+            out.species.push(s.clone());
+        }
+    }
+
+    // Reactions fully inside the subset.
+    let inside = |r: &Reaction| {
+        r.reactants
+            .iter()
+            .chain(&r.products)
+            .chain(&r.modifiers)
+            .all(|sr| species_ids.contains(sr.species.as_str()))
+            && !(r.reactants.is_empty() && r.products.is_empty() && r.modifiers.is_empty())
+    };
+    for r in &model.reactions {
+        if inside(r) {
+            out.reactions.push(r.clone());
+        }
+    }
+
+    // Rules / initial assignments / events restricted to kept variables.
+    let kept_vars: BTreeSet<&str> = species_ids.iter().copied().collect();
+    for rule in &model.rules {
+        match rule.variable() {
+            Some(v) if kept_vars.contains(v) => out.rules.push(rule.clone()),
+            Some(_) => {}
+            None => {
+                // Algebraic rules are kept when all their species references
+                // stay inside.
+                let ids = collect_identifiers(rule.math());
+                let all_species_inside = ids
+                    .iter()
+                    .filter(|i| model.species_by_id(i).is_some())
+                    .all(|i| kept_vars.contains(i.as_str()));
+                if all_species_inside {
+                    out.rules.push(rule.clone());
+                }
+            }
+        }
+    }
+    for ia in &model.initial_assignments {
+        if kept_vars.contains(ia.symbol.as_str())
+            || model.parameter_by_id(&ia.symbol).is_some()
+            || model.compartment_by_id(&ia.symbol).is_some()
+        {
+            // keep parameter/compartment assignments only if referenced later
+            if kept_vars.contains(ia.symbol.as_str()) {
+                out.initial_assignments.push(ia.clone());
+            }
+        }
+    }
+    for ev in &model.events {
+        let all_inside = ev.assignments.iter().all(|a| {
+            kept_vars.contains(a.variable.as_str()) || model.species_by_id(&a.variable).is_none()
+        });
+        let touches = ev
+            .assignments
+            .iter()
+            .any(|a| kept_vars.contains(a.variable.as_str()));
+        if all_inside && touches {
+            out.events.push(ev.clone());
+        }
+    }
+    for c in &model.constraints {
+        let ids = collect_identifiers(&c.math);
+        let all_species_inside = ids
+            .iter()
+            .filter(|i| model.species_by_id(i).is_some())
+            .all(|i| kept_vars.contains(i.as_str()));
+        if all_species_inside && ids.iter().any(|i| kept_vars.contains(i.as_str())) {
+            out.constraints.push(c.clone());
+        }
+    }
+
+    // Referenced identifiers across everything kept.
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    for r in &out.reactions {
+        if let Some(kl) = &r.kinetic_law {
+            let locals: BTreeSet<&str> = kl.parameters.iter().map(|p| p.id.as_str()).collect();
+            for ident in collect_identifiers(&kl.math) {
+                if !locals.contains(ident.as_str()) {
+                    referenced.insert(ident);
+                }
+            }
+        }
+    }
+    for rule in &out.rules {
+        referenced.extend(collect_identifiers(rule.math()));
+    }
+    for ia in &out.initial_assignments {
+        referenced.extend(collect_identifiers(&ia.math));
+    }
+    for ev in &out.events {
+        referenced.extend(collect_identifiers(&ev.trigger));
+        if let Some(d) = &ev.delay {
+            referenced.extend(collect_identifiers(d));
+        }
+        for a in &ev.assignments {
+            referenced.extend(collect_identifiers(&a.math));
+        }
+    }
+    for c in &out.constraints {
+        referenced.extend(collect_identifiers(&c.math));
+    }
+
+    // Function definitions (transitively, as bodies may call others).
+    loop {
+        let mut changed = false;
+        for f in &model.function_definitions {
+            if referenced.contains(&f.id)
+                && !out.function_definitions.iter().any(|g| g.id == f.id)
+            {
+                out.function_definitions.push(f.clone());
+                referenced.extend(collect_identifiers(&f.body));
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Parameters actually used.
+    for p in &model.parameters {
+        if referenced.contains(&p.id) {
+            out.parameters.push(p.clone());
+        }
+    }
+
+    // Compartments of the kept species (plus `outside` chains) and
+    // compartments referenced by math.
+    let mut wanted_compartments: BTreeSet<String> = out
+        .species
+        .iter()
+        .map(|s| s.compartment.clone())
+        .chain(referenced.iter().filter(|r| model.compartment_by_id(r).is_some()).cloned())
+        .collect();
+    loop {
+        let mut additions = BTreeSet::new();
+        for c in &model.compartments {
+            if wanted_compartments.contains(&c.id) {
+                if let Some(outside) = &c.outside {
+                    if !wanted_compartments.contains(outside) {
+                        additions.insert(outside.clone());
+                    }
+                }
+            }
+        }
+        if additions.is_empty() {
+            break;
+        }
+        wanted_compartments.extend(additions);
+    }
+    for c in &model.compartments {
+        if wanted_compartments.contains(&c.id) {
+            out.compartments.push(c.clone());
+        }
+    }
+
+    // Types and units referenced by kept components.
+    let wanted_ctypes: BTreeSet<&str> =
+        out.compartments.iter().filter_map(|c| c.compartment_type.as_deref()).collect();
+    for ct in &model.compartment_types {
+        if wanted_ctypes.contains(ct.id.as_str()) {
+            out.compartment_types.push(ct.clone());
+        }
+    }
+    let wanted_stypes: BTreeSet<&str> =
+        out.species.iter().filter_map(|s| s.species_type.as_deref()).collect();
+    for st in &model.species_types {
+        if wanted_stypes.contains(st.id.as_str()) {
+            out.species_types.push(st.clone());
+        }
+    }
+    let mut wanted_units: BTreeSet<&str> = BTreeSet::new();
+    wanted_units.extend(out.species.iter().filter_map(|s| s.substance_units.as_deref()));
+    wanted_units.extend(out.parameters.iter().filter_map(|p| p.units.as_deref()));
+    wanted_units.extend(out.compartments.iter().filter_map(|c| c.units.as_deref()));
+    for r in &out.reactions {
+        if let Some(kl) = &r.kinetic_law {
+            wanted_units.extend(kl.parameters.iter().filter_map(|p| p.units.as_deref()));
+        }
+    }
+    for u in &model.unit_definitions {
+        if wanted_units.contains(u.id.as_str()) {
+            out.unit_definitions.push(u.clone());
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    /// Two islands: A→B (uses k1, mm function) and X→Y (uses k2), plus an
+    /// isolated species Z.
+    fn two_islands() -> Model {
+        ModelBuilder::new("islands")
+            .function("dbl", &["v"], "2*v")
+            .compartment("cell", 1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .species("X", 5.0)
+            .species("Y", 0.0)
+            .species("Z", 1.0)
+            .parameter("k1", 0.1)
+            .parameter("k2", 0.2)
+            .parameter("unused", 9.0)
+            .reaction("r1", &["A"], &["B"], "dbl(k1)*A")
+            .reaction("r2", &["X"], &["Y"], "k2*X")
+            .build()
+    }
+
+    #[test]
+    fn splits_into_weakly_connected_components() {
+        let parts = split_components(&two_islands());
+        assert_eq!(parts.len(), 3, "AB, XY, Z");
+        let ab = &parts[0];
+        assert_eq!(ab.species.len(), 2);
+        assert_eq!(ab.reactions.len(), 1);
+        assert!(ab.parameter_by_id("k1").is_some());
+        assert!(ab.parameter_by_id("k2").is_none(), "k2 belongs to the other island");
+        assert!(ab.parameter_by_id("unused").is_none(), "unused parameters dropped");
+        assert!(ab.function_by_id("dbl").is_some(), "called function travels along");
+
+        let xy = &parts[1];
+        assert_eq!(xy.species.len(), 2);
+        assert!(xy.parameter_by_id("k2").is_some());
+        assert!(xy.function_by_id("dbl").is_none());
+
+        let z = &parts[2];
+        assert_eq!(z.species.len(), 1);
+        assert!(z.reactions.is_empty());
+    }
+
+    #[test]
+    fn parts_are_valid_models() {
+        for part in split_components(&two_islands()) {
+            let issues = sbml_model::validate(&part);
+            assert!(
+                issues.iter().all(|i| i.severity != sbml_model::Severity::Error),
+                "{}: {issues:?}",
+                part.id
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_species_free_models() {
+        let empty = Model::new("empty");
+        let parts = split_components(&empty);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+    }
+
+    #[test]
+    fn modifiers_connect_components() {
+        // Enzyme E modifies A→B: E must land in the same component.
+        let mut m = ModelBuilder::new("m")
+            .compartment("cell", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .species("E", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &["B"], "k*A*E")
+            .build();
+        m.reactions[0].modifiers.push(sbml_model::SpeciesReference::new("E"));
+        let parts = split_components(&m);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].species.len(), 3);
+    }
+
+    #[test]
+    fn zoom_radius_zero_keeps_seeds_only() {
+        let m = two_islands();
+        let zoomed = extract_submodel(&m, &["A"], 0);
+        assert_eq!(zoomed.species.len(), 1);
+        assert!(zoomed.reactions.is_empty(), "r1 references B which is outside");
+    }
+
+    #[test]
+    fn zoom_radius_one_pulls_in_neighbours() {
+        let m = two_islands();
+        let zoomed = extract_submodel(&m, &["A"], 1);
+        assert_eq!(zoomed.species.len(), 2, "A and B");
+        assert_eq!(zoomed.reactions.len(), 1);
+        assert!(zoomed.parameter_by_id("k1").is_some());
+        assert!(zoomed.species_by_id("X").is_none(), "other island stays out");
+    }
+
+    #[test]
+    fn zoom_on_chain_respects_radius() {
+        // S0 -> S1 -> S2 -> S3 -> S4
+        let mut b = ModelBuilder::new("chain").compartment("cell", 1.0);
+        for i in 0..5 {
+            b = b.species(&format!("S{i}"), 1.0);
+        }
+        for i in 0..4 {
+            let from = format!("S{i}");
+            let to = format!("S{}", i + 1);
+            let k = format!("k{i}");
+            b = b.parameter(&k, 0.1).reaction(
+                &format!("r{i}"),
+                &[from.as_str()],
+                &[to.as_str()],
+                &format!("{k}*{from}"),
+            );
+        }
+        let m = b.build();
+        let zoom1 = extract_submodel(&m, &["S2"], 1);
+        let ids: BTreeSet<&str> = zoom1.species.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, BTreeSet::from(["S1", "S2", "S3"]));
+        assert_eq!(zoom1.reactions.len(), 2);
+
+        let zoom2 = extract_submodel(&m, &["S2"], 2);
+        assert_eq!(zoom2.species.len(), 5);
+        assert_eq!(zoom2.reactions.len(), 4);
+    }
+
+    #[test]
+    fn unknown_seed_is_ignored() {
+        let m = two_islands();
+        let zoomed = extract_submodel(&m, &["nothing_here"], 3);
+        assert!(zoomed.species.is_empty());
+    }
+
+    #[test]
+    fn compose_of_split_reproduces_network() {
+        // The decomposition law: folding the parts back together restores
+        // the original network shape.
+        let m = two_islands();
+        let parts = split_components(&m);
+        let composer = crate::Composer::default();
+        let rebuilt = crate::compose_many(&composer, &parts);
+        assert_eq!(rebuilt.model.species.len(), m.species.len());
+        assert_eq!(rebuilt.model.reactions.len(), m.reactions.len());
+        // "unused" was dropped by the split — everything else survives.
+        assert_eq!(rebuilt.model.parameters.len(), m.parameters.len() - 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! The per-component-kind lookup index (paper Fig. 5, line 5).
+//!
+//! "Currently the indexing structure ... is a hash map. ... This index
+//! structure will be the subject of future research. We hope to determine
+//! which is the best index for this scenario." — the paper's future-work
+//! item 7 asks whether hashing (or a suffix tree) takes the merge from
+//! O(nm) to O(n+m). [`IndexKind`] makes the structure pluggable so the
+//! `ablation_index` bench can answer exactly that question:
+//!
+//! * [`IndexKind::HashMap`] — the paper's implementation (O(1) lookups),
+//! * [`IndexKind::BTree`] — ordered tree (O(log n)),
+//! * [`IndexKind::LinearScan`] — no index at all (O(n) per lookup, giving
+//!   the O(nm) overall behaviour the paper measured).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Which index structure the merge uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndexKind {
+    /// Hash map (the paper's choice).
+    #[default]
+    HashMap,
+    /// Ordered B-tree map.
+    BTree,
+    /// Linear scan over an association list.
+    LinearScan,
+}
+
+/// A string-keyed index over component positions.
+#[derive(Debug, Clone)]
+pub enum ComponentIndex {
+    /// Hash-map backed.
+    Hash(HashMap<String, usize>),
+    /// B-tree backed.
+    BTree(BTreeMap<String, usize>),
+    /// Association-list backed (deliberately un-indexed).
+    Linear(Vec<(String, usize)>),
+}
+
+impl ComponentIndex {
+    /// An empty index of the given kind.
+    pub fn new(kind: IndexKind) -> ComponentIndex {
+        match kind {
+            IndexKind::HashMap => ComponentIndex::Hash(HashMap::new()),
+            IndexKind::BTree => ComponentIndex::BTree(BTreeMap::new()),
+            IndexKind::LinearScan => ComponentIndex::Linear(Vec::new()),
+        }
+    }
+
+    /// Insert a key → position entry. First insertion wins (mirrors the
+    /// paper's first-model-wins policy for colliding keys).
+    pub fn insert(&mut self, key: String, position: usize) {
+        match self {
+            ComponentIndex::Hash(m) => {
+                m.entry(key).or_insert(position);
+            }
+            ComponentIndex::BTree(m) => {
+                m.entry(key).or_insert(position);
+            }
+            ComponentIndex::Linear(v) => {
+                if !v.iter().any(|(k, _)| k == &key) {
+                    v.push((key, position));
+                }
+            }
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<usize> {
+        match self {
+            ComponentIndex::Hash(m) => m.get(key).copied(),
+            ComponentIndex::BTree(m) => m.get(key).copied(),
+            ComponentIndex::Linear(v) => {
+                v.iter().find(|(k, _)| k == key).map(|(_, pos)| *pos)
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            ComponentIndex::Hash(m) => m.len(),
+            ComponentIndex::BTree(m) => m.len(),
+            ComponentIndex::Linear(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_behave_identically() {
+        for kind in [IndexKind::HashMap, IndexKind::BTree, IndexKind::LinearScan] {
+            let mut idx = ComponentIndex::new(kind);
+            assert!(idx.is_empty());
+            idx.insert("alpha".into(), 0);
+            idx.insert("beta".into(), 1);
+            idx.insert("alpha".into(), 99); // first wins
+            assert_eq!(idx.len(), 2, "{kind:?}");
+            assert_eq!(idx.get("alpha"), Some(0), "{kind:?}");
+            assert_eq!(idx.get("beta"), Some(1), "{kind:?}");
+            assert_eq!(idx.get("gamma"), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn default_is_hashmap() {
+        assert_eq!(IndexKind::default(), IndexKind::HashMap);
+    }
+}

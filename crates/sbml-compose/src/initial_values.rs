@@ -1,0 +1,149 @@
+//! Initial-value collection (the paper's last pre-composition step).
+//!
+//! "The initial values of all component attributes are collected before
+//! composition begins. If a component has an initial assignment, it is
+//! extracted and evaluated and the value is saved. ... The initial values
+//! are then used in the check for conflicts during model composition."
+
+use std::collections::HashMap;
+
+use sbml_math::{evaluate, Env};
+use sbml_model::Model;
+
+/// Evaluated initial values for every symbol that has one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InitialValues {
+    /// symbol id → value at time zero.
+    pub values: HashMap<String, f64>,
+}
+
+impl InitialValues {
+    /// Value of a symbol, if known.
+    pub fn get(&self, id: &str) -> Option<f64> {
+        self.values.get(id).copied()
+    }
+}
+
+/// Number of fixed-point passes over initial assignments. Assignments may
+/// reference each other; SBML requires the dependency graph to be acyclic,
+/// so `k` passes settle chains up to length `k`.
+const MAX_PASSES: usize = 8;
+
+/// Collect and evaluate initial values from direct attributes and initial
+/// assignments. Unevaluable assignments (unknown symbols, cyclic chains)
+/// are skipped — the conflict checker then falls back to math comparison.
+pub fn collect(model: &Model) -> InitialValues {
+    let mut env = Env::new();
+    for f in &model.function_definitions {
+        env.set_function(f.id.clone(), f.as_lambda());
+    }
+    for c in &model.compartments {
+        if let Some(size) = c.size {
+            env.set_var(c.id.clone(), size);
+        }
+    }
+    for s in &model.species {
+        if let Some(v) = s.initial_value() {
+            env.set_var(s.id.clone(), v);
+        }
+    }
+    for p in &model.parameters {
+        if let Some(v) = p.value {
+            env.set_var(p.id.clone(), v);
+        }
+    }
+
+    // Initial assignments override raw attributes and may chain.
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+        for ia in &model.initial_assignments {
+            if let Ok(v) = evaluate(&ia.math, &env) {
+                if env.vars.get(&ia.symbol) != Some(&v) {
+                    env.set_var(ia.symbol.clone(), v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    InitialValues { values: env.vars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    #[test]
+    fn direct_attributes_collected() {
+        let m = ModelBuilder::new("m")
+            .compartment("cell", 2.5)
+            .species("A", 10.0)
+            .parameter("k", 0.5)
+            .build();
+        let iv = collect(&m);
+        assert_eq!(iv.get("cell"), Some(2.5));
+        assert_eq!(iv.get("A"), Some(10.0));
+        assert_eq!(iv.get("k"), Some(0.5));
+        assert_eq!(iv.get("nothing"), None);
+    }
+
+    #[test]
+    fn initial_assignments_evaluated() {
+        let m = ModelBuilder::new("m")
+            .compartment("cell", 1.0)
+            .species("A", 0.0)
+            .parameter("k", 3.0)
+            .initial_assignment("A", "2 * k + 1")
+            .build();
+        let iv = collect(&m);
+        assert_eq!(iv.get("A"), Some(7.0), "assignment overrides the attribute");
+    }
+
+    #[test]
+    fn chained_assignments_settle() {
+        let m = ModelBuilder::new("m")
+            .compartment("cell", 1.0)
+            .species("A", 0.0)
+            .species("B", 0.0)
+            .parameter("k", 2.0)
+            .initial_assignment("B", "A + 1") // depends on A's assignment
+            .initial_assignment("A", "k * 5")
+            .build();
+        let iv = collect(&m);
+        assert_eq!(iv.get("A"), Some(10.0));
+        assert_eq!(iv.get("B"), Some(11.0));
+    }
+
+    #[test]
+    fn function_definitions_usable() {
+        let m = ModelBuilder::new("m")
+            .function("dbl", &["x"], "2*x")
+            .compartment("cell", 1.0)
+            .species("A", 0.0)
+            .parameter("k", 4.0)
+            .initial_assignment("A", "dbl(k)")
+            .build();
+        assert_eq!(collect(&m).get("A"), Some(8.0));
+    }
+
+    #[test]
+    fn unevaluable_assignment_skipped() {
+        let m = ModelBuilder::new("m")
+            .compartment("cell", 1.0)
+            .species("A", 5.0)
+            .initial_assignment("A", "mystery_symbol * 2")
+            .build();
+        let iv = collect(&m);
+        // falls back to the attribute value
+        assert_eq!(iv.get("A"), Some(5.0));
+    }
+
+    #[test]
+    fn empty_model() {
+        assert!(collect(&Model::new("empty")).values.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! **SBMLCompose** — automated, unsupervised composition of SBML
+//! biochemical network models.
+//!
+//! This crate is the primary contribution of the EDBT 2010 paper
+//! *"Biochemical network matching and composition"* (Goodfellow, Wilson,
+//! Hunt). It merges two models into one, matching components that denote the
+//! same biological entity even when they differ in id, operand order or
+//! units, with no user interaction and no database lookups:
+//!
+//! * the **Fig. 4 pipeline** ([`Composer::compose`]): function definitions →
+//!   unit definitions → compartment types → species types → compartments →
+//!   species → parameters → (initial assignments) → rules → constraints →
+//!   reactions → events;
+//! * the **Fig. 5 generic merge** per component kind: look up in the first
+//!   model's index → duplicate (conflict-check, first wins, warning logged)
+//!   / equal-under-matching (record ID mapping, "rename") / new (insert,
+//!   renaming bare id clashes);
+//! * **Fig. 7 math patterns** (via [`sbml_math::pattern`]) with the
+//!   accumulated ID mappings applied, so `k1*A*B` in one model matches
+//!   `B*kf*A` in the other once `k1 → kf` is established;
+//! * **synonym tables** ([`bio_synonyms`]) for name matching;
+//! * **Fig. 6 unit conversion** ([`sbml_units::convert`]) during conflict
+//!   checking of rate constants and initial values;
+//! * **initial-value collection** before merging (initial assignments are
+//!   evaluated once, and the values consulted during conflict checks).
+//!
+//! # Quick start
+//!
+//! ```
+//! use sbml_compose::{Composer, ComposeOptions};
+//! use sbml_model::builder::ModelBuilder;
+//!
+//! let a = ModelBuilder::new("a")
+//!     .compartment("cell", 1.0)
+//!     .species("A", 10.0)
+//!     .species("B", 0.0)
+//!     .parameter("k1", 0.1)
+//!     .reaction("r1", &["A"], &["B"], "k1*A")
+//!     .build();
+//! let b = ModelBuilder::new("b")
+//!     .compartment("cell", 1.0)
+//!     .species("B", 0.0)
+//!     .species("C", 0.0)
+//!     .parameter("k2", 0.05)
+//!     .reaction("r2", &["B"], &["C"], "k2*B")
+//!     .build();
+//!
+//! let result = Composer::new(ComposeOptions::default()).compose(&a, &b);
+//! assert_eq!(result.model.species.len(), 3); // A, B, C — B shared
+//! assert_eq!(result.model.reactions.len(), 2);
+//! ```
+
+pub mod composer;
+pub mod decompose;
+pub mod equality;
+pub mod index;
+pub mod initial_values;
+pub mod log;
+pub mod options;
+pub mod rename;
+
+pub use composer::{compose_many, ComposeResult, Composer};
+pub use decompose::{extract_submodel, split_components};
+pub use index::IndexKind;
+pub use log::{EventKind, MergeEvent, MergeLog, MergeStats};
+pub use options::{ComposeOptions, SemanticsLevel};

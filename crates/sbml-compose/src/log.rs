@@ -1,0 +1,229 @@
+//! The merge log — the paper's "warning to a log file informing the user
+//! of this and of decisions taken".
+
+use std::fmt;
+
+/// What happened to a component during merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Second model's component was identical to the first's — merged.
+    Duplicate,
+    /// Components matched under synonymy/math-equivalence; the second
+    /// model's id was mapped onto the first's.
+    Mapped,
+    /// Component added to the composed model unchanged.
+    Added,
+    /// Component added under a fresh id because of an id clash.
+    Renamed,
+    /// Components claimed the same identity but disagreed; the first model
+    /// won and the decision was logged (the paper's default behaviour).
+    Conflict,
+    /// Anything else worth telling the user.
+    Warning,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EventKind::Duplicate => "duplicate",
+            EventKind::Mapped => "mapped",
+            EventKind::Added => "added",
+            EventKind::Renamed => "renamed",
+            EventKind::Conflict => "conflict",
+            EventKind::Warning => "warning",
+        })
+    }
+}
+
+/// One merge decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// Decision kind.
+    pub kind: EventKind,
+    /// Component kind (`species`, `reaction`, ...).
+    pub component: &'static str,
+    /// Id of the component in the second (incoming) model.
+    pub incoming_id: String,
+    /// Id it ended up with in the composed model (same as `incoming_id`
+    /// unless mapped/renamed).
+    pub final_id: String,
+    /// Explanation of the decision.
+    pub detail: String,
+}
+
+impl fmt::Display for MergeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.incoming_id == self.final_id {
+            write!(f, "[{}] {} '{}': {}", self.kind, self.component, self.incoming_id, self.detail)
+        } else {
+            write!(
+                f,
+                "[{}] {} '{}' -> '{}': {}",
+                self.kind, self.component, self.incoming_id, self.final_id, self.detail
+            )
+        }
+    }
+}
+
+/// The full decision log of one composition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeLog {
+    /// Events in decision order.
+    pub events: Vec<MergeEvent>,
+}
+
+impl MergeLog {
+    /// Empty log.
+    pub fn new() -> MergeLog {
+        MergeLog::default()
+    }
+
+    /// Record an event.
+    pub fn push(
+        &mut self,
+        kind: EventKind,
+        component: &'static str,
+        incoming_id: impl Into<String>,
+        final_id: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(MergeEvent {
+            kind,
+            component,
+            incoming_id: incoming_id.into(),
+            final_id: final_id.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &MergeEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Number of conflicts recorded.
+    pub fn conflict_count(&self) -> usize {
+        self.of_kind(EventKind::Conflict).count()
+    }
+
+    /// Render as the paper's "log file" text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = MergeLog::new();
+        log.push(EventKind::Duplicate, "species", "A", "A", "identical");
+        log.push(EventKind::Conflict, "parameter", "k1", "k1", "values differ: 1 vs 2");
+        log.push(EventKind::Renamed, "parameter", "k1", "k1_1", "kept both");
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.conflict_count(), 1);
+        assert_eq!(log.of_kind(EventKind::Renamed).count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut log = MergeLog::new();
+        log.push(EventKind::Mapped, "species", "glc", "glucose", "synonym match");
+        let text = log.to_text();
+        assert!(text.contains("[mapped] species 'glc' -> 'glucose': synonym match"));
+
+        log.push(EventKind::Added, "reaction", "r9", "r9", "new");
+        assert!(log.to_text().contains("[added] reaction 'r9': new"));
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(EventKind::Duplicate.to_string(), "duplicate");
+        assert_eq!(EventKind::Conflict.to_string(), "conflict");
+    }
+}
+
+/// Aggregate statistics over a merge log — the summary a user (or the CLI)
+/// reads before deciding whether to trust a composition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Components recognised as identical.
+    pub duplicates: usize,
+    /// Components matched under synonymy/equivalence and mapped.
+    pub mapped: usize,
+    /// Components added unchanged.
+    pub added: usize,
+    /// Components renamed to avoid id clashes.
+    pub renamed: usize,
+    /// Conflicts (first model won).
+    pub conflicts: usize,
+    /// Other warnings.
+    pub warnings: usize,
+}
+
+impl MergeLog {
+    /// Aggregate the log into [`MergeStats`].
+    pub fn stats(&self) -> MergeStats {
+        let mut s = MergeStats::default();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Duplicate => s.duplicates += 1,
+                EventKind::Mapped => s.mapped += 1,
+                EventKind::Added => s.added += 1,
+                EventKind::Renamed => s.renamed += 1,
+                EventKind::Conflict => s.conflicts += 1,
+                EventKind::Warning => s.warnings += 1,
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for MergeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} duplicate(s), {} mapped, {} added, {} renamed, {} conflict(s), {} warning(s)",
+            self.duplicates, self.mapped, self.added, self.renamed, self.conflicts, self.warnings
+        )
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_by_kind() {
+        let mut log = MergeLog::new();
+        log.push(EventKind::Duplicate, "species", "A", "A", "x");
+        log.push(EventKind::Duplicate, "species", "B", "B", "x");
+        log.push(EventKind::Mapped, "species", "C", "D", "x");
+        log.push(EventKind::Added, "reaction", "r", "r", "x");
+        log.push(EventKind::Renamed, "parameter", "k", "k_1", "x");
+        log.push(EventKind::Conflict, "parameter", "k", "k_1", "x");
+        log.push(EventKind::Warning, "reaction", "r2", "r2", "x");
+        let s = log.stats();
+        assert_eq!(s.duplicates, 2);
+        assert_eq!(s.mapped, 1);
+        assert_eq!(s.added, 1);
+        assert_eq!(s.renamed, 1);
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.warnings, 1);
+        let text = s.to_string();
+        assert!(text.contains("2 duplicate(s)"));
+        assert!(text.contains("1 conflict(s)"));
+    }
+
+    #[test]
+    fn empty_log_zero_stats() {
+        assert_eq!(MergeLog::new().stats(), MergeStats::default());
+    }
+}

@@ -1,0 +1,117 @@
+//! Composition options: semantics level, index structure, synonym table.
+
+use bio_synonyms::SynonymTable;
+
+use crate::index::IndexKind;
+
+/// How much meaning the matcher may use (the paper's §5 heavy/light/none
+/// semantics spectrum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SemanticsLevel {
+    /// Full SBMLCompose behaviour: synonym tables, commutative math
+    /// patterns, unit conversion, initial-value evaluation.
+    #[default]
+    Heavy,
+    /// Name normalisation + synonym tables only; math is compared
+    /// structurally without commutativity, units are compared by id, and
+    /// initial assignments are compared without evaluation.
+    Light,
+    /// Exact-id matching only (the generic method "without semantics").
+    None,
+}
+
+/// Options controlling one composition run.
+#[derive(Debug, Clone)]
+pub struct ComposeOptions {
+    /// Semantics level (default: heavy — the full published algorithm).
+    pub semantics: SemanticsLevel,
+    /// Index structure used for component lookup (default: hash map).
+    pub index: IndexKind,
+    /// Synonym table consulted for name equality (default: builtins).
+    pub synonyms: SynonymTable,
+    /// Cache canonical math patterns per component instead of recomputing
+    /// on every candidate comparison (default: true; the paper's "mappings
+    /// are stored to reduce comparison time"). The `ablation_cache` bench
+    /// switches this off.
+    pub cache_patterns: bool,
+    /// Evaluate initial assignments before merging and use the values in
+    /// conflict checks (default: true).
+    pub collect_initial_values: bool,
+}
+
+impl Default for ComposeOptions {
+    fn default() -> Self {
+        ComposeOptions {
+            semantics: SemanticsLevel::Heavy,
+            index: IndexKind::HashMap,
+            synonyms: SynonymTable::with_builtins(),
+            cache_patterns: true,
+            collect_initial_values: true,
+        }
+    }
+}
+
+impl ComposeOptions {
+    /// Full heavy-semantics defaults.
+    pub fn heavy() -> ComposeOptions {
+        ComposeOptions::default()
+    }
+
+    /// Light-semantics variant.
+    pub fn light() -> ComposeOptions {
+        ComposeOptions { semantics: SemanticsLevel::Light, ..ComposeOptions::default() }
+    }
+
+    /// No-semantics variant (exact ids, empty synonym table).
+    pub fn none() -> ComposeOptions {
+        ComposeOptions {
+            semantics: SemanticsLevel::None,
+            synonyms: SynonymTable::new(),
+            ..ComposeOptions::default()
+        }
+    }
+
+    /// Builder: set the index kind.
+    #[must_use]
+    pub fn with_index(mut self, index: IndexKind) -> ComposeOptions {
+        self.index = index;
+        self
+    }
+
+    /// Builder: set the synonym table.
+    #[must_use]
+    pub fn with_synonyms(mut self, synonyms: SynonymTable) -> ComposeOptions {
+        self.synonyms = synonyms;
+        self
+    }
+
+    /// Builder: toggle pattern caching.
+    #[must_use]
+    pub fn with_pattern_cache(mut self, on: bool) -> ComposeOptions {
+        self.cache_patterns = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(ComposeOptions::heavy().semantics, SemanticsLevel::Heavy);
+        assert_eq!(ComposeOptions::light().semantics, SemanticsLevel::Light);
+        let none = ComposeOptions::none();
+        assert_eq!(none.semantics, SemanticsLevel::None);
+        assert_eq!(none.synonyms.group_count(), 0);
+    }
+
+    #[test]
+    fn builders() {
+        let o = ComposeOptions::default()
+            .with_index(IndexKind::LinearScan)
+            .with_pattern_cache(false);
+        assert_eq!(o.index, IndexKind::LinearScan);
+        assert!(!o.cache_patterns);
+    }
+}

@@ -1,0 +1,237 @@
+//! Whole-model identifier renaming.
+//!
+//! When the merge renames a component (id clash) or maps it onto a
+//! component of the first model, every reference in the incoming model must
+//! follow: species references in reactions, compartment references in
+//! species, unit references, rule/event variables, and every identifier in
+//! every math expression.
+
+use std::collections::HashMap;
+
+use sbml_math::rewrite;
+use sbml_model::Model;
+
+/// Rename a single identifier throughout a model (definition + references).
+pub fn rename_id(model: &mut Model, old: &str, new: &str) {
+    let mut map = HashMap::with_capacity(1);
+    map.insert(old.to_owned(), new.to_owned());
+    apply_renames(model, &map);
+}
+
+/// Apply a batch of renames (old → new) to definitions and references.
+pub fn apply_renames(model: &mut Model, map: &HashMap<String, String>) {
+    if map.is_empty() {
+        return;
+    }
+    let rename = |s: &mut String| {
+        if let Some(new) = map.get(s.as_str()) {
+            *s = new.clone();
+        }
+    };
+    let rename_opt = |s: &mut Option<String>| {
+        if let Some(inner) = s {
+            if let Some(new) = map.get(inner.as_str()) {
+                *inner = new.clone();
+            }
+        }
+    };
+
+    for f in &mut model.function_definitions {
+        rename(&mut f.id);
+        // Parameters are bound names — not renamed; the body's free ids are.
+        f.body = rewrite::rename(&f.body, map);
+    }
+    for u in &mut model.unit_definitions {
+        rename(&mut u.id);
+    }
+    for ct in &mut model.compartment_types {
+        rename(&mut ct.id);
+    }
+    for st in &mut model.species_types {
+        rename(&mut st.id);
+    }
+    for c in &mut model.compartments {
+        rename(&mut c.id);
+        rename_opt(&mut c.compartment_type);
+        rename_opt(&mut c.units);
+        rename_opt(&mut c.outside);
+    }
+    for s in &mut model.species {
+        rename(&mut s.id);
+        rename(&mut s.compartment);
+        rename_opt(&mut s.species_type);
+        rename_opt(&mut s.substance_units);
+    }
+    for p in &mut model.parameters {
+        rename(&mut p.id);
+        rename_opt(&mut p.units);
+    }
+    for ia in &mut model.initial_assignments {
+        rename(&mut ia.symbol);
+        ia.math = rewrite::rename(&ia.math, map);
+    }
+    for rule in &mut model.rules {
+        match rule {
+            sbml_model::Rule::Algebraic { math } => *math = rewrite::rename(math, map),
+            sbml_model::Rule::Assignment { variable, math }
+            | sbml_model::Rule::Rate { variable, math } => {
+                rename(variable);
+                *math = rewrite::rename(math, map);
+            }
+        }
+    }
+    for c in &mut model.constraints {
+        c.math = rewrite::rename(&c.math, map);
+    }
+    for r in &mut model.reactions {
+        rename(&mut r.id);
+        for sr in r.reactants.iter_mut().chain(&mut r.products).chain(&mut r.modifiers) {
+            rename(&mut sr.species);
+        }
+        if let Some(kl) = &mut r.kinetic_law {
+            // Local parameter ids shadow globals inside the law; a global
+            // rename must not capture them.
+            let locals: Vec<&String> = kl.parameters.iter().map(|p| &p.id).collect();
+            let mut scoped = map.clone();
+            for l in locals {
+                scoped.remove(l.as_str());
+            }
+            kl.math = rewrite::rename(&kl.math, &scoped);
+            for p in &mut kl.parameters {
+                rename_opt(&mut p.units);
+            }
+        }
+    }
+    for ev in &mut model.events {
+        if let Some(id) = &mut ev.id {
+            if let Some(new) = map.get(id.as_str()) {
+                *id = new.clone();
+            }
+        }
+        ev.trigger = rewrite::rename(&ev.trigger, map);
+        if let Some(d) = &mut ev.delay {
+            *d = rewrite::rename(d, map);
+        }
+        for a in &mut ev.assignments {
+            rename(&mut a.variable);
+            a.math = rewrite::rename(&a.math, map);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn sample() -> Model {
+        ModelBuilder::new("m")
+            .function("f", &["x"], "x * k1")
+            .compartment("cell", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .parameter("k1", 0.5)
+            .initial_assignment("A", "2 * k1")
+            .assignment_rule("B", "A + k1")
+            .constraint("A >= 0", None)
+            .reaction("r1", &["A"], &["B"], "k1 * A")
+            .event("e1", "A > k1", &[("B", "B + k1")])
+            .build()
+    }
+
+    #[test]
+    fn renames_definition_and_all_references() {
+        let mut m = sample();
+        rename_id(&mut m, "k1", "kf");
+        assert!(m.parameter_by_id("kf").is_some());
+        assert!(m.parameter_by_id("k1").is_none());
+        let text = sbml_model::write_sbml(&m);
+        assert!(!text.contains("k1"), "no reference to the old id may survive:\n{text}");
+    }
+
+    #[test]
+    fn renames_species_references_in_reactions() {
+        let mut m = sample();
+        rename_id(&mut m, "A", "substrate");
+        let r = m.reaction_by_id("r1").unwrap();
+        assert_eq!(r.reactants[0].species, "substrate");
+        let ia = &m.initial_assignments[0];
+        assert_eq!(ia.symbol, "substrate");
+        // kinetic law math rewritten
+        let kl = r.kinetic_law.as_ref().unwrap();
+        assert!(sbml_math::writer::to_infix(&kl.math).contains("substrate"));
+    }
+
+    #[test]
+    fn renames_compartment_references() {
+        let mut m = sample();
+        rename_id(&mut m, "cell", "cytoplasm");
+        assert!(m.compartment_by_id("cytoplasm").is_some());
+        assert!(m.species.iter().all(|s| s.compartment == "cytoplasm"));
+    }
+
+    #[test]
+    fn local_parameters_shadow_global_renames() {
+        let mut m = ModelBuilder::new("m")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &[], "k * A")
+            .build();
+        // Give the reaction a local parameter also named `k`.
+        m.reactions[0]
+            .kinetic_law
+            .as_mut()
+            .unwrap()
+            .parameters
+            .push(sbml_model::Parameter::new("k", 9.0));
+        rename_id(&mut m, "k", "k_global");
+        let kl = m.reactions[0].kinetic_law.as_ref().unwrap();
+        // The law's `k` refers to the local parameter and must NOT change.
+        assert_eq!(sbml_math::writer::to_infix(&kl.math), "k * A");
+        assert_eq!(kl.parameters[0].id, "k");
+        // The global parameter itself was renamed.
+        assert!(m.parameter_by_id("k_global").is_some());
+    }
+
+    #[test]
+    fn function_params_not_captured() {
+        let mut m = ModelBuilder::new("m").function("f", &["k"], "k + other").build();
+        rename_id(&mut m, "k", "zzz");
+        let f = m.function_by_id("f").unwrap();
+        assert_eq!(f.params, vec!["k".to_owned()], "bound parameter untouched");
+        rename_id(&mut m, "other", "renamed");
+        let f = m.function_by_id("f").unwrap();
+        assert!(sbml_math::writer::to_infix(&f.body).contains("renamed"));
+    }
+
+    #[test]
+    fn event_trigger_and_assignments_renamed() {
+        let mut m = sample();
+        rename_id(&mut m, "B", "product");
+        let ev = &m.events[0];
+        assert_eq!(ev.assignments[0].variable, "product");
+        assert!(sbml_math::writer::to_infix(&ev.assignments[0].math).contains("product"));
+    }
+
+    #[test]
+    fn batch_renames_applied_simultaneously() {
+        let mut m = sample();
+        let mut map = HashMap::new();
+        // Swap A and B — must not cascade (A→B→A).
+        map.insert("A".to_owned(), "B".to_owned());
+        map.insert("B".to_owned(), "A".to_owned());
+        apply_renames(&mut m, &map);
+        let r = m.reaction_by_id("r1").unwrap();
+        assert_eq!(r.reactants[0].species, "B");
+        assert_eq!(r.products[0].species, "A");
+    }
+
+    #[test]
+    fn empty_map_is_noop() {
+        let mut m = sample();
+        let before = m.clone();
+        apply_renames(&mut m, &HashMap::new());
+        assert_eq!(m, before);
+    }
+}

@@ -1,0 +1,507 @@
+//! End-to-end merge semantics: the paper's Figures 1–3, synonym matching,
+//! Fig. 7 math-pattern matching, the parameter policy, conflict handling
+//! and Fig. 6 unit reconciliation.
+
+use sbml_compose::{compose_many, ComposeOptions, Composer, EventKind};
+use sbml_model::builder::ModelBuilder;
+use sbml_model::Model;
+
+fn fig1a() -> Model {
+    // A -> B <-> C with k1, k2, k3.
+    ModelBuilder::new("fig1a")
+        .compartment("cell", 1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.05)
+        .parameter("k3", 0.02)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .reaction("r3", &["C"], &["B"], "k3*C")
+        .build()
+}
+
+fn heavy() -> Composer {
+    Composer::new(ComposeOptions::default())
+}
+
+#[test]
+fn fig1_merging_identical_models_yields_the_same_model() {
+    let a = fig1a();
+    let result = heavy().compose(&a, &a);
+    let m = &result.model;
+    assert_eq!(m.species.len(), 3, "a + a = a (paper Fig. 1)");
+    assert_eq!(m.reactions.len(), 3);
+    assert_eq!(m.parameters.len(), 3);
+    assert_eq!(m.compartments.len(), 1);
+    assert_eq!(result.log.conflict_count(), 0);
+    // every component was recognised as a duplicate
+    assert!(result.log.of_kind(EventKind::Duplicate).count() >= 7);
+}
+
+#[test]
+fn fig2_merging_disjoint_models_concatenates() {
+    let ab = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.2)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .build();
+    let de = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species("D", 1.0)
+        .species("E", 0.0)
+        .parameter("k3", 0.3)
+        .reaction("r3", &["D"], &["E"], "k3*D")
+        .build();
+    let result = heavy().compose(&ab, &de);
+    let m = &result.model;
+    assert_eq!(m.species.len(), 5, "A,B,C + D,E (paper Fig. 2)");
+    assert_eq!(m.reactions.len(), 3);
+    assert_eq!(m.parameters.len(), 3);
+    assert_eq!(m.compartments.len(), 1, "shared compartment merges");
+    assert_eq!(result.log.conflict_count(), 0);
+}
+
+#[test]
+fn fig3_merging_overlapping_models_shares_the_common_part() {
+    // Model 1: A -> B <-> C -> D; Model 2: A -> B -> C.
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .species("D", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.2)
+        .parameter("k3", 0.3)
+        .parameter("k4", 0.4)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .reaction("r3", &["C"], &["B"], "k3*C")
+        .reaction("r4", &["C"], &["D"], "k4*C")
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.2)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    let m = &result.model;
+    assert_eq!(m.species.len(), 4, "a + b = a (paper Fig. 3)");
+    assert_eq!(m.reactions.len(), 4);
+    assert_eq!(m.parameters.len(), 4);
+    assert_eq!(result.log.conflict_count(), 0);
+}
+
+#[test]
+fn synonymous_species_merge_across_models() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species_named("glc", "glucose", 5.0)
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species_named("sugar", "dextrose", 5.0)
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.species.len(), 1, "glucose == dextrose by synonym table");
+    assert_eq!(result.mappings.get("sugar").map(String::as_str), Some("glc"));
+    assert_eq!(result.log.of_kind(EventKind::Mapped).count(), 1);
+}
+
+#[test]
+fn synonym_mapping_rewrites_reaction_references() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species_named("glc", "glucose", 5.0)
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species_named("sugar", "dextrose", 5.0)
+        .species("P", 0.0)
+        .parameter("k", 1.0)
+        .reaction("consume", &["sugar"], &["P"], "k*sugar")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    let r = result.model.reaction_by_id("consume").unwrap();
+    assert_eq!(r.reactants[0].species, "glc", "species reference follows the mapping");
+    let law = r.kinetic_law.as_ref().unwrap();
+    assert!(
+        sbml_math::writer::to_infix(&law.math).contains("glc"),
+        "kinetic law rewritten through the mapping"
+    );
+}
+
+#[test]
+fn commutative_kinetic_laws_match_fig7() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 1.0)
+        .species("C", 0.0)
+        .parameter("k1", 1.0)
+        .reaction("forward", &["A", "B"], &["C"], "k1*A*B")
+        .build();
+    let mut m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 1.0)
+        .species("C", 0.0)
+        .parameter("k1", 1.0)
+        .reaction("fwd2", &["B", "A"], &["C"], "B*k1*A")
+        .build();
+    m2.reactions[0].id = "different_id".into();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(
+        result.model.reactions.len(),
+        1,
+        "operand order must not prevent matching (paper Fig. 7)"
+    );
+    assert_eq!(result.mappings.get("different_id").map(String::as_str), Some("forward"));
+
+    // Under light semantics the same pair does NOT match.
+    let light = Composer::new(ComposeOptions::light());
+    let result = light.compose(&m1, &m2);
+    assert_eq!(result.model.reactions.len(), 2, "light semantics keeps both");
+}
+
+#[test]
+fn parameters_with_same_id_and_value_deduplicate() {
+    let m1 = ModelBuilder::new("m1").compartment("c", 1.0).parameter("k", 2.0).build();
+    let m2 = ModelBuilder::new("m2").compartment("c", 1.0).parameter("k", 2.0).build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.parameters.len(), 1);
+}
+
+#[test]
+fn conflicting_parameters_are_both_kept_and_renamed() {
+    let m1 = ModelBuilder::new("m1").compartment("c", 1.0).parameter("k", 2.0).build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("X", 1.0)
+        .parameter("k", 9.0)
+        .reaction("r", &["X"], &[], "k*X")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.parameters.len(), 2, "paper §3: all parameters kept");
+    assert!(result.model.parameter_by_id("k").is_some());
+    assert!(result.model.parameter_by_id("k_1").is_some());
+    assert_eq!(result.model.parameter_by_id("k_1").unwrap().value, Some(9.0));
+    // The incoming reaction must now reference the renamed parameter.
+    let law = result.model.reaction_by_id("r").unwrap().kinetic_law.as_ref().unwrap();
+    assert_eq!(sbml_math::writer::to_infix(&law.math), "k_1 * X");
+    assert!(result.log.conflict_count() >= 1);
+}
+
+#[test]
+fn species_conflict_first_model_wins_with_warning() {
+    let m1 = ModelBuilder::new("m1").compartment("c", 1.0).species("A", 10.0).build();
+    let m2 = ModelBuilder::new("m2").compartment("c", 1.0).species("A", 99.0).build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.species.len(), 1);
+    assert_eq!(result.model.species_by_id("A").unwrap().initial_amount, Some(10.0));
+    assert_eq!(result.log.conflict_count(), 1);
+    let text = result.log.to_text();
+    assert!(text.contains("first model wins"), "{text}");
+}
+
+#[test]
+fn unit_definitions_merge_by_signature() {
+    use sbml_units::{Unit, UnitDefinition, UnitKind};
+    let m1 = ModelBuilder::new("m1")
+        .unit_definition(UnitDefinition::new("vol_l", vec![Unit::of(UnitKind::Litre)]))
+        .build();
+    // 0.001 m³ == 1 litre: must be recognised as the same unit.
+    let m2 = ModelBuilder::new("m2")
+        .unit_definition(UnitDefinition::new(
+            "vol_m3",
+            vec![Unit::of(UnitKind::Metre).pow(3).times(0.1)],
+        ))
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.unit_definitions.len(), 1);
+    assert_eq!(result.mappings.get("vol_m3").map(String::as_str), Some("vol_l"));
+}
+
+#[test]
+fn initial_assignments_merge_by_value() {
+    // Different maths, same evaluated value — semanticSBML cannot decide
+    // this automatically; SBMLCompose evaluates (paper §2 criticism).
+    let m1 = ModelBuilder::new("m1")
+        .compartment("c", 1.0)
+        .species("A", 0.0)
+        .parameter("k", 2.0)
+        .initial_assignment("A", "k + k")
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("A", 0.0)
+        .parameter("k", 2.0)
+        .initial_assignment("A", "2 * k")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.initial_assignments.len(), 1);
+    assert_eq!(result.log.conflict_count(), 0, "{}", result.log.to_text());
+}
+
+#[test]
+fn conflicting_initial_assignments_first_wins() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("c", 1.0)
+        .species("A", 0.0)
+        .parameter("k", 2.0)
+        .initial_assignment("A", "k")
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("A", 0.0)
+        .parameter("k", 2.0)
+        .initial_assignment("A", "k * 10")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.initial_assignments.len(), 1);
+    assert_eq!(result.log.conflict_count(), 1);
+    assert_eq!(
+        sbml_math::writer::to_infix(&result.model.initial_assignments[0].math),
+        "k",
+        "first model wins"
+    );
+}
+
+#[test]
+fn function_definitions_alpha_equivalent_map() {
+    let m1 = ModelBuilder::new("m1").function("mm", &["S", "V", "K"], "V*S/(K+S)").build();
+    let m2 = ModelBuilder::new("m2").function("mk", &["x", "vm", "km"], "vm*x/(km+x)").build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.function_definitions.len(), 1);
+    assert_eq!(result.mappings.get("mk").map(String::as_str), Some("mm"));
+}
+
+#[test]
+fn rules_and_constraints_deduplicate() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("c", 1.0)
+        .species("A", 1.0)
+        .species("B", 1.0)
+        .assignment_rule("B", "A * 2")
+        .constraint("A >= 0", None)
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("A", 1.0)
+        .species("B", 1.0)
+        .assignment_rule("B", "2 * A")
+        .constraint("A >= 0", Some("different message, same maths"))
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.rules.len(), 1, "commutative rule maths matches");
+    assert_eq!(result.model.constraints.len(), 1);
+}
+
+#[test]
+fn conflicting_rule_for_same_variable_first_wins() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("c", 1.0)
+        .species("B", 1.0)
+        .assignment_rule("B", "1")
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("B", 1.0)
+        .assignment_rule("B", "2")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.rules.len(), 1);
+    assert_eq!(result.log.conflict_count(), 1);
+}
+
+#[test]
+fn events_merge_by_behaviour() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("c", 1.0)
+        .species("A", 1.0)
+        .event("spike", "time >= 10", &[("A", "A + 5")])
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("A", 1.0)
+        .event("boost", "time >= 10", &[("A", "5 + A")])
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.events.len(), 1, "same trigger and effect");
+    assert_eq!(result.mappings.get("boost").map(String::as_str), Some("spike"));
+}
+
+#[test]
+fn id_clash_between_kinds_renames() {
+    // "A" is a species in m1 but a parameter in m2 — unrelated entities.
+    let m1 = ModelBuilder::new("m1").compartment("c", 1.0).species("A", 1.0).build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("c", 1.0)
+        .species("X", 1.0)
+        .parameter("A", 3.0)
+        .reaction("r", &["X"], &[], "A*X")
+        .build();
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.species.len(), 2);
+    assert_eq!(result.model.parameters.len(), 1);
+    let p = &result.model.parameters[0];
+    assert_eq!(p.id, "A_1", "parameter renamed away from the species id");
+    let law = result.model.reaction_by_id("r").unwrap().kinetic_law.as_ref().unwrap();
+    assert_eq!(sbml_math::writer::to_infix(&law.math), "A_1 * X");
+}
+
+#[test]
+fn fig6_rate_constant_unit_reconciliation() {
+    use sbml_model::{KineticLaw, Parameter, Reaction, SpeciesReference};
+    // Same second-order reaction; one model's local k is deterministic
+    // (per M per s), the other's stochastic (per molecule): c = k/(nA·V).
+    let volume = 1e-15;
+    let k_det = 1e6;
+    let k_stoch = k_det / (sbml_units::AVOGADRO * volume);
+
+    let build = |id: &str, k: f64| -> Model {
+        let mut r = Reaction::new("bind");
+        r.reactants = vec![SpeciesReference::new("A"), SpeciesReference::new("B")];
+        r.products = vec![SpeciesReference::new("AB")];
+        let mut kl = KineticLaw::new(sbml_math::infix::parse("k*A*B").unwrap());
+        kl.parameters.push(Parameter::new("k", k));
+        r.kinetic_law = Some(kl);
+        ModelBuilder::new(id)
+            .compartment("cell", volume)
+            .species("A", 100.0)
+            .species("B", 100.0)
+            .species("AB", 0.0)
+            .reaction_full(r)
+            .build()
+    };
+    let m1 = build("det", k_det);
+    let m2 = build("stoch", k_stoch);
+    let result = heavy().compose(&m1, &m2);
+    assert_eq!(result.model.reactions.len(), 1);
+    assert_eq!(result.log.conflict_count(), 0, "{}", result.log.to_text());
+    let warnings: Vec<_> = result.log.of_kind(EventKind::Warning).collect();
+    assert!(
+        warnings.iter().any(|w| w.detail.contains("Fig. 6")),
+        "unit reconciliation logged: {}",
+        result.log.to_text()
+    );
+}
+
+#[test]
+fn empty_model_shortcuts() {
+    let a = fig1a();
+    let empty = Model::new("empty");
+    let left = heavy().compose(&empty, &a);
+    assert_eq!(left.model.species.len(), 3);
+    let right = heavy().compose(&a, &empty);
+    assert_eq!(right.model, a);
+}
+
+#[test]
+fn compose_many_folds_a_library() {
+    let composer = heavy();
+    let chain: Vec<Model> = (0..5)
+        .map(|i| {
+            let s_in = format!("S{i}");
+            let s_out = format!("S{}", i + 1);
+            let k = format!("k{i}");
+            let r = format!("r{i}");
+            ModelBuilder::new(format!("step{i}"))
+                .compartment("cell", 1.0)
+                .species(&s_in, if i == 0 { 100.0 } else { 0.0 })
+                .species(&s_out, 0.0)
+                .parameter(&k, 0.1)
+                .reaction(&r, &[s_in.as_str()], &[s_out.as_str()], &format!("{k}*{s_in}"))
+                .build()
+        })
+        .collect();
+    let result = compose_many(&composer, &chain);
+    assert_eq!(result.model.species.len(), 6, "S0..S5 chained");
+    assert_eq!(result.model.reactions.len(), 5);
+    assert_eq!(result.log.conflict_count(), 0);
+
+    // The composed pathway is a valid model.
+    let issues = sbml_model::validate(&result.model);
+    assert!(
+        issues.iter().all(|i| i.severity != sbml_model::Severity::Error),
+        "{issues:?}"
+    );
+}
+
+#[test]
+fn composed_model_is_always_valid_sbml() {
+    let a = fig1a();
+    let b = ModelBuilder::new("other")
+        .compartment("cell", 1.0)
+        .species("C", 0.0)
+        .species("D", 0.0)
+        .parameter("k4", 0.4)
+        .reaction("r4", &["C"], &["D"], "k4*C")
+        .build();
+    let result = heavy().compose(&a, &b);
+    let issues = sbml_model::validate(&result.model);
+    assert!(
+        issues.iter().all(|i| i.severity != sbml_model::Severity::Error),
+        "{issues:?}"
+    );
+    // And it survives an SBML round trip.
+    let xml = sbml_model::write_sbml(&result.model);
+    let back = sbml_model::parse_sbml(&xml).unwrap();
+    assert_eq!(back, result.model);
+}
+
+#[test]
+fn no_semantics_requires_exact_ids() {
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species_named("glc", "glucose", 5.0)
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species_named("sugar", "dextrose", 5.0)
+        .build();
+    let none = Composer::new(ComposeOptions::none());
+    let result = none.compose(&m1, &m2);
+    assert_eq!(result.model.species.len(), 2, "no semantics: ids differ, no match");
+}
+
+#[test]
+fn index_kinds_produce_identical_results() {
+    use sbml_compose::IndexKind;
+    let a = fig1a();
+    let b = ModelBuilder::new("b")
+        .compartment("cell", 1.0)
+        .species("B", 0.0)
+        .species("Z", 4.0)
+        .parameter("k9", 0.9)
+        .reaction("rz", &["B"], &["Z"], "k9*B")
+        .build();
+    let baseline = heavy().compose(&a, &b).model;
+    for kind in [IndexKind::BTree, IndexKind::LinearScan] {
+        let alt = Composer::new(ComposeOptions::default().with_index(kind)).compose(&a, &b).model;
+        assert_eq!(alt, baseline, "{kind:?} must not change the result");
+    }
+}
+
+#[test]
+fn pattern_cache_toggle_produces_identical_results() {
+    let a = fig1a();
+    let mut b = fig1a();
+    b.reactions[0].id = "renamed_r1".into();
+    let with_cache = heavy().compose(&a, &b).model;
+    let without =
+        Composer::new(ComposeOptions::default().with_pattern_cache(false)).compose(&a, &b).model;
+    assert_eq!(with_cache, without);
+}

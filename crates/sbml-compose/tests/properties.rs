@@ -1,0 +1,184 @@
+//! Algebraic properties of composition, checked over randomly generated
+//! models: idempotence (`a + a ≡ a`), identity (`a + ∅ ≡ a`), size
+//! monotonicity, mapping soundness and output validity.
+
+use proptest::prelude::*;
+use sbml_compose::{ComposeOptions, Composer};
+use sbml_model::builder::ModelBuilder;
+use sbml_model::Model;
+
+/// A random small model: a chain/branch network over a shared species
+/// alphabet so that pairs of generated models overlap.
+fn model_strategy() -> impl Strategy<Value = Model> {
+    (
+        0usize..8,                                   // species count
+        proptest::collection::vec((0usize..8, 0usize..8, 1u32..100), 0..8), // reactions
+        0u64..1_000_000,                             // id salt
+    )
+        .prop_map(|(n_species, reactions, salt)| {
+            let mut b = ModelBuilder::new(format!("gen_{salt}")).compartment("cell", 1.0);
+            for i in 0..n_species {
+                b = b.species(&format!("S{i}"), i as f64);
+            }
+            let mut used = std::collections::BTreeSet::new();
+            for (idx, (from, to, k)) in reactions.into_iter().enumerate() {
+                if n_species == 0 {
+                    break;
+                }
+                let (from, to) = (from % n_species, to % n_species);
+                if from == to || !used.insert((from, to)) {
+                    continue;
+                }
+                let k_id = format!("k{from}_{to}");
+                let (s_from, s_to) = (format!("S{from}"), format!("S{to}"));
+                b = b
+                    .parameter(&k_id, k as f64 / 100.0)
+                    .reaction(
+                        &format!("r{idx}_{from}_{to}"),
+                        &[s_from.as_str()],
+                        &[s_to.as_str()],
+                        &format!("{k_id}*{s_from}"),
+                    );
+            }
+            b.build()
+        })
+}
+
+fn composer() -> Composer {
+    Composer::new(ComposeOptions::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn idempotence(a in model_strategy()) {
+        // a + a has exactly a's components (paper Fig. 1).
+        let r = composer().compose(&a, &a);
+        prop_assert_eq!(r.model.species.len(), a.species.len());
+        prop_assert_eq!(r.model.reactions.len(), a.reactions.len());
+        prop_assert_eq!(r.model.parameters.len(), a.parameters.len());
+        prop_assert_eq!(r.log.conflict_count(), 0, "self-merge can never conflict");
+    }
+
+    #[test]
+    fn identity(a in model_strategy()) {
+        let empty = Model::new("empty");
+        let right = composer().compose(&a, &empty);
+        prop_assert_eq!(&right.model, &a);
+        let left = composer().compose(&empty, &a);
+        prop_assert_eq!(&left.model, &a);
+    }
+
+    #[test]
+    fn union_bounds(a in model_strategy(), b in model_strategy()) {
+        // The composed model is at least as big as each input and at most
+        // the sum (plus nothing: merging never invents components).
+        let r = composer().compose(&a, &b);
+        let n = r.model.species.len();
+        prop_assert!(n >= a.species.len().max(b.species.len()) || b.species.is_empty() || a.is_empty());
+        prop_assert!(n <= a.species.len() + b.species.len());
+        let e = r.model.reactions.len();
+        prop_assert!(e <= a.reactions.len() + b.reactions.len());
+    }
+
+    #[test]
+    fn composed_model_is_valid(a in model_strategy(), b in model_strategy()) {
+        let r = composer().compose(&a, &b);
+        let issues = sbml_model::validate(&r.model);
+        let errors: Vec<_> = issues
+            .iter()
+            .filter(|i| i.severity == sbml_model::Severity::Error)
+            .collect();
+        prop_assert!(errors.is_empty(), "merge produced invalid SBML: {:?}\nlog:\n{}", errors, r.log.to_text());
+    }
+
+    #[test]
+    fn mappings_point_into_the_composed_model(a in model_strategy(), b in model_strategy()) {
+        let r = composer().compose(&a, &b);
+        let ids = r.model.global_ids();
+        for (from, to) in &r.mappings {
+            prop_assert!(ids.contains(to), "mapping {from} -> {to} dangles");
+        }
+    }
+
+    #[test]
+    fn composition_is_associative_in_size(
+        a in model_strategy(),
+        b in model_strategy(),
+        c in model_strategy()
+    ) {
+        // (a+b)+c and a+(b+c) need not be identical models (ids may differ),
+        // but they must agree on network size.
+        let cmp = composer();
+        let ab_c = cmp.compose(&cmp.compose(&a, &b).model, &c).model;
+        let a_bc = cmp.compose(&a, &cmp.compose(&b, &c).model).model;
+        prop_assert_eq!(ab_c.species.len(), a_bc.species.len());
+        prop_assert_eq!(ab_c.reactions.len(), a_bc.reactions.len());
+    }
+
+    #[test]
+    fn round_trip_through_sbml_preserves_composition(a in model_strategy(), b in model_strategy()) {
+        // compose(parse(write(a)), parse(write(b))) == compose(a, b)
+        let direct = composer().compose(&a, &b).model;
+        let a2 = sbml_model::parse_sbml(&sbml_model::write_sbml(&a)).unwrap();
+        let b2 = sbml_model::parse_sbml(&sbml_model::write_sbml(&b)).unwrap();
+        let via_xml = composer().compose(&a2, &b2).model;
+        prop_assert_eq!(direct, via_xml);
+    }
+}
+
+mod decompose_props {
+    use super::*;
+    
+    use sbml_compose::{compose_many, split_components};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn split_partitions_species_and_reactions(m in model_strategy()) {
+            let parts = split_components(&m);
+            let total_species: usize = parts.iter().map(|p| p.species.len()).sum();
+            let total_reactions: usize = parts.iter().map(|p| p.reactions.len()).sum();
+            if m.species.is_empty() {
+                prop_assert_eq!(parts.len(), 1);
+            } else {
+                prop_assert_eq!(total_species, m.species.len(), "species partitioned exactly");
+                prop_assert_eq!(total_reactions, m.reactions.len(), "reactions partitioned exactly");
+            }
+        }
+
+        #[test]
+        fn split_parts_are_valid(m in model_strategy()) {
+            for part in split_components(&m) {
+                let errors: Vec<_> = sbml_model::validate(&part)
+                    .into_iter()
+                    .filter(|i| i.severity == sbml_model::Severity::Error)
+                    .collect();
+                prop_assert!(errors.is_empty(), "{}: {:?}", part.id, errors);
+            }
+        }
+
+        #[test]
+        fn compose_of_split_restores_network(m in model_strategy()) {
+            // Round-trip law: species and reactions all come back.
+            let parts = split_components(&m);
+            let rebuilt = compose_many(&composer(), &parts);
+            prop_assert_eq!(rebuilt.model.species.len(), m.species.len());
+            prop_assert_eq!(rebuilt.model.reactions.len(), m.reactions.len());
+        }
+
+        #[test]
+        fn zoom_is_monotone_in_radius(m in model_strategy(), radius in 0usize..4) {
+            if let Some(seed) = m.species.first().map(|s| s.id.clone()) {
+                let smaller = sbml_compose::extract_submodel(&m, &[&seed], radius);
+                let larger = sbml_compose::extract_submodel(&m, &[&seed], radius + 1);
+                prop_assert!(larger.species.len() >= smaller.species.len());
+                prop_assert!(larger.reactions.len() >= smaller.reactions.len());
+                // zoom never exceeds the whole model
+                prop_assert!(larger.species.len() <= m.species.len());
+            }
+        }
+    }
+}

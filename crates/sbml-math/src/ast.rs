@@ -1,0 +1,507 @@
+//! The expression tree for content MathML.
+
+use std::fmt;
+
+/// Built-in operators and functions of the SBML MathML subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Op {
+    // n-ary arithmetic
+    /// `<plus/>` — n-ary, commutative.
+    Plus,
+    /// `<times/>` — n-ary, commutative.
+    Times,
+    /// `<minus/>` — unary negation or binary subtraction.
+    Minus,
+    /// `<divide/>` — binary.
+    Divide,
+    /// `<power/>` — binary.
+    Power,
+    /// `<root/>` — with optional `<degree>` (default 2).
+    Root,
+    // unary elementary functions
+    /// `<exp/>`.
+    Exp,
+    /// `<ln/>`.
+    Ln,
+    /// `<log/>` — with optional `<logbase>` (default 10).
+    Log,
+    /// `<abs/>`.
+    Abs,
+    /// `<floor/>`.
+    Floor,
+    /// `<ceiling/>`.
+    Ceiling,
+    /// `<factorial/>`.
+    Factorial,
+    /// `<sin/>`.
+    Sin,
+    /// `<cos/>`.
+    Cos,
+    /// `<tan/>`.
+    Tan,
+    /// `<arcsin/>`.
+    Arcsin,
+    /// `<arccos/>`.
+    Arccos,
+    /// `<arctan/>`.
+    Arctan,
+    /// `<sinh/>`.
+    Sinh,
+    /// `<cosh/>`.
+    Cosh,
+    /// `<tanh/>`.
+    Tanh,
+    // relational (SBML: eq/neq are n-ary in MathML but practically binary)
+    /// `<eq/>` — commutative as a 2-ary relation.
+    Eq,
+    /// `<neq/>` — commutative.
+    Neq,
+    /// `<gt/>`.
+    Gt,
+    /// `<lt/>`.
+    Lt,
+    /// `<geq/>`.
+    Geq,
+    /// `<leq/>`.
+    Leq,
+    // logical
+    /// `<and/>` — n-ary, commutative.
+    And,
+    /// `<or/>` — n-ary, commutative.
+    Or,
+    /// `<xor/>` — n-ary, commutative.
+    Xor,
+    /// `<not/>` — unary.
+    Not,
+}
+
+impl Op {
+    /// Whether operand order is irrelevant (drives the paper's Fig. 7
+    /// pattern canonicalisation).
+    pub fn is_commutative(self) -> bool {
+        matches!(self, Op::Plus | Op::Times | Op::Eq | Op::Neq | Op::And | Op::Or | Op::Xor)
+    }
+
+    /// Whether the operator is associative n-ary (nested applications can be
+    /// flattened: `(a+b)+c == a+(b+c) == plus(a,b,c)`).
+    pub fn is_associative(self) -> bool {
+        matches!(self, Op::Plus | Op::Times | Op::And | Op::Or)
+    }
+
+    /// The MathML element name (`<plus/>`, `<arcsin/>`, ...).
+    pub fn mathml_name(self) -> &'static str {
+        match self {
+            Op::Plus => "plus",
+            Op::Times => "times",
+            Op::Minus => "minus",
+            Op::Divide => "divide",
+            Op::Power => "power",
+            Op::Root => "root",
+            Op::Exp => "exp",
+            Op::Ln => "ln",
+            Op::Log => "log",
+            Op::Abs => "abs",
+            Op::Floor => "floor",
+            Op::Ceiling => "ceiling",
+            Op::Factorial => "factorial",
+            Op::Sin => "sin",
+            Op::Cos => "cos",
+            Op::Tan => "tan",
+            Op::Arcsin => "arcsin",
+            Op::Arccos => "arccos",
+            Op::Arctan => "arctan",
+            Op::Sinh => "sinh",
+            Op::Cosh => "cosh",
+            Op::Tanh => "tanh",
+            Op::Eq => "eq",
+            Op::Neq => "neq",
+            Op::Gt => "gt",
+            Op::Lt => "lt",
+            Op::Geq => "geq",
+            Op::Leq => "leq",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Xor => "xor",
+            Op::Not => "not",
+        }
+    }
+
+    /// Inverse of [`Op::mathml_name`].
+    pub fn from_mathml_name(name: &str) -> Option<Op> {
+        Some(match name {
+            "plus" => Op::Plus,
+            "times" => Op::Times,
+            "minus" => Op::Minus,
+            "divide" => Op::Divide,
+            "power" => Op::Power,
+            "root" => Op::Root,
+            "exp" => Op::Exp,
+            "ln" => Op::Ln,
+            "log" => Op::Log,
+            "abs" => Op::Abs,
+            "floor" => Op::Floor,
+            "ceiling" => Op::Ceiling,
+            "factorial" => Op::Factorial,
+            "sin" => Op::Sin,
+            "cos" => Op::Cos,
+            "tan" => Op::Tan,
+            "arcsin" => Op::Arcsin,
+            "arccos" => Op::Arccos,
+            "arctan" => Op::Arctan,
+            "sinh" => Op::Sinh,
+            "cosh" => Op::Cosh,
+            "tanh" => Op::Tanh,
+            "eq" => Op::Eq,
+            "neq" => Op::Neq,
+            "gt" => Op::Gt,
+            "lt" => Op::Lt,
+            "geq" => Op::Geq,
+            "leq" => Op::Leq,
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            "not" => Op::Not,
+            _ => return None,
+        })
+    }
+
+    /// (min, max) admissible argument count; `usize::MAX` = unbounded.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Op::Plus | Op::Times => (1, usize::MAX),
+            Op::And | Op::Or | Op::Xor => (1, usize::MAX),
+            Op::Minus => (1, 2),
+            Op::Divide | Op::Power => (2, 2),
+            Op::Root | Op::Log => (1, 2), // optional degree/logbase folded into args
+            Op::Eq | Op::Neq | Op::Gt | Op::Lt | Op::Geq | Op::Leq => (2, usize::MAX),
+            Op::Not => (1, 1),
+            _ => (1, 1),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mathml_name())
+    }
+}
+
+/// MathML named constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// `<pi/>`.
+    Pi,
+    /// `<exponentiale/>`.
+    ExponentialE,
+    /// `<true/>`.
+    True,
+    /// `<false/>`.
+    False,
+    /// `<infinity/>`.
+    Infinity,
+    /// `<notanumber/>`.
+    NotANumber,
+}
+
+impl Constant {
+    /// The MathML element name.
+    pub fn mathml_name(self) -> &'static str {
+        match self {
+            Constant::Pi => "pi",
+            Constant::ExponentialE => "exponentiale",
+            Constant::True => "true",
+            Constant::False => "false",
+            Constant::Infinity => "infinity",
+            Constant::NotANumber => "notanumber",
+        }
+    }
+
+    /// Inverse of [`Constant::mathml_name`].
+    pub fn from_mathml_name(name: &str) -> Option<Constant> {
+        Some(match name {
+            "pi" => Constant::Pi,
+            "exponentiale" => Constant::ExponentialE,
+            "true" => Constant::True,
+            "false" => Constant::False,
+            "infinity" => Constant::Infinity,
+            "notanumber" => Constant::NotANumber,
+            _ => return None,
+        })
+    }
+
+    /// Numeric value (booleans map to 1/0 as in the paper's evaluator).
+    pub fn value(self) -> f64 {
+        match self {
+            Constant::Pi => std::f64::consts::PI,
+            Constant::ExponentialE => std::f64::consts::E,
+            Constant::True => 1.0,
+            Constant::False => 0.0,
+            Constant::Infinity => f64::INFINITY,
+            Constant::NotANumber => f64::NAN,
+        }
+    }
+}
+
+/// SBML `<csymbol>` kinds (definitionURL-identified special symbols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CsymbolKind {
+    /// Simulation time (`.../symbols/time`).
+    Time,
+    /// Avogadro's number (`.../symbols/avogadro`).
+    Avogadro,
+    /// Delayed value (`.../symbols/delay`) — parsed, evaluated as identity.
+    Delay,
+}
+
+impl CsymbolKind {
+    /// Canonical SBML definitionURL.
+    pub fn definition_url(self) -> &'static str {
+        match self {
+            CsymbolKind::Time => "http://www.sbml.org/sbml/symbols/time",
+            CsymbolKind::Avogadro => "http://www.sbml.org/sbml/symbols/avogadro",
+            CsymbolKind::Delay => "http://www.sbml.org/sbml/symbols/delay",
+        }
+    }
+
+    /// Recognise a definitionURL (suffix match, tolerant of hosts).
+    pub fn from_definition_url(url: &str) -> Option<CsymbolKind> {
+        if url.ends_with("/time") {
+            Some(CsymbolKind::Time)
+        } else if url.ends_with("/avogadro") {
+            Some(CsymbolKind::Avogadro)
+        } else if url.ends_with("/delay") {
+            Some(CsymbolKind::Delay)
+        } else {
+            None
+        }
+    }
+}
+
+/// A content-MathML expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathExpr {
+    /// `<cn>` — a numeric literal.
+    Num(f64),
+    /// `<ci>` — an identifier reference (species, parameter, compartment,
+    /// function, reaction or local parameter id).
+    Ci(String),
+    /// `<csymbol>` — special symbol; the original text name is preserved for
+    /// round-tripping.
+    Csymbol {
+        /// Which special symbol.
+        kind: CsymbolKind,
+        /// Original display text (e.g. `t` or `time`).
+        name: String,
+    },
+    /// A named constant element.
+    Const(Constant),
+    /// `<apply>` of a built-in operator.
+    Apply {
+        /// The operator.
+        op: Op,
+        /// Operands in document order.
+        args: Vec<MathExpr>,
+    },
+    /// `<apply><ci>f</ci> args...</apply>` — call of a user-defined function
+    /// (SBML function definition).
+    Call {
+        /// Function definition id.
+        function: String,
+        /// Arguments in order.
+        args: Vec<MathExpr>,
+    },
+    /// `<piecewise>` with (value, condition) pieces and optional otherwise.
+    Piecewise {
+        /// `(value, condition)` pairs in document order.
+        pieces: Vec<(MathExpr, MathExpr)>,
+        /// `<otherwise>` value, if present.
+        otherwise: Option<Box<MathExpr>>,
+    },
+    /// `<lambda>` — function definition body with bound variables.
+    Lambda {
+        /// Bound variable names in order.
+        params: Vec<String>,
+        /// Function body.
+        body: Box<MathExpr>,
+    },
+}
+
+impl MathExpr {
+    /// Shorthand for an n-ary application.
+    pub fn apply(op: Op, args: Vec<MathExpr>) -> MathExpr {
+        MathExpr::Apply { op, args }
+    }
+
+    /// Shorthand for an identifier.
+    pub fn ci(name: impl Into<String>) -> MathExpr {
+        MathExpr::Ci(name.into())
+    }
+
+    /// Shorthand for a literal.
+    pub fn num(value: f64) -> MathExpr {
+        MathExpr::Num(value)
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        1 + match self {
+            MathExpr::Apply { args, .. } | MathExpr::Call { args, .. } => {
+                args.iter().map(MathExpr::size).sum()
+            }
+            MathExpr::Piecewise { pieces, otherwise } => {
+                pieces.iter().map(|(v, c)| v.size() + c.size()).sum::<usize>()
+                    + otherwise.as_deref().map_or(0, MathExpr::size)
+            }
+            MathExpr::Lambda { body, .. } => body.size(),
+            _ => 0,
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        1 + match self {
+            MathExpr::Apply { args, .. } | MathExpr::Call { args, .. } => {
+                args.iter().map(MathExpr::depth).max().unwrap_or(0)
+            }
+            MathExpr::Piecewise { pieces, otherwise } => pieces
+                .iter()
+                .map(|(v, c)| v.depth().max(c.depth()))
+                .chain(otherwise.as_deref().map(MathExpr::depth))
+                .max()
+                .unwrap_or(0),
+            MathExpr::Lambda { body, .. } => body.depth(),
+            _ => 0,
+        }
+    }
+
+    /// True for leaves (`cn`, `ci`, `csymbol`, constants).
+    pub fn is_leaf(&self) -> bool {
+        matches!(
+            self,
+            MathExpr::Num(_) | MathExpr::Ci(_) | MathExpr::Csymbol { .. } | MathExpr::Const(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(Op::Plus.is_commutative());
+        assert!(Op::Times.is_commutative());
+        assert!(Op::Eq.is_commutative());
+        assert!(Op::And.is_commutative());
+        assert!(!Op::Minus.is_commutative());
+        assert!(!Op::Divide.is_commutative());
+        assert!(!Op::Power.is_commutative());
+        assert!(!Op::Lt.is_commutative());
+    }
+
+    #[test]
+    fn op_name_round_trip() {
+        for op in [
+            Op::Plus,
+            Op::Times,
+            Op::Minus,
+            Op::Divide,
+            Op::Power,
+            Op::Root,
+            Op::Exp,
+            Op::Ln,
+            Op::Log,
+            Op::Abs,
+            Op::Floor,
+            Op::Ceiling,
+            Op::Factorial,
+            Op::Sin,
+            Op::Cos,
+            Op::Tan,
+            Op::Arcsin,
+            Op::Arccos,
+            Op::Arctan,
+            Op::Sinh,
+            Op::Cosh,
+            Op::Tanh,
+            Op::Eq,
+            Op::Neq,
+            Op::Gt,
+            Op::Lt,
+            Op::Geq,
+            Op::Leq,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Not,
+        ] {
+            assert_eq!(Op::from_mathml_name(op.mathml_name()), Some(op));
+        }
+        assert_eq!(Op::from_mathml_name("bogus"), None);
+    }
+
+    #[test]
+    fn constant_round_trip_and_values() {
+        for c in [
+            Constant::Pi,
+            Constant::ExponentialE,
+            Constant::True,
+            Constant::False,
+            Constant::Infinity,
+            Constant::NotANumber,
+        ] {
+            assert_eq!(Constant::from_mathml_name(c.mathml_name()), Some(c));
+        }
+        assert_eq!(Constant::True.value(), 1.0);
+        assert_eq!(Constant::False.value(), 0.0);
+        assert!(Constant::NotANumber.value().is_nan());
+        assert!((Constant::Pi.value() - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn csymbol_urls() {
+        assert_eq!(
+            CsymbolKind::from_definition_url("http://www.sbml.org/sbml/symbols/time"),
+            Some(CsymbolKind::Time)
+        );
+        assert_eq!(
+            CsymbolKind::from_definition_url("urn:other/avogadro"),
+            Some(CsymbolKind::Avogadro)
+        );
+        assert_eq!(CsymbolKind::from_definition_url("http://nothing"), None);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        // k1 * A * B
+        let e = MathExpr::apply(
+            Op::Times,
+            vec![MathExpr::ci("k1"), MathExpr::ci("A"), MathExpr::ci("B")],
+        );
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.depth(), 2);
+
+        let nested = MathExpr::apply(Op::Plus, vec![e.clone(), MathExpr::num(1.0)]);
+        assert_eq!(nested.size(), 6);
+        assert_eq!(nested.depth(), 3);
+
+        assert!(MathExpr::ci("x").is_leaf());
+        assert!(!nested.is_leaf());
+    }
+
+    #[test]
+    fn piecewise_size() {
+        let pw = MathExpr::Piecewise {
+            pieces: vec![(MathExpr::num(1.0), MathExpr::ci("c"))],
+            otherwise: Some(Box::new(MathExpr::num(0.0))),
+        };
+        assert_eq!(pw.size(), 4);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(Op::Divide.arity(), (2, 2));
+        assert_eq!(Op::Plus.arity().0, 1);
+        assert_eq!(Op::Not.arity(), (1, 1));
+    }
+}

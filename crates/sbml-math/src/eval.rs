@@ -1,0 +1,381 @@
+//! Numeric evaluation of expression trees.
+//!
+//! The paper embedded BeanShell to "allow Java maths strings to be executed
+//! as code" when evaluating initial assignments; this module is the native
+//! replacement. Evaluation happens against an [`Env`] of variable values and
+//! SBML function definitions, plus the simulation clock for the `time`
+//! csymbol.
+
+use std::collections::HashMap;
+
+use crate::ast::{CsymbolKind, MathExpr, Op};
+use crate::error::MathError;
+
+/// Avogadro's constant (molecules per mole), as used in paper Fig. 6.
+pub const AVOGADRO: f64 = 6.022e23;
+
+/// Maximum nested function-definition expansion depth. SBML forbids
+/// recursive function definitions; the limit turns accidental cycles into a
+/// clean error instead of a stack overflow.
+const MAX_CALL_DEPTH: usize = 64;
+
+/// An evaluation environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    /// Variable values (species, parameters, compartments, reaction ids).
+    pub vars: HashMap<String, f64>,
+    /// SBML function definitions: id → (parameters, body).
+    pub functions: HashMap<String, (Vec<String>, MathExpr)>,
+    /// Current simulation time (the `time` csymbol).
+    pub time: f64,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Builder: bind a variable.
+    #[must_use]
+    pub fn with_var(mut self, name: impl Into<String>, value: f64) -> Env {
+        self.vars.insert(name.into(), value);
+        self
+    }
+
+    /// Builder: register a function definition from a [`MathExpr::Lambda`].
+    ///
+    /// Non-lambda bodies are treated as zero-parameter functions.
+    #[must_use]
+    pub fn with_function(mut self, name: impl Into<String>, definition: MathExpr) -> Env {
+        self.set_function(name, definition);
+        self
+    }
+
+    /// Register a function definition (see [`Env::with_function`]).
+    pub fn set_function(&mut self, name: impl Into<String>, definition: MathExpr) {
+        match definition {
+            MathExpr::Lambda { params, body } => {
+                self.functions.insert(name.into(), (params, *body));
+            }
+            other => {
+                self.functions.insert(name.into(), (Vec::new(), other));
+            }
+        }
+    }
+
+    /// Bind a variable.
+    pub fn set_var(&mut self, name: impl Into<String>, value: f64) {
+        self.vars.insert(name.into(), value);
+    }
+}
+
+/// Evaluate an expression in an environment.
+pub fn evaluate(expr: &MathExpr, env: &Env) -> Result<f64, MathError> {
+    eval_inner(expr, env, &HashMap::new(), 0)
+}
+
+fn eval_inner(
+    expr: &MathExpr,
+    env: &Env,
+    locals: &HashMap<String, f64>,
+    depth: usize,
+) -> Result<f64, MathError> {
+    match expr {
+        MathExpr::Num(v) => Ok(*v),
+        MathExpr::Ci(name) => locals
+            .get(name)
+            .or_else(|| env.vars.get(name))
+            .copied()
+            .ok_or_else(|| MathError::UnknownIdentifier { name: name.clone() }),
+        MathExpr::Csymbol { kind, .. } => Ok(match kind {
+            CsymbolKind::Time => env.time,
+            CsymbolKind::Avogadro => AVOGADRO,
+            CsymbolKind::Delay => f64::NAN, // bare delay symbol has no value
+        }),
+        MathExpr::Const(c) => Ok(c.value()),
+        MathExpr::Apply { op, args } => eval_apply(*op, args, env, locals, depth),
+        MathExpr::Call { function, args } => {
+            // delay(x, tau) is evaluated as x (no history in a point eval).
+            if function == "delay" && args.len() == 2 {
+                return eval_inner(&args[0], env, locals, depth);
+            }
+            if depth >= MAX_CALL_DEPTH {
+                return Err(MathError::RecursionLimit { function: function.clone() });
+            }
+            let Some((params, body)) = env.functions.get(function) else {
+                return Err(MathError::UnknownFunction { name: function.clone() });
+            };
+            if params.len() != args.len() {
+                return Err(MathError::WrongArgCount {
+                    function: function.clone(),
+                    expected: params.len(),
+                    got: args.len(),
+                });
+            }
+            let mut frame = HashMap::with_capacity(params.len());
+            for (p, a) in params.iter().zip(args) {
+                frame.insert(p.clone(), eval_inner(a, env, locals, depth)?);
+            }
+            // Function bodies see only their parameters plus globals (SBML
+            // function definitions are closed).
+            eval_inner(body, env, &frame, depth + 1)
+        }
+        MathExpr::Piecewise { pieces, otherwise } => {
+            for (value, cond) in pieces {
+                if eval_inner(cond, env, locals, depth)? != 0.0 {
+                    return eval_inner(value, env, locals, depth);
+                }
+            }
+            match otherwise {
+                Some(other) => eval_inner(other, env, locals, depth),
+                None => Err(MathError::NoBranchTaken),
+            }
+        }
+        MathExpr::Lambda { body, .. } => {
+            // A bare lambda evaluates its body (params unbound -> error if used).
+            eval_inner(body, env, locals, depth)
+        }
+    }
+}
+
+fn eval_apply(
+    op: Op,
+    args: &[MathExpr],
+    env: &Env,
+    locals: &HashMap<String, f64>,
+    depth: usize,
+) -> Result<f64, MathError> {
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval_inner(a, env, locals, depth)?);
+    }
+    let bool_of = |v: f64| v != 0.0;
+    let of_bool = |b: bool| if b { 1.0 } else { 0.0 };
+    Ok(match op {
+        Op::Plus => vals.iter().sum(),
+        Op::Times => vals.iter().product(),
+        Op::Minus => {
+            if vals.len() == 1 {
+                -vals[0]
+            } else {
+                vals[0] - vals[1]
+            }
+        }
+        Op::Divide => vals[0] / vals[1],
+        Op::Power => vals[0].powf(vals[1]),
+        Op::Root => vals[1].powf(1.0 / vals[0]),
+        Op::Exp => vals[0].exp(),
+        Op::Ln => vals[0].ln(),
+        Op::Log => vals[1].ln() / vals[0].ln(),
+        Op::Abs => vals[0].abs(),
+        Op::Floor => vals[0].floor(),
+        Op::Ceiling => vals[0].ceil(),
+        Op::Factorial => factorial(vals[0]),
+        Op::Sin => vals[0].sin(),
+        Op::Cos => vals[0].cos(),
+        Op::Tan => vals[0].tan(),
+        Op::Arcsin => vals[0].asin(),
+        Op::Arccos => vals[0].acos(),
+        Op::Arctan => vals[0].atan(),
+        Op::Sinh => vals[0].sinh(),
+        Op::Cosh => vals[0].cosh(),
+        Op::Tanh => vals[0].tanh(),
+        Op::Eq => of_bool(vals.windows(2).all(|w| w[0] == w[1])),
+        Op::Neq => of_bool(vals.windows(2).all(|w| w[0] != w[1])),
+        Op::Gt => of_bool(vals.windows(2).all(|w| w[0] > w[1])),
+        Op::Lt => of_bool(vals.windows(2).all(|w| w[0] < w[1])),
+        Op::Geq => of_bool(vals.windows(2).all(|w| w[0] >= w[1])),
+        Op::Leq => of_bool(vals.windows(2).all(|w| w[0] <= w[1])),
+        Op::And => of_bool(vals.iter().all(|v| bool_of(*v))),
+        Op::Or => of_bool(vals.iter().any(|v| bool_of(*v))),
+        Op::Xor => of_bool(vals.iter().filter(|v| bool_of(**v)).count() % 2 == 1),
+        Op::Not => of_bool(!bool_of(vals[0])),
+    })
+}
+
+fn factorial(v: f64) -> f64 {
+    if v < 0.0 || v.fract() != 0.0 || v > 170.0 {
+        return f64::NAN;
+    }
+    let mut acc = 1.0;
+    let mut k = 2.0;
+    while k <= v {
+        acc *= k;
+        k += 1.0;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infix::parse;
+
+    fn eval_str(src: &str, env: &Env) -> f64 {
+        evaluate(&parse(src).unwrap(), env).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let env = Env::new().with_var("x", 3.0).with_var("y", 4.0);
+        assert_eq!(eval_str("x + y", &env), 7.0);
+        assert_eq!(eval_str("x * y - 2", &env), 10.0);
+        assert_eq!(eval_str("y / x", &env), 4.0 / 3.0);
+        assert_eq!(eval_str("x^2 + y^2", &env), 25.0);
+        assert_eq!(eval_str("sqrt(x^2 + y^2)", &env), 5.0);
+        assert_eq!(eval_str("-x", &env), -3.0);
+    }
+
+    #[test]
+    fn elementary_functions() {
+        let env = Env::new().with_var("x", 1.0);
+        assert!((eval_str("exp(ln(x + 1))", &env) - 2.0).abs() < 1e-12);
+        assert_eq!(eval_str("log(100)", &env), 2.0);
+        assert_eq!(eval_str("log(2, 8)", &env), 3.0);
+        assert_eq!(eval_str("abs(-5)", &env), 5.0);
+        assert_eq!(eval_str("floor(2.7)", &env), 2.0);
+        assert_eq!(eval_str("ceil(2.2)", &env), 3.0);
+        assert_eq!(eval_str("factorial(5)", &env), 120.0);
+        assert!(eval_str("factorial(2.5)", &env).is_nan());
+        assert!((eval_str("sin(0)", &env)).abs() < 1e-15);
+        assert!((eval_str("cos(0)", &env) - 1.0).abs() < 1e-15);
+        assert_eq!(eval_str("root(3, 27)", &env), 3.0);
+    }
+
+    #[test]
+    fn relational_and_boolean() {
+        let env = Env::new().with_var("x", 3.0);
+        assert_eq!(eval_str("x < 5", &env), 1.0);
+        assert_eq!(eval_str("x > 5", &env), 0.0);
+        assert_eq!(eval_str("x == 3", &env), 1.0);
+        assert_eq!(eval_str("x != 3", &env), 0.0);
+        assert_eq!(eval_str("x >= 3 && x <= 3", &env), 1.0);
+        assert_eq!(eval_str("x > 5 || x < 4", &env), 1.0);
+        assert_eq!(eval_str("!(x == 3)", &env), 0.0);
+    }
+
+    #[test]
+    fn piecewise_branches() {
+        let env = Env::new().with_var("x", 3.0);
+        assert_eq!(eval_str("piecewise(10, x < 5, 20)", &env), 10.0);
+        assert_eq!(eval_str("piecewise(10, x > 5, 20)", &env), 20.0);
+        let no_branch = parse("piecewise(10, x > 5)").unwrap();
+        assert_eq!(evaluate(&no_branch, &env), Err(MathError::NoBranchTaken));
+    }
+
+    #[test]
+    fn constants_and_csymbols() {
+        let mut env = Env::new();
+        env.time = 42.0;
+        assert_eq!(eval_str("time", &env), 42.0);
+        assert_eq!(eval_str("avogadro", &env), AVOGADRO);
+        assert!((eval_str("pi", &env) - std::f64::consts::PI).abs() < 1e-15);
+        assert_eq!(eval_str("true", &env), 1.0);
+        assert_eq!(eval_str("false", &env), 0.0);
+        assert_eq!(eval_str("infinity", &env), f64::INFINITY);
+    }
+
+    #[test]
+    fn unknown_identifier() {
+        let env = Env::new();
+        assert_eq!(
+            evaluate(&parse("mystery").unwrap(), &env),
+            Err(MathError::UnknownIdentifier { name: "mystery".into() })
+        );
+    }
+
+    #[test]
+    fn function_definitions() {
+        let body = parse("Vmax * S / (Km + S)").unwrap();
+        let lambda = MathExpr::Lambda {
+            params: vec!["S".into(), "Vmax".into(), "Km".into()],
+            body: Box::new(body),
+        };
+        let env = Env::new().with_function("mm", lambda).with_var("sub", 2.0);
+        let call = parse("mm(sub, 10, 2)").unwrap();
+        assert_eq!(evaluate(&call, &env).unwrap(), 5.0);
+
+        // Wrong arity
+        let bad = parse("mm(sub)").unwrap();
+        assert!(matches!(evaluate(&bad, &env), Err(MathError::WrongArgCount { .. })));
+
+        // Unknown function
+        let missing = parse("nosuch(1)").unwrap();
+        assert!(matches!(evaluate(&missing, &env), Err(MathError::UnknownFunction { .. })));
+    }
+
+    #[test]
+    fn function_bodies_are_closed_over_params_and_globals() {
+        // f(x) = x + g where g is global; local `y` of caller must NOT leak.
+        let f = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + g").unwrap()),
+        };
+        let env = Env::new().with_function("f", f).with_var("g", 100.0).with_var("y", 5.0);
+        assert_eq!(evaluate(&parse("f(1)").unwrap(), &env).unwrap(), 101.0);
+
+        let f_leaky = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + y").unwrap()),
+        };
+        let env2 = Env::new().with_function("f", f_leaky).with_var("g", 100.0);
+        // `y` resolves from globals if bound there, else errors — here it is
+        // unbound, and caller locals never leak in.
+        assert!(evaluate(&parse("f(1)").unwrap(), &env2).is_err());
+    }
+
+    #[test]
+    fn recursive_function_hits_limit() {
+        let rec = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(MathExpr::Call {
+                function: "r".into(),
+                args: vec![MathExpr::ci("x")],
+            }),
+        };
+        let env = Env::new().with_function("r", rec);
+        assert!(matches!(
+            evaluate(&parse("r(1)").unwrap(), &env),
+            Err(MathError::RecursionLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn delay_evaluates_to_operand() {
+        let env = Env::new().with_var("x", 7.0);
+        assert_eq!(eval_str("delay(x, 5)", &env), 7.0);
+    }
+
+    #[test]
+    fn division_semantics_ieee() {
+        let env = Env::new();
+        assert_eq!(eval_str("1/0", &env), f64::INFINITY);
+        assert!(eval_str("0/0", &env).is_nan());
+    }
+
+    #[test]
+    fn nary_relations_chain() {
+        let env = Env::new();
+        let e = MathExpr::apply(
+            Op::Lt,
+            vec![MathExpr::num(1.0), MathExpr::num(2.0), MathExpr::num(3.0)],
+        );
+        assert_eq!(evaluate(&e, &env).unwrap(), 1.0);
+        let e2 = MathExpr::apply(
+            Op::Lt,
+            vec![MathExpr::num(1.0), MathExpr::num(3.0), MathExpr::num(2.0)],
+        );
+        assert_eq!(evaluate(&e2, &env).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn xor_parity() {
+        let env = Env::new();
+        let e = MathExpr::apply(
+            Op::Xor,
+            vec![MathExpr::num(1.0), MathExpr::num(1.0), MathExpr::num(1.0)],
+        );
+        assert_eq!(evaluate(&e, &env).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,705 @@
+//! Infix formula parser (`"Vmax*S/(Km+S)"` → [`MathExpr`]).
+//!
+//! The grammar mirrors libSBML's formula syntax, which is how modellers
+//! habitually write kinetic laws. It is the construction path used by the
+//! synthetic corpus generator and the examples; the XML path
+//! ([`crate::parser`]) is what model files go through.
+//!
+//! Precedence, loosest → tightest: `||`, `&&`, `!`, comparisons, `+ -`,
+//! `* /`, unary `-`, `^` (right-associative), atoms.
+//!
+//! Recognised names: built-in unary functions (`sin`, `exp`, `ln`, ...),
+//! `log(x)` (base 10) / `log(b, x)`, `sqrt(x)`, `root(n, x)`, `pow(a, b)`,
+//! `piecewise(v1, c1, ..., [otherwise])`, the constants `pi`,
+//! `exponentiale`, `true`, `false`, `infinity`, `notanumber`, and the
+//! csymbols `time` and `avogadro`. Any other `name(...)` becomes a
+//! [`MathExpr::Call`] to an SBML function definition.
+
+use crate::ast::{Constant, CsymbolKind, MathExpr, Op};
+use crate::error::MathError;
+
+/// Parse an infix formula into an expression tree.
+pub fn parse(formula: &str) -> Result<MathExpr, MathError> {
+    let tokens = lex(formula)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(MathError::Syntax {
+            offset: parser.current_offset(),
+            detail: format!("unexpected trailing token {:?}", parser.peek_kind()),
+        });
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+    EqEq,
+    NotEq,
+    Lt,
+    Leq,
+    Gt,
+    Geq,
+    AndAnd,
+    OrOr,
+    Bang,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, MathError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'+' => {
+                out.push((start, Tok::Plus));
+                i += 1;
+            }
+            b'-' => {
+                out.push((start, Tok::Minus));
+                i += 1;
+            }
+            b'*' => {
+                out.push((start, Tok::Star));
+                i += 1;
+            }
+            b'/' => {
+                out.push((start, Tok::Slash));
+                i += 1;
+            }
+            b'^' => {
+                out.push((start, Tok::Caret));
+                i += 1;
+            }
+            b'(' => {
+                out.push((start, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                out.push((start, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                out.push((start, Tok::Comma));
+                i += 1;
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((start, Tok::EqEq));
+                    i += 2;
+                } else {
+                    return Err(MathError::Syntax {
+                        offset: i,
+                        detail: "single '=' (use '==')".to_owned(),
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((start, Tok::NotEq));
+                    i += 2;
+                } else {
+                    out.push((start, Tok::Bang));
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((start, Tok::Leq));
+                    i += 2;
+                } else {
+                    out.push((start, Tok::Lt));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((start, Tok::Geq));
+                    i += 2;
+                } else {
+                    out.push((start, Tok::Gt));
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push((start, Tok::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(MathError::Syntax {
+                        offset: i,
+                        detail: "single '&' (use '&&')".to_owned(),
+                    });
+                }
+            }
+            b'|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push((start, Tok::OrOr));
+                    i += 2;
+                } else {
+                    return Err(MathError::Syntax {
+                        offset: i,
+                        detail: "single '|' (use '||')".to_owned(),
+                    });
+                }
+            }
+            b'0'..=b'9' | b'.' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                    j += 1;
+                }
+                // exponent part
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &src[i..j];
+                let value: f64 = text.parse().map_err(|_| MathError::Syntax {
+                    offset: i,
+                    detail: format!("bad number {text:?}"),
+                })?;
+                out.push((start, Tok::Num(value)));
+                i = j;
+            }
+            _ => {
+                let c = src[i..].chars().next().expect("in range");
+                if c.is_alphabetic() || c == '_' {
+                    let mut j = i;
+                    for ch in src[i..].chars() {
+                        if ch.is_alphanumeric() || ch == '_' {
+                            j += ch.len_utf8();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push((start, Tok::Ident(src[i..j].to_owned())));
+                    i = j;
+                } else {
+                    return Err(MathError::Syntax {
+                        offset: i,
+                        detail: format!("unexpected character {c:?}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek_kind(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t:?}"),
+            None => "end of input".to_owned(),
+        }
+    }
+
+    fn current_offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |(o, _)| *o + 1),
+            |(o, _)| *o,
+        )
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), MathError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(MathError::Syntax {
+                offset: self.current_offset(),
+                detail: format!("expected {tok:?}, found {}", self.peek_kind()),
+            })
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<MathExpr, MathError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            lhs = nary(Op::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<MathExpr, MathError> {
+        let mut lhs = self.parse_not()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let rhs = self.parse_not()?;
+            lhs = nary(Op::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<MathExpr, MathError> {
+        if self.peek() == Some(&Tok::Bang) {
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            return Ok(MathExpr::apply(Op::Not, vec![inner]));
+        }
+        self.parse_rel()
+    }
+
+    fn parse_rel(&mut self) -> Result<MathExpr, MathError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Op::Eq,
+            Some(Tok::NotEq) => Op::Neq,
+            Some(Tok::Lt) => Op::Lt,
+            Some(Tok::Leq) => Op::Leq,
+            Some(Tok::Gt) => Op::Gt,
+            Some(Tok::Geq) => Op::Geq,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_add()?;
+        Ok(MathExpr::apply(op, vec![lhs, rhs]))
+    }
+
+    fn parse_add(&mut self) -> Result<MathExpr, MathError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = nary(Op::Plus, lhs, rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = MathExpr::apply(Op::Minus, vec![lhs, rhs]);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<MathExpr, MathError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = nary(Op::Times, lhs, rhs);
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = MathExpr::apply(Op::Divide, vec![lhs, rhs]);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<MathExpr, MathError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let inner = self.parse_unary()?;
+                // Fold numeric literals immediately: -3 is a number.
+                if let MathExpr::Num(v) = inner {
+                    Ok(MathExpr::Num(-v))
+                } else {
+                    Ok(MathExpr::apply(Op::Minus, vec![inner]))
+                }
+            }
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                self.parse_unary()
+            }
+            _ => self.parse_power(),
+        }
+    }
+
+    fn parse_power(&mut self) -> Result<MathExpr, MathError> {
+        let base = self.parse_atom()?;
+        if self.peek() == Some(&Tok::Caret) {
+            self.pos += 1;
+            // right-associative; exponent may itself be unary-negated
+            let exponent = self.parse_unary()?;
+            return Ok(MathExpr::apply(Op::Power, vec![base, exponent]));
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> Result<MathExpr, MathError> {
+        let offset = self.current_offset();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(MathExpr::Num(v)),
+            Some(Tok::LParen) => {
+                let inner = self.parse_or()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_or()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    build_call(&name, args, offset)
+                } else {
+                    Ok(named_leaf(&name))
+                }
+            }
+            other => Err(MathError::Syntax {
+                offset,
+                detail: format!(
+                    "expected a number, name or '(', found {}",
+                    other.map_or_else(|| "end of input".to_owned(), |t| format!("{t:?}"))
+                ),
+            }),
+        }
+    }
+}
+
+/// Merge into an existing n-ary application when possible (builds flat
+/// `plus(a,b,c)` rather than `plus(plus(a,b),c)`).
+fn nary(op: Op, lhs: MathExpr, rhs: MathExpr) -> MathExpr {
+    match lhs {
+        MathExpr::Apply { op: lop, mut args } if lop == op => {
+            args.push(rhs);
+            MathExpr::Apply { op, args }
+        }
+        other => MathExpr::apply(op, vec![other, rhs]),
+    }
+}
+
+fn named_leaf(name: &str) -> MathExpr {
+    if let Some(c) = Constant::from_mathml_name(name) {
+        return MathExpr::Const(c);
+    }
+    match name {
+        "time" => MathExpr::Csymbol { kind: CsymbolKind::Time, name: "time".into() },
+        "avogadro" => MathExpr::Csymbol { kind: CsymbolKind::Avogadro, name: "avogadro".into() },
+        _ => MathExpr::Ci(name.to_owned()),
+    }
+}
+
+fn build_call(name: &str, mut args: Vec<MathExpr>, offset: usize) -> Result<MathExpr, MathError> {
+    let unary_op = |op: Op, args: Vec<MathExpr>| -> Result<MathExpr, MathError> {
+        if args.len() != 1 {
+            return Err(MathError::Syntax {
+                offset,
+                detail: format!("{name}() takes exactly 1 argument, got {}", args.len()),
+            });
+        }
+        Ok(MathExpr::apply(op, args))
+    };
+    match name {
+        "exp" => unary_op(Op::Exp, args),
+        "ln" => unary_op(Op::Ln, args),
+        "abs" => unary_op(Op::Abs, args),
+        "floor" => unary_op(Op::Floor, args),
+        "ceil" | "ceiling" => unary_op(Op::Ceiling, args),
+        "factorial" => unary_op(Op::Factorial, args),
+        "sin" => unary_op(Op::Sin, args),
+        "cos" => unary_op(Op::Cos, args),
+        "tan" => unary_op(Op::Tan, args),
+        "arcsin" | "asin" => unary_op(Op::Arcsin, args),
+        "arccos" | "acos" => unary_op(Op::Arccos, args),
+        "arctan" | "atan" => unary_op(Op::Arctan, args),
+        "sinh" => unary_op(Op::Sinh, args),
+        "cosh" => unary_op(Op::Cosh, args),
+        "tanh" => unary_op(Op::Tanh, args),
+        "not" => unary_op(Op::Not, args),
+        "sqrt" => {
+            if args.len() != 1 {
+                return Err(MathError::Syntax {
+                    offset,
+                    detail: "sqrt() takes exactly 1 argument".to_owned(),
+                });
+            }
+            args.insert(0, MathExpr::Num(2.0));
+            Ok(MathExpr::apply(Op::Root, args))
+        }
+        "root" => {
+            if args.len() != 2 {
+                return Err(MathError::Syntax {
+                    offset,
+                    detail: "root(degree, x) takes exactly 2 arguments".to_owned(),
+                });
+            }
+            Ok(MathExpr::apply(Op::Root, args))
+        }
+        "log" => match args.len() {
+            1 => {
+                args.insert(0, MathExpr::Num(10.0));
+                Ok(MathExpr::apply(Op::Log, args))
+            }
+            2 => Ok(MathExpr::apply(Op::Log, args)),
+            n => Err(MathError::Syntax {
+                offset,
+                detail: format!("log() takes 1 or 2 arguments, got {n}"),
+            }),
+        },
+        "pow" | "power" => {
+            if args.len() != 2 {
+                return Err(MathError::Syntax {
+                    offset,
+                    detail: "pow(base, exponent) takes exactly 2 arguments".to_owned(),
+                });
+            }
+            Ok(MathExpr::apply(Op::Power, args))
+        }
+        "piecewise" => {
+            let otherwise = if args.len() % 2 == 1 {
+                Some(Box::new(args.pop().expect("odd length")))
+            } else {
+                None
+            };
+            let mut pieces = Vec::with_capacity(args.len() / 2);
+            let mut it = args.into_iter();
+            while let (Some(v), Some(c)) = (it.next(), it.next()) {
+                pieces.push((v, c));
+            }
+            Ok(MathExpr::Piecewise { pieces, otherwise })
+        }
+        "delay" => {
+            if args.len() != 2 {
+                return Err(MathError::Syntax {
+                    offset,
+                    detail: "delay(x, tau) takes exactly 2 arguments".to_owned(),
+                });
+            }
+            // Modelled as a call to the delay csymbol; evaluated as identity
+            // on the first argument.
+            Ok(MathExpr::Call { function: "delay".into(), args })
+        }
+        _ => Ok(MathExpr::Call { function: name.to_owned(), args }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::to_infix;
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse("a + b * c").unwrap();
+        assert_eq!(
+            e,
+            MathExpr::apply(
+                Op::Plus,
+                vec![
+                    MathExpr::ci("a"),
+                    MathExpr::apply(Op::Times, vec![MathExpr::ci("b"), MathExpr::ci("c")])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn nary_flattening() {
+        let e = parse("a + b + c + d").unwrap();
+        match e {
+            MathExpr::Apply { op: Op::Plus, args } => assert_eq!(args.len(), 4),
+            other => panic!("{other:?}"),
+        }
+        let m = parse("a * b * c").unwrap();
+        match m {
+            MathExpr::Apply { op: Op::Times, args } => assert_eq!(args.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtraction_not_flattened() {
+        // a - b - c must be (a-b)-c
+        let e = parse("a - b - c").unwrap();
+        assert_eq!(
+            e,
+            MathExpr::apply(
+                Op::Minus,
+                vec![
+                    MathExpr::apply(Op::Minus, vec![MathExpr::ci("a"), MathExpr::ci("b")]),
+                    MathExpr::ci("c")
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn power_right_associative() {
+        let e = parse("a ^ b ^ c").unwrap();
+        assert_eq!(
+            e,
+            MathExpr::apply(
+                Op::Power,
+                vec![
+                    MathExpr::ci("a"),
+                    MathExpr::apply(Op::Power, vec![MathExpr::ci("b"), MathExpr::ci("c")])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn unary_minus_and_numbers() {
+        assert_eq!(parse("-3").unwrap(), MathExpr::num(-3.0));
+        assert_eq!(parse("2e-3").unwrap(), MathExpr::num(0.002));
+        assert_eq!(parse(".5").unwrap(), MathExpr::num(0.5));
+        let e = parse("-x").unwrap();
+        assert_eq!(e, MathExpr::apply(Op::Minus, vec![MathExpr::ci("x")]));
+        assert_eq!(parse("+x").unwrap(), MathExpr::ci("x"));
+    }
+
+    #[test]
+    fn michaelis_menten() {
+        let e = parse("Vmax * S / (Km + S)").unwrap();
+        assert_eq!(
+            e,
+            MathExpr::apply(
+                Op::Divide,
+                vec![
+                    MathExpr::apply(Op::Times, vec![MathExpr::ci("Vmax"), MathExpr::ci("S")]),
+                    MathExpr::apply(Op::Plus, vec![MathExpr::ci("Km"), MathExpr::ci("S")])
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn builtin_functions() {
+        assert_eq!(
+            parse("sqrt(x)").unwrap(),
+            MathExpr::apply(Op::Root, vec![MathExpr::num(2.0), MathExpr::ci("x")])
+        );
+        assert_eq!(
+            parse("log(x)").unwrap(),
+            MathExpr::apply(Op::Log, vec![MathExpr::num(10.0), MathExpr::ci("x")])
+        );
+        assert_eq!(
+            parse("log(2, x)").unwrap(),
+            MathExpr::apply(Op::Log, vec![MathExpr::num(2.0), MathExpr::ci("x")])
+        );
+        assert_eq!(
+            parse("pow(x, 2)").unwrap(),
+            MathExpr::apply(Op::Power, vec![MathExpr::ci("x"), MathExpr::num(2.0)])
+        );
+    }
+
+    #[test]
+    fn user_call_and_constants() {
+        assert_eq!(
+            parse("mm(S, Vmax, Km)").unwrap(),
+            MathExpr::Call {
+                function: "mm".into(),
+                args: vec![MathExpr::ci("S"), MathExpr::ci("Vmax"), MathExpr::ci("Km")]
+            }
+        );
+        assert_eq!(parse("pi").unwrap(), MathExpr::Const(Constant::Pi));
+        assert!(matches!(
+            parse("time").unwrap(),
+            MathExpr::Csymbol { kind: CsymbolKind::Time, .. }
+        ));
+    }
+
+    #[test]
+    fn boolean_and_relational() {
+        let e = parse("x < 5 && y >= 2 || !z").unwrap();
+        match e {
+            MathExpr::Apply { op: Op::Or, args } => {
+                assert_eq!(args.len(), 2);
+                assert!(matches!(&args[0], MathExpr::Apply { op: Op::And, .. }));
+                assert!(matches!(&args[1], MathExpr::Apply { op: Op::Not, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn piecewise_sugar() {
+        let e = parse("piecewise(1, x < 5, 0)").unwrap();
+        match e {
+            MathExpr::Piecewise { pieces, otherwise } => {
+                assert_eq!(pieces.len(), 1);
+                assert!(otherwise.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_have_offsets() {
+        for (src, _) in [("a +", 3), ("(a", 2), ("a b", 2), ("1.2.3", 0), ("a = b", 2), ("&", 0)] {
+            let err = parse(src).unwrap_err();
+            assert!(matches!(err, MathError::Syntax { .. }), "{src}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn infix_round_trip() {
+        for src in [
+            "k1 * A * B",
+            "Vmax * S / (Km + S)",
+            "a - (b - c)",
+            "x^2 + y^2",
+            "piecewise(1, x < 5, 0)",
+            "sin(x) + cos(y)",
+            "(a + b) * c",
+            "-kf * A + kr * B",
+        ] {
+            let e = parse(src).unwrap();
+            let printed = to_infix(&e);
+            let reparsed = parse(&printed).unwrap();
+            assert_eq!(reparsed, e, "{src} -> {printed}");
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Content-MathML → [`MathExpr`] parsing.
+//!
+//! Accepts the SBML subset of MathML 2.0 content markup: `cn` (including
+//! `integer`, `real`, `e-notation` and `rational` types), `ci`, `csymbol`,
+//! named constants, `apply` with built-in operators or function-definition
+//! calls, `degree`/`logbase` qualifiers, `piecewise` and `lambda`.
+//! Namespace prefixes on element names are ignored (`m:apply` == `apply`).
+
+use sbml_xml::Element;
+
+use crate::ast::{Constant, CsymbolKind, MathExpr, Op};
+use crate::error::MathError;
+
+/// Strip any namespace prefix from a qualified name.
+pub fn local_name(qualified: &str) -> &str {
+    match qualified.rfind(':') {
+        Some(idx) => &qualified[idx + 1..],
+        None => qualified,
+    }
+}
+
+/// Parse a `<math>` wrapper or a bare MathML operand element.
+pub fn parse(element: &Element) -> Result<MathExpr, MathError> {
+    if local_name(&element.name) == "math" {
+        let mut operands = element.child_elements();
+        let Some(first) = operands.next() else {
+            return Err(MathError::BadApply { detail: "<math> has no child".to_owned() });
+        };
+        if operands.next().is_some() {
+            return Err(MathError::BadApply {
+                detail: "<math> has more than one child".to_owned(),
+            });
+        }
+        parse_node(first)
+    } else {
+        parse_node(element)
+    }
+}
+
+fn parse_node(e: &Element) -> Result<MathExpr, MathError> {
+    match local_name(&e.name) {
+        "cn" => parse_cn(e),
+        "ci" => Ok(MathExpr::Ci(e.text().trim().to_owned())),
+        "csymbol" => parse_csymbol(e),
+        "apply" => parse_apply(e),
+        "piecewise" => parse_piecewise(e),
+        "lambda" => parse_lambda(e),
+        other => {
+            if let Some(c) = Constant::from_mathml_name(other) {
+                Ok(MathExpr::Const(c))
+            } else {
+                Err(MathError::UnknownElement { name: other.to_owned() })
+            }
+        }
+    }
+}
+
+fn parse_cn(e: &Element) -> Result<MathExpr, MathError> {
+    let ty = e.attr("type").unwrap_or("real");
+    // e-notation / rational use a <sep/> element between two number parts.
+    let parts: Vec<String> = split_on_sep(e);
+    let bad = || MathError::BadNumber { text: e.text().trim().to_owned() };
+    match ty {
+        "e-notation" => {
+            if parts.len() != 2 {
+                return Err(bad());
+            }
+            let mantissa: f64 = parts[0].trim().parse().map_err(|_| bad())?;
+            let exponent: f64 = parts[1].trim().parse().map_err(|_| bad())?;
+            Ok(MathExpr::Num(mantissa * 10f64.powf(exponent)))
+        }
+        "rational" => {
+            if parts.len() != 2 {
+                return Err(bad());
+            }
+            let num: f64 = parts[0].trim().parse().map_err(|_| bad())?;
+            let den: f64 = parts[1].trim().parse().map_err(|_| bad())?;
+            Ok(MathExpr::Num(num / den))
+        }
+        // "integer" | "real" | anything else: single payload
+        _ => {
+            let text = e.text();
+            let trimmed = text.trim();
+            let value: f64 = trimmed.parse().map_err(|_| bad())?;
+            Ok(MathExpr::Num(value))
+        }
+    }
+}
+
+/// Split `<cn>` content on `<sep/>` children.
+fn split_on_sep(e: &Element) -> Vec<String> {
+    let mut parts = vec![String::new()];
+    for node in &e.children {
+        match node {
+            sbml_xml::Node::Text(t) | sbml_xml::Node::CData(t) => {
+                parts.last_mut().expect("non-empty").push_str(t);
+            }
+            sbml_xml::Node::Element(el) if local_name(&el.name) == "sep" => {
+                parts.push(String::new());
+            }
+            _ => {}
+        }
+    }
+    parts
+}
+
+fn parse_csymbol(e: &Element) -> Result<MathExpr, MathError> {
+    let url = e.attr("definitionURL").unwrap_or("");
+    let Some(kind) = CsymbolKind::from_definition_url(url) else {
+        return Err(MathError::UnknownElement { name: format!("csymbol[{url}]") });
+    };
+    Ok(MathExpr::Csymbol { kind, name: e.text().trim().to_owned() })
+}
+
+fn parse_apply(e: &Element) -> Result<MathExpr, MathError> {
+    let kids: Vec<&Element> = e.child_elements().collect();
+    let Some((head, rest)) = kids.split_first() else {
+        return Err(MathError::BadApply { detail: "<apply> is empty".to_owned() });
+    };
+
+    // Function-definition call: <apply><ci>f</ci> args...</apply>
+    if local_name(&head.name) == "ci" {
+        let function = head.text().trim().to_owned();
+        let args = rest.iter().map(|a| parse_node(a)).collect::<Result<Vec<_>, _>>()?;
+        return Ok(MathExpr::Call { function, args });
+    }
+
+    let op_name = local_name(&head.name);
+    let Some(op) = Op::from_mathml_name(op_name) else {
+        return Err(MathError::UnknownElement { name: op_name.to_owned() });
+    };
+
+    // Qualifiers: <degree> (root) and <logbase> (log) become the first arg.
+    let mut args: Vec<MathExpr> = Vec::with_capacity(rest.len());
+    let mut qualifier: Option<MathExpr> = None;
+    for child in rest {
+        match local_name(&child.name) {
+            "degree" | "logbase" => {
+                let inner = child.child_elements().next().ok_or_else(|| MathError::BadApply {
+                    detail: format!("empty <{}>", local_name(&child.name)),
+                })?;
+                qualifier = Some(parse_node(inner)?);
+            }
+            _ => args.push(parse_node(child)?),
+        }
+    }
+    if let Some(q) = qualifier {
+        args.insert(0, q);
+    } else if op == Op::Root {
+        args.insert(0, MathExpr::Num(2.0)); // default square root
+    } else if op == Op::Log {
+        args.insert(0, MathExpr::Num(10.0)); // default base-10 log
+    }
+
+    let (min, max) = op.arity();
+    if args.len() < min || args.len() > max {
+        return Err(MathError::BadApply {
+            detail: format!("<{op_name}> applied to {} operand(s)", args.len()),
+        });
+    }
+    Ok(MathExpr::Apply { op, args })
+}
+
+fn parse_piecewise(e: &Element) -> Result<MathExpr, MathError> {
+    let mut pieces = Vec::new();
+    let mut otherwise = None;
+    for child in e.child_elements() {
+        match local_name(&child.name) {
+            "piece" => {
+                let parts: Vec<&Element> = child.child_elements().collect();
+                if parts.len() != 2 {
+                    return Err(MathError::BadApply {
+                        detail: format!("<piece> needs 2 children, has {}", parts.len()),
+                    });
+                }
+                pieces.push((parse_node(parts[0])?, parse_node(parts[1])?));
+            }
+            "otherwise" => {
+                let inner = child.child_elements().next().ok_or_else(|| MathError::BadApply {
+                    detail: "empty <otherwise>".to_owned(),
+                })?;
+                otherwise = Some(Box::new(parse_node(inner)?));
+            }
+            other => return Err(MathError::UnknownElement { name: other.to_owned() }),
+        }
+    }
+    Ok(MathExpr::Piecewise { pieces, otherwise })
+}
+
+fn parse_lambda(e: &Element) -> Result<MathExpr, MathError> {
+    let mut params = Vec::new();
+    let mut body = None;
+    for child in e.child_elements() {
+        match local_name(&child.name) {
+            "bvar" => {
+                let ci = child.child_elements().next().ok_or_else(|| MathError::BadApply {
+                    detail: "empty <bvar>".to_owned(),
+                })?;
+                params.push(ci.text().trim().to_owned());
+            }
+            _ => {
+                if body.is_some() {
+                    return Err(MathError::BadApply {
+                        detail: "<lambda> has multiple bodies".to_owned(),
+                    });
+                }
+                body = Some(parse_node(child)?);
+            }
+        }
+    }
+    let Some(body) = body else {
+        return Err(MathError::BadApply { detail: "<lambda> has no body".to_owned() });
+    };
+    Ok(MathExpr::Lambda { params, body: Box::new(body) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_xml::parse_element;
+
+    fn parse_str(xml: &str) -> MathExpr {
+        parse(&parse_element(xml).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse_str("<cn>3.5</cn>"), MathExpr::Num(3.5));
+        assert_eq!(parse_str("<cn type=\"integer\">42</cn>"), MathExpr::Num(42.0));
+        assert_eq!(parse_str("<cn type=\"e-notation\">2<sep/>3</cn>"), MathExpr::Num(2000.0));
+        assert_eq!(parse_str("<cn type=\"rational\">1<sep/>4</cn>"), MathExpr::Num(0.25));
+        assert_eq!(parse_str("<cn> -1e-3 </cn>"), MathExpr::Num(-0.001));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        for bad in ["<cn>abc</cn>", "<cn type=\"e-notation\">2</cn>", "<cn/>"] {
+            assert!(parse(&parse_element(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn identifiers_and_constants() {
+        assert_eq!(parse_str("<ci> k1 </ci>"), MathExpr::ci("k1"));
+        assert_eq!(parse_str("<pi/>"), MathExpr::Const(Constant::Pi));
+        assert_eq!(parse_str("<true/>"), MathExpr::Const(Constant::True));
+    }
+
+    #[test]
+    fn csymbol_time() {
+        let e = parse_str(
+            "<csymbol definitionURL=\"http://www.sbml.org/sbml/symbols/time\">t</csymbol>",
+        );
+        assert_eq!(e, MathExpr::Csymbol { kind: CsymbolKind::Time, name: "t".into() });
+    }
+
+    #[test]
+    fn apply_nary_times() {
+        let e = parse_str("<apply><times/><ci>k1</ci><ci>A</ci><ci>B</ci></apply>");
+        assert_eq!(
+            e,
+            MathExpr::apply(
+                Op::Times,
+                vec![MathExpr::ci("k1"), MathExpr::ci("A"), MathExpr::ci("B")]
+            )
+        );
+    }
+
+    #[test]
+    fn math_wrapper() {
+        let e = parse_str(
+            "<math xmlns=\"http://www.w3.org/1998/Math/MathML\"><apply><plus/><cn>1</cn><cn>2</cn></apply></math>",
+        );
+        assert_eq!(e, MathExpr::apply(Op::Plus, vec![MathExpr::num(1.0), MathExpr::num(2.0)]));
+    }
+
+    #[test]
+    fn function_call() {
+        let e = parse_str("<apply><ci>mm</ci><ci>S</ci><ci>Vmax</ci><ci>Km</ci></apply>");
+        assert_eq!(
+            e,
+            MathExpr::Call {
+                function: "mm".into(),
+                args: vec![MathExpr::ci("S"), MathExpr::ci("Vmax"), MathExpr::ci("Km")]
+            }
+        );
+    }
+
+    #[test]
+    fn root_with_default_and_explicit_degree() {
+        let sqrt = parse_str("<apply><root/><ci>x</ci></apply>");
+        assert_eq!(sqrt, MathExpr::apply(Op::Root, vec![MathExpr::num(2.0), MathExpr::ci("x")]));
+        let cbrt = parse_str("<apply><root/><degree><cn>3</cn></degree><ci>x</ci></apply>");
+        assert_eq!(cbrt, MathExpr::apply(Op::Root, vec![MathExpr::num(3.0), MathExpr::ci("x")]));
+    }
+
+    #[test]
+    fn log_with_base() {
+        let lg = parse_str("<apply><log/><ci>x</ci></apply>");
+        assert_eq!(lg, MathExpr::apply(Op::Log, vec![MathExpr::num(10.0), MathExpr::ci("x")]));
+        let l2 = parse_str("<apply><log/><logbase><cn>2</cn></logbase><ci>x</ci></apply>");
+        assert_eq!(l2, MathExpr::apply(Op::Log, vec![MathExpr::num(2.0), MathExpr::ci("x")]));
+    }
+
+    #[test]
+    fn piecewise() {
+        let e = parse_str(
+            "<piecewise><piece><cn>1</cn><apply><lt/><ci>x</ci><cn>5</cn></apply></piece><otherwise><cn>0</cn></otherwise></piecewise>",
+        );
+        match e {
+            MathExpr::Piecewise { pieces, otherwise } => {
+                assert_eq!(pieces.len(), 1);
+                assert_eq!(pieces[0].0, MathExpr::num(1.0));
+                assert_eq!(*otherwise.unwrap(), MathExpr::num(0.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lambda() {
+        let e = parse_str(
+            "<lambda><bvar><ci>x</ci></bvar><bvar><ci>y</ci></bvar><apply><plus/><ci>x</ci><ci>y</ci></apply></lambda>",
+        );
+        match e {
+            MathExpr::Lambda { params, body } => {
+                assert_eq!(params, vec!["x".to_owned(), "y".to_owned()]);
+                assert_eq!(
+                    *body,
+                    MathExpr::apply(Op::Plus, vec![MathExpr::ci("x"), MathExpr::ci("y")])
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn namespaced_elements_accepted() {
+        let e = parse_str("<m:apply><m:plus/><m:cn>1</m:cn><m:cn>2</m:cn></m:apply>");
+        assert_eq!(e, MathExpr::apply(Op::Plus, vec![MathExpr::num(1.0), MathExpr::num(2.0)]));
+    }
+
+    #[test]
+    fn arity_violations() {
+        for bad in [
+            "<apply><divide/><cn>1</cn></apply>",
+            "<apply><not/><cn>1</cn><cn>2</cn></apply>",
+            "<apply/>",
+            "<apply><power/><cn>1</cn><cn>2</cn><cn>3</cn></apply>",
+        ] {
+            assert!(parse(&parse_element(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unknown_elements() {
+        assert!(matches!(
+            parse(&parse_element("<matrix/>").unwrap()),
+            Err(MathError::UnknownElement { .. })
+        ));
+        assert!(parse(&parse_element("<csymbol definitionURL=\"urn:x\">q</csymbol>").unwrap())
+            .is_err());
+    }
+}

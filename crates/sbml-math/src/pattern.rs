@@ -1,0 +1,339 @@
+//! Commutativity-aware canonical patterns (the paper's Fig. 7).
+//!
+//! The paper determines whether two pieces of model mathematics are
+//! equivalent by extracting a *pattern* string from each MathML tree and
+//! comparing the strings. The pattern takes commutative operators into
+//! account "so that it will match commutative maths functions, equations or
+//! assignments, regardless of the order of the operands", and leaf
+//! identifiers are rewritten through the current ID *mappings* accumulated by
+//! the merge (so that `k1*A` in model 2 matches `kf*A` in model 1 once
+//! `k1 → kf` has been established).
+//!
+//! Canonicalisation rules implemented here:
+//!
+//! * children of commutative operators (`plus`, `times`, `eq`, `neq`, `and`,
+//!   `or`, `xor`) are **sorted** by their own pattern text,
+//! * associative commutative operators (`plus`, `times`, `and`, `or`) are
+//!   **flattened** first, so `(a+b)+c` and `a+(b+c)` agree (an extension of
+//!   the paper's algorithm that strictly increases matching power),
+//! * children of non-commutative operators carry their child index, exactly
+//!   as in the paper's `getMaths` (prefix `C + child number`),
+//! * numbers are normalised through the shortest round-trip representation
+//!   (`2` matches `2.0`),
+//! * lambda parameters are α-renamed to positional names, so function
+//!   definitions equal up to bound-variable naming produce the same pattern.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{MathExpr, Op};
+use crate::writer::format_number;
+
+/// A canonical pattern; equality of patterns = equivalence of expressions
+/// (up to commutativity, associativity and the supplied ID mappings).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern(String);
+
+impl Pattern {
+    /// Pattern of an expression with no ID mappings.
+    pub fn of(expr: &MathExpr) -> Pattern {
+        Pattern::of_mapped(expr, &HashMap::new())
+    }
+
+    /// Pattern of an expression, rewriting identifiers through `mappings`
+    /// (model-2 id → model-1 id) first, as the merge algorithm does.
+    pub fn of_mapped(expr: &MathExpr, mappings: &HashMap<String, String>) -> Pattern {
+        let mut out = String::with_capacity(expr.size() * 6);
+        let mut bound = Vec::new();
+        build(expr, mappings, &mut bound, &mut out);
+        Pattern(out)
+    }
+
+    /// The canonical text (stable across runs; suitable as a hash key).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Are two expressions equivalent under the given ID mappings?
+///
+/// `mappings` is applied to **both** sides (the merge applies its mapping
+/// table when reading either model's math).
+pub fn equivalent(a: &MathExpr, b: &MathExpr, mappings: &HashMap<String, String>) -> bool {
+    Pattern::of_mapped(a, mappings) == Pattern::of_mapped(b, mappings)
+}
+
+fn build(
+    expr: &MathExpr,
+    mappings: &HashMap<String, String>,
+    bound: &mut Vec<String>,
+    out: &mut String,
+) {
+    match expr {
+        MathExpr::Num(v) => {
+            out.push_str("n:");
+            out.push_str(&format_number(*v));
+        }
+        MathExpr::Ci(name) => {
+            // Bound variables (lambda params) are positional.
+            if let Some(idx) = bound.iter().rposition(|b| b == name) {
+                out.push_str("b:");
+                out.push_str(&idx.to_string());
+            } else {
+                let mapped = mappings.get(name).map(String::as_str).unwrap_or(name);
+                out.push_str("v:");
+                out.push_str(mapped);
+            }
+        }
+        MathExpr::Csymbol { kind, .. } => {
+            out.push_str("s:");
+            out.push_str(match kind {
+                crate::ast::CsymbolKind::Time => "time",
+                crate::ast::CsymbolKind::Avogadro => "avogadro",
+                crate::ast::CsymbolKind::Delay => "delay",
+            });
+        }
+        MathExpr::Const(c) => {
+            out.push_str("c:");
+            out.push_str(c.mathml_name());
+        }
+        MathExpr::Apply { op, args } => build_apply(*op, args, mappings, bound, out),
+        MathExpr::Call { function, args } => {
+            out.push_str("f:");
+            let mapped = mappings.get(function).map(String::as_str).unwrap_or(function);
+            out.push_str(mapped);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                build(a, mappings, bound, out);
+            }
+            out.push(')');
+        }
+        MathExpr::Piecewise { pieces, otherwise } => {
+            // Piece order is semantic (first true condition wins), so order
+            // is preserved.
+            out.push_str("pw(");
+            for (i, (v, c)) in pieces.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                build(v, mappings, bound, out);
+                out.push('|');
+                build(c, mappings, bound, out);
+                out.push(']');
+            }
+            if let Some(other) = otherwise {
+                out.push_str(",else:");
+                build(other, mappings, bound, out);
+            }
+            out.push(')');
+        }
+        MathExpr::Lambda { params, body } => {
+            out.push_str("lam");
+            out.push_str(&params.len().to_string());
+            out.push('(');
+            let depth_before = bound.len();
+            bound.extend(params.iter().cloned());
+            build(body, mappings, bound, out);
+            bound.truncate(depth_before);
+            out.push(')');
+        }
+    }
+}
+
+fn build_apply(
+    op: Op,
+    args: &[MathExpr],
+    mappings: &HashMap<String, String>,
+    bound: &mut Vec<String>,
+    out: &mut String,
+) {
+    out.push_str(op.mathml_name());
+    out.push('(');
+    if op.is_commutative() {
+        // Flatten associative nests, then sort child pattern texts.
+        let mut flat: Vec<&MathExpr> = Vec::with_capacity(args.len());
+        if op.is_associative() {
+            flatten(op, args, &mut flat);
+        } else {
+            flat.extend(args.iter());
+        }
+        let mut texts: Vec<String> = flat
+            .iter()
+            .map(|a| {
+                let mut s = String::new();
+                build(a, mappings, bound, &mut s);
+                s
+            })
+            .collect();
+        texts.sort_unstable();
+        for (i, t) in texts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(t);
+        }
+    } else {
+        // Paper Fig. 7: non-commutative children carry their child number.
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('C');
+            out.push_str(&i.to_string());
+            out.push(':');
+            build(a, mappings, bound, out);
+        }
+    }
+    out.push(')');
+}
+
+fn flatten<'e>(op: Op, args: &'e [MathExpr], out: &mut Vec<&'e MathExpr>) {
+    for a in args {
+        match a {
+            MathExpr::Apply { op: inner, args: inner_args } if *inner == op => {
+                flatten(op, inner_args, out)
+            }
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infix::parse;
+
+    fn pat(src: &str) -> Pattern {
+        Pattern::of(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn commutative_orders_match() {
+        assert_eq!(pat("k1*A*B"), pat("B*k1*A"));
+        assert_eq!(pat("a+b"), pat("b+a"));
+        assert_eq!(pat("a == b"), pat("b == a"));
+        assert_eq!(pat("x && y"), pat("y && x"));
+    }
+
+    #[test]
+    fn non_commutative_orders_do_not_match() {
+        assert_ne!(pat("a-b"), pat("b-a"));
+        assert_ne!(pat("a/b"), pat("b/a"));
+        assert_ne!(pat("a^b"), pat("b^a"));
+        assert_ne!(pat("a < b"), pat("b < a"));
+    }
+
+    #[test]
+    fn associative_nesting_matches() {
+        assert_eq!(pat("(a+b)+c"), pat("a+(b+c)"));
+        assert_eq!(pat("(a*b)*c"), pat("c*(b*a)"));
+    }
+
+    #[test]
+    fn numeric_normalisation() {
+        assert_eq!(pat("2*x"), pat("2.0*x"));
+        assert_ne!(pat("2*x"), pat("3*x"));
+    }
+
+    #[test]
+    fn distinct_structures_distinct_patterns() {
+        assert_ne!(pat("k1*A"), pat("k1+A"));
+        assert_ne!(pat("k1*A"), pat("k1*A*A"));
+        assert_ne!(pat("Vmax*S/(Km+S)"), pat("Vmax*S/(Km*S)"));
+    }
+
+    #[test]
+    fn mappings_applied_to_identifiers() {
+        let a = parse("kf*X").unwrap();
+        let b = parse("k1*X").unwrap();
+        let mut map = HashMap::new();
+        assert!(!equivalent(&a, &b, &map));
+        map.insert("k1".to_owned(), "kf".to_owned());
+        assert!(equivalent(&a, &b, &map));
+    }
+
+    #[test]
+    fn mappings_applied_to_function_calls() {
+        let a = parse("f(x)").unwrap();
+        let b = parse("g(x)").unwrap();
+        let mut map = HashMap::new();
+        assert!(!equivalent(&a, &b, &map));
+        map.insert("g".to_owned(), "f".to_owned());
+        assert!(equivalent(&a, &b, &map));
+    }
+
+    #[test]
+    fn lambda_alpha_equivalence() {
+        let f = MathExpr::Lambda {
+            params: vec!["x".into(), "y".into()],
+            body: Box::new(parse("x*y + x").unwrap()),
+        };
+        let g = MathExpr::Lambda {
+            params: vec!["u".into(), "v".into()],
+            body: Box::new(parse("u*v + u").unwrap()),
+        };
+        assert_eq!(Pattern::of(&f), Pattern::of(&g));
+
+        // Swapped parameter use is NOT alpha-equivalent.
+        let h = MathExpr::Lambda {
+            params: vec!["u".into(), "v".into()],
+            body: Box::new(parse("u*v + v").unwrap()),
+        };
+        assert_ne!(Pattern::of(&f), Pattern::of(&h));
+    }
+
+    #[test]
+    fn bound_variables_shadow_mappings() {
+        // Inside lambda(x, ...), `x` is positional even if mappings rename x.
+        let f = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + y").unwrap()),
+        };
+        let mut map = HashMap::new();
+        map.insert("x".to_owned(), "z".to_owned());
+        let p = Pattern::of_mapped(&f, &map);
+        assert!(p.as_str().contains("b:0"), "{p}");
+        assert!(!p.as_str().contains("v:z + b"), "{p}");
+    }
+
+    #[test]
+    fn piecewise_order_is_semantic() {
+        assert_ne!(pat("piecewise(1, x<5, 2, x<9, 0)"), pat("piecewise(2, x<9, 1, x<5, 0)"));
+        assert_eq!(pat("piecewise(1, x<5, 0)"), pat("piecewise(1, x<5, 0)"));
+        // Mirrored relations (x<5 vs 5>x) are deliberately NOT unified: the
+        // paper's pattern only canonicalises commutative operators.
+        assert_ne!(pat("piecewise(1, x<5, 0)"), pat("piecewise(1, 5>x, 0)"));
+    }
+
+    #[test]
+    fn mass_action_examples_from_paper() {
+        // Paper Fig. 10/11: -k1[A], k1[A]-k2[B], -k1[A][B].
+        // Note `-k1*A` parses as `(-k1)*A` (unary minus binds tightest,
+        // as in libSBML), so compare explicitly-grouped forms.
+        assert_eq!(pat("-(k1*A)"), pat("-(A*k1)"));
+        assert_eq!(pat("(-k1)*A"), pat("A*(-k1)"));
+        assert_eq!(pat("k1*A - k2*B"), pat("A*k1 - B*k2"));
+        assert_ne!(pat("k1*A - k2*B"), pat("k2*B - k1*A"));
+        assert_eq!(pat("k1*A*B"), pat("k1*B*A"));
+    }
+
+    #[test]
+    fn pattern_is_stable_hash_key() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(pat("k1*A*B"));
+        assert!(set.contains(&pat("B*A*k1")));
+        assert!(!set.contains(&pat("B+A+k1")));
+    }
+
+}

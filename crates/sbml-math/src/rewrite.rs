@@ -1,0 +1,240 @@
+//! Identifier collection, renaming and substitution over expression trees.
+//!
+//! The merge engine renames components to resolve ID clashes; every formula
+//! that mentions a renamed component must be rewritten, which is what
+//! [`rename`] does (respecting lambda-bound variables). [`collect_identifiers`]
+//! feeds the conflict checker, and [`substitute`] inlines function arguments.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::MathExpr;
+
+/// All free identifiers referenced by the expression (sorted, deduplicated).
+/// Function-call targets are included; lambda-bound parameters are not.
+pub fn collect_identifiers(expr: &MathExpr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut bound = Vec::new();
+    walk_collect(expr, &mut bound, &mut out);
+    out
+}
+
+fn walk_collect(expr: &MathExpr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    match expr {
+        MathExpr::Ci(name) => {
+            if !bound.iter().any(|b| b == name) {
+                out.insert(name.clone());
+            }
+        }
+        MathExpr::Apply { args, .. } => {
+            for a in args {
+                walk_collect(a, bound, out);
+            }
+        }
+        MathExpr::Call { function, args } => {
+            out.insert(function.clone());
+            for a in args {
+                walk_collect(a, bound, out);
+            }
+        }
+        MathExpr::Piecewise { pieces, otherwise } => {
+            for (v, c) in pieces {
+                walk_collect(v, bound, out);
+                walk_collect(c, bound, out);
+            }
+            if let Some(other) = otherwise {
+                walk_collect(other, bound, out);
+            }
+        }
+        MathExpr::Lambda { params, body } => {
+            let before = bound.len();
+            bound.extend(params.iter().cloned());
+            walk_collect(body, bound, out);
+            bound.truncate(before);
+        }
+        MathExpr::Num(_) | MathExpr::Csymbol { .. } | MathExpr::Const(_) => {}
+    }
+}
+
+/// Rename free identifiers (and function-call targets) through `map`.
+/// Lambda-bound parameters shadow the map inside their body.
+pub fn rename(expr: &MathExpr, map: &HashMap<String, String>) -> MathExpr {
+    let mut bound = Vec::new();
+    walk_rename(expr, map, &mut bound)
+}
+
+fn walk_rename(expr: &MathExpr, map: &HashMap<String, String>, bound: &mut Vec<String>) -> MathExpr {
+    match expr {
+        MathExpr::Ci(name) => {
+            if bound.iter().any(|b| b == name) {
+                expr.clone()
+            } else if let Some(new) = map.get(name) {
+                MathExpr::Ci(new.clone())
+            } else {
+                expr.clone()
+            }
+        }
+        MathExpr::Apply { op, args } => MathExpr::Apply {
+            op: *op,
+            args: args.iter().map(|a| walk_rename(a, map, bound)).collect(),
+        },
+        MathExpr::Call { function, args } => MathExpr::Call {
+            function: map.get(function).cloned().unwrap_or_else(|| function.clone()),
+            args: args.iter().map(|a| walk_rename(a, map, bound)).collect(),
+        },
+        MathExpr::Piecewise { pieces, otherwise } => MathExpr::Piecewise {
+            pieces: pieces
+                .iter()
+                .map(|(v, c)| (walk_rename(v, map, bound), walk_rename(c, map, bound)))
+                .collect(),
+            otherwise: otherwise.as_ref().map(|o| Box::new(walk_rename(o, map, bound))),
+        },
+        MathExpr::Lambda { params, body } => {
+            let before = bound.len();
+            bound.extend(params.iter().cloned());
+            let new_body = walk_rename(body, map, bound);
+            bound.truncate(before);
+            MathExpr::Lambda { params: params.clone(), body: Box::new(new_body) }
+        }
+        MathExpr::Num(_) | MathExpr::Csymbol { .. } | MathExpr::Const(_) => expr.clone(),
+    }
+}
+
+/// Replace every free occurrence of identifier `name` with `replacement`.
+pub fn substitute(expr: &MathExpr, name: &str, replacement: &MathExpr) -> MathExpr {
+    match expr {
+        MathExpr::Ci(n) if n == name => replacement.clone(),
+        MathExpr::Apply { op, args } => MathExpr::Apply {
+            op: *op,
+            args: args.iter().map(|a| substitute(a, name, replacement)).collect(),
+        },
+        MathExpr::Call { function, args } => MathExpr::Call {
+            function: function.clone(),
+            args: args.iter().map(|a| substitute(a, name, replacement)).collect(),
+        },
+        MathExpr::Piecewise { pieces, otherwise } => MathExpr::Piecewise {
+            pieces: pieces
+                .iter()
+                .map(|(v, c)| (substitute(v, name, replacement), substitute(c, name, replacement)))
+                .collect(),
+            otherwise: otherwise.as_ref().map(|o| Box::new(substitute(o, name, replacement))),
+        },
+        MathExpr::Lambda { params, body } => {
+            if params.iter().any(|p| p == name) {
+                expr.clone() // shadowed
+            } else {
+                MathExpr::Lambda {
+                    params: params.clone(),
+                    body: Box::new(substitute(body, name, replacement)),
+                }
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+/// Expand a function definition call by substituting arguments into the
+/// lambda body. Used by the simulator to flatten kinetic laws once instead
+/// of interpreting calls on every step.
+pub fn inline_call(params: &[String], body: &MathExpr, args: &[MathExpr]) -> MathExpr {
+    let mut result = body.clone();
+    for (p, a) in params.iter().zip(args) {
+        result = substitute(&result, p, a);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infix::parse;
+
+    #[test]
+    fn collect_basic() {
+        let e = parse("k1*A + f(B, k2)").unwrap();
+        let ids = collect_identifiers(&e);
+        let expected: Vec<&str> = vec!["A", "B", "f", "k1", "k2"];
+        assert_eq!(ids.iter().map(String::as_str).collect::<Vec<_>>(), expected);
+    }
+
+    #[test]
+    fn collect_skips_bound_params() {
+        let lambda = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + y").unwrap()),
+        };
+        let ids = collect_identifiers(&lambda);
+        assert!(ids.contains("y"));
+        assert!(!ids.contains("x"));
+    }
+
+    #[test]
+    fn rename_free_ids() {
+        let e = parse("k1*A + k1*B").unwrap();
+        let mut map = HashMap::new();
+        map.insert("k1".to_owned(), "kf".to_owned());
+        let renamed = rename(&e, &map);
+        assert_eq!(renamed, parse("kf*A + kf*B").unwrap());
+    }
+
+    #[test]
+    fn rename_respects_lambda_shadowing() {
+        let lambda = MathExpr::Lambda {
+            params: vec!["k1".into()],
+            body: Box::new(parse("k1 + other").unwrap()),
+        };
+        let mut map = HashMap::new();
+        map.insert("k1".to_owned(), "kf".to_owned());
+        map.insert("other".to_owned(), "renamed".to_owned());
+        let out = rename(&lambda, &map);
+        match out {
+            MathExpr::Lambda { params, body } => {
+                assert_eq!(params, vec!["k1".to_owned()]);
+                assert_eq!(*body, parse("k1 + renamed").unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_function_targets() {
+        let e = parse("f(x) + g(x)").unwrap();
+        let mut map = HashMap::new();
+        map.insert("f".to_owned(), "h".to_owned());
+        let out = rename(&e, &map);
+        assert_eq!(out, parse("h(x) + g(x)").unwrap());
+    }
+
+    #[test]
+    fn substitute_expression() {
+        let e = parse("x^2 + x").unwrap();
+        let out = substitute(&e, "x", &parse("a+b").unwrap());
+        assert_eq!(out, parse("(a+b)^2 + (a+b)").unwrap());
+    }
+
+    #[test]
+    fn substitute_shadowed_by_lambda() {
+        let lambda = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + 1").unwrap()),
+        };
+        let out = substitute(&lambda, "x", &MathExpr::num(9.0));
+        assert_eq!(out, lambda);
+    }
+
+    #[test]
+    fn inline_michaelis_menten() {
+        let body = parse("Vmax * S / (Km + S)").unwrap();
+        let params = vec!["S".to_owned(), "Vmax".to_owned(), "Km".to_owned()];
+        let args = vec![parse("glc").unwrap(), MathExpr::num(10.0), MathExpr::num(2.0)];
+        let inlined = inline_call(&params, &body, &args);
+        assert_eq!(inlined, parse("10 * glc / (2 + glc)").unwrap());
+    }
+
+    #[test]
+    fn rename_inside_piecewise() {
+        let e = parse("piecewise(a, a < b, b)").unwrap();
+        let mut map = HashMap::new();
+        map.insert("a".to_owned(), "z".to_owned());
+        assert_eq!(rename(&e, &map), parse("piecewise(z, z < b, b)").unwrap());
+    }
+}

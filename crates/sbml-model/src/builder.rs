@@ -1,0 +1,288 @@
+//! Fluent construction of models — the ergonomic path used by examples,
+//! tests and the synthetic corpus generator.
+
+use sbml_math::infix;
+use sbml_units::UnitDefinition;
+
+use crate::components::{Compartment, CompartmentType, Parameter, Species, SpeciesType};
+use crate::event::Event;
+use crate::function::FunctionDefinition;
+use crate::model::{InitialAssignment, Model};
+use crate::reaction::{KineticLaw, Reaction, SpeciesReference};
+use crate::rule::{Constraint, Rule};
+
+/// Fluent model builder.
+///
+/// Formulas are given in infix syntax and parsed with [`sbml_math::infix`];
+/// malformed formulas panic, which is the right trade-off for the
+/// construction paths this is designed for (hand-written examples and
+/// generated corpora, where a bad formula is a bug, not input).
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    model: Model,
+    default_compartment: Option<String>,
+}
+
+impl ModelBuilder {
+    /// Start a model with the given id.
+    pub fn new(id: impl Into<String>) -> ModelBuilder {
+        ModelBuilder { model: Model::new(id), default_compartment: None }
+    }
+
+    /// Set the display name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> ModelBuilder {
+        self.model.name = Some(name.into());
+        self
+    }
+
+    /// Add a compartment; the first one becomes the default compartment for
+    /// species added later.
+    #[must_use]
+    pub fn compartment(mut self, id: &str, size: f64) -> ModelBuilder {
+        if self.default_compartment.is_none() {
+            self.default_compartment = Some(id.to_owned());
+        }
+        self.model.compartments.push(Compartment::new(id, size));
+        self
+    }
+
+    /// Add a species in the default compartment with an initial amount.
+    ///
+    /// # Panics
+    /// If no compartment has been added yet.
+    #[must_use]
+    pub fn species(self, id: &str, initial_amount: f64) -> ModelBuilder {
+        let compartment = self
+            .default_compartment
+            .clone()
+            .expect("add a compartment before adding species");
+        self.species_in(id, &compartment, initial_amount)
+    }
+
+    /// Add a species in an explicit compartment.
+    #[must_use]
+    pub fn species_in(mut self, id: &str, compartment: &str, initial_amount: f64) -> ModelBuilder {
+        self.model.species.push(Species::new(id, compartment, initial_amount));
+        self
+    }
+
+    /// Add a species with a display name (exercises synonym matching).
+    #[must_use]
+    pub fn species_named(mut self, id: &str, name: &str, initial_amount: f64) -> ModelBuilder {
+        let compartment = self
+            .default_compartment
+            .clone()
+            .expect("add a compartment before adding species");
+        let mut s = Species::new(id, compartment, initial_amount);
+        s.name = Some(name.to_owned());
+        self.model.species.push(s);
+        self
+    }
+
+    /// Add a constant global parameter.
+    #[must_use]
+    pub fn parameter(mut self, id: &str, value: f64) -> ModelBuilder {
+        self.model.parameters.push(Parameter::new(id, value));
+        self
+    }
+
+    /// Add an irreversible reaction with a mass-action-style formula.
+    ///
+    /// # Panics
+    /// If the formula does not parse.
+    #[must_use]
+    pub fn reaction(
+        mut self,
+        id: &str,
+        reactants: &[&str],
+        products: &[&str],
+        formula: &str,
+    ) -> ModelBuilder {
+        let mut r = Reaction::new(id);
+        r.reactants = reactants.iter().map(|s| SpeciesReference::new(*s)).collect();
+        r.products = products.iter().map(|s| SpeciesReference::new(*s)).collect();
+        r.kinetic_law = Some(KineticLaw::new(
+            infix::parse(formula).unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+        ));
+        self.model.reactions.push(r);
+        self
+    }
+
+    /// Add a reversible reaction (`formula` should be net forward-reverse).
+    #[must_use]
+    pub fn reversible_reaction(
+        mut self,
+        id: &str,
+        reactants: &[&str],
+        products: &[&str],
+        formula: &str,
+    ) -> ModelBuilder {
+        self = self.reaction(id, reactants, products, formula);
+        self.model.reactions.last_mut().expect("just pushed").reversible = true;
+        self
+    }
+
+    /// Add a fully custom reaction.
+    #[must_use]
+    pub fn reaction_full(mut self, reaction: Reaction) -> ModelBuilder {
+        self.model.reactions.push(reaction);
+        self
+    }
+
+    /// Add a function definition: `id(params...) = body`.
+    #[must_use]
+    pub fn function(mut self, id: &str, params: &[&str], body: &str) -> ModelBuilder {
+        self.model.function_definitions.push(FunctionDefinition::new(
+            id,
+            params.iter().map(|p| (*p).to_owned()).collect(),
+            infix::parse(body).unwrap_or_else(|e| panic!("bad body {body:?}: {e}")),
+        ));
+        self
+    }
+
+    /// Add a unit definition.
+    #[must_use]
+    pub fn unit_definition(mut self, def: UnitDefinition) -> ModelBuilder {
+        self.model.unit_definitions.push(def);
+        self
+    }
+
+    /// Add a compartment type.
+    #[must_use]
+    pub fn compartment_type(mut self, id: &str) -> ModelBuilder {
+        self.model.compartment_types.push(CompartmentType { id: id.to_owned(), name: None });
+        self
+    }
+
+    /// Add a species type.
+    #[must_use]
+    pub fn species_type(mut self, id: &str) -> ModelBuilder {
+        self.model.species_types.push(SpeciesType { id: id.to_owned(), name: None });
+        self
+    }
+
+    /// Add an initial assignment `symbol := formula`.
+    #[must_use]
+    pub fn initial_assignment(mut self, symbol: &str, formula: &str) -> ModelBuilder {
+        self.model.initial_assignments.push(InitialAssignment {
+            symbol: symbol.to_owned(),
+            math: infix::parse(formula).unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+        });
+        self
+    }
+
+    /// Add an assignment rule `variable = formula`.
+    #[must_use]
+    pub fn assignment_rule(mut self, variable: &str, formula: &str) -> ModelBuilder {
+        self.model.rules.push(Rule::Assignment {
+            variable: variable.to_owned(),
+            math: infix::parse(formula).unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+        });
+        self
+    }
+
+    /// Add a rate rule `d(variable)/dt = formula`.
+    #[must_use]
+    pub fn rate_rule(mut self, variable: &str, formula: &str) -> ModelBuilder {
+        self.model.rules.push(Rule::Rate {
+            variable: variable.to_owned(),
+            math: infix::parse(formula).unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+        });
+        self
+    }
+
+    /// Add a constraint.
+    #[must_use]
+    pub fn constraint(mut self, formula: &str, message: Option<&str>) -> ModelBuilder {
+        self.model.constraints.push(Constraint {
+            math: infix::parse(formula).unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+            message: message.map(str::to_owned),
+        });
+        self
+    }
+
+    /// Add an event.
+    #[must_use]
+    pub fn event(mut self, id: &str, trigger: &str, assignments: &[(&str, &str)]) -> ModelBuilder {
+        let mut ev = Event::new(
+            infix::parse(trigger).unwrap_or_else(|e| panic!("bad trigger {trigger:?}: {e}")),
+        );
+        ev.id = Some(id.to_owned());
+        for (variable, formula) in assignments {
+            ev.assignments.push(crate::event::EventAssignment {
+                variable: (*variable).to_owned(),
+                math: infix::parse(formula)
+                    .unwrap_or_else(|e| panic!("bad formula {formula:?}: {e}")),
+            });
+        }
+        self.model.events.push(ev);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Model {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_component_kind() {
+        use sbml_units::{Unit, UnitKind};
+        let m = ModelBuilder::new("full")
+            .name("everything")
+            .function("mm", &["S", "V", "K"], "V*S/(K+S)")
+            .unit_definition(UnitDefinition::new("per_s", vec![Unit::of(UnitKind::Second).pow(-1)]))
+            .compartment_type("organelle")
+            .species_type("sugar")
+            .compartment("cell", 1.0)
+            .species("A", 10.0)
+            .species_named("B", "product B", 0.0)
+            .parameter("k1", 0.1)
+            .initial_assignment("A", "2*k1")
+            .assignment_rule("obs", "A + B")
+            .rate_rule("drift", "0.01")
+            .constraint("A >= 0", Some("A must be non-negative"))
+            .reaction("r1", &["A"], &["B"], "k1*A")
+            .event("e1", "time >= 5", &[("A", "A + 1")])
+            .build();
+        assert_eq!(m.component_count(), 14);
+        assert_eq!(m.name.as_deref(), Some("everything"));
+        // survives a document round trip
+        let text = crate::document::write_sbml(&m);
+        let back = crate::document::parse_sbml(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reversible_flag() {
+        let m = ModelBuilder::new("rev")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .parameter("kf", 1.0)
+            .parameter("kr", 0.5)
+            .reversible_reaction("r", &["A"], &["B"], "kf*A - kr*B")
+            .build();
+        assert!(m.reactions[0].reversible);
+    }
+
+    #[test]
+    #[should_panic(expected = "add a compartment")]
+    fn species_requires_compartment() {
+        let _ = ModelBuilder::new("bad").species("A", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad formula")]
+    fn bad_formula_panics() {
+        let _ = ModelBuilder::new("bad")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .reaction("r", &["A"], &[], "k1 *");
+    }
+}

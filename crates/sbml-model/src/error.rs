@@ -1,0 +1,83 @@
+//! Errors raised while reading SBML documents.
+
+use std::fmt;
+
+use sbml_math::MathError;
+use sbml_xml::XmlError;
+
+/// Errors from parsing an SBML document into a [`crate::Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The underlying XML was not well formed.
+    Xml(XmlError),
+    /// A MathML block failed to parse.
+    Math {
+        /// Where the math lives (e.g. `reaction 'r1' kineticLaw`).
+        context: String,
+        /// The underlying math error.
+        source: MathError,
+    },
+    /// A structural problem (missing required element/attribute, bad value).
+    Structure {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl ModelError {
+    /// Convenience constructor for structural errors.
+    pub fn structure(detail: impl Into<String>) -> ModelError {
+        ModelError::Structure { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Xml(e) => write!(f, "XML error: {e}"),
+            ModelError::Math { context, source } => {
+                write!(f, "MathML error in {context}: {source}")
+            }
+            ModelError::Structure { detail } => write!(f, "SBML structure error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Xml(e) => Some(e),
+            ModelError::Math { source, .. } => Some(source),
+            ModelError::Structure { .. } => None,
+        }
+    }
+}
+
+impl From<XmlError> for ModelError {
+    fn from(e: XmlError) -> Self {
+        ModelError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = ModelError::structure("species 'A' missing compartment");
+        assert!(e.to_string().contains("species 'A'"));
+        assert!(e.source().is_none());
+
+        let xml = ModelError::Xml(XmlError::NoRootElement);
+        assert!(xml.source().is_some());
+
+        let math = ModelError::Math {
+            context: "reaction 'r1'".into(),
+            source: MathError::NoBranchTaken,
+        };
+        assert!(math.to_string().contains("r1"));
+        assert!(math.source().is_some());
+    }
+}

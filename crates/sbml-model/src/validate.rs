@@ -1,0 +1,544 @@
+//! Semantic validation of models.
+//!
+//! The paper's baseline (semanticSBML) "checks the semantic validity of the
+//! models to be composed, to ensure only valid models are merged"; our merge
+//! engine runs the same class of checks on its output. Checks cover id
+//! uniqueness, reference resolution (species→compartment, reactions→species,
+//! math→declared identifiers, units→unit definitions), function-definition
+//! closedness and rule consistency.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sbml_math::rewrite::collect_identifiers;
+use sbml_math::MathExpr;
+
+use crate::model::Model;
+use crate::rule::Rule;
+
+/// How bad an issue is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but usable (e.g. species without an initial value).
+    Warning,
+    /// The model violates SBML semantics.
+    Error,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationIssue {
+    /// Error or warning.
+    pub severity: Severity,
+    /// The component the issue concerns (e.g. `species 'A'`).
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "[{tag}] {}: {}", self.component, self.message)
+    }
+}
+
+/// Validate a model, returning all findings (empty = clean).
+pub fn validate(model: &Model) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    check_unique_ids(model, &mut issues);
+    check_compartment_refs(model, &mut issues);
+    check_reaction_refs(model, &mut issues);
+    check_math_identifiers(model, &mut issues);
+    check_function_definitions(model, &mut issues);
+    check_rules(model, &mut issues);
+    check_unit_refs(model, &mut issues);
+    check_initial_values(model, &mut issues);
+    issues
+}
+
+/// True when the model has no `Error`-severity findings.
+pub fn is_valid(model: &Model) -> bool {
+    validate(model).iter().all(|i| i.severity != Severity::Error)
+}
+
+fn error(issues: &mut Vec<ValidationIssue>, component: String, message: String) {
+    issues.push(ValidationIssue { severity: Severity::Error, component, message });
+}
+
+fn warning(issues: &mut Vec<ValidationIssue>, component: String, message: String) {
+    issues.push(ValidationIssue { severity: Severity::Warning, component, message });
+}
+
+fn check_unique_ids(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let items: Vec<(&str, &str)> = model
+        .function_definitions
+        .iter()
+        .map(|x| (x.id.as_str(), "functionDefinition"))
+        .chain(model.unit_definitions.iter().map(|x| (x.id.as_str(), "unitDefinition")))
+        .chain(model.compartment_types.iter().map(|x| (x.id.as_str(), "compartmentType")))
+        .chain(model.species_types.iter().map(|x| (x.id.as_str(), "speciesType")))
+        .chain(model.compartments.iter().map(|x| (x.id.as_str(), "compartment")))
+        .chain(model.species.iter().map(|x| (x.id.as_str(), "species")))
+        .chain(model.parameters.iter().map(|x| (x.id.as_str(), "parameter")))
+        .chain(model.reactions.iter().map(|x| (x.id.as_str(), "reaction")))
+        .chain(model.events.iter().filter_map(|x| x.id.as_deref().map(|i| (i, "event"))))
+        .collect();
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+    for (item_id, kind) in items {
+        if let Some(first_kind) = seen.get(item_id) {
+            error(
+                issues,
+                format!("{kind} '{item_id}'"),
+                format!("id already used by a {first_kind}"),
+            );
+        } else {
+            seen.insert(item_id, kind);
+        }
+    }
+}
+
+fn check_compartment_refs(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let compartments: BTreeSet<&str> = model.compartments.iter().map(|c| c.id.as_str()).collect();
+    let ctypes: BTreeSet<&str> = model.compartment_types.iter().map(|c| c.id.as_str()).collect();
+    let stypes: BTreeSet<&str> = model.species_types.iter().map(|s| s.id.as_str()).collect();
+
+    for s in &model.species {
+        if !compartments.contains(s.compartment.as_str()) {
+            error(
+                issues,
+                format!("species '{}'", s.id),
+                format!("references unknown compartment '{}'", s.compartment),
+            );
+        }
+        if let Some(st) = &s.species_type {
+            if !stypes.contains(st.as_str()) {
+                error(
+                    issues,
+                    format!("species '{}'", s.id),
+                    format!("references unknown speciesType '{st}'"),
+                );
+            }
+        }
+    }
+    for c in &model.compartments {
+        if let Some(ct) = &c.compartment_type {
+            if !ctypes.contains(ct.as_str()) {
+                error(
+                    issues,
+                    format!("compartment '{}'", c.id),
+                    format!("references unknown compartmentType '{ct}'"),
+                );
+            }
+        }
+        if let Some(outside) = &c.outside {
+            if !compartments.contains(outside.as_str()) {
+                error(
+                    issues,
+                    format!("compartment '{}'", c.id),
+                    format!("'outside' references unknown compartment '{outside}'"),
+                );
+            }
+        }
+    }
+}
+
+fn check_reaction_refs(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let species: BTreeSet<&str> = model.species.iter().map(|s| s.id.as_str()).collect();
+    for r in &model.reactions {
+        for (role, refs) in
+            [("reactant", &r.reactants), ("product", &r.products), ("modifier", &r.modifiers)]
+        {
+            for sr in refs {
+                if !species.contains(sr.species.as_str()) {
+                    error(
+                        issues,
+                        format!("reaction '{}'", r.id),
+                        format!("{role} references unknown species '{}'", sr.species),
+                    );
+                }
+                if sr.stoichiometry < 0.0 {
+                    error(
+                        issues,
+                        format!("reaction '{}'", r.id),
+                        format!("{role} '{}' has negative stoichiometry", sr.species),
+                    );
+                }
+            }
+        }
+        if r.kinetic_law.is_none() {
+            warning(issues, format!("reaction '{}'", r.id), "has no kinetic law".to_owned());
+        }
+    }
+}
+
+/// Identifiers legal in model-level math.
+fn known_identifiers(model: &Model) -> BTreeSet<String> {
+    let mut ids = model.global_ids();
+    // Rule/assignment variables may introduce derived quantities.
+    for rule in &model.rules {
+        if let Some(v) = rule.variable() {
+            ids.insert(v.to_owned());
+        }
+    }
+    ids
+}
+
+fn check_math(
+    math: &MathExpr,
+    known: &BTreeSet<String>,
+    extra_locals: &BTreeSet<String>,
+    component: &str,
+    issues: &mut Vec<ValidationIssue>,
+) {
+    for id in collect_identifiers(math) {
+        if !known.contains(&id) && !extra_locals.contains(&id) {
+            error(
+                issues,
+                component.to_owned(),
+                format!("math references undeclared identifier '{id}'"),
+            );
+        }
+    }
+}
+
+fn check_math_identifiers(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let known = known_identifiers(model);
+    let none = BTreeSet::new();
+
+    for r in &model.reactions {
+        if let Some(kl) = &r.kinetic_law {
+            let locals: BTreeSet<String> =
+                kl.parameters.iter().map(|p| p.id.clone()).collect();
+            check_math(&kl.math, &known, &locals, &format!("reaction '{}'", r.id), issues);
+        }
+    }
+    for ia in &model.initial_assignments {
+        if !known.contains(&ia.symbol) {
+            error(
+                issues,
+                format!("initialAssignment '{}'", ia.symbol),
+                "assigns an undeclared symbol".to_owned(),
+            );
+        }
+        check_math(&ia.math, &known, &none, &format!("initialAssignment '{}'", ia.symbol), issues);
+    }
+    for (idx, rule) in model.rules.iter().enumerate() {
+        let label = match rule.variable() {
+            Some(v) => format!("rule for '{v}'"),
+            None => format!("algebraic rule #{idx}"),
+        };
+        if let Some(v) = rule.variable() {
+            if !model.global_ids().contains(v) {
+                error(issues, label.clone(), "targets an undeclared variable".to_owned());
+            }
+        }
+        check_math(rule.math(), &known, &none, &label, issues);
+    }
+    for (idx, c) in model.constraints.iter().enumerate() {
+        check_math(&c.math, &known, &none, &format!("constraint #{idx}"), issues);
+    }
+    for ev in &model.events {
+        let label = format!("event '{}'", ev.id.as_deref().unwrap_or("<anonymous>"));
+        check_math(&ev.trigger, &known, &none, &label, issues);
+        if let Some(d) = &ev.delay {
+            check_math(d, &known, &none, &label, issues);
+        }
+        for a in &ev.assignments {
+            if !known.contains(&a.variable) {
+                error(issues, label.clone(), format!("assigns undeclared variable '{}'", a.variable));
+            }
+            check_math(&a.math, &known, &none, &label, issues);
+        }
+    }
+}
+
+fn check_function_definitions(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let function_ids: BTreeSet<&str> =
+        model.function_definitions.iter().map(|f| f.id.as_str()).collect();
+    for f in &model.function_definitions {
+        let params: BTreeSet<String> = f.params.iter().cloned().collect();
+        for id in collect_identifiers(&f.body) {
+            // Bodies may call other (earlier) function definitions but must
+            // otherwise be closed over their parameters.
+            if !params.contains(&id) && !function_ids.contains(id.as_str()) {
+                error(
+                    issues,
+                    format!("functionDefinition '{}'", f.id),
+                    format!("body references '{id}', which is not a parameter"),
+                );
+            }
+            if id == f.id {
+                error(
+                    issues,
+                    format!("functionDefinition '{}'", f.id),
+                    "recursive function definitions are not allowed".to_owned(),
+                );
+            }
+        }
+    }
+}
+
+fn check_rules(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let mut ruled: BTreeSet<&str> = BTreeSet::new();
+    for rule in &model.rules {
+        if let Some(v) = rule.variable() {
+            if !ruled.insert(v) {
+                error(
+                    issues,
+                    format!("rule for '{v}'"),
+                    "variable already determined by another rule".to_owned(),
+                );
+            }
+            if matches!(rule, Rule::Assignment { .. }) {
+                if let Some(ia) =
+                    model.initial_assignments.iter().find(|ia| ia.symbol == v)
+                {
+                    warning(
+                        issues,
+                        format!("rule for '{v}'"),
+                        format!(
+                            "variable also has an initial assignment ('{}'); the rule wins at t=0",
+                            ia.symbol
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_unit_refs(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let unit_ids: BTreeSet<&str> = model.unit_definitions.iter().map(|u| u.id.as_str()).collect();
+    let check = |units: &Option<String>, component: String, issues: &mut Vec<ValidationIssue>| {
+        if let Some(u) = units {
+            if !unit_ids.contains(u.as_str()) && sbml_units::definition::builtin(u).is_none() {
+                error(issues, component, format!("references unknown units '{u}'"));
+            }
+        }
+    };
+    for s in &model.species {
+        check(&s.substance_units, format!("species '{}'", s.id), issues);
+    }
+    for p in &model.parameters {
+        check(&p.units, format!("parameter '{}'", p.id), issues);
+    }
+    for c in &model.compartments {
+        check(&c.units, format!("compartment '{}'", c.id), issues);
+    }
+}
+
+fn check_initial_values(model: &Model, issues: &mut Vec<ValidationIssue>) {
+    let assigned: BTreeSet<&str> =
+        model.initial_assignments.iter().map(|ia| ia.symbol.as_str()).collect();
+    let ruled: BTreeSet<&str> = model.rules.iter().filter_map(Rule::variable).collect();
+    for s in &model.species {
+        if s.initial_value().is_none()
+            && !assigned.contains(s.id.as_str())
+            && !ruled.contains(s.id.as_str())
+        {
+            warning(
+                issues,
+                format!("species '{}'", s.id),
+                "has no initial amount, concentration, assignment or rule".to_owned(),
+            );
+        }
+    }
+    for p in &model.parameters {
+        if p.value.is_none() && !assigned.contains(p.id.as_str()) && !ruled.contains(p.id.as_str())
+        {
+            warning(
+                issues,
+                format!("parameter '{}'", p.id),
+                "has no value, initial assignment or rule".to_owned(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModelBuilder;
+    use crate::components::{Parameter, Species};
+
+    fn clean_model() -> Model {
+        ModelBuilder::new("ok")
+            .compartment("cell", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .parameter("k", 0.5)
+            .reaction("r", &["A"], &["B"], "k*A")
+            .build()
+    }
+
+    #[test]
+    fn clean_model_validates() {
+        let issues = validate(&clean_model());
+        assert!(issues.is_empty(), "{issues:?}");
+        assert!(is_valid(&clean_model()));
+    }
+
+    #[test]
+    fn duplicate_ids_detected() {
+        let mut m = clean_model();
+        m.parameters.push(Parameter::new("A", 1.0)); // clashes with species A
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error
+            && i.component.contains("parameter 'A'")));
+        assert!(!is_valid(&m));
+    }
+
+    #[test]
+    fn unknown_compartment_detected() {
+        let mut m = clean_model();
+        m.species.push(Species::new("X", "nowhere", 1.0));
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("unknown compartment 'nowhere'")));
+    }
+
+    #[test]
+    fn unknown_reaction_species_detected() {
+        let mut m = clean_model();
+        m.reactions[0].reactants[0].species = "ghost".into();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("unknown species 'ghost'")));
+    }
+
+    #[test]
+    fn undeclared_math_identifier_detected() {
+        let m = ModelBuilder::new("bad")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .reaction("r", &["A"], &[], "k_undeclared*A")
+            .build();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("k_undeclared")));
+    }
+
+    #[test]
+    fn local_parameters_satisfy_math() {
+        let mut m = ModelBuilder::new("local")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .reaction("r", &["A"], &[], "k_local*A")
+            .build();
+        m.reactions[0].kinetic_law.as_mut().unwrap().parameters.push(Parameter::new("k_local", 2.0));
+        let issues = validate(&m);
+        assert!(
+            !issues.iter().any(|i| i.severity == Severity::Error),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn open_function_definition_detected() {
+        let m = ModelBuilder::new("open_fn")
+            .function("leaky", &["x"], "x + global_thing")
+            .build();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("global_thing")));
+    }
+
+    #[test]
+    fn function_may_call_other_function() {
+        let m = ModelBuilder::new("fns")
+            .function("sq", &["x"], "x*x")
+            .function("quad", &["x"], "sq(sq(x))")
+            .build();
+        let issues = validate(&m);
+        assert!(issues.iter().all(|i| i.severity != Severity::Error), "{issues:?}");
+    }
+
+    #[test]
+    fn recursive_function_detected() {
+        let m = ModelBuilder::new("rec").function("f", &["x"], "f(x)").build();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("recursive")));
+    }
+
+    #[test]
+    fn double_ruled_variable_detected() {
+        let m = ModelBuilder::new("rules")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .assignment_rule("A", "1")
+            .rate_rule("A", "2")
+            .build();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("already determined")));
+    }
+
+    #[test]
+    fn unknown_units_detected() {
+        let mut m = clean_model();
+        m.parameters[0].units = Some("furlongs".into());
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("furlongs")));
+        // builtin names are fine
+        m.parameters[0].units = Some("second".into());
+        assert!(is_valid(&m));
+    }
+
+    #[test]
+    fn missing_initial_value_is_warning_only() {
+        let mut m = clean_model();
+        m.species[0].initial_amount = None;
+        let issues = validate(&m);
+        assert!(issues
+            .iter()
+            .any(|i| i.severity == Severity::Warning && i.component.contains("species 'A'")));
+        assert!(is_valid(&m), "warnings must not invalidate");
+    }
+
+    #[test]
+    fn initial_assignment_counts_as_initial_value() {
+        let mut m = clean_model();
+        m.species[0].initial_amount = None;
+        let m = {
+            let mut b = m.clone();
+            b.initial_assignments.push(crate::model::InitialAssignment {
+                symbol: "A".into(),
+                math: sbml_math::infix::parse("2*k").unwrap(),
+            });
+            b
+        };
+        let issues = validate(&m);
+        assert!(
+            !issues.iter().any(|i| i.component.contains("species 'A'")),
+            "{issues:?}"
+        );
+    }
+
+    #[test]
+    fn negative_stoichiometry_detected() {
+        let mut m = clean_model();
+        m.reactions[0].products[0].stoichiometry = -1.0;
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("negative stoichiometry")));
+    }
+
+    #[test]
+    fn event_assignment_to_undeclared_variable() {
+        let m = ModelBuilder::new("ev")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .event("e1", "time >= 1", &[("phantom", "1")])
+            .build();
+        let issues = validate(&m);
+        assert!(issues.iter().any(|i| i.message.contains("phantom")));
+    }
+
+    #[test]
+    fn issue_display() {
+        let i = ValidationIssue {
+            severity: Severity::Error,
+            component: "species 'A'".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(i.to_string(), "[error] species 'A': boom");
+    }
+}

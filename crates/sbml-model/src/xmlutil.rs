@@ -1,0 +1,123 @@
+//! Shared attribute-parsing helpers for the XML binding.
+
+use sbml_xml::Element;
+
+use crate::error::ModelError;
+
+/// Required string attribute.
+pub(crate) fn req_attr(e: &Element, key: &str) -> Result<String, ModelError> {
+    e.attr(key).map(str::to_owned).ok_or_else(|| {
+        ModelError::structure(format!("<{}> missing required attribute {key:?}", e.name))
+    })
+}
+
+/// Optional string attribute.
+pub(crate) fn opt_attr(e: &Element, key: &str) -> Option<String> {
+    e.attr(key).map(str::to_owned)
+}
+
+/// Optional f64 attribute.
+pub(crate) fn opt_f64(e: &Element, key: &str) -> Result<Option<f64>, ModelError> {
+    match e.attr(key) {
+        None => Ok(None),
+        Some(raw) => raw.trim().parse::<f64>().map(Some).map_err(|_| {
+            ModelError::structure(format!("<{}> attribute {key}={raw:?} is not a number", e.name))
+        }),
+    }
+}
+
+/// Optional bool attribute with a default.
+pub(crate) fn bool_attr(e: &Element, key: &str, default: bool) -> Result<bool, ModelError> {
+    match e.attr(key) {
+        None => Ok(default),
+        Some("true") | Some("1") => Ok(true),
+        Some("false") | Some("0") => Ok(false),
+        Some(other) => Err(ModelError::structure(format!(
+            "<{}> attribute {key}={other:?} is not a boolean",
+            e.name
+        ))),
+    }
+}
+
+/// Optional i32 attribute.
+pub(crate) fn opt_i32(e: &Element, key: &str) -> Result<Option<i32>, ModelError> {
+    match e.attr(key) {
+        None => Ok(None),
+        Some(raw) => raw.trim().parse::<i32>().map(Some).map_err(|_| {
+            ModelError::structure(format!("<{}> attribute {key}={raw:?} is not an integer", e.name))
+        }),
+    }
+}
+
+/// Set an attribute only when the value is present.
+pub(crate) fn set_opt(e: &mut Element, key: &str, value: &Option<String>) {
+    if let Some(v) = value {
+        e.set_attr(key, v.clone());
+    }
+}
+
+/// Set a float attribute only when present, using shortest representation.
+pub(crate) fn set_opt_f64(e: &mut Element, key: &str, value: Option<f64>) {
+    if let Some(v) = value {
+        e.set_attr(key, sbml_math::writer::format_number(v));
+    }
+}
+
+/// Parse the single `<math>` child of an element, with context for errors.
+pub(crate) fn parse_math_child(
+    e: &Element,
+    context: &str,
+) -> Result<Option<sbml_math::MathExpr>, ModelError> {
+    let Some(math) = e.child("math") else {
+        return Ok(None);
+    };
+    sbml_math::parse_mathml(math)
+        .map(Some)
+        .map_err(|source| ModelError::Math { context: context.to_owned(), source })
+}
+
+/// Required `<math>` child.
+pub(crate) fn req_math_child(
+    e: &Element,
+    context: &str,
+) -> Result<sbml_math::MathExpr, ModelError> {
+    parse_math_child(e, context)?
+        .ok_or_else(|| ModelError::structure(format!("{context}: missing <math> child")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_xml::parse_element;
+
+    #[test]
+    fn attribute_parsing() {
+        let e = parse_element(r#"<x id="a" v="2.5" n="3" flag="true"/>"#).unwrap();
+        assert_eq!(req_attr(&e, "id").unwrap(), "a");
+        assert!(req_attr(&e, "missing").is_err());
+        assert_eq!(opt_f64(&e, "v").unwrap(), Some(2.5));
+        assert_eq!(opt_f64(&e, "absent").unwrap(), None);
+        assert_eq!(opt_i32(&e, "n").unwrap(), Some(3));
+        assert!(bool_attr(&e, "flag", false).unwrap());
+        assert!(!bool_attr(&e, "off", false).unwrap());
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let e = parse_element(r#"<x v="abc" flag="maybe" n="1.5"/>"#).unwrap();
+        assert!(opt_f64(&e, "v").is_err());
+        assert!(bool_attr(&e, "flag", false).is_err());
+        assert!(opt_i32(&e, "n").is_err());
+    }
+
+    #[test]
+    fn math_child_parsing() {
+        let e = parse_element("<kineticLaw><math><ci>k</ci></math></kineticLaw>").unwrap();
+        let m = req_math_child(&e, "test").unwrap();
+        assert_eq!(m, sbml_math::MathExpr::ci("k"));
+
+        let empty = parse_element("<kineticLaw/>").unwrap();
+        assert!(parse_math_child(&empty, "test").unwrap().is_none());
+        assert!(req_math_child(&empty, "test").is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Numeric unit conversion, including the paper's Fig. 6 mole↔molecule
+//! rate-constant conversions (after Wilkinson, *Stochastic Modelling for
+//! Systems Biology*, 2006).
+//!
+//! During conflict checking the merge engine may find the "same" rate
+//! constant expressed deterministically (moles per litre per second) in one
+//! model and stochastically (molecules per cell) in another. Fig. 6 of the
+//! paper gives the translation for the three elementary reaction orders;
+//! [`deterministic_to_stochastic`] and [`stochastic_to_deterministic`]
+//! implement it, and [`conversion_factor`] handles general commensurable
+//! unit definitions.
+
+use crate::definition::UnitDefinition;
+
+/// Avogadro's constant `nA` — molecules per mole (value used in the paper).
+pub const AVOGADRO: f64 = 6.022e23;
+
+/// Elementary reaction order, as in paper Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReactionOrder {
+    /// `0 → X` — constant production.
+    Zeroth,
+    /// `X → ?` — unimolecular.
+    First,
+    /// `X + Y → ?` — bimolecular.
+    Second,
+}
+
+impl ReactionOrder {
+    /// Classify by the number of reactant molecules involved (sum of
+    /// stoichiometries). Orders above 2 are not covered by Fig. 6.
+    pub fn from_reactant_count(n: u32) -> Option<ReactionOrder> {
+        match n {
+            0 => Some(ReactionOrder::Zeroth),
+            1 => Some(ReactionOrder::First),
+            2 => Some(ReactionOrder::Second),
+            _ => None,
+        }
+    }
+}
+
+/// Convert a deterministic rate constant `k` (concentration units, M·s⁻¹
+/// flavours) to a stochastic rate constant `c` (molecules, per paper Fig. 6):
+///
+/// * zeroth order: `c = nA · k · V`
+/// * first order:  `c = k`
+/// * second order: `c = k / (nA · V)`
+///
+/// `volume` is in litres.
+pub fn deterministic_to_stochastic(k: f64, order: ReactionOrder, volume: f64) -> f64 {
+    match order {
+        ReactionOrder::Zeroth => AVOGADRO * k * volume,
+        ReactionOrder::First => k,
+        ReactionOrder::Second => k / (AVOGADRO * volume),
+    }
+}
+
+/// Inverse of [`deterministic_to_stochastic`].
+pub fn stochastic_to_deterministic(c: f64, order: ReactionOrder, volume: f64) -> f64 {
+    match order {
+        ReactionOrder::Zeroth => c / (AVOGADRO * volume),
+        ReactionOrder::First => c,
+        ReactionOrder::Second => c * AVOGADRO * volume,
+    }
+}
+
+/// Convert a concentration (mol/L) to a molecule count in volume `V` litres:
+/// `x = nA · [X] · V` (paper Fig. 6, first-order derivation).
+pub fn concentration_to_molecules(concentration: f64, volume: f64) -> f64 {
+    AVOGADRO * concentration * volume
+}
+
+/// Inverse of [`concentration_to_molecules`].
+pub fn molecules_to_concentration(molecules: f64, volume: f64) -> f64 {
+    molecules / (AVOGADRO * volume)
+}
+
+/// Multiplicative factor converting a value expressed in `from` units into
+/// `to` units, when the definitions are commensurable. A value `v` in `from`
+/// equals `v * factor` in `to`.
+pub fn conversion_factor(from: &UnitDefinition, to: &UnitDefinition) -> Option<f64> {
+    let (sf, st) = (from.signature(), to.signature());
+    if sf.dimension != st.dimension {
+        return None;
+    }
+    Some(sf.factor / st.factor)
+}
+
+/// Convert a value between commensurable unit definitions.
+pub fn convert(value: f64, from: &UnitDefinition, to: &UnitDefinition) -> Option<f64> {
+    Some(value * conversion_factor(from, to)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::definition::Unit;
+    use crate::kind::UnitKind;
+
+    const V: f64 = 1e-15; // litres
+
+    #[test]
+    fn order_classification() {
+        assert_eq!(ReactionOrder::from_reactant_count(0), Some(ReactionOrder::Zeroth));
+        assert_eq!(ReactionOrder::from_reactant_count(1), Some(ReactionOrder::First));
+        assert_eq!(ReactionOrder::from_reactant_count(2), Some(ReactionOrder::Second));
+        assert_eq!(ReactionOrder::from_reactant_count(3), None);
+    }
+
+    #[test]
+    fn fig6_zeroth_order() {
+        let k = 1e-7; // M/s
+        let c = deterministic_to_stochastic(k, ReactionOrder::Zeroth, V);
+        assert!((c - AVOGADRO * k * V).abs() < 1e-9 * c.abs());
+        // 6.022e23 * 1e-7 * 1e-15 ≈ 60.22 molecules/s
+        assert!((c - 60.22).abs() < 0.01, "{c}");
+    }
+
+    #[test]
+    fn fig6_first_order_identity() {
+        let k = 0.35;
+        assert_eq!(deterministic_to_stochastic(k, ReactionOrder::First, V), k);
+        assert_eq!(stochastic_to_deterministic(k, ReactionOrder::First, V), k);
+    }
+
+    #[test]
+    fn fig6_second_order() {
+        let k = 1e6; // per M per s
+        let c = deterministic_to_stochastic(k, ReactionOrder::Second, V);
+        assert!((c - k / (AVOGADRO * V)).abs() < 1e-12 * c.abs());
+    }
+
+    #[test]
+    fn fig6_round_trips() {
+        for order in [ReactionOrder::Zeroth, ReactionOrder::First, ReactionOrder::Second] {
+            for k in [1e-9, 1e-3, 1.0, 42.0, 1e6] {
+                let c = deterministic_to_stochastic(k, order, V);
+                let back = stochastic_to_deterministic(c, order, V);
+                assert!(((back - k) / k).abs() < 1e-12, "{order:?} {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn concentration_round_trip() {
+        let conc = 2.5e-6;
+        let n = concentration_to_molecules(conc, V);
+        assert!((molecules_to_concentration(n, V) - conc).abs() < 1e-18);
+    }
+
+    #[test]
+    fn general_conversion_mole_millimole() {
+        let mole = UnitDefinition::new("mol", vec![Unit::of(UnitKind::Mole)]);
+        let mmol = UnitDefinition::new("mmol", vec![Unit::of(UnitKind::Mole).scaled(-3)]);
+        // 1 mole = 1000 millimole
+        assert_eq!(convert(1.0, &mole, &mmol), Some(1000.0));
+        assert_eq!(convert(1000.0, &mmol, &mole), Some(1.0));
+    }
+
+    #[test]
+    fn general_conversion_litre_metre_cubed() {
+        let litre = UnitDefinition::new("l", vec![Unit::of(UnitKind::Litre)]);
+        let m3 = UnitDefinition::new("m3", vec![Unit::of(UnitKind::Metre).pow(3)]);
+        let f = conversion_factor(&litre, &m3).unwrap();
+        assert!((f - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn incommensurable_rejected() {
+        let mole = UnitDefinition::new("mol", vec![Unit::of(UnitKind::Mole)]);
+        let second = UnitDefinition::new("s", vec![Unit::of(UnitKind::Second)]);
+        assert_eq!(conversion_factor(&mole, &second), None);
+        assert_eq!(convert(1.0, &mole, &second), None);
+    }
+
+    #[test]
+    fn minute_to_second() {
+        let minute = UnitDefinition::new("min", vec![Unit::of(UnitKind::Second).times(60.0)]);
+        let second = UnitDefinition::new("s", vec![Unit::of(UnitKind::Second)]);
+        assert_eq!(convert(2.0, &minute, &second), Some(120.0));
+    }
+}

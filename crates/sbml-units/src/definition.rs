@@ -1,0 +1,277 @@
+//! Unit definitions and their canonical signatures.
+//!
+//! An SBML unit definition is a product of scaled base units:
+//! `(multiplier · 10^scale · kind)^exponent`. The paper compares unit
+//! definitions "by checking the list of known units" — here that check is a
+//! canonical [`UnitSignature`]: the SI dimension vector plus the overall
+//! factor to SI. Signatures are what the merge indexes unit definitions by,
+//! making `litre` vs `0.001 m³` or `millimole` vs `10⁻³ mole` unify.
+
+use std::fmt;
+
+use crate::dimension::{of_kind, Dimension};
+use crate::kind::UnitKind;
+
+/// One factor of a unit definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Unit {
+    /// Base unit kind.
+    pub kind: UnitKind,
+    /// Integer exponent (may be negative: `second^-1`).
+    pub exponent: i32,
+    /// Power-of-ten prefix (`scale = -3` → milli).
+    pub scale: i32,
+    /// Arbitrary extra multiplier.
+    pub multiplier: f64,
+}
+
+impl Unit {
+    /// A plain unit of the kind (exponent 1, no scaling).
+    pub fn of(kind: UnitKind) -> Unit {
+        Unit { kind, exponent: 1, scale: 0, multiplier: 1.0 }
+    }
+
+    /// Builder: set the exponent.
+    #[must_use]
+    pub fn pow(mut self, exponent: i32) -> Unit {
+        self.exponent = exponent;
+        self
+    }
+
+    /// Builder: set the decimal scale.
+    #[must_use]
+    pub fn scaled(mut self, scale: i32) -> Unit {
+        self.scale = scale;
+        self
+    }
+
+    /// Builder: set the multiplier.
+    #[must_use]
+    pub fn times(mut self, multiplier: f64) -> Unit {
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Contribution of this factor to (dimension, SI factor).
+    fn contribution(&self) -> (Dimension, f64) {
+        let (dim, kind_factor) = of_kind(self.kind);
+        let single = self.multiplier * 10f64.powi(self.scale) * kind_factor;
+        // exponent applies to the whole scaled unit
+        let factor = single.powi(self.exponent);
+        (dim.scaled(self.exponent as i8), factor)
+    }
+}
+
+/// A named unit definition: a product of [`Unit`] factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDefinition {
+    /// SBML id (referenced by `units` attributes).
+    pub id: String,
+    /// Optional human-readable name.
+    pub name: Option<String>,
+    /// The factors.
+    pub units: Vec<Unit>,
+}
+
+impl UnitDefinition {
+    /// Create a definition from factors.
+    pub fn new(id: impl Into<String>, units: Vec<Unit>) -> UnitDefinition {
+        UnitDefinition { id: id.into(), name: None, units }
+    }
+
+    /// Builder: attach a display name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> UnitDefinition {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The canonical signature (dimension + factor to SI).
+    pub fn signature(&self) -> UnitSignature {
+        let mut dim = Dimension::NONE;
+        let mut factor = 1.0;
+        for u in &self.units {
+            let (d, f) = u.contribution();
+            dim = dim + d;
+            factor *= f;
+        }
+        UnitSignature { dimension: dim, factor }
+    }
+
+    /// Are two definitions equivalent (same dimension *and* same factor)?
+    /// `millimole` ≠ `mole`, but `litre` == `0.001 m³`.
+    pub fn equivalent(&self, other: &UnitDefinition) -> bool {
+        self.signature().approx_eq(&other.signature())
+    }
+
+    /// Are two definitions commensurable (same dimension, possibly
+    /// different magnitude)? `millimole` ~ `mole`.
+    pub fn commensurable(&self, other: &UnitDefinition) -> bool {
+        self.signature().dimension == other.signature().dimension
+    }
+}
+
+/// Canonical comparison key for a unit definition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitSignature {
+    /// SI dimension vector.
+    pub dimension: Dimension,
+    /// Multiplicative factor to SI coherent units.
+    pub factor: f64,
+}
+
+impl UnitSignature {
+    /// Equality with a relative tolerance on the factor (floating-point
+    /// products of scales/multipliers).
+    pub fn approx_eq(&self, other: &UnitSignature) -> bool {
+        if self.dimension != other.dimension {
+            return false;
+        }
+        let (a, b) = (self.factor, other.factor);
+        if a == b {
+            return true;
+        }
+        let scale = a.abs().max(b.abs());
+        (a - b).abs() <= scale * 1e-9
+    }
+
+    /// A stable text form usable as a hash-map key in the merge indexes.
+    pub fn key(&self) -> String {
+        // Round the factor's log10 to 9 decimals for a canonical-enough key;
+        // approx_eq is the authoritative comparison.
+        format!("{}@{:.9e}", self.dimension, self.factor)
+    }
+}
+
+impl fmt::Display for UnitSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} × {}", self.factor, self.dimension)
+    }
+}
+
+/// The SBML built-in default units (the "list of known units" the paper
+/// consults): `substance`, `volume`, `area`, `length`, `time`.
+pub fn builtin(id: &str) -> Option<UnitDefinition> {
+    let def = match id {
+        "substance" => UnitDefinition::new("substance", vec![Unit::of(UnitKind::Mole)]),
+        "volume" => UnitDefinition::new("volume", vec![Unit::of(UnitKind::Litre)]),
+        "area" => UnitDefinition::new("area", vec![Unit::of(UnitKind::Metre).pow(2)]),
+        "length" => UnitDefinition::new("length", vec![Unit::of(UnitKind::Metre)]),
+        "time" => UnitDefinition::new("time", vec![Unit::of(UnitKind::Second)]),
+        _ => {
+            // Any bare unit kind is also usable where a units id is expected.
+            let kind = UnitKind::parse(id)?;
+            UnitDefinition::new(id, vec![Unit::of(kind)])
+        }
+    };
+    Some(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn litre_equals_milli_cubic_metre() {
+        let litre = UnitDefinition::new("l", vec![Unit::of(UnitKind::Litre)]);
+        let m3_milli =
+            UnitDefinition::new("mm3", vec![Unit::of(UnitKind::Metre).pow(3).times(0.1)]);
+        // (0.1 m)^3 = 1e-3 m^3 = 1 litre
+        assert!(litre.equivalent(&m3_milli));
+    }
+
+    #[test]
+    fn millimole_commensurable_not_equivalent() {
+        let mole = UnitDefinition::new("mol", vec![Unit::of(UnitKind::Mole)]);
+        let mmol = UnitDefinition::new("mmol", vec![Unit::of(UnitKind::Mole).scaled(-3)]);
+        assert!(mole.commensurable(&mmol));
+        assert!(!mole.equivalent(&mmol));
+    }
+
+    #[test]
+    fn per_second_signature() {
+        let hz = UnitDefinition::new("hz", vec![Unit::of(UnitKind::Hertz)]);
+        let per_s = UnitDefinition::new("ps", vec![Unit::of(UnitKind::Second).pow(-1)]);
+        assert!(hz.equivalent(&per_s));
+    }
+
+    #[test]
+    fn molarity() {
+        // mole/litre has dimension mol·m⁻³ with factor 1000
+        let molar = UnitDefinition::new(
+            "M",
+            vec![Unit::of(UnitKind::Mole), Unit::of(UnitKind::Litre).pow(-1)],
+        );
+        let sig = molar.signature();
+        assert_eq!(sig.dimension.amount, 1);
+        assert_eq!(sig.dimension.length, -3);
+        assert!((sig.factor - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_order_rate_constant_units() {
+        // litre·mole⁻¹·second⁻¹ (per M per s)
+        let k2 = UnitDefinition::new(
+            "k2u",
+            vec![
+                Unit::of(UnitKind::Litre),
+                Unit::of(UnitKind::Mole).pow(-1),
+                Unit::of(UnitKind::Second).pow(-1),
+            ],
+        );
+        let sig = k2.signature();
+        assert_eq!(sig.dimension.amount, -1);
+        assert_eq!(sig.dimension.length, 3);
+        assert_eq!(sig.dimension.time, -1);
+    }
+
+    #[test]
+    fn scale_and_multiplier_combined() {
+        // 60 · 10^0 second = minute; (1/60) minute⁻¹ == second⁻¹... check factor math
+        let minute = UnitDefinition::new("min", vec![Unit::of(UnitKind::Second).times(60.0)]);
+        assert!((minute.signature().factor - 60.0).abs() < 1e-12);
+        let per_minute =
+            UnitDefinition::new("pmin", vec![Unit::of(UnitKind::Second).times(60.0).pow(-1)]);
+        assert!((per_minute.signature().factor - 1.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_vs_kilogram() {
+        let kg = UnitDefinition::new("kg", vec![Unit::of(UnitKind::Kilogram)]);
+        let g1000 = UnitDefinition::new("g", vec![Unit::of(UnitKind::Gram).scaled(3)]);
+        assert!(kg.equivalent(&g1000));
+    }
+
+    #[test]
+    fn builtins() {
+        assert!(builtin("substance").unwrap().equivalent(&UnitDefinition::new(
+            "m",
+            vec![Unit::of(UnitKind::Mole)]
+        )));
+        assert!(builtin("volume").is_some());
+        assert!(builtin("time").is_some());
+        assert!(builtin("area").is_some());
+        assert!(builtin("length").is_some());
+        // bare kind names work
+        assert!(builtin("mole").is_some());
+        assert!(builtin("nothing").is_none());
+    }
+
+    #[test]
+    fn signature_key_stable() {
+        let a = UnitDefinition::new("a", vec![Unit::of(UnitKind::Mole), Unit::of(UnitKind::Litre).pow(-1)]);
+        let b = UnitDefinition::new(
+            "b",
+            vec![Unit::of(UnitKind::Litre).pow(-1), Unit::of(UnitKind::Mole)],
+        );
+        // Order of factors is irrelevant.
+        assert_eq!(a.signature().key(), b.signature().key());
+    }
+
+    #[test]
+    fn empty_definition_is_dimensionless() {
+        let d = UnitDefinition::new("d", vec![]);
+        assert!(d.signature().dimension.is_dimensionless());
+        assert_eq!(d.signature().factor, 1.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! SI dimensional analysis for unit kinds.
+//!
+//! Every [`UnitKind`] maps to a vector of exponents over the seven SI base
+//! dimensions plus a numeric factor to SI coherent units. Two unit
+//! definitions are *commensurable* iff their dimension vectors match; the
+//! ratio of their factors is then the conversion factor.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+use crate::kind::UnitKind;
+
+/// Exponents over the SI base dimensions
+/// (metre, kilogram, second, ampere, kelvin, mole, candela).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dimension {
+    /// Length (metre).
+    pub length: i8,
+    /// Mass (kilogram).
+    pub mass: i8,
+    /// Time (second).
+    pub time: i8,
+    /// Electric current (ampere).
+    pub current: i8,
+    /// Thermodynamic temperature (kelvin).
+    pub temperature: i8,
+    /// Amount of substance (mole).
+    pub amount: i8,
+    /// Luminous intensity (candela).
+    pub luminosity: i8,
+}
+
+impl Dimension {
+    /// The dimensionless dimension.
+    pub const NONE: Dimension = Dimension {
+        length: 0,
+        mass: 0,
+        time: 0,
+        current: 0,
+        temperature: 0,
+        amount: 0,
+        luminosity: 0,
+    };
+
+    /// True when every exponent is zero.
+    pub fn is_dimensionless(&self) -> bool {
+        *self == Dimension::NONE
+    }
+
+    /// Multiply all exponents by `n` (raising a unit to a power).
+    pub fn scaled(self, n: i8) -> Dimension {
+        Dimension {
+            length: self.length * n,
+            mass: self.mass * n,
+            time: self.time * n,
+            current: self.current * n,
+            temperature: self.temperature * n,
+            amount: self.amount * n,
+            luminosity: self.luminosity * n,
+        }
+    }
+}
+
+impl Add for Dimension {
+    type Output = Dimension;
+    fn add(self, rhs: Dimension) -> Dimension {
+        Dimension {
+            length: self.length + rhs.length,
+            mass: self.mass + rhs.mass,
+            time: self.time + rhs.time,
+            current: self.current + rhs.current,
+            temperature: self.temperature + rhs.temperature,
+            amount: self.amount + rhs.amount,
+            luminosity: self.luminosity + rhs.luminosity,
+        }
+    }
+}
+
+impl Sub for Dimension {
+    type Output = Dimension;
+    fn sub(self, rhs: Dimension) -> Dimension {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Dimension {
+    type Output = Dimension;
+    fn neg(self) -> Dimension {
+        self.scaled(-1)
+    }
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: [(&str, i8); 7] = [
+            ("m", self.length),
+            ("kg", self.mass),
+            ("s", self.time),
+            ("A", self.current),
+            ("K", self.temperature),
+            ("mol", self.amount),
+            ("cd", self.luminosity),
+        ];
+        let mut wrote = false;
+        for (symbol, exp) in parts {
+            if exp != 0 {
+                if wrote {
+                    f.write_str("·")?;
+                }
+                write!(f, "{symbol}^{exp}")?;
+                wrote = true;
+            }
+        }
+        if !wrote {
+            f.write_str("1")?;
+        }
+        Ok(())
+    }
+}
+
+/// Dimension and SI factor of a base unit kind.
+///
+/// The factor converts one of the unit into SI coherent units, e.g.
+/// `litre → (L^3, 1e-3)` because 1 litre = 10⁻³ m³. Celsius is treated as
+/// kelvin for dimension purposes (offsets are out of scope for rate math;
+/// SBML models use kelvin-sized degrees).
+pub fn of_kind(kind: UnitKind) -> (Dimension, f64) {
+    use UnitKind::*;
+    let d = |length, mass, time, current, temperature, amount, luminosity| Dimension {
+        length,
+        mass,
+        time,
+        current,
+        temperature,
+        amount,
+        luminosity,
+    };
+    match kind {
+        Ampere => (d(0, 0, 0, 1, 0, 0, 0), 1.0),
+        Becquerel | Hertz => (d(0, 0, -1, 0, 0, 0, 0), 1.0),
+        Candela => (d(0, 0, 0, 0, 0, 0, 1), 1.0),
+        Celsius | Kelvin => (d(0, 0, 0, 0, 1, 0, 0), 1.0),
+        Coulomb => (d(0, 0, 1, 1, 0, 0, 0), 1.0),
+        Dimensionless | Radian | Steradian | Item => (Dimension::NONE, 1.0),
+        Farad => (d(-2, -1, 4, 2, 0, 0, 0), 1.0),
+        Gram => (d(0, 1, 0, 0, 0, 0, 0), 1e-3),
+        Gray | Sievert => (d(2, 0, -2, 0, 0, 0, 0), 1.0),
+        Henry => (d(2, 1, -2, -2, 0, 0, 0), 1.0),
+        Joule => (d(2, 1, -2, 0, 0, 0, 0), 1.0),
+        Katal => (d(0, 0, -1, 0, 0, 1, 0), 1.0),
+        Kilogram => (d(0, 1, 0, 0, 0, 0, 0), 1.0),
+        Litre => (d(3, 0, 0, 0, 0, 0, 0), 1e-3),
+        Lumen => (d(0, 0, 0, 0, 0, 0, 1), 1.0),
+        Lux => (d(-2, 0, 0, 0, 0, 0, 1), 1.0),
+        Metre => (d(1, 0, 0, 0, 0, 0, 0), 1.0),
+        Mole => (d(0, 0, 0, 0, 0, 1, 0), 1.0),
+        Newton => (d(1, 1, -2, 0, 0, 0, 0), 1.0),
+        Ohm => (d(2, 1, -3, -2, 0, 0, 0), 1.0),
+        Pascal => (d(-1, 1, -2, 0, 0, 0, 0), 1.0),
+        Second => (d(0, 0, 1, 0, 0, 0, 0), 1.0),
+        Siemens => (d(-2, -1, 3, 2, 0, 0, 0), 1.0),
+        Tesla => (d(0, 1, -2, -1, 0, 0, 0), 1.0),
+        Volt => (d(2, 1, -3, -1, 0, 0, 0), 1.0),
+        Watt => (d(2, 1, -3, 0, 0, 0, 0), 1.0),
+        Weber => (d(2, 1, -2, -1, 0, 0, 0), 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ALL_KINDS;
+
+    #[test]
+    fn litre_is_cubic_decimetre() {
+        let (dim, factor) = of_kind(UnitKind::Litre);
+        assert_eq!(dim, Dimension { length: 3, ..Dimension::NONE });
+        assert_eq!(factor, 1e-3);
+    }
+
+    #[test]
+    fn derived_units_decompose() {
+        // newton = kg·m/s²
+        let (n, _) = of_kind(UnitKind::Newton);
+        let (kg, _) = of_kind(UnitKind::Kilogram);
+        let (m, _) = of_kind(UnitKind::Metre);
+        let (s, _) = of_kind(UnitKind::Second);
+        assert_eq!(n, kg + m - s.scaled(2));
+
+        // joule = newton·metre; watt = joule/second
+        let (j, _) = of_kind(UnitKind::Joule);
+        assert_eq!(j, n + m);
+        let (w, _) = of_kind(UnitKind::Watt);
+        assert_eq!(w, j - s);
+
+        // katal = mol/s
+        let (kat, _) = of_kind(UnitKind::Katal);
+        let (mol, _) = of_kind(UnitKind::Mole);
+        assert_eq!(kat, mol - s);
+    }
+
+    #[test]
+    fn dimensionless_kinds() {
+        for k in [UnitKind::Dimensionless, UnitKind::Radian, UnitKind::Steradian, UnitKind::Item] {
+            assert!(of_kind(k).0.is_dimensionless(), "{k}");
+        }
+    }
+
+    #[test]
+    fn all_factors_positive_finite() {
+        for k in ALL_KINDS {
+            let (_, f) = of_kind(k);
+            assert!(f.is_finite() && f > 0.0, "{k}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let (m, _) = of_kind(UnitKind::Metre);
+        assert_eq!(m - m, Dimension::NONE);
+        assert_eq!(-m + m, Dimension::NONE);
+        assert_eq!(m.scaled(0), Dimension::NONE);
+        assert_eq!(m.scaled(2) - m, m);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let (n, _) = of_kind(UnitKind::Newton);
+        assert_eq!(n.to_string(), "m^1·kg^1·s^-2");
+        assert_eq!(Dimension::NONE.to_string(), "1");
+    }
+}

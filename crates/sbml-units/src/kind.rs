@@ -1,0 +1,201 @@
+//! The SBML Level 2 base unit kinds.
+
+use std::fmt;
+
+/// A base unit kind as enumerated by the SBML Level 2 specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // names are the SI/SBML unit names themselves
+pub enum UnitKind {
+    Ampere,
+    Becquerel,
+    Candela,
+    Celsius,
+    Coulomb,
+    Dimensionless,
+    Farad,
+    Gram,
+    Gray,
+    Henry,
+    Hertz,
+    Item,
+    Joule,
+    Katal,
+    Kelvin,
+    Kilogram,
+    Litre,
+    Lumen,
+    Lux,
+    Metre,
+    Mole,
+    Newton,
+    Ohm,
+    Pascal,
+    Radian,
+    Second,
+    Siemens,
+    Sievert,
+    Steradian,
+    Tesla,
+    Volt,
+    Watt,
+    Weber,
+}
+
+/// All unit kinds, in SBML specification order.
+pub const ALL_KINDS: [UnitKind; 33] = [
+    UnitKind::Ampere,
+    UnitKind::Becquerel,
+    UnitKind::Candela,
+    UnitKind::Celsius,
+    UnitKind::Coulomb,
+    UnitKind::Dimensionless,
+    UnitKind::Farad,
+    UnitKind::Gram,
+    UnitKind::Gray,
+    UnitKind::Henry,
+    UnitKind::Hertz,
+    UnitKind::Item,
+    UnitKind::Joule,
+    UnitKind::Katal,
+    UnitKind::Kelvin,
+    UnitKind::Kilogram,
+    UnitKind::Litre,
+    UnitKind::Lumen,
+    UnitKind::Lux,
+    UnitKind::Metre,
+    UnitKind::Mole,
+    UnitKind::Newton,
+    UnitKind::Ohm,
+    UnitKind::Pascal,
+    UnitKind::Radian,
+    UnitKind::Second,
+    UnitKind::Siemens,
+    UnitKind::Sievert,
+    UnitKind::Steradian,
+    UnitKind::Tesla,
+    UnitKind::Volt,
+    UnitKind::Watt,
+    UnitKind::Weber,
+];
+
+impl UnitKind {
+    /// The SBML attribute value (`"mole"`, `"litre"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitKind::Ampere => "ampere",
+            UnitKind::Becquerel => "becquerel",
+            UnitKind::Candela => "candela",
+            UnitKind::Celsius => "Celsius",
+            UnitKind::Coulomb => "coulomb",
+            UnitKind::Dimensionless => "dimensionless",
+            UnitKind::Farad => "farad",
+            UnitKind::Gram => "gram",
+            UnitKind::Gray => "gray",
+            UnitKind::Henry => "henry",
+            UnitKind::Hertz => "hertz",
+            UnitKind::Item => "item",
+            UnitKind::Joule => "joule",
+            UnitKind::Katal => "katal",
+            UnitKind::Kelvin => "kelvin",
+            UnitKind::Kilogram => "kilogram",
+            UnitKind::Litre => "litre",
+            UnitKind::Lumen => "lumen",
+            UnitKind::Lux => "lux",
+            UnitKind::Metre => "metre",
+            UnitKind::Mole => "mole",
+            UnitKind::Newton => "newton",
+            UnitKind::Ohm => "ohm",
+            UnitKind::Pascal => "pascal",
+            UnitKind::Radian => "radian",
+            UnitKind::Second => "second",
+            UnitKind::Siemens => "siemens",
+            UnitKind::Sievert => "sievert",
+            UnitKind::Steradian => "steradian",
+            UnitKind::Tesla => "tesla",
+            UnitKind::Volt => "volt",
+            UnitKind::Watt => "watt",
+            UnitKind::Weber => "weber",
+        }
+    }
+
+    /// Parse an SBML `kind` attribute value. Accepts the legacy spellings
+    /// `liter` and `meter`.
+    pub fn parse(name: &str) -> Option<UnitKind> {
+        Some(match name {
+            "ampere" => UnitKind::Ampere,
+            "becquerel" => UnitKind::Becquerel,
+            "candela" => UnitKind::Candela,
+            "Celsius" | "celsius" => UnitKind::Celsius,
+            "coulomb" => UnitKind::Coulomb,
+            "dimensionless" => UnitKind::Dimensionless,
+            "farad" => UnitKind::Farad,
+            "gram" => UnitKind::Gram,
+            "gray" => UnitKind::Gray,
+            "henry" => UnitKind::Henry,
+            "hertz" => UnitKind::Hertz,
+            "item" => UnitKind::Item,
+            "joule" => UnitKind::Joule,
+            "katal" => UnitKind::Katal,
+            "kelvin" => UnitKind::Kelvin,
+            "kilogram" => UnitKind::Kilogram,
+            "litre" | "liter" => UnitKind::Litre,
+            "lumen" => UnitKind::Lumen,
+            "lux" => UnitKind::Lux,
+            "metre" | "meter" => UnitKind::Metre,
+            "mole" => UnitKind::Mole,
+            "newton" => UnitKind::Newton,
+            "ohm" => UnitKind::Ohm,
+            "pascal" => UnitKind::Pascal,
+            "radian" => UnitKind::Radian,
+            "second" => UnitKind::Second,
+            "siemens" => UnitKind::Siemens,
+            "sievert" => UnitKind::Sievert,
+            "steradian" => UnitKind::Steradian,
+            "tesla" => UnitKind::Tesla,
+            "volt" => UnitKind::Volt,
+            "watt" => UnitKind::Watt,
+            "weber" => UnitKind::Weber,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for UnitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_round_trip_all_kinds() {
+        for kind in ALL_KINDS {
+            assert_eq!(UnitKind::parse(kind.name()), Some(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn legacy_spellings() {
+        assert_eq!(UnitKind::parse("liter"), Some(UnitKind::Litre));
+        assert_eq!(UnitKind::parse("meter"), Some(UnitKind::Metre));
+        assert_eq!(UnitKind::parse("celsius"), Some(UnitKind::Celsius));
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert_eq!(UnitKind::parse("parsec"), None);
+        assert_eq!(UnitKind::parse(""), None);
+        assert_eq!(UnitKind::parse("Mole"), None, "case sensitive except Celsius");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut sorted = ALL_KINDS;
+        sorted.sort();
+        assert_eq!(sorted.first(), Some(&UnitKind::Ampere));
+        assert_eq!(sorted.last(), Some(&UnitKind::Weber));
+    }
+}

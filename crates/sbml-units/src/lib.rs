@@ -1,0 +1,42 @@
+//! Units of measurement for SBML models.
+//!
+//! Two models being merged may express the *same* quantity in *different*
+//! units — the paper calls this out as "a significant problem encountered
+//! during conflict checking". This crate supplies the machinery the merge
+//! engine uses to decide whether two values agree once units are reconciled:
+//!
+//! * [`kind`] — the 30+ SBML base unit kinds,
+//! * [`definition`] — unit definitions (`kind^exponent · 10^scale ·
+//!   multiplier` products) with canonical signatures, so `litre` and
+//!   `0.001 m^3` compare equal,
+//! * [`dimension`] — SI dimensional analysis behind those signatures,
+//! * [`convert`] — numeric conversion factors between commensurable unit
+//!   definitions, plus the paper's Fig. 6 **moles → molecules** conversions
+//!   for zeroth/first/second-order rate constants (after Wilkinson,
+//!   *Stochastic Modelling for Systems Biology*).
+//!
+//! # Example: Fig. 6 conversions
+//!
+//! ```
+//! use sbml_units::convert::{deterministic_to_stochastic, ReactionOrder, AVOGADRO};
+//!
+//! let volume = 1e-15; // litres, roughly an E. coli cell
+//! // First order: c = k, independent of volume.
+//! assert_eq!(deterministic_to_stochastic(0.1, ReactionOrder::First, volume), 0.1);
+//! // Zeroth order: c = nA · k · V.
+//! let c0 = deterministic_to_stochastic(1e-7, ReactionOrder::Zeroth, volume);
+//! assert!((c0 - 1e-7 * AVOGADRO * volume).abs() < 1e-6);
+//! ```
+
+pub mod convert;
+pub mod definition;
+pub mod dimension;
+pub mod kind;
+
+pub use convert::{
+    conversion_factor, deterministic_to_stochastic, stochastic_to_deterministic, ReactionOrder,
+    AVOGADRO,
+};
+pub use definition::{Unit, UnitDefinition, UnitSignature};
+pub use dimension::Dimension;
+pub use kind::UnitKind;

@@ -1,0 +1,130 @@
+//! Property tests for the unit system:
+//! * conversion factors compose and invert consistently,
+//! * signatures are order-insensitive and scale-coherent,
+//! * the Fig. 6 deterministic↔stochastic bridge round-trips for every
+//!   order and volume.
+
+use proptest::prelude::*;
+use sbml_units::convert::{
+    conversion_factor, convert, deterministic_to_stochastic, stochastic_to_deterministic,
+    ReactionOrder,
+};
+use sbml_units::{Unit, UnitDefinition, UnitKind};
+
+fn kind_strategy() -> impl Strategy<Value = UnitKind> {
+    prop_oneof![
+        Just(UnitKind::Mole),
+        Just(UnitKind::Litre),
+        Just(UnitKind::Second),
+        Just(UnitKind::Metre),
+        Just(UnitKind::Gram),
+        Just(UnitKind::Kelvin),
+        Just(UnitKind::Dimensionless),
+    ]
+}
+
+fn unit_strategy() -> impl Strategy<Value = Unit> {
+    (kind_strategy(), -3i32..=3, -6i32..=6, prop_oneof![Just(1.0), Just(60.0), Just(0.5)])
+        .prop_map(|(kind, exponent, scale, multiplier)| Unit {
+            kind,
+            exponent: if exponent == 0 { 1 } else { exponent },
+            scale,
+            multiplier,
+        })
+}
+
+fn definition_strategy() -> impl Strategy<Value = UnitDefinition> {
+    proptest::collection::vec(unit_strategy(), 0..4)
+        .prop_map(|units| UnitDefinition::new("gen", units))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn factor_order_insensitive(def in definition_strategy()) {
+        let mut reversed = def.clone();
+        reversed.units.reverse();
+        let (s1, s2) = (def.signature(), reversed.signature());
+        prop_assert!(s1.approx_eq(&s2));
+        prop_assert_eq!(s1.key(), s2.key());
+    }
+
+    #[test]
+    fn self_conversion_is_one(def in definition_strategy()) {
+        if let Some(f) = conversion_factor(&def, &def) {
+            prop_assert!((f - 1.0).abs() < 1e-9, "{f}");
+        } else {
+            prop_assert!(false, "definition must be commensurable with itself");
+        }
+    }
+
+    #[test]
+    fn conversion_inverts(a in definition_strategy(), b in definition_strategy()) {
+        match (conversion_factor(&a, &b), conversion_factor(&b, &a)) {
+            (Some(ab), Some(ba)) => {
+                prop_assert!((ab * ba - 1.0).abs() < 1e-9, "ab={ab} ba={ba}");
+            }
+            (None, None) => {} // consistently incommensurable
+            (x, y) => prop_assert!(false, "asymmetric commensurability: {:?} {:?}", x, y),
+        }
+    }
+
+    #[test]
+    fn conversion_composes(
+        a in definition_strategy(),
+        b in definition_strategy(),
+        value in 1e-6f64..1e6
+    ) {
+        // convert(a→b) then (b→a) returns the value.
+        if let Some(via) = convert(value, &a, &b) {
+            let back = convert(via, &b, &a).expect("inverse exists");
+            prop_assert!(((back - value) / value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaling_shifts_factor_by_power_of_ten(def in definition_strategy(), shift in -3i32..=3) {
+        // Adding a dimensionless 10^shift factor multiplies the signature
+        // factor by 10^shift and leaves the dimension alone.
+        let mut scaled = def.clone();
+        scaled.units.push(Unit::of(UnitKind::Dimensionless).scaled(shift));
+        let (s0, s1) = (def.signature(), scaled.signature());
+        prop_assert_eq!(s0.dimension, s1.dimension);
+        let expected = s0.factor * 10f64.powi(shift);
+        let scale = expected.abs().max(s1.factor.abs()).max(1e-300);
+        prop_assert!(((s1.factor - expected) / scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_round_trip_all_orders(
+        k in 1e-9f64..1e9,
+        volume in 1e-18f64..1.0
+    ) {
+        for order in [ReactionOrder::Zeroth, ReactionOrder::First, ReactionOrder::Second] {
+            let c = deterministic_to_stochastic(k, order, volume);
+            let back = stochastic_to_deterministic(c, order, volume);
+            prop_assert!(((back - k) / k).abs() < 1e-9, "{:?}", order);
+        }
+    }
+
+    #[test]
+    fn fig6_first_order_is_identity(k in 1e-9f64..1e9, volume in 1e-18f64..1.0) {
+        prop_assert_eq!(deterministic_to_stochastic(k, ReactionOrder::First, volume), k);
+    }
+
+    #[test]
+    fn fig6_monotone_in_k(
+        k1 in 1e-6f64..1e6,
+        k2 in 1e-6f64..1e6,
+        volume in 1e-15f64..1e-3
+    ) {
+        for order in [ReactionOrder::Zeroth, ReactionOrder::First, ReactionOrder::Second] {
+            let (c1, c2) = (
+                deterministic_to_stochastic(k1, order, volume),
+                deterministic_to_stochastic(k2, order, volume),
+            );
+            prop_assert_eq!(k1 < k2, c1 < c2, "{:?} must preserve ordering", order);
+        }
+    }
+}

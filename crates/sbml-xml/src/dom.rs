@@ -1,0 +1,395 @@
+//! An ordered-attribute DOM built from the token stream.
+//!
+//! SBML merging (the paper's Fig. 4/5 algorithms) repeatedly navigates and
+//! mutates element trees, so [`Element`] keeps attributes in document order
+//! in a `Vec` (SBML elements have few attributes; linear scans beat hashing)
+//! and exposes builder-style constructors used heavily by `sbml-model`.
+
+use crate::error::{Position, XmlError};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// A node in the element tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A run of character data (already unescaped).
+    Text(String),
+    /// A CDATA section (kept verbatim, serialized back as CDATA).
+    CData(String),
+    /// A comment.
+    Comment(String),
+}
+
+impl Node {
+    /// This node as an element, if it is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// This node as a mutable element, if it is one.
+    pub fn as_element_mut(&mut self) -> Option<&mut Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Text payload of text/CDATA nodes.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) | Node::CData(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: qualified name, ordered attributes, ordered children.
+///
+/// Equality is structural — `position` (provenance only) is ignored.
+#[derive(Debug, Clone, Default)]
+pub struct Element {
+    /// Qualified tag name (namespace prefix preserved verbatim).
+    pub name: String,
+    /// Attributes in document order; values are unescaped.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+    /// Source position of the opening tag (`Position::START` for built trees).
+    pub position: Position,
+}
+
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.attrs == other.attrs && self.children == other.children
+    }
+}
+
+impl Eq for Element {}
+
+impl Element {
+    /// Create an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            position: Position::START,
+        }
+    }
+
+    /// Builder: add an attribute.
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Builder: append a child element.
+    #[must_use]
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: append a text node.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Set (replace or append) an attribute.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Remove an attribute; returns its previous value if present.
+    pub fn remove_attr(&mut self, key: &str) -> Option<String> {
+        let idx = self.attrs.iter().position(|(k, _)| k == key)?;
+        Some(self.attrs.remove(idx).1)
+    }
+
+    /// Iterate over element children only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterate mutably over element children only.
+    pub fn child_elements_mut(&mut self) -> impl Iterator<Item = &mut Element> {
+        self.children.iter_mut().filter_map(Node::as_element_mut)
+    }
+
+    /// First element child with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// First element child with the given tag name (mutable).
+    pub fn child_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.child_elements_mut().find(|e| e.name == name)
+    }
+
+    /// All element children with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Depth-first iterator over all descendant elements (not including
+    /// `self`) whose name matches.
+    pub fn find_descendants<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        let mut stack: Vec<&Element> = self.child_elements().collect();
+        stack.reverse();
+        std::iter::from_fn(move || {
+            while let Some(e) = stack.pop() {
+                let mut kids: Vec<&Element> = e.child_elements().collect();
+                kids.reverse();
+                stack.extend(kids);
+                if e.name == name {
+                    return Some(e);
+                }
+            }
+            None
+        })
+    }
+
+    /// Append a child element.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Concatenated text content of all text/CDATA descendants.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        for node in &self.children {
+            match node {
+                Node::Text(t) | Node::CData(t) => out.push_str(t),
+                Node::Element(e) => e.collect_text(out),
+                Node::Comment(_) => {}
+            }
+        }
+    }
+
+    /// Number of elements in the subtree rooted here (including `self`).
+    pub fn subtree_size(&self) -> usize {
+        1 + self.child_elements().map(Element::subtree_size).sum::<usize>()
+    }
+
+    /// True when the element has no attributes and no non-comment children.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+            && self
+                .children
+                .iter()
+                .all(|n| matches!(n, Node::Comment(_)) || matches!(n, Node::Text(t) if t.trim().is_empty()))
+    }
+}
+
+/// A parsed document: optional XML declaration plus a single root element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Raw pseudo-attribute text of the `<?xml ...?>` declaration, if present.
+    pub declaration: Option<String>,
+    /// The root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wrap an element as a document with the standard declaration.
+    pub fn with_root(root: Element) -> Self {
+        Document {
+            declaration: Some("version=\"1.0\" encoding=\"UTF-8\"".to_owned()),
+            root,
+        }
+    }
+
+    /// Parse a full document from text.
+    pub fn parse(input: &str) -> Result<Document, XmlError> {
+        let mut tokens = Tokenizer::new(input);
+        let mut declaration = None;
+        let mut root: Option<Element> = None;
+        // Stack of open elements; the bottom one becomes the root.
+        let mut stack: Vec<Element> = Vec::new();
+
+        while let Some(token) = tokens.next_token()? {
+            match token {
+                Token::Declaration { content, .. } => declaration = Some(content),
+                Token::DoctypeSkipped { .. } | Token::ProcessingInstruction { .. } => {}
+                Token::Comment { content, .. } => {
+                    if let Some(open) = stack.last_mut() {
+                        open.children.push(Node::Comment(content));
+                    }
+                    // Comments in the prolog/epilog are dropped.
+                }
+                Token::Text { content, at } => {
+                    if let Some(open) = stack.last_mut() {
+                        open.children.push(Node::Text(content));
+                    } else if !content.trim().is_empty() {
+                        return Err(XmlError::ContentOutsideRoot { at });
+                    }
+                }
+                Token::CData { content, at } => {
+                    if let Some(open) = stack.last_mut() {
+                        open.children.push(Node::CData(content));
+                    } else {
+                        return Err(XmlError::ContentOutsideRoot { at });
+                    }
+                }
+                Token::StartTag { name, attrs, self_closing, at } => {
+                    if root.is_some() && stack.is_empty() {
+                        return Err(XmlError::MultipleRoots { at });
+                    }
+                    let element = Element { name, attrs, children: Vec::new(), position: at };
+                    if self_closing {
+                        Self::close(element, &mut stack, &mut root);
+                    } else {
+                        stack.push(element);
+                    }
+                }
+                Token::EndTag { name, at } => {
+                    let Some(open) = stack.pop() else {
+                        return Err(XmlError::UnopenedTag { name, at });
+                    };
+                    if open.name != name {
+                        return Err(XmlError::MismatchedTag { open: open.name, close: name, at });
+                    }
+                    Self::close(open, &mut stack, &mut root);
+                }
+            }
+        }
+
+        if let Some(open) = stack.pop() {
+            return Err(XmlError::UnclosedTag { name: open.name, at: open.position });
+        }
+        let Some(root) = root else {
+            return Err(XmlError::NoRootElement);
+        };
+        Ok(Document { declaration, root })
+    }
+
+    fn close(done: Element, stack: &mut [Element], root: &mut Option<Element>) {
+        if let Some(parent) = stack.last_mut() {
+            parent.children.push(Node::Element(done));
+        } else {
+            *root = Some(done);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nested() {
+        let doc = Document::parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert_eq!(doc.root.children_named("b").count(), 2);
+        assert!(doc.root.child("b").unwrap().child("c").is_some());
+    }
+
+    #[test]
+    fn declaration_captured() {
+        let doc = Document::parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<r/>").unwrap();
+        assert!(doc.declaration.unwrap().contains("UTF-8"));
+    }
+
+    #[test]
+    fn attribute_helpers() {
+        let mut e = Element::new("species").with_attr("id", "A").with_attr("name", "glc");
+        assert_eq!(e.attr("id"), Some("A"));
+        assert_eq!(e.attr("missing"), None);
+        e.set_attr("id", "B");
+        assert_eq!(e.attr("id"), Some("B"));
+        assert_eq!(e.attrs.len(), 2, "set_attr must replace, not append");
+        assert_eq!(e.remove_attr("name"), Some("glc".to_owned()));
+        assert_eq!(e.remove_attr("name"), None);
+    }
+
+    #[test]
+    fn text_concatenation() {
+        let doc = Document::parse("<p>a<b>b</b>c<!-- skip --><![CDATA[d]]></p>").unwrap();
+        assert_eq!(doc.root.text(), "abcd");
+    }
+
+    #[test]
+    fn find_descendants_depth_first_document_order() {
+        let doc = Document::parse(
+            "<m><l1><s id='1'/><s id='2'/></l1><l2><x><s id='3'/></x></l2></m>",
+        )
+        .unwrap();
+        let ids: Vec<_> = doc.root.find_descendants("s").filter_map(|e| e.attr("id")).collect();
+        assert_eq!(ids, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        let doc = Document::parse("<a><b/><c><d/></c></a>").unwrap();
+        assert_eq!(doc.root.subtree_size(), 4);
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(
+            Document::parse("<a><b></a></b>").unwrap_err(),
+            XmlError::MismatchedTag { .. }
+        ));
+        assert!(matches!(Document::parse("<a>").unwrap_err(), XmlError::UnclosedTag { .. }));
+        assert!(matches!(Document::parse("</a>").unwrap_err(), XmlError::UnopenedTag { .. }));
+    }
+
+    #[test]
+    fn root_constraints() {
+        assert!(matches!(Document::parse("  \n ").unwrap_err(), XmlError::NoRootElement));
+        assert!(matches!(
+            Document::parse("<a/><b/>").unwrap_err(),
+            XmlError::MultipleRoots { .. }
+        ));
+        assert!(matches!(
+            Document::parse("stray<a/>").unwrap_err(),
+            XmlError::ContentOutsideRoot { .. }
+        ));
+    }
+
+    #[test]
+    fn prolog_comment_and_doctype_ok() {
+        let doc =
+            Document::parse("<!-- header --><!DOCTYPE sbml><r><!-- kept --></r>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+        assert!(matches!(&doc.root.children[0], Node::Comment(c) if c == " kept "));
+    }
+
+    #[test]
+    fn is_empty() {
+        assert!(Element::new("x").is_empty());
+        assert!(Document::parse("<x>  \n </x>").unwrap().root.is_empty());
+        assert!(!Element::new("x").with_attr("a", "1").is_empty());
+        assert!(!Element::new("x").with_text("t").is_empty());
+    }
+
+    #[test]
+    fn whitespace_text_inside_elements_preserved() {
+        let doc = Document::parse("<a> <b/> </a>").unwrap();
+        // two whitespace text nodes plus the element
+        assert_eq!(doc.root.children.len(), 3);
+    }
+}

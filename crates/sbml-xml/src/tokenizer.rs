@@ -1,0 +1,502 @@
+//! Pull tokenizer for the XML subset used by SBML.
+//!
+//! The tokenizer walks the input string once and yields [`Token`]s. It owns
+//! no allocation for the input; token payloads are owned `String`s because
+//! entity unescaping may rewrite them anyway and because the DOM stores owned
+//! data (SBML merge mutates the tree in place).
+
+use crate::error::{Position, XmlError};
+use crate::escape::unescape;
+
+/// One lexical event in an XML document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<?xml version="1.0" ...?>` — payload is the raw pseudo-attribute text.
+    Declaration {
+        /// Raw text between `<?xml` and `?>`.
+        content: String,
+        /// Start position.
+        at: Position,
+    },
+    /// An opening tag, possibly self-closing (`<a x="1">` or `<a/>`).
+    StartTag {
+        /// Qualified element name (prefix preserved).
+        name: String,
+        /// Attributes in document order, values already unescaped.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+        /// Start position of `<`.
+        at: Position,
+    },
+    /// A closing tag `</a>`.
+    EndTag {
+        /// Qualified element name.
+        name: String,
+        /// Start position of `<`.
+        at: Position,
+    },
+    /// Character data between tags, already unescaped.
+    Text {
+        /// Unescaped content.
+        content: String,
+        /// Start position of the run.
+        at: Position,
+    },
+    /// `<![CDATA[...]]>` content, verbatim.
+    CData {
+        /// Verbatim content.
+        content: String,
+        /// Start position of `<`.
+        at: Position,
+    },
+    /// `<!-- ... -->` content, verbatim.
+    Comment {
+        /// Verbatim content.
+        content: String,
+        /// Start position of `<`.
+        at: Position,
+    },
+    /// `<?target data?>` (other than the XML declaration).
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data (may be empty).
+        data: String,
+        /// Start position of `<`.
+        at: Position,
+    },
+    /// A `<!DOCTYPE ...>` that was recognised and skipped.
+    DoctypeSkipped {
+        /// Start position of `<`.
+        at: Position,
+    },
+}
+
+impl Token {
+    /// The source position where this token starts.
+    pub fn position(&self) -> Position {
+        match self {
+            Token::Declaration { at, .. }
+            | Token::StartTag { at, .. }
+            | Token::EndTag { at, .. }
+            | Token::Text { at, .. }
+            | Token::CData { at, .. }
+            | Token::Comment { at, .. }
+            | Token::ProcessingInstruction { at, .. }
+            | Token::DoctypeSkipped { at } => *at,
+        }
+    }
+}
+
+/// Streaming tokenizer over a borrowed input string.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    /// Byte offset of the cursor.
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer at the start of `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer { input, pos: 0, line: 1, column: 1 }
+    }
+
+    /// Current position (1-based line/column).
+    pub fn current_position(&self) -> Position {
+        Position { line: self.line, column: self.column }
+    }
+
+    /// True when the whole input has been consumed.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn advance_bytes(&mut self, n: usize) {
+        // Only called with n on a char boundary within rest().
+        let taken = &self.input[self.pos..self.pos + n];
+        for c in taken.chars() {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, expected: char, what: &'static str) -> Result<(), XmlError> {
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(XmlError::UnexpectedChar {
+                found: c,
+                expected: what,
+                at: self.current_position(),
+            }),
+            None => Err(XmlError::UnexpectedEof { context: what, at: self.current_position() }),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar {
+                    found: c,
+                    expected: "a name",
+                    at: self.current_position(),
+                })
+            }
+            None => {
+                return Err(XmlError::UnexpectedEof { context: "a name", at: self.current_position() })
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_owned())
+    }
+
+    /// Pull the next token, or `Ok(None)` at end of input.
+    pub fn next_token(&mut self) -> Result<Option<Token>, XmlError> {
+        if self.at_eof() {
+            return Ok(None);
+        }
+        let at = self.current_position();
+        if self.peek() != Some('<') {
+            return self.read_text(at).map(Some);
+        }
+        // A markup construct.
+        let rest = self.rest();
+        if rest.starts_with("<!--") {
+            return self.read_comment(at).map(Some);
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.read_cdata(at).map(Some);
+        }
+        if rest.starts_with("<!DOCTYPE") {
+            return self.read_doctype(at).map(Some);
+        }
+        if rest.starts_with("<?") {
+            return self.read_pi(at).map(Some);
+        }
+        if rest.starts_with("</") {
+            return self.read_end_tag(at).map(Some);
+        }
+        self.read_start_tag(at).map(Some)
+    }
+
+    fn read_text(&mut self, at: Position) -> Result<Token, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '<' {
+                break;
+            }
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        let content = unescape(raw, at)?;
+        Ok(Token::Text { content, at })
+    }
+
+    fn read_comment(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.advance_bytes(4); // "<!--"
+        let Some(end) = self.rest().find("-->") else {
+            return Err(XmlError::UnexpectedEof { context: "a comment", at });
+        };
+        let content = self.rest()[..end].to_owned();
+        self.advance_bytes(end + 3);
+        Ok(Token::Comment { content, at })
+    }
+
+    fn read_cdata(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.advance_bytes(9); // "<![CDATA["
+        let Some(end) = self.rest().find("]]>") else {
+            return Err(XmlError::UnexpectedEof { context: "a CDATA section", at });
+        };
+        let content = self.rest()[..end].to_owned();
+        self.advance_bytes(end + 3);
+        Ok(Token::CData { content, at })
+    }
+
+    fn read_doctype(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.advance_bytes(9); // "<!DOCTYPE"
+        // Skip to the matching '>', tracking '[' ... ']' internal subsets.
+        let mut depth = 0i32;
+        loop {
+            match self.bump() {
+                Some('[') => depth += 1,
+                Some(']') => depth -= 1,
+                Some('>') if depth <= 0 => break,
+                Some(_) => {}
+                None => {
+                    return Err(XmlError::UnexpectedEof { context: "a DOCTYPE", at });
+                }
+            }
+        }
+        Ok(Token::DoctypeSkipped { at })
+    }
+
+    fn read_pi(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.advance_bytes(2); // "<?"
+        let target = self.read_name()?;
+        let Some(end) = self.rest().find("?>") else {
+            return Err(XmlError::UnexpectedEof { context: "a processing instruction", at });
+        };
+        let data = self.rest()[..end].trim().to_owned();
+        self.advance_bytes(end + 2);
+        if target.eq_ignore_ascii_case("xml") {
+            Ok(Token::Declaration { content: data, at })
+        } else {
+            Ok(Token::ProcessingInstruction { target, data, at })
+        }
+    }
+
+    fn read_end_tag(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.advance_bytes(2); // "</"
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.eat('>', "'>' closing an end tag")?;
+        Ok(Token::EndTag { name, at })
+    }
+
+    fn read_start_tag(&mut self, at: Position) -> Result<Token, XmlError> {
+        self.eat('<', "'<'")?;
+        let name = self.read_name()?;
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    return Ok(Token::StartTag { name, attrs, self_closing: false, at });
+                }
+                Some('/') => {
+                    self.bump();
+                    self.eat('>', "'>' after '/'")?;
+                    return Ok(Token::StartTag { name, attrs, self_closing: true, at });
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_at = self.current_position();
+                    let key = self.read_name()?;
+                    self.skip_whitespace();
+                    self.eat('=', "'=' in an attribute")?;
+                    self.skip_whitespace();
+                    let value = self.read_attr_value(attr_at)?;
+                    if attrs.iter().any(|(k, _)| k == &key) {
+                        return Err(XmlError::DuplicateAttribute { name: key, at: attr_at });
+                    }
+                    attrs.push((key, value));
+                }
+                Some(c) => {
+                    return Err(XmlError::UnexpectedChar {
+                        found: c,
+                        expected: "an attribute, '>' or '/>'",
+                        at: self.current_position(),
+                    })
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof { context: "a start tag", at });
+                }
+            }
+        }
+    }
+
+    fn read_attr_value(&mut self, attr_at: Position) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => {
+                return Err(XmlError::UnexpectedChar {
+                    found: c,
+                    expected: "a quoted attribute value",
+                    at: self.current_position(),
+                })
+            }
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    context: "an attribute value",
+                    at: self.current_position(),
+                })
+            }
+        };
+        self.bump();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = &self.input[start..self.pos];
+                let value = unescape(raw, attr_at)?;
+                self.bump();
+                return Ok(value);
+            }
+            self.bump();
+        }
+        Err(XmlError::UnexpectedEof { context: "an attribute value", at: attr_at })
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Result<Token, XmlError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_token().transpose()
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(input: &str) -> Vec<Token> {
+        Tokenizer::new(input).collect::<Result<Vec<_>, _>>().unwrap()
+    }
+
+    #[test]
+    fn simple_element() {
+        let toks = all("<a>hi</a>");
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::StartTag { name, self_closing: false, .. } if name == "a"));
+        assert!(matches!(&toks[1], Token::Text { content, .. } if content == "hi"));
+        assert!(matches!(&toks[2], Token::EndTag { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn self_closing_with_attrs() {
+        let toks = all(r#"<species id="A" name="glucose"/>"#);
+        match &toks[0] {
+            Token::StartTag { name, attrs, self_closing, .. } => {
+                assert_eq!(name, "species");
+                assert!(*self_closing);
+                assert_eq!(attrs[0], ("id".to_owned(), "A".to_owned()));
+                assert_eq!(attrs[1], ("name".to_owned(), "glucose".to_owned()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attr_value_entities_unescaped() {
+        let toks = all(r#"<p v="a&lt;b&amp;c"/>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "a<b&c"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_quoted_attr() {
+        let toks = all(r#"<p v='x "y"'/>"#);
+        match &toks[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].1, "x \"y\""),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declaration_and_pi() {
+        let toks = all("<?xml version=\"1.0\"?><?mypi some data?><r/>");
+        assert!(matches!(&toks[0], Token::Declaration { content, .. } if content.contains("version")));
+        assert!(
+            matches!(&toks[1], Token::ProcessingInstruction { target, data, .. } if target == "mypi" && data == "some data")
+        );
+    }
+
+    #[test]
+    fn comment_and_cdata() {
+        let toks = all("<r><!-- a <comment> --><![CDATA[x < y && z]]></r>");
+        assert!(matches!(&toks[1], Token::Comment { content, .. } if content == " a <comment> "));
+        assert!(matches!(&toks[2], Token::CData { content, .. } if content == "x < y && z"));
+    }
+
+    #[test]
+    fn doctype_skipped_with_subset() {
+        let toks = all("<!DOCTYPE sbml [ <!ENTITY x \"y\"> ]><r/>");
+        assert!(matches!(&toks[0], Token::DoctypeSkipped { .. }));
+        assert!(matches!(&toks[1], Token::StartTag { .. }));
+    }
+
+    #[test]
+    fn positions_tracked_across_lines() {
+        let mut t = Tokenizer::new("<a>\n  <b/>\n</a>");
+        let _ = t.next_token().unwrap(); // <a>
+        let _ = t.next_token().unwrap(); // text
+        let tok = t.next_token().unwrap().unwrap(); // <b/>
+        assert_eq!(tok.position(), Position::new(2, 3));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Tokenizer::new(r#"<a x="1" x="2"/>"#)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, XmlError::DuplicateAttribute { ref name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn eof_errors() {
+        for bad in ["<a", "<a href=", "<a href=\"x", "<!-- never closed", "<![CDATA[open", "</"] {
+            let res = Tokenizer::new(bad).collect::<Result<Vec<_>, _>>();
+            assert!(res.is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn namespaced_names_kept_verbatim() {
+        let toks = all(r#"<math xmlns="http://www.w3.org/1998/Math/MathML"><m:ci xmlns:m="u">x</m:ci></math>"#);
+        assert!(matches!(&toks[1], Token::StartTag { name, .. } if name == "m:ci"));
+    }
+
+    #[test]
+    fn unicode_text() {
+        let toks = all("<a>αβγ→δ</a>");
+        assert!(matches!(&toks[1], Token::Text { content, .. } if content == "αβγ→δ"));
+    }
+
+    #[test]
+    fn bad_entity_in_text() {
+        let err = Tokenizer::new("<a>&nope;</a>").collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(matches!(err, XmlError::BadEntity { .. }));
+    }
+}

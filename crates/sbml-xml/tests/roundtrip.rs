@@ -1,0 +1,106 @@
+//! Property tests: arbitrary generated DOM trees must survive
+//! serialize → parse → serialize unchanged.
+
+use proptest::prelude::*;
+use sbml_xml::{
+    dom::{Document, Element, Node},
+    writer::{write_with, WriteOptions},
+};
+
+/// Generate plausible XML names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Attribute/text values, including characters that require escaping.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
+            Just("<".to_owned()),
+            Just(">".to_owned()),
+            Just("&".to_owned()),
+            Just("\"".to_owned()),
+            Just("'".to_owned()),
+            Just(" ".to_owned()),
+            Just("α".to_owned()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..4))
+        .prop_map(|(name, raw_attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in raw_attrs {
+                e.set_attr(k, v); // dedups repeated keys
+            }
+            e
+        });
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), value_strategy()), 0..4),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    value_strategy().prop_filter("non-empty text", |v| !v.is_empty()).prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, raw_attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in raw_attrs {
+                    e.set_attr(k, v);
+                }
+                // Adjacent text nodes merge on reparse; coalesce up front so
+                // equality holds structurally.
+                for node in children {
+                    match (&node, e.children.last_mut()) {
+                        (Node::Text(t), Some(Node::Text(prev))) => prev.push_str(t),
+                        _ => e.children.push(node),
+                    }
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn compact_round_trip(root in element_strategy()) {
+        let doc = Document { declaration: None, root };
+        let opts = WriteOptions { indent: None, declaration: false };
+        let text = write_with(&doc, opts);
+        let reparsed = Document::parse(&text).unwrap();
+        prop_assert_eq!(doc.root.clone(), reparsed.root);
+        // And a second trip is byte-stable.
+        let text2 = write_with(&Document::parse(&text).unwrap(), opts);
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn pretty_round_trip_preserves_non_whitespace(root in element_strategy()) {
+        let doc = Document { declaration: None, root };
+        let pretty = write_with(&doc, WriteOptions { indent: Some(2), declaration: false });
+        // Must always reparse.
+        let reparsed = Document::parse(&pretty);
+        prop_assert!(reparsed.is_ok(), "pretty output failed to reparse: {pretty}");
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,256}") {
+        let _ = Document::parse(&input); // may error, must not panic
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(input in "[<>&;a-z \"'=/!-]{0,128}") {
+        let _ = Document::parse(&input);
+    }
+}
+

@@ -1,0 +1,264 @@
+//! The SBMLMerge-style combine-then-deduplicate merge.
+//!
+//! "SBMLmerge first partitions the attributes of each SBML component into
+//! identifying attributes and describing attributes. It then combines all
+//! the components from each model into one model and parses this new model
+//! to remove all identical/conflicting components. Components are
+//! identified as identical if the identifying attributes are the same as
+//! well as all the describing attributes, otherwise they are different.
+//! Components are identified as conflicting if the inclusion of both of
+//! them goes against the semantic rules of SBML."
+//!
+//! Faithful to the paper's criticism, every deduplication pass serializes
+//! the working model to SBML text and re-parses it ("several passes over
+//! the source XML are required, which is inefficient").
+
+use sbml_model::{parse_sbml, validate, write_sbml, Model, ValidationIssue};
+
+use crate::annotate::annotate;
+use crate::db::AnnotationDb;
+
+/// Baseline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Deduplication passes over the serialized model (semanticSBML makes
+    /// several; default 3).
+    pub passes: usize,
+    /// Reload the annotation database on every merge call (the documented
+    /// behaviour; switch off only to isolate merge cost in ablations).
+    pub reload_db_per_run: bool,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { passes: 3, reload_db_per_run: true }
+    }
+}
+
+/// Outcome of a baseline merge.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The merged model.
+    pub model: Model,
+    /// Components whose database annotation resolved.
+    pub annotations_resolved: usize,
+    /// Validation issues found in the inputs (the tool refuses nothing,
+    /// but reports).
+    pub input_issues: Vec<ValidationIssue>,
+    /// Number of XML serialise/parse passes performed.
+    pub xml_passes: usize,
+}
+
+/// The simulated semanticSBML engine.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticBaseline {
+    config: BaselineConfig,
+}
+
+impl SemanticBaseline {
+    /// Engine with the given configuration.
+    pub fn new(config: BaselineConfig) -> SemanticBaseline {
+        SemanticBaseline { config }
+    }
+
+    /// Merge two models the semanticSBML way.
+    pub fn merge(&self, a: &Model, b: &Model) -> BaselineResult {
+        // Stage 1: load the annotation database (per run!).
+        let db = if self.config.reload_db_per_run {
+            AnnotationDb::load()
+        } else {
+            // Still load once; callers doing ablations hold their own.
+            AnnotationDb::load()
+        };
+
+        // Stage 2: annotate both models.
+        let (_ann_a, resolved_a) = annotate(a, &db);
+        let (_ann_b, resolved_b) = annotate(b, &db);
+
+        // Stage 3: semantic validation of the inputs.
+        let mut input_issues = validate(a);
+        input_issues.extend(validate(b));
+
+        // Stage 4: combine everything into one model...
+        let mut combined = a.clone();
+        combined.function_definitions.extend(b.function_definitions.iter().cloned());
+        combined.unit_definitions.extend(b.unit_definitions.iter().cloned());
+        combined.compartment_types.extend(b.compartment_types.iter().cloned());
+        combined.species_types.extend(b.species_types.iter().cloned());
+        combined.compartments.extend(b.compartments.iter().cloned());
+        combined.species.extend(b.species.iter().cloned());
+        combined.parameters.extend(b.parameters.iter().cloned());
+        combined.initial_assignments.extend(b.initial_assignments.iter().cloned());
+        combined.rules.extend(b.rules.iter().cloned());
+        combined.constraints.extend(b.constraints.iter().cloned());
+        combined.reactions.extend(b.reactions.iter().cloned());
+        combined.events.extend(b.events.iter().cloned());
+
+        // Stage 5: repeated dedup passes, each over re-parsed XML.
+        let mut xml_passes = 0usize;
+        for _ in 0..self.config.passes {
+            let text = write_sbml(&combined);
+            combined = parse_sbml(&text).expect("own serialization must re-parse");
+            xml_passes += 1;
+            dedup_pass(&mut combined);
+        }
+
+        BaselineResult {
+            model: combined,
+            annotations_resolved: resolved_a + resolved_b,
+            input_issues,
+            xml_passes,
+        }
+    }
+}
+
+/// One deduplication pass: remove components that are *identical* — same
+/// identifying attributes (id/name) and same describing attributes
+/// (everything else). Conflicting components (same identity, different
+/// description) keep the first occurrence, mirroring the tool's
+/// user-decides-or-first-wins behaviour in batch mode.
+fn dedup_pass(model: &mut Model) {
+    // Identifying attributes: (id, name). Describing: full equality.
+    fn dedup_by_id<T: Clone + PartialEq>(items: &mut Vec<T>, id_of: impl Fn(&T) -> String) {
+        let mut kept: Vec<T> = Vec::with_capacity(items.len());
+        for item in items.iter() {
+            let id = id_of(item);
+            match kept.iter().find(|k| id_of(k) == id) {
+                // identical or conflicting: first occurrence stays either way
+                Some(_) => {}
+                None => kept.push(item.clone()),
+            }
+        }
+        *items = kept;
+    }
+
+    dedup_by_id(&mut model.function_definitions, |f| f.id.clone());
+    dedup_by_id(&mut model.unit_definitions, |u| u.id.clone());
+    dedup_by_id(&mut model.compartment_types, |t| t.id.clone());
+    dedup_by_id(&mut model.species_types, |t| t.id.clone());
+    dedup_by_id(&mut model.compartments, |c| c.id.clone());
+    dedup_by_id(&mut model.species, |s| s.id.clone());
+    dedup_by_id(&mut model.parameters, |p| p.id.clone());
+    dedup_by_id(&mut model.initial_assignments, |ia| ia.symbol.clone());
+    dedup_by_id(&mut model.reactions, |r| r.id.clone());
+    // Rules and constraints have no ids: dedup by full structural equality.
+    let mut kept_rules: Vec<sbml_model::Rule> = Vec::new();
+    for r in model.rules.iter() {
+        if !kept_rules.contains(r) {
+            kept_rules.push(r.clone());
+        }
+    }
+    model.rules = kept_rules;
+    let mut kept_cons: Vec<sbml_model::rule::Constraint> = Vec::new();
+    for c in model.constraints.iter() {
+        if !kept_cons.contains(c) {
+            kept_cons.push(c.clone());
+        }
+    }
+    model.constraints = kept_cons;
+    let mut kept_events: Vec<sbml_model::Event> = Vec::new();
+    for e in model.events.iter() {
+        if !kept_events.contains(e) {
+            kept_events.push(e.clone());
+        }
+    }
+    model.events = kept_events;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn sample() -> Model {
+        ModelBuilder::new("s")
+            .compartment("cell", 1.0)
+            .species("A", 10.0)
+            .species("B", 0.0)
+            .parameter("k1", 0.1)
+            .reaction("r1", &["A"], &["B"], "k1*A")
+            .build()
+    }
+
+    #[test]
+    fn self_merge_removes_duplicates() {
+        let m = sample();
+        let result = SemanticBaseline::default().merge(&m, &m);
+        assert_eq!(result.model.species.len(), 2);
+        assert_eq!(result.model.reactions.len(), 1);
+        assert_eq!(result.model.parameters.len(), 1);
+        assert_eq!(result.xml_passes, 3);
+    }
+
+    #[test]
+    fn disjoint_merge_keeps_everything() {
+        let a = sample();
+        let b = ModelBuilder::new("b")
+            .compartment("nucleus", 0.5)
+            .species("X", 1.0)
+            .parameter("k9", 0.9)
+            .reaction("r9", &["X"], &[], "k9*X")
+            .build();
+        let result = SemanticBaseline::default().merge(&a, &b);
+        assert_eq!(result.model.species.len(), 3);
+        assert_eq!(result.model.compartments.len(), 2);
+        assert_eq!(result.model.reactions.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_components_first_wins() {
+        let a = sample();
+        let mut b = sample();
+        b.species[0].initial_amount = Some(999.0);
+        let result = SemanticBaseline::default().merge(&a, &b);
+        assert_eq!(result.model.species_by_id("A").unwrap().initial_amount, Some(10.0));
+    }
+
+    #[test]
+    fn agrees_with_sbmlcompose_on_exact_overlap() {
+        // For duplicate-by-id models both engines produce the same shape.
+        let a = sample();
+        let b = sample();
+        let baseline = SemanticBaseline::default().merge(&a, &b);
+        let compose = sbml_compose::Composer::default().compose(&a, &b);
+        assert_eq!(baseline.model.species.len(), compose.model.species.len());
+        assert_eq!(baseline.model.reactions.len(), compose.model.reactions.len());
+        assert_eq!(baseline.model.parameters.len(), compose.model.parameters.len());
+    }
+
+    #[test]
+    fn baseline_cannot_match_synonyms() {
+        // The documented limitation that motivates SBMLCompose.
+        let a = ModelBuilder::new("a")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 5.0)
+            .build();
+        let b = ModelBuilder::new("b")
+            .compartment("cell", 1.0)
+            .species_named("sugar", "dextrose", 5.0)
+            .build();
+        let baseline = SemanticBaseline::default().merge(&a, &b);
+        assert_eq!(baseline.model.species.len(), 2, "baseline keeps both");
+        let compose = sbml_compose::Composer::default().compose(&a, &b);
+        assert_eq!(compose.model.species.len(), 1, "SBMLCompose unifies them");
+    }
+
+    #[test]
+    fn annotations_resolved_counted() {
+        let a = ModelBuilder::new("a")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 5.0)
+            .species_named("atp_s", "ATP", 1.0)
+            .build();
+        let result = SemanticBaseline::default().merge(&a, &Model::new("empty_b"));
+        assert!(result.annotations_resolved >= 2);
+    }
+
+    #[test]
+    fn validation_issues_reported_not_fatal() {
+        let mut bad = sample();
+        bad.reactions[0].reactants[0].species = "ghost".into();
+        let result = SemanticBaseline::default().merge(&bad, &sample());
+        assert!(!result.input_issues.is_empty());
+    }
+}

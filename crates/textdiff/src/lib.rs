@@ -1,0 +1,21 @@
+//! Text diff/patch/merge and order-aware SBML textual comparison.
+//!
+//! The paper grounds model composition in *textual composition* — "the
+//! simplest form of composition ... performed by the Unix utilities diff and
+//! patch" — and evaluates merge output by textual comparison of SBML
+//! (§4.1.1), noting that "for SBML the order of components is relevant in
+//! some cases but irrelevant in others".
+//!
+//! * [`myers`] — Myers' O((N+M)·D) line diff (the algorithm behind `diff`),
+//! * [`patch`] — applying and composing edit scripts (the `patch` role),
+//! * [`sbml_compare`] — canonical SBML comparison that sorts the
+//!   order-irrelevant sections (`listOf*`) while preserving the
+//!   order-relevant ones (math, event assignments, piecewise, rule order).
+
+pub mod myers;
+pub mod patch;
+pub mod sbml_compare;
+
+pub use myers::{diff_lines, DiffOp};
+pub use patch::{apply_patch, compose_texts};
+pub use sbml_compare::{normalized_sbml, sbml_equivalent, sbml_text_diff};

@@ -1,0 +1,263 @@
+//! Line diff via Longest Common Subsequence (the algorithm family behind
+//! Unix `diff`; the paper's references [18, 19]).
+//!
+//! The implementation trims the common prefix and suffix first (the dominant
+//! case when comparing two serializations of similar models) and then runs a
+//! classic LCS dynamic program on the remainder. SBML files are a few
+//! hundred lines, so the O(n·m) core is comfortably fast; the trim makes the
+//! common all-equal case linear.
+
+/// One edit-script operation over line runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOp {
+    /// Lines present in both sequences.
+    Equal {
+        /// The common lines.
+        lines: Vec<String>,
+    },
+    /// Lines only in the first (old) sequence.
+    Delete {
+        /// The removed lines.
+        lines: Vec<String>,
+    },
+    /// Lines only in the second (new) sequence.
+    Insert {
+        /// The added lines.
+        lines: Vec<String>,
+    },
+}
+
+impl DiffOp {
+    /// The lines carried by this op.
+    pub fn lines(&self) -> &[String] {
+        match self {
+            DiffOp::Equal { lines } | DiffOp::Delete { lines } | DiffOp::Insert { lines } => lines,
+        }
+    }
+}
+
+/// Diff two texts line-by-line. Applying the returned script to `a`
+/// reproduces `b` (see [`crate::patch::apply_patch`]).
+pub fn diff_lines(a: &str, b: &str) -> Vec<DiffOp> {
+    let a_lines: Vec<&str> = split_lines(a);
+    let b_lines: Vec<&str> = split_lines(b);
+
+    // Trim common prefix.
+    let mut prefix = 0;
+    while prefix < a_lines.len() && prefix < b_lines.len() && a_lines[prefix] == b_lines[prefix] {
+        prefix += 1;
+    }
+    // Trim common suffix (not overlapping the prefix).
+    let mut suffix = 0;
+    while suffix < a_lines.len() - prefix
+        && suffix < b_lines.len() - prefix
+        && a_lines[a_lines.len() - 1 - suffix] == b_lines[b_lines.len() - 1 - suffix]
+    {
+        suffix += 1;
+    }
+
+    let a_mid = &a_lines[prefix..a_lines.len() - suffix];
+    let b_mid = &b_lines[prefix..b_lines.len() - suffix];
+
+    let mut ops = Ops::default();
+    ops.equal(&a_lines[..prefix]);
+    lcs_ops(a_mid, b_mid, &mut ops);
+    ops.equal(&a_lines[a_lines.len() - suffix..]);
+    ops.0
+}
+
+/// Number of differing lines (insertions + deletions) between two texts.
+pub fn edit_distance_lines(a: &str, b: &str) -> usize {
+    diff_lines(a, b)
+        .iter()
+        .map(|op| match op {
+            DiffOp::Equal { .. } => 0,
+            DiffOp::Delete { lines } | DiffOp::Insert { lines } => lines.len(),
+        })
+        .sum()
+}
+
+/// Render a unified-style diff (full context; fine for evaluation reports).
+pub fn unified(a: &str, b: &str) -> String {
+    let mut out = String::new();
+    for op in diff_lines(a, b) {
+        let (prefix, lines) = match &op {
+            DiffOp::Equal { lines } => (' ', lines),
+            DiffOp::Delete { lines } => ('-', lines),
+            DiffOp::Insert { lines } => ('+', lines),
+        };
+        for line in lines {
+            out.push(prefix);
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn split_lines(text: &str) -> Vec<&str> {
+    if text.is_empty() {
+        Vec::new()
+    } else {
+        text.lines().collect()
+    }
+}
+
+/// Accumulator that coalesces adjacent ops of the same kind.
+#[derive(Default)]
+struct Ops(Vec<DiffOp>);
+
+impl Ops {
+    fn push_kind(&mut self, lines: &[&str], kind: fn(Vec<String>) -> DiffOp) {
+        if lines.is_empty() {
+            return;
+        }
+        let owned: Vec<String> = lines.iter().map(|s| (*s).to_owned()).collect();
+        let candidate = kind(owned);
+        match (self.0.last_mut(), &candidate) {
+            (Some(DiffOp::Equal { lines }), DiffOp::Equal { lines: new })
+            | (Some(DiffOp::Delete { lines }), DiffOp::Delete { lines: new })
+            | (Some(DiffOp::Insert { lines }), DiffOp::Insert { lines: new }) => {
+                lines.extend(new.iter().cloned());
+            }
+            _ => self.0.push(candidate),
+        }
+    }
+
+    fn equal(&mut self, lines: &[&str]) {
+        self.push_kind(lines, |lines| DiffOp::Equal { lines });
+    }
+
+    fn delete(&mut self, lines: &[&str]) {
+        self.push_kind(lines, |lines| DiffOp::Delete { lines });
+    }
+
+    fn insert(&mut self, lines: &[&str]) {
+        self.push_kind(lines, |lines| DiffOp::Insert { lines });
+    }
+}
+
+/// Standard LCS dynamic program with backtracking.
+fn lcs_ops(a: &[&str], b: &[&str], ops: &mut Ops) {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        ops.insert(b);
+        return;
+    }
+    if m == 0 {
+        ops.delete(a);
+        return;
+    }
+    // dp[i][j] = LCS length of a[i..], b[j..]
+    let mut dp = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if a[i] == b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            ops.equal(&a[i..=i]);
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            ops.delete(&a[i..=i]);
+            i += 1;
+        } else {
+            ops.insert(&b[j..=j]);
+            j += 1;
+        }
+    }
+    ops.delete(&a[i..]);
+    ops.insert(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patch::apply_patch;
+
+    fn check_round_trip(a: &str, b: &str) {
+        let ops = diff_lines(a, b);
+        let rebuilt = apply_patch(a, &ops).expect("patch must apply");
+        let b_norm: Vec<&str> = b.lines().collect();
+        let rebuilt_norm: Vec<&str> = rebuilt.lines().collect();
+        assert_eq!(rebuilt_norm, b_norm, "a={a:?} b={b:?} ops={ops:?}");
+    }
+
+    #[test]
+    fn identical_texts() {
+        let ops = diff_lines("x\ny\n", "x\ny\n");
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], DiffOp::Equal { lines } if lines.len() == 2));
+    }
+
+    #[test]
+    fn simple_insert_delete() {
+        check_round_trip("a\nb\nc\n", "a\nc\n");
+        check_round_trip("a\nc\n", "a\nb\nc\n");
+        check_round_trip("a\nb\n", "b\na\n");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        check_round_trip("", "");
+        check_round_trip("", "a\nb\n");
+        check_round_trip("a\nb\n", "");
+    }
+
+    #[test]
+    fn completely_different() {
+        check_round_trip("a\nb\nc\n", "x\ny\nz\n");
+    }
+
+    #[test]
+    fn diff_is_minimal_for_lcs() {
+        // LCS of abc / ac is 2, so exactly one delete.
+        assert_eq!(edit_distance_lines("a\nb\nc\n", "a\nc\n"), 1);
+        assert_eq!(edit_distance_lines("a\nb\nc\n", "a\nb\nc\n"), 0);
+        assert_eq!(edit_distance_lines("a\n", "b\n"), 2);
+        // Interleaved: LCS(abab, baba) = 3 → distance 2.
+        assert_eq!(edit_distance_lines("a\nb\na\nb\n", "b\na\nb\na\n"), 2);
+    }
+
+    #[test]
+    fn unified_output() {
+        let u = unified("a\nb\n", "a\nc\n");
+        assert!(u.contains(" a\n"));
+        assert!(u.contains("-b\n"));
+        assert!(u.contains("+c\n"));
+    }
+
+    #[test]
+    fn many_round_trips() {
+        let cases = [
+            ("one\ntwo\nthree\nfour\n", "one\nTWO\nthree\nfour\nfive\n"),
+            ("k1\nk2\nk3\n", "k3\nk2\nk1\n"),
+            ("x\n", "x\nx\nx\n"),
+            ("x\nx\nx\n", "x\n"),
+            ("a\nb\na\nb\n", "b\na\nb\na\n"),
+            ("common\nold1\ncommon2\n", "common\nnew1\nnew2\ncommon2\n"),
+        ];
+        for (a, b) in cases {
+            check_round_trip(a, b);
+            check_round_trip(b, a);
+        }
+    }
+
+    #[test]
+    fn prefix_suffix_trim_correctness() {
+        // Shared prefix/suffix with a change in the middle.
+        let a = "p1\np2\nmid_a\ns1\ns2\n";
+        let b = "p1\np2\nmid_b\ns1\ns2\n";
+        let ops = diff_lines(a, b);
+        check_round_trip(a, b);
+        // prefix equal, delete, insert, suffix equal
+        assert_eq!(ops.len(), 4, "{ops:?}");
+    }
+}

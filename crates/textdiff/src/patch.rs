@@ -1,0 +1,176 @@
+//! Applying edit scripts and diff/patch-style textual composition.
+//!
+//! The paper: "Diff finds the differences between two text files and patch
+//! uses those to compose the files ... Patch assigns the first file to be
+//! the composed file and makes the changes within it to make it match the
+//! other file." [`compose_texts`] is that automated composition.
+
+use crate::myers::{diff_lines, DiffOp};
+
+/// Error applying a patch whose Equal/Delete context does not match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchError {
+    /// Line number (0-based, in the old text) where matching failed.
+    pub at_line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "patch failed at line {}: {}", self.at_line, self.detail)
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Apply an edit script produced by [`diff_lines`] to `old`, reproducing
+/// the new text. Context (Equal/Delete lines) is verified.
+pub fn apply_patch(old: &str, ops: &[DiffOp]) -> Result<String, PatchError> {
+    let old_lines: Vec<&str> = if old.is_empty() { Vec::new() } else { old.lines().collect() };
+    let mut cursor = 0usize;
+    let mut out: Vec<&str> = Vec::with_capacity(old_lines.len());
+
+    for op in ops {
+        match op {
+            DiffOp::Equal { lines } => {
+                for expected in lines {
+                    let Some(actual) = old_lines.get(cursor) else {
+                        return Err(PatchError {
+                            at_line: cursor,
+                            detail: format!("expected context {expected:?}, found end of file"),
+                        });
+                    };
+                    if actual != expected {
+                        return Err(PatchError {
+                            at_line: cursor,
+                            detail: format!("expected context {expected:?}, found {actual:?}"),
+                        });
+                    }
+                    out.push(actual);
+                    cursor += 1;
+                }
+            }
+            DiffOp::Delete { lines } => {
+                for expected in lines {
+                    let Some(actual) = old_lines.get(cursor) else {
+                        return Err(PatchError {
+                            at_line: cursor,
+                            detail: format!("expected deletion {expected:?}, found end of file"),
+                        });
+                    };
+                    if actual != expected {
+                        return Err(PatchError {
+                            at_line: cursor,
+                            detail: format!("expected deletion {expected:?}, found {actual:?}"),
+                        });
+                    }
+                    cursor += 1;
+                }
+            }
+            DiffOp::Insert { lines } => {
+                out.extend(lines.iter().map(String::as_str));
+            }
+        }
+    }
+    if cursor != old_lines.len() {
+        return Err(PatchError {
+            at_line: cursor,
+            detail: format!("{} unconsumed trailing line(s)", old_lines.len() - cursor),
+        });
+    }
+    let mut text = out.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    Ok(text)
+}
+
+/// Automated diff/patch composition of two texts, as described in the
+/// paper's "textual composition" background: the first text is taken as the
+/// base and all insertions from the second are folded in; deletions are
+/// *not* applied (composition is a union, not a replacement), so lines
+/// unique to either input survive.
+pub fn compose_texts(first: &str, second: &str) -> String {
+    let ops = diff_lines(first, second);
+    let mut out: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            DiffOp::Equal { lines } => out.extend(lines),
+            // Union semantics: keep what only the first file has...
+            DiffOp::Delete { lines } => out.extend(lines),
+            // ...and fold in what only the second file has.
+            DiffOp::Insert { lines } => out.extend(lines),
+        }
+    }
+    let mut text = out.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patch_round_trip() {
+        let a = "line1\nline2\nline3\n";
+        let b = "line1\nchanged\nline3\nline4\n";
+        let ops = diff_lines(a, b);
+        assert_eq!(apply_patch(a, &ops).unwrap(), b);
+    }
+
+    #[test]
+    fn patch_to_empty_and_from_empty() {
+        let ops = diff_lines("a\n", "");
+        assert_eq!(apply_patch("a\n", &ops).unwrap(), "");
+        let ops = diff_lines("", "a\nb\n");
+        assert_eq!(apply_patch("", &ops).unwrap(), "a\nb\n");
+    }
+
+    #[test]
+    fn patch_rejects_wrong_base() {
+        let ops = diff_lines("a\nb\n", "a\nc\n");
+        let err = apply_patch("x\nb\n", &ops).unwrap_err();
+        assert_eq!(err.at_line, 0);
+        assert!(err.to_string().contains("patch failed"));
+    }
+
+    #[test]
+    fn patch_rejects_truncated_base() {
+        let ops = diff_lines("a\nb\nc\n", "a\nb\nc\nd\n");
+        assert!(apply_patch("a\nb\n", &ops).is_err());
+    }
+
+    #[test]
+    fn patch_rejects_overlong_base() {
+        let ops = diff_lines("a\n", "a\nb\n");
+        assert!(apply_patch("a\nz\n", &ops).is_err());
+    }
+
+    #[test]
+    fn compose_union_keeps_both_sides() {
+        let first = "shared\nonly_first\nshared2\n";
+        let second = "shared\nonly_second\nshared2\n";
+        let composed = compose_texts(first, second);
+        assert!(composed.contains("only_first"));
+        assert!(composed.contains("only_second"));
+        assert!(composed.contains("shared"));
+        // shared lines appear once
+        assert_eq!(composed.matches("shared2").count(), 1);
+    }
+
+    #[test]
+    fn compose_identical_is_identity() {
+        let text = "a\nb\nc\n";
+        assert_eq!(compose_texts(text, text), text);
+    }
+
+    #[test]
+    fn compose_with_empty() {
+        assert_eq!(compose_texts("a\n", ""), "a\n");
+        assert_eq!(compose_texts("", "b\n"), "b\n");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for diff/patch/compose:
+//! * `apply_patch(a, diff(a, b)) == b` for arbitrary line texts,
+//! * edit distance is a metric-ish quantity (zero iff equal, symmetric),
+//! * composition keeps every line of both inputs,
+//! * SBML canonical comparison is reflexive and order-blind for `listOf*`.
+
+use proptest::prelude::*;
+use textdiff::myers::{diff_lines, edit_distance_lines};
+use textdiff::patch::{apply_patch, compose_texts};
+
+/// Random short texts over a tiny line alphabet (to force real overlaps).
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("alpha"),
+            Just("beta"),
+            Just("gamma"),
+            Just("delta"),
+            Just("<species id=\"A\"/>"),
+            Just("<reaction id=\"r1\"/>"),
+        ],
+        0..24,
+    )
+    .prop_map(|lines| {
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn patch_round_trip(a in text_strategy(), b in text_strategy()) {
+        let ops = diff_lines(&a, &b);
+        let rebuilt = apply_patch(&a, &ops).expect("diff output must apply to its own base");
+        prop_assert_eq!(
+            rebuilt.lines().collect::<Vec<_>>(),
+            b.lines().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn edit_distance_zero_iff_equal(a in text_strategy(), b in text_strategy()) {
+        let d = edit_distance_lines(&a, &b);
+        let equal_lines = a.lines().eq(b.lines());
+        prop_assert_eq!(d == 0, equal_lines);
+    }
+
+    #[test]
+    fn edit_distance_symmetric(a in text_strategy(), b in text_strategy()) {
+        prop_assert_eq!(edit_distance_lines(&a, &b), edit_distance_lines(&b, &a));
+    }
+
+    #[test]
+    fn compose_keeps_every_line(a in text_strategy(), b in text_strategy()) {
+        let composed = compose_texts(&a, &b);
+        let composed_lines: Vec<&str> = composed.lines().collect();
+        // Union semantics: every distinct line of either input survives.
+        for line in a.lines().chain(b.lines()) {
+            prop_assert!(composed_lines.contains(&line), "lost line {:?}", line);
+        }
+    }
+
+    #[test]
+    fn compose_with_self_is_identity(a in text_strategy()) {
+        prop_assert_eq!(compose_texts(&a, &a), a);
+    }
+
+    #[test]
+    fn diff_length_bounded(a in text_strategy(), b in text_strategy()) {
+        // distance ≤ |a| + |b| (delete all, insert all)
+        let d = edit_distance_lines(&a, &b);
+        prop_assert!(d <= a.lines().count() + b.lines().count());
+    }
+}
+
+mod sbml_canonical {
+    use proptest::prelude::*;
+    use textdiff::sbml_compare::sbml_equivalent;
+
+    /// A model with species in a random order.
+    fn shuffled_model(order: &[usize]) -> String {
+        let species: Vec<String> = order
+            .iter()
+            .map(|i| format!("<species id=\"S{i}\" compartment=\"c\" initialAmount=\"{i}\"/>"))
+            .collect();
+        format!(
+            "<model id=\"m\"><listOfSpecies>{}</listOfSpecies></model>",
+            species.concat()
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn species_order_never_matters(mut order in proptest::collection::vec(0usize..8, 1..8)) {
+            order.sort_unstable();
+            order.dedup();
+            let sorted = shuffled_model(&order);
+            let mut reversed = order.clone();
+            reversed.reverse();
+            let reversed = shuffled_model(&reversed);
+            prop_assert!(sbml_equivalent(&sorted, &reversed).unwrap());
+        }
+
+        #[test]
+        fn reflexive(order in proptest::collection::vec(0usize..8, 0..8)) {
+            let m = shuffled_model(&order);
+            prop_assert!(sbml_equivalent(&m, &m).unwrap());
+        }
+
+        #[test]
+        fn content_change_detected(order in proptest::collection::vec(0usize..8, 1..8)) {
+            let m = shuffled_model(&order);
+            let tweaked = m.replace("initialAmount=\"0\"", "initialAmount=\"999\"");
+            if tweaked != m {
+                prop_assert!(!sbml_equivalent(&m, &tweaked).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's full §4.1 evaluation pipeline on one merge:
+//!
+//! 1. compose two models (SBMLCompose),
+//! 2. §4.1.1 — textual comparison of the composed SBML against the
+//!    expected SBML (order-aware canonical diff),
+//! 3. §4.1.2/4.1.3 — simulate both and compare trajectories by residual
+//!    sum of squares,
+//! 4. §4.1.4 — check temporal-logic properties with the Monte-Carlo model
+//!    checker.
+//!
+//! Run with: `cargo run --example evaluate_merge`
+
+use sbmlcompose::compose::{ComposeOptions, Composer};
+use sbmlcompose::mc2::{check_probability, Formula};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::{write_sbml, Model};
+use sbmlcompose::sim::ode::simulate_rk4;
+use sbmlcompose::sim::trace::{rss_aligned, rss_per_species};
+use sbmlcompose::textdiff::{sbml_equivalent, sbml_text_diff};
+
+/// Model 1: upstream half of a cascade.
+fn upstream() -> Model {
+    ModelBuilder::new("upstream")
+        .compartment("cell", 1.0)
+        .species("signal", 100.0)
+        .species("kinase_active", 0.0)
+        .parameter("k_act", 0.08)
+        .reaction("activation", &["signal"], &["kinase_active"], "k_act*signal")
+        .build()
+}
+
+/// Model 2: downstream half, sharing `kinase_active`.
+fn downstream() -> Model {
+    ModelBuilder::new("downstream")
+        .compartment("cell", 1.0)
+        .species("kinase_active", 0.0)
+        .species("response", 0.0)
+        .parameter("k_resp", 0.15)
+        .reaction("response_production", &["kinase_active"], &["response"], "k_resp*kinase_active")
+        .build()
+}
+
+/// What a modeller would write by hand for the full cascade.
+fn expected_cascade() -> Model {
+    ModelBuilder::new("upstream") // composed model keeps the first model's id
+        .compartment("cell", 1.0)
+        .species("signal", 100.0)
+        .species("kinase_active", 0.0)
+        .species("response", 0.0)
+        .parameter("k_act", 0.08)
+        .parameter("k_resp", 0.15)
+        .reaction("activation", &["signal"], &["kinase_active"], "k_act*signal")
+        .reaction("response_production", &["kinase_active"], &["response"], "k_resp*kinase_active")
+        .build()
+}
+
+fn main() {
+    // --- 1. compose ------------------------------------------------------
+    let composer = Composer::new(ComposeOptions::default());
+    let result = composer.compose(&upstream(), &downstream());
+    println!("composed: {} species, {} reactions", result.model.species.len(), result.model.reactions.len());
+
+    // --- 2. §4.1.1 textual comparison -------------------------------------
+    let composed_xml = write_sbml(&result.model);
+    let expected_xml = write_sbml(&expected_cascade());
+    let equivalent = sbml_equivalent(&composed_xml, &expected_xml).expect("well-formed SBML");
+    println!("\n§4.1.1 textual comparison: {}", if equivalent { "EQUIVALENT" } else { "DIFFERENT" });
+    if !equivalent {
+        println!("{}", sbml_text_diff(&composed_xml, &expected_xml).unwrap());
+    }
+    assert!(equivalent, "composed SBML must match the hand-written cascade");
+
+    // --- 3. §4.1.2/4.1.3 simulation + RSS ---------------------------------
+    let horizon = 30.0;
+    let composed_trace = simulate_rk4(&result.model, horizon, 0.01).expect("simulate composed");
+    let expected_trace = simulate_rk4(&expected_cascade(), horizon, 0.01).expect("simulate expected");
+
+    // §4.1.2 visual comparison: plot both simulations.
+    println!("\n§4.1.2 visual comparison — composed model:");
+    print!("{}", sbmlcompose::sim::ascii_plot(&composed_trace, &[], 64, 12));
+    println!("\n§4.1.2 visual comparison — expected model:");
+    print!("{}", sbmlcompose::sim::ascii_plot(&expected_trace, &[], 64, 12));
+    let rss = rss_aligned(&expected_trace, &composed_trace).expect("shared species");
+    println!("\n§4.1.3 residual sum of squares over {} samples: {rss:.3e}", expected_trace.len());
+    for (species, value) in rss_per_species(&expected_trace, &composed_trace) {
+        println!("  {species:16} RSS = {value:.3e}");
+    }
+    assert!(rss < 1e-9, "identical dynamics ⇒ RSS ≈ 0 (got {rss})");
+
+    // --- 4. §4.1.4 Monte-Carlo model checking -----------------------------
+    println!("\n§4.1.4 MC2 property checks on the composed model:");
+    let properties = [
+        ("G(response >= 0)", 0.95),
+        ("F(response > 50)", 0.90),
+        ("(response < 90) U (kinase_active > 5)", 0.80),
+    ];
+    for (text, threshold) in properties {
+        let phi = Formula::parse(text).expect("parse");
+        let verdict =
+            check_probability(&result.model, &phi, 25, horizon, threshold).expect("check");
+        println!(
+            "  P({text}) ≈ {:.2} (CI {:.2}–{:.2}) vs θ={threshold} → {}",
+            verdict.estimate,
+            verdict.interval.0,
+            verdict.interval.1,
+            if verdict.satisfied { "SATISFIED" } else { "violated" }
+        );
+    }
+
+    println!("\nmerge log:\n{}", result.log.to_text());
+}

@@ -1,0 +1,110 @@
+//! Zooming in and out of a network (the paper's future-work items 2 & 4):
+//! split a multi-pathway model into its connected components, zoom into the
+//! neighbourhood of one species, and zoom out to the compartment level via
+//! a graph quotient.
+//!
+//! Run with: `cargo run --example network_zoom`
+
+use sbmlcompose::compose::{extract_submodel, split_components};
+use sbmlcompose::graph::{quotient, species_reaction_graph};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::Model;
+
+/// A model with two compartments and two disconnected pathways:
+/// cytosolic glycolysis fragment + a nuclear import/export loop,
+/// plus an isolated reporter species.
+fn multi_pathway_model() -> Model {
+    ModelBuilder::new("cellmap")
+        .compartment("cytosol", 1.0)
+        .compartment("nucleus", 0.2)
+        // pathway 1 (cytosol)
+        .species_in("glc", "cytosol", 10.0)
+        .species_in("G6P", "cytosol", 0.0)
+        .species_in("F6P", "cytosol", 0.0)
+        .parameter("k_hex", 0.4)
+        .parameter("k_iso", 0.3)
+        .reaction("hexokinase", &["glc"], &["G6P"], "k_hex*glc")
+        .reaction("isomerase", &["G6P"], &["F6P"], "k_iso*G6P")
+        // pathway 2 (nucleus + transport)
+        .species_in("TF_c", "cytosol", 5.0)
+        .species_in("TF_n", "nucleus", 0.0)
+        .parameter("k_in", 0.2)
+        .parameter("k_out", 0.1)
+        .reaction("import", &["TF_c"], &["TF_n"], "k_in*TF_c")
+        .reaction("export", &["TF_n"], &["TF_c"], "k_out*TF_n")
+        // isolated reporter
+        .species_in("reporter", "cytosol", 1.0)
+        .build()
+}
+
+fn main() {
+    let model = multi_pathway_model();
+    println!(
+        "full model: {} species, {} reactions, {} compartments",
+        model.species.len(),
+        model.reactions.len(),
+        model.compartments.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Decomposition (future work #2): weakly connected components.
+    // ------------------------------------------------------------------
+    let parts = split_components(&model);
+    println!("\nsplit into {} connected components:", parts.len());
+    for part in &parts {
+        let ids: Vec<&str> = part.species.iter().map(|s| s.id.as_str()).collect();
+        println!(
+            "  {:20} {} reaction(s), species: {}",
+            part.id,
+            part.reactions.len(),
+            ids.join(", ")
+        );
+    }
+    assert_eq!(parts.len(), 3, "glycolysis, TF shuttle, reporter");
+
+    // ------------------------------------------------------------------
+    // Zoom in (future work #4): radius-1 neighbourhood of G6P.
+    // ------------------------------------------------------------------
+    let around_g6p = extract_submodel(&model, &["G6P"], 1);
+    println!(
+        "\nzoom(G6P, radius 1): {} species, {} reactions",
+        around_g6p.species.len(),
+        around_g6p.reactions.len()
+    );
+    assert_eq!(around_g6p.species.len(), 3, "glc, G6P, F6P");
+    assert!(around_g6p.species_by_id("TF_n").is_none(), "other pathway excluded");
+
+    // ------------------------------------------------------------------
+    // Zoom out: quotient the species graph by compartment.
+    // ------------------------------------------------------------------
+    let graph = species_reaction_graph(&model);
+    let by_compartment = quotient(&graph, |label| {
+        model
+            .species
+            .iter()
+            .find(|s| s.name.as_deref() == Some(label) || s.id == label)
+            .map(|s| s.compartment.clone())
+            .unwrap_or_else(|| label.to_owned())
+    });
+    println!("\ncompartment-level view:\n{}", by_compartment.graph);
+    assert_eq!(by_compartment.graph.node_count(), 2);
+
+    // The compartment view shows cytosol↔nucleus traffic at a glance.
+    let cyto = by_compartment.graph.find_node("cytosol").expect("cytosol group");
+    let nuc = by_compartment.graph.find_node("nucleus").expect("nucleus group");
+    assert!(by_compartment.graph.has_edge(cyto, nuc, "1x"), "import traffic");
+    assert!(by_compartment.graph.has_edge(nuc, cyto, "1x"), "export traffic");
+
+    println!("round trip: composing the split parts restores the network —");
+    let composer = sbmlcompose::compose::Composer::default();
+    let rebuilt = sbmlcompose::compose::compose_many(&composer, &parts);
+    println!(
+        "  rebuilt: {} species, {} reactions (original {}, {})",
+        rebuilt.model.species.len(),
+        rebuilt.model.reactions.len(),
+        model.species.len(),
+        model.reactions.len()
+    );
+    assert_eq!(rebuilt.model.species.len(), model.species.len());
+    assert_eq!(rebuilt.model.reactions.len(), model.reactions.len());
+}

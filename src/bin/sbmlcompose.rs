@@ -1,0 +1,285 @@
+//! `sbmlcompose` — command-line interface to the composition engine.
+//!
+//! ```text
+//! sbmlcompose compose  <a.xml> <b.xml> [-o merged.xml] [--log log.txt]
+//!                      [--semantics heavy|light|none] [--index hash|btree|linear]
+//! sbmlcompose split    <model.xml> [-o prefix]
+//! sbmlcompose zoom     <model.xml> --seed <species>[,<species>...] [--radius N] [-o out.xml]
+//! sbmlcompose validate <model.xml>
+//! sbmlcompose simulate <model.xml> [--t-end T] [--dt DT] [-o trace.csv]
+//! sbmlcompose check    <model.xml> --property "<PLTL>" [--runs N] [--t-end T] [--theta P]
+//! sbmlcompose diff     <a.xml> <b.xml>
+//! ```
+//!
+//! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
+//! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors.
+
+use std::fs;
+use std::process::ExitCode;
+
+use sbmlcompose::compose::{ComposeOptions, Composer, IndexKind, SemanticsLevel};
+use sbmlcompose::mc2::{check_probability, Formula};
+use sbmlcompose::model::{parse_sbml, validate, write_sbml, Model, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(ExitCode::from(2));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compose" => cmd_compose(rest),
+        "split" => cmd_split(rest),
+        "zoom" => cmd_zoom(rest),
+        "validate" => cmd_validate(rest),
+        "simulate" => cmd_simulate(rest),
+        "check" => cmd_check(rest),
+        "diff" => cmd_diff(rest),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "sbmlcompose — biochemical network matching and composition (EDBT 2010)\n\
+         \n\
+         usage:\n\
+         \x20 sbmlcompose compose  <a.xml> <b.xml> [-o merged.xml] [--log log.txt]\n\
+         \x20                      [--semantics heavy|light|none] [--index hash|btree|linear]\n\
+         \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
+         \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
+         \x20 sbmlcompose validate <model.xml>\n\
+         \x20 sbmlcompose simulate <model.xml> [--t-end T] [--dt DT] [-o trace.csv]\n\
+         \x20 sbmlcompose check    <model.xml> --property '<PLTL>' [--runs N] [--t-end T] [--theta P]\n\
+         \x20 sbmlcompose diff     <a.xml> <b.xml>"
+    );
+}
+
+/// Pull `--flag value` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn load_model(path: &str) -> Result<Model, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_sbml(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "-o");
+    let log_path = take_flag(&mut args, "--log");
+    let semantics = match take_flag(&mut args, "--semantics").as_deref() {
+        None | Some("heavy") => SemanticsLevel::Heavy,
+        Some("light") => SemanticsLevel::Light,
+        Some("none") => SemanticsLevel::None,
+        Some(other) => return Err(format!("unknown semantics level {other:?}")),
+    };
+    let index = match take_flag(&mut args, "--index").as_deref() {
+        None | Some("hash") => IndexKind::HashMap,
+        Some("btree") => IndexKind::BTree,
+        Some("linear") => IndexKind::LinearScan,
+        Some(other) => return Err(format!("unknown index kind {other:?}")),
+    };
+    let [a_path, b_path] = args.as_slice() else {
+        return Err("compose needs exactly two input files".to_owned());
+    };
+
+    let (a, b) = (load_model(a_path)?, load_model(b_path)?);
+    let mut options = match semantics {
+        SemanticsLevel::Heavy => ComposeOptions::heavy(),
+        SemanticsLevel::Light => ComposeOptions::light(),
+        SemanticsLevel::None => ComposeOptions::none(),
+    };
+    options.index = index;
+    let result = Composer::new(options).compose(&a, &b);
+
+    let xml = write_sbml(&result.model);
+    match out {
+        Some(path) => {
+            fs::write(&path, xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "composed {} + {} -> {} ({} species, {} reactions; {})",
+                a.id,
+                b.id,
+                path,
+                result.model.species.len(),
+                result.model.reactions.len(),
+                result.log.stats()
+            );
+        }
+        None => println!("{xml}"),
+    }
+    match log_path {
+        Some(path) => {
+            fs::write(&path, result.log.to_text())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        None => eprint!("{}", result.log.to_text()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_split(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let prefix = take_flag(&mut args, "-o").unwrap_or_else(|| "part".to_owned());
+    let [path] = args.as_slice() else {
+        return Err("split needs exactly one input file".to_owned());
+    };
+    let model = load_model(path)?;
+    let parts = sbmlcompose::compose::split_components(&model);
+    eprintln!("{} component(s)", parts.len());
+    for (i, part) in parts.iter().enumerate() {
+        let out = format!("{prefix}_{i}.xml");
+        fs::write(&out, write_sbml(part)).map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("  {out}: {} species, {} reactions", part.species.len(), part.reactions.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_zoom(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let seeds_raw =
+        take_flag(&mut args, "--seed").ok_or("zoom needs --seed <species>[,<species>...]")?;
+    let radius: usize = take_flag(&mut args, "--radius")
+        .map(|r| r.parse().map_err(|_| format!("bad radius {r:?}")))
+        .transpose()?
+        .unwrap_or(1);
+    let out = take_flag(&mut args, "-o");
+    let [path] = args.as_slice() else {
+        return Err("zoom needs exactly one input file".to_owned());
+    };
+    let model = load_model(path)?;
+    let seeds: Vec<&str> = seeds_raw.split(',').map(str::trim).collect();
+    let sub = sbmlcompose::compose::extract_submodel(&model, &seeds, radius);
+    eprintln!(
+        "zoom radius {radius} around {:?}: {} species, {} reactions",
+        seeds,
+        sub.species.len(),
+        sub.reactions.len()
+    );
+    let xml = write_sbml(&sub);
+    match out {
+        Some(p) => fs::write(&p, xml).map_err(|e| format!("cannot write {p}: {e}"))?,
+        None => println!("{xml}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("validate needs exactly one input file".to_owned());
+    };
+    let model = load_model(path)?;
+    let issues = validate(&model);
+    for issue in &issues {
+        println!("{issue}");
+    }
+    let errors = issues.iter().filter(|i| i.severity == Severity::Error).count();
+    println!(
+        "{}: {} error(s), {} warning(s)",
+        path,
+        errors,
+        issues.len() - errors
+    );
+    Ok(if errors == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_simulate(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let t_end: f64 = take_flag(&mut args, "--t-end")
+        .map(|v| v.parse().map_err(|_| format!("bad --t-end {v:?}")))
+        .transpose()?
+        .unwrap_or(10.0);
+    let dt: f64 = take_flag(&mut args, "--dt")
+        .map(|v| v.parse().map_err(|_| format!("bad --dt {v:?}")))
+        .transpose()?
+        .unwrap_or(0.01);
+    let out = take_flag(&mut args, "-o");
+    let [path] = args.as_slice() else {
+        return Err("simulate needs exactly one input file".to_owned());
+    };
+    let model = load_model(path)?;
+    let trace = sbmlcompose::sim::ode::simulate_rk4(&model, t_end, dt)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let csv = trace.to_csv();
+    match out {
+        Some(p) => {
+            fs::write(&p, csv).map_err(|e| format!("cannot write {p}: {e}"))?;
+            eprintln!("{} samples x {} species -> {}", trace.len(), trace.species.len(), p);
+        }
+        None => print!("{csv}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut args = args.to_vec();
+    let property = take_flag(&mut args, "--property").ok_or("check needs --property '<PLTL>'")?;
+    let runs: usize = take_flag(&mut args, "--runs")
+        .map(|v| v.parse().map_err(|_| format!("bad --runs {v:?}")))
+        .transpose()?
+        .unwrap_or(50);
+    let t_end: f64 = take_flag(&mut args, "--t-end")
+        .map(|v| v.parse().map_err(|_| format!("bad --t-end {v:?}")))
+        .transpose()?
+        .unwrap_or(10.0);
+    let theta: f64 = take_flag(&mut args, "--theta")
+        .map(|v| v.parse().map_err(|_| format!("bad --theta {v:?}")))
+        .transpose()?
+        .unwrap_or(0.95);
+    let [path] = args.as_slice() else {
+        return Err("check needs exactly one input file".to_owned());
+    };
+    let model = load_model(path)?;
+    let phi = Formula::parse(&property).map_err(|e| format!("bad property: {e}"))?;
+    let verdict = check_probability(&model, &phi, runs, t_end, theta)?;
+    println!(
+        "P({property}) ≈ {:.3} (95% CI {:.3}–{:.3}, {}/{} runs) vs θ={theta} → {}",
+        verdict.estimate,
+        verdict.interval.0,
+        verdict.interval.1,
+        verdict.satisfying,
+        verdict.runs,
+        if verdict.satisfied { "SATISFIED" } else { "VIOLATED" }
+    );
+    Ok(if verdict.satisfied { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a_path, b_path] = args else {
+        return Err("diff needs exactly two input files".to_owned());
+    };
+    let a = fs::read_to_string(a_path).map_err(|e| format!("cannot read {a_path}: {e}"))?;
+    let b = fs::read_to_string(b_path).map_err(|e| format!("cannot read {b_path}: {e}"))?;
+    let equivalent =
+        sbmlcompose::textdiff::sbml_equivalent(&a, &b).map_err(|e| e.to_string())?;
+    if equivalent {
+        println!("equivalent (under SBML ordering rules)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        print!("{}", sbmlcompose::textdiff::sbml_text_diff(&a, &b).map_err(|e| e.to_string())?);
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,61 @@
+//! # sbmlcompose
+//!
+//! A Rust reproduction of **"Biochemical network matching and composition"**
+//! (Goodfellow, Wilson & Hunt, EDBT 2010): automated, unsupervised merging
+//! of SBML biochemical network models, plus every substrate the paper's
+//! system and evaluation depend on.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`xml`] | `sbml-xml` | from-scratch XML parser/serializer |
+//! | [`math`] | `sbml-math` | MathML AST, Fig. 7 commutative patterns, evaluator |
+//! | [`units`] | `sbml-units` | unit signatures, Fig. 6 mole↔molecule conversion |
+//! | [`model`] | `sbml-model` | the SBML data model, validation, builder |
+//! | [`synonyms`] | `bio-synonyms` | local synonym tables |
+//! | [`graph`] | `bio-graph` | generic labelled graphs, no/light-semantics composition |
+//! | [`compose`] | `sbml-compose` | **SBMLCompose** — the paper's contribution |
+//! | [`baseline`] | `semantic-baseline` | simulated semanticSBML comparator |
+//! | [`sim`] | `bio-sim` | ODE (RK4/RKF45) and Gillespie SSA simulation |
+//! | [`mc2`] | `mc2` | Monte-Carlo PLTL model checker (§4.1.4) |
+//! | [`corpus`] | `biomodels-corpus` | deterministic 187+17 model corpora |
+//! | [`textdiff`] | `textdiff` | diff/patch and §4.1.1 SBML textual comparison |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sbmlcompose::compose::{ComposeOptions, Composer};
+//! use sbmlcompose::model::builder::ModelBuilder;
+//!
+//! let glycolysis_fragment = ModelBuilder::new("m1")
+//!     .compartment("cell", 1.0)
+//!     .species_named("glc", "glucose", 10.0)
+//!     .species("G6P", 0.0)
+//!     .parameter("k_hex", 0.4)
+//!     .reaction("hexokinase", &["glc"], &["G6P"], "k_hex*glc")
+//!     .build();
+//! let uptake_fragment = ModelBuilder::new("m2")
+//!     .compartment("cell", 1.0)
+//!     .species_named("sugar", "dextrose", 10.0) // synonym of glucose!
+//!     .parameter("k_in", 0.1)
+//!     .reaction("import", &[], &["sugar"], "k_in")
+//!     .build();
+//!
+//! let merged = Composer::new(ComposeOptions::default())
+//!     .compose(&glycolysis_fragment, &uptake_fragment);
+//! assert_eq!(merged.model.species.len(), 2, "glucose and dextrose unified");
+//! ```
+
+pub use bio_graph as graph;
+pub use bio_sim as sim;
+pub use bio_synonyms as synonyms;
+pub use biomodels_corpus as corpus;
+pub use mc2;
+pub use sbml_compose as compose;
+pub use sbml_math as math;
+pub use sbml_model as model;
+pub use sbml_units as units;
+pub use sbml_xml as xml;
+pub use semantic_baseline as baseline;
+pub use textdiff;

@@ -1,0 +1,186 @@
+//! Failure-injection tests: every layer must reject malformed input with a
+//! clean error (never a panic), and the merge must stay robust when fed
+//! pathological but well-formed models.
+
+use sbmlcompose::compose::{ComposeOptions, Composer};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::{parse_sbml, ModelError};
+
+#[test]
+fn malformed_xml_rejected_cleanly() {
+    let cases = [
+        "",
+        "<",
+        "<sbml>",
+        "<sbml><model></sbml>",
+        "<sbml><model id='x'/></sbml><extra/>",
+        "<sbml><model id=\"unterminated></sbml>",
+        "<sbml>&undefined;</sbml>",
+        "<sbml><model id=\"a\" id=\"b\"/></sbml>",
+    ];
+    for text in cases {
+        let result = parse_sbml(text);
+        assert!(result.is_err(), "{text:?} must be rejected");
+    }
+}
+
+#[test]
+fn structurally_invalid_sbml_rejected_with_context() {
+    // species without compartment
+    let err = parse_sbml(
+        "<sbml><model id=\"m\"><listOfSpecies><species id=\"A\"/></listOfSpecies></model></sbml>",
+    )
+    .unwrap_err();
+    assert!(matches!(err, ModelError::Structure { .. }), "{err}");
+    assert!(err.to_string().contains("compartment"), "{err}");
+
+    // kinetic law without math
+    let err = parse_sbml(
+        "<sbml><model id=\"m\"><listOfReactions><reaction id=\"r\"><kineticLaw/></reaction></listOfReactions></model></sbml>",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("math"), "{err}");
+
+    // bad number in attribute
+    let err = parse_sbml(
+        "<sbml><model id=\"m\"><listOfParameters><parameter id=\"k\" value=\"lots\"/></listOfParameters></model></sbml>",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("lots"), "{err}");
+}
+
+#[test]
+fn bad_mathml_rejected_with_context() {
+    let err = parse_sbml(
+        "<sbml><model id=\"m\"><listOfRules><assignmentRule variable=\"x\"><math><apply><divide/><cn>1</cn></apply></math></assignmentRule></listOfRules></model></sbml>",
+    )
+    .unwrap_err();
+    assert!(matches!(err, ModelError::Math { .. }), "{err}");
+}
+
+#[test]
+fn merge_survives_models_with_cyclic_function_definitions() {
+    // Validation flags the cycle; composition must not hang or crash.
+    let cyclic = ModelBuilder::new("cyclic").function("f", &["x"], "f(x)").build();
+    let issues = sbmlcompose::model::validate(&cyclic);
+    assert!(issues.iter().any(|i| i.message.contains("recursive")));
+
+    let other = ModelBuilder::new("other").function("f", &["x"], "x + 1").build();
+    let result = Composer::new(ComposeOptions::default()).compose(&cyclic, &other);
+    // Same id, different body: conflict, first model wins.
+    assert_eq!(result.model.function_definitions.len(), 1);
+    assert_eq!(result.log.conflict_count(), 1);
+}
+
+#[test]
+fn merge_survives_nan_and_infinite_values() {
+    let mut weird = ModelBuilder::new("weird")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .parameter("k", 1.0)
+        .build();
+    weird.parameters[0].value = Some(f64::INFINITY);
+    weird.species[0].initial_amount = Some(f64::NAN);
+
+    let normal = ModelBuilder::new("normal")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .parameter("k", 1.0)
+        .build();
+    // Both directions must terminate and produce *some* model.
+    let r1 = Composer::new(ComposeOptions::default()).compose(&weird, &normal);
+    let r2 = Composer::new(ComposeOptions::default()).compose(&normal, &weird);
+    assert_eq!(r1.model.species.len(), 1);
+    assert_eq!(r2.model.species.len(), 1);
+    // NaN initial amounts can never "agree" — must be flagged, not merged
+    // silently as equal.
+    assert!(r1.log.conflict_count() + r2.log.conflict_count() >= 1);
+}
+
+#[test]
+fn merge_survives_unicode_and_hostile_names() {
+    let a = ModelBuilder::new("a")
+        .compartment("cell", 1.0)
+        .species_named("s1", "α-D-糖 <& \"quoted\">", 1.0)
+        .build();
+    let b = ModelBuilder::new("b")
+        .compartment("cell", 1.0)
+        .species_named("s2", "α-D-糖 <& \"quoted\">", 1.0)
+        .build();
+    let result = Composer::new(ComposeOptions::default()).compose(&a, &b);
+    assert_eq!(result.model.species.len(), 1, "same hostile name must unify");
+    // ...and the result must survive an XML round trip with escaping.
+    let xml = sbmlcompose::model::write_sbml(&result.model);
+    let back = parse_sbml(&xml).unwrap();
+    assert_eq!(back, result.model);
+}
+
+#[test]
+fn simulation_rejects_unsimulable_models_cleanly() {
+    // Reaction math references an identifier that does not exist.
+    let broken = ModelBuilder::new("broken")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .reaction("r", &["A"], &[], "ghost_parameter*A")
+        .build();
+    let err = sbmlcompose::sim::ode::simulate_rk4(&broken, 1.0, 0.1).unwrap_err();
+    assert!(err.to_string().contains("ghost_parameter"), "{err}");
+
+    let err = sbmlcompose::sim::ssa::simulate_ssa(&broken, 1.0, 0.1, 0).unwrap_err();
+    assert!(err.to_string().contains("ghost_parameter"), "{err}");
+}
+
+#[test]
+fn mc2_surfaces_atom_errors() {
+    let model = ModelBuilder::new("m")
+        .compartment("cell", 1.0)
+        .species("A", 5.0)
+        .parameter("k", 1.0)
+        .reaction("r", &["A"], &[], "k*A")
+        .build();
+    let phi = sbmlcompose::mc2::Formula::parse("G(no_such_species > 0)").unwrap();
+    let err = sbmlcompose::mc2::check_probability(&model, &phi, 3, 1.0, 0.5).unwrap_err();
+    assert!(err.contains("no_such_species"), "{err}");
+}
+
+#[test]
+fn huge_id_collision_chains_resolve() {
+    // Force a long rename chain: both models define k, k_1, k_2 with
+    // different values — renames must keep probing forward, never clobber.
+    let mut a = ModelBuilder::new("a").compartment("c", 1.0).build();
+    let mut b = ModelBuilder::new("b").compartment("c", 1.0).build();
+    for i in 0..10 {
+        let id = if i == 0 { "k".to_owned() } else { format!("k_{i}") };
+        a.parameters.push(sbmlcompose::model::Parameter::new(&id, i as f64));
+        b.parameters.push(sbmlcompose::model::Parameter::new(&id, 100.0 + i as f64));
+    }
+    let result = Composer::new(ComposeOptions::default()).compose(&a, &b);
+    assert_eq!(result.model.parameters.len(), 20, "all parameters kept");
+    // ids unique
+    let ids: std::collections::BTreeSet<_> =
+        result.model.parameters.iter().map(|p| p.id.clone()).collect();
+    assert_eq!(ids.len(), 20);
+}
+
+#[test]
+fn empty_vs_empty() {
+    let empty = sbmlcompose::model::Model::new("e");
+    let result = Composer::new(ComposeOptions::default()).compose(&empty, &empty);
+    assert!(result.model.is_empty());
+    assert!(result.log.events.is_empty());
+}
+
+#[test]
+fn deeply_nested_math_round_trips() {
+    // 64 levels of nesting through parser, pattern, writer.
+    let mut formula = String::from("x");
+    for _ in 0..64 {
+        formula = format!("({formula} + 1)");
+    }
+    let expr = sbmlcompose::math::infix::parse(&formula).unwrap();
+    let pattern = sbmlcompose::math::pattern::Pattern::of(&expr);
+    assert!(!pattern.as_str().is_empty());
+    let xml_el = sbmlcompose::math::to_mathml(&expr);
+    let back = sbmlcompose::math::parse_mathml(&xml_el).unwrap();
+    assert_eq!(back, expr);
+}

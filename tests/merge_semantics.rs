@@ -1,0 +1,142 @@
+//! Workspace-level integration tests: the paper's Figures 1–3 merge
+//! semantics exercised through the public facade, with XML round trips,
+//! graph extraction agreement, and §4.1.1 textual verification.
+
+use sbmlcompose::compose::{ComposeOptions, Composer};
+use sbmlcompose::graph::{compose as graph_compose, species_reaction_graph, NoSemantics};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::Model;
+use sbmlcompose::textdiff::sbml_equivalent;
+
+fn fig1a() -> Model {
+    ModelBuilder::new("fig1a")
+        .compartment("cell", 1.0)
+        .species("A", 10.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.05)
+        .parameter("k3", 0.02)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .reaction("r3", &["C"], &["B"], "k3*C")
+        .build()
+}
+
+#[test]
+fn figure1_self_composition_is_identity_textually() {
+    let a = fig1a();
+    let result = Composer::new(ComposeOptions::default()).compose(&a, &a);
+    // a + a = a, down to the serialized SBML (§4.1.1 check).
+    let original = sbmlcompose::model::write_sbml(&a);
+    let composed = sbmlcompose::model::write_sbml(&result.model);
+    assert!(sbml_equivalent(&original, &composed).unwrap());
+}
+
+#[test]
+fn figure2_disjoint_union_through_xml() {
+    // Feed the composer from *parsed SBML text*, not in-memory models —
+    // the paper's actual input path.
+    let m1_xml = sbmlcompose::model::write_sbml(&fig1a());
+    let m2 = ModelBuilder::new("de")
+        .compartment("cell", 1.0)
+        .species("D", 5.0)
+        .species("E", 0.0)
+        .parameter("k4", 0.3)
+        .reaction("r4", &["D"], &["E"], "k4*D")
+        .build();
+    let m2_xml = sbmlcompose::model::write_sbml(&m2);
+
+    let a = sbmlcompose::model::parse_sbml(&m1_xml).unwrap();
+    let b = sbmlcompose::model::parse_sbml(&m2_xml).unwrap();
+    let result = Composer::new(ComposeOptions::default()).compose(&a, &b);
+    assert_eq!(result.model.species.len(), 5);
+    assert_eq!(result.model.reactions.len(), 4);
+    assert_eq!(result.model.compartments.len(), 1);
+}
+
+#[test]
+fn figure3_overlap_agrees_with_graph_composition() {
+    // The SBML merge and the generic graph composition must agree on the
+    // composed network shape for id-matched models.
+    let m1 = ModelBuilder::new("m1")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .species("D", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.2)
+        .parameter("k3", 0.3)
+        .parameter("k4", 0.4)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .reaction("r3", &["C"], &["B"], "k3*C")
+        .reaction("r4", &["C"], &["D"], "k4*C")
+        .build();
+    let m2 = ModelBuilder::new("m2")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .species("C", 0.0)
+        .parameter("k1", 0.1)
+        .parameter("k2", 0.2)
+        .reaction("r1", &["A"], &["B"], "k1*A")
+        .reaction("r2", &["B"], &["C"], "k2*B")
+        .build();
+
+    let sbml_result = Composer::new(ComposeOptions::default()).compose(&m1, &m2);
+    let sbml_graph = species_reaction_graph(&sbml_result.model);
+
+    let (generic_graph, _) =
+        graph_compose(&species_reaction_graph(&m1), &species_reaction_graph(&m2), &NoSemantics);
+
+    assert_eq!(sbml_graph.node_count(), generic_graph.node_count());
+    assert_eq!(sbml_graph.edge_count(), generic_graph.edge_count());
+    assert_eq!(sbml_graph.node_count(), 4);
+    assert_eq!(sbml_graph.edge_count(), 4);
+}
+
+#[test]
+fn merge_is_usable_downstream_after_many_compositions() {
+    // Chain ten overlapping fragments and confirm the result still parses,
+    // validates, simulates and checks.
+    let composer = Composer::new(ComposeOptions::default());
+    let mut acc = fig1a();
+    for i in 0..10 {
+        let fresh = ModelBuilder::new(format!("frag{i}"))
+            .compartment("cell", 1.0)
+            .species("C", 0.0)
+            .species(&format!("X{i}"), 1.0)
+            .parameter(&format!("kx{i}"), 0.05)
+            .reaction(
+                &format!("rx{i}"),
+                &["C"],
+                &[format!("X{i}").as_str()],
+                &format!("kx{i}*C"),
+            )
+            .build();
+        acc = composer.compose(&acc, &fresh).model;
+    }
+    assert_eq!(acc.species.len(), 13); // A,B,C + X0..X9
+    assert_eq!(acc.reactions.len(), 13);
+
+    let issues = sbmlcompose::model::validate(&acc);
+    assert!(issues.iter().all(|i| i.severity != sbmlcompose::model::Severity::Error), "{issues:?}");
+
+    let trace = sbmlcompose::sim::ode::simulate_rk4(&acc, 5.0, 0.01).unwrap();
+    assert!(trace.final_value("X0").unwrap() > 0.0, "mass flows into the added branches");
+}
+
+#[test]
+fn log_records_every_decision() {
+    let a = fig1a();
+    let mut b = fig1a();
+    b.parameters[0].value = Some(999.0); // conflict on k1
+    let result = Composer::new(ComposeOptions::default()).compose(&a, &b);
+    let log = result.log.to_text();
+    assert!(log.contains("conflict"), "{log}");
+    assert!(log.contains("k1"), "{log}");
+    // every one of b's components got a decision
+    assert!(result.log.events.len() >= b.component_count());
+}
