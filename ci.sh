@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI for the sbmlcompose workspace. Fully offline: the three external
+# crates (rand/proptest/criterion) are vendored under vendor/.
+#
+#   ./ci.sh          build + test + chain-scaling perf gate
+#   ./ci.sh quick    build + test only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "== chain-scaling benchmark (writes BENCH_chain.json) =="
+    cargo run --release -p compose-bench --bin chain_scaling
+
+    # Perf gate: the session engine must stay >= 2x faster than the seed
+    # pairwise fold on the length-128 chain.
+    speedup=$(grep -o '"speedup_at_length_128": [0-9.]*' BENCH_chain.json | grep -o '[0-9.]*$')
+    echo "length-128 speedup: ${speedup}x (gate: >= 2.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+        echo "FAIL: chain-scaling speedup regressed below 2x" >&2
+        exit 1
+    }
+fi
+
+echo "CI OK"

@@ -17,21 +17,20 @@
 //!    (paper Fig. 5: "S2 := S1 (rename); add mapping").
 //! 3. otherwise the component is **inserted**, renamed first if its id is
 //!    already taken by an unrelated component.
+//!
+//! The merge passes themselves live in [`crate::session`]:
+//! [`Composer::compose`] is a thin wrapper over a one-shot
+//! [`CompositionSession`], and [`compose_many`] /
+//! [`compose_many_owned`] run the whole chain through a single session so
+//! the accumulator is never cloned and its indexes are never rebuilt.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
-use sbml_math::rewrite;
-use sbml_model::{Model, Parameter, Reaction, Species};
-use sbml_units::convert::{
-    conversion_factor, deterministic_to_stochastic, stochastic_to_deterministic, ReactionOrder,
-};
-use sbml_units::UnitDefinition;
+use sbml_model::Model;
 
-use crate::equality::MatchContext;
-use crate::index::ComponentIndex;
-use crate::initial_values::{collect, InitialValues};
-use crate::log::{EventKind, MergeLog};
-use crate::options::{ComposeOptions, SemanticsLevel};
+use crate::log::MergeLog;
+use crate::options::ComposeOptions;
+use crate::session::CompositionSession;
 
 /// The outcome of one composition.
 #[derive(Debug, Clone)]
@@ -62,6 +61,14 @@ impl Composer {
         &self.options
     }
 
+    /// Start an incremental composition session; push models into it and
+    /// [`CompositionSession::finish`] when done. Equivalent to a left fold
+    /// of [`Composer::compose`] but without re-cloning and re-indexing the
+    /// accumulator at every step.
+    pub fn session(&self) -> CompositionSession<'_> {
+        CompositionSession::new(&self.options)
+    }
+
     /// Compose two models (paper Fig. 4). The first model is the base; the
     /// result carries its id.
     pub fn compose(&self, a: &Model, b: &Model) -> ComposeResult {
@@ -81,43 +88,48 @@ impl Composer {
             };
         }
 
-        let mut state = MergeState {
-            merged: a.clone(),
-            ctx: MatchContext::new(&self.options),
-            log: MergeLog::new(),
-            iv_a: if self.options.collect_initial_values {
-                collect(a)
-            } else {
-                InitialValues::default()
-            },
-            iv_b: if self.options.collect_initial_values {
-                collect(b)
-            } else {
-                InitialValues::default()
-            },
-            taken: a.global_ids(),
-        };
-
-        // Fig. 4 pipeline order.
-        state.merge_function_definitions(b);
-        state.merge_unit_definitions(b);
-        state.merge_compartment_types(b);
-        state.merge_species_types(b);
-        state.merge_compartments(b);
-        state.merge_species(b);
-        state.merge_parameters(b);
-        state.merge_initial_assignments(b);
-        state.merge_rules(b);
-        state.merge_constraints(b);
-        state.merge_reactions(b);
-        state.merge_events(b);
-
-        ComposeResult { model: state.merged, log: state.log, mappings: state.ctx.mappings }
+        let mut session = CompositionSession::with_base(&self.options, a.clone());
+        session.push(b);
+        session.finish()
     }
 }
 
 /// Compose a sequence of models left-to-right (library/incremental use).
+///
+/// Runs one [`CompositionSession`] over the whole slice: output is
+/// identical to folding [`Composer::compose`] pairwise, but the
+/// accumulator is built in place instead of being cloned and re-indexed
+/// at every step. Callers holding owned models should prefer
+/// [`compose_many_owned`], which also avoids cloning the first model.
 pub fn compose_many(composer: &Composer, models: &[Model]) -> ComposeResult {
+    let mut session = composer.session();
+    for model in models {
+        session.push(model);
+    }
+    session.finish()
+}
+
+/// As [`compose_many`], but takes ownership: the first (base) model is
+/// moved into the session instead of cloned, so composing a chain the
+/// caller no longer needs allocates nothing for the accumulator seed.
+pub fn compose_many_owned(
+    composer: &Composer,
+    models: impl IntoIterator<Item = Model>,
+) -> ComposeResult {
+    let mut session = composer.session();
+    for model in models {
+        session.push_owned(model);
+    }
+    session.finish()
+}
+
+/// Reference chain composition: a left fold of pairwise
+/// [`Composer::compose`] calls, cloning the accumulator at every step —
+/// the paper's original O(n²) behaviour. [`compose_many`] must be
+/// indistinguishable from this; it is kept (and exported) as the single
+/// baseline that both the equivalence property tests and the
+/// `chain_scaling` benchmark compare against.
+pub fn compose_many_pairwise(composer: &Composer, models: &[Model]) -> ComposeResult {
     match models {
         [] => ComposeResult {
             model: Model::new("empty"),
@@ -146,903 +158,49 @@ pub fn compose_many(composer: &Composer, models: &[Model]) -> ComposeResult {
     }
 }
 
-struct MergeState<'o> {
-    merged: Model,
-    ctx: MatchContext<'o>,
-    log: MergeLog,
-    iv_a: InitialValues,
-    iv_b: InitialValues,
-    taken: BTreeSet<String>,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
 
-impl MergeState<'_> {
-    fn options(&self) -> &ComposeOptions {
-        self.ctx.options
+    fn model(i: usize) -> Model {
+        ModelBuilder::new(format!("m{i}"))
+            .compartment("cell", 1.0)
+            .species(&format!("S{i}"), 1.0)
+            .parameter("k", 0.5)
+            .build()
     }
 
-    /// Fresh id based on `base`, registering it as taken.
-    fn fresh_id(&mut self, base: &str) -> String {
-        if !self.taken.contains(base) {
-            self.taken.insert(base.to_owned());
-            return base.to_owned();
-        }
-        for n in 1.. {
-            let candidate = format!("{base}_{n}");
-            if !self.taken.contains(&candidate) {
-                self.taken.insert(candidate.clone());
-                return candidate;
-            }
-        }
-        unreachable!("id space exhausted")
+    #[test]
+    fn compose_many_matches_seed_edge_cases() {
+        let composer = Composer::default();
+        // Empty slice → the canonical empty model.
+        let empty = compose_many(&composer, &[]);
+        assert_eq!(empty.model, Model::new("empty"));
+        assert!(empty.log.events.is_empty());
+        assert!(empty.mappings.is_empty());
+        // Singleton → that model, untouched.
+        let single = compose_many(&composer, &[model(1)]);
+        assert_eq!(single.model, model(1));
+        assert!(single.log.events.is_empty());
     }
 
-    /// Register an id as taken when inserting a B component verbatim, or
-    /// rename it if an unrelated component holds it. Returns the final id
-    /// and logs the rename.
-    fn claim_id(&mut self, kind: &'static str, id: &str) -> String {
-        if self.taken.contains(id) {
-            let fresh = self.fresh_id(id);
-            self.ctx.add_mapping(id, fresh.clone());
-            self.log.push(
-                EventKind::Renamed,
-                kind,
-                id,
-                fresh.clone(),
-                "id already taken by an unrelated component",
-            );
-            fresh
-        } else {
-            self.taken.insert(id.to_owned());
-            id.to_owned()
-        }
+    #[test]
+    fn compose_many_owned_matches_borrowed() {
+        let composer = Composer::default();
+        let models: Vec<Model> = (0..4).map(model).collect();
+        let borrowed = compose_many(&composer, &models);
+        let owned = compose_many_owned(&composer, models);
+        assert_eq!(owned.model, borrowed.model);
+        assert_eq!(owned.log.events, borrowed.log.events);
+        assert_eq!(owned.mappings, borrowed.mappings);
     }
 
-    fn map_string(&self, s: &str) -> String {
-        self.ctx.map_id(s).to_owned()
+    #[test]
+    fn compose_many_owned_accepts_any_iterator() {
+        let composer = Composer::default();
+        let result = compose_many_owned(&composer, (0..3).map(model));
+        assert_eq!(result.model.id, "m0");
+        assert_eq!(result.model.species.len(), 3);
     }
-
-    fn map_opt(&self, s: &Option<String>) -> Option<String> {
-        s.as_ref().map(|v| self.map_string(v))
-    }
-
-    fn map_math(&self, math: &sbml_math::MathExpr) -> sbml_math::MathExpr {
-        rewrite::rename(math, &self.ctx.mappings)
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 1: function definitions
-    // ---------------------------------------------------------------
-    fn merge_function_definitions(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_content = ComponentIndex::new(self.options().index);
-        for (i, f) in self.merged.function_definitions.iter().enumerate() {
-            by_id.insert(f.id.clone(), i);
-            by_content.insert(self.ctx.function_key(f, false), i);
-        }
-        for f in &b.function_definitions {
-            let content_key = self.ctx.function_key(f, true);
-            if let Some(pos) = by_id.get(&f.id) {
-                let ours = &self.merged.function_definitions[pos];
-                if self.ctx.function_key(ours, false) == content_key {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "functionDefinition",
-                        &f.id,
-                        &f.id,
-                        "identical definition",
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "functionDefinition",
-                        &f.id,
-                        &f.id,
-                        "same id, different body; first model wins",
-                    );
-                }
-                continue;
-            }
-            if let Some(pos) = by_content.get(&content_key) {
-                let target = self.merged.function_definitions[pos].id.clone();
-                self.ctx.add_mapping(&f.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "functionDefinition",
-                    &f.id,
-                    target,
-                    "equivalent body (α-renaming/commutativity)",
-                );
-                continue;
-            }
-            let final_id = self.claim_id("functionDefinition", &f.id);
-            let mut nf = f.clone();
-            nf.id = final_id.clone();
-            nf.body = self.map_math(&f.body);
-            let pos = self.merged.function_definitions.len();
-            by_id.insert(final_id.clone(), pos);
-            by_content.insert(content_key, pos);
-            self.merged.function_definitions.push(nf);
-            self.log.push(EventKind::Added, "functionDefinition", &f.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 2: unit definitions
-    // ---------------------------------------------------------------
-    fn merge_unit_definitions(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_content = ComponentIndex::new(self.options().index);
-        for (i, u) in self.merged.unit_definitions.iter().enumerate() {
-            by_id.insert(u.id.clone(), i);
-            by_content.insert(self.ctx.unit_key(u), i);
-        }
-        for u in &b.unit_definitions {
-            let content_key = self.ctx.unit_key(u);
-            if let Some(pos) = by_id.get(&u.id) {
-                let ours = &self.merged.unit_definitions[pos];
-                if self.ctx.unit_key(ours) == content_key {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "unitDefinition",
-                        &u.id,
-                        &u.id,
-                        "same units",
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "unitDefinition",
-                        &u.id,
-                        &u.id,
-                        format!(
-                            "same id, different units ({} vs {}); first model wins",
-                            ours.signature(),
-                            u.signature()
-                        ),
-                    );
-                }
-                continue;
-            }
-            if let Some(pos) = by_content.get(&content_key) {
-                let target = self.merged.unit_definitions[pos].id.clone();
-                self.ctx.add_mapping(&u.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "unitDefinition",
-                    &u.id,
-                    target,
-                    "equivalent unit signature",
-                );
-                continue;
-            }
-            let final_id = self.claim_id("unitDefinition", &u.id);
-            let mut nu = u.clone();
-            nu.id = final_id.clone();
-            let pos = self.merged.unit_definitions.len();
-            by_id.insert(final_id.clone(), pos);
-            by_content.insert(content_key, pos);
-            self.merged.unit_definitions.push(nu);
-            self.log.push(EventKind::Added, "unitDefinition", &u.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 lines 3–4: compartment types, species types
-    // ---------------------------------------------------------------
-    fn merge_compartment_types(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_name = ComponentIndex::new(self.options().index);
-        for (i, t) in self.merged.compartment_types.iter().enumerate() {
-            by_id.insert(t.id.clone(), i);
-            by_name.insert(self.ctx.name_key(&t.id, t.name.as_deref()), i);
-        }
-        for t in &b.compartment_types {
-            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
-            if by_id.get(&t.id).is_some() {
-                self.log.push(EventKind::Duplicate, "compartmentType", &t.id, &t.id, "same id");
-                continue;
-            }
-            if let Some(pos) = by_name.get(&name_key) {
-                let target = self.merged.compartment_types[pos].id.clone();
-                self.ctx.add_mapping(&t.id, &target);
-                self.log.push(EventKind::Mapped, "compartmentType", &t.id, target, "synonymous name");
-                continue;
-            }
-            let final_id = self.claim_id("compartmentType", &t.id);
-            let mut nt = t.clone();
-            nt.id = final_id.clone();
-            let pos = self.merged.compartment_types.len();
-            by_id.insert(final_id.clone(), pos);
-            by_name.insert(name_key, pos);
-            self.merged.compartment_types.push(nt);
-            self.log.push(EventKind::Added, "compartmentType", &t.id, final_id, "new");
-        }
-    }
-
-    fn merge_species_types(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_name = ComponentIndex::new(self.options().index);
-        for (i, t) in self.merged.species_types.iter().enumerate() {
-            by_id.insert(t.id.clone(), i);
-            by_name.insert(self.ctx.name_key(&t.id, t.name.as_deref()), i);
-        }
-        for t in &b.species_types {
-            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
-            if by_id.get(&t.id).is_some() {
-                self.log.push(EventKind::Duplicate, "speciesType", &t.id, &t.id, "same id");
-                continue;
-            }
-            if let Some(pos) = by_name.get(&name_key) {
-                let target = self.merged.species_types[pos].id.clone();
-                self.ctx.add_mapping(&t.id, &target);
-                self.log.push(EventKind::Mapped, "speciesType", &t.id, target, "synonymous name");
-                continue;
-            }
-            let final_id = self.claim_id("speciesType", &t.id);
-            let mut nt = t.clone();
-            nt.id = final_id.clone();
-            let pos = self.merged.species_types.len();
-            by_id.insert(final_id.clone(), pos);
-            by_name.insert(name_key, pos);
-            self.merged.species_types.push(nt);
-            self.log.push(EventKind::Added, "speciesType", &t.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 5: compartments
-    // ---------------------------------------------------------------
-    fn merge_compartments(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_name = ComponentIndex::new(self.options().index);
-        for (i, c) in self.merged.compartments.iter().enumerate() {
-            by_id.insert(c.id.clone(), i);
-            by_name.insert(self.ctx.name_key(&c.id, c.name.as_deref()), i);
-        }
-        for c in &b.compartments {
-            let name_key = self.ctx.name_key(&c.id, c.name.as_deref());
-            let matched = by_id.get(&c.id).map(|pos| (pos, true)).or_else(|| {
-                by_name.get(&name_key).map(|pos| (pos, false))
-            });
-            if let Some((pos, by_identifier)) = matched {
-                let ours = &self.merged.compartments[pos];
-                let target = ours.id.clone();
-                let sizes_agree = self.compartment_sizes_agree(ours, c, b);
-                if !by_identifier {
-                    self.ctx.add_mapping(&c.id, &target);
-                }
-                if sizes_agree && ours.spatial_dimensions == c.spatial_dimensions {
-                    self.log.push(
-                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
-                        "compartment",
-                        &c.id,
-                        target,
-                        "same compartment",
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "compartment",
-                        &c.id,
-                        target,
-                        format!(
-                            "attributes differ (size {:?} vs {:?}); first model wins",
-                            ours.size, c.size
-                        ),
-                    );
-                }
-                continue;
-            }
-            let final_id = self.claim_id("compartment", &c.id);
-            let mut nc = c.clone();
-            nc.id = final_id.clone();
-            nc.compartment_type = self.map_opt(&c.compartment_type);
-            nc.units = self.map_opt(&c.units);
-            nc.outside = self.map_opt(&c.outside);
-            let pos = self.merged.compartments.len();
-            by_id.insert(final_id.clone(), pos);
-            by_name.insert(name_key, pos);
-            self.merged.compartments.push(nc);
-            self.log.push(EventKind::Added, "compartment", &c.id, final_id, "new");
-        }
-    }
-
-    fn compartment_sizes_agree(
-        &self,
-        ours: &sbml_model::Compartment,
-        theirs: &sbml_model::Compartment,
-        b: &Model,
-    ) -> bool {
-        let va = ours.size.or_else(|| self.iv_a.get(&ours.id));
-        let vb = theirs.size.or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        // Try unit conversion (e.g. litres vs millilitres).
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-        let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.units.as_deref()),
-            resolve_units(b, theirs.units.as_deref()),
-        ) else {
-            return false;
-        };
-        match conversion_factor(&ub, &ua) {
-            Some(factor) => self.ctx.values_agree(Some(va), Some(vb * factor)),
-            None => false,
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 6: species
-    // ---------------------------------------------------------------
-    fn merge_species(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_name = ComponentIndex::new(self.options().index);
-        for (i, s) in self.merged.species.iter().enumerate() {
-            by_id.insert(s.id.clone(), i);
-            by_name.insert(self.ctx.name_key(&s.id, s.name.as_deref()), i);
-        }
-        for s in &b.species {
-            let name_key = self.ctx.name_key(&s.id, s.name.as_deref());
-            let matched = by_id
-                .get(&s.id)
-                .map(|pos| (pos, true))
-                .or_else(|| by_name.get(&name_key).map(|pos| (pos, false)));
-            if let Some((pos, by_identifier)) = matched {
-                let ours = &self.merged.species[pos];
-                let target = ours.id.clone();
-                let compartments_match =
-                    ours.compartment == self.map_string(&s.compartment);
-                let values_ok = self.species_values_agree(ours, s, b);
-                if !by_identifier {
-                    self.ctx.add_mapping(&s.id, &target);
-                }
-                if compartments_match && values_ok {
-                    self.log.push(
-                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
-                        "species",
-                        &s.id,
-                        target,
-                        "same species",
-                    );
-                } else {
-                    let reason = if !compartments_match {
-                        "compartments differ"
-                    } else {
-                        "initial values differ"
-                    };
-                    self.log.push(
-                        EventKind::Conflict,
-                        "species",
-                        &s.id,
-                        target,
-                        format!("{reason}; first model wins"),
-                    );
-                }
-                continue;
-            }
-            let final_id = self.claim_id("species", &s.id);
-            let mut ns = s.clone();
-            ns.id = final_id.clone();
-            ns.compartment = self.map_string(&s.compartment);
-            ns.species_type = self.map_opt(&s.species_type);
-            ns.substance_units = self.map_opt(&s.substance_units);
-            let pos = self.merged.species.len();
-            by_id.insert(final_id.clone(), pos);
-            by_name.insert(name_key, pos);
-            self.merged.species.push(ns);
-            self.log.push(EventKind::Added, "species", &s.id, final_id, "new");
-        }
-    }
-
-    /// Initial-value agreement with Fig. 6 unit awareness:
-    /// direct comparison → substance-unit conversion → amount vs
-    /// concentration reconciliation through the compartment volume.
-    fn species_values_agree(&self, ours: &Species, theirs: &Species, b: &Model) -> bool {
-        let va = ours.initial_value().or_else(|| self.iv_a.get(&ours.id));
-        let vb = theirs.initial_value().or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-
-        // Substance-unit conversion (e.g. mole vs millimole).
-        if let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.substance_units.as_deref()),
-            resolve_units(b, theirs.substance_units.as_deref()),
-        ) {
-            if let Some(factor) = conversion_factor(&ub, &ua) {
-                if self.ctx.values_agree(Some(va), Some(vb * factor)) {
-                    return true;
-                }
-            }
-        }
-
-        // Amount vs concentration: amount = concentration × volume.
-        let vol_a = self
-            .merged
-            .compartment_by_id(&ours.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_a.get(&ours.compartment));
-        let vol_b = b
-            .compartment_by_id(&theirs.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_b.get(&theirs.compartment));
-        if let (Some(amount), Some(conc), Some(vol)) = (ours.initial_amount, theirs.initial_concentration, vol_b) {
-            if self.ctx.values_agree(Some(amount), Some(conc * vol)) {
-                return true;
-            }
-        }
-        match (ours.initial_concentration, theirs.initial_amount, vol_a) {
-            (Some(conc), Some(amount), Some(vol)) if vol != 0.0
-                && self.ctx.values_agree(Some(conc), Some(amount / vol)) => {
-                    return true;
-                }
-            _ => {}
-        }
-        false
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 7: parameters (always kept; renamed on clash — §3)
-    // ---------------------------------------------------------------
-    fn merge_parameters(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        for (i, p) in self.merged.parameters.iter().enumerate() {
-            by_id.insert(p.id.clone(), i);
-        }
-        for p in &b.parameters {
-            if let Some(pos) = by_id.get(&p.id) {
-                let ours = self.merged.parameters[pos].clone();
-                let ours_value = ours.value;
-                if self.parameter_values_agree(&ours, p, b) {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "parameter",
-                        &p.id,
-                        &p.id,
-                        "same id and value",
-                    );
-                } else {
-                    // Keep both: rename the incoming one (paper §3).
-                    let fresh = self.fresh_id(&p.id);
-                    self.ctx.add_mapping(&p.id, &fresh);
-                    let mut np = p.clone();
-                    np.id = fresh.clone();
-                    np.units = self.map_opt(&p.units);
-                    self.merged.parameters.push(np);
-                    self.log.push(
-                        EventKind::Conflict,
-                        "parameter",
-                        &p.id,
-                        fresh.clone(),
-                        format!(
-                            "values differ ({:?} vs {:?}); both kept, incoming renamed",
-                            ours_value, p.value
-                        ),
-                    );
-                    self.log.push(
-                        EventKind::Renamed,
-                        "parameter",
-                        &p.id,
-                        fresh,
-                        "renamed to avoid conflict",
-                    );
-                }
-                continue;
-            }
-            // Different id: always include (no content matching for
-            // parameters — the paper: "there is no way of confirming
-            // whether they are intended to be equal or not").
-            let final_id = self.claim_id("parameter", &p.id);
-            let mut np = p.clone();
-            np.id = final_id.clone();
-            np.units = self.map_opt(&p.units);
-            let pos = self.merged.parameters.len();
-            by_id.insert(final_id.clone(), pos);
-            self.merged.parameters.push(np);
-            self.log.push(EventKind::Added, "parameter", &p.id, final_id, "new");
-        }
-    }
-
-    fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, b: &Model) -> bool {
-        let va = ours.value.or_else(|| self.iv_a.get(&ours.id));
-        let vb = theirs.value.or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-        if let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.units.as_deref()),
-            resolve_units(b, theirs.units.as_deref()),
-        ) {
-            if let Some(factor) = conversion_factor(&ub, &ua) {
-                return self.ctx.values_agree(Some(va), Some(vb * factor));
-            }
-        }
-        false
-    }
-
-    // ---------------------------------------------------------------
-    // Initial assignments (collected before merge; conflict-checked here)
-    // ---------------------------------------------------------------
-    fn merge_initial_assignments(&mut self, b: &Model) {
-        let mut by_symbol = ComponentIndex::new(self.options().index);
-        for (i, ia) in self.merged.initial_assignments.iter().enumerate() {
-            by_symbol.insert(ia.symbol.clone(), i);
-        }
-        for ia in &b.initial_assignments {
-            let symbol = self.map_string(&ia.symbol);
-            if let Some(pos) = by_symbol.get(&symbol) {
-                let ours = &self.merged.initial_assignments[pos];
-                let math_equal =
-                    self.ctx.math_key(&ours.math, false) == self.ctx.math_key(&ia.math, true);
-                // The paper's improvement over semanticSBML: evaluate the
-                // maths and compare values when structure differs.
-                let values_equal = self.options().collect_initial_values
-                    && self
-                        .ctx
-                        .values_agree(self.iv_a.get(&ours.symbol), self.iv_b.get(&ia.symbol));
-                if math_equal || values_equal {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "initialAssignment",
-                        &ia.symbol,
-                        symbol,
-                        if math_equal { "same maths" } else { "same evaluated value" },
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "initialAssignment",
-                        &ia.symbol,
-                        symbol,
-                        "different initial maths for one symbol; first model wins",
-                    );
-                }
-                continue;
-            }
-            let mut nia = ia.clone();
-            nia.symbol = symbol.clone();
-            nia.math = self.map_math(&ia.math);
-            by_symbol.insert(symbol.clone(), self.merged.initial_assignments.len());
-            self.merged.initial_assignments.push(nia);
-            self.log.push(EventKind::Added, "initialAssignment", &ia.symbol, symbol, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 8: rules
-    // ---------------------------------------------------------------
-    fn merge_rules(&mut self, b: &Model) {
-        let mut by_content = ComponentIndex::new(self.options().index);
-        let mut by_variable = ComponentIndex::new(self.options().index);
-        for (i, r) in self.merged.rules.iter().enumerate() {
-            by_content.insert(self.ctx.rule_key(r, false), i);
-            if let Some(v) = r.variable() {
-                by_variable.insert(v.to_owned(), i);
-            }
-        }
-        for r in &b.rules {
-            let content_key = self.ctx.rule_key(r, true);
-            let label = r.variable().unwrap_or("<algebraic>").to_owned();
-            if by_content.get(&content_key).is_some() {
-                self.log.push(EventKind::Duplicate, "rule", &label, &label, "identical rule");
-                continue;
-            }
-            if let Some(v) = r.variable() {
-                let mapped_v = self.map_string(v);
-                if by_variable.get(&mapped_v).is_some() {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "rule",
-                        &label,
-                        mapped_v,
-                        "variable already ruled with different maths; first model wins",
-                    );
-                    continue;
-                }
-            }
-            let mut nr = r.clone();
-            match &mut nr {
-                sbml_model::Rule::Algebraic { math } => *math = self.map_math(math),
-                sbml_model::Rule::Assignment { variable, math }
-                | sbml_model::Rule::Rate { variable, math } => {
-                    *variable = self.map_string(variable);
-                    *math = self.map_math(math);
-                }
-            }
-            let pos = self.merged.rules.len();
-            by_content.insert(content_key, pos);
-            if let Some(v) = nr.variable() {
-                by_variable.insert(v.to_owned(), pos);
-            }
-            self.merged.rules.push(nr);
-            self.log.push(EventKind::Added, "rule", &label, &label, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 9: constraints
-    // ---------------------------------------------------------------
-    fn merge_constraints(&mut self, b: &Model) {
-        let mut by_content = ComponentIndex::new(self.options().index);
-        for (i, c) in self.merged.constraints.iter().enumerate() {
-            by_content.insert(self.ctx.constraint_key(&c.math, false), i);
-        }
-        for (idx, c) in b.constraints.iter().enumerate() {
-            let key = self.ctx.constraint_key(&c.math, true);
-            let label = format!("#{idx}");
-            if by_content.get(&key).is_some() {
-                self.log.push(EventKind::Duplicate, "constraint", &label, &label, "identical");
-                continue;
-            }
-            let mut nc = c.clone();
-            nc.math = self.map_math(&c.math);
-            by_content.insert(key, self.merged.constraints.len());
-            self.merged.constraints.push(nc);
-            self.log.push(EventKind::Added, "constraint", &label, &label, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 10: reactions (the most involved kind)
-    // ---------------------------------------------------------------
-    fn merge_reactions(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_content = ComponentIndex::new(self.options().index);
-        // Pattern cache ablation: when disabled, keys are recomputed per
-        // lookup through a linear rescan instead of being stored.
-        let cache = self.options().cache_patterns;
-        for (i, r) in self.merged.reactions.iter().enumerate() {
-            by_id.insert(r.id.clone(), i);
-            if cache {
-                by_content.insert(self.ctx.reaction_key(r, false), i);
-            }
-        }
-        for r in &b.reactions {
-            let content_key = self.ctx.reaction_key(r, true);
-            if let Some(pos) = by_id.get(&r.id) {
-                let ours_key = self.ctx.reaction_key(&self.merged.reactions[pos], false);
-                if ours_key == content_key {
-                    self.reconcile_reaction_locals(pos, r, b);
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "reaction",
-                        &r.id,
-                        &r.id,
-                        "same id, different reaction; first model wins",
-                    );
-                }
-                continue;
-            }
-            let content_pos = if cache {
-                by_content.get(&content_key)
-            } else {
-                // no cache: rescan and recompute every time
-                self.merged
-                    .reactions
-                    .iter()
-                    .position(|ours| self.ctx.reaction_key(ours, false) == content_key)
-            };
-            if let Some(pos) = content_pos {
-                let target = self.merged.reactions[pos].id.clone();
-                self.ctx.add_mapping(&r.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "reaction",
-                    &r.id,
-                    target,
-                    "same participants and kinetics",
-                );
-                self.reconcile_reaction_locals(pos, r, b);
-                continue;
-            }
-            let final_id = self.claim_id("reaction", &r.id);
-            let mut nr = r.clone();
-            nr.id = final_id.clone();
-            for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
-                sr.species = self.map_string(&sr.species);
-            }
-            if let Some(kl) = &mut nr.kinetic_law {
-                let locals: BTreeSet<&str> =
-                    kl.parameters.iter().map(|p| p.id.as_str()).collect();
-                let mut scoped = self.ctx.mappings.clone();
-                scoped.retain(|k, _| !locals.contains(k.as_str()));
-                kl.math = rewrite::rename(&kl.math, &scoped);
-            }
-            let pos = self.merged.reactions.len();
-            by_id.insert(final_id.clone(), pos);
-            if cache {
-                by_content.insert(content_key, pos);
-            }
-            self.merged.reactions.push(nr);
-            self.log.push(EventKind::Added, "reaction", &r.id, final_id, "new");
-        }
-    }
-
-    /// Matched reactions may still disagree on local rate-constant values;
-    /// the paper resolves "conflicts in rate constants and stoichiometry
-    /// within reactions" via Fig. 6 conversions before declaring a conflict.
-    fn reconcile_reaction_locals(&mut self, merged_pos: usize, theirs: &Reaction, b: &Model) {
-        let volume = self.reaction_volume(theirs, b).unwrap_or(1.0);
-        let order = ReactionOrder::from_reactant_count(theirs.reactant_molecule_count());
-        let ours_law = self.merged.reactions[merged_pos].kinetic_law.clone();
-        let (Some(ours_kl), Some(theirs_kl)) = (ours_law, &theirs.kinetic_law) else {
-            self.log.push(
-                EventKind::Duplicate,
-                "reaction",
-                &theirs.id,
-                self.merged.reactions[merged_pos].id.clone(),
-                "same reaction",
-            );
-            return;
-        };
-        let mut all_ok = true;
-        for tp in &theirs_kl.parameters {
-            let Some(op) = ours_kl.parameters.iter().find(|p| p.id == tp.id) else {
-                continue;
-            };
-            if self.ctx.values_agree(op.value, tp.value) {
-                continue;
-            }
-            // Try plain unit conversion between the declared units.
-            let mut reconciled = false;
-            if self.options().semantics == SemanticsLevel::Heavy {
-                if let (Some(ua), Some(ub), Some(va), Some(vb)) = (
-                    resolve_units(&self.merged, op.units.as_deref()),
-                    resolve_units(b, tp.units.as_deref()),
-                    op.value,
-                    tp.value,
-                ) {
-                    if let Some(factor) = conversion_factor(&ub, &ua) {
-                        reconciled = self.ctx.values_agree(Some(va), Some(vb * factor));
-                    }
-                }
-                // Fig. 6 deterministic ↔ stochastic rate constant bridge.
-                if !reconciled {
-                    if let (Some(order), Some(va), Some(vb)) = (order, op.value, tp.value) {
-                        let as_stoch = deterministic_to_stochastic(vb, order, volume);
-                        let as_det = stochastic_to_deterministic(vb, order, volume);
-                        reconciled = self.ctx.values_agree(Some(va), Some(as_stoch))
-                            || self.ctx.values_agree(Some(va), Some(as_det));
-                    }
-                }
-            }
-            let final_id = self.merged.reactions[merged_pos].id.clone();
-            if reconciled {
-                self.log.push(
-                    EventKind::Warning,
-                    "reaction",
-                    &theirs.id,
-                    final_id,
-                    format!(
-                        "rate constant '{}' agrees after unit conversion (paper Fig. 6)",
-                        tp.id
-                    ),
-                );
-            } else {
-                all_ok = false;
-                self.log.push(
-                    EventKind::Conflict,
-                    "reaction",
-                    &theirs.id,
-                    final_id,
-                    format!(
-                        "local parameter '{}' differs ({:?} vs {:?}); first model wins",
-                        tp.id, op.value, tp.value
-                    ),
-                );
-            }
-        }
-        if all_ok {
-            self.log.push(
-                EventKind::Duplicate,
-                "reaction",
-                &theirs.id,
-                self.merged.reactions[merged_pos].id.clone(),
-                "same reaction",
-            );
-        }
-    }
-
-    /// The volume relevant to a reaction of the second model: the size of
-    /// the compartment of its first reactant (or product).
-    fn reaction_volume(&self, r: &Reaction, b: &Model) -> Option<f64> {
-        let species_id = r
-            .reactants
-            .first()
-            .or_else(|| r.products.first())
-            .map(|sr| sr.species.as_str())?;
-        let species = b.species_by_id(species_id)?;
-        b.compartment_by_id(&species.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_b.get(&species.compartment))
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 11: events
-    // ---------------------------------------------------------------
-    fn merge_events(&mut self, b: &Model) {
-        let mut by_id = ComponentIndex::new(self.options().index);
-        let mut by_content = ComponentIndex::new(self.options().index);
-        for (i, ev) in self.merged.events.iter().enumerate() {
-            if let Some(id) = &ev.id {
-                by_id.insert(id.clone(), i);
-            }
-            by_content.insert(self.ctx.event_key(ev, false), i);
-        }
-        for (idx, ev) in b.events.iter().enumerate() {
-            let label = ev.id.clone().unwrap_or_else(|| format!("#{idx}"));
-            let content_key = self.ctx.event_key(ev, true);
-            if let Some(id) = &ev.id {
-                if let Some(pos) = by_id.get(id) {
-                    let ours_key = self.ctx.event_key(&self.merged.events[pos], false);
-                    if ours_key == content_key {
-                        self.log.push(EventKind::Duplicate, "event", &label, id, "identical");
-                    } else {
-                        self.log.push(
-                            EventKind::Conflict,
-                            "event",
-                            &label,
-                            id,
-                            "same id, different event; first model wins",
-                        );
-                    }
-                    continue;
-                }
-            }
-            if let Some(pos) = by_content.get(&content_key) {
-                let target =
-                    self.merged.events[pos].id.clone().unwrap_or_else(|| format!("@{pos}"));
-                if let Some(id) = &ev.id {
-                    if target != format!("@{pos}") {
-                        self.ctx.add_mapping(id, &target);
-                    }
-                }
-                self.log.push(EventKind::Mapped, "event", &label, target, "identical behaviour");
-                continue;
-            }
-            let mut nev = ev.clone();
-            if let Some(id) = &ev.id {
-                nev.id = Some(self.claim_id("event", id));
-            }
-            nev.trigger = self.map_math(&ev.trigger);
-            nev.delay = ev.delay.as_ref().map(|d| self.map_math(d));
-            for a in &mut nev.assignments {
-                a.variable = self.map_string(&a.variable);
-                a.math = self.map_math(&a.math);
-            }
-            let pos = self.merged.events.len();
-            if let Some(id) = &nev.id {
-                by_id.insert(id.clone(), pos);
-            }
-            by_content.insert(content_key, pos);
-            let final_label = nev.id.clone().unwrap_or_else(|| label.clone());
-            self.merged.events.push(nev);
-            self.log.push(EventKind::Added, "event", &label, final_label, "new");
-        }
-    }
-}
-
-/// Resolve a units reference against a model's unit definitions, falling
-/// back to SBML builtins.
-fn resolve_units(model: &Model, units: Option<&str>) -> Option<UnitDefinition> {
-    let id = units?;
-    model
-        .unit_definitions
-        .iter()
-        .find(|u| u.id == id)
-        .cloned()
-        .or_else(|| sbml_units::definition::builtin(id))
 }

@@ -11,8 +11,14 @@
 //! * [`IndexKind::BTree`] — ordered tree (O(log n)),
 //! * [`IndexKind::LinearScan`] — no index at all (O(n) per lookup, giving
 //!   the O(nm) overall behaviour the paper measured).
+//!
+//! Keys are interned as `Arc<str>` so the same canonical content key can
+//! be shared between an index, the [`crate::session`] content-key cache,
+//! and sibling indexes without re-allocation, and every lookup/insert
+//! takes `&str` — callers never build an owned `String` just to probe.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Which index structure the merge uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -30,11 +36,11 @@ pub enum IndexKind {
 #[derive(Debug, Clone)]
 pub enum ComponentIndex {
     /// Hash-map backed.
-    Hash(HashMap<String, usize>),
+    Hash(HashMap<Arc<str>, usize>),
     /// B-tree backed.
-    BTree(BTreeMap<String, usize>),
+    BTree(BTreeMap<Arc<str>, usize>),
     /// Association-list backed (deliberately un-indexed).
-    Linear(Vec<(String, usize)>),
+    Linear(Vec<(Arc<str>, usize)>),
 }
 
 impl ComponentIndex {
@@ -48,20 +54,36 @@ impl ComponentIndex {
     }
 
     /// Insert a key → position entry. First insertion wins (mirrors the
-    /// paper's first-model-wins policy for colliding keys).
-    pub fn insert(&mut self, key: String, position: usize) {
+    /// paper's first-model-wins policy for colliding keys). The key is
+    /// only allocated when it is actually absent; returns whether the
+    /// entry was inserted.
+    pub fn insert(&mut self, key: &str, position: usize) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.insert_unchecked(Arc::from(key), position);
+        true
+    }
+
+    /// [`ComponentIndex::insert`], but sharing an already-interned key —
+    /// the `Arc` is cloned (refcount bump) instead of copying the string.
+    pub fn insert_shared(&mut self, key: &Arc<str>, position: usize) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.insert_unchecked(Arc::clone(key), position);
+        true
+    }
+
+    fn insert_unchecked(&mut self, key: Arc<str>, position: usize) {
         match self {
             ComponentIndex::Hash(m) => {
-                m.entry(key).or_insert(position);
+                m.insert(key, position);
             }
             ComponentIndex::BTree(m) => {
-                m.entry(key).or_insert(position);
+                m.insert(key, position);
             }
-            ComponentIndex::Linear(v) => {
-                if !v.iter().any(|(k, _)| k == &key) {
-                    v.push((key, position));
-                }
-            }
+            ComponentIndex::Linear(v) => v.push((key, position)),
         }
     }
 
@@ -71,8 +93,17 @@ impl ComponentIndex {
             ComponentIndex::Hash(m) => m.get(key).copied(),
             ComponentIndex::BTree(m) => m.get(key).copied(),
             ComponentIndex::Linear(v) => {
-                v.iter().find(|(k, _)| k == key).map(|(_, pos)| *pos)
+                v.iter().find(|(k, _)| k.as_ref() == key).map(|(_, pos)| *pos)
             }
+        }
+    }
+
+    /// Is the key present?
+    pub fn contains(&self, key: &str) -> bool {
+        match self {
+            ComponentIndex::Hash(m) => m.contains_key(key),
+            ComponentIndex::BTree(m) => m.contains_key(key),
+            ComponentIndex::Linear(v) => v.iter().any(|(k, _)| k.as_ref() == key),
         }
     }
 
@@ -89,6 +120,15 @@ impl ComponentIndex {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Remove all entries, keeping the structure kind.
+    pub fn clear(&mut self) {
+        match self {
+            ComponentIndex::Hash(m) => m.clear(),
+            ComponentIndex::BTree(m) => m.clear(),
+            ComponentIndex::Linear(v) => v.clear(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,14 +140,34 @@ mod tests {
         for kind in [IndexKind::HashMap, IndexKind::BTree, IndexKind::LinearScan] {
             let mut idx = ComponentIndex::new(kind);
             assert!(idx.is_empty());
-            idx.insert("alpha".into(), 0);
-            idx.insert("beta".into(), 1);
-            idx.insert("alpha".into(), 99); // first wins
+            assert!(idx.insert("alpha", 0));
+            assert!(idx.insert("beta", 1));
+            assert!(!idx.insert("alpha", 99), "first wins");
             assert_eq!(idx.len(), 2, "{kind:?}");
             assert_eq!(idx.get("alpha"), Some(0), "{kind:?}");
             assert_eq!(idx.get("beta"), Some(1), "{kind:?}");
             assert_eq!(idx.get("gamma"), None, "{kind:?}");
+            assert!(idx.contains("beta"), "{kind:?}");
+            assert!(!idx.contains("gamma"), "{kind:?}");
+            idx.clear();
+            assert!(idx.is_empty(), "{kind:?}");
         }
+    }
+
+    #[test]
+    fn shared_keys_are_not_reallocated() {
+        let key: Arc<str> = Arc::from("shared");
+        let mut kept = Vec::new();
+        for kind in [IndexKind::HashMap, IndexKind::BTree, IndexKind::LinearScan] {
+            let mut idx = ComponentIndex::new(kind);
+            assert!(idx.insert_shared(&key, 3));
+            assert!(!idx.insert_shared(&key, 4), "first wins, no refcount bump");
+            assert_eq!(idx.get("shared"), Some(3), "{kind:?}");
+            kept.push(idx);
+        }
+        // One strong count per index holding it, plus the local binding —
+        // the duplicate insert_shared must not have bumped the count.
+        assert_eq!(Arc::strong_count(&key), kept.len() + 1);
     }
 
     #[test]

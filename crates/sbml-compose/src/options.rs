@@ -34,6 +34,12 @@ pub struct ComposeOptions {
     /// are stored to reduce comparison time"). The `ablation_cache` bench
     /// switches this off.
     pub cache_patterns: bool,
+    /// Keep the canonical content key of every merged component alive
+    /// across [`crate::session::CompositionSession`] pushes instead of
+    /// recomputing it per comparison (default: true). Turning this off
+    /// ablates the session's content-key cache while leaving its
+    /// persistent indexes in place; output is identical either way.
+    pub cache_content_keys: bool,
     /// Evaluate initial assignments before merging and use the values in
     /// conflict checks (default: true).
     pub collect_initial_values: bool,
@@ -46,6 +52,7 @@ impl Default for ComposeOptions {
             index: IndexKind::HashMap,
             synonyms: SynonymTable::with_builtins(),
             cache_patterns: true,
+            cache_content_keys: true,
             collect_initial_values: true,
         }
     }
@@ -91,6 +98,13 @@ impl ComposeOptions {
         self.cache_patterns = on;
         self
     }
+
+    /// Builder: toggle the session-level content-key cache.
+    #[must_use]
+    pub fn with_content_key_cache(mut self, on: bool) -> ComposeOptions {
+        self.cache_content_keys = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -110,8 +124,10 @@ mod tests {
     fn builders() {
         let o = ComposeOptions::default()
             .with_index(IndexKind::LinearScan)
-            .with_pattern_cache(false);
+            .with_pattern_cache(false)
+            .with_content_key_cache(false);
         assert_eq!(o.index, IndexKind::LinearScan);
         assert!(!o.cache_patterns);
+        assert!(!o.cache_content_keys);
     }
 }

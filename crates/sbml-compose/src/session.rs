@@ -1,0 +1,1561 @@
+//! The incremental composition engine.
+//!
+//! [`CompositionSession`] owns the accumulating merged [`Model`] together
+//! with *live* per-kind [`ComponentIndex`] structures and a cache of
+//! canonical content keys, so a chain composition
+//! (`push(m1); push(m2); …`) does the work the paper's pairwise algorithm
+//! would redo from scratch at every step exactly once:
+//!
+//! * **no accumulator clones** — `compose(a, b)` starts from `a.clone()`,
+//!   so a left fold over an *n*-model chain clones the ever-growing result
+//!   *n* times; a session keeps the accumulator in place and moves pushed
+//!   models' components instead,
+//! * **persistent indexes** — the by-id / by-name / by-content indexes of
+//!   every component kind are updated in place as components are inserted
+//!   rather than rebuilt from the whole accumulator on every push,
+//! * **cached content keys** — the canonical key of a merged component
+//!   (`name_key`, `math_key`-derived content keys, `unit_key`) is computed
+//!   once, interned as `Arc<str>` shared between the index and the cache,
+//!   and reused by every later push instead of being re-derived.
+//!
+//! The output is bit-for-bit identical to a left fold of pairwise
+//! [`Composer::compose`] calls — `tests/properties.rs` proves model, log
+//! and mappings equality over randomized chains. Within one push the
+//! session therefore mirrors a subtlety of the pairwise pass: a component
+//! inserted *during* a push is indexed under its incoming (second-model)
+//! key until the push ends, and under its canonical merged-side key
+//! afterwards, exactly as a per-pass index rebuild would do. Additions are
+//! staged in small per-push *delta* indexes and folded into the persistent
+//! indexes when the push completes.
+//!
+//! [`Composer::compose`]: crate::composer::Composer::compose
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use sbml_math::rewrite;
+use sbml_model::{Model, Parameter, Reaction, Species};
+use sbml_units::convert::{
+    conversion_factor, deterministic_to_stochastic, stochastic_to_deterministic, ReactionOrder,
+};
+use sbml_units::UnitDefinition;
+
+use crate::composer::ComposeResult;
+use crate::equality::MatchContext;
+use crate::index::ComponentIndex;
+use crate::initial_values::{collect, InitialValues};
+use crate::log::{EventKind, MergeLog};
+use crate::options::{ComposeOptions, SemanticsLevel};
+
+/// Persistent per-kind indexes over the merged model, kept live across
+/// pushes (paper Fig. 5 line 5, without the per-pass rebuild).
+#[derive(Debug, Clone)]
+struct Indexes {
+    functions_by_id: ComponentIndex,
+    functions_by_content: ComponentIndex,
+    units_by_id: ComponentIndex,
+    units_by_content: ComponentIndex,
+    compartment_types_by_id: ComponentIndex,
+    compartment_types_by_name: ComponentIndex,
+    species_types_by_id: ComponentIndex,
+    species_types_by_name: ComponentIndex,
+    compartments_by_id: ComponentIndex,
+    compartments_by_name: ComponentIndex,
+    species_by_id: ComponentIndex,
+    species_by_name: ComponentIndex,
+    parameters_by_id: ComponentIndex,
+    assignments_by_symbol: ComponentIndex,
+    rules_by_content: ComponentIndex,
+    rules_by_variable: ComponentIndex,
+    constraints_by_content: ComponentIndex,
+    reactions_by_id: ComponentIndex,
+    reactions_by_content: ComponentIndex,
+    events_by_id: ComponentIndex,
+    events_by_content: ComponentIndex,
+}
+
+impl Indexes {
+    fn new(options: &ComposeOptions) -> Indexes {
+        let mk = || ComponentIndex::new(options.index);
+        Indexes {
+            functions_by_id: mk(),
+            functions_by_content: mk(),
+            units_by_id: mk(),
+            units_by_content: mk(),
+            compartment_types_by_id: mk(),
+            compartment_types_by_name: mk(),
+            species_types_by_id: mk(),
+            species_types_by_name: mk(),
+            compartments_by_id: mk(),
+            compartments_by_name: mk(),
+            species_by_id: mk(),
+            species_by_name: mk(),
+            parameters_by_id: mk(),
+            assignments_by_symbol: mk(),
+            rules_by_content: mk(),
+            rules_by_variable: mk(),
+            constraints_by_content: mk(),
+            reactions_by_id: mk(),
+            reactions_by_content: mk(),
+            events_by_id: mk(),
+            events_by_content: mk(),
+        }
+    }
+}
+
+/// Per-push staging indexes for components added during the current push,
+/// keyed by their *incoming* (second-model) content/name key. Folded into
+/// [`Indexes`] under canonical merged-side keys at push end.
+#[derive(Debug, Clone)]
+struct DeltaIndexes {
+    functions_by_content: ComponentIndex,
+    compartment_types_by_name: ComponentIndex,
+    species_types_by_name: ComponentIndex,
+    compartments_by_name: ComponentIndex,
+    species_by_name: ComponentIndex,
+    rules_by_content: ComponentIndex,
+    constraints_by_content: ComponentIndex,
+    reactions_by_content: ComponentIndex,
+    events_by_content: ComponentIndex,
+}
+
+impl DeltaIndexes {
+    fn new(options: &ComposeOptions) -> DeltaIndexes {
+        let mk = || ComponentIndex::new(options.index);
+        DeltaIndexes {
+            functions_by_content: mk(),
+            compartment_types_by_name: mk(),
+            species_types_by_name: mk(),
+            compartments_by_name: mk(),
+            species_by_name: mk(),
+            rules_by_content: mk(),
+            constraints_by_content: mk(),
+            reactions_by_content: mk(),
+            events_by_content: mk(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.functions_by_content.clear();
+        self.compartment_types_by_name.clear();
+        self.species_types_by_name.clear();
+        self.compartments_by_name.clear();
+        self.species_by_name.clear();
+        self.rules_by_content.clear();
+        self.constraints_by_content.clear();
+        self.reactions_by_content.clear();
+        self.events_by_content.clear();
+    }
+}
+
+/// Canonical merged-side content keys per component position, interned as
+/// `Arc<str>` shared with the content indexes. Only the kinds whose merge
+/// pass compares keys on an id hit are cached; empty (and ignored) when
+/// [`ComposeOptions::cache_content_keys`] is off.
+#[derive(Debug, Clone, Default)]
+struct KeyCache {
+    functions: Vec<Arc<str>>,
+    units: Vec<Arc<str>>,
+    reactions: Vec<Arc<str>>,
+    events: Vec<Arc<str>>,
+}
+
+/// Component-list lengths at the start of a push; everything past these
+/// positions was added by the push currently being folded in.
+#[derive(Debug, Clone, Copy)]
+struct PushStart {
+    functions: usize,
+    units: usize,
+    compartment_types: usize,
+    species_types: usize,
+    compartments: usize,
+    species: usize,
+    parameters: usize,
+    rules: usize,
+    constraints: usize,
+    reactions: usize,
+    events: usize,
+}
+
+impl PushStart {
+    fn of(model: &Model) -> PushStart {
+        PushStart {
+            functions: model.function_definitions.len(),
+            units: model.unit_definitions.len(),
+            compartment_types: model.compartment_types.len(),
+            species_types: model.species_types.len(),
+            compartments: model.compartments.len(),
+            species: model.species.len(),
+            parameters: model.parameters.len(),
+            rules: model.rules.len(),
+            constraints: model.constraints.len(),
+            reactions: model.reactions.len(),
+            events: model.events.len(),
+        }
+    }
+}
+
+/// An in-progress chain composition; see the [module docs](self).
+///
+/// ```
+/// use sbml_compose::{ComposeOptions, Composer, CompositionSession};
+/// use sbml_model::builder::ModelBuilder;
+///
+/// let options = ComposeOptions::default();
+/// let mut session = CompositionSession::new(&options);
+/// for part in ["glycolysis", "tca"] {
+///     let m = ModelBuilder::new(part)
+///         .compartment("cell", 1.0)
+///         .species("pyruvate", 0.0)
+///         .build();
+///     session.push(&m);
+/// }
+/// let result = session.finish();
+/// assert_eq!(result.model.species.len(), 1); // pyruvate shared
+/// ```
+pub struct CompositionSession<'o> {
+    ctx: MatchContext<'o>,
+    merged: Model,
+    log: MergeLog,
+    mappings: HashMap<String, String>,
+    taken: BTreeSet<String>,
+    iv_a: InitialValues,
+    iv_b: InitialValues,
+    idx: Indexes,
+    delta: DeltaIndexes,
+    keys: KeyCache,
+    pushes: usize,
+}
+
+impl<'o> CompositionSession<'o> {
+    /// A session with an empty accumulator. The first non-empty pushed
+    /// model becomes the base (its id is retained, per Fig. 5 line 25).
+    pub fn new(options: &'o ComposeOptions) -> CompositionSession<'o> {
+        CompositionSession {
+            ctx: MatchContext::new(options),
+            merged: Model::new("empty"),
+            log: MergeLog::new(),
+            mappings: HashMap::new(),
+            taken: BTreeSet::new(),
+            iv_a: InitialValues::default(),
+            iv_b: InitialValues::default(),
+            idx: Indexes::new(options),
+            delta: DeltaIndexes::new(options),
+            keys: KeyCache::default(),
+            pushes: 0,
+        }
+    }
+
+    /// A session whose accumulator starts as `base`, moved in without a
+    /// clone.
+    pub fn with_base(options: &'o ComposeOptions, base: Model) -> CompositionSession<'o> {
+        let mut session = CompositionSession::new(options);
+        session.merged = base;
+        session.reindex();
+        session
+    }
+
+    /// The merged model so far.
+    pub fn model(&self) -> &Model {
+        &self.merged
+    }
+
+    /// The cumulative merge log across all pushes.
+    pub fn log(&self) -> &MergeLog {
+        &self.log
+    }
+
+    /// Cumulative ID mappings (pushed-model id → merged-model id), later
+    /// pushes overriding earlier ones, as a pairwise fold would.
+    pub fn mappings(&self) -> &HashMap<String, String> {
+        &self.mappings
+    }
+
+    /// Number of models pushed so far.
+    pub fn pushes(&self) -> usize {
+        self.pushes
+    }
+
+    /// Merge one model into the accumulator (borrowing; components that
+    /// end up in the result are cloned, the accumulator never is).
+    pub fn push(&mut self, b: &Model) {
+        self.pushes += 1;
+        // Fig. 5 lines 1–2: an empty side returns the other unchanged.
+        if self.merged.is_empty() {
+            self.merged = b.clone();
+            self.reindex();
+            return;
+        }
+        if b.is_empty() {
+            return;
+        }
+        self.merge_model(b);
+    }
+
+    /// Merge one model by value: as [`CompositionSession::push`], but a
+    /// model that becomes the base is moved, not cloned.
+    pub fn push_owned(&mut self, b: Model) {
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.merged = b;
+            self.reindex();
+            return;
+        }
+        if b.is_empty() {
+            return;
+        }
+        self.merge_model(&b);
+    }
+
+    /// Finish, returning the composed model, cumulative log and mappings.
+    pub fn finish(self) -> ComposeResult {
+        ComposeResult { model: self.merged, log: self.log, mappings: self.mappings }
+    }
+
+    fn options(&self) -> &'o ComposeOptions {
+        self.ctx.options
+    }
+
+    fn cache_keys(&self) -> bool {
+        self.options().cache_content_keys
+    }
+
+    // ---------------------------------------------------------------
+    // Index lifecycle
+    // ---------------------------------------------------------------
+
+    /// Rebuild every persistent index (and the key cache) from the
+    /// current merged model. Only needed when the accumulator is replaced
+    /// wholesale; pushes maintain the indexes incrementally.
+    fn reindex(&mut self) {
+        self.taken = self.merged.global_ids();
+        self.idx = Indexes::new(self.options());
+        self.delta = DeltaIndexes::new(self.options());
+        self.keys = KeyCache::default();
+        let cache = self.cache_keys();
+
+        for (i, f) in self.merged.function_definitions.iter().enumerate() {
+            self.idx.functions_by_id.insert(&f.id, i);
+            let key = self.ctx.function_key(f, false);
+            let key: Arc<str> = Arc::from(key.as_str());
+            self.idx.functions_by_content.insert_shared(&key, i);
+            if cache {
+                self.keys.functions.push(key);
+            }
+        }
+        for (i, u) in self.merged.unit_definitions.iter().enumerate() {
+            self.idx.units_by_id.insert(&u.id, i);
+            let key: Arc<str> = Arc::from(self.ctx.unit_key(u).as_str());
+            self.idx.units_by_content.insert_shared(&key, i);
+            if cache {
+                self.keys.units.push(key);
+            }
+        }
+        for (i, t) in self.merged.compartment_types.iter().enumerate() {
+            self.idx.compartment_types_by_id.insert(&t.id, i);
+            self.idx
+                .compartment_types_by_name
+                .insert(&self.ctx.name_key(&t.id, t.name.as_deref()), i);
+        }
+        for (i, t) in self.merged.species_types.iter().enumerate() {
+            self.idx.species_types_by_id.insert(&t.id, i);
+            self.idx.species_types_by_name.insert(&self.ctx.name_key(&t.id, t.name.as_deref()), i);
+        }
+        for (i, c) in self.merged.compartments.iter().enumerate() {
+            self.idx.compartments_by_id.insert(&c.id, i);
+            self.idx.compartments_by_name.insert(&self.ctx.name_key(&c.id, c.name.as_deref()), i);
+        }
+        for (i, s) in self.merged.species.iter().enumerate() {
+            self.idx.species_by_id.insert(&s.id, i);
+            self.idx.species_by_name.insert(&self.ctx.name_key(&s.id, s.name.as_deref()), i);
+        }
+        for (i, p) in self.merged.parameters.iter().enumerate() {
+            self.idx.parameters_by_id.insert(&p.id, i);
+        }
+        for (i, ia) in self.merged.initial_assignments.iter().enumerate() {
+            self.idx.assignments_by_symbol.insert(&ia.symbol, i);
+        }
+        for (i, r) in self.merged.rules.iter().enumerate() {
+            self.idx.rules_by_content.insert(&self.ctx.rule_key(r, false), i);
+            if let Some(v) = r.variable() {
+                self.idx.rules_by_variable.insert(v, i);
+            }
+        }
+        for (i, c) in self.merged.constraints.iter().enumerate() {
+            self.idx.constraints_by_content.insert(&self.ctx.constraint_key(&c.math, false), i);
+        }
+        let rxn_content = self.options().cache_patterns;
+        for (i, r) in self.merged.reactions.iter().enumerate() {
+            self.idx.reactions_by_id.insert(&r.id, i);
+            if rxn_content {
+                let key: Arc<str> = Arc::from(self.ctx.reaction_key(r, false).as_str());
+                self.idx.reactions_by_content.insert_shared(&key, i);
+                if cache {
+                    self.keys.reactions.push(key);
+                }
+            }
+        }
+        for (i, ev) in self.merged.events.iter().enumerate() {
+            if let Some(id) = &ev.id {
+                self.idx.events_by_id.insert(id, i);
+            }
+            let key: Arc<str> = Arc::from(self.ctx.event_key(ev, false).as_str());
+            self.idx.events_by_content.insert_shared(&key, i);
+            if cache {
+                self.keys.events.push(key);
+            }
+        }
+    }
+
+    /// Run the Fig. 4 pipeline for one (non-empty) incoming model.
+    fn merge_model(&mut self, b: &Model) {
+        // Per-push state: fresh mappings and initial values, clean deltas
+        // (exactly what a pairwise `compose` would start from).
+        self.ctx.mappings.clear();
+        self.delta.clear();
+        if self.options().collect_initial_values {
+            self.iv_a = collect(&self.merged);
+            self.iv_b = collect(b);
+        } else {
+            self.iv_a = InitialValues::default();
+            self.iv_b = InitialValues::default();
+        }
+        let start = PushStart::of(&self.merged);
+
+        // Fig. 4 pipeline order.
+        self.merge_function_definitions(b);
+        self.merge_unit_definitions(b);
+        self.merge_compartment_types(b);
+        self.merge_species_types(b);
+        self.merge_compartments(b);
+        self.merge_species(b);
+        self.merge_parameters(b);
+        self.merge_initial_assignments(b);
+        self.merge_rules(b);
+        self.merge_constraints(b);
+        self.merge_reactions(b);
+        self.merge_events(b);
+
+        self.finish_push(start);
+    }
+
+    /// Fold this push's additions into the persistent indexes under their
+    /// canonical merged-side keys (the keys a from-scratch index rebuild
+    /// would compute), extend the key cache, and roll the push's mappings
+    /// into the cumulative map.
+    fn finish_push(&mut self, start: PushStart) {
+        let cache = self.cache_keys();
+
+        for pos in start.functions..self.merged.function_definitions.len() {
+            let key = self.ctx.function_key(&self.merged.function_definitions[pos], false);
+            let key: Arc<str> = Arc::from(key.as_str());
+            self.idx.functions_by_content.insert_shared(&key, pos);
+            if cache {
+                self.keys.functions.push(key);
+            }
+        }
+        // Units need no fix-up: their content key is invariant under
+        // renaming, so both indexes were final at insertion time.
+        let _ = start.units;
+        for pos in start.compartment_types..self.merged.compartment_types.len() {
+            let t = &self.merged.compartment_types[pos];
+            self.idx
+                .compartment_types_by_name
+                .insert(&self.ctx.name_key(&t.id, t.name.as_deref()), pos);
+        }
+        for pos in start.species_types..self.merged.species_types.len() {
+            let t = &self.merged.species_types[pos];
+            self.idx.species_types_by_name.insert(&self.ctx.name_key(&t.id, t.name.as_deref()), pos);
+        }
+        for pos in start.compartments..self.merged.compartments.len() {
+            let c = &self.merged.compartments[pos];
+            self.idx.compartments_by_name.insert(&self.ctx.name_key(&c.id, c.name.as_deref()), pos);
+        }
+        for pos in start.species..self.merged.species.len() {
+            let s = &self.merged.species[pos];
+            self.idx.species_by_name.insert(&self.ctx.name_key(&s.id, s.name.as_deref()), pos);
+        }
+        // Conflict-renamed parameters are (deliberately) not visible to
+        // by-id lookups within their own push; surface them now.
+        for pos in start.parameters..self.merged.parameters.len() {
+            self.idx.parameters_by_id.insert(&self.merged.parameters[pos].id, pos);
+        }
+        for pos in start.rules..self.merged.rules.len() {
+            let key = self.ctx.rule_key(&self.merged.rules[pos], false);
+            self.idx.rules_by_content.insert(&key, pos);
+        }
+        for pos in start.constraints..self.merged.constraints.len() {
+            let key = self.ctx.constraint_key(&self.merged.constraints[pos].math, false);
+            self.idx.constraints_by_content.insert(&key, pos);
+        }
+        if self.options().cache_patterns {
+            for pos in start.reactions..self.merged.reactions.len() {
+                let key = self.ctx.reaction_key(&self.merged.reactions[pos], false);
+                let key: Arc<str> = Arc::from(key.as_str());
+                self.idx.reactions_by_content.insert_shared(&key, pos);
+                if cache {
+                    self.keys.reactions.push(key);
+                }
+            }
+        }
+        for pos in start.events..self.merged.events.len() {
+            let key = self.ctx.event_key(&self.merged.events[pos], false);
+            let key: Arc<str> = Arc::from(key.as_str());
+            self.idx.events_by_content.insert_shared(&key, pos);
+            if cache {
+                self.keys.events.push(key);
+            }
+        }
+        self.delta.clear();
+        self.mappings.extend(self.ctx.mappings.drain());
+    }
+
+    // ---------------------------------------------------------------
+    // Cached merged-side content keys
+    // ---------------------------------------------------------------
+    // Components added by the current push sit past the cache's end and
+    // are recomputed on demand, mirroring the pairwise pass which only
+    // pre-computes keys for components present when the pass started.
+
+    fn function_key_matches(&self, pos: usize, key: &str) -> bool {
+        if let Some(cached) = self.keys.functions.get(pos) {
+            cached.as_ref() == key
+        } else {
+            self.ctx.function_key(&self.merged.function_definitions[pos], false) == key
+        }
+    }
+
+    fn unit_key_matches(&self, pos: usize, key: &str) -> bool {
+        if let Some(cached) = self.keys.units.get(pos) {
+            cached.as_ref() == key
+        } else {
+            self.ctx.unit_key(&self.merged.unit_definitions[pos]) == key
+        }
+    }
+
+    fn reaction_key_matches(&self, pos: usize, key: &str) -> bool {
+        if self.options().cache_patterns {
+            if let Some(cached) = self.keys.reactions.get(pos) {
+                return cached.as_ref() == key;
+            }
+        }
+        self.ctx.reaction_key(&self.merged.reactions[pos], false) == key
+    }
+
+    fn event_key_matches(&self, pos: usize, key: &str) -> bool {
+        if let Some(cached) = self.keys.events.get(pos) {
+            cached.as_ref() == key
+        } else {
+            self.ctx.event_key(&self.merged.events[pos], false) == key
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Shared merge helpers (paper Fig. 5)
+    // ---------------------------------------------------------------
+
+    /// Fresh id based on `base`, registering it as taken.
+    fn fresh_id(&mut self, base: &str) -> String {
+        if !self.taken.contains(base) {
+            self.taken.insert(base.to_owned());
+            return base.to_owned();
+        }
+        for n in 1.. {
+            let candidate = format!("{base}_{n}");
+            if !self.taken.contains(&candidate) {
+                self.taken.insert(candidate.clone());
+                return candidate;
+            }
+        }
+        unreachable!("id space exhausted")
+    }
+
+    /// Register an id as taken when inserting a B component verbatim, or
+    /// rename it if an unrelated component holds it. Returns the final id
+    /// and logs the rename.
+    fn claim_id(&mut self, kind: &'static str, id: &str) -> String {
+        if self.taken.contains(id) {
+            let fresh = self.fresh_id(id);
+            self.ctx.add_mapping(id, fresh.clone());
+            self.log.push(
+                EventKind::Renamed,
+                kind,
+                id,
+                fresh.clone(),
+                "id already taken by an unrelated component",
+            );
+            fresh
+        } else {
+            self.taken.insert(id.to_owned());
+            id.to_owned()
+        }
+    }
+
+    fn map_string(&self, s: &str) -> String {
+        self.ctx.map_id(s).to_owned()
+    }
+
+    fn map_opt(&self, s: &Option<String>) -> Option<String> {
+        s.as_ref().map(|v| self.map_string(v))
+    }
+
+    fn map_math(&self, math: &sbml_math::MathExpr) -> sbml_math::MathExpr {
+        rewrite::rename(math, &self.ctx.mappings)
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 1: function definitions
+    // ---------------------------------------------------------------
+    fn merge_function_definitions(&mut self, b: &Model) {
+        for f in &b.function_definitions {
+            let content_key = self.ctx.function_key(f, true);
+            if let Some(pos) = self.idx.functions_by_id.get(&f.id) {
+                if self.function_key_matches(pos, &content_key) {
+                    self.log.push(
+                        EventKind::Duplicate,
+                        "functionDefinition",
+                        &f.id,
+                        &f.id,
+                        "identical definition",
+                    );
+                } else {
+                    self.log.push(
+                        EventKind::Conflict,
+                        "functionDefinition",
+                        &f.id,
+                        &f.id,
+                        "same id, different body; first model wins",
+                    );
+                }
+                continue;
+            }
+            let content_pos = self
+                .idx
+                .functions_by_content
+                .get(&content_key)
+                .or_else(|| self.delta.functions_by_content.get(&content_key));
+            if let Some(pos) = content_pos {
+                let target = self.merged.function_definitions[pos].id.clone();
+                self.ctx.add_mapping(&f.id, &target);
+                self.log.push(
+                    EventKind::Mapped,
+                    "functionDefinition",
+                    &f.id,
+                    target,
+                    "equivalent body (α-renaming/commutativity)",
+                );
+                continue;
+            }
+            let final_id = self.claim_id("functionDefinition", &f.id);
+            let mut nf = f.clone();
+            nf.id = final_id.clone();
+            nf.body = self.map_math(&f.body);
+            let pos = self.merged.function_definitions.len();
+            self.idx.functions_by_id.insert(&final_id, pos);
+            self.delta.functions_by_content.insert(&content_key, pos);
+            self.merged.function_definitions.push(nf);
+            self.log.push(EventKind::Added, "functionDefinition", &f.id, final_id, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 2: unit definitions
+    // ---------------------------------------------------------------
+    fn merge_unit_definitions(&mut self, b: &Model) {
+        for u in &b.unit_definitions {
+            let content_key = self.ctx.unit_key(u);
+            if let Some(pos) = self.idx.units_by_id.get(&u.id) {
+                if self.unit_key_matches(pos, &content_key) {
+                    self.log.push(
+                        EventKind::Duplicate,
+                        "unitDefinition",
+                        &u.id,
+                        &u.id,
+                        "same units",
+                    );
+                } else {
+                    let ours = &self.merged.unit_definitions[pos];
+                    self.log.push(
+                        EventKind::Conflict,
+                        "unitDefinition",
+                        &u.id,
+                        &u.id,
+                        format!(
+                            "same id, different units ({} vs {}); first model wins",
+                            ours.signature(),
+                            u.signature()
+                        ),
+                    );
+                }
+                continue;
+            }
+            if let Some(pos) = self.idx.units_by_content.get(&content_key) {
+                let target = self.merged.unit_definitions[pos].id.clone();
+                self.ctx.add_mapping(&u.id, &target);
+                self.log.push(
+                    EventKind::Mapped,
+                    "unitDefinition",
+                    &u.id,
+                    target,
+                    "equivalent unit signature",
+                );
+                continue;
+            }
+            let final_id = self.claim_id("unitDefinition", &u.id);
+            let mut nu = u.clone();
+            nu.id = final_id.clone();
+            let pos = self.merged.unit_definitions.len();
+            self.idx.units_by_id.insert(&final_id, pos);
+            // A unit's content key is invariant under renaming and
+            // mappings, so it can enter the persistent index immediately.
+            let key: Arc<str> = Arc::from(content_key.as_str());
+            self.idx.units_by_content.insert_shared(&key, pos);
+            if self.cache_keys() {
+                self.keys.units.push(key);
+            }
+            self.merged.unit_definitions.push(nu);
+            self.log.push(EventKind::Added, "unitDefinition", &u.id, final_id, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 lines 3–4: compartment types, species types
+    // ---------------------------------------------------------------
+    fn merge_compartment_types(&mut self, b: &Model) {
+        for t in &b.compartment_types {
+            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
+            if self.idx.compartment_types_by_id.get(&t.id).is_some() {
+                self.log.push(EventKind::Duplicate, "compartmentType", &t.id, &t.id, "same id");
+                continue;
+            }
+            let name_pos = self
+                .idx
+                .compartment_types_by_name
+                .get(&name_key)
+                .or_else(|| self.delta.compartment_types_by_name.get(&name_key));
+            if let Some(pos) = name_pos {
+                let target = self.merged.compartment_types[pos].id.clone();
+                self.ctx.add_mapping(&t.id, &target);
+                self.log.push(EventKind::Mapped, "compartmentType", &t.id, target, "synonymous name");
+                continue;
+            }
+            let final_id = self.claim_id("compartmentType", &t.id);
+            let mut nt = t.clone();
+            nt.id = final_id.clone();
+            let pos = self.merged.compartment_types.len();
+            self.idx.compartment_types_by_id.insert(&final_id, pos);
+            self.delta.compartment_types_by_name.insert(&name_key, pos);
+            self.merged.compartment_types.push(nt);
+            self.log.push(EventKind::Added, "compartmentType", &t.id, final_id, "new");
+        }
+    }
+
+    fn merge_species_types(&mut self, b: &Model) {
+        for t in &b.species_types {
+            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
+            if self.idx.species_types_by_id.get(&t.id).is_some() {
+                self.log.push(EventKind::Duplicate, "speciesType", &t.id, &t.id, "same id");
+                continue;
+            }
+            let name_pos = self
+                .idx
+                .species_types_by_name
+                .get(&name_key)
+                .or_else(|| self.delta.species_types_by_name.get(&name_key));
+            if let Some(pos) = name_pos {
+                let target = self.merged.species_types[pos].id.clone();
+                self.ctx.add_mapping(&t.id, &target);
+                self.log.push(EventKind::Mapped, "speciesType", &t.id, target, "synonymous name");
+                continue;
+            }
+            let final_id = self.claim_id("speciesType", &t.id);
+            let mut nt = t.clone();
+            nt.id = final_id.clone();
+            let pos = self.merged.species_types.len();
+            self.idx.species_types_by_id.insert(&final_id, pos);
+            self.delta.species_types_by_name.insert(&name_key, pos);
+            self.merged.species_types.push(nt);
+            self.log.push(EventKind::Added, "speciesType", &t.id, final_id, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 5: compartments
+    // ---------------------------------------------------------------
+    fn merge_compartments(&mut self, b: &Model) {
+        for c in &b.compartments {
+            let name_key = self.ctx.name_key(&c.id, c.name.as_deref());
+            let matched = self.idx.compartments_by_id.get(&c.id).map(|pos| (pos, true)).or_else(|| {
+                self.idx
+                    .compartments_by_name
+                    .get(&name_key)
+                    .or_else(|| self.delta.compartments_by_name.get(&name_key))
+                    .map(|pos| (pos, false))
+            });
+            if let Some((pos, by_identifier)) = matched {
+                let ours = &self.merged.compartments[pos];
+                let target = ours.id.clone();
+                let sizes_agree = self.compartment_sizes_agree(ours, c, b);
+                if !by_identifier {
+                    self.ctx.add_mapping(&c.id, &target);
+                }
+                if sizes_agree && self.merged.compartments[pos].spatial_dimensions == c.spatial_dimensions {
+                    self.log.push(
+                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
+                        "compartment",
+                        &c.id,
+                        target,
+                        "same compartment",
+                    );
+                } else {
+                    self.log.push(
+                        EventKind::Conflict,
+                        "compartment",
+                        &c.id,
+                        target,
+                        format!(
+                            "attributes differ (size {:?} vs {:?}); first model wins",
+                            self.merged.compartments[pos].size, c.size
+                        ),
+                    );
+                }
+                continue;
+            }
+            let final_id = self.claim_id("compartment", &c.id);
+            let mut nc = c.clone();
+            nc.id = final_id.clone();
+            nc.compartment_type = self.map_opt(&c.compartment_type);
+            nc.units = self.map_opt(&c.units);
+            nc.outside = self.map_opt(&c.outside);
+            let pos = self.merged.compartments.len();
+            self.idx.compartments_by_id.insert(&final_id, pos);
+            self.delta.compartments_by_name.insert(&name_key, pos);
+            self.merged.compartments.push(nc);
+            self.log.push(EventKind::Added, "compartment", &c.id, final_id, "new");
+        }
+    }
+
+    fn compartment_sizes_agree(
+        &self,
+        ours: &sbml_model::Compartment,
+        theirs: &sbml_model::Compartment,
+        b: &Model,
+    ) -> bool {
+        let va = ours.size.or_else(|| self.iv_a.get(&ours.id));
+        let vb = theirs.size.or_else(|| self.iv_b.get(&theirs.id));
+        if self.ctx.values_agree(va, vb) {
+            return true;
+        }
+        if self.options().semantics != SemanticsLevel::Heavy {
+            return false;
+        }
+        // Try unit conversion (e.g. litres vs millilitres).
+        let (Some(va), Some(vb)) = (va, vb) else { return false };
+        let (Some(ua), Some(ub)) = (
+            resolve_units(&self.merged, ours.units.as_deref()),
+            resolve_units(b, theirs.units.as_deref()),
+        ) else {
+            return false;
+        };
+        match conversion_factor(&ub, &ua) {
+            Some(factor) => self.ctx.values_agree(Some(va), Some(vb * factor)),
+            None => false,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 6: species
+    // ---------------------------------------------------------------
+    fn merge_species(&mut self, b: &Model) {
+        for s in &b.species {
+            let name_key = self.ctx.name_key(&s.id, s.name.as_deref());
+            let matched = self.idx.species_by_id.get(&s.id).map(|pos| (pos, true)).or_else(|| {
+                self.idx
+                    .species_by_name
+                    .get(&name_key)
+                    .or_else(|| self.delta.species_by_name.get(&name_key))
+                    .map(|pos| (pos, false))
+            });
+            if let Some((pos, by_identifier)) = matched {
+                let ours = &self.merged.species[pos];
+                let target = ours.id.clone();
+                let compartments_match = ours.compartment == self.map_string(&s.compartment);
+                let values_ok = self.species_values_agree(ours, s, b);
+                if !by_identifier {
+                    self.ctx.add_mapping(&s.id, &target);
+                }
+                if compartments_match && values_ok {
+                    self.log.push(
+                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
+                        "species",
+                        &s.id,
+                        target,
+                        "same species",
+                    );
+                } else {
+                    let reason = if !compartments_match {
+                        "compartments differ"
+                    } else {
+                        "initial values differ"
+                    };
+                    self.log.push(
+                        EventKind::Conflict,
+                        "species",
+                        &s.id,
+                        target,
+                        format!("{reason}; first model wins"),
+                    );
+                }
+                continue;
+            }
+            let final_id = self.claim_id("species", &s.id);
+            let mut ns = s.clone();
+            ns.id = final_id.clone();
+            ns.compartment = self.map_string(&s.compartment);
+            ns.species_type = self.map_opt(&s.species_type);
+            ns.substance_units = self.map_opt(&s.substance_units);
+            let pos = self.merged.species.len();
+            self.idx.species_by_id.insert(&final_id, pos);
+            self.delta.species_by_name.insert(&name_key, pos);
+            self.merged.species.push(ns);
+            self.log.push(EventKind::Added, "species", &s.id, final_id, "new");
+        }
+    }
+
+    /// Initial-value agreement with Fig. 6 unit awareness:
+    /// direct comparison → substance-unit conversion → amount vs
+    /// concentration reconciliation through the compartment volume.
+    fn species_values_agree(&self, ours: &Species, theirs: &Species, b: &Model) -> bool {
+        let va = ours.initial_value().or_else(|| self.iv_a.get(&ours.id));
+        let vb = theirs.initial_value().or_else(|| self.iv_b.get(&theirs.id));
+        if self.ctx.values_agree(va, vb) {
+            return true;
+        }
+        if self.options().semantics != SemanticsLevel::Heavy {
+            return false;
+        }
+        let (Some(va), Some(vb)) = (va, vb) else { return false };
+
+        // Substance-unit conversion (e.g. mole vs millimole).
+        if let (Some(ua), Some(ub)) = (
+            resolve_units(&self.merged, ours.substance_units.as_deref()),
+            resolve_units(b, theirs.substance_units.as_deref()),
+        ) {
+            if let Some(factor) = conversion_factor(&ub, &ua) {
+                if self.ctx.values_agree(Some(va), Some(vb * factor)) {
+                    return true;
+                }
+            }
+        }
+
+        // Amount vs concentration: amount = concentration × volume.
+        let vol_a = self
+            .merged
+            .compartment_by_id(&ours.compartment)
+            .and_then(|c| c.size)
+            .or_else(|| self.iv_a.get(&ours.compartment));
+        let vol_b = b
+            .compartment_by_id(&theirs.compartment)
+            .and_then(|c| c.size)
+            .or_else(|| self.iv_b.get(&theirs.compartment));
+        if let (Some(amount), Some(conc), Some(vol)) =
+            (ours.initial_amount, theirs.initial_concentration, vol_b)
+        {
+            if self.ctx.values_agree(Some(amount), Some(conc * vol)) {
+                return true;
+            }
+        }
+        match (ours.initial_concentration, theirs.initial_amount, vol_a) {
+            (Some(conc), Some(amount), Some(vol))
+                if vol != 0.0 && self.ctx.values_agree(Some(conc), Some(amount / vol)) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        false
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 7: parameters (always kept; renamed on clash — §3)
+    // ---------------------------------------------------------------
+    fn merge_parameters(&mut self, b: &Model) {
+        for p in &b.parameters {
+            if let Some(pos) = self.idx.parameters_by_id.get(&p.id) {
+                let ours = self.merged.parameters[pos].clone();
+                let ours_value = ours.value;
+                if self.parameter_values_agree(&ours, p, b) {
+                    self.log.push(
+                        EventKind::Duplicate,
+                        "parameter",
+                        &p.id,
+                        &p.id,
+                        "same id and value",
+                    );
+                } else {
+                    // Keep both: rename the incoming one (paper §3). The
+                    // renamed parameter stays out of the by-id index until
+                    // the push ends, as in the per-pass rebuild.
+                    let fresh = self.fresh_id(&p.id);
+                    self.ctx.add_mapping(&p.id, &fresh);
+                    let mut np = p.clone();
+                    np.id = fresh.clone();
+                    np.units = self.map_opt(&p.units);
+                    self.merged.parameters.push(np);
+                    self.log.push(
+                        EventKind::Conflict,
+                        "parameter",
+                        &p.id,
+                        fresh.clone(),
+                        format!(
+                            "values differ ({:?} vs {:?}); both kept, incoming renamed",
+                            ours_value, p.value
+                        ),
+                    );
+                    self.log.push(
+                        EventKind::Renamed,
+                        "parameter",
+                        &p.id,
+                        fresh,
+                        "renamed to avoid conflict",
+                    );
+                }
+                continue;
+            }
+            // Different id: always include (no content matching for
+            // parameters — the paper: "there is no way of confirming
+            // whether they are intended to be equal or not").
+            let final_id = self.claim_id("parameter", &p.id);
+            let mut np = p.clone();
+            np.id = final_id.clone();
+            np.units = self.map_opt(&p.units);
+            let pos = self.merged.parameters.len();
+            self.idx.parameters_by_id.insert(&final_id, pos);
+            self.merged.parameters.push(np);
+            self.log.push(EventKind::Added, "parameter", &p.id, final_id, "new");
+        }
+    }
+
+    fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, b: &Model) -> bool {
+        let va = ours.value.or_else(|| self.iv_a.get(&ours.id));
+        let vb = theirs.value.or_else(|| self.iv_b.get(&theirs.id));
+        if self.ctx.values_agree(va, vb) {
+            return true;
+        }
+        if self.options().semantics != SemanticsLevel::Heavy {
+            return false;
+        }
+        let (Some(va), Some(vb)) = (va, vb) else { return false };
+        if let (Some(ua), Some(ub)) = (
+            resolve_units(&self.merged, ours.units.as_deref()),
+            resolve_units(b, theirs.units.as_deref()),
+        ) {
+            if let Some(factor) = conversion_factor(&ub, &ua) {
+                return self.ctx.values_agree(Some(va), Some(vb * factor));
+            }
+        }
+        false
+    }
+
+    // ---------------------------------------------------------------
+    // Initial assignments (collected before merge; conflict-checked here)
+    // ---------------------------------------------------------------
+    fn merge_initial_assignments(&mut self, b: &Model) {
+        for ia in &b.initial_assignments {
+            let symbol = self.map_string(&ia.symbol);
+            if let Some(pos) = self.idx.assignments_by_symbol.get(&symbol) {
+                let ours = &self.merged.initial_assignments[pos];
+                let math_equal =
+                    self.ctx.math_key(&ours.math, false) == self.ctx.math_key(&ia.math, true);
+                // The paper's improvement over semanticSBML: evaluate the
+                // maths and compare values when structure differs.
+                let values_equal = self.options().collect_initial_values
+                    && self
+                        .ctx
+                        .values_agree(self.iv_a.get(&ours.symbol), self.iv_b.get(&ia.symbol));
+                if math_equal || values_equal {
+                    self.log.push(
+                        EventKind::Duplicate,
+                        "initialAssignment",
+                        &ia.symbol,
+                        symbol,
+                        if math_equal { "same maths" } else { "same evaluated value" },
+                    );
+                } else {
+                    self.log.push(
+                        EventKind::Conflict,
+                        "initialAssignment",
+                        &ia.symbol,
+                        symbol,
+                        "different initial maths for one symbol; first model wins",
+                    );
+                }
+                continue;
+            }
+            let mut nia = ia.clone();
+            nia.symbol = symbol.clone();
+            nia.math = self.map_math(&ia.math);
+            self.idx.assignments_by_symbol.insert(&symbol, self.merged.initial_assignments.len());
+            self.merged.initial_assignments.push(nia);
+            self.log.push(EventKind::Added, "initialAssignment", &ia.symbol, symbol, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 8: rules
+    // ---------------------------------------------------------------
+    fn merge_rules(&mut self, b: &Model) {
+        for r in &b.rules {
+            let content_key = self.ctx.rule_key(r, true);
+            let label = r.variable().unwrap_or("<algebraic>").to_owned();
+            if self
+                .idx
+                .rules_by_content
+                .get(&content_key)
+                .or_else(|| self.delta.rules_by_content.get(&content_key))
+                .is_some()
+            {
+                self.log.push(EventKind::Duplicate, "rule", &label, &label, "identical rule");
+                continue;
+            }
+            if let Some(v) = r.variable() {
+                let mapped_v = self.map_string(v);
+                if self.idx.rules_by_variable.get(&mapped_v).is_some() {
+                    self.log.push(
+                        EventKind::Conflict,
+                        "rule",
+                        &label,
+                        mapped_v,
+                        "variable already ruled with different maths; first model wins",
+                    );
+                    continue;
+                }
+            }
+            let mut nr = r.clone();
+            match &mut nr {
+                sbml_model::Rule::Algebraic { math } => *math = self.map_math(math),
+                sbml_model::Rule::Assignment { variable, math }
+                | sbml_model::Rule::Rate { variable, math } => {
+                    *variable = self.map_string(variable);
+                    *math = self.map_math(math);
+                }
+            }
+            let pos = self.merged.rules.len();
+            self.delta.rules_by_content.insert(&content_key, pos);
+            if let Some(v) = nr.variable() {
+                self.idx.rules_by_variable.insert(v, pos);
+            }
+            self.merged.rules.push(nr);
+            self.log.push(EventKind::Added, "rule", &label, &label, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 9: constraints
+    // ---------------------------------------------------------------
+    fn merge_constraints(&mut self, b: &Model) {
+        for (idx, c) in b.constraints.iter().enumerate() {
+            let key = self.ctx.constraint_key(&c.math, true);
+            let label = format!("#{idx}");
+            if self
+                .idx
+                .constraints_by_content
+                .get(&key)
+                .or_else(|| self.delta.constraints_by_content.get(&key))
+                .is_some()
+            {
+                self.log.push(EventKind::Duplicate, "constraint", &label, &label, "identical");
+                continue;
+            }
+            let mut nc = c.clone();
+            nc.math = self.map_math(&c.math);
+            self.delta.constraints_by_content.insert(&key, self.merged.constraints.len());
+            self.merged.constraints.push(nc);
+            self.log.push(EventKind::Added, "constraint", &label, &label, "new");
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 10: reactions (the most involved kind)
+    // ---------------------------------------------------------------
+    fn merge_reactions(&mut self, b: &Model) {
+        // Pattern cache ablation: when disabled, keys are recomputed per
+        // lookup through a linear rescan instead of being stored.
+        let cache = self.options().cache_patterns;
+        for r in &b.reactions {
+            let content_key = self.ctx.reaction_key(r, true);
+            if let Some(pos) = self.idx.reactions_by_id.get(&r.id) {
+                if self.reaction_key_matches(pos, &content_key) {
+                    self.reconcile_reaction_locals(pos, r, b);
+                } else {
+                    self.log.push(
+                        EventKind::Conflict,
+                        "reaction",
+                        &r.id,
+                        &r.id,
+                        "same id, different reaction; first model wins",
+                    );
+                }
+                continue;
+            }
+            let content_pos = if cache {
+                self.idx
+                    .reactions_by_content
+                    .get(&content_key)
+                    .or_else(|| self.delta.reactions_by_content.get(&content_key))
+            } else {
+                // no cache: rescan and recompute every time
+                self.merged
+                    .reactions
+                    .iter()
+                    .position(|ours| self.ctx.reaction_key(ours, false) == content_key)
+            };
+            if let Some(pos) = content_pos {
+                let target = self.merged.reactions[pos].id.clone();
+                self.ctx.add_mapping(&r.id, &target);
+                self.log.push(
+                    EventKind::Mapped,
+                    "reaction",
+                    &r.id,
+                    target,
+                    "same participants and kinetics",
+                );
+                self.reconcile_reaction_locals(pos, r, b);
+                continue;
+            }
+            let final_id = self.claim_id("reaction", &r.id);
+            let mut nr = r.clone();
+            nr.id = final_id.clone();
+            for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
+                sr.species = self.map_string(&sr.species);
+            }
+            if let Some(kl) = &mut nr.kinetic_law {
+                let locals: BTreeSet<&str> = kl.parameters.iter().map(|p| p.id.as_str()).collect();
+                let mut scoped = self.ctx.mappings.clone();
+                scoped.retain(|k, _| !locals.contains(k.as_str()));
+                kl.math = rewrite::rename(&kl.math, &scoped);
+            }
+            let pos = self.merged.reactions.len();
+            self.idx.reactions_by_id.insert(&final_id, pos);
+            if cache {
+                self.delta.reactions_by_content.insert(&content_key, pos);
+            }
+            self.merged.reactions.push(nr);
+            self.log.push(EventKind::Added, "reaction", &r.id, final_id, "new");
+        }
+    }
+
+    /// Matched reactions may still disagree on local rate-constant values;
+    /// the paper resolves "conflicts in rate constants and stoichiometry
+    /// within reactions" via Fig. 6 conversions before declaring a conflict.
+    fn reconcile_reaction_locals(&mut self, merged_pos: usize, theirs: &Reaction, b: &Model) {
+        let volume = self.reaction_volume(theirs, b).unwrap_or(1.0);
+        let order = ReactionOrder::from_reactant_count(theirs.reactant_molecule_count());
+        let ours_law = self.merged.reactions[merged_pos].kinetic_law.clone();
+        let (Some(ours_kl), Some(theirs_kl)) = (ours_law, &theirs.kinetic_law) else {
+            self.log.push(
+                EventKind::Duplicate,
+                "reaction",
+                &theirs.id,
+                self.merged.reactions[merged_pos].id.clone(),
+                "same reaction",
+            );
+            return;
+        };
+        let mut all_ok = true;
+        for tp in &theirs_kl.parameters {
+            let Some(op) = ours_kl.parameters.iter().find(|p| p.id == tp.id) else {
+                continue;
+            };
+            if self.ctx.values_agree(op.value, tp.value) {
+                continue;
+            }
+            // Try plain unit conversion between the declared units.
+            let mut reconciled = false;
+            if self.options().semantics == SemanticsLevel::Heavy {
+                if let (Some(ua), Some(ub), Some(va), Some(vb)) = (
+                    resolve_units(&self.merged, op.units.as_deref()),
+                    resolve_units(b, tp.units.as_deref()),
+                    op.value,
+                    tp.value,
+                ) {
+                    if let Some(factor) = conversion_factor(&ub, &ua) {
+                        reconciled = self.ctx.values_agree(Some(va), Some(vb * factor));
+                    }
+                }
+                // Fig. 6 deterministic ↔ stochastic rate constant bridge.
+                if !reconciled {
+                    if let (Some(order), Some(va), Some(vb)) = (order, op.value, tp.value) {
+                        let as_stoch = deterministic_to_stochastic(vb, order, volume);
+                        let as_det = stochastic_to_deterministic(vb, order, volume);
+                        reconciled = self.ctx.values_agree(Some(va), Some(as_stoch))
+                            || self.ctx.values_agree(Some(va), Some(as_det));
+                    }
+                }
+            }
+            let final_id = self.merged.reactions[merged_pos].id.clone();
+            if reconciled {
+                self.log.push(
+                    EventKind::Warning,
+                    "reaction",
+                    &theirs.id,
+                    final_id,
+                    format!(
+                        "rate constant '{}' agrees after unit conversion (paper Fig. 6)",
+                        tp.id
+                    ),
+                );
+            } else {
+                all_ok = false;
+                self.log.push(
+                    EventKind::Conflict,
+                    "reaction",
+                    &theirs.id,
+                    final_id,
+                    format!(
+                        "local parameter '{}' differs ({:?} vs {:?}); first model wins",
+                        tp.id, op.value, tp.value
+                    ),
+                );
+            }
+        }
+        if all_ok {
+            self.log.push(
+                EventKind::Duplicate,
+                "reaction",
+                &theirs.id,
+                self.merged.reactions[merged_pos].id.clone(),
+                "same reaction",
+            );
+        }
+    }
+
+    /// The volume relevant to a reaction of the second model: the size of
+    /// the compartment of its first reactant (or product).
+    fn reaction_volume(&self, r: &Reaction, b: &Model) -> Option<f64> {
+        let species_id = r
+            .reactants
+            .first()
+            .or_else(|| r.products.first())
+            .map(|sr| sr.species.as_str())?;
+        let species = b.species_by_id(species_id)?;
+        b.compartment_by_id(&species.compartment)
+            .and_then(|c| c.size)
+            .or_else(|| self.iv_b.get(&species.compartment))
+    }
+
+    // ---------------------------------------------------------------
+    // Fig. 4 line 11: events
+    // ---------------------------------------------------------------
+    fn merge_events(&mut self, b: &Model) {
+        for (idx, ev) in b.events.iter().enumerate() {
+            let label = ev.id.clone().unwrap_or_else(|| format!("#{idx}"));
+            let content_key = self.ctx.event_key(ev, true);
+            if let Some(id) = &ev.id {
+                if let Some(pos) = self.idx.events_by_id.get(id) {
+                    if self.event_key_matches(pos, &content_key) {
+                        self.log.push(EventKind::Duplicate, "event", &label, id, "identical");
+                    } else {
+                        self.log.push(
+                            EventKind::Conflict,
+                            "event",
+                            &label,
+                            id,
+                            "same id, different event; first model wins",
+                        );
+                    }
+                    continue;
+                }
+            }
+            let content_pos = self
+                .idx
+                .events_by_content
+                .get(&content_key)
+                .or_else(|| self.delta.events_by_content.get(&content_key));
+            if let Some(pos) = content_pos {
+                let target =
+                    self.merged.events[pos].id.clone().unwrap_or_else(|| format!("@{pos}"));
+                if let Some(id) = &ev.id {
+                    if target != format!("@{pos}") {
+                        self.ctx.add_mapping(id, &target);
+                    }
+                }
+                self.log.push(EventKind::Mapped, "event", &label, target, "identical behaviour");
+                continue;
+            }
+            let mut nev = ev.clone();
+            if let Some(id) = &ev.id {
+                nev.id = Some(self.claim_id("event", id));
+            }
+            nev.trigger = self.map_math(&ev.trigger);
+            nev.delay = ev.delay.as_ref().map(|d| self.map_math(d));
+            for a in &mut nev.assignments {
+                a.variable = self.map_string(&a.variable);
+                a.math = self.map_math(&a.math);
+            }
+            let pos = self.merged.events.len();
+            if let Some(id) = &nev.id {
+                self.idx.events_by_id.insert(id, pos);
+            }
+            self.delta.events_by_content.insert(&content_key, pos);
+            let final_label = nev.id.clone().unwrap_or_else(|| label.clone());
+            self.merged.events.push(nev);
+            self.log.push(EventKind::Added, "event", &label, final_label, "new");
+        }
+    }
+}
+
+/// Resolve a units reference against a model's unit definitions, falling
+/// back to SBML builtins.
+fn resolve_units(model: &Model, units: Option<&str>) -> Option<UnitDefinition> {
+    let id = units?;
+    model
+        .unit_definitions
+        .iter()
+        .find(|u| u.id == id)
+        .cloned()
+        .or_else(|| sbml_units::definition::builtin(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composer::{compose_many, Composer};
+    use sbml_model::builder::ModelBuilder;
+
+    fn chain_model(i: usize) -> Model {
+        ModelBuilder::new(format!("m{i}"))
+            .compartment("cell", 1.0)
+            .species(&format!("S{i}"), i as f64)
+            .species(&format!("S{}", i + 1), 0.0)
+            .parameter(&format!("k{i}"), 0.1 * (i + 1) as f64)
+            .reaction(
+                &format!("r{i}"),
+                &[format!("S{i}").as_str()],
+                &[format!("S{}", i + 1).as_str()],
+                &format!("k{i}*S{i}"),
+            )
+            .build()
+    }
+
+    #[test]
+    fn session_equals_pairwise_fold_on_chain() {
+        let options = ComposeOptions::default();
+        let composer = Composer::new(options.clone());
+        let models: Vec<Model> = (0..6).map(chain_model).collect();
+
+        let folded = compose_many(&composer, &models);
+
+        let mut session = CompositionSession::new(&options);
+        for m in &models {
+            session.push(m);
+        }
+        let chained = session.finish();
+
+        assert_eq!(chained.model, folded.model);
+        assert_eq!(chained.log.events, folded.log.events);
+        assert_eq!(chained.mappings, folded.mappings);
+    }
+
+    #[test]
+    fn empty_pushes_follow_pairwise_edges() {
+        let options = ComposeOptions::default();
+        let composer = Composer::new(options.clone());
+        let full = chain_model(3);
+        let empty_a = Model::new("left_empty");
+        let empty_b = Model::new("right_empty");
+
+        // compose(empty, empty) keeps the second model — so must a session.
+        let models = [empty_a.clone(), empty_b.clone()];
+        let folded = compose_many(&composer, &models);
+        let mut session = CompositionSession::new(&options);
+        session.push(&empty_a);
+        session.push(&empty_b);
+        assert_eq!(session.finish().model, folded.model);
+
+        // empty then full: the full model becomes the base.
+        let mut session = CompositionSession::new(&options);
+        session.push(&empty_a);
+        session.push(&full);
+        assert_eq!(session.finish().model, full);
+
+        // full then empty: unchanged, no log events.
+        let mut session = CompositionSession::new(&options);
+        session.push(&full);
+        session.push(&empty_b);
+        let result = session.finish();
+        assert_eq!(result.model, full);
+        assert!(result.log.events.is_empty());
+    }
+
+    #[test]
+    fn push_owned_moves_the_base() {
+        let options = ComposeOptions::default();
+        let a = chain_model(0);
+        let expected = a.clone();
+        let mut session = CompositionSession::new(&options);
+        session.push_owned(a);
+        session.push_owned(chain_model(1));
+        assert_eq!(session.pushes(), 2);
+        let result = session.finish();
+        assert_eq!(result.model.id, expected.id);
+        assert_eq!(result.model.species.len(), 3); // S0, S1, S2 — S1 shared
+    }
+
+    #[test]
+    fn with_base_equals_compose() {
+        let options = ComposeOptions::default();
+        let composer = Composer::new(options.clone());
+        let a = chain_model(0);
+        let b = chain_model(1);
+        let pairwise = composer.compose(&a, &b);
+
+        let mut session = CompositionSession::with_base(&options, a.clone());
+        session.push(&b);
+        let chained = session.finish();
+        assert_eq!(chained.model, pairwise.model);
+        assert_eq!(chained.log.events, pairwise.log.events);
+        assert_eq!(chained.mappings, pairwise.mappings);
+    }
+
+    #[test]
+    fn self_merge_chain_is_idempotent() {
+        let options = ComposeOptions::default();
+        let m = chain_model(2);
+        let mut session = CompositionSession::new(&options);
+        for _ in 0..5 {
+            session.push(&m);
+        }
+        let result = session.finish();
+        assert_eq!(result.model.species.len(), m.species.len());
+        assert_eq!(result.model.reactions.len(), m.reactions.len());
+        assert_eq!(result.model.parameters.len(), m.parameters.len());
+        assert_eq!(result.log.conflict_count(), 0);
+    }
+
+    #[test]
+    fn ablations_do_not_change_output() {
+        let heavy = ComposeOptions::default();
+        let no_key_cache = ComposeOptions::default().with_content_key_cache(false);
+        let no_pattern_cache = ComposeOptions::default().with_pattern_cache(false);
+        let btree = ComposeOptions::default().with_index(crate::IndexKind::BTree);
+        let linear = ComposeOptions::default().with_index(crate::IndexKind::LinearScan);
+        let models: Vec<Model> = (0..5).map(chain_model).collect();
+
+        let run = |options: &ComposeOptions| {
+            let mut session = CompositionSession::new(options);
+            for m in &models {
+                session.push(m);
+            }
+            session.finish()
+        };
+
+        let baseline = run(&heavy);
+        for options in [&no_key_cache, &no_pattern_cache, &btree, &linear] {
+            let other = run(options);
+            assert_eq!(other.model, baseline.model);
+            assert_eq!(other.log.events, baseline.log.events);
+            assert_eq!(other.mappings, baseline.mappings);
+        }
+    }
+}

@@ -182,3 +182,212 @@ mod decompose_props {
         }
     }
 }
+
+mod session_props {
+    use super::*;
+
+    use sbml_compose::{
+        compose_many, compose_many_owned, compose_many_pairwise, ComposeResult,
+        CompositionSession,
+    };
+
+    /// The seed implementation of chain composition (left fold of pairwise
+    /// `compose`, re-exported by the crate as the single reference
+    /// baseline). `CompositionSession` must be indistinguishable from it.
+    fn fold_pairwise(models: &[Model]) -> ComposeResult {
+        compose_many_pairwise(&composer(), models)
+    }
+
+    /// A model exercising *every* component kind the Fig. 4 pipeline
+    /// merges — function definitions, unit definitions, compartment and
+    /// species types, initial assignments, rules, constraints and events
+    /// on top of `model_strategy`'s species/parameters/reactions — drawn
+    /// from small overlapping pools so chained models collide in all the
+    /// interesting ways (duplicates, content hits, id-clash renames).
+    fn rich_model_strategy() -> impl Strategy<Value = Model> {
+        (
+            model_strategy(),
+            proptest::collection::vec((0usize..3, 0usize..2), 0..3), // functions
+            proptest::collection::vec(0usize..3, 0..2),              // unit definitions
+            proptest::collection::vec(0usize..3, 0..2),              // compartment types
+            proptest::collection::vec(0usize..4, 0..2),              // species types
+            proptest::collection::vec((0usize..6, 1u32..20), 0..2),  // initial assignments
+            proptest::collection::vec((0usize..6, 0usize..2), 0..3), // rules
+            proptest::collection::vec(0usize..6, 0..2),              // constraints
+            proptest::collection::vec((0usize..3, 0usize..6), 0..2), // events
+        )
+            .prop_map(|(mut m, fns, units, ctypes, stypes, ias, rules, cons, events)| {
+                use sbml_math::infix;
+                use sbml_model::{Event, EventAssignment, FunctionDefinition, Rule};
+                use sbml_units::{Unit, UnitKind};
+
+                for (idx, variant) in fns {
+                    let body = if variant == 0 { "x*2" } else { "x+1" };
+                    m.function_definitions.push(FunctionDefinition::new(
+                        format!("fn{idx}"),
+                        vec!["x".into()],
+                        infix::parse(body).unwrap(),
+                    ));
+                }
+                for idx in units {
+                    let unit = match idx {
+                        0 => Unit::of(UnitKind::Litre),
+                        1 => Unit::of(UnitKind::Mole),
+                        _ => Unit::of(UnitKind::Second).pow(-1),
+                    };
+                    m.unit_definitions
+                        .push(sbml_units::UnitDefinition::new(format!("u{idx}"), vec![unit]));
+                }
+                for idx in ctypes {
+                    // `ct1` deliberately collides with nothing, `ct0` with a
+                    // species-type id below — exercising cross-kind renames.
+                    m.compartment_types.push(sbml_model::CompartmentType {
+                        id: format!("ct{idx}"),
+                        name: (idx == 0).then(|| "membrane".to_owned()),
+                    });
+                }
+                for idx in stypes {
+                    m.species_types.push(sbml_model::SpeciesType {
+                        id: if idx == 3 { "ct0".to_owned() } else { format!("st{idx}") },
+                        name: (idx == 1).then(|| "protein".to_owned()),
+                    });
+                }
+                for (idx, value) in ias {
+                    m.initial_assignments.push(sbml_model::InitialAssignment {
+                        symbol: format!("S{}", idx % 8),
+                        math: infix::parse(&format!("{value} / 2")).unwrap(),
+                    });
+                }
+                for (idx, kind) in rules {
+                    let math = infix::parse(&format!("S{} * 3", (idx + 1) % 8)).unwrap();
+                    m.rules.push(if kind == 0 {
+                        Rule::Rate { variable: format!("S{}", idx % 8), math }
+                    } else {
+                        Rule::Algebraic { math }
+                    });
+                }
+                for idx in cons {
+                    m.constraints.push(sbml_model::rule::Constraint {
+                        math: infix::parse(&format!("S{idx} >= 0")).unwrap(),
+                        message: None,
+                    });
+                }
+                for (salt, target) in events {
+                    let mut ev = Event::new(infix::parse(&format!("time >= {salt}")).unwrap());
+                    // Anonymous every other time, to exercise both the
+                    // by-id and by-content event paths.
+                    if salt % 2 == 0 {
+                        ev.id = Some(format!("ev{salt}"));
+                    }
+                    ev.assignments.push(EventAssignment {
+                        variable: format!("S{}", target % 8),
+                        math: infix::parse("0").unwrap(),
+                    });
+                    m.events.push(ev);
+                }
+                m
+            })
+    }
+
+    fn run_session(models: &[Model]) -> ComposeResult {
+        let options = ComposeOptions::default();
+        let mut session = CompositionSession::new(&options);
+        for m in models {
+            session.push(m);
+        }
+        session.finish()
+    }
+
+    /// Model, merge-log event sequence (hence multiset) and mappings must
+    /// all be identical between the two engines.
+    fn assert_equivalent(models: &[Model]) -> Result<(), TestCaseError> {
+        let folded = fold_pairwise(models);
+        let chained = run_session(models);
+        prop_assert_eq!(&chained.model, &folded.model);
+        prop_assert_eq!(&chained.log.events, &folded.log.events);
+        prop_assert_eq!(&chained.mappings, &folded.mappings);
+
+        // compose_many / compose_many_owned ride the same session path.
+        let many = compose_many(&composer(), models);
+        prop_assert_eq!(&many.model, &folded.model);
+        let owned = compose_many_owned(&composer(), models.to_vec());
+        prop_assert_eq!(&owned.model, &folded.model);
+        prop_assert_eq!(&owned.log.events, &folded.log.events);
+        prop_assert_eq!(&owned.mappings, &folded.mappings);
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn session_equals_pairwise_fold(
+            models in proptest::collection::vec(model_strategy(), 0..6)
+        ) {
+            assert_equivalent(&models)?;
+        }
+
+        #[test]
+        fn session_equals_fold_on_self_merge_chains(
+            m in model_strategy(),
+            repeats in 1usize..6
+        ) {
+            let chain: Vec<Model> = std::iter::repeat_with(|| m.clone()).take(repeats).collect();
+            assert_equivalent(&chain)?;
+        }
+
+        #[test]
+        fn session_equals_fold_with_empty_models(
+            models in proptest::collection::vec(model_strategy(), 1..5),
+            empty_at in 0usize..5
+        ) {
+            // Splice an empty model somewhere in the chain (including the
+            // front, where it must surrender the base slot).
+            let mut chain = models;
+            let at = empty_at % (chain.len() + 1);
+            chain.insert(at, Model::new("hole"));
+            assert_equivalent(&chain)?;
+        }
+
+        #[test]
+        fn session_equals_fold_under_every_semantics(
+            models in proptest::collection::vec(rich_model_strategy(), 0..4)
+        ) {
+            for options in [
+                ComposeOptions::heavy(),
+                ComposeOptions::light(),
+                ComposeOptions::none(),
+                ComposeOptions::default().with_pattern_cache(false),
+                ComposeOptions::default().with_content_key_cache(false),
+            ] {
+                let cmp = Composer::new(options.clone());
+                let folded = compose_many_pairwise(&cmp, &models);
+                let mut session = CompositionSession::new(&options);
+                for m in &models {
+                    session.push(m);
+                }
+                let chained = session.finish();
+                prop_assert_eq!(&chained.model, &folded.model);
+                prop_assert_eq!(&chained.log.events, &folded.log.events);
+                prop_assert_eq!(&chained.mappings, &folded.mappings);
+            }
+        }
+
+        #[test]
+        fn session_equals_fold_on_all_component_kinds(
+            models in proptest::collection::vec(rich_model_strategy(), 0..5)
+        ) {
+            // Chains over models carrying every Fig. 4 component kind —
+            // the delta-index and key-cache machinery for functions,
+            // units, types, assignments, rules, constraints and events
+            // must match the pairwise fold exactly.
+            assert_equivalent(&models)?;
+        }
+
+        #[test]
+        fn session_equals_fold_on_rich_self_merge(m in rich_model_strategy(), repeats in 1usize..5) {
+            let chain: Vec<Model> = std::iter::repeat_with(|| m.clone()).take(repeats).collect();
+            assert_equivalent(&chain)?;
+        }
+    }
+}

@@ -4,11 +4,13 @@
 //! or databases of standard parts" and supports modellers "building new
 //! models ... incrementally". This example keeps a small library of
 //! reusable pathway fragments (import, a three-step conversion chain,
-//! product export) and folds them into one model with `compose_many`.
+//! product export) and folds them into one model with
+//! `compose_many_owned` — the incremental-session entry point that moves
+//! the parts into the accumulator instead of cloning it at every step.
 //!
 //! Run with: `cargo run --example pathway_library`
 
-use sbmlcompose::compose::{compose_many, ComposeOptions, Composer};
+use sbmlcompose::compose::{compose_many_owned, ComposeOptions, Composer};
 use sbmlcompose::model::builder::ModelBuilder;
 use sbmlcompose::model::{validate, Model, Severity};
 
@@ -74,7 +76,7 @@ fn main() {
     }
 
     let composer = Composer::new(ComposeOptions::default());
-    let assembled = compose_many(&composer, &library);
+    let assembled = compose_many_owned(&composer, library);
 
     println!(
         "\nassembled model: {} species, {} reactions, {} parameters, {} function definitions",

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! vendored crate provides the small slice of `rand` the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! methods `gen`, `gen_bool` and `gen_range` over integer and float
+//! ranges. The generator is SplitMix64 — statistically fine for synthetic
+//! corpora and simulation sampling, deterministic across runs and
+//! platforms, and **not** the ChaCha12 generator of the real `StdRng`
+//! (streams differ from upstream; everything in-tree only relies on
+//! in-tree determinism).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (the `rand` trait, reduced to what we call).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from the whole value space (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Sample from `raw` 64 random bits.
+    fn from_raw(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_raw(raw: u64) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_raw(raw: u64) -> f32 {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_raw(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_raw(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_raw(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges `gen_range` accepts for a sample type `T`.
+pub trait SampleRange<T> {
+    /// Sample uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Object-safe core: a source of 64 random bits.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = f64::from_raw(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range: empty range");
+                let unit = f64::from_raw(rng.next_u64()) as $t;
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// The user-facing sampling methods (the `rand::Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its full space (`[0,1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_raw(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_raw(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// ChaCha12-backed `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5i32..7);
+            assert!((-5..7).contains(&i));
+            let j = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&j));
+            let f = rng.gen_range(0.25f64..4.0);
+            assert!((0.25..4.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
