@@ -25,6 +25,18 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "FAIL: chain-scaling speedup regressed below 2x" >&2
         exit 1
     }
+
+    echo "== fig8 all-pairs benchmark (writes BENCH_fig8.json) =="
+    cargo run --release -p compose-bench --bin all_pairs
+
+    # Perf gate: prepared-and-shared model analysis must keep the
+    # 187-model all-pairs workload >= 2x faster than per-pair recompute.
+    speedup=$(grep -o '"speedup_prepared_reuse": [0-9.]*' BENCH_fig8.json | grep -o '[0-9.]*$')
+    echo "all-pairs prepared-reuse speedup: ${speedup}x (gate: >= 2.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+        echo "FAIL: fig8 all-pairs prepared-reuse speedup regressed below 2x" >&2
+        exit 1
+    }
 fi
 
 echo "CI OK"

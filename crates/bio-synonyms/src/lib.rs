@@ -93,6 +93,18 @@ impl SynonymTable {
         self.groups.len()
     }
 
+    /// Order-sensitive hash of the registered groups, for cheap identity
+    /// checks (e.g. detecting that cached analysis was computed under a
+    /// different table). Tables built by the same registration sequence
+    /// hash equal; semantically equal tables built in different orders
+    /// may hash differently — callers treat a mismatch conservatively.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.groups.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Total registered names.
     pub fn name_count(&self) -> usize {
         self.index.len()

@@ -66,6 +66,14 @@ pub fn corpus_187() -> Vec<Model> {
     (0..CORPUS_SIZE).map(generate_model).collect()
 }
 
+/// A contiguous slice `range` of the Figure 8 ramp, generated without
+/// materialising the rest of the corpus — what batch smoke runs and
+/// examples want (`corpus_slice(0..CORPUS_SIZE)` equals [`corpus_187`]).
+pub fn corpus_slice(range: std::ops::Range<usize>) -> Vec<Model> {
+    assert!(range.end <= CORPUS_SIZE, "corpus has {CORPUS_SIZE} models");
+    range.map(generate_model).collect()
+}
+
 /// The 17 small annotated models of the Figure 9 comparison
 /// (4–7 nodes, 0–3 edges, all species named from the common vocabulary).
 pub fn corpus_17() -> Vec<Model> {
@@ -450,6 +458,31 @@ mod tests {
             a.species.iter().map(|s| s.id.clone()).collect();
         let shared = b.species.iter().filter(|s| ids_a.contains(&s.id)).count();
         assert!(shared > 0, "adjacent models must overlap");
+    }
+
+    #[test]
+    fn corpus_slice_matches_full_corpus() {
+        let slice = corpus_slice(40..44);
+        let full = corpus_187();
+        assert_eq!(slice.as_slice(), &full[40..44]);
+    }
+
+    #[test]
+    fn batch_all_pairs_on_corpus_equals_raw_pairs() {
+        // The Fig. 8 workload in miniature: prepared batch composition
+        // over a corpus slice must match raw pairwise composition.
+        let models = corpus_slice(38..43);
+        let composer = sbml_compose::Composer::default();
+        let batch = sbml_compose::BatchComposer::new(composer.clone()).with_threads(2);
+        let prepared = batch.prepare_corpus(&models);
+        let results = batch.all_pairs_with(&prepared, |i, j, result| (i, j, result));
+        assert_eq!(results.len(), 5 * 4 / 2);
+        for (i, j, result) in &results {
+            let raw = composer.compose(&models[*i], &models[*j]);
+            assert_eq!(result.model, raw.model, "pair ({i},{j})");
+            assert_eq!(result.log.events, raw.log.events, "pair ({i},{j})");
+            assert_eq!(result.mappings, raw.mappings, "pair ({i},{j})");
+        }
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Figure 8 at batch scale: the all-pairs composition of the 187-model
+//! corpus, run the way the seed API forces it (every pair re-derives both
+//! models' analysis from scratch) versus the prepared-model API (each
+//! model analysed once, the preparation shared — `Arc` — across all of
+//! its 186 pairs, optionally fanned out over worker threads).
+//!
+//! The two serial engines are timed **interleaved by corpus row** (row
+//! `i` = pairs `(i, i+1..n)`): each row is measured for the baseline and
+//! then for the prepared engine, so slow machine-speed drift over the
+//! minutes-long run hits both engines equally instead of whichever ran
+//! second.
+//!
+//! Writes `BENCH_fig8.json` at the workspace root; `ci.sh` gates on the
+//! recorded prepared-reuse speedup. Run with:
+//! `cargo run --release -p compose-bench --bin all_pairs [--quick]`
+//! (`--quick` restricts the corpus to the first 60 models for a smoke
+//! run — the JSON is only written for the full corpus).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use sbml_compose::{BatchComposer, ComposeOptions, Composer};
+use sbml_model::Model;
+
+/// Workspace root (grandparent of this crate's manifest dir).
+fn workspace_root() -> PathBuf {
+    option_env!("CARGO_MANIFEST_DIR")
+        .map(Path::new)
+        .and_then(|p| p.parent())
+        .and_then(|p| p.parent())
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let corpus: Vec<Model> =
+        if quick { biomodels_corpus::corpus_slice(0..60) } else { biomodels_corpus::corpus_187() };
+    let n = corpus.len();
+    let pair_count = n * (n - 1) / 2;
+    let composer = Composer::new(ComposeOptions::default());
+    println!("all-pairs composition — {n} models, {pair_count} unordered pairs");
+
+    // Prepared once, shared across every pair (and charged to the
+    // prepared engine's wall time below).
+    let serial = BatchComposer::new(composer.clone()).with_threads(1);
+    let prepare_started = Instant::now();
+    let prepared = serial.prepare_corpus(&corpus);
+    let prepare_seconds = prepare_started.elapsed().as_secs_f64();
+
+    // Row-interleaved serial comparison: baseline (per-pair recompute,
+    // the seed behaviour) vs prepared reuse over identical pair rows.
+    let mut baseline_seconds = 0.0;
+    let mut prepared_seconds = prepare_seconds;
+    let mut baseline_components = 0usize;
+    let mut prepared_components = 0usize;
+    for i in 0..n {
+        let t0 = Instant::now();
+        for j in i + 1..n {
+            let result = composer.compose(&corpus[i], &corpus[j]);
+            baseline_components += result.model.component_count();
+        }
+        baseline_seconds += t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for j in i + 1..n {
+            let result = composer.compose_prepared(&prepared[i], &prepared[j]);
+            prepared_components += result.model.component_count();
+        }
+        prepared_seconds += t0.elapsed().as_secs_f64();
+    }
+    println!("  per-pair recompute (seed) : {baseline_seconds:>9.3}s");
+    println!(
+        "  prepared, shared, serial  : {prepared_seconds:>9.3}s  (of which prepare: {prepare_seconds:.3}s)"
+    );
+
+    // The same workload through BatchComposer's thread-per-shard fan-out
+    // (auto thread count); on a single-core host this tracks the serial
+    // number, on multi-core hosts it divides by the worker count.
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let fanned = BatchComposer::new(composer.clone());
+    let started = Instant::now();
+    let prepared_threaded = fanned.prepare_corpus(&corpus);
+    let summaries = fanned.all_pairs(&prepared_threaded);
+    let threaded_seconds = started.elapsed().as_secs_f64();
+    println!("  BatchComposer, {threads} worker(s): {threaded_seconds:>9.3}s");
+
+    // The engines must agree: identical per-pair component totals between
+    // baseline, serial prepared and the batch fan-out.
+    assert_eq!(
+        baseline_components, prepared_components,
+        "prepared all-pairs diverged from the per-pair recompute baseline"
+    );
+    let batch_components: usize = summaries.iter().map(|s| s.components).sum();
+    assert_eq!(baseline_components, batch_components, "batch fan-out diverged");
+
+    let reuse_speedup = baseline_seconds / prepared_seconds.max(1e-12);
+    let threaded_speedup = baseline_seconds / threaded_seconds.max(1e-12);
+    println!(
+        "  speedup: {reuse_speedup:.2}x from prepared reuse, {threaded_speedup:.2}x with fan-out"
+    );
+
+    if quick {
+        println!("(--quick run: BENCH_fig8.json not written)");
+        return;
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"fig8_all_pairs\",\n");
+    json.push_str("  \"corpus\": \"biomodels_corpus::corpus_187 (deterministic synthetic)\",\n");
+    json.push_str(&format!("  \"models\": {n},\n"));
+    json.push_str(&format!("  \"pairs\": {pair_count},\n"));
+    json.push_str("  \"engines\": {\n");
+    json.push_str("    \"baseline\": \"Composer::compose per pair: both models' keys, indexes and initial values re-derived for every pair (seed behaviour)\",\n");
+    json.push_str("    \"prepared\": \"Composer::compose_prepared over Arc<PreparedModel>: each model analysed once, preparation shared across all of its pairs (timed row-interleaved with the baseline)\",\n");
+    json.push_str("    \"batch\": \"BatchComposer::all_pairs: same prepared engine behind the thread-per-shard fan-out\"\n");
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"baseline_seconds\": {baseline_seconds:.6},\n"));
+    json.push_str(&format!("  \"prepare_seconds\": {prepare_seconds:.6},\n"));
+    json.push_str(&format!("  \"prepared_seconds\": {prepared_seconds:.6},\n"));
+    json.push_str(&format!("  \"batch_threaded_seconds\": {threaded_seconds:.6},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"speedup_threaded\": {threaded_speedup:.2},\n"));
+    json.push_str(&format!("  \"speedup_prepared_reuse\": {reuse_speedup:.2}\n"));
+    json.push_str("}\n");
+
+    let path = workspace_root().join("BENCH_fig8.json");
+    let mut out = fs::File::create(&path).expect("create BENCH_fig8.json");
+    out.write_all(json.as_bytes()).expect("write BENCH_fig8.json");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,267 @@
+//! Corpus-scale batch composition: the paper's Figure 8 workload
+//! (compose every model of a corpus with every other) as a first-class
+//! API instead of a caller-side double loop.
+//!
+//! The raw path re-derives each model's analysis (content keys, indexes,
+//! initial values) inside every pair, so an *n*-model corpus pays for each
+//! model's analysis *n−1* times. [`BatchComposer`] prepares every model
+//! exactly once ([`BatchComposer::prepare_corpus`]), publishes the
+//! preparations as a shared read-only key store
+//! (`Vec<Arc<PreparedModel>>`), and fans the 187×186/2 pair grid out over
+//! worker threads — preparations are immutable, so workers share them
+//! without locks or copies.
+//!
+//! Output is bit-for-bit identical to calling [`Composer::compose`] on
+//! each raw pair (property-tested), in deterministic ascending
+//! `(i, j), i < j` order regardless of thread count.
+
+use std::sync::Arc;
+
+use sbml_model::Model;
+
+use crate::composer::{ComposeResult, Composer};
+use crate::prepared::PreparedModel;
+
+/// Batch driver over a [`Composer`]; see the [module docs](self).
+///
+/// ```
+/// use sbml_compose::{BatchComposer, Composer};
+/// use sbml_model::builder::ModelBuilder;
+///
+/// let models: Vec<_> = (0..4)
+///     .map(|i| {
+///         ModelBuilder::new(format!("m{i}"))
+///             .compartment("cell", 1.0)
+///             .species(&format!("S{i}"), 1.0)
+///             .species("shared", 2.0)
+///             .build()
+///     })
+///     .collect();
+/// let batch = BatchComposer::new(Composer::default());
+/// let prepared = batch.prepare_corpus(&models);
+/// let pairs = batch.all_pairs(&prepared);
+/// assert_eq!(pairs.len(), 4 * 3 / 2);
+/// assert!(pairs.iter().all(|p| p.species == 3)); // S_i, S_j, shared
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchComposer {
+    composer: Composer,
+    threads: usize,
+}
+
+/// Compact per-pair outcome of [`BatchComposer::all_pairs`] — the corpus
+/// grid is large (17 391 pairs for the paper's 187 models), so the default
+/// entry point keeps counts, not merged models; use
+/// [`BatchComposer::all_pairs_with`] to observe full [`ComposeResult`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSummary {
+    /// Index of the pair's first (base) model in the prepared corpus.
+    pub a: usize,
+    /// Index of the pair's second model.
+    pub b: usize,
+    /// Species count of the composed model.
+    pub species: usize,
+    /// Reaction count of the composed model.
+    pub reactions: usize,
+    /// Total component count of the composed model.
+    pub components: usize,
+    /// Conflicts logged while composing.
+    pub conflicts: usize,
+    /// ID mappings recorded (second-model id → composed id).
+    pub mappings: usize,
+}
+
+impl BatchComposer {
+    /// Batch driver using `composer`'s options, with automatic thread
+    /// count (one worker per available core).
+    pub fn new(composer: Composer) -> BatchComposer {
+        BatchComposer { composer, threads: 0 }
+    }
+
+    /// Fix the worker-thread count (`0` = automatic). Thread count never
+    /// affects output, only wall time.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> BatchComposer {
+        self.threads = threads;
+        self
+    }
+
+    /// The underlying composer.
+    pub fn composer(&self) -> &Composer {
+        &self.composer
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        };
+        let n = if self.threads == 0 { auto() } else { self.threads };
+        n.clamp(1, jobs.max(1))
+    }
+
+    /// Prepare every corpus model exactly once, sharding the independent
+    /// preparations across worker threads. The result is the shared
+    /// read-only key store every later batch call borrows from.
+    pub fn prepare_corpus(&self, models: &[Model]) -> Vec<Arc<PreparedModel>> {
+        let workers = self.worker_count(models.len());
+        if workers <= 1 {
+            return models.iter().map(|m| Arc::new(self.composer.prepare(m))).collect();
+        }
+        let mut slots: Vec<Option<Arc<PreparedModel>>> = Vec::new();
+        slots.resize_with(models.len(), || None);
+        std::thread::scope(|scope| {
+            let composer = &self.composer;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < models.len() {
+                            out.push((i, Arc::new(composer.prepare(&models[i]))));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, p) in handle.join().expect("prepare worker panicked") {
+                    slots[i] = Some(p);
+                }
+            }
+        });
+        slots.into_iter().map(|slot| slot.expect("every model prepared")).collect()
+    }
+
+    /// Compose every unordered pair `(i, j), i < j` of the prepared
+    /// corpus, mapping each [`ComposeResult`] through `map` as it is
+    /// produced (so the full merged models never accumulate). Pairs are
+    /// striped across worker threads; results come back in ascending pair
+    /// order independent of scheduling.
+    pub fn all_pairs_with<T, F>(&self, prepared: &[Arc<PreparedModel>], map: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize, ComposeResult) -> T + Sync,
+    {
+        let n = prepared.len();
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+        let workers = self.worker_count(pairs.len());
+        let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let composer = &self.composer;
+            let (pairs, prepared, map) = (&pairs, prepared, &map);
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut k = w;
+                        while k < pairs.len() {
+                            let (i, j) = pairs[k];
+                            let result = composer.compose_prepared(&prepared[i], &prepared[j]);
+                            out.push((k, map(i, j, result)));
+                            k += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("pair worker panicked"))
+                .collect()
+        });
+        results.sort_unstable_by_key(|(k, _)| *k);
+        results.into_iter().map(|(_, value)| value).collect()
+    }
+
+    /// The Fig. 8 workload: every unordered corpus pair, summarised.
+    pub fn all_pairs(&self, prepared: &[Arc<PreparedModel>]) -> Vec<PairSummary> {
+        self.all_pairs_with(prepared, |a, b, result| PairSummary {
+            a,
+            b,
+            species: result.model.species.len(),
+            reactions: result.model.reactions.len(),
+            components: result.model.component_count(),
+            conflicts: result.log.conflict_count(),
+            mappings: result.mappings.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ComposeOptions;
+    use sbml_model::builder::ModelBuilder;
+
+    fn corpus(n: usize) -> Vec<Model> {
+        (0..n)
+            .map(|i| {
+                ModelBuilder::new(format!("m{i}"))
+                    .compartment("cell", 1.0)
+                    .species(&format!("S{i}"), i as f64)
+                    .species(&format!("S{}", i + 1), 0.0)
+                    .parameter(&format!("k{i}"), 0.1 * (i + 1) as f64)
+                    .reaction(
+                        &format!("r{i}"),
+                        &[format!("S{i}").as_str()],
+                        &[format!("S{}", i + 1).as_str()],
+                        &format!("k{i}*S{i}"),
+                    )
+                    .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_pairs_matches_raw_pairwise_compose() {
+        let models = corpus(5);
+        let batch = BatchComposer::new(Composer::default());
+        let prepared = batch.prepare_corpus(&models);
+        let raw = Composer::default();
+        let batched = batch.all_pairs_with(&prepared, |i, j, result| (i, j, result));
+        assert_eq!(batched.len(), 5 * 4 / 2);
+        for (i, j, result) in &batched {
+            let reference = raw.compose(&models[*i], &models[*j]);
+            assert_eq!(result.model, reference.model, "pair ({i},{j})");
+            assert_eq!(result.log.events, reference.log.events, "pair ({i},{j})");
+            assert_eq!(result.mappings, reference.mappings, "pair ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let models = corpus(6);
+        let serial = BatchComposer::new(Composer::default()).with_threads(1);
+        let threaded = BatchComposer::new(Composer::default()).with_threads(3);
+        let prepared_serial = serial.prepare_corpus(&models);
+        let prepared_threaded = threaded.prepare_corpus(&models);
+        assert_eq!(serial.all_pairs(&prepared_serial), threaded.all_pairs(&prepared_threaded));
+    }
+
+    #[test]
+    fn one_preparation_serves_every_pair() {
+        let models = corpus(4);
+        let batch = BatchComposer::new(Composer::default()).with_threads(2);
+        let prepared = batch.prepare_corpus(&models);
+        assert_eq!(prepared.len(), models.len());
+        for (p, m) in prepared.iter().zip(&models) {
+            assert_eq!(p.model(), m);
+        }
+        // The whole grid runs off the same Arcs — no re-preparation.
+        let before: Vec<usize> = prepared.iter().map(Arc::strong_count).collect();
+        let _ = batch.all_pairs(&prepared);
+        let after: Vec<usize> = prepared.iter().map(Arc::strong_count).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn empty_and_tiny_corpora() {
+        let batch = BatchComposer::new(Composer::new(ComposeOptions::default()));
+        assert!(batch.all_pairs(&batch.prepare_corpus(&[])).is_empty());
+        let one = batch.prepare_corpus(&corpus(1));
+        assert!(batch.all_pairs(&one).is_empty());
+        let two = batch.prepare_corpus(&corpus(2));
+        assert_eq!(batch.all_pairs(&two).len(), 1);
+    }
+}

@@ -30,6 +30,7 @@ use sbml_model::Model;
 
 use crate::log::MergeLog;
 use crate::options::ComposeOptions;
+use crate::prepared::PreparedModel;
 use crate::session::CompositionSession;
 
 /// The outcome of one composition.
@@ -89,7 +90,51 @@ impl Composer {
         }
 
         let mut session = CompositionSession::with_base(&self.options, a.clone());
-        session.push(b);
+        session.push_final(b);
+        session.finish()
+    }
+
+    /// Analyse a model once, for reuse across any number of compositions:
+    /// canonical content keys, per-kind indexes, evaluated initial values
+    /// and the global id set are computed here instead of inside every
+    /// [`Composer::compose`] call. Wrap the result in an
+    /// [`Arc`](std::sync::Arc) to share it between threads — see
+    /// [`crate::BatchComposer`] for the corpus-scale fan-out.
+    pub fn prepare(&self, model: &Model) -> PreparedModel {
+        PreparedModel::new(model, &self.options)
+    }
+
+    /// As [`Composer::prepare`], taking the model by value (no clone).
+    pub fn prepare_owned(&self, model: Model) -> PreparedModel {
+        PreparedModel::from_model(model, &self.options)
+    }
+
+    /// Compose two prepared models: [`Composer::compose`] minus the
+    /// per-call re-derivation of each side's analysis. Output is
+    /// bit-for-bit identical to the raw path (property-tested); panics if
+    /// either preparation's options
+    /// [fingerprint](ComposeOptions::fingerprint) differs from this
+    /// composer's.
+    pub fn compose_prepared(&self, a: &PreparedModel, b: &PreparedModel) -> ComposeResult {
+        a.check_options(&self.options);
+        b.check_options(&self.options);
+        // Fig. 5 lines 1–2: if one model is empty, return the other.
+        if a.model().is_empty() {
+            return ComposeResult {
+                model: b.model().clone(),
+                log: MergeLog::new(),
+                mappings: HashMap::new(),
+            };
+        }
+        if b.model().is_empty() {
+            return ComposeResult {
+                model: a.model().clone(),
+                log: MergeLog::new(),
+                mappings: HashMap::new(),
+            };
+        }
+        let mut session = CompositionSession::with_prepared_base(&self.options, a);
+        session.push_prepared_final(b);
         session.finish()
     }
 }
@@ -103,8 +148,12 @@ impl Composer {
 /// [`compose_many_owned`], which also avoids cloning the first model.
 pub fn compose_many(composer: &Composer, models: &[Model]) -> ComposeResult {
     let mut session = composer.session();
-    for model in models {
-        session.push(model);
+    for (i, model) in models.iter().enumerate() {
+        if i + 1 == models.len() {
+            session.push_final(model);
+        } else {
+            session.push(model);
+        }
     }
     session.finish()
 }
@@ -117,8 +166,34 @@ pub fn compose_many_owned(
     models: impl IntoIterator<Item = Model>,
 ) -> ComposeResult {
     let mut session = composer.session();
-    for model in models {
-        session.push_owned(model);
+    let mut models = models.into_iter().peekable();
+    while let Some(model) = models.next() {
+        if models.peek().is_none() {
+            session.push_owned_final(model);
+        } else {
+            session.push_owned(model);
+        }
+    }
+    session.finish()
+}
+
+/// As [`compose_many`], over prepared models: one session, every push
+/// riding the precomputed analysis. Accepts any iterator of
+/// `&PreparedModel`, so both `&[PreparedModel]` and the
+/// `&[Arc<PreparedModel>]` shape used by batch workloads (via
+/// `.iter().map(AsRef::as_ref)` or plain deref) work.
+pub fn compose_many_prepared<'a>(
+    composer: &Composer,
+    models: impl IntoIterator<Item = &'a PreparedModel>,
+) -> ComposeResult {
+    let mut session = composer.session();
+    let mut models = models.into_iter().peekable();
+    while let Some(model) = models.next() {
+        if models.peek().is_none() {
+            session.push_prepared_final(model);
+        } else {
+            session.push_prepared(model);
+        }
     }
     session.finish()
 }

@@ -6,18 +6,22 @@
 //! and unit signatures; light semantics drops the math/unit intelligence;
 //! no-semantics keys are raw identifiers and raw structure.
 
-use std::collections::HashMap;
-
 use sbml_math::pattern::Pattern;
 use sbml_math::rewrite;
 use sbml_math::MathExpr;
 use sbml_model::{Event, FunctionDefinition, Reaction, Rule};
 use sbml_units::UnitDefinition;
 
+use crate::index::FastMap;
 use crate::options::{ComposeOptions, SemanticsLevel};
 
 /// Relative tolerance for numeric value agreement.
 pub const VALUE_TOLERANCE: f64 = 1e-9;
+
+/// The ID mapping table (second-model id → composed-model id). A fast
+/// non-SipHash map: it is probed for every identifier of every compared
+/// component.
+pub type MappingTable = FastMap<String, String>;
 
 /// Matching context: options plus the ID mappings accumulated so far
 /// (second-model id → composed-model id).
@@ -26,13 +30,13 @@ pub struct MatchContext<'o> {
     pub options: &'o ComposeOptions,
     /// Accumulated mappings, applied to second-model content before
     /// comparison (the paper's "add mapping" step).
-    pub mappings: HashMap<String, String>,
+    pub mappings: MappingTable,
 }
 
 impl<'o> MatchContext<'o> {
     /// Fresh context with no mappings.
     pub fn new(options: &'o ComposeOptions) -> MatchContext<'o> {
-        MatchContext { options, mappings: HashMap::new() }
+        MatchContext { options, mappings: MappingTable::default() }
     }
 
     /// Record a mapping `from → to`.
@@ -65,7 +69,7 @@ impl<'o> MatchContext<'o> {
     /// mappings (use for second-model content; first-model content is
     /// already in composed id space).
     pub fn math_key(&self, math: &MathExpr, mapped: bool) -> String {
-        let empty = HashMap::new();
+        let empty = MappingTable::default();
         let mappings = if mapped { &self.mappings } else { &empty };
         match self.options.semantics {
             // Heavy: the paper's Fig. 7 commutativity-aware pattern.

@@ -18,7 +18,54 @@
 //! takes `&str` — callers never build an owned `String` just to probe.
 
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Dependency-free FxHash-style hasher (multiply-xor over word-sized
+/// chunks). Component ids and content keys are short, trusted strings
+/// hashed millions of times in a batch composition — the default SipHash's
+/// DoS resistance buys nothing here and costs measurably.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        let mut tail = 0u64;
+        for (i, b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(*b) << (8 * i);
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(v)).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by short trusted strings, using [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` of short trusted strings, using [`FxHasher`].
+pub type FastSet<T> = std::collections::HashSet<T, FxBuildHasher>;
 
 /// Which index structure the merge uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -36,7 +83,7 @@ pub enum IndexKind {
 #[derive(Debug, Clone)]
 pub enum ComponentIndex {
     /// Hash-map backed.
-    Hash(HashMap<Arc<str>, usize>),
+    Hash(FastMap<Arc<str>, usize>),
     /// B-tree backed.
     BTree(BTreeMap<Arc<str>, usize>),
     /// Association-list backed (deliberately un-indexed).
@@ -47,7 +94,7 @@ impl ComponentIndex {
     /// An empty index of the given kind.
     pub fn new(kind: IndexKind) -> ComponentIndex {
         match kind {
-            IndexKind::HashMap => ComponentIndex::Hash(HashMap::new()),
+            IndexKind::HashMap => ComponentIndex::Hash(FastMap::default()),
             IndexKind::BTree => ComponentIndex::BTree(BTreeMap::new()),
             IndexKind::LinearScan => ComponentIndex::Linear(Vec::new()),
         }
@@ -173,5 +220,20 @@ mod tests {
     #[test]
     fn default_is_hashmap() {
         assert_eq!(IndexKind::default(), IndexKind::HashMap);
+    }
+
+    #[test]
+    fn fx_hasher_deterministic_and_discriminating() {
+        use std::hash::{BuildHasher, Hash};
+        let build = FxBuildHasher::default();
+        let hash_of = |s: &str| {
+            let mut h = build.build_hasher();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of("glucose"), hash_of("glucose"));
+        let keys = ["glucose", "glucosf", "k1", "k2", "", "sp_001", "sp_010", "a_very_long_component_identifier_0001"];
+        let hashes: std::collections::BTreeSet<u64> = keys.iter().map(|k| hash_of(k)).collect();
+        assert_eq!(hashes.len(), keys.len(), "no collisions on the sample set");
     }
 }

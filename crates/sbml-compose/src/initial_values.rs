@@ -5,16 +5,17 @@
 //! extracted and evaluated and the value is saved. ... The initial values
 //! are then used in the check for conflicts during model composition."
 
-use std::collections::HashMap;
-
 use sbml_math::{evaluate, Env};
 use sbml_model::Model;
+
+use crate::index::FastMap;
 
 /// Evaluated initial values for every symbol that has one.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct InitialValues {
-    /// symbol id → value at time zero.
-    pub values: HashMap<String, f64>,
+    /// symbol id → value at time zero (fast-hashed: probed on every
+    /// conflict check of every composition).
+    pub values: FastMap<String, f64>,
 }
 
 impl InitialValues {
@@ -69,7 +70,7 @@ pub fn collect(model: &Model) -> InitialValues {
         }
     }
 
-    InitialValues { values: env.vars }
+    InitialValues { values: env.vars.into_iter().collect() }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The merge log — the paper's "warning to a log file informing the user
 //! of this and of decisions taken".
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// What happened to a component during merging.
@@ -47,8 +48,10 @@ pub struct MergeEvent {
     /// Id it ended up with in the composed model (same as `incoming_id`
     /// unless mapped/renamed).
     pub final_id: String,
-    /// Explanation of the decision.
-    pub detail: String,
+    /// Explanation of the decision. `Cow` because most explanations are
+    /// fixed phrases — a merge emits thousands of events, so the static
+    /// ones are stored without allocating.
+    pub detail: Cow<'static, str>,
 }
 
 impl fmt::Display for MergeEvent {
@@ -85,7 +88,7 @@ impl MergeLog {
         component: &'static str,
         incoming_id: impl Into<String>,
         final_id: impl Into<String>,
-        detail: impl Into<String>,
+        detail: impl Into<Cow<'static, str>>,
     ) {
         self.events.push(MergeEvent {
             kind,

@@ -78,6 +78,15 @@ impl ComposeOptions {
         }
     }
 
+    /// Builder: set the semantics level. Unlike [`ComposeOptions::none`],
+    /// this leaves the synonym table untouched — combine with
+    /// [`ComposeOptions::with_synonyms`] to drop it as well.
+    #[must_use]
+    pub fn with_semantics(mut self, semantics: SemanticsLevel) -> ComposeOptions {
+        self.semantics = semantics;
+        self
+    }
+
     /// Builder: set the index kind.
     #[must_use]
     pub fn with_index(mut self, index: IndexKind) -> ComposeOptions {
@@ -105,6 +114,44 @@ impl ComposeOptions {
         self.cache_content_keys = on;
         self
     }
+
+    /// Builder: toggle initial-value collection and evaluation.
+    #[must_use]
+    pub fn with_initial_values(mut self, on: bool) -> ComposeOptions {
+        self.collect_initial_values = on;
+        self
+    }
+
+    /// Fingerprint of every option that influences canonical content keys
+    /// and merge decisions. A [`crate::PreparedModel`] records the
+    /// fingerprint it was prepared under; composing it under options with a
+    /// different fingerprint is rejected, since the cached analysis would
+    /// silently diverge from what the raw path computes.
+    pub fn fingerprint(&self) -> OptionsFingerprint {
+        OptionsFingerprint {
+            semantics: self.semantics,
+            index: self.index,
+            cache_patterns: self.cache_patterns,
+            cache_content_keys: self.cache_content_keys,
+            collect_initial_values: self.collect_initial_values,
+            synonym_hash: self.synonyms.content_hash(),
+        }
+    }
+}
+
+/// Identity of a [`ComposeOptions`] value as far as cached per-model
+/// analysis is concerned; see [`ComposeOptions::fingerprint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptionsFingerprint {
+    semantics: SemanticsLevel,
+    index: IndexKind,
+    cache_patterns: bool,
+    cache_content_keys: bool,
+    collect_initial_values: bool,
+    /// [`bio_synonyms::SynonymTable::content_hash`] of the synonym table
+    /// — two tables with the same group count but different contents must
+    /// not fingerprint equal.
+    synonym_hash: u64,
 }
 
 #[cfg(test)]
@@ -125,9 +172,31 @@ mod tests {
         let o = ComposeOptions::default()
             .with_index(IndexKind::LinearScan)
             .with_pattern_cache(false)
-            .with_content_key_cache(false);
+            .with_content_key_cache(false)
+            .with_semantics(SemanticsLevel::Light)
+            .with_initial_values(false);
         assert_eq!(o.index, IndexKind::LinearScan);
         assert!(!o.cache_patterns);
         assert!(!o.cache_content_keys);
+        assert_eq!(o.semantics, SemanticsLevel::Light);
+        assert!(!o.collect_initial_values);
+        // with_semantics keeps the synonym table, unlike the none() preset.
+        assert!(o.synonyms.group_count() > 0);
+    }
+
+    #[test]
+    fn fingerprints_track_key_affecting_options() {
+        let base = ComposeOptions::default();
+        assert_eq!(base.fingerprint(), ComposeOptions::default().fingerprint());
+        assert_ne!(base.fingerprint(), ComposeOptions::light().fingerprint());
+        assert_ne!(base.fingerprint(), ComposeOptions::none().fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            ComposeOptions::default().with_index(IndexKind::BTree).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ComposeOptions::default().with_initial_values(false).fingerprint()
+        );
     }
 }

@@ -1,0 +1,492 @@
+//! Per-model analysis as a reusable, shareable artifact.
+//!
+//! Everything the composition engine derives from a single model —
+//! canonical content keys, per-kind lookup indexes, evaluated initial
+//! values, the set of taken global ids — is independent of whatever that
+//! model is later composed *with*. [`PreparedModel`] computes the whole
+//! analysis once, up front, and every entry point
+//! ([`Composer::compose_prepared`], [`CompositionSession::push_prepared`],
+//! [`crate::compose_many_prepared`], [`crate::BatchComposer::all_pairs`])
+//! consumes the artifact instead of re-deriving the analysis per call.
+//!
+//! The artifact is immutable and `Send + Sync`: wrap it in an
+//! [`Arc`](std::sync::Arc) and share one preparation across any number of
+//! concurrent compositions — the batch all-pairs workload composes each
+//! corpus model against 186 partners from a single `PreparedModel` each.
+//!
+//! Two kinds of cached keys live here:
+//!
+//! * **base-side** ([`ModelAnalysis`]): the persistent indexes and
+//!   canonical (unmapped) content keys a [`CompositionSession`] maintains
+//!   over its accumulator. Adopting a prepared base clones these instead of
+//!   rebuilding them (`reindex`) from the model.
+//! * **incoming-side** ([`IncomingKeys`]): the content/name keys of each
+//!   component *as the merge pass would compute them for the second model*.
+//!   Name and unit keys never depend on the in-flight ID mappings and are
+//!   reused unconditionally; math-bearing keys (functions, rules,
+//!   constraints, reactions, events) are reused exactly while the current
+//!   push has recorded no mappings — the cached unmapped key is
+//!   byte-identical to the mapped key under an empty mapping table — and
+//!   recomputed from the first mapping onwards. Output is therefore
+//!   bit-for-bit identical to the unprepared path.
+//!
+//! [`Composer::compose_prepared`]: crate::composer::Composer::compose_prepared
+//! [`CompositionSession::push_prepared`]: crate::session::CompositionSession::push_prepared
+//! [`CompositionSession`]: crate::session::CompositionSession
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use sbml_math::rewrite::collect_identifiers;
+use sbml_model::Model;
+
+use crate::equality::MatchContext;
+use crate::index::ComponentIndex;
+use crate::initial_values::{collect, InitialValues};
+use crate::options::{ComposeOptions, OptionsFingerprint};
+
+/// Persistent per-kind indexes over a model (paper Fig. 5 line 5, without
+/// the per-pass rebuild). Maintained live by a session over its
+/// accumulator; precomputed once per model by [`PreparedModel`].
+#[derive(Debug, Clone)]
+pub(crate) struct Indexes {
+    pub(crate) functions_by_id: ComponentIndex,
+    pub(crate) functions_by_content: ComponentIndex,
+    pub(crate) units_by_id: ComponentIndex,
+    pub(crate) units_by_content: ComponentIndex,
+    pub(crate) compartment_types_by_id: ComponentIndex,
+    pub(crate) compartment_types_by_name: ComponentIndex,
+    pub(crate) species_types_by_id: ComponentIndex,
+    pub(crate) species_types_by_name: ComponentIndex,
+    pub(crate) compartments_by_id: ComponentIndex,
+    pub(crate) compartments_by_name: ComponentIndex,
+    pub(crate) species_by_id: ComponentIndex,
+    pub(crate) species_by_name: ComponentIndex,
+    pub(crate) parameters_by_id: ComponentIndex,
+    pub(crate) assignments_by_symbol: ComponentIndex,
+    pub(crate) rules_by_content: ComponentIndex,
+    pub(crate) rules_by_variable: ComponentIndex,
+    pub(crate) constraints_by_content: ComponentIndex,
+    pub(crate) reactions_by_id: ComponentIndex,
+    pub(crate) reactions_by_content: ComponentIndex,
+    pub(crate) events_by_id: ComponentIndex,
+    pub(crate) events_by_content: ComponentIndex,
+}
+
+impl Indexes {
+    pub(crate) fn new(options: &ComposeOptions) -> Indexes {
+        let mk = || ComponentIndex::new(options.index);
+        Indexes {
+            functions_by_id: mk(),
+            functions_by_content: mk(),
+            units_by_id: mk(),
+            units_by_content: mk(),
+            compartment_types_by_id: mk(),
+            compartment_types_by_name: mk(),
+            species_types_by_id: mk(),
+            species_types_by_name: mk(),
+            compartments_by_id: mk(),
+            compartments_by_name: mk(),
+            species_by_id: mk(),
+            species_by_name: mk(),
+            parameters_by_id: mk(),
+            assignments_by_symbol: mk(),
+            rules_by_content: mk(),
+            rules_by_variable: mk(),
+            constraints_by_content: mk(),
+            reactions_by_id: mk(),
+            reactions_by_content: mk(),
+            events_by_id: mk(),
+            events_by_content: mk(),
+        }
+    }
+}
+
+/// Canonical merged-side content keys per component position, interned as
+/// `Arc<str>` shared with the content indexes. Only the kinds whose merge
+/// pass compares keys on an id hit are cached; empty (and ignored) when
+/// [`ComposeOptions::cache_content_keys`] is off.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct KeyCache {
+    pub(crate) functions: Vec<Arc<str>>,
+    pub(crate) units: Vec<Arc<str>>,
+    pub(crate) reactions: Vec<Arc<str>>,
+    pub(crate) events: Vec<Arc<str>>,
+}
+
+/// The base-side analysis of one model: what a session's `reindex` derives
+/// from its accumulator, packaged so it can be computed once and cloned.
+#[derive(Debug, Clone)]
+pub(crate) struct ModelAnalysis {
+    /// Every global id of the model (the session's duplicate-id registry),
+    /// behind an `Arc` so adopting it is a refcount bump, not a clone of
+    /// every id string.
+    pub(crate) taken: Arc<crate::index::FastSet<String>>,
+    /// Per-kind lookup indexes.
+    pub(crate) idx: Indexes,
+    /// Canonical content keys (respects the cache ablation flags).
+    pub(crate) keys: KeyCache,
+}
+
+/// Per-component *incoming* keys: the canonical keys of each component as
+/// the merge pass computes them for a second model before any ID mapping
+/// has been recorded. Positional — entry `i` belongs to component `i`.
+///
+/// The mapping-sensitive kinds additionally carry each component's *free
+/// reference set* (every identifier the key derivation would run through
+/// the mapping table): the cached key equals the mapped key exactly when
+/// none of those identifiers has a mapping, which lets the merge reuse the
+/// cache far beyond the no-mappings-yet window.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IncomingKeys {
+    pub(crate) functions: Vec<Arc<str>>,
+    pub(crate) function_refs: Vec<Box<[String]>>,
+    pub(crate) units: Vec<Arc<str>>,
+    pub(crate) compartment_types: Vec<Arc<str>>,
+    pub(crate) species_types: Vec<Arc<str>>,
+    pub(crate) compartments: Vec<Arc<str>>,
+    pub(crate) species: Vec<Arc<str>>,
+    pub(crate) rules: Vec<Arc<str>>,
+    pub(crate) rule_refs: Vec<Box<[String]>>,
+    pub(crate) constraints: Vec<Arc<str>>,
+    pub(crate) constraint_refs: Vec<Box<[String]>>,
+    pub(crate) reactions: Vec<Arc<str>>,
+    pub(crate) reaction_refs: Vec<Box<[String]>>,
+    /// Free identifiers of the kinetic law alone (no participants): the
+    /// cached math *section* of a reaction key stays valid as long as
+    /// these are unmapped, even when a participant has been renamed.
+    pub(crate) reaction_math_refs: Vec<Box<[String]>>,
+    pub(crate) events: Vec<Arc<str>>,
+    pub(crate) event_refs: Vec<Box<[String]>>,
+}
+
+/// Does applying `mappings` leave a component with these free references
+/// untouched (so its cached unmapped key is byte-identical to the mapped
+/// key)?
+pub(crate) fn refs_unmapped(refs: &[String], mappings: &crate::equality::MappingTable) -> bool {
+    refs.iter().all(|r| !mappings.contains_key(r))
+}
+
+impl ModelAnalysis {
+    /// Analyse `model` under `options`. With `incoming` set, additionally
+    /// collect the positional incoming-side keys (what [`PreparedModel`]
+    /// needs); a session's own `reindex` skips them.
+    pub(crate) fn build(
+        model: &Model,
+        options: &ComposeOptions,
+        incoming: Option<&mut IncomingKeys>,
+    ) -> ModelAnalysis {
+        let ctx = MatchContext::new(options);
+        let cache = options.cache_content_keys;
+        let mut analysis = ModelAnalysis {
+            taken: Arc::new(model.global_ids().into_iter().collect()),
+            idx: Indexes::new(options),
+            keys: KeyCache::default(),
+        };
+        let idx = &mut analysis.idx;
+        let keys = &mut analysis.keys;
+        let mut inc = incoming;
+
+        for (i, f) in model.function_definitions.iter().enumerate() {
+            idx.functions_by_id.insert(&f.id, i);
+            let key: Arc<str> = Arc::from(ctx.function_key(f, false).as_str());
+            idx.functions_by_content.insert_shared(&key, i);
+            if cache {
+                keys.functions.push(Arc::clone(&key));
+            }
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.functions.push(key);
+                // Refs come from the BARE body, where params are free:
+                // the merge renames `f.body` directly (params included),
+                // so a param sharing a name with a mapped id must count
+                // as a reference. For the content key this is merely
+                // conservative (the pattern binds params positionally).
+                inc.function_refs.push(collect_identifiers(&f.body).into_iter().collect());
+            }
+        }
+        for (i, u) in model.unit_definitions.iter().enumerate() {
+            idx.units_by_id.insert(&u.id, i);
+            let key: Arc<str> = Arc::from(ctx.unit_key(u).as_str());
+            idx.units_by_content.insert_shared(&key, i);
+            if cache {
+                keys.units.push(Arc::clone(&key));
+            }
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.units.push(key);
+            }
+        }
+        for (i, t) in model.compartment_types.iter().enumerate() {
+            idx.compartment_types_by_id.insert(&t.id, i);
+            let key: Arc<str> = Arc::from(ctx.name_key(&t.id, t.name.as_deref()).as_str());
+            idx.compartment_types_by_name.insert_shared(&key, i);
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.compartment_types.push(key);
+            }
+        }
+        for (i, t) in model.species_types.iter().enumerate() {
+            idx.species_types_by_id.insert(&t.id, i);
+            let key: Arc<str> = Arc::from(ctx.name_key(&t.id, t.name.as_deref()).as_str());
+            idx.species_types_by_name.insert_shared(&key, i);
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.species_types.push(key);
+            }
+        }
+        for (i, c) in model.compartments.iter().enumerate() {
+            idx.compartments_by_id.insert(&c.id, i);
+            let key: Arc<str> = Arc::from(ctx.name_key(&c.id, c.name.as_deref()).as_str());
+            idx.compartments_by_name.insert_shared(&key, i);
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.compartments.push(key);
+            }
+        }
+        for (i, s) in model.species.iter().enumerate() {
+            idx.species_by_id.insert(&s.id, i);
+            let key: Arc<str> = Arc::from(ctx.name_key(&s.id, s.name.as_deref()).as_str());
+            idx.species_by_name.insert_shared(&key, i);
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.species.push(key);
+            }
+        }
+        for (i, p) in model.parameters.iter().enumerate() {
+            idx.parameters_by_id.insert(&p.id, i);
+        }
+        for (i, ia) in model.initial_assignments.iter().enumerate() {
+            idx.assignments_by_symbol.insert(&ia.symbol, i);
+        }
+        for (i, r) in model.rules.iter().enumerate() {
+            let key: Arc<str> = Arc::from(ctx.rule_key(r, false).as_str());
+            idx.rules_by_content.insert_shared(&key, i);
+            if let Some(v) = r.variable() {
+                idx.rules_by_variable.insert(v, i);
+            }
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.rules.push(key);
+                let mut refs = collect_identifiers(r.math());
+                if let Some(v) = r.variable() {
+                    refs.insert(v.to_owned());
+                }
+                inc.rule_refs.push(refs.into_iter().collect());
+            }
+        }
+        for (i, c) in model.constraints.iter().enumerate() {
+            let key: Arc<str> = Arc::from(ctx.constraint_key(&c.math, false).as_str());
+            idx.constraints_by_content.insert_shared(&key, i);
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.constraints.push(key);
+                inc.constraint_refs.push(collect_identifiers(&c.math).into_iter().collect());
+            }
+        }
+        let rxn_content = options.cache_patterns;
+        for (i, r) in model.reactions.iter().enumerate() {
+            idx.reactions_by_id.insert(&r.id, i);
+            // Incoming reaction keys are always needed (the merge pass
+            // computes one per incoming reaction regardless of caching),
+            // but the by-content index honours the pattern-cache ablation.
+            if rxn_content || inc.is_some() {
+                let key: Arc<str> = Arc::from(ctx.reaction_key(r, false).as_str());
+                if rxn_content {
+                    idx.reactions_by_content.insert_shared(&key, i);
+                    if cache {
+                        keys.reactions.push(Arc::clone(&key));
+                    }
+                }
+                if let Some(inc) = inc.as_deref_mut() {
+                    inc.reactions.push(key);
+                    let math_refs = match &r.kinetic_law {
+                        Some(kl) => collect_identifiers(&kl.math),
+                        None => BTreeSet::new(),
+                    };
+                    let mut refs = math_refs.clone();
+                    for sr in r.reactants.iter().chain(&r.products).chain(&r.modifiers) {
+                        refs.insert(sr.species.clone());
+                    }
+                    inc.reaction_math_refs.push(math_refs.into_iter().collect());
+                    inc.reaction_refs.push(refs.into_iter().collect());
+                }
+            }
+        }
+        for (i, ev) in model.events.iter().enumerate() {
+            if let Some(id) = &ev.id {
+                idx.events_by_id.insert(id, i);
+            }
+            let key: Arc<str> = Arc::from(ctx.event_key(ev, false).as_str());
+            idx.events_by_content.insert_shared(&key, i);
+            if cache {
+                keys.events.push(Arc::clone(&key));
+            }
+            if let Some(inc) = inc.as_deref_mut() {
+                inc.events.push(key);
+                let mut refs = collect_identifiers(&ev.trigger);
+                if let Some(delay) = &ev.delay {
+                    refs.append(&mut collect_identifiers(delay));
+                }
+                for a in &ev.assignments {
+                    refs.insert(a.variable.clone());
+                    refs.append(&mut collect_identifiers(&a.math));
+                }
+                inc.event_refs.push(refs.into_iter().collect());
+            }
+        }
+        analysis
+    }
+}
+
+/// A model bundled with its precomputed composition analysis: canonical
+/// content keys, per-kind indexes, evaluated initial values and the global
+/// id set — see the [module docs](self).
+///
+/// Produced by [`PreparedModel::new`] or
+/// [`Composer::prepare`](crate::Composer::prepare); immutable afterwards,
+/// so one preparation (typically behind an [`Arc`](std::sync::Arc)) can
+/// serve any number of concurrent compositions.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sbml_compose::{ComposeOptions, Composer};
+/// use sbml_model::builder::ModelBuilder;
+///
+/// let composer = Composer::new(ComposeOptions::default());
+/// let hub = Arc::new(composer.prepare(
+///     &ModelBuilder::new("hub").compartment("cell", 1.0).species("ATP", 1.0).build(),
+/// ));
+/// let spoke = composer.prepare(
+///     &ModelBuilder::new("spoke").compartment("cell", 1.0).species("ATP", 1.0).build(),
+/// );
+/// // The hub's analysis is reused by every pair it participates in.
+/// let merged = composer.compose_prepared(&hub, &spoke);
+/// assert_eq!(merged.model.species.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedModel {
+    model: Model,
+    fingerprint: OptionsFingerprint,
+    pub(crate) analysis: ModelAnalysis,
+    pub(crate) incoming: IncomingKeys,
+    pub(crate) initial_values: Arc<InitialValues>,
+}
+
+impl PreparedModel {
+    /// Analyse `model` once under `options`. The preparation is only valid
+    /// for composition under options with the same
+    /// [fingerprint](ComposeOptions::fingerprint); every prepared entry
+    /// point checks this and panics on a mismatch rather than silently
+    /// composing with stale keys.
+    pub fn new(model: &Model, options: &ComposeOptions) -> PreparedModel {
+        PreparedModel::from_model(model.clone(), options)
+    }
+
+    /// As [`PreparedModel::new`], but takes the model by value — no clone.
+    pub fn from_model(model: Model, options: &ComposeOptions) -> PreparedModel {
+        let mut incoming = IncomingKeys::default();
+        let analysis = ModelAnalysis::build(&model, options, Some(&mut incoming));
+        let initial_values = Arc::new(if options.collect_initial_values {
+            collect(&model)
+        } else {
+            InitialValues::default()
+        });
+        PreparedModel { model, fingerprint: options.fingerprint(), analysis, incoming, initial_values }
+    }
+
+    /// The model this preparation belongs to.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The options fingerprint the analysis was computed under.
+    pub fn fingerprint(&self) -> OptionsFingerprint {
+        self.fingerprint
+    }
+
+    /// The evaluated initial values collected at preparation time (empty
+    /// when the options disabled collection).
+    pub fn initial_values(&self) -> &InitialValues {
+        &self.initial_values
+    }
+
+    /// Panic unless this preparation matches `options`; called by every
+    /// prepared composition entry point.
+    pub(crate) fn check_options(&self, options: &ComposeOptions) {
+        assert!(
+            self.fingerprint == options.fingerprint(),
+            "PreparedModel for {:?} was prepared under different options \
+             (fingerprint {:?} vs {:?}); re-prepare it with the composing options",
+            self.model.id,
+            self.fingerprint,
+            options.fingerprint(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn sample() -> Model {
+        ModelBuilder::new("m")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 5.0)
+            .species("G6P", 0.0)
+            .parameter("k", 0.4)
+            .initial_assignment("G6P", "k * 10")
+            .reaction("hex", &["glc"], &["G6P"], "k*glc")
+            .build()
+    }
+
+    #[test]
+    fn analysis_matches_model_shape() {
+        let options = ComposeOptions::default();
+        let m = sample();
+        let p = PreparedModel::new(&m, &options);
+        assert_eq!(p.model(), &m);
+        assert_eq!(p.analysis.idx.species_by_id.len(), 2);
+        assert_eq!(p.analysis.idx.reactions_by_id.len(), 1);
+        assert_eq!(p.incoming.species.len(), 2);
+        assert_eq!(p.incoming.reactions.len(), 1);
+        assert_eq!(p.incoming.compartments.len(), 1);
+        assert!(p.analysis.taken.contains("hex"));
+        // Initial assignment evaluated at preparation time.
+        assert_eq!(p.initial_values().get("G6P"), Some(4.0));
+    }
+
+    #[test]
+    fn from_model_equals_new() {
+        let options = ComposeOptions::default();
+        let m = sample();
+        let a = PreparedModel::new(&m, &options);
+        let b = PreparedModel::from_model(m, &options);
+        assert_eq!(a.model(), b.model());
+        assert_eq!(a.incoming.species, b.incoming.species);
+        assert_eq!(a.initial_values(), b.initial_values());
+    }
+
+    #[test]
+    fn incoming_keys_match_fresh_context() {
+        let options = ComposeOptions::default();
+        let m = sample();
+        let p = PreparedModel::new(&m, &options);
+        let ctx = MatchContext::new(&options);
+        // With no mappings recorded, mapped and unmapped keys coincide —
+        // the invariant the prepared fast path relies on.
+        for (i, r) in m.reactions.iter().enumerate() {
+            assert_eq!(p.incoming.reactions[i].as_ref(), ctx.reaction_key(r, true));
+        }
+        for (i, s) in m.species.iter().enumerate() {
+            assert_eq!(p.incoming.species[i].as_ref(), ctx.name_key(&s.id, s.name.as_deref()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different options")]
+    fn options_mismatch_is_rejected() {
+        let m = sample();
+        let p = PreparedModel::new(&m, &ComposeOptions::default());
+        p.check_options(&ComposeOptions::light());
+    }
+
+    #[test]
+    fn prepared_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PreparedModel>();
+    }
+}

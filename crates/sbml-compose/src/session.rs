@@ -30,11 +30,12 @@
 //!
 //! [`Composer::compose`]: crate::composer::Composer::compose
 
-use std::collections::{BTreeSet, HashMap};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use sbml_math::rewrite;
-use sbml_model::{Model, Parameter, Reaction, Species};
+use sbml_model::{Compartment, Model, Parameter, Reaction, Species};
 use sbml_units::convert::{
     conversion_factor, deterministic_to_stochastic, stochastic_to_deterministic, ReactionOrder,
 };
@@ -42,63 +43,100 @@ use sbml_units::UnitDefinition;
 
 use crate::composer::ComposeResult;
 use crate::equality::MatchContext;
-use crate::index::ComponentIndex;
+use crate::index::{ComponentIndex, FastSet};
 use crate::initial_values::{collect, InitialValues};
 use crate::log::{EventKind, MergeLog};
 use crate::options::{ComposeOptions, SemanticsLevel};
+use crate::prepared::{refs_unmapped, IncomingKeys, Indexes, KeyCache, ModelAnalysis, PreparedModel};
 
-/// Persistent per-kind indexes over the merged model, kept live across
-/// pushes (paper Fig. 5 line 5, without the per-pass rebuild).
-#[derive(Debug, Clone)]
-struct Indexes {
-    functions_by_id: ComponentIndex,
-    functions_by_content: ComponentIndex,
-    units_by_id: ComponentIndex,
-    units_by_content: ComponentIndex,
-    compartment_types_by_id: ComponentIndex,
-    compartment_types_by_name: ComponentIndex,
-    species_types_by_id: ComponentIndex,
-    species_types_by_name: ComponentIndex,
-    compartments_by_id: ComponentIndex,
-    compartments_by_name: ComponentIndex,
-    species_by_id: ComponentIndex,
-    species_by_name: ComponentIndex,
-    parameters_by_id: ComponentIndex,
-    assignments_by_symbol: ComponentIndex,
-    rules_by_content: ComponentIndex,
-    rules_by_variable: ComponentIndex,
-    constraints_by_content: ComponentIndex,
-    reactions_by_id: ComponentIndex,
-    reactions_by_content: ComponentIndex,
-    events_by_id: ComponentIndex,
-    events_by_content: ComponentIndex,
+/// The incoming side of one push: the model plus whatever precomputed
+/// analysis is available for it. Raw pushes carry only the model; prepared
+/// pushes also carry the [`PreparedModel`]'s incoming keys, per-kind
+/// indexes and evaluated initial values.
+struct Incoming<'m> {
+    model: &'m Model,
+    keys: Option<&'m IncomingKeys>,
+    idx: Option<&'m Indexes>,
+    ivs: Option<&'m Arc<InitialValues>>,
 }
 
-impl Indexes {
-    fn new(options: &ComposeOptions) -> Indexes {
-        let mk = || ComponentIndex::new(options.index);
-        Indexes {
-            functions_by_id: mk(),
-            functions_by_content: mk(),
-            units_by_id: mk(),
-            units_by_content: mk(),
-            compartment_types_by_id: mk(),
-            compartment_types_by_name: mk(),
-            species_types_by_id: mk(),
-            species_types_by_name: mk(),
-            compartments_by_id: mk(),
-            compartments_by_name: mk(),
-            species_by_id: mk(),
-            species_by_name: mk(),
-            parameters_by_id: mk(),
-            assignments_by_symbol: mk(),
-            rules_by_content: mk(),
-            rules_by_variable: mk(),
-            constraints_by_content: mk(),
-            reactions_by_id: mk(),
-            reactions_by_content: mk(),
-            events_by_id: mk(),
-            events_by_content: mk(),
+impl<'m> Incoming<'m> {
+    fn raw(model: &'m Model) -> Incoming<'m> {
+        Incoming { model, keys: None, idx: None, ivs: None }
+    }
+
+    fn prepared(p: &'m PreparedModel) -> Incoming<'m> {
+        Incoming {
+            model: p.model(),
+            keys: Some(&p.incoming),
+            idx: Some(&p.analysis.idx),
+            ivs: Some(&p.initial_values),
+        }
+    }
+
+    /// Species lookup through the prepared index when available (ROADMAP:
+    /// conflict-check lookups stop being linear scans), else the model's
+    /// own linear scan. First-wins index semantics match first-match scans.
+    fn species_by_id(&self, id: &str) -> Option<&'m Species> {
+        match self.idx {
+            Some(ix) => ix.species_by_id.get(id).map(|pos| &self.model.species[pos]),
+            None => self.model.species_by_id(id),
+        }
+    }
+
+    /// Compartment lookup, index-backed when prepared.
+    fn compartment_by_id(&self, id: &str) -> Option<&'m Compartment> {
+        match self.idx {
+            Some(ix) => ix.compartments_by_id.get(id).map(|pos| &self.model.compartments[pos]),
+            None => self.model.compartment_by_id(id),
+        }
+    }
+
+    /// Resolve a units reference against this model, index-backed when
+    /// prepared, falling back to SBML builtins.
+    fn resolve_units(&self, units: Option<&str>) -> Option<UnitDefinition> {
+        let id = units?;
+        match self.idx {
+            Some(ix) => {
+                ix.units_by_id.get(id).map(|pos| self.model.unit_definitions[pos].clone())
+            }
+            None => self.model.unit_definitions.iter().find(|u| u.id == id).cloned(),
+        }
+        .or_else(|| sbml_units::definition::builtin(id))
+    }
+}
+
+/// One incoming component's canonical key: a shared reference into the
+/// [`PreparedModel`]'s key store, or a key computed on the spot. Cached
+/// keys are only used where they are byte-identical to what the raw path
+/// would compute (see [`crate::prepared`] module docs).
+enum IncomingKey<'a> {
+    Cached(&'a Arc<str>),
+    Computed(String),
+}
+
+impl IncomingKey<'_> {
+    fn as_str(&self) -> &str {
+        match self {
+            IncomingKey::Cached(k) => k,
+            IncomingKey::Computed(s) => s,
+        }
+    }
+
+    /// Intern as `Arc<str>`: refcount bump for cached keys, one allocation
+    /// for computed ones.
+    fn to_arc(&self) -> Arc<str> {
+        match self {
+            IncomingKey::Cached(k) => Arc::clone(k),
+            IncomingKey::Computed(s) => Arc::from(s.as_str()),
+        }
+    }
+
+    /// Insert into an index, sharing the `Arc` when cached.
+    fn insert_into(&self, index: &mut ComponentIndex, pos: usize) -> bool {
+        match self {
+            IncomingKey::Cached(k) => index.insert_shared(k, pos),
+            IncomingKey::Computed(s) => index.insert(s, pos),
         }
     }
 }
@@ -148,16 +186,50 @@ impl DeltaIndexes {
     }
 }
 
-/// Canonical merged-side content keys per component position, interned as
-/// `Arc<str>` shared with the content indexes. Only the kinds whose merge
-/// pass compares keys on an id hit are cached; empty (and ignored) when
-/// [`ComposeOptions::cache_content_keys`] is off.
-#[derive(Debug, Clone, Default)]
-struct KeyCache {
-    functions: Vec<Arc<str>>,
-    units: Vec<Arc<str>>,
-    reactions: Vec<Arc<str>>,
-    events: Vec<Arc<str>>,
+/// The `K[...]` section of a canonical reaction key (see
+/// [`MatchContext::reaction_key`]'s format
+/// `rxn:R[..];P[..];M[..];K[math]:rev=bool`). The math section may
+/// contain almost any character (light/none-semantics keys are infix
+/// text with `=`, and patterns contain `[`/`]` for piecewise), so the
+/// markers rely on position, not alphabet: participant items are
+/// `id*stoich` (SBML ids are word characters, no `;` or `[`), making the
+/// FIRST `;K[` the true section start, and nothing but the literal
+/// `true`/`false` follows the terminator, making the LAST `]:rev=` the
+/// true section end. Do not swap `find`/`rfind` here.
+fn key_math_section(key: &str) -> Option<&str> {
+    let start = key.find(";K[")? + 3;
+    let end = key.rfind("]:rev=")?;
+    key.get(start..end)
+}
+
+/// The taken-global-id registry: an immutable base set (shared by `Arc`
+/// with a [`PreparedModel`] when one is adopted as the accumulator) plus
+/// this session's own additions. Splitting the two makes adopting a
+/// prepared base a refcount bump instead of a clone of every id string.
+#[derive(Debug, Clone)]
+struct IdRegistry {
+    base: Arc<FastSet<String>>,
+    added: FastSet<String>,
+}
+
+impl IdRegistry {
+    fn new() -> IdRegistry {
+        IdRegistry { base: Arc::new(FastSet::default()), added: FastSet::default() }
+    }
+
+    fn contains(&self, id: &str) -> bool {
+        self.base.contains(id) || self.added.contains(id)
+    }
+
+    fn insert(&mut self, id: String) {
+        self.added.insert(id);
+    }
+
+    /// Replace the whole registry with a new base set.
+    fn reset(&mut self, base: Arc<FastSet<String>>) {
+        self.base = base;
+        self.added.clear();
+    }
 }
 
 /// Component-list lengths at the start of a push; everything past these
@@ -218,9 +290,13 @@ pub struct CompositionSession<'o> {
     merged: Model,
     log: MergeLog,
     mappings: HashMap<String, String>,
-    taken: BTreeSet<String>,
-    iv_a: InitialValues,
-    iv_b: InitialValues,
+    taken: IdRegistry,
+    iv_a: Arc<InitialValues>,
+    iv_b: Arc<InitialValues>,
+    /// Initial values of the current accumulator when they are already
+    /// known (adopted from a [`PreparedModel`] base); consumed by the next
+    /// push instead of re-running [`collect`] over the accumulator.
+    base_ivs: Option<Arc<InitialValues>>,
     idx: Indexes,
     delta: DeltaIndexes,
     keys: KeyCache,
@@ -236,9 +312,10 @@ impl<'o> CompositionSession<'o> {
             merged: Model::new("empty"),
             log: MergeLog::new(),
             mappings: HashMap::new(),
-            taken: BTreeSet::new(),
-            iv_a: InitialValues::default(),
-            iv_b: InitialValues::default(),
+            taken: IdRegistry::new(),
+            iv_a: Arc::new(InitialValues::default()),
+            iv_b: Arc::new(InitialValues::default()),
+            base_ivs: None,
             idx: Indexes::new(options),
             delta: DeltaIndexes::new(options),
             keys: KeyCache::default(),
@@ -252,6 +329,23 @@ impl<'o> CompositionSession<'o> {
         let mut session = CompositionSession::new(options);
         session.merged = base;
         session.reindex();
+        session
+    }
+
+    /// A session whose accumulator starts as a clone of a prepared model,
+    /// adopting its precomputed indexes, content keys and initial values
+    /// instead of re-deriving them (the per-pair `reindex` + `collect`
+    /// cost of the raw path).
+    ///
+    /// Panics if `base` was prepared under options with a different
+    /// [fingerprint](ComposeOptions::fingerprint).
+    pub fn with_prepared_base(
+        options: &'o ComposeOptions,
+        base: &PreparedModel,
+    ) -> CompositionSession<'o> {
+        base.check_options(options);
+        let mut session = CompositionSession::new(options);
+        session.adopt_prepared(base);
         session
     }
 
@@ -289,7 +383,7 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(b);
+        self.merge_model(&Incoming::raw(b), false);
     }
 
     /// Merge one model by value: as [`CompositionSession::push`], but a
@@ -304,7 +398,75 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(&b);
+        self.merge_model(&Incoming::raw(&b), false);
+    }
+
+    /// [`CompositionSession::push`] for a push known to be the last before
+    /// [`CompositionSession::finish`]: skips maintenance work only a later
+    /// push would read. Same output, internal-only.
+    pub(crate) fn push_final(&mut self, b: &Model) {
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            // The model becomes the result as-is; no push follows, so the
+            // indexes it would seed are never consulted.
+            self.merged = b.clone();
+            return;
+        }
+        if b.is_empty() {
+            return;
+        }
+        self.merge_model(&Incoming::raw(b), true);
+    }
+
+    /// Final-push variant of [`CompositionSession::push_owned`].
+    pub(crate) fn push_owned_final(&mut self, b: Model) {
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.merged = b;
+            return;
+        }
+        if b.is_empty() {
+            return;
+        }
+        self.merge_model(&Incoming::raw(&b), true);
+    }
+
+    /// Merge one prepared model, reusing its precomputed analysis: name,
+    /// unit and (while the push has no ID mappings) content keys come from
+    /// the preparation, conflict-check lookups go through its indexes, and
+    /// its evaluated initial values replace a `collect` pass. A model that
+    /// becomes the base also donates its base-side indexes and key cache,
+    /// skipping the reindex.
+    ///
+    /// Output is bit-for-bit identical to [`CompositionSession::push`] on
+    /// the same model (a property test enforces this). Panics if `p` was
+    /// prepared under options with a different
+    /// [fingerprint](ComposeOptions::fingerprint).
+    pub fn push_prepared(&mut self, p: &PreparedModel) {
+        p.check_options(self.options());
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.adopt_prepared(p);
+            return;
+        }
+        if p.model().is_empty() {
+            return;
+        }
+        self.merge_model(&Incoming::prepared(p), false);
+    }
+
+    /// Final-push variant of [`CompositionSession::push_prepared`].
+    pub(crate) fn push_prepared_final(&mut self, p: &PreparedModel) {
+        p.check_options(self.options());
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.merged = p.model().clone();
+            return;
+        }
+        if p.model().is_empty() {
+            return;
+        }
+        self.merge_model(&Incoming::prepared(p), true);
     }
 
     /// Finish, returning the composed model, cumulative log and mappings.
@@ -328,122 +490,93 @@ impl<'o> CompositionSession<'o> {
     /// current merged model. Only needed when the accumulator is replaced
     /// wholesale; pushes maintain the indexes incrementally.
     fn reindex(&mut self) {
-        self.taken = self.merged.global_ids();
-        self.idx = Indexes::new(self.options());
+        let analysis = ModelAnalysis::build(&self.merged, self.options(), None);
+        self.taken.reset(analysis.taken);
+        self.idx = analysis.idx;
+        self.keys = analysis.keys;
         self.delta = DeltaIndexes::new(self.options());
-        self.keys = KeyCache::default();
-        let cache = self.cache_keys();
-
-        for (i, f) in self.merged.function_definitions.iter().enumerate() {
-            self.idx.functions_by_id.insert(&f.id, i);
-            let key = self.ctx.function_key(f, false);
-            let key: Arc<str> = Arc::from(key.as_str());
-            self.idx.functions_by_content.insert_shared(&key, i);
-            if cache {
-                self.keys.functions.push(key);
-            }
-        }
-        for (i, u) in self.merged.unit_definitions.iter().enumerate() {
-            self.idx.units_by_id.insert(&u.id, i);
-            let key: Arc<str> = Arc::from(self.ctx.unit_key(u).as_str());
-            self.idx.units_by_content.insert_shared(&key, i);
-            if cache {
-                self.keys.units.push(key);
-            }
-        }
-        for (i, t) in self.merged.compartment_types.iter().enumerate() {
-            self.idx.compartment_types_by_id.insert(&t.id, i);
-            self.idx
-                .compartment_types_by_name
-                .insert(&self.ctx.name_key(&t.id, t.name.as_deref()), i);
-        }
-        for (i, t) in self.merged.species_types.iter().enumerate() {
-            self.idx.species_types_by_id.insert(&t.id, i);
-            self.idx.species_types_by_name.insert(&self.ctx.name_key(&t.id, t.name.as_deref()), i);
-        }
-        for (i, c) in self.merged.compartments.iter().enumerate() {
-            self.idx.compartments_by_id.insert(&c.id, i);
-            self.idx.compartments_by_name.insert(&self.ctx.name_key(&c.id, c.name.as_deref()), i);
-        }
-        for (i, s) in self.merged.species.iter().enumerate() {
-            self.idx.species_by_id.insert(&s.id, i);
-            self.idx.species_by_name.insert(&self.ctx.name_key(&s.id, s.name.as_deref()), i);
-        }
-        for (i, p) in self.merged.parameters.iter().enumerate() {
-            self.idx.parameters_by_id.insert(&p.id, i);
-        }
-        for (i, ia) in self.merged.initial_assignments.iter().enumerate() {
-            self.idx.assignments_by_symbol.insert(&ia.symbol, i);
-        }
-        for (i, r) in self.merged.rules.iter().enumerate() {
-            self.idx.rules_by_content.insert(&self.ctx.rule_key(r, false), i);
-            if let Some(v) = r.variable() {
-                self.idx.rules_by_variable.insert(v, i);
-            }
-        }
-        for (i, c) in self.merged.constraints.iter().enumerate() {
-            self.idx.constraints_by_content.insert(&self.ctx.constraint_key(&c.math, false), i);
-        }
-        let rxn_content = self.options().cache_patterns;
-        for (i, r) in self.merged.reactions.iter().enumerate() {
-            self.idx.reactions_by_id.insert(&r.id, i);
-            if rxn_content {
-                let key: Arc<str> = Arc::from(self.ctx.reaction_key(r, false).as_str());
-                self.idx.reactions_by_content.insert_shared(&key, i);
-                if cache {
-                    self.keys.reactions.push(key);
-                }
-            }
-        }
-        for (i, ev) in self.merged.events.iter().enumerate() {
-            if let Some(id) = &ev.id {
-                self.idx.events_by_id.insert(id, i);
-            }
-            let key: Arc<str> = Arc::from(self.ctx.event_key(ev, false).as_str());
-            self.idx.events_by_content.insert_shared(&key, i);
-            if cache {
-                self.keys.events.push(key);
-            }
-        }
+        self.base_ivs = None;
     }
 
-    /// Run the Fig. 4 pipeline for one (non-empty) incoming model.
-    fn merge_model(&mut self, b: &Model) {
+    /// Replace the accumulator with a clone of a prepared model, adopting
+    /// its base-side analysis instead of rebuilding it.
+    fn adopt_prepared(&mut self, p: &PreparedModel) {
+        self.merged = p.model().clone();
+        self.taken.reset(Arc::clone(&p.analysis.taken));
+        self.idx = p.analysis.idx.clone();
+        self.keys = p.analysis.keys.clone();
+        self.delta = DeltaIndexes::new(self.options());
+        self.base_ivs = self
+            .options()
+            .collect_initial_values
+            .then(|| Arc::clone(&p.initial_values));
+    }
+
+    /// Run the Fig. 4 pipeline for one (non-empty) incoming model. With
+    /// `final_push`, skip the end-of-push index and key-cache maintenance
+    /// that only a subsequent push would consume (the merged model, log
+    /// and mappings are unaffected) — used by the one-shot entry points.
+    fn merge_model(&mut self, inc: &Incoming<'_>, final_push: bool) {
         // Per-push state: fresh mappings and initial values, clean deltas
         // (exactly what a pairwise `compose` would start from).
         self.ctx.mappings.clear();
         self.delta.clear();
         if self.options().collect_initial_values {
-            self.iv_a = collect(&self.merged);
-            self.iv_b = collect(b);
+            let base_ivs = self.base_ivs.take();
+            self.iv_a = base_ivs.unwrap_or_else(|| Arc::new(collect(&self.merged)));
+            self.iv_b = match inc.ivs {
+                Some(ivs) => Arc::clone(ivs),
+                None => Arc::new(collect(inc.model)),
+            };
         } else {
-            self.iv_a = InitialValues::default();
-            self.iv_b = InitialValues::default();
+            self.base_ivs = None;
+            self.iv_a = Arc::new(InitialValues::default());
+            self.iv_b = Arc::new(InitialValues::default());
         }
         let start = PushStart::of(&self.merged);
 
-        // Fig. 4 pipeline order.
-        self.merge_function_definitions(b);
-        self.merge_unit_definitions(b);
-        self.merge_compartment_types(b);
-        self.merge_species_types(b);
-        self.merge_compartments(b);
-        self.merge_species(b);
-        self.merge_parameters(b);
-        self.merge_initial_assignments(b);
-        self.merge_rules(b);
-        self.merge_constraints(b);
-        self.merge_reactions(b);
-        self.merge_events(b);
+        // Pre-size the accumulator for the worst case (every incoming
+        // component added) — one reserve beats repeated regrow-and-copy.
+        let b = inc.model;
+        self.merged.function_definitions.reserve(b.function_definitions.len());
+        self.merged.unit_definitions.reserve(b.unit_definitions.len());
+        self.merged.compartments.reserve(b.compartments.len());
+        self.merged.species.reserve(b.species.len());
+        self.merged.parameters.reserve(b.parameters.len());
+        self.merged.initial_assignments.reserve(b.initial_assignments.len());
+        self.merged.rules.reserve(b.rules.len());
+        self.merged.constraints.reserve(b.constraints.len());
+        self.merged.reactions.reserve(b.reactions.len());
+        self.merged.events.reserve(b.events.len());
 
-        self.finish_push(start);
+        // Fig. 4 pipeline order.
+        self.merge_function_definitions(inc);
+        self.merge_unit_definitions(inc);
+        self.merge_compartment_types(inc);
+        self.merge_species_types(inc);
+        self.merge_compartments(inc);
+        self.merge_species(inc);
+        self.merge_parameters(inc);
+        self.merge_initial_assignments(inc);
+        self.merge_rules(inc);
+        self.merge_constraints(inc);
+        self.merge_reactions(inc);
+        self.merge_events(inc);
+
+        self.finish_push(start, final_push);
     }
 
     /// Fold this push's additions into the persistent indexes under their
     /// canonical merged-side keys (the keys a from-scratch index rebuild
     /// would compute), extend the key cache, and roll the push's mappings
-    /// into the cumulative map.
-    fn finish_push(&mut self, start: PushStart) {
+    /// into the cumulative map. A `final_push` skips the index/key
+    /// fix-ups — nothing will consume them.
+    fn finish_push(&mut self, start: PushStart, final_push: bool) {
+        if final_push {
+            self.delta.clear();
+            self.mappings.extend(self.ctx.mappings.drain());
+            return;
+        }
         let cache = self.cache_keys();
 
         for pos in start.functions..self.merged.function_definitions.len() {
@@ -533,13 +666,69 @@ impl<'o> CompositionSession<'o> {
         }
     }
 
-    fn reaction_key_matches(&self, pos: usize, key: &str) -> bool {
-        if self.options().cache_patterns {
-            if let Some(cached) = self.keys.reactions.get(pos) {
-                return cached.as_ref() == key;
-            }
+    /// Id-hit comparison for reactions: exactly equivalent to comparing
+    /// the merged reaction's canonical key with the incoming mapped key,
+    /// but ordered cheapest-first — reversibility, then participant
+    /// multisets (no string building), then the kinetic-law pattern, for
+    /// which both sides' cached key sections are reused while valid.
+    fn reaction_matches(&self, pos: usize, theirs: &Reaction, inc: &Incoming<'_>, i: usize) -> bool {
+        let ours = &self.merged.reactions[pos];
+        if ours.reversible != theirs.reversible {
+            return false;
         }
-        self.ctx.reaction_key(&self.merged.reactions[pos], false) == key
+        if !self.participants_match(&ours.reactants, &theirs.reactants)
+            || !self.participants_match(&ours.products, &theirs.products)
+            || !self.participants_match(&ours.modifiers, &theirs.modifiers)
+        {
+            return false;
+        }
+        let ours_math: Cow<'_, str> = match self.keys.reactions.get(pos).and_then(|k| key_math_section(k)) {
+            Some(section) => Cow::Borrowed(section),
+            None => Cow::Owned(match &ours.kinetic_law {
+                Some(kl) => self.ctx.math_key(&kl.math, false),
+                None => "-".to_owned(),
+            }),
+        };
+        let cached_theirs = match inc.keys {
+            Some(keys) if self.refs_clean(Some(&keys.reaction_math_refs[i])) => {
+                key_math_section(&keys.reactions[i])
+            }
+            _ => None,
+        };
+        let theirs_math: Cow<'_, str> = match cached_theirs {
+            Some(section) => Cow::Borrowed(section),
+            None => Cow::Owned(match &theirs.kinetic_law {
+                Some(kl) => self.ctx.math_key(&kl.math, true),
+                None => "-".to_owned(),
+            }),
+        };
+        ours_math == theirs_math
+    }
+
+    /// Participant-list equality as the canonical key would decide it
+    /// (sorted `id*stoich` multisets, incoming ids mapped), without
+    /// building the canonical string.
+    fn participants_match(
+        &self,
+        ours: &[sbml_model::SpeciesReference],
+        theirs: &[sbml_model::SpeciesReference],
+    ) -> bool {
+        if ours.len() != theirs.len() {
+            return false;
+        }
+        // Stoichiometries compare as their canonical-key text would:
+        // `Display` for f64 is injective up to bit pattern for non-NaN
+        // values (all NaNs print "NaN"), so compare bits with NaN folded.
+        let stoich_key = |v: f64| if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
+        let mut a: Vec<(&str, u64)> =
+            ours.iter().map(|sr| (sr.species.as_str(), stoich_key(sr.stoichiometry))).collect();
+        let mut b: Vec<(&str, u64)> = theirs
+            .iter()
+            .map(|sr| (self.ctx.map_id(&sr.species), stoich_key(sr.stoichiometry)))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        a == b
     }
 
     fn event_key_matches(&self, pos: usize, key: &str) -> bool {
@@ -600,17 +789,58 @@ impl<'o> CompositionSession<'o> {
     }
 
     fn map_math(&self, math: &sbml_math::MathExpr) -> sbml_math::MathExpr {
+        if self.ctx.mappings.is_empty() {
+            return math.clone();
+        }
         rewrite::rename(math, &self.ctx.mappings)
+    }
+
+    /// Is a component with the given prepared reference set untouched by
+    /// the current push's mappings (so every `map_*`/`map_math` over it is
+    /// the identity)? Without prepared refs, only an empty mapping table
+    /// guarantees that.
+    fn refs_clean(&self, refs: Option<&[String]>) -> bool {
+        match refs {
+            Some(refs) => {
+                self.ctx.mappings.is_empty() || refs_unmapped(refs, &self.ctx.mappings)
+            }
+            None => self.ctx.mappings.is_empty(),
+        }
+    }
+
+    /// Resolve a units reference against the accumulator through the
+    /// persistent by-id index (ROADMAP: `resolve_units` was a linear scan
+    /// inside conflict checks), falling back to SBML builtins.
+    fn resolve_units_merged(&self, units: Option<&str>) -> Option<UnitDefinition> {
+        let id = units?;
+        self.idx
+            .units_by_id
+            .get(id)
+            .map(|pos| self.merged.unit_definitions[pos].clone())
+            .or_else(|| sbml_units::definition::builtin(id))
+    }
+
+    /// Accumulator compartment lookup through the persistent by-id index
+    /// (replaces `Model::compartment_by_id`'s linear scan in conflict
+    /// checks).
+    fn merged_compartment_by_id(&self, id: &str) -> Option<&Compartment> {
+        self.idx.compartments_by_id.get(id).map(|pos| &self.merged.compartments[pos])
     }
 
     // ---------------------------------------------------------------
     // Fig. 4 line 1: function definitions
     // ---------------------------------------------------------------
-    fn merge_function_definitions(&mut self, b: &Model) {
-        for f in &b.function_definitions {
-            let content_key = self.ctx.function_key(f, true);
+    fn merge_function_definitions(&mut self, inc: &Incoming<'_>) {
+        for (i, f) in inc.model.function_definitions.iter().enumerate() {
+            let content_key = match inc.keys {
+                Some(keys) if self.refs_clean(Some(&keys.function_refs[i])) => {
+                    IncomingKey::Cached(&keys.functions[i])
+                }
+                _ => IncomingKey::Computed(self.ctx.function_key(f, true)),
+            };
+            let content_key_str = content_key.as_str();
             if let Some(pos) = self.idx.functions_by_id.get(&f.id) {
-                if self.function_key_matches(pos, &content_key) {
+                if self.function_key_matches(pos, content_key_str) {
                     self.log.push(
                         EventKind::Duplicate,
                         "functionDefinition",
@@ -632,8 +862,8 @@ impl<'o> CompositionSession<'o> {
             let content_pos = self
                 .idx
                 .functions_by_content
-                .get(&content_key)
-                .or_else(|| self.delta.functions_by_content.get(&content_key));
+                .get(content_key_str)
+                .or_else(|| self.delta.functions_by_content.get(content_key_str));
             if let Some(pos) = content_pos {
                 let target = self.merged.function_definitions[pos].id.clone();
                 self.ctx.add_mapping(&f.id, &target);
@@ -649,10 +879,12 @@ impl<'o> CompositionSession<'o> {
             let final_id = self.claim_id("functionDefinition", &f.id);
             let mut nf = f.clone();
             nf.id = final_id.clone();
-            nf.body = self.map_math(&f.body);
+            if !self.refs_clean(inc.keys.map(|k| k.function_refs[i].as_ref())) {
+                nf.body = self.map_math(&f.body);
+            }
             let pos = self.merged.function_definitions.len();
             self.idx.functions_by_id.insert(&final_id, pos);
-            self.delta.functions_by_content.insert(&content_key, pos);
+            content_key.insert_into(&mut self.delta.functions_by_content, pos);
             self.merged.function_definitions.push(nf);
             self.log.push(EventKind::Added, "functionDefinition", &f.id, final_id, "new");
         }
@@ -661,11 +893,16 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 2: unit definitions
     // ---------------------------------------------------------------
-    fn merge_unit_definitions(&mut self, b: &Model) {
-        for u in &b.unit_definitions {
-            let content_key = self.ctx.unit_key(u);
+    fn merge_unit_definitions(&mut self, inc: &Incoming<'_>) {
+        for (i, u) in inc.model.unit_definitions.iter().enumerate() {
+            // Unit keys never depend on ID mappings — always reusable.
+            let content_key = match inc.keys {
+                Some(keys) => IncomingKey::Cached(&keys.units[i]),
+                None => IncomingKey::Computed(self.ctx.unit_key(u)),
+            };
+            let content_key_str = content_key.as_str();
             if let Some(pos) = self.idx.units_by_id.get(&u.id) {
-                if self.unit_key_matches(pos, &content_key) {
+                if self.unit_key_matches(pos, content_key_str) {
                     self.log.push(
                         EventKind::Duplicate,
                         "unitDefinition",
@@ -689,7 +926,7 @@ impl<'o> CompositionSession<'o> {
                 }
                 continue;
             }
-            if let Some(pos) = self.idx.units_by_content.get(&content_key) {
+            if let Some(pos) = self.idx.units_by_content.get(content_key_str) {
                 let target = self.merged.unit_definitions[pos].id.clone();
                 self.ctx.add_mapping(&u.id, &target);
                 self.log.push(
@@ -708,7 +945,7 @@ impl<'o> CompositionSession<'o> {
             self.idx.units_by_id.insert(&final_id, pos);
             // A unit's content key is invariant under renaming and
             // mappings, so it can enter the persistent index immediately.
-            let key: Arc<str> = Arc::from(content_key.as_str());
+            let key = content_key.to_arc();
             self.idx.units_by_content.insert_shared(&key, pos);
             if self.cache_keys() {
                 self.keys.units.push(key);
@@ -721,9 +958,13 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 lines 3–4: compartment types, species types
     // ---------------------------------------------------------------
-    fn merge_compartment_types(&mut self, b: &Model) {
-        for t in &b.compartment_types {
-            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
+    fn merge_compartment_types(&mut self, inc: &Incoming<'_>) {
+        for (i, t) in inc.model.compartment_types.iter().enumerate() {
+            // Name keys never depend on ID mappings — always reusable.
+            let name_key = match inc.keys {
+                Some(keys) => IncomingKey::Cached(&keys.compartment_types[i]),
+                None => IncomingKey::Computed(self.ctx.name_key(&t.id, t.name.as_deref())),
+            };
             if self.idx.compartment_types_by_id.get(&t.id).is_some() {
                 self.log.push(EventKind::Duplicate, "compartmentType", &t.id, &t.id, "same id");
                 continue;
@@ -731,8 +972,8 @@ impl<'o> CompositionSession<'o> {
             let name_pos = self
                 .idx
                 .compartment_types_by_name
-                .get(&name_key)
-                .or_else(|| self.delta.compartment_types_by_name.get(&name_key));
+                .get(name_key.as_str())
+                .or_else(|| self.delta.compartment_types_by_name.get(name_key.as_str()));
             if let Some(pos) = name_pos {
                 let target = self.merged.compartment_types[pos].id.clone();
                 self.ctx.add_mapping(&t.id, &target);
@@ -744,15 +985,18 @@ impl<'o> CompositionSession<'o> {
             nt.id = final_id.clone();
             let pos = self.merged.compartment_types.len();
             self.idx.compartment_types_by_id.insert(&final_id, pos);
-            self.delta.compartment_types_by_name.insert(&name_key, pos);
+            name_key.insert_into(&mut self.delta.compartment_types_by_name, pos);
             self.merged.compartment_types.push(nt);
             self.log.push(EventKind::Added, "compartmentType", &t.id, final_id, "new");
         }
     }
 
-    fn merge_species_types(&mut self, b: &Model) {
-        for t in &b.species_types {
-            let name_key = self.ctx.name_key(&t.id, t.name.as_deref());
+    fn merge_species_types(&mut self, inc: &Incoming<'_>) {
+        for (i, t) in inc.model.species_types.iter().enumerate() {
+            let name_key = match inc.keys {
+                Some(keys) => IncomingKey::Cached(&keys.species_types[i]),
+                None => IncomingKey::Computed(self.ctx.name_key(&t.id, t.name.as_deref())),
+            };
             if self.idx.species_types_by_id.get(&t.id).is_some() {
                 self.log.push(EventKind::Duplicate, "speciesType", &t.id, &t.id, "same id");
                 continue;
@@ -760,8 +1004,8 @@ impl<'o> CompositionSession<'o> {
             let name_pos = self
                 .idx
                 .species_types_by_name
-                .get(&name_key)
-                .or_else(|| self.delta.species_types_by_name.get(&name_key));
+                .get(name_key.as_str())
+                .or_else(|| self.delta.species_types_by_name.get(name_key.as_str()));
             if let Some(pos) = name_pos {
                 let target = self.merged.species_types[pos].id.clone();
                 self.ctx.add_mapping(&t.id, &target);
@@ -773,7 +1017,7 @@ impl<'o> CompositionSession<'o> {
             nt.id = final_id.clone();
             let pos = self.merged.species_types.len();
             self.idx.species_types_by_id.insert(&final_id, pos);
-            self.delta.species_types_by_name.insert(&name_key, pos);
+            name_key.insert_into(&mut self.delta.species_types_by_name, pos);
             self.merged.species_types.push(nt);
             self.log.push(EventKind::Added, "speciesType", &t.id, final_id, "new");
         }
@@ -782,20 +1026,23 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 5: compartments
     // ---------------------------------------------------------------
-    fn merge_compartments(&mut self, b: &Model) {
-        for c in &b.compartments {
-            let name_key = self.ctx.name_key(&c.id, c.name.as_deref());
+    fn merge_compartments(&mut self, inc: &Incoming<'_>) {
+        for (i, c) in inc.model.compartments.iter().enumerate() {
+            let name_key = match inc.keys {
+                Some(keys) => IncomingKey::Cached(&keys.compartments[i]),
+                None => IncomingKey::Computed(self.ctx.name_key(&c.id, c.name.as_deref())),
+            };
             let matched = self.idx.compartments_by_id.get(&c.id).map(|pos| (pos, true)).or_else(|| {
                 self.idx
                     .compartments_by_name
-                    .get(&name_key)
-                    .or_else(|| self.delta.compartments_by_name.get(&name_key))
+                    .get(name_key.as_str())
+                    .or_else(|| self.delta.compartments_by_name.get(name_key.as_str()))
                     .map(|pos| (pos, false))
             });
             if let Some((pos, by_identifier)) = matched {
                 let ours = &self.merged.compartments[pos];
                 let target = ours.id.clone();
-                let sizes_agree = self.compartment_sizes_agree(ours, c, b);
+                let sizes_agree = self.compartment_sizes_agree(ours, c, inc);
                 if !by_identifier {
                     self.ctx.add_mapping(&c.id, &target);
                 }
@@ -829,7 +1076,7 @@ impl<'o> CompositionSession<'o> {
             nc.outside = self.map_opt(&c.outside);
             let pos = self.merged.compartments.len();
             self.idx.compartments_by_id.insert(&final_id, pos);
-            self.delta.compartments_by_name.insert(&name_key, pos);
+            name_key.insert_into(&mut self.delta.compartments_by_name, pos);
             self.merged.compartments.push(nc);
             self.log.push(EventKind::Added, "compartment", &c.id, final_id, "new");
         }
@@ -837,9 +1084,9 @@ impl<'o> CompositionSession<'o> {
 
     fn compartment_sizes_agree(
         &self,
-        ours: &sbml_model::Compartment,
-        theirs: &sbml_model::Compartment,
-        b: &Model,
+        ours: &Compartment,
+        theirs: &Compartment,
+        inc: &Incoming<'_>,
     ) -> bool {
         let va = ours.size.or_else(|| self.iv_a.get(&ours.id));
         let vb = theirs.size.or_else(|| self.iv_b.get(&theirs.id));
@@ -852,8 +1099,8 @@ impl<'o> CompositionSession<'o> {
         // Try unit conversion (e.g. litres vs millilitres).
         let (Some(va), Some(vb)) = (va, vb) else { return false };
         let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.units.as_deref()),
-            resolve_units(b, theirs.units.as_deref()),
+            self.resolve_units_merged(ours.units.as_deref()),
+            inc.resolve_units(theirs.units.as_deref()),
         ) else {
             return false;
         };
@@ -866,21 +1113,24 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 6: species
     // ---------------------------------------------------------------
-    fn merge_species(&mut self, b: &Model) {
-        for s in &b.species {
-            let name_key = self.ctx.name_key(&s.id, s.name.as_deref());
+    fn merge_species(&mut self, inc: &Incoming<'_>) {
+        for (i, s) in inc.model.species.iter().enumerate() {
+            let name_key = match inc.keys {
+                Some(keys) => IncomingKey::Cached(&keys.species[i]),
+                None => IncomingKey::Computed(self.ctx.name_key(&s.id, s.name.as_deref())),
+            };
             let matched = self.idx.species_by_id.get(&s.id).map(|pos| (pos, true)).or_else(|| {
                 self.idx
                     .species_by_name
-                    .get(&name_key)
-                    .or_else(|| self.delta.species_by_name.get(&name_key))
+                    .get(name_key.as_str())
+                    .or_else(|| self.delta.species_by_name.get(name_key.as_str()))
                     .map(|pos| (pos, false))
             });
             if let Some((pos, by_identifier)) = matched {
                 let ours = &self.merged.species[pos];
                 let target = ours.id.clone();
-                let compartments_match = ours.compartment == self.map_string(&s.compartment);
-                let values_ok = self.species_values_agree(ours, s, b);
+                let compartments_match = ours.compartment == self.ctx.map_id(&s.compartment);
+                let values_ok = self.species_values_agree(ours, s, inc);
                 if !by_identifier {
                     self.ctx.add_mapping(&s.id, &target);
                 }
@@ -894,17 +1144,11 @@ impl<'o> CompositionSession<'o> {
                     );
                 } else {
                     let reason = if !compartments_match {
-                        "compartments differ"
+                        "compartments differ; first model wins"
                     } else {
-                        "initial values differ"
+                        "initial values differ; first model wins"
                     };
-                    self.log.push(
-                        EventKind::Conflict,
-                        "species",
-                        &s.id,
-                        target,
-                        format!("{reason}; first model wins"),
-                    );
+                    self.log.push(EventKind::Conflict, "species", &s.id, target, reason);
                 }
                 continue;
             }
@@ -916,7 +1160,7 @@ impl<'o> CompositionSession<'o> {
             ns.substance_units = self.map_opt(&s.substance_units);
             let pos = self.merged.species.len();
             self.idx.species_by_id.insert(&final_id, pos);
-            self.delta.species_by_name.insert(&name_key, pos);
+            name_key.insert_into(&mut self.delta.species_by_name, pos);
             self.merged.species.push(ns);
             self.log.push(EventKind::Added, "species", &s.id, final_id, "new");
         }
@@ -925,7 +1169,7 @@ impl<'o> CompositionSession<'o> {
     /// Initial-value agreement with Fig. 6 unit awareness:
     /// direct comparison → substance-unit conversion → amount vs
     /// concentration reconciliation through the compartment volume.
-    fn species_values_agree(&self, ours: &Species, theirs: &Species, b: &Model) -> bool {
+    fn species_values_agree(&self, ours: &Species, theirs: &Species, inc: &Incoming<'_>) -> bool {
         let va = ours.initial_value().or_else(|| self.iv_a.get(&ours.id));
         let vb = theirs.initial_value().or_else(|| self.iv_b.get(&theirs.id));
         if self.ctx.values_agree(va, vb) {
@@ -938,8 +1182,8 @@ impl<'o> CompositionSession<'o> {
 
         // Substance-unit conversion (e.g. mole vs millimole).
         if let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.substance_units.as_deref()),
-            resolve_units(b, theirs.substance_units.as_deref()),
+            self.resolve_units_merged(ours.substance_units.as_deref()),
+            inc.resolve_units(theirs.substance_units.as_deref()),
         ) {
             if let Some(factor) = conversion_factor(&ub, &ua) {
                 if self.ctx.values_agree(Some(va), Some(vb * factor)) {
@@ -950,11 +1194,10 @@ impl<'o> CompositionSession<'o> {
 
         // Amount vs concentration: amount = concentration × volume.
         let vol_a = self
-            .merged
-            .compartment_by_id(&ours.compartment)
+            .merged_compartment_by_id(&ours.compartment)
             .and_then(|c| c.size)
             .or_else(|| self.iv_a.get(&ours.compartment));
-        let vol_b = b
+        let vol_b = inc
             .compartment_by_id(&theirs.compartment)
             .and_then(|c| c.size)
             .or_else(|| self.iv_b.get(&theirs.compartment));
@@ -979,12 +1222,11 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 7: parameters (always kept; renamed on clash — §3)
     // ---------------------------------------------------------------
-    fn merge_parameters(&mut self, b: &Model) {
-        for p in &b.parameters {
+    fn merge_parameters(&mut self, inc: &Incoming<'_>) {
+        for p in &inc.model.parameters {
             if let Some(pos) = self.idx.parameters_by_id.get(&p.id) {
-                let ours = self.merged.parameters[pos].clone();
-                let ours_value = ours.value;
-                if self.parameter_values_agree(&ours, p, b) {
+                let ours_value = self.merged.parameters[pos].value;
+                if self.parameter_values_agree(&self.merged.parameters[pos], p, inc) {
                     self.log.push(
                         EventKind::Duplicate,
                         "parameter",
@@ -1036,7 +1278,7 @@ impl<'o> CompositionSession<'o> {
         }
     }
 
-    fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, b: &Model) -> bool {
+    fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, inc: &Incoming<'_>) -> bool {
         let va = ours.value.or_else(|| self.iv_a.get(&ours.id));
         let vb = theirs.value.or_else(|| self.iv_b.get(&theirs.id));
         if self.ctx.values_agree(va, vb) {
@@ -1047,8 +1289,8 @@ impl<'o> CompositionSession<'o> {
         }
         let (Some(va), Some(vb)) = (va, vb) else { return false };
         if let (Some(ua), Some(ub)) = (
-            resolve_units(&self.merged, ours.units.as_deref()),
-            resolve_units(b, theirs.units.as_deref()),
+            self.resolve_units_merged(ours.units.as_deref()),
+            inc.resolve_units(theirs.units.as_deref()),
         ) {
             if let Some(factor) = conversion_factor(&ub, &ua) {
                 return self.ctx.values_agree(Some(va), Some(vb * factor));
@@ -1060,8 +1302,8 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Initial assignments (collected before merge; conflict-checked here)
     // ---------------------------------------------------------------
-    fn merge_initial_assignments(&mut self, b: &Model) {
-        for ia in &b.initial_assignments {
+    fn merge_initial_assignments(&mut self, inc: &Incoming<'_>) {
+        for ia in &inc.model.initial_assignments {
             let symbol = self.map_string(&ia.symbol);
             if let Some(pos) = self.idx.assignments_by_symbol.get(&symbol) {
                 let ours = &self.merged.initial_assignments[pos];
@@ -1104,15 +1346,20 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 8: rules
     // ---------------------------------------------------------------
-    fn merge_rules(&mut self, b: &Model) {
-        for r in &b.rules {
-            let content_key = self.ctx.rule_key(r, true);
+    fn merge_rules(&mut self, inc: &Incoming<'_>) {
+        for (i, r) in inc.model.rules.iter().enumerate() {
+            let content_key = match inc.keys {
+                Some(keys) if self.refs_clean(Some(&keys.rule_refs[i])) => {
+                    IncomingKey::Cached(&keys.rules[i])
+                }
+                _ => IncomingKey::Computed(self.ctx.rule_key(r, true)),
+            };
             let label = r.variable().unwrap_or("<algebraic>").to_owned();
             if self
                 .idx
                 .rules_by_content
-                .get(&content_key)
-                .or_else(|| self.delta.rules_by_content.get(&content_key))
+                .get(content_key.as_str())
+                .or_else(|| self.delta.rules_by_content.get(content_key.as_str()))
                 .is_some()
             {
                 self.log.push(EventKind::Duplicate, "rule", &label, &label, "identical rule");
@@ -1132,16 +1379,18 @@ impl<'o> CompositionSession<'o> {
                 }
             }
             let mut nr = r.clone();
-            match &mut nr {
-                sbml_model::Rule::Algebraic { math } => *math = self.map_math(math),
-                sbml_model::Rule::Assignment { variable, math }
-                | sbml_model::Rule::Rate { variable, math } => {
-                    *variable = self.map_string(variable);
-                    *math = self.map_math(math);
+            if !self.refs_clean(inc.keys.map(|k| k.rule_refs[i].as_ref())) {
+                match &mut nr {
+                    sbml_model::Rule::Algebraic { math } => *math = self.map_math(math),
+                    sbml_model::Rule::Assignment { variable, math }
+                    | sbml_model::Rule::Rate { variable, math } => {
+                        *variable = self.map_string(variable);
+                        *math = self.map_math(math);
+                    }
                 }
             }
             let pos = self.merged.rules.len();
-            self.delta.rules_by_content.insert(&content_key, pos);
+            content_key.insert_into(&mut self.delta.rules_by_content, pos);
             if let Some(v) = nr.variable() {
                 self.idx.rules_by_variable.insert(v, pos);
             }
@@ -1153,23 +1402,30 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 9: constraints
     // ---------------------------------------------------------------
-    fn merge_constraints(&mut self, b: &Model) {
-        for (idx, c) in b.constraints.iter().enumerate() {
-            let key = self.ctx.constraint_key(&c.math, true);
+    fn merge_constraints(&mut self, inc: &Incoming<'_>) {
+        for (idx, c) in inc.model.constraints.iter().enumerate() {
+            let key = match inc.keys {
+                Some(keys) if self.refs_clean(Some(&keys.constraint_refs[idx])) => {
+                    IncomingKey::Cached(&keys.constraints[idx])
+                }
+                _ => IncomingKey::Computed(self.ctx.constraint_key(&c.math, true)),
+            };
             let label = format!("#{idx}");
             if self
                 .idx
                 .constraints_by_content
-                .get(&key)
-                .or_else(|| self.delta.constraints_by_content.get(&key))
+                .get(key.as_str())
+                .or_else(|| self.delta.constraints_by_content.get(key.as_str()))
                 .is_some()
             {
                 self.log.push(EventKind::Duplicate, "constraint", &label, &label, "identical");
                 continue;
             }
             let mut nc = c.clone();
-            nc.math = self.map_math(&c.math);
-            self.delta.constraints_by_content.insert(&key, self.merged.constraints.len());
+            if !self.refs_clean(inc.keys.map(|k| k.constraint_refs[idx].as_ref())) {
+                nc.math = self.map_math(&c.math);
+            }
+            key.insert_into(&mut self.delta.constraints_by_content, self.merged.constraints.len());
             self.merged.constraints.push(nc);
             self.log.push(EventKind::Added, "constraint", &label, &label, "new");
         }
@@ -1178,15 +1434,14 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 10: reactions (the most involved kind)
     // ---------------------------------------------------------------
-    fn merge_reactions(&mut self, b: &Model) {
+    fn merge_reactions(&mut self, inc: &Incoming<'_>) {
         // Pattern cache ablation: when disabled, keys are recomputed per
         // lookup through a linear rescan instead of being stored.
         let cache = self.options().cache_patterns;
-        for r in &b.reactions {
-            let content_key = self.ctx.reaction_key(r, true);
+        for (i, r) in inc.model.reactions.iter().enumerate() {
             if let Some(pos) = self.idx.reactions_by_id.get(&r.id) {
-                if self.reaction_key_matches(pos, &content_key) {
-                    self.reconcile_reaction_locals(pos, r, b);
+                if self.reaction_matches(pos, r, inc, i) {
+                    self.reconcile_reaction_locals(pos, r, inc);
                 } else {
                     self.log.push(
                         EventKind::Conflict,
@@ -1198,17 +1453,24 @@ impl<'o> CompositionSession<'o> {
                 }
                 continue;
             }
+            let content_key = match inc.keys {
+                Some(keys) if self.refs_clean(Some(&keys.reaction_refs[i])) => {
+                    IncomingKey::Cached(&keys.reactions[i])
+                }
+                _ => IncomingKey::Computed(self.ctx.reaction_key(r, true)),
+            };
+            let content_key_str = content_key.as_str();
             let content_pos = if cache {
                 self.idx
                     .reactions_by_content
-                    .get(&content_key)
-                    .or_else(|| self.delta.reactions_by_content.get(&content_key))
+                    .get(content_key_str)
+                    .or_else(|| self.delta.reactions_by_content.get(content_key_str))
             } else {
                 // no cache: rescan and recompute every time
                 self.merged
                     .reactions
                     .iter()
-                    .position(|ours| self.ctx.reaction_key(ours, false) == content_key)
+                    .position(|ours| self.ctx.reaction_key(ours, false) == content_key_str)
             };
             if let Some(pos) = content_pos {
                 let target = self.merged.reactions[pos].id.clone();
@@ -1220,25 +1482,38 @@ impl<'o> CompositionSession<'o> {
                     target,
                     "same participants and kinetics",
                 );
-                self.reconcile_reaction_locals(pos, r, b);
+                self.reconcile_reaction_locals(pos, r, inc);
                 continue;
             }
             let final_id = self.claim_id("reaction", &r.id);
             let mut nr = r.clone();
             nr.id = final_id.clone();
-            for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
-                sr.species = self.map_string(&sr.species);
-            }
-            if let Some(kl) = &mut nr.kinetic_law {
-                let locals: BTreeSet<&str> = kl.parameters.iter().map(|p| p.id.as_str()).collect();
-                let mut scoped = self.ctx.mappings.clone();
-                scoped.retain(|k, _| !locals.contains(k.as_str()));
-                kl.math = rewrite::rename(&kl.math, &scoped);
+            if !self.refs_clean(inc.keys.map(|k| k.reaction_refs[i].as_ref())) {
+                for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
+                    sr.species = self.map_string(&sr.species);
+                }
+                if let Some(kl) = &mut nr.kinetic_law {
+                    // The law's local parameters shadow the mapping table.
+                    // Hide them while renaming (O(locals) removes/restores)
+                    // instead of cloning the whole table per reaction.
+                    let mut hidden: Vec<(String, String)> = Vec::new();
+                    for p in &kl.parameters {
+                        if let Some(target) = self.ctx.mappings.remove(&p.id) {
+                            hidden.push((p.id.clone(), target));
+                        }
+                    }
+                    if !self.ctx.mappings.is_empty() {
+                        kl.math = rewrite::rename(&kl.math, &self.ctx.mappings);
+                    }
+                    for (local, target) in hidden {
+                        self.ctx.mappings.insert(local, target);
+                    }
+                }
             }
             let pos = self.merged.reactions.len();
             self.idx.reactions_by_id.insert(&final_id, pos);
             if cache {
-                self.delta.reactions_by_content.insert(&content_key, pos);
+                content_key.insert_into(&mut self.delta.reactions_by_content, pos);
             }
             self.merged.reactions.push(nr);
             self.log.push(EventKind::Added, "reaction", &r.id, final_id, "new");
@@ -1248,8 +1523,8 @@ impl<'o> CompositionSession<'o> {
     /// Matched reactions may still disagree on local rate-constant values;
     /// the paper resolves "conflicts in rate constants and stoichiometry
     /// within reactions" via Fig. 6 conversions before declaring a conflict.
-    fn reconcile_reaction_locals(&mut self, merged_pos: usize, theirs: &Reaction, b: &Model) {
-        let volume = self.reaction_volume(theirs, b).unwrap_or(1.0);
+    fn reconcile_reaction_locals(&mut self, merged_pos: usize, theirs: &Reaction, inc: &Incoming<'_>) {
+        let volume = self.reaction_volume(theirs, inc).unwrap_or(1.0);
         let order = ReactionOrder::from_reactant_count(theirs.reactant_molecule_count());
         let ours_law = self.merged.reactions[merged_pos].kinetic_law.clone();
         let (Some(ours_kl), Some(theirs_kl)) = (ours_law, &theirs.kinetic_law) else {
@@ -1274,8 +1549,8 @@ impl<'o> CompositionSession<'o> {
             let mut reconciled = false;
             if self.options().semantics == SemanticsLevel::Heavy {
                 if let (Some(ua), Some(ub), Some(va), Some(vb)) = (
-                    resolve_units(&self.merged, op.units.as_deref()),
-                    resolve_units(b, tp.units.as_deref()),
+                    self.resolve_units_merged(op.units.as_deref()),
+                    inc.resolve_units(tp.units.as_deref()),
                     op.value,
                     tp.value,
                 ) {
@@ -1332,14 +1607,14 @@ impl<'o> CompositionSession<'o> {
 
     /// The volume relevant to a reaction of the second model: the size of
     /// the compartment of its first reactant (or product).
-    fn reaction_volume(&self, r: &Reaction, b: &Model) -> Option<f64> {
+    fn reaction_volume(&self, r: &Reaction, inc: &Incoming<'_>) -> Option<f64> {
         let species_id = r
             .reactants
             .first()
             .or_else(|| r.products.first())
             .map(|sr| sr.species.as_str())?;
-        let species = b.species_by_id(species_id)?;
-        b.compartment_by_id(&species.compartment)
+        let species = inc.species_by_id(species_id)?;
+        inc.compartment_by_id(&species.compartment)
             .and_then(|c| c.size)
             .or_else(|| self.iv_b.get(&species.compartment))
     }
@@ -1347,13 +1622,18 @@ impl<'o> CompositionSession<'o> {
     // ---------------------------------------------------------------
     // Fig. 4 line 11: events
     // ---------------------------------------------------------------
-    fn merge_events(&mut self, b: &Model) {
-        for (idx, ev) in b.events.iter().enumerate() {
+    fn merge_events(&mut self, inc: &Incoming<'_>) {
+        for (idx, ev) in inc.model.events.iter().enumerate() {
             let label = ev.id.clone().unwrap_or_else(|| format!("#{idx}"));
-            let content_key = self.ctx.event_key(ev, true);
+            let content_key = match inc.keys {
+                Some(keys) if self.refs_clean(Some(&keys.event_refs[idx])) => {
+                    IncomingKey::Cached(&keys.events[idx])
+                }
+                _ => IncomingKey::Computed(self.ctx.event_key(ev, true)),
+            };
             if let Some(id) = &ev.id {
                 if let Some(pos) = self.idx.events_by_id.get(id) {
-                    if self.event_key_matches(pos, &content_key) {
+                    if self.event_key_matches(pos, content_key.as_str()) {
                         self.log.push(EventKind::Duplicate, "event", &label, id, "identical");
                     } else {
                         self.log.push(
@@ -1370,8 +1650,8 @@ impl<'o> CompositionSession<'o> {
             let content_pos = self
                 .idx
                 .events_by_content
-                .get(&content_key)
-                .or_else(|| self.delta.events_by_content.get(&content_key));
+                .get(content_key.as_str())
+                .or_else(|| self.delta.events_by_content.get(content_key.as_str()));
             if let Some(pos) = content_pos {
                 let target =
                     self.merged.events[pos].id.clone().unwrap_or_else(|| format!("@{pos}"));
@@ -1387,34 +1667,24 @@ impl<'o> CompositionSession<'o> {
             if let Some(id) = &ev.id {
                 nev.id = Some(self.claim_id("event", id));
             }
-            nev.trigger = self.map_math(&ev.trigger);
-            nev.delay = ev.delay.as_ref().map(|d| self.map_math(d));
-            for a in &mut nev.assignments {
-                a.variable = self.map_string(&a.variable);
-                a.math = self.map_math(&a.math);
+            if !self.refs_clean(inc.keys.map(|k| k.event_refs[idx].as_ref())) {
+                nev.trigger = self.map_math(&ev.trigger);
+                nev.delay = ev.delay.as_ref().map(|d| self.map_math(d));
+                for a in &mut nev.assignments {
+                    a.variable = self.map_string(&a.variable);
+                    a.math = self.map_math(&a.math);
+                }
             }
             let pos = self.merged.events.len();
             if let Some(id) = &nev.id {
                 self.idx.events_by_id.insert(id, pos);
             }
-            self.delta.events_by_content.insert(&content_key, pos);
+            content_key.insert_into(&mut self.delta.events_by_content, pos);
             let final_label = nev.id.clone().unwrap_or_else(|| label.clone());
             self.merged.events.push(nev);
             self.log.push(EventKind::Added, "event", &label, final_label, "new");
         }
     }
-}
-
-/// Resolve a units reference against a model's unit definitions, falling
-/// back to SBML builtins.
-fn resolve_units(model: &Model, units: Option<&str>) -> Option<UnitDefinition> {
-    let id = units?;
-    model
-        .unit_definitions
-        .iter()
-        .find(|u| u.id == id)
-        .cloned()
-        .or_else(|| sbml_units::definition::builtin(id))
 }
 
 #[cfg(test)]
@@ -1531,6 +1801,130 @@ mod tests {
         assert_eq!(result.model.reactions.len(), m.reactions.len());
         assert_eq!(result.model.parameters.len(), m.parameters.len());
         assert_eq!(result.log.conflict_count(), 0);
+    }
+
+    #[test]
+    fn prepared_pushes_equal_raw_pushes() {
+        let options = ComposeOptions::default();
+        let models: Vec<Model> = (0..6).map(chain_model).collect();
+
+        let mut raw = CompositionSession::new(&options);
+        for m in &models {
+            raw.push(m);
+        }
+        let raw = raw.finish();
+
+        let mut prepared = CompositionSession::new(&options);
+        for m in &models {
+            prepared.push_prepared(&PreparedModel::new(m, &options));
+        }
+        assert_eq!(prepared.pushes(), models.len());
+        let prepared = prepared.finish();
+
+        assert_eq!(prepared.model, raw.model);
+        assert_eq!(prepared.log.events, raw.log.events);
+        assert_eq!(prepared.mappings, raw.mappings);
+    }
+
+    #[test]
+    fn with_prepared_base_equals_compose() {
+        let options = ComposeOptions::default();
+        let composer = crate::composer::Composer::new(options.clone());
+        let (a, b) = (chain_model(0), chain_model(1));
+        let pairwise = composer.compose(&a, &b);
+
+        let pa = PreparedModel::new(&a, &options);
+        let pb = PreparedModel::new(&b, &options);
+        let mut session = CompositionSession::with_prepared_base(&options, &pa);
+        session.push_prepared(&pb);
+        let chained = session.finish();
+        assert_eq!(chained.model, pairwise.model);
+        assert_eq!(chained.log.events, pairwise.log.events);
+        assert_eq!(chained.mappings, pairwise.mappings);
+    }
+
+    #[test]
+    fn prepared_and_raw_pushes_interleave() {
+        let options = ComposeOptions::default();
+        let models: Vec<Model> = (0..4).map(chain_model).collect();
+        let mut raw = CompositionSession::new(&options);
+        let mut mixed = CompositionSession::new(&options);
+        for (i, m) in models.iter().enumerate() {
+            raw.push(m);
+            if i % 2 == 0 {
+                mixed.push_prepared(&PreparedModel::new(m, &options));
+            } else {
+                mixed.push(m);
+            }
+        }
+        let (raw, mixed) = (raw.finish(), mixed.finish());
+        assert_eq!(mixed.model, raw.model);
+        assert_eq!(mixed.log.events, raw.log.events);
+        assert_eq!(mixed.mappings, raw.mappings);
+    }
+
+    #[test]
+    fn prepared_function_param_shadowing_a_mapped_id() {
+        // Regression: model B's function f2 has a *parameter* named like
+        // another component that gets mapped (g → h). The raw path
+        // renames the bare body (where the param is a free id), so the
+        // prepared path must not treat the lambda-bound view's emptier
+        // reference set as clean.
+        use sbml_math::infix;
+        use sbml_model::FunctionDefinition;
+
+        let mut a = ModelBuilder::new("a").compartment("cell", 1.0).build();
+        a.function_definitions.push(FunctionDefinition::new(
+            "h",
+            vec!["x".into()],
+            infix::parse("x*2").unwrap(),
+        ));
+        let mut b = ModelBuilder::new("b").compartment("cell", 1.0).build();
+        b.function_definitions.push(FunctionDefinition::new(
+            "g",
+            vec!["x".into()],
+            infix::parse("x*2").unwrap(), // content-matches h ⇒ mapping g → h
+        ));
+        b.function_definitions.push(FunctionDefinition::new(
+            "f2",
+            vec!["g".into()], // param shadows the mapped id
+            infix::parse("g+1").unwrap(),
+        ));
+
+        let options = ComposeOptions::default();
+        let composer = crate::composer::Composer::new(options.clone());
+        let raw = composer.compose(&a, &b);
+        let prepared = composer.compose_prepared(&composer.prepare(&a), &composer.prepare(&b));
+        assert_eq!(prepared.model, raw.model);
+        assert_eq!(prepared.log.events, raw.log.events);
+        assert_eq!(prepared.mappings, raw.mappings);
+    }
+
+    #[test]
+    #[should_panic(expected = "different options")]
+    fn same_group_count_different_synonyms_rejected() {
+        // Regression: two synonym tables with equal group counts but
+        // different contents must not fingerprint equal.
+        use bio_synonyms::SynonymTable;
+        let mut table_a = SynonymTable::new();
+        table_a.add_group(["glucose", "dextrose"]);
+        let mut table_b = SynonymTable::new();
+        table_b.add_group(["ATP", "adenosine triphosphate"]);
+        let opts_a = ComposeOptions::default().with_synonyms(table_a);
+        let opts_b = ComposeOptions::default().with_synonyms(table_b);
+        let p = PreparedModel::new(&chain_model(0), &opts_a);
+        let mut session = CompositionSession::new(&opts_b);
+        session.push_prepared(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "different options")]
+    fn mismatched_preparation_is_rejected() {
+        let heavy = ComposeOptions::default();
+        let light = ComposeOptions::light();
+        let p = PreparedModel::new(&chain_model(0), &light);
+        let mut session = CompositionSession::new(&heavy);
+        session.push_prepared(&p);
     }
 
     #[test]

@@ -204,7 +204,7 @@ mod session_props {
     /// on top of `model_strategy`'s species/parameters/reactions — drawn
     /// from small overlapping pools so chained models collide in all the
     /// interesting ways (duplicates, content hits, id-clash renames).
-    fn rich_model_strategy() -> impl Strategy<Value = Model> {
+    pub(crate) fn rich_model_strategy() -> impl Strategy<Value = Model> {
         (
             model_strategy(),
             proptest::collection::vec((0usize..3, 0usize..2), 0..3), // functions
@@ -388,6 +388,131 @@ mod session_props {
         fn session_equals_fold_on_rich_self_merge(m in rich_model_strategy(), repeats in 1usize..5) {
             let chain: Vec<Model> = std::iter::repeat_with(|| m.clone()).take(repeats).collect();
             assert_equivalent(&chain)?;
+        }
+    }
+}
+
+mod prepared_props {
+    use super::*;
+    use std::sync::Arc;
+
+    use sbml_compose::{
+        compose_many_pairwise, compose_many_prepared, BatchComposer, CompositionSession,
+        PreparedModel,
+    };
+
+    use crate::session_props::rich_model_strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// `compose_prepared` is indistinguishable from raw `compose` —
+        /// model, log event sequence and mappings — for every semantics
+        /// level and cache ablation.
+        #[test]
+        fn compose_prepared_equals_compose(
+            a in rich_model_strategy(),
+            b in rich_model_strategy()
+        ) {
+            for options in [
+                ComposeOptions::heavy(),
+                ComposeOptions::light(),
+                ComposeOptions::none(),
+                ComposeOptions::default().with_pattern_cache(false),
+                ComposeOptions::default().with_content_key_cache(false),
+                ComposeOptions::default().with_initial_values(false),
+                ComposeOptions::default().with_index(sbml_compose::IndexKind::BTree),
+                ComposeOptions::default().with_index(sbml_compose::IndexKind::LinearScan),
+            ] {
+                let cmp = Composer::new(options);
+                let raw = cmp.compose(&a, &b);
+                let prepared = cmp.compose_prepared(&cmp.prepare(&a), &cmp.prepare(&b));
+                prop_assert_eq!(&prepared.model, &raw.model);
+                prop_assert_eq!(&prepared.log.events, &raw.log.events);
+                prop_assert_eq!(&prepared.mappings, &raw.mappings);
+            }
+        }
+
+        /// A chain of `push_prepared` calls equals the pairwise fold of
+        /// raw `compose`, including empty models anywhere in the chain.
+        #[test]
+        fn prepared_chain_equals_pairwise_fold(
+            models in proptest::collection::vec(rich_model_strategy(), 0..5),
+            empty_at in 0usize..6
+        ) {
+            let mut chain = models;
+            let at = empty_at % (chain.len() + 1);
+            chain.insert(at, Model::new("hole"));
+
+            let options = ComposeOptions::default();
+            let cmp = Composer::new(options.clone());
+            let folded = compose_many_pairwise(&cmp, &chain);
+
+            let prepared: Vec<PreparedModel> = chain.iter().map(|m| cmp.prepare(m)).collect();
+            let mut session = CompositionSession::new(&options);
+            for p in &prepared {
+                session.push_prepared(p);
+            }
+            let chained = session.finish();
+            prop_assert_eq!(&chained.model, &folded.model);
+            prop_assert_eq!(&chained.log.events, &folded.log.events);
+            prop_assert_eq!(&chained.mappings, &folded.mappings);
+
+            let many = compose_many_prepared(&cmp, &prepared);
+            prop_assert_eq!(&many.model, &folded.model);
+            prop_assert_eq!(&many.log.events, &folded.log.events);
+            prop_assert_eq!(&many.mappings, &folded.mappings);
+        }
+
+        /// One `Arc`-shared preparation serves many pairs (both as base
+        /// and as incoming side) without drifting from the raw path.
+        #[test]
+        fn shared_preparation_reused_across_pairs(
+            hub in rich_model_strategy(),
+            spokes in proptest::collection::vec(rich_model_strategy(), 1..4)
+        ) {
+            let cmp = Composer::default();
+            let hub_prepared = Arc::new(cmp.prepare(&hub));
+            for spoke in &spokes {
+                let spoke_prepared = cmp.prepare(spoke);
+                let forward = cmp.compose_prepared(&hub_prepared, &spoke_prepared);
+                let forward_raw = cmp.compose(&hub, spoke);
+                prop_assert_eq!(&forward.model, &forward_raw.model);
+                prop_assert_eq!(&forward.log.events, &forward_raw.log.events);
+                prop_assert_eq!(&forward.mappings, &forward_raw.mappings);
+
+                let backward = cmp.compose_prepared(&spoke_prepared, &hub_prepared);
+                let backward_raw = cmp.compose(spoke, &hub);
+                prop_assert_eq!(&backward.model, &backward_raw.model);
+                prop_assert_eq!(&backward.log.events, &backward_raw.log.events);
+                prop_assert_eq!(&backward.mappings, &backward_raw.mappings);
+            }
+        }
+
+        /// The batch all-pairs grid equals the raw per-pair path, whatever
+        /// the worker-thread count.
+        #[test]
+        fn batch_all_pairs_equals_raw_pairs(
+            models in proptest::collection::vec(rich_model_strategy(), 2..5),
+            threads in 1usize..4
+        ) {
+            let cmp = Composer::default();
+            let batch = BatchComposer::new(cmp.clone()).with_threads(threads);
+            let prepared = batch.prepare_corpus(&models);
+            let batched = batch.all_pairs_with(&prepared, |i, j, result| (i, j, result));
+            let mut expected_index = 0usize;
+            for i in 0..models.len() {
+                for j in i + 1..models.len() {
+                    let (bi, bj, result) = &batched[expected_index];
+                    prop_assert_eq!((*bi, *bj), (i, j), "pair order must be deterministic");
+                    let raw = cmp.compose(&models[i], &models[j]);
+                    prop_assert_eq!(&result.model, &raw.model);
+                    prop_assert_eq!(&result.log.events, &raw.log.events);
+                    prop_assert_eq!(&result.mappings, &raw.mappings);
+                    expected_index += 1;
+                }
+            }
+            prop_assert_eq!(batched.len(), expected_index);
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasher;
 
 use crate::ast::{MathExpr, Op};
 use crate::writer::format_number;
@@ -42,7 +43,9 @@ impl Pattern {
 
     /// Pattern of an expression, rewriting identifiers through `mappings`
     /// (model-2 id → model-1 id) first, as the merge algorithm does.
-    pub fn of_mapped(expr: &MathExpr, mappings: &HashMap<String, String>) -> Pattern {
+    /// Generic over the map's hasher so callers with faster non-SipHash
+    /// tables don't have to convert.
+    pub fn of_mapped<S: BuildHasher>(expr: &MathExpr, mappings: &HashMap<String, String, S>) -> Pattern {
         let mut out = String::with_capacity(expr.size() * 6);
         let mut bound = Vec::new();
         build(expr, mappings, &mut bound, &mut out);
@@ -65,13 +68,17 @@ impl fmt::Display for Pattern {
 ///
 /// `mappings` is applied to **both** sides (the merge applies its mapping
 /// table when reading either model's math).
-pub fn equivalent(a: &MathExpr, b: &MathExpr, mappings: &HashMap<String, String>) -> bool {
+pub fn equivalent<S: BuildHasher>(
+    a: &MathExpr,
+    b: &MathExpr,
+    mappings: &HashMap<String, String, S>,
+) -> bool {
     Pattern::of_mapped(a, mappings) == Pattern::of_mapped(b, mappings)
 }
 
-fn build(
+fn build<S: BuildHasher>(
     expr: &MathExpr,
-    mappings: &HashMap<String, String>,
+    mappings: &HashMap<String, String, S>,
     bound: &mut Vec<String>,
     out: &mut String,
 ) {
@@ -150,10 +157,10 @@ fn build(
     }
 }
 
-fn build_apply(
+fn build_apply<S: BuildHasher>(
     op: Op,
     args: &[MathExpr],
-    mappings: &HashMap<String, String>,
+    mappings: &HashMap<String, String, S>,
     bound: &mut Vec<String>,
     out: &mut String,
 ) {

@@ -6,6 +6,7 @@
 //! feeds the conflict checker, and [`substitute`] inlines function arguments.
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::BuildHasher;
 
 use crate::ast::MathExpr;
 
@@ -57,12 +58,16 @@ fn walk_collect(expr: &MathExpr, bound: &mut Vec<String>, out: &mut BTreeSet<Str
 
 /// Rename free identifiers (and function-call targets) through `map`.
 /// Lambda-bound parameters shadow the map inside their body.
-pub fn rename(expr: &MathExpr, map: &HashMap<String, String>) -> MathExpr {
+pub fn rename<S: BuildHasher>(expr: &MathExpr, map: &HashMap<String, String, S>) -> MathExpr {
     let mut bound = Vec::new();
     walk_rename(expr, map, &mut bound)
 }
 
-fn walk_rename(expr: &MathExpr, map: &HashMap<String, String>, bound: &mut Vec<String>) -> MathExpr {
+fn walk_rename<S: BuildHasher>(
+    expr: &MathExpr,
+    map: &HashMap<String, String, S>,
+    bound: &mut Vec<String>,
+) -> MathExpr {
     match expr {
         MathExpr::Ci(name) => {
             if bound.iter().any(|b| b == name) {

@@ -1,7 +1,7 @@
 //! `sbmlcompose` — command-line interface to the composition engine.
 //!
 //! ```text
-//! sbmlcompose compose  <a.xml> <b.xml> [-o merged.xml] [--log log.txt]
+//! sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]
 //!                      [--semantics heavy|light|none] [--index hash|btree|linear]
 //! sbmlcompose split    <model.xml> [-o prefix]
 //! sbmlcompose zoom     <model.xml> --seed <species>[,<species>...] [--radius N] [-o out.xml]
@@ -59,7 +59,7 @@ fn print_usage() {
         "sbmlcompose — biochemical network matching and composition (EDBT 2010)\n\
          \n\
          usage:\n\
-         \x20 sbmlcompose compose  <a.xml> <b.xml> [-o merged.xml] [--log log.txt]\n\
+         \x20 sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]\n\
          \x20                      [--semantics heavy|light|none] [--index hash|btree|linear]\n\
          \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
          \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
@@ -102,27 +102,36 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
         Some("linear") => IndexKind::LinearScan,
         Some(other) => return Err(format!("unknown index kind {other:?}")),
     };
-    let [a_path, b_path] = args.as_slice() else {
-        return Err("compose needs exactly two input files".to_owned());
-    };
+    if args.len() < 2 {
+        return Err("compose needs at least two input files".to_owned());
+    }
 
-    let (a, b) = (load_model(a_path)?, load_model(b_path)?);
+    let models = args.iter().map(|path| load_model(path)).collect::<Result<Vec<_>, _>>()?;
     let mut options = match semantics {
         SemanticsLevel::Heavy => ComposeOptions::heavy(),
         SemanticsLevel::Light => ComposeOptions::light(),
         SemanticsLevel::None => ComposeOptions::none(),
     };
     options.index = index;
-    let result = Composer::new(options).compose(&a, &b);
+    let composer = Composer::new(options);
+    let result = if let [a, b] = models.as_slice() {
+        // One-shot pair: no reuse to amortise a preparation over.
+        composer.compose(a, b)
+    } else {
+        // Longer chains run through one session over prepared models, so
+        // no step re-derives a model's analysis.
+        let prepared: Vec<_> = models.iter().map(|m| composer.prepare(m)).collect();
+        sbmlcompose::compose::compose_many_prepared(&composer, &prepared)
+    };
 
     let xml = write_sbml(&result.model);
+    let chain = models.iter().map(|m| m.id.as_str()).collect::<Vec<_>>().join(" + ");
     match out {
         Some(path) => {
             fs::write(&path, xml).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!(
-                "composed {} + {} -> {} ({} species, {} reactions; {})",
-                a.id,
-                b.id,
+                "composed {} -> {} ({} species, {} reactions; {})",
+                chain,
                 path,
                 result.model.species.len(),
                 result.model.reactions.len(),

@@ -1,0 +1,110 @@
+//! Integration tests for the `sbmlcompose compose` CLI, including the
+//! multi-file chain form (>2 inputs through one prepared-model session).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use sbmlcompose::compose::{compose_many, Composer};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::{parse_sbml, write_sbml, Model};
+
+fn chain_model(i: usize) -> Model {
+    ModelBuilder::new(format!("part{i}"))
+        .compartment("cell", 1.0)
+        .species(&format!("S{i}"), i as f64)
+        .species(&format!("S{}", i + 1), 0.0)
+        .parameter(&format!("k{i}"), 0.1 * (i + 1) as f64)
+        .reaction(
+            &format!("r{i}"),
+            &[format!("S{i}").as_str()],
+            &[format!("S{}", i + 1).as_str()],
+            &format!("k{i}*S{i}"),
+        )
+        .build()
+}
+
+/// A scratch directory unique to this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sbmlcompose_cli_{tag}_{}_{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").replace("::", "_"),
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write_inputs(dir: &std::path::Path, models: &[Model]) -> Vec<String> {
+    models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let path = dir.join(format!("in{i}.xml"));
+            fs::write(&path, write_sbml(m)).expect("write input model");
+            path.to_string_lossy().into_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn compose_two_files_matches_library() {
+    let dir = scratch("two");
+    let models = [chain_model(0), chain_model(1)];
+    let inputs = write_inputs(&dir, &models);
+    let out = dir.join("merged.xml");
+    let log = dir.join("merge.log");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .args(["-o", &out.to_string_lossy(), "--log", &log.to_string_lossy()])
+        .status()
+        .expect("run sbmlcompose");
+    assert!(status.success());
+
+    let merged = parse_sbml(&fs::read_to_string(&out).unwrap()).unwrap();
+    let expected = Composer::default().compose(&models[0], &models[1]);
+    assert_eq!(merged, expected.model);
+    let log_text = fs::read_to_string(&log).unwrap();
+    assert_eq!(log_text, expected.log.to_text());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compose_chains_more_than_two_files() {
+    let dir = scratch("chain");
+    let models: Vec<Model> = (0..4).map(chain_model).collect();
+    let inputs = write_inputs(&dir, &models);
+    let out = dir.join("merged.xml");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .args(["-o", &out.to_string_lossy(), "--log", &dir.join("m.log").to_string_lossy()])
+        .status()
+        .expect("run sbmlcompose");
+    assert!(status.success());
+
+    let merged = parse_sbml(&fs::read_to_string(&out).unwrap()).unwrap();
+    let expected = compose_many(&Composer::default(), &models);
+    assert_eq!(merged, expected.model, "CLI chain must equal library compose_many");
+    // S0..S4 shared along the chain: 5 species, 4 reactions.
+    assert_eq!(merged.species.len(), 5);
+    assert_eq!(merged.reactions.len(), 4);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compose_rejects_single_file() {
+    let dir = scratch("single");
+    let inputs = write_inputs(&dir, &[chain_model(0)]);
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .output()
+        .expect("run sbmlcompose");
+    assert_eq!(output.status.code(), Some(2), "usage error expected");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("at least two"));
+    let _ = fs::remove_dir_all(&dir);
+}
