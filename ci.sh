@@ -2,7 +2,7 @@
 # CI for the sbmlcompose workspace. Fully offline: the three external
 # crates (rand/proptest/criterion) are vendored under vendor/.
 #
-#   ./ci.sh          build + test + chain-scaling perf gate
+#   ./ci.sh          build + test + doc gate + perf gates (chain, fig8, values)
 #   ./ci.sh quick    build + test only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -14,6 +14,10 @@ echo "== test =="
 cargo test -q
 
 if [[ "${1:-}" != "quick" ]]; then
+    echo "== docs (cargo doc --no-deps, warnings are errors) =="
+    # Broken intra-doc links or malformed rustdoc fail the build.
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
     echo "== chain-scaling benchmark (writes BENCH_chain.json) =="
     cargo run --release -p compose-bench --bin chain_scaling
 
@@ -35,6 +39,18 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "all-pairs prepared-reuse speedup: ${speedup}x (gate: >= 2.0)"
     awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
         echo "FAIL: fig8 all-pairs prepared-reuse speedup regressed below 2x" >&2
+        exit 1
+    }
+
+    echo "== long-chain values benchmark (writes BENCH_values.json) =="
+    cargo run --release -p compose-bench --bin long_chain_values
+
+    # Perf gate: incremental initial-value maintenance must keep the
+    # length-128 value-heavy chain >= 2x faster than per-push re-collect.
+    speedup=$(grep -o '"speedup_incremental_values_at_length_128": [0-9.]*' BENCH_values.json | grep -o '[0-9.]*$')
+    echo "length-128 incremental-values speedup: ${speedup}x (gate: >= 2.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+        echo "FAIL: long-chain incremental-values speedup regressed below 2x" >&2
         exit 1
     }
 fi

@@ -14,6 +14,27 @@
 //! Output is bit-for-bit identical to calling [`Composer::compose`] on
 //! each raw pair (property-tested), in deterministic ascending
 //! `(i, j), i < j` order regardless of thread count.
+//!
+//! # Cost model
+//!
+//! For an *n*-model corpus with per-model size *m* and *W* workers:
+//!
+//! * [`BatchComposer::prepare_corpus`] — n independent preparations,
+//!   O(n·m) work striped across W threads; each result is `Arc`-shared,
+//!   so publishing it to every pair is a refcount bump.
+//! * [`BatchComposer::all_pairs`] / [`all_pairs_with`] — n(n−1)/2 merges
+//!   of prepared pairs, O(m) each (index probes, no per-pair
+//!   re-analysis), striped across W threads; results are re-ordered into
+//!   ascending pair order after the join, so scheduling never leaks into
+//!   output.
+//!
+//! Parallelism granularity is complementary to the session's: this module
+//! fans out *across* models/pairs, while
+//! [`CompositionSession`](crate::CompositionSession) can additionally fan
+//! out the key computation *inside* one large push
+//! ([`ComposeOptions::parallel_push_threshold`](crate::ComposeOptions::parallel_push_threshold)).
+//!
+//! [`all_pairs_with`]: BatchComposer::all_pairs_with
 
 use std::sync::Arc;
 

@@ -43,6 +43,26 @@ pub struct ComposeOptions {
     /// Evaluate initial assignments before merging and use the values in
     /// conflict checks (default: true).
     pub collect_initial_values: bool,
+    /// Maintain the accumulator's initial values *incrementally* across
+    /// [`crate::session::CompositionSession`] pushes (default: true). The
+    /// session then seeds an [`crate::initial_values::IncrementalValues`]
+    /// store once and updates it with each push's additions through a
+    /// dependency graph of initial assignments — O(k) for a push touching
+    /// k components — instead of re-running
+    /// [`crate::initial_values::collect`] over the whole accumulator
+    /// (O(n)) at every push. Values (and hence output) are identical
+    /// either way; turning this off ablates the store for benchmarking.
+    pub incremental_initial_values: bool,
+    /// Keyed-component count (components that carry a canonical content
+    /// or name key — everything except parameters and initial
+    /// assignments) at or above which a *raw* (unprepared) pushed model
+    /// gets its keys computed on a scoped thread pool before the serial
+    /// merge pass consumes them — the per-model analogue of
+    /// [`crate::BatchComposer::prepare_corpus`]'s across-model fan-out
+    /// (default: 256). Output never depends on this knob or on the thread
+    /// count; `usize::MAX` disables the parallel path, `0` forces it for
+    /// every non-empty push.
+    pub parallel_push_threshold: usize,
 }
 
 impl Default for ComposeOptions {
@@ -54,6 +74,8 @@ impl Default for ComposeOptions {
             cache_patterns: true,
             cache_content_keys: true,
             collect_initial_values: true,
+            incremental_initial_values: true,
+            parallel_push_threshold: 256,
         }
     }
 }
@@ -122,6 +144,23 @@ impl ComposeOptions {
         self
     }
 
+    /// Builder: toggle incremental initial-value maintenance across
+    /// session pushes (the re-collect ablation when off).
+    #[must_use]
+    pub fn with_incremental_initial_values(mut self, on: bool) -> ComposeOptions {
+        self.incremental_initial_values = on;
+        self
+    }
+
+    /// Builder: set the keyed-component count at which a raw push
+    /// switches to parallel content-key computation (`usize::MAX` =
+    /// never, `0` = always).
+    #[must_use]
+    pub fn with_parallel_push_threshold(mut self, threshold: usize) -> ComposeOptions {
+        self.parallel_push_threshold = threshold;
+        self
+    }
+
     /// Fingerprint of every option that influences canonical content keys
     /// and merge decisions. A [`crate::PreparedModel`] records the
     /// fingerprint it was prepared under; composing it under options with a
@@ -134,6 +173,8 @@ impl ComposeOptions {
             cache_patterns: self.cache_patterns,
             cache_content_keys: self.cache_content_keys,
             collect_initial_values: self.collect_initial_values,
+            incremental_initial_values: self.incremental_initial_values,
+            parallel_push_threshold: self.parallel_push_threshold,
             synonym_hash: self.synonyms.content_hash(),
         }
     }
@@ -148,6 +189,8 @@ pub struct OptionsFingerprint {
     cache_patterns: bool,
     cache_content_keys: bool,
     collect_initial_values: bool,
+    incremental_initial_values: bool,
+    parallel_push_threshold: usize,
     /// [`bio_synonyms::SynonymTable::content_hash`] of the synonym table
     /// — two tables with the same group count but different contents must
     /// not fingerprint equal.
@@ -197,6 +240,31 @@ mod tests {
         assert_ne!(
             base.fingerprint(),
             ComposeOptions::default().with_initial_values(false).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprints_track_incremental_and_parallel_knobs() {
+        // Regression: a PreparedModel built under different incremental /
+        // parallel settings must be rejected by the fingerprint check,
+        // like every other knob.
+        let base = ComposeOptions::default();
+        assert_ne!(
+            base.fingerprint(),
+            ComposeOptions::default().with_incremental_initial_values(false).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ComposeOptions::default().with_parallel_push_threshold(0).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            ComposeOptions::default().with_parallel_push_threshold(usize::MAX).fingerprint()
+        );
+        // Same settings still fingerprint equal.
+        assert_eq!(
+            ComposeOptions::default().with_parallel_push_threshold(64).fingerprint(),
+            ComposeOptions::default().with_parallel_push_threshold(64).fingerprint()
         );
     }
 }

@@ -10,17 +10,17 @@
 //! consumes the artifact instead of re-deriving the analysis per call.
 //!
 //! The artifact is immutable and `Send + Sync`: wrap it in an
-//! [`Arc`](std::sync::Arc) and share one preparation across any number of
+//! [`Arc`] and share one preparation across any number of
 //! concurrent compositions — the batch all-pairs workload composes each
 //! corpus model against 186 partners from a single `PreparedModel` each.
 //!
 //! Two kinds of cached keys live here:
 //!
-//! * **base-side** ([`ModelAnalysis`]): the persistent indexes and
+//! * **base-side** (`ModelAnalysis`): the persistent indexes and
 //!   canonical (unmapped) content keys a [`CompositionSession`] maintains
 //!   over its accumulator. Adopting a prepared base clones these instead of
 //!   rebuilding them (`reindex`) from the model.
-//! * **incoming-side** ([`IncomingKeys`]): the content/name keys of each
+//! * **incoming-side** (`IncomingKeys`): the content/name keys of each
 //!   component *as the merge pass would compute them for the second model*.
 //!   Name and unit keys never depend on the in-flight ID mappings and are
 //!   reused unconditionally; math-bearing keys (functions, rules,
@@ -38,7 +38,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use sbml_math::rewrite::collect_identifiers;
-use sbml_model::Model;
+use sbml_math::MathExpr;
+use sbml_model::{Event, FunctionDefinition, Model, Reaction, Rule};
 
 use crate::equality::MatchContext;
 use crate::index::ComponentIndex;
@@ -137,7 +138,7 @@ pub(crate) struct ModelAnalysis {
 /// the mapping table): the cached key equals the mapped key exactly when
 /// none of those identifiers has a mapping, which lets the merge reuse the
 /// cache far beyond the no-mappings-yet window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct IncomingKeys {
     pub(crate) functions: Vec<Arc<str>>,
     pub(crate) function_refs: Vec<Box<[String]>>,
@@ -165,6 +166,225 @@ pub(crate) struct IncomingKeys {
 /// key)?
 pub(crate) fn refs_unmapped(refs: &[String], mappings: &crate::equality::MappingTable) -> bool {
     refs.iter().all(|r| !mappings.contains_key(r))
+}
+
+// Per-kind free-reference sets, shared by the serial analysis and the
+// within-push parallel key builder so the two can never drift apart.
+
+/// Refs come from the BARE body, where params are free: the merge renames
+/// `f.body` directly (params included), so a param sharing a name with a
+/// mapped id must count as a reference. For the content key this is merely
+/// conservative (the pattern binds params positionally).
+fn function_refs(f: &FunctionDefinition) -> Box<[String]> {
+    collect_identifiers(&f.body).into_iter().collect()
+}
+
+fn rule_refs(r: &Rule) -> Box<[String]> {
+    let mut refs = collect_identifiers(r.math());
+    if let Some(v) = r.variable() {
+        refs.insert(v.to_owned());
+    }
+    refs.into_iter().collect()
+}
+
+fn constraint_refs(math: &MathExpr) -> Box<[String]> {
+    collect_identifiers(math).into_iter().collect()
+}
+
+/// A reaction's full reference set (kinetic-law ids plus participants) and
+/// the kinetic-law-only subset that governs reuse of the cached math
+/// *section* of its key.
+fn reaction_refs(r: &Reaction) -> (Box<[String]>, Box<[String]>) {
+    let math_refs = match &r.kinetic_law {
+        Some(kl) => collect_identifiers(&kl.math),
+        None => BTreeSet::new(),
+    };
+    let mut refs = math_refs.clone();
+    for sr in r.reactants.iter().chain(&r.products).chain(&r.modifiers) {
+        refs.insert(sr.species.clone());
+    }
+    (refs.into_iter().collect(), math_refs.into_iter().collect())
+}
+
+fn event_refs(ev: &Event) -> Box<[String]> {
+    let mut refs = collect_identifiers(&ev.trigger);
+    if let Some(delay) = &ev.delay {
+        refs.append(&mut collect_identifiers(delay));
+    }
+    for a in &ev.assignments {
+        refs.insert(a.variable.clone());
+        refs.append(&mut collect_identifiers(&a.math));
+    }
+    refs.into_iter().collect()
+}
+
+/// One computed per-component key (see [`IncomingKeys::build_parallel`]):
+/// a bare key, a key with its component's free-reference set, or a
+/// reaction key with both the full and the kinetic-law-only ref sets.
+enum ComputedKey {
+    Plain(Arc<str>),
+    WithRefs(Arc<str>, Box<[String]>),
+    Reaction(Arc<str>, Box<[String]>, Box<[String]>),
+}
+
+/// Compute the incoming key of one flattened job. `offsets[k]` is the
+/// first job id of component kind `k` (kinds in Fig. 4 order); empty kinds
+/// collapse to zero-width ranges the `rposition` lookup skips over.
+fn compute_key_job(
+    model: &Model,
+    ctx: &MatchContext<'_>,
+    offsets: &[usize; 10],
+    job: usize,
+) -> ComputedKey {
+    let kind = offsets.iter().rposition(|&o| job >= o).expect("job id below every offset");
+    let i = job - offsets[kind];
+    let arc = |s: String| -> Arc<str> { Arc::from(s.as_str()) };
+    match kind {
+        0 => {
+            let f = &model.function_definitions[i];
+            ComputedKey::WithRefs(arc(ctx.function_key(f, false)), function_refs(f))
+        }
+        1 => ComputedKey::Plain(arc(ctx.unit_key(&model.unit_definitions[i]))),
+        2 => {
+            let t = &model.compartment_types[i];
+            ComputedKey::Plain(arc(ctx.name_key(&t.id, t.name.as_deref())))
+        }
+        3 => {
+            let t = &model.species_types[i];
+            ComputedKey::Plain(arc(ctx.name_key(&t.id, t.name.as_deref())))
+        }
+        4 => {
+            let c = &model.compartments[i];
+            ComputedKey::Plain(arc(ctx.name_key(&c.id, c.name.as_deref())))
+        }
+        5 => {
+            let s = &model.species[i];
+            ComputedKey::Plain(arc(ctx.name_key(&s.id, s.name.as_deref())))
+        }
+        6 => {
+            let r = &model.rules[i];
+            ComputedKey::WithRefs(arc(ctx.rule_key(r, false)), rule_refs(r))
+        }
+        7 => {
+            let c = &model.constraints[i];
+            ComputedKey::WithRefs(arc(ctx.constraint_key(&c.math, false)), constraint_refs(&c.math))
+        }
+        8 => {
+            let r = &model.reactions[i];
+            let (refs, math_refs) = reaction_refs(r);
+            ComputedKey::Reaction(arc(ctx.reaction_key(r, false)), refs, math_refs)
+        }
+        9 => {
+            let ev = &model.events[i];
+            ComputedKey::WithRefs(arc(ctx.event_key(ev, false)), event_refs(ev))
+        }
+        _ => unreachable!("ten component kinds"),
+    }
+}
+
+impl IncomingKeys {
+    /// Compute a model's incoming-side keys — the same artifact
+    /// [`ModelAnalysis::build`] fills into its `incoming` argument — with
+    /// the per-component jobs striped across `workers` scoped threads,
+    /// the within-push analogue of [`crate::BatchComposer`]'s per-model
+    /// fan-out. Canonical keys are pure functions of one component each,
+    /// so worker count and striping can never influence the artifact:
+    /// output is byte-identical to the serial path for every `workers`
+    /// value (unit- and property-tested), only wall time changes.
+    ///
+    /// The session invokes this for raw pushes at or above
+    /// [`ComposeOptions::parallel_push_threshold`] components, then feeds
+    /// the keys to the serial merge pass exactly as prepared-model keys.
+    pub(crate) fn build_parallel(
+        model: &Model,
+        options: &ComposeOptions,
+        workers: usize,
+    ) -> IncomingKeys {
+        let counts = [
+            model.function_definitions.len(),
+            model.unit_definitions.len(),
+            model.compartment_types.len(),
+            model.species_types.len(),
+            model.compartments.len(),
+            model.species.len(),
+            model.rules.len(),
+            model.constraints.len(),
+            model.reactions.len(),
+            model.events.len(),
+        ];
+        let mut offsets = [0usize; 10];
+        let mut total = 0usize;
+        for (slot, count) in offsets.iter_mut().zip(counts) {
+            *slot = total;
+            total += count;
+        }
+
+        let workers = workers.clamp(1, total.max(1));
+        let mut computed: Vec<(usize, ComputedKey)> = if workers <= 1 {
+            let ctx = MatchContext::new(options);
+            (0..total).map(|job| (job, compute_key_job(model, &ctx, &offsets, job))).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let offsets = &offsets;
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let ctx = MatchContext::new(options);
+                            let mut out = Vec::new();
+                            let mut job = w;
+                            while job < total {
+                                out.push((job, compute_key_job(model, &ctx, offsets, job)));
+                                job += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|handle| handle.join().expect("push key worker panicked"))
+                    .collect()
+            })
+        };
+        computed.sort_unstable_by_key(|(job, _)| *job);
+
+        // Ascending job order is per-kind positional order, so plain
+        // pushes reassemble every vector.
+        let mut keys = IncomingKeys::default();
+        for (job, slot) in computed {
+            let kind = offsets.iter().rposition(|&o| job >= o).expect("job id below every offset");
+            match (kind, slot) {
+                (0, ComputedKey::WithRefs(key, refs)) => {
+                    keys.functions.push(key);
+                    keys.function_refs.push(refs);
+                }
+                (1, ComputedKey::Plain(key)) => keys.units.push(key),
+                (2, ComputedKey::Plain(key)) => keys.compartment_types.push(key),
+                (3, ComputedKey::Plain(key)) => keys.species_types.push(key),
+                (4, ComputedKey::Plain(key)) => keys.compartments.push(key),
+                (5, ComputedKey::Plain(key)) => keys.species.push(key),
+                (6, ComputedKey::WithRefs(key, refs)) => {
+                    keys.rules.push(key);
+                    keys.rule_refs.push(refs);
+                }
+                (7, ComputedKey::WithRefs(key, refs)) => {
+                    keys.constraints.push(key);
+                    keys.constraint_refs.push(refs);
+                }
+                (8, ComputedKey::Reaction(key, refs, math_refs)) => {
+                    keys.reactions.push(key);
+                    keys.reaction_refs.push(refs);
+                    keys.reaction_math_refs.push(math_refs);
+                }
+                (9, ComputedKey::WithRefs(key, refs)) => {
+                    keys.events.push(key);
+                    keys.event_refs.push(refs);
+                }
+                _ => unreachable!("job kind and payload always agree"),
+            }
+        }
+        keys
+    }
 }
 
 impl ModelAnalysis {
@@ -196,12 +416,7 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.functions.push(key);
-                // Refs come from the BARE body, where params are free:
-                // the merge renames `f.body` directly (params included),
-                // so a param sharing a name with a mapped id must count
-                // as a reference. For the content key this is merely
-                // conservative (the pattern binds params positionally).
-                inc.function_refs.push(collect_identifiers(&f.body).into_iter().collect());
+                inc.function_refs.push(function_refs(f));
             }
         }
         for (i, u) in model.unit_definitions.iter().enumerate() {
@@ -261,11 +476,7 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.rules.push(key);
-                let mut refs = collect_identifiers(r.math());
-                if let Some(v) = r.variable() {
-                    refs.insert(v.to_owned());
-                }
-                inc.rule_refs.push(refs.into_iter().collect());
+                inc.rule_refs.push(rule_refs(r));
             }
         }
         for (i, c) in model.constraints.iter().enumerate() {
@@ -273,7 +484,7 @@ impl ModelAnalysis {
             idx.constraints_by_content.insert_shared(&key, i);
             if let Some(inc) = inc.as_deref_mut() {
                 inc.constraints.push(key);
-                inc.constraint_refs.push(collect_identifiers(&c.math).into_iter().collect());
+                inc.constraint_refs.push(constraint_refs(&c.math));
             }
         }
         let rxn_content = options.cache_patterns;
@@ -292,16 +503,9 @@ impl ModelAnalysis {
                 }
                 if let Some(inc) = inc.as_deref_mut() {
                     inc.reactions.push(key);
-                    let math_refs = match &r.kinetic_law {
-                        Some(kl) => collect_identifiers(&kl.math),
-                        None => BTreeSet::new(),
-                    };
-                    let mut refs = math_refs.clone();
-                    for sr in r.reactants.iter().chain(&r.products).chain(&r.modifiers) {
-                        refs.insert(sr.species.clone());
-                    }
-                    inc.reaction_math_refs.push(math_refs.into_iter().collect());
-                    inc.reaction_refs.push(refs.into_iter().collect());
+                    let (refs, math_refs) = reaction_refs(r);
+                    inc.reaction_math_refs.push(math_refs);
+                    inc.reaction_refs.push(refs);
                 }
             }
         }
@@ -316,15 +520,7 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.events.push(key);
-                let mut refs = collect_identifiers(&ev.trigger);
-                if let Some(delay) = &ev.delay {
-                    refs.append(&mut collect_identifiers(delay));
-                }
-                for a in &ev.assignments {
-                    refs.insert(a.variable.clone());
-                    refs.append(&mut collect_identifiers(&a.math));
-                }
-                inc.event_refs.push(refs.into_iter().collect());
+                inc.event_refs.push(event_refs(ev));
             }
         }
         analysis
@@ -337,7 +533,7 @@ impl ModelAnalysis {
 ///
 /// Produced by [`PreparedModel::new`] or
 /// [`Composer::prepare`](crate::Composer::prepare); immutable afterwards,
-/// so one preparation (typically behind an [`Arc`](std::sync::Arc)) can
+/// so one preparation (typically behind an [`Arc`]) can
 /// serve any number of concurrent compositions.
 ///
 /// ```
@@ -488,5 +684,85 @@ mod tests {
     fn prepared_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PreparedModel>();
+    }
+
+    /// A model with several entries of every keyed kind, so every job
+    /// segment of the parallel builder is exercised.
+    fn every_kind() -> Model {
+        use sbml_math::infix;
+        use sbml_model::{Event, EventAssignment, FunctionDefinition, Rule};
+        use sbml_units::{Unit, UnitKind};
+
+        let mut m = ModelBuilder::new("all")
+            .compartment("cell", 1.0)
+            .compartment("nucleus", 0.2)
+            .species_named("glc", "glucose", 5.0)
+            .species("G6P", 0.0)
+            .species("ATP", 3.0)
+            .parameter("k1", 0.4)
+            .parameter("k2", 1.5)
+            .initial_assignment("G6P", "k1 * 10")
+            .reaction("hex", &["glc"], &["G6P"], "k1*glc*ATP")
+            .reaction("leak", &["G6P"], &["glc"], "k2*G6P")
+            .build();
+        for (i, body) in ["x*2", "x+y"].iter().enumerate() {
+            m.function_definitions.push(FunctionDefinition::new(
+                format!("fn{i}"),
+                vec!["x".into(), "y".into()],
+                infix::parse(body).unwrap(),
+            ));
+        }
+        m.unit_definitions
+            .push(sbml_units::UnitDefinition::new("per_s", vec![Unit::of(UnitKind::Second).pow(-1)]));
+        m.compartment_types.push(sbml_model::CompartmentType {
+            id: "ct0".into(),
+            name: Some("membrane".into()),
+        });
+        m.species_types.push(sbml_model::SpeciesType { id: "st0".into(), name: None });
+        m.rules.push(Rule::Rate {
+            variable: "ATP".into(),
+            math: infix::parse("0 - k2*ATP").unwrap(),
+        });
+        m.rules.push(Rule::Algebraic { math: infix::parse("glc + G6P - 5").unwrap() });
+        m.constraints.push(sbml_model::rule::Constraint {
+            math: infix::parse("glc >= 0").unwrap(),
+            message: None,
+        });
+        let mut ev = Event::new(infix::parse("time >= 3").unwrap());
+        ev.id = Some("boost".into());
+        ev.delay = Some(infix::parse("k1").unwrap());
+        ev.assignments.push(EventAssignment {
+            variable: "ATP".into(),
+            math: infix::parse("ATP + 1").unwrap(),
+        });
+        m.events.push(ev);
+        m
+    }
+
+    #[test]
+    fn parallel_incoming_keys_equal_serial_for_every_worker_count() {
+        let model = every_kind();
+        for options in
+            [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let mut serial = IncomingKeys::default();
+            ModelAnalysis::build(&model, &options, Some(&mut serial));
+            for workers in [1, 2, 3, 5, 8, 64] {
+                let parallel = IncomingKeys::build_parallel(&model, &options, workers);
+                assert_eq!(parallel, serial, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_incoming_keys_on_empty_and_tiny_models() {
+        let options = ComposeOptions::default();
+        for model in [Model::new("empty"), sample()] {
+            let mut serial = IncomingKeys::default();
+            ModelAnalysis::build(&model, &options, Some(&mut serial));
+            for workers in [1, 4] {
+                assert_eq!(IncomingKeys::build_parallel(&model, &options, workers), serial);
+            }
+        }
     }
 }

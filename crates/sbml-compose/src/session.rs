@@ -16,11 +16,44 @@
 //! * **cached content keys** — the canonical key of a merged component
 //!   (`name_key`, `math_key`-derived content keys, `unit_key`) is computed
 //!   once, interned as `Arc<str>` shared between the index and the cache,
-//!   and reused by every later push instead of being re-derived.
+//!   and reused by every later push instead of being re-derived,
+//! * **incremental initial values** — the accumulator's evaluated initial
+//!   values (the paper's pre-composition collection step) are held in an
+//!   [`IncrementalValues`] store that is seeded at the first merge and
+//!   extended with each push's additions through a dependency graph of
+//!   initial assignments, instead of re-running [`collect`] over the
+//!   whole accumulator before every push,
+//! * **within-push parallel keys** — a raw pushed model at or above
+//!   [`ComposeOptions::parallel_push_threshold`] keyed components gets its
+//!   canonical content keys computed on a scoped thread pool *before* the
+//!   serial merge pass consumes them (the per-model analogue of
+//!   [`crate::BatchComposer::prepare_corpus`]'s across-model fan-out);
+//!   below the threshold, and whenever a key's referenced ids have been
+//!   remapped mid-push, keys are computed inline as before.
+//!
+//! # Anatomy and cost of one push
+//!
+//! A push runs the paper's Fig. 4 pipeline over the incoming model `b`
+//! against the accumulator `A` (sizes `|b|`, `|A|`):
+//!
+//! | phase | work | cost |
+//! |---|---|---|
+//! | per-push reset | clear mapping table + delta indexes | O(1) amortised |
+//! | initial values | incremental store lookup (seeded once) | O(1) per push (O(&#124;A&#124;) once); O(&#124;A&#124;) per push with the store ablated |
+//! | incoming keys | serial inline, or precomputed on the pool at/above the threshold | O(&#124;b&#124;) work, ÷ cores wall-clock when parallel |
+//! | merge passes | functions → units → compartment/species types → compartments → species → parameters → initial assignments → rules → constraints → reactions → events; each component is an O(1) expected index probe (by id, then by content/name) plus a conflict check | O(&#124;b&#124;) |
+//! | finish | fold delta indexes under canonical merged-side keys, extend the key cache and the value store with the push's additions | O(additions) |
+//!
+//! Nothing in a push scales with `|A|` (the two O(n)-per-push costs the
+//! ROADMAP listed — whole-accumulator value re-collection and serial key
+//! computation — were removed by the incremental store and the parallel
+//! key path respectively), so an n-model chain is O(total components)
+//! plus index-probe constants, not O(n²).
 //!
 //! The output is bit-for-bit identical to a left fold of pairwise
 //! [`Composer::compose`] calls — `tests/properties.rs` proves model, log
-//! and mappings equality over randomized chains. Within one push the
+//! and mappings equality over randomized chains, across every semantics
+//! level, ablation knob and thread count. Within one push the
 //! session therefore mirrors a subtlety of the pairwise pass: a component
 //! inserted *during* a push is indexed under its incoming (second-model)
 //! key until the push ends, and under its canonical merged-side key
@@ -29,6 +62,7 @@
 //! indexes when the push completes.
 //!
 //! [`Composer::compose`]: crate::composer::Composer::compose
+//! [`ComposeOptions::parallel_push_threshold`]: crate::options::ComposeOptions::parallel_push_threshold
 
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -44,7 +78,7 @@ use sbml_units::UnitDefinition;
 use crate::composer::ComposeResult;
 use crate::equality::MatchContext;
 use crate::index::{ComponentIndex, FastSet};
-use crate::initial_values::{collect, InitialValues};
+use crate::initial_values::{collect, IncrementalValues, InitialValues, ValueDelta};
 use crate::log::{EventKind, MergeLog};
 use crate::options::{ComposeOptions, SemanticsLevel};
 use crate::prepared::{refs_unmapped, IncomingKeys, Indexes, KeyCache, ModelAnalysis, PreparedModel};
@@ -61,8 +95,13 @@ struct Incoming<'m> {
 }
 
 impl<'m> Incoming<'m> {
-    fn raw(model: &'m Model) -> Incoming<'m> {
-        Incoming { model, keys: None, idx: None, ivs: None }
+    /// A raw push: no prepared indexes or initial values, and content
+    /// keys only when the within-push parallel path precomputed them — the
+    /// merge passes then treat those exactly as prepared-model keys,
+    /// cached while the referenced ids are unmapped and recomputed
+    /// otherwise.
+    fn raw_with_keys(model: &'m Model, keys: Option<&'m IncomingKeys>) -> Incoming<'m> {
+        Incoming { model, keys, idx: None, ivs: None }
     }
 
     fn prepared(p: &'m PreparedModel) -> Incoming<'m> {
@@ -243,6 +282,7 @@ struct PushStart {
     compartments: usize,
     species: usize,
     parameters: usize,
+    initial_assignments: usize,
     rules: usize,
     constraints: usize,
     reactions: usize,
@@ -259,6 +299,7 @@ impl PushStart {
             compartments: model.compartments.len(),
             species: model.species.len(),
             parameters: model.parameters.len(),
+            initial_assignments: model.initial_assignments.len(),
             rules: model.rules.len(),
             constraints: model.constraints.len(),
             reactions: model.reactions.len(),
@@ -297,6 +338,12 @@ pub struct CompositionSession<'o> {
     /// known (adopted from a [`PreparedModel`] base); consumed by the next
     /// push instead of re-running [`collect`] over the accumulator.
     base_ivs: Option<Arc<InitialValues>>,
+    /// The accumulator's initial values, maintained incrementally across
+    /// pushes (seeded at the first merge, extended with each push's
+    /// additions). `None` when [`ComposeOptions::incremental_initial_values`]
+    /// is off, when values are not collected at all, or before the first
+    /// real merge.
+    incremental: Option<IncrementalValues>,
     idx: Indexes,
     delta: DeltaIndexes,
     keys: KeyCache,
@@ -316,6 +363,7 @@ impl<'o> CompositionSession<'o> {
             iv_a: Arc::new(InitialValues::default()),
             iv_b: Arc::new(InitialValues::default()),
             base_ivs: None,
+            incremental: None,
             idx: Indexes::new(options),
             delta: DeltaIndexes::new(options),
             keys: KeyCache::default(),
@@ -383,7 +431,7 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(&Incoming::raw(b), false);
+        self.merge_raw(b, false);
     }
 
     /// Merge one model by value: as [`CompositionSession::push`], but a
@@ -398,7 +446,7 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(&Incoming::raw(&b), false);
+        self.merge_raw(&b, false);
     }
 
     /// [`CompositionSession::push`] for a push known to be the last before
@@ -415,7 +463,7 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(&Incoming::raw(b), true);
+        self.merge_raw(b, true);
     }
 
     /// Final-push variant of [`CompositionSession::push_owned`].
@@ -428,7 +476,7 @@ impl<'o> CompositionSession<'o> {
         if b.is_empty() {
             return;
         }
-        self.merge_model(&Incoming::raw(&b), true);
+        self.merge_raw(&b, true);
     }
 
     /// Merge one prepared model, reusing its precomputed analysis: name,
@@ -474,6 +522,60 @@ impl<'o> CompositionSession<'o> {
         ComposeResult { model: self.merged, log: self.log, mappings: self.mappings }
     }
 
+    /// The evaluated initial values of the current accumulator — exactly
+    /// what the next push's conflict checks will consult: empty when
+    /// [`ComposeOptions::collect_initial_values`] is off, else the
+    /// incremental store's view when it is active, else recomputed via
+    /// [`collect`]. The equivalence property tests compare the store
+    /// against a fresh `collect` after every push.
+    pub fn current_initial_values(&self) -> InitialValues {
+        if !self.options().collect_initial_values {
+            return InitialValues::default();
+        }
+        match &self.incremental {
+            Some(store) => store.snapshot(),
+            None => collect(&self.merged),
+        }
+    }
+
+    /// Shared tail of every raw push entry point: precompute content keys
+    /// when the model clears the parallel threshold, then run the merge
+    /// passes.
+    fn merge_raw(&mut self, b: &Model, final_push: bool) {
+        let keys = self.precomputed_push_keys(b);
+        self.merge_model(&Incoming::raw_with_keys(b, keys.as_ref()), final_push);
+    }
+
+    /// Content keys for a raw push, computed up front on a scoped thread
+    /// pool when the model clears
+    /// [`ComposeOptions::parallel_push_threshold`] — the within-push
+    /// analogue of [`crate::BatchComposer::prepare_corpus`]'s per-model
+    /// fan-out. `None` below the threshold (the merge passes then compute
+    /// keys inline, as before).
+    fn precomputed_push_keys(&self, b: &Model) -> Option<IncomingKeys> {
+        // Gate on the components that actually produce key jobs —
+        // parameters and initial assignments have no canonical keys, so a
+        // parameter-heavy model must not spawn workers for a handful of
+        // name keys.
+        let keyed = b.function_definitions.len()
+            + b.unit_definitions.len()
+            + b.compartment_types.len()
+            + b.species_types.len()
+            + b.compartments.len()
+            + b.species.len()
+            + b.rules.len()
+            + b.constraints.len()
+            + b.reactions.len()
+            + b.events.len();
+        if keyed < self.options().parallel_push_threshold {
+            return None;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Some(IncomingKeys::build_parallel(b, self.options(), workers))
+    }
+
     fn options(&self) -> &'o ComposeOptions {
         self.ctx.options
     }
@@ -496,6 +598,7 @@ impl<'o> CompositionSession<'o> {
         self.keys = analysis.keys;
         self.delta = DeltaIndexes::new(self.options());
         self.base_ivs = None;
+        self.incremental = None;
     }
 
     /// Replace the accumulator with a clone of a prepared model, adopting
@@ -506,6 +609,7 @@ impl<'o> CompositionSession<'o> {
         self.idx = p.analysis.idx.clone();
         self.keys = p.analysis.keys.clone();
         self.delta = DeltaIndexes::new(self.options());
+        self.incremental = None;
         self.base_ivs = self
             .options()
             .collect_initial_values
@@ -522,14 +626,30 @@ impl<'o> CompositionSession<'o> {
         self.ctx.mappings.clear();
         self.delta.clear();
         if self.options().collect_initial_values {
-            let base_ivs = self.base_ivs.take();
-            self.iv_a = base_ivs.unwrap_or_else(|| Arc::new(collect(&self.merged)));
+            if self.options().incremental_initial_values {
+                // Incremental path: seed the store once — from the
+                // prepared base's already-evaluated values when we have
+                // them, else one collect-equivalent fixed point — and let
+                // `finish_push` extend it with this push's additions.
+                // Accumulator-side lookups go through `iv_a_get`.
+                if self.incremental.is_none() {
+                    let known = self.base_ivs.take();
+                    self.incremental = Some(match known {
+                        Some(iv) => IncrementalValues::seed_with_known(&self.merged, &iv),
+                        None => IncrementalValues::seed(&self.merged),
+                    });
+                }
+            } else {
+                let base_ivs = self.base_ivs.take();
+                self.iv_a = base_ivs.unwrap_or_else(|| Arc::new(collect(&self.merged)));
+            }
             self.iv_b = match inc.ivs {
                 Some(ivs) => Arc::clone(ivs),
                 None => Arc::new(collect(inc.model)),
             };
         } else {
             self.base_ivs = None;
+            self.incremental = None;
             self.iv_a = Arc::new(InitialValues::default());
             self.iv_b = Arc::new(InitialValues::default());
         }
@@ -576,6 +696,22 @@ impl<'o> CompositionSession<'o> {
             self.delta.clear();
             self.mappings.extend(self.ctx.mappings.drain());
             return;
+        }
+        // Feed the incremental value store exactly the components this
+        // push appended (already renamed/mapped — the merged model is the
+        // source of truth); it re-evaluates only the affected dependency
+        // closure, O(push), where the re-collect path is O(accumulator).
+        if let Some(store) = &mut self.incremental {
+            store.absorb(
+                &self.merged,
+                &ValueDelta {
+                    functions: start.functions,
+                    compartments: start.compartments,
+                    species: start.species,
+                    parameters: start.parameters,
+                    initial_assignments: start.initial_assignments,
+                },
+            );
         }
         let cache = self.cache_keys();
 
@@ -777,6 +913,18 @@ impl<'o> CompositionSession<'o> {
         } else {
             self.taken.insert(id.to_owned());
             id.to_owned()
+        }
+    }
+
+    /// Accumulator-side initial value of `id` as of the start of the
+    /// current push: the incremental store when active, else the batch
+    /// [`collect`] snapshot in `iv_a`. (The store is only extended in
+    /// `finish_push`, so mid-push reads always see the pre-push state,
+    /// exactly like the snapshot.)
+    fn iv_a_get(&self, id: &str) -> Option<f64> {
+        match &self.incremental {
+            Some(store) => store.get(id),
+            None => self.iv_a.get(id),
         }
     }
 
@@ -1088,7 +1236,7 @@ impl<'o> CompositionSession<'o> {
         theirs: &Compartment,
         inc: &Incoming<'_>,
     ) -> bool {
-        let va = ours.size.or_else(|| self.iv_a.get(&ours.id));
+        let va = ours.size.or_else(|| self.iv_a_get(&ours.id));
         let vb = theirs.size.or_else(|| self.iv_b.get(&theirs.id));
         if self.ctx.values_agree(va, vb) {
             return true;
@@ -1170,7 +1318,7 @@ impl<'o> CompositionSession<'o> {
     /// direct comparison → substance-unit conversion → amount vs
     /// concentration reconciliation through the compartment volume.
     fn species_values_agree(&self, ours: &Species, theirs: &Species, inc: &Incoming<'_>) -> bool {
-        let va = ours.initial_value().or_else(|| self.iv_a.get(&ours.id));
+        let va = ours.initial_value().or_else(|| self.iv_a_get(&ours.id));
         let vb = theirs.initial_value().or_else(|| self.iv_b.get(&theirs.id));
         if self.ctx.values_agree(va, vb) {
             return true;
@@ -1196,7 +1344,7 @@ impl<'o> CompositionSession<'o> {
         let vol_a = self
             .merged_compartment_by_id(&ours.compartment)
             .and_then(|c| c.size)
-            .or_else(|| self.iv_a.get(&ours.compartment));
+            .or_else(|| self.iv_a_get(&ours.compartment));
         let vol_b = inc
             .compartment_by_id(&theirs.compartment)
             .and_then(|c| c.size)
@@ -1279,7 +1427,7 @@ impl<'o> CompositionSession<'o> {
     }
 
     fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, inc: &Incoming<'_>) -> bool {
-        let va = ours.value.or_else(|| self.iv_a.get(&ours.id));
+        let va = ours.value.or_else(|| self.iv_a_get(&ours.id));
         let vb = theirs.value.or_else(|| self.iv_b.get(&theirs.id));
         if self.ctx.values_agree(va, vb) {
             return true;
@@ -1314,7 +1462,7 @@ impl<'o> CompositionSession<'o> {
                 let values_equal = self.options().collect_initial_values
                     && self
                         .ctx
-                        .values_agree(self.iv_a.get(&ours.symbol), self.iv_b.get(&ia.symbol));
+                        .values_agree(self.iv_a_get(&ours.symbol), self.iv_b.get(&ia.symbol));
                 if math_equal || values_equal {
                     self.log.push(
                         EventKind::Duplicate,
@@ -1934,6 +2082,9 @@ mod tests {
         let no_pattern_cache = ComposeOptions::default().with_pattern_cache(false);
         let btree = ComposeOptions::default().with_index(crate::IndexKind::BTree);
         let linear = ComposeOptions::default().with_index(crate::IndexKind::LinearScan);
+        let recollect = ComposeOptions::default().with_incremental_initial_values(false);
+        let always_parallel = ComposeOptions::default().with_parallel_push_threshold(0);
+        let never_parallel = ComposeOptions::default().with_parallel_push_threshold(usize::MAX);
         let models: Vec<Model> = (0..5).map(chain_model).collect();
 
         let run = |options: &ComposeOptions| {
@@ -1945,11 +2096,89 @@ mod tests {
         };
 
         let baseline = run(&heavy);
-        for options in [&no_key_cache, &no_pattern_cache, &btree, &linear] {
+        for options in [
+            &no_key_cache,
+            &no_pattern_cache,
+            &btree,
+            &linear,
+            &recollect,
+            &always_parallel,
+            &never_parallel,
+        ] {
             let other = run(options);
             assert_eq!(other.model, baseline.model);
             assert_eq!(other.log.events, baseline.log.events);
             assert_eq!(other.mappings, baseline.mappings);
         }
+    }
+
+    #[test]
+    fn incremental_values_track_collect_across_pushes() {
+        // After every push, the session's value snapshot must equal a
+        // fresh batch collect over the accumulator — with the store on,
+        // off, and across prepared/raw interleavings.
+        let incremental = ComposeOptions::default();
+        let recollect = ComposeOptions::default().with_incremental_initial_values(false);
+        for options in [&incremental, &recollect] {
+            let mut session = CompositionSession::new(options);
+            for (i, m) in (0..5).map(chain_model).enumerate() {
+                if i % 2 == 0 {
+                    session.push(&m);
+                } else {
+                    session.push_prepared(&PreparedModel::new(&m, options));
+                }
+                assert_eq!(
+                    session.current_initial_values(),
+                    crate::initial_values::collect(session.model()),
+                    "push {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_values_survive_prepared_base_adoption() {
+        let options = ComposeOptions::default();
+        let base = PreparedModel::new(&chain_model(0), &options);
+        let mut session = CompositionSession::with_prepared_base(&options, &base);
+        session.push(&chain_model(1));
+        assert_eq!(
+            session.current_initial_values(),
+            crate::initial_values::collect(session.model())
+        );
+        session.push(&chain_model(2));
+        assert_eq!(
+            session.current_initial_values(),
+            crate::initial_values::collect(session.model())
+        );
+    }
+
+    #[test]
+    fn parallel_push_threshold_does_not_change_output() {
+        // Force the within-push parallel key path for every push (and the
+        // one-shot compose entry points, which ride push_final) and
+        // compare against the never-parallel path.
+        let serial_opts = ComposeOptions::default().with_parallel_push_threshold(usize::MAX);
+        let parallel_opts = ComposeOptions::default().with_parallel_push_threshold(0);
+        let models: Vec<Model> = (0..6).map(chain_model).collect();
+
+        let run = |options: &ComposeOptions| {
+            let mut session = CompositionSession::new(options);
+            for m in &models {
+                session.push(m);
+            }
+            session.finish()
+        };
+        let serial = run(&serial_opts);
+        let parallel = run(&parallel_opts);
+        assert_eq!(parallel.model, serial.model);
+        assert_eq!(parallel.log.events, serial.log.events);
+        assert_eq!(parallel.mappings, serial.mappings);
+
+        let pair_serial = Composer::new(serial_opts.clone()).compose(&models[0], &models[1]);
+        let pair_parallel = Composer::new(parallel_opts.clone()).compose(&models[0], &models[1]);
+        assert_eq!(pair_parallel.model, pair_serial.model);
+        assert_eq!(pair_parallel.log.events, pair_serial.log.events);
+        assert_eq!(pair_parallel.mappings, pair_serial.mappings);
     }
 }

@@ -392,6 +392,101 @@ mod session_props {
     }
 }
 
+mod incremental_value_props {
+    use super::*;
+
+    use sbml_compose::initial_values::collect;
+    use sbml_compose::{compose_many_pairwise, CompositionSession, PreparedModel};
+
+    use crate::session_props::rich_model_strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The satellite invariant: a session interleaving `push` and
+        /// `push_prepared` over models whose initial assignments collide
+        /// (the rich strategy assigns into the shared S0..S7 alphabet)
+        /// reports values identical to a fresh full `collect` over the
+        /// accumulator after EVERY push — with the incremental store on,
+        /// off, and under every semantics level.
+        #[test]
+        fn interleaved_push_values_equal_fresh_collect_after_every_push(
+            models in proptest::collection::vec(rich_model_strategy(), 1..5),
+            prepared_mask in 0u32..32
+        ) {
+            for options in [
+                ComposeOptions::heavy(),
+                ComposeOptions::light(),
+                ComposeOptions::none(),
+                ComposeOptions::default().with_incremental_initial_values(false),
+                ComposeOptions::default().with_parallel_push_threshold(0),
+            ] {
+                let mut session = CompositionSession::new(&options);
+                for (i, m) in models.iter().enumerate() {
+                    if prepared_mask & (1 << (i % 32)) != 0 {
+                        session.push_prepared(&PreparedModel::new(m, &options));
+                    } else {
+                        session.push(m);
+                    }
+                    prop_assert_eq!(
+                        session.current_initial_values(),
+                        collect(session.model()),
+                        "push {} under {:?}", i, options.semantics
+                    );
+                }
+            }
+        }
+
+        /// The incremental-store and parallel-key ablations are
+        /// output-invisible: every combination equals the re-collect,
+        /// never-parallel session AND the pairwise fold, per semantics
+        /// level.
+        #[test]
+        fn incremental_and_parallel_knobs_never_change_output(
+            models in proptest::collection::vec(rich_model_strategy(), 0..5)
+        ) {
+            for base in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()] {
+                let reference_options = base
+                    .clone()
+                    .with_incremental_initial_values(false)
+                    .with_parallel_push_threshold(usize::MAX);
+                let folded =
+                    compose_many_pairwise(&Composer::new(reference_options.clone()), &models);
+                for options in [
+                    base.clone(),
+                    base.clone().with_parallel_push_threshold(0),
+                    base.clone().with_incremental_initial_values(false),
+                    base.clone()
+                        .with_initial_values(false)
+                        .with_parallel_push_threshold(0),
+                ] {
+                    let collects_values = options.collect_initial_values;
+                    let mut session = CompositionSession::new(&options);
+                    for m in &models {
+                        session.push(m);
+                    }
+                    let chained = session.finish();
+                    if collects_values {
+                        prop_assert_eq!(&chained.model, &folded.model);
+                        prop_assert_eq!(&chained.log.events, &folded.log.events);
+                        prop_assert_eq!(&chained.mappings, &folded.mappings);
+                    } else {
+                        // Without value evaluation the merge decisions may
+                        // legitimately differ from the reference; compare
+                        // against the same options' own pairwise fold
+                        // instead.
+                        let no_iv_folded =
+                            compose_many_pairwise(&Composer::new(options.clone()), &models);
+                        prop_assert_eq!(&chained.model, &no_iv_folded.model);
+                        prop_assert_eq!(&chained.log.events, &no_iv_folded.log.events);
+                        prop_assert_eq!(&chained.mappings, &no_iv_folded.mappings);
+                    }
+                }
+            }
+        }
+    }
+}
+
 mod prepared_props {
     use super::*;
     use std::sync::Arc;

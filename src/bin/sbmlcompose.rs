@@ -11,8 +11,24 @@
 //! sbmlcompose diff     <a.xml> <b.xml>
 //! ```
 //!
+//! `compose` takes **two or more** input files and folds them left to
+//! right (the first file is the base; its model id survives). Two files
+//! run the paper's pairwise algorithm directly; three or more are each
+//! analysed once into a prepared model ([`Composer::prepare`]) and folded
+//! through a single [`CompositionSession`], so no step re-derives a
+//! model's content keys, indexes or initial values — output is identical
+//! to the pairwise fold either way. `--semantics` picks the §5 matching
+//! level (default `heavy`: synonyms, commutative math patterns, unit
+//! conversion, initial-value evaluation); `--index` the lookup structure
+//! (default `hash`). Without `-o` the merged SBML goes to stdout; without
+//! `--log` the decision log (duplicates, mappings, renames, conflicts)
+//! goes to stderr.
+//!
 //! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
 //! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors.
+//!
+//! [`Composer::prepare`]: sbmlcompose::compose::Composer::prepare
+//! [`CompositionSession`]: sbmlcompose::compose::CompositionSession
 
 use std::fs;
 use std::process::ExitCode;
@@ -61,6 +77,10 @@ fn print_usage() {
          usage:\n\
          \x20 sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]\n\
          \x20                      [--semantics heavy|light|none] [--index hash|btree|linear]\n\
+         \x20        composes two or more models left to right (first file is the base).\n\
+         \x20        3+ files are analysed once each (prepared models) and folded through\n\
+         \x20        one composition session; output is identical to the pairwise fold.\n\
+         \x20        -o: merged SBML (default stdout); --log: decision log (default stderr)\n\
          \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
          \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
          \x20 sbmlcompose validate <model.xml>\n\

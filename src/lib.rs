@@ -46,6 +46,69 @@
 //!     .compose(&glycolysis_fragment, &uptake_fragment);
 //! assert_eq!(merged.model.species.len(), 2, "glucose and dextrose unified");
 //! ```
+//!
+//! ## Chain composition with a session
+//!
+//! Folding more than two models goes through one
+//! [`CompositionSession`](crate::compose::CompositionSession): the
+//! accumulator's indexes, content keys and initial values are maintained
+//! in place across pushes (never re-derived per step), and the result is
+//! bit-for-bit what a pairwise fold would produce:
+//!
+//! ```
+//! use sbmlcompose::compose::{ComposeOptions, CompositionSession};
+//! use sbmlcompose::model::builder::ModelBuilder;
+//!
+//! let pathway: Vec<_> = ["uptake", "glycolysis", "tca"]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, stage)| {
+//!         ModelBuilder::new(*stage)
+//!             .compartment("cell", 1.0)
+//!             .species(&format!("S{i}"), i as f64)      // stage input
+//!             .species(&format!("S{}", i + 1), 0.0)     // stage output
+//!             .parameter(&format!("k{i}"), 0.1)
+//!             .reaction(
+//!                 &format!("r{i}"),
+//!                 &[format!("S{i}").as_str()],
+//!                 &[format!("S{}", i + 1).as_str()],
+//!                 &format!("k{i}*S{i}"),
+//!             )
+//!             .build()
+//!     })
+//!     .collect();
+//!
+//! let options = ComposeOptions::default();
+//! let mut session = CompositionSession::new(&options);
+//! for stage in &pathway {
+//!     session.push(stage);
+//! }
+//! assert_eq!(session.pushes(), 3);
+//! // Each stage's product is the next stage's substrate — shared, not duplicated.
+//! assert_eq!(session.model().species.len(), 4); // S0..S3
+//! let result = session.finish();
+//! assert_eq!(result.model.id, "uptake", "first model is the base");
+//! assert_eq!(result.model.reactions.len(), 3);
+//! ```
+//!
+//! ## Command line
+//!
+//! The `sbmlcompose` binary (this crate's `src/bin/sbmlcompose.rs`)
+//! exposes the engine; `sbmlcompose --help` lists every command. The
+//! `compose` command chains **two or more** files left to right —
+//! three-plus files are prepared once each and folded through a single
+//! session, the prepared-model path from PR 2:
+//!
+//! ```text
+//! sbmlcompose compose a.xml b.xml c.xml -o merged.xml --log merge.log \
+//!             [--semantics heavy|light|none] [--index hash|btree|linear]
+//! ```
+//!
+//! `split`, `zoom`, `validate`, `simulate`, `check` and `diff` cover
+//! decomposition, submodel extraction, validation, ODE simulation,
+//! Monte-Carlo PLTL checking and §4.1.1 textual comparison; see the
+//! [`compose`] crate docs (section *Command-line interface*) for the full
+//! reference.
 
 pub use bio_graph as graph;
 pub use bio_sim as sim;
