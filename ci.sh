@@ -53,6 +53,21 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "FAIL: long-chain incremental-values speedup regressed below 2x" >&2
         exit 1
     }
+
+    echo "== pipeline conflict benchmark (writes BENCH_pipeline.json) =="
+    cargo run --release -p compose-bench --bin pipeline_conflict
+
+    # Perf gate: the pipelined engine (merge-pass dependency DAG at 4
+    # configured threads + incremental cached-key renaming) must stay
+    # >= 1.5x faster than the serial full-recompute engine on the
+    # conflict-heavy corpus chain. BENCH_pipeline.json records the
+    # configured threads and the host parallelism the run actually had.
+    speedup=$(grep -o '"speedup_pipelined_vs_serial": [0-9.]*' BENCH_pipeline.json | grep -o '[0-9.]*$')
+    echo "conflict-corpus pipelined speedup: ${speedup}x (gate: >= 1.5)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+        echo "FAIL: pipelined-vs-serial speedup regressed below 1.5x" >&2
+        exit 1
+    }
 fi
 
 echo "CI OK"

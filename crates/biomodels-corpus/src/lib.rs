@@ -279,6 +279,134 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
+/// Number of shared-id parameters every [`corpus_conflict`] model carries
+/// (each pair of models disagrees on all of their values).
+pub const CONFLICT_SHARED_PARAMS: usize = 16;
+
+/// Number of name-mapped alias species per [`corpus_conflict`] model.
+pub const CONFLICT_ALIASES: usize = 8;
+
+/// A deterministic **conflict-heavy corpus**: `n` models of identical
+/// shape built so that *every* pair forces renames and records mappings —
+/// the workload where per-pair cost is dominated by revalidating cached
+/// content keys under live ID mappings:
+///
+/// * **parameters** share ids (`k{j}`) with values that diverge per model,
+///   so every pair conflicts on every shared parameter — the incoming one
+///   is renamed (`k{j}_1`) and the rename recorded as a mapping;
+/// * **alias species** carry per-model ids under shared display names, so
+///   every pair unifies them *by name* and records a mapping per alias;
+/// * the bulk species share ids and values (plain id-hit duplicates), and
+///   **reactions, rules, constraints and events** carry model-unique ids
+///   and *large* commutative formulas (≈ two dozen operand groups) that
+///   reference one or two mapped aliases amid dozens of untouched shared
+///   species. Every such formula fails the clean-references fast path —
+///   its cached key must be revalidated under the pair's mappings, after
+///   which most components content-match the base model's — while only a
+///   leaf or two of each actually changed: the exact shape that separates
+///   incremental key renaming (O(touched leaves), dirty commutative
+///   groups only) from full re-canonicalisation (O(formula));
+/// * every eighth reaction references a conflicted `k{j}` instead, so its
+///   mapped kinetics match nothing and the full insert path (rename the
+///   maths, claim the id, extend the indexes) stays exercised too.
+///
+/// Deterministic and RNG-free: `corpus_conflict(n)` returns byte-identical
+/// models on every call. Each model has 257 keyed components (64 + 8
+/// species, 64 reactions, 48 rules, 24 constraints, 32 events, 16
+/// functions, one compartment), which also clears the default
+/// `parallel_push_threshold` of 256.
+pub fn corpus_conflict(n: usize) -> Vec<Model> {
+    (0..n).map(conflict_model).collect()
+}
+
+fn conflict_model(i: usize) -> Model {
+    use sbml_math::infix;
+    use sbml_model::{Event, EventAssignment, FunctionDefinition, Rule};
+
+    const SPECIES: usize = 64;
+    const REACTIONS: usize = 64;
+    const RULES: usize = 48;
+    const CONSTRAINTS: usize = 24;
+    const EVENTS: usize = 32;
+    const FUNCTIONS: usize = 16;
+
+    // Shared-id species: id hits in every pair, never mapped — the
+    // untouched operands of every formula.
+    let sp = |j: usize| format!("cs{}", j % SPECIES);
+    let al = |j: usize| format!("alias{i}_{}", j % CONFLICT_ALIASES);
+    let k = |j: usize| format!("k{}", j % CONFLICT_SHARED_PARAMS);
+    // A wide commutative sum of species products: `groups` untouched
+    // operand groups seeded by `salt`, plus the caller-chosen head term.
+    let wide = |head: String, salt: usize, groups: usize| -> String {
+        let mut terms = vec![head];
+        terms.extend((0..groups).map(|t| format!("{} * {}", sp(salt + t), sp(salt + 5 * t + 2))));
+        terms.join(" + ")
+    };
+
+    let mut b = ModelBuilder::new(format!("CONF{i:03}")).compartment("cell", 1.0);
+    for j in 0..SPECIES {
+        b = b.species(&sp(j), (j % 9) as f64);
+    }
+    for j in 0..CONFLICT_ALIASES {
+        // Divergent ids under shared names -> Mapped in every pair.
+        b = b.species_named(&al(j), &format!("conf_alias{j}"), 2.0 + j as f64);
+    }
+    for j in 0..CONFLICT_SHARED_PARAMS {
+        // Shared ids, divergent values -> conflict + rename in every pair.
+        b = b.parameter(&k(j), round3(0.1 * (j + 1) as f64 + 0.013 * (i + 1) as f64));
+    }
+    for j in 0..REACTIONS {
+        // Most reactions content-match the base once the alias mapping is
+        // applied; every eighth references a conflicted parameter instead
+        // and must be inserted with rewritten maths.
+        let head = if j % 8 == 0 {
+            format!("{} * {}", k(j), sp(j + 3))
+        } else {
+            format!("{} * {}", al(j), sp(j + 3))
+        };
+        let law = wide(head, j, 40);
+        let (a, c) = (sp(j), sp(j + 1));
+        b = b.reaction(&format!("r{i}_{j}"), &[a.as_str()], &[c.as_str()], &law);
+    }
+    let mut m = b.build();
+    for j in 0..FUNCTIONS {
+        // Model-unique ids and bodies (the trailing constant differs per
+        // model), so pairs neither id- nor content-match: pure insert
+        // work, runnable in the pipeline's first wave.
+        m.function_definitions.push(FunctionDefinition::new(
+            format!("f{i}_{j}"),
+            vec!["x".into(), "y".into()],
+            infix::parse(&format!("x*y + x*{j} + y + {i}")).unwrap(),
+        ));
+    }
+    for j in 0..RULES {
+        // Algebraic (variable-free) so the mapped rule content-matches.
+        let math = wide(format!("{} * {}", al(j), sp(j + 7)), j + 11, 32);
+        m.rules.push(Rule::Algebraic { math: infix::parse(&math).unwrap() });
+    }
+    for j in 0..CONSTRAINTS {
+        let sum = wide(al(j), j + 29, 24);
+        m.constraints.push(sbml_model::rule::Constraint {
+            math: infix::parse(&format!("{sum} >= 0")).unwrap(),
+            message: None,
+        });
+    }
+    for j in 0..EVENTS {
+        let trigger = wide(al(j), j + 41, 16);
+        let mut ev = Event::new(infix::parse(&format!("{trigger} > 3")).unwrap());
+        ev.id = Some(format!("e{i}_{j}"));
+        for t in 0..2 {
+            let sum = wide(format!("{} * {}", al(j + t), sp(j + t + 1)), j + t + 53, 12);
+            ev.assignments.push(EventAssignment {
+                variable: sp(j + t),
+                math: infix::parse(&sum).unwrap(),
+            });
+        }
+        m.events.push(ev);
+    }
+    m
+}
+
 /// Synonym groups used by [`synonym_variant`]: pairs of (canonical, alias)
 /// drawn from the builtin synonym table, so heavy-semantics matching can
 /// unify the variant with the original while id-based matching cannot.
@@ -498,6 +626,45 @@ mod tests {
             .filter(|x| x.severity == sbml_model::Severity::Error)
             .collect();
         assert!(errors.is_empty(), "{errors:?}\n{}", result.log.to_text());
+    }
+
+    #[test]
+    fn conflict_corpus_is_deterministic_and_conflict_heavy() {
+        let a = corpus_conflict(3);
+        let b = corpus_conflict(3);
+        assert_eq!(a, b, "corpus must be byte-identical across calls");
+        assert_eq!(a.len(), 3);
+
+        // Every pair must force renames AND mappings.
+        let composer = sbml_compose::Composer::default();
+        let result = composer.compose(&a[0], &a[1]);
+        use sbml_compose::EventKind;
+        let mapped = result.log.of_kind(EventKind::Mapped).count();
+        let renamed = result.log.of_kind(EventKind::Renamed).count();
+        assert!(mapped >= CONFLICT_ALIASES, "alias species should map by name ({mapped})");
+        assert!(renamed >= CONFLICT_SHARED_PARAMS, "all shared parameters should rename ({renamed})");
+        assert!(
+            result.mappings.len() >= CONFLICT_SHARED_PARAMS + CONFLICT_ALIASES,
+            "every pair records param renames and alias mappings ({})",
+            result.mappings.len()
+        );
+    }
+
+    #[test]
+    fn conflict_corpus_pipelined_equals_serial() {
+        let models = corpus_conflict(2);
+        let serial_opts = sbml_compose::ComposeOptions::default()
+            .with_merge_pipeline(false)
+            .with_parallel_push_threshold(0);
+        let pipelined_opts = sbml_compose::ComposeOptions::default()
+            .with_parallel_push_threshold(0)
+            .with_pipeline_threads(4);
+        let serial = sbml_compose::Composer::new(serial_opts).compose(&models[0], &models[1]);
+        let pipelined =
+            sbml_compose::Composer::new(pipelined_opts).compose(&models[0], &models[1]);
+        assert_eq!(pipelined.model, serial.model);
+        assert_eq!(pipelined.log.events, serial.log.events);
+        assert_eq!(pipelined.mappings, serial.mappings);
     }
 
     #[test]

@@ -108,6 +108,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        compose_bench::host_parallelism()
+    ));
     json.push_str("  \"benchmark\": \"fig8_all_pairs\",\n");
     json.push_str("  \"corpus\": \"biomodels_corpus::corpus_187 (deterministic synthetic)\",\n");
     json.push_str(&format!("  \"models\": {n},\n"));

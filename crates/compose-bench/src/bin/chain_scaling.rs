@@ -96,6 +96,12 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        compose_bench::host_parallelism()
+    ));
+    // Single-threaded measurement; recorded for cross-machine comparability.
+    json.push_str("  \"threads\": 1,\n");
     json.push_str("  \"benchmark\": \"chain_scaling\",\n");
     json.push_str("  \"corpus\": \"biomodels_corpus::corpus_187 (deterministic synthetic)\",\n");
     json.push_str("  \"engines\": {\n");

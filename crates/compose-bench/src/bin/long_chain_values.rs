@@ -133,6 +133,12 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        compose_bench::host_parallelism()
+    ));
+    // Single-threaded measurement; recorded for cross-machine comparability.
+    json.push_str("  \"threads\": 1,\n");
     json.push_str("  \"benchmark\": \"long_chain_values\",\n");
     json.push_str("  \"corpus\": \"deterministic value-heavy chain models (24 chained initial assignments each)\",\n");
     json.push_str("  \"engines\": {\n");

@@ -20,6 +20,13 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+/// The host's available parallelism (1 when undetectable). Recorded in
+/// every `BENCH_*.json` so perf trajectories are comparable across
+/// machines.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Median wall-clock seconds of `runs` executions of `f` (min 1).
 pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
     let runs = runs.max(1);

@@ -7,7 +7,7 @@
 //! no-semantics keys are raw identifiers and raw structure.
 
 use sbml_math::pattern::Pattern;
-use sbml_math::rewrite;
+use sbml_math::rewrite::{self, Resolver};
 use sbml_math::MathExpr;
 use sbml_model::{Event, FunctionDefinition, Reaction, Rule};
 use sbml_units::UnitDefinition;
@@ -22,6 +22,170 @@ pub const VALUE_TOLERANCE: f64 = 1e-9;
 /// non-SipHash map: it is probed for every identifier of every compared
 /// component.
 pub type MappingTable = FastMap<String, String>;
+
+/// The empty mapping: first-model content is already in composed id space,
+/// so its keys are built with this resolver.
+pub(crate) struct NoMap;
+
+impl Resolver for NoMap {
+    fn resolve(&self, _id: &str) -> Option<&str> {
+        None
+    }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canonical key derivation, generic over the mapping lookup. The merge
+// passes hand in whatever mapping structure they run over — the single
+// per-push table on the serial path, a sharded per-pass view on the
+// pipelined path, [`NoMap`] for merged-side content — and every path
+// produces byte-identical keys.
+// ---------------------------------------------------------------------
+
+/// Map an id through the resolver (identity when unmapped).
+pub(crate) fn resolve_id<'a, R: Resolver + ?Sized>(maps: &'a R, id: &'a str) -> &'a str {
+    maps.resolve(id).unwrap_or(id)
+}
+
+/// Canonical key for an entity name — see [`MatchContext::name_key`].
+pub(crate) fn name_key(options: &ComposeOptions, id: &str, name: Option<&str>) -> String {
+    match options.semantics {
+        SemanticsLevel::None => id.to_owned(),
+        SemanticsLevel::Light | SemanticsLevel::Heavy => {
+            let label = name.unwrap_or(id);
+            options.synonyms.match_key(label)
+        }
+    }
+}
+
+/// Canonical key for mathematics under `maps`.
+pub(crate) fn math_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    math: &MathExpr,
+    maps: &R,
+) -> String {
+    match options.semantics {
+        // Heavy: the paper's Fig. 7 commutativity-aware pattern.
+        SemanticsLevel::Heavy => Pattern::of_resolved(math, maps).as_str().to_owned(),
+        // Light: structural form with mappings but no canonicalisation.
+        SemanticsLevel::Light => {
+            let renamed = rewrite::rename_resolved(math, maps);
+            structural_string(&renamed)
+        }
+        // None: raw structure, raw ids.
+        SemanticsLevel::None => structural_string(math),
+    }
+}
+
+/// Canonical key for a unit definition — mapping-independent.
+pub(crate) fn unit_key(options: &ComposeOptions, def: &UnitDefinition) -> String {
+    match options.semantics {
+        SemanticsLevel::Heavy => def.signature().key(),
+        SemanticsLevel::Light | SemanticsLevel::None => {
+            let mut parts: Vec<String> = def
+                .units
+                .iter()
+                .map(|u| format!("{}^{}@{}x{}", u.kind.name(), u.exponent, u.scale, u.multiplier))
+                .collect();
+            parts.sort();
+            parts.join(",")
+        }
+    }
+}
+
+/// Canonical key for a function definition.
+pub(crate) fn function_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    f: &FunctionDefinition,
+    maps: &R,
+) -> String {
+    let lambda = f.as_lambda();
+    format!("fn:{}:{}", f.params.len(), math_key(options, &lambda, maps))
+}
+
+/// Canonical key for a rule.
+pub(crate) fn rule_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    rule: &Rule,
+    maps: &R,
+) -> String {
+    match rule {
+        Rule::Algebraic { math } => format!("alg:{}", math_key(options, math, maps)),
+        Rule::Assignment { variable, math } => {
+            format!("asg:{}:{}", resolve_id(maps, variable), math_key(options, math, maps))
+        }
+        Rule::Rate { variable, math } => {
+            format!("rate:{}:{}", resolve_id(maps, variable), math_key(options, math, maps))
+        }
+    }
+}
+
+/// Canonical key for a constraint.
+pub(crate) fn constraint_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    math: &MathExpr,
+    maps: &R,
+) -> String {
+    format!("con:{}", math_key(options, math, maps))
+}
+
+/// Canonical key for a reaction.
+pub(crate) fn reaction_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    r: &Reaction,
+    maps: &R,
+) -> String {
+    let mut parts = Vec::with_capacity(4);
+    for (tag, refs) in [("R", &r.reactants), ("P", &r.products), ("M", &r.modifiers)] {
+        let mut items: Vec<String> = refs
+            .iter()
+            .map(|sr| format!("{}*{}", resolve_id(maps, &sr.species), sr.stoichiometry))
+            .collect();
+        items.sort();
+        parts.push(format!("{tag}[{}]", items.join(",")));
+    }
+    let math = match &r.kinetic_law {
+        Some(kl) => math_key(options, &kl.math, maps),
+        None => "-".to_owned(),
+    };
+    parts.push(format!("K[{math}]"));
+    format!("rxn:{}:rev={}", parts.join(";"), r.reversible)
+}
+
+/// Canonical key for an event.
+pub(crate) fn event_key<R: Resolver + ?Sized>(
+    options: &ComposeOptions,
+    ev: &Event,
+    maps: &R,
+) -> String {
+    let trigger = math_key(options, &ev.trigger, maps);
+    let delay = ev.delay.as_ref().map(|d| math_key(options, d, maps)).unwrap_or_default();
+    // Assignment order is semantic — keep it.
+    let assignments: Vec<String> = ev
+        .assignments
+        .iter()
+        .map(|a| format!("{}={}", resolve_id(maps, &a.variable), math_key(options, &a.math, maps)))
+        .collect();
+    format!("ev:{trigger}|{delay}|{}", assignments.join(";"))
+}
+
+/// Do two optional numeric values agree within tolerance?
+pub(crate) fn values_agree(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            if x == y {
+                return true;
+            }
+            let scale = x.abs().max(y.abs());
+            (x - y).abs() <= scale * VALUE_TOLERANCE
+        }
+        _ => false,
+    }
+}
 
 /// Matching context: options plus the ID mappings accumulated so far
 /// (second-model id → composed-model id).
@@ -56,138 +220,77 @@ impl<'o> MatchContext<'o> {
     /// display name preferred over id, run through the synonym table under
     /// heavy/light semantics.
     pub fn name_key(&self, id: &str, name: Option<&str>) -> String {
-        match self.options.semantics {
-            SemanticsLevel::None => id.to_owned(),
-            SemanticsLevel::Light | SemanticsLevel::Heavy => {
-                let label = name.unwrap_or(id);
-                self.options.synonyms.match_key(label)
-            }
-        }
+        name_key(self.options, id, name)
     }
 
     /// Canonical key for mathematics. `mapped` applies the accumulated ID
     /// mappings (use for second-model content; first-model content is
     /// already in composed id space).
     pub fn math_key(&self, math: &MathExpr, mapped: bool) -> String {
-        let empty = MappingTable::default();
-        let mappings = if mapped { &self.mappings } else { &empty };
-        match self.options.semantics {
-            // Heavy: the paper's Fig. 7 commutativity-aware pattern.
-            SemanticsLevel::Heavy => {
-                Pattern::of_mapped(math, mappings).as_str().to_owned()
-            }
-            // Light: structural form with mappings but no canonicalisation.
-            SemanticsLevel::Light => {
-                let renamed = rewrite::rename(math, mappings);
-                structural_string(&renamed)
-            }
-            // None: raw structure, raw ids.
-            SemanticsLevel::None => structural_string(math),
+        if mapped {
+            math_key(self.options, math, &self.mappings)
+        } else {
+            math_key(self.options, math, &NoMap)
         }
     }
 
-    /// Canonical key for a unit definition.
+    /// Canonical key for a unit definition (heavy: dimension + factor
+    /// signature, litre == 0.001 m³; light/none: the normalised factor
+    /// list).
     pub fn unit_key(&self, def: &UnitDefinition) -> String {
-        match self.options.semantics {
-            // Heavy: dimension + factor signature (litre == 0.001 m³).
-            SemanticsLevel::Heavy => def.signature().key(),
-            // Light/None: the normalised factor list (order-insensitive
-            // but no dimensional analysis).
-            SemanticsLevel::Light | SemanticsLevel::None => {
-                let mut parts: Vec<String> = def
-                    .units
-                    .iter()
-                    .map(|u| {
-                        format!("{}^{}@{}x{}", u.kind.name(), u.exponent, u.scale, u.multiplier)
-                    })
-                    .collect();
-                parts.sort();
-                parts.join(",")
-            }
-        }
+        unit_key(self.options, def)
     }
 
     /// Canonical key for a function definition (α-equivalence comes free
     /// from the pattern's positional bound variables under heavy semantics).
     pub fn function_key(&self, f: &FunctionDefinition, mapped: bool) -> String {
-        let lambda = f.as_lambda();
-        format!("fn:{}:{}", f.params.len(), self.math_key(&lambda, mapped))
+        if mapped {
+            function_key(self.options, f, &self.mappings)
+        } else {
+            function_key(self.options, f, &NoMap)
+        }
     }
 
     /// Canonical key for a rule.
     pub fn rule_key(&self, rule: &Rule, mapped: bool) -> String {
-        match rule {
-            Rule::Algebraic { math } => format!("alg:{}", self.math_key(math, mapped)),
-            Rule::Assignment { variable, math } => {
-                let v = if mapped { self.map_id(variable) } else { variable };
-                format!("asg:{v}:{}", self.math_key(math, mapped))
-            }
-            Rule::Rate { variable, math } => {
-                let v = if mapped { self.map_id(variable) } else { variable };
-                format!("rate:{v}:{}", self.math_key(math, mapped))
-            }
+        if mapped {
+            rule_key(self.options, rule, &self.mappings)
+        } else {
+            rule_key(self.options, rule, &NoMap)
         }
     }
 
     /// Canonical key for a constraint.
     pub fn constraint_key(&self, math: &MathExpr, mapped: bool) -> String {
-        format!("con:{}", self.math_key(math, mapped))
+        if mapped {
+            constraint_key(self.options, math, &self.mappings)
+        } else {
+            constraint_key(self.options, math, &NoMap)
+        }
     }
 
     /// Canonical key for a reaction: participant multisets (mapped into
     /// composed id space) plus the kinetic-law math key.
     pub fn reaction_key(&self, r: &Reaction, mapped: bool) -> String {
-        let mut parts = Vec::with_capacity(4);
-        for (tag, refs) in
-            [("R", &r.reactants), ("P", &r.products), ("M", &r.modifiers)]
-        {
-            let mut items: Vec<String> = refs
-                .iter()
-                .map(|sr| {
-                    let id = if mapped { self.map_id(&sr.species) } else { &sr.species };
-                    format!("{id}*{}", sr.stoichiometry)
-                })
-                .collect();
-            items.sort();
-            parts.push(format!("{tag}[{}]", items.join(",")));
+        if mapped {
+            reaction_key(self.options, r, &self.mappings)
+        } else {
+            reaction_key(self.options, r, &NoMap)
         }
-        let math = match &r.kinetic_law {
-            Some(kl) => self.math_key(&kl.math, mapped),
-            None => "-".to_owned(),
-        };
-        parts.push(format!("K[{math}]"));
-        format!("rxn:{}:rev={}", parts.join(";"), r.reversible)
     }
 
     /// Canonical key for an event.
     pub fn event_key(&self, ev: &Event, mapped: bool) -> String {
-        let trigger = self.math_key(&ev.trigger, mapped);
-        let delay = ev.delay.as_ref().map(|d| self.math_key(d, mapped)).unwrap_or_default();
-        // Assignment order is semantic — keep it.
-        let assignments: Vec<String> = ev
-            .assignments
-            .iter()
-            .map(|a| {
-                let v = if mapped { self.map_id(&a.variable) } else { &a.variable };
-                format!("{v}={}", self.math_key(&a.math, mapped))
-            })
-            .collect();
-        format!("ev:{trigger}|{delay}|{}", assignments.join(";"))
+        if mapped {
+            event_key(self.options, ev, &self.mappings)
+        } else {
+            event_key(self.options, ev, &NoMap)
+        }
     }
 
     /// Do two optional numeric values agree within tolerance?
     pub fn values_agree(&self, a: Option<f64>, b: Option<f64>) -> bool {
-        match (a, b) {
-            (None, None) => true,
-            (Some(x), Some(y)) => {
-                if x == y {
-                    return true;
-                }
-                let scale = x.abs().max(y.abs());
-                (x - y).abs() <= scale * VALUE_TOLERANCE
-            }
-            _ => false,
-        }
+        values_agree(a, b)
     }
 }
 

@@ -1,0 +1,329 @@
+//! Incremental renaming of **cached canonical keys** under ID mappings.
+//!
+//! A conflict-heavy push records mappings early (species unified by name,
+//! parameters renamed on value conflicts), after which every later
+//! component whose formula references a mapped id fails the
+//! `refs_clean` fast path — and historically had its content key rebuilt
+//! from scratch: a full re-canonicalisation of the formula, including
+//! re-sorting commutative operand groups the rename never touched.
+//!
+//! Under heavy semantics the math sections of cached keys *are* canonical
+//! [`Pattern`] text, so the mapped key can instead be derived from the
+//! cached unmapped key by [`Pattern::rename_resolved`] — rewriting
+//! identifier leaves in place and re-sorting only the dirty groups — plus
+//! a direct rename of the key's id sections (rule variables, reaction
+//! participants, event assignment variables). The result is byte-identical
+//! to the full recompute (the rename ≡ rebuild property is enforced both
+//! in `sbml-math` and at this layer), at O(touched leaves) instead of
+//! O(formula).
+//!
+//! Every function here returns `Option`: `None` means "fall back to the
+//! full recompute" (non-heavy semantics is never routed here; an
+//! unexpected key shape falls back rather than guessing).
+
+use sbml_math::pattern::{rename_canonical_text, split_canonical_top_level};
+use sbml_math::rewrite::Resolver;
+
+/// Append the renamed pattern section `text` (canonical heavy-semantics
+/// math) to `out` — borrowed straight through when no leaf resolves.
+fn push_pattern<R: Resolver + ?Sized>(out: &mut String, text: &str, maps: &R) {
+    match rename_canonical_text(text, maps) {
+        Some(renamed) => out.push_str(&renamed),
+        None => out.push_str(text),
+    }
+}
+
+fn map_id<'a, R: Resolver + ?Sized>(maps: &'a R, id: &'a str) -> &'a str {
+    maps.resolve(id).unwrap_or(id)
+}
+
+/// `fn:{arity}:{pattern}` — function-definition key.
+pub(crate) fn function_key<R: Resolver + ?Sized>(cached: &str, maps: &R) -> Option<String> {
+    let rest = cached.strip_prefix("fn:")?;
+    let colon = rest.find(':')?;
+    let (arity, pattern) = (&rest[..colon], &rest[colon + 1..]);
+    let mut out = String::with_capacity(cached.len() + 16);
+    out.push_str("fn:");
+    out.push_str(arity);
+    out.push(':');
+    push_pattern(&mut out, pattern, maps);
+    Some(out)
+}
+
+/// `alg:{p}` / `asg:{var}:{p}` / `rate:{var}:{p}` — rule key.
+pub(crate) fn rule_key<R: Resolver + ?Sized>(cached: &str, maps: &R) -> Option<String> {
+    let mut out = String::with_capacity(cached.len() + 16);
+    if let Some(pattern) = cached.strip_prefix("alg:") {
+        out.push_str("alg:");
+        push_pattern(&mut out, pattern, maps);
+        return Some(out);
+    }
+    let (tag, rest) = if let Some(rest) = cached.strip_prefix("asg:") {
+        ("asg", rest)
+    } else if let Some(rest) = cached.strip_prefix("rate:") {
+        ("rate", rest)
+    } else {
+        return None;
+    };
+    // SBML ids cannot contain `:`, so the variable ends at the first one.
+    let colon = rest.find(':')?;
+    let (var, pattern) = (&rest[..colon], &rest[colon + 1..]);
+    out.push_str(tag);
+    out.push(':');
+    out.push_str(map_id(maps, var));
+    out.push(':');
+    push_pattern(&mut out, pattern, maps);
+    Some(out)
+}
+
+/// `con:{pattern}` — constraint key.
+pub(crate) fn constraint_key<R: Resolver + ?Sized>(cached: &str, maps: &R) -> Option<String> {
+    let pattern = cached.strip_prefix("con:")?;
+    let mut out = String::with_capacity(cached.len() + 16);
+    out.push_str("con:");
+    push_pattern(&mut out, pattern, maps);
+    Some(out)
+}
+
+/// One `R[..]`/`P[..]`/`M[..]` participant section: sorted `id*stoich`
+/// items appended to `out`. Renames the id of each item and re-sorts only
+/// when something changed (an untouched section is already in sorted
+/// order). Returns `None` on an unexpected shape (caller falls back).
+fn push_participants<R: Resolver + ?Sized>(
+    out: &mut String,
+    items: &str,
+    maps: &R,
+) -> Option<()> {
+    if items.is_empty() {
+        return Some(());
+    }
+    let mut changed = false;
+    let mut parts: Vec<std::borrow::Cow<'_, str>> = Vec::new();
+    for item in items.split(',') {
+        let star = item.find('*')?;
+        let (id, stoich) = (&item[..star], &item[star..]);
+        match maps.resolve(id) {
+            Some(new) => {
+                changed = true;
+                parts.push(std::borrow::Cow::Owned(format!("{new}{stoich}")));
+            }
+            None => parts.push(std::borrow::Cow::Borrowed(item)),
+        }
+    }
+    if changed {
+        // The canonical key sorts item *strings*; reproduce that order.
+        parts.sort_unstable();
+    }
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(part);
+    }
+    Some(())
+}
+
+/// `rxn:R[..];P[..];M[..];K[math]:rev=bool` — reaction key. The math
+/// section boundaries use the same positional markers as
+/// [`crate::passes::key_math_section`]: first `;K[`, last `]:rev=`.
+pub(crate) fn reaction_key<R: Resolver + ?Sized>(cached: &str, maps: &R) -> Option<String> {
+    let body = cached.strip_prefix("rxn:")?;
+    let k_start = body.find(";K[")?;
+    let k_end = body.rfind("]:rev=")?;
+    if k_end < k_start {
+        return None;
+    }
+    let participants = &body[..k_start];
+    let math = &body[k_start + 3..k_end];
+    let rev = &body[k_end + 6..];
+
+    let mut out = String::with_capacity(cached.len() + 16);
+    out.push_str("rxn:");
+    let mut sections = 0usize;
+    for section in participants.split(';') {
+        let tag = section.get(..1)?;
+        if !matches!(tag, "R" | "P" | "M")
+            || !section[1..].starts_with('[')
+            || !section.ends_with(']')
+        {
+            return None;
+        }
+        if sections > 0 {
+            out.push(';');
+        }
+        sections += 1;
+        out.push_str(tag);
+        out.push('[');
+        push_participants(&mut out, &section[2..section.len() - 1], maps)?;
+        out.push(']');
+    }
+    if sections != 3 {
+        return None;
+    }
+    out.push_str(";K[");
+    if math == "-" {
+        out.push('-');
+    } else {
+        push_pattern(&mut out, math, maps);
+    }
+    out.push_str("]:rev=");
+    out.push_str(rev);
+    Some(out)
+}
+
+/// Rename only the math section of a cached reaction key — the
+/// cheapest-first id-hit comparison wants just that slice.
+pub(crate) fn reaction_math_section<R: Resolver + ?Sized>(
+    cached: &str,
+    maps: &R,
+) -> Option<String> {
+    let section = crate::passes::key_math_section(cached)?;
+    Some(match rename_canonical_text(section, maps) {
+        Some(renamed) => renamed,
+        None => section.to_owned(),
+    })
+}
+
+/// `ev:{trigger}|{delay}|{var}={math};{var}={math}…` — event key. The
+/// trigger/delay separators are `|` at depth 0 (piecewise `[v|c]` pieces
+/// sit inside brackets); assignments separate on depth-0 `;` and bind
+/// variable to math at the first `=` (pattern text contains neither `;`
+/// nor `=` — equality is the `eq(…)` operator).
+pub(crate) fn event_key<R: Resolver + ?Sized>(cached: &str, maps: &R) -> Option<String> {
+    let body = cached.strip_prefix("ev:")?;
+    let parts: Vec<&str> = split_canonical_top_level(body, b'|').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let mut out = String::with_capacity(cached.len() + 16);
+    out.push_str("ev:");
+    push_pattern(&mut out, parts[0], maps);
+    out.push('|');
+    if !parts[1].is_empty() {
+        push_pattern(&mut out, parts[1], maps);
+    }
+    out.push('|');
+    if !parts[2].is_empty() {
+        for (i, assignment) in split_canonical_top_level(parts[2], b';').enumerate() {
+            if i > 0 {
+                out.push(';');
+            }
+            let eq = assignment.find('=')?;
+            let (var, math) = (&assignment[..eq], &assignment[eq + 1..]);
+            out.push_str(map_id(maps, var));
+            out.push('=');
+            push_pattern(&mut out, math, maps);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equality::{self, MappingTable};
+    use crate::options::ComposeOptions;
+    use sbml_math::infix;
+    use sbml_model::{Event, EventAssignment, FunctionDefinition, Reaction, Rule, SpeciesReference};
+
+    fn maps(pairs: &[(&str, &str)]) -> MappingTable {
+        let mut m = MappingTable::default();
+        for (from, to) in pairs {
+            m.insert((*from).to_owned(), (*to).to_owned());
+        }
+        m
+    }
+
+    #[test]
+    fn function_keys_rename_like_rebuild() {
+        let options = ComposeOptions::default();
+        let f = FunctionDefinition::new(
+            "f",
+            vec!["x".into()],
+            infix::parse("x * k1 + glc").unwrap(),
+        );
+        let m = maps(&[("k1", "kf"), ("glc", "glucose")]);
+        let cached = equality::function_key(&options, &f, &equality::NoMap);
+        let rebuilt = equality::function_key(&options, &f, &m);
+        assert_eq!(function_key(&cached, &m).unwrap(), rebuilt);
+    }
+
+    #[test]
+    fn rule_keys_rename_like_rebuild() {
+        let options = ComposeOptions::default();
+        let m = maps(&[("a", "z9"), ("v", "w")]);
+        for rule in [
+            Rule::Algebraic { math: infix::parse("a + b - 5").unwrap() },
+            Rule::Assignment { variable: "v".into(), math: infix::parse("a*b").unwrap() },
+            Rule::Rate { variable: "v".into(), math: infix::parse("0 - a").unwrap() },
+        ] {
+            let cached = equality::rule_key(&options, &rule, &equality::NoMap);
+            let rebuilt = equality::rule_key(&options, &rule, &m);
+            assert_eq!(rule_key(&cached, &m).unwrap(), rebuilt, "{cached}");
+        }
+    }
+
+    #[test]
+    fn constraint_keys_rename_like_rebuild() {
+        let options = ComposeOptions::default();
+        let math = infix::parse("glc >= 0 && atp > 1").unwrap();
+        let m = maps(&[("glc", "glucose"), ("atp", "ATP")]);
+        let cached = equality::constraint_key(&options, &math, &equality::NoMap);
+        assert_eq!(
+            constraint_key(&cached, &m).unwrap(),
+            equality::constraint_key(&options, &math, &m)
+        );
+    }
+
+    #[test]
+    fn reaction_keys_rename_like_rebuild() {
+        let options = ComposeOptions::default();
+        let mut r = Reaction::new("r1");
+        r.reactants = vec![SpeciesReference::new("zz"), SpeciesReference::new("a")];
+        r.products = vec![SpeciesReference::new("b").with_stoichiometry(2.0)];
+        r.modifiers = vec![SpeciesReference::new("e")];
+        r.kinetic_law =
+            Some(sbml_model::KineticLaw::new(infix::parse("k * zz * a / (km + a)").unwrap()));
+        // `zz -> a0` changes the participant sort order AND dirties the
+        // math pattern's commutative groups.
+        let m = maps(&[("zz", "a0"), ("k", "kf")]);
+        let cached = equality::reaction_key(&options, &r, &equality::NoMap);
+        let rebuilt = equality::reaction_key(&options, &r, &m);
+        assert_eq!(reaction_key(&cached, &m).unwrap(), rebuilt);
+        // Math-section-only rename agrees with the full key's section.
+        let section = reaction_math_section(&cached, &m).unwrap();
+        assert_eq!(Some(section.as_str()), crate::passes::key_math_section(&rebuilt));
+    }
+
+    #[test]
+    fn reaction_key_without_kinetic_law() {
+        let options = ComposeOptions::default();
+        let mut r = Reaction::new("r1");
+        r.reactants = vec![SpeciesReference::new("a")];
+        let m = maps(&[("a", "b")]);
+        let cached = equality::reaction_key(&options, &r, &equality::NoMap);
+        assert_eq!(reaction_key(&cached, &m).unwrap(), equality::reaction_key(&options, &r, &m));
+    }
+
+    #[test]
+    fn event_keys_rename_like_rebuild() {
+        let options = ComposeOptions::default();
+        let mut ev = Event::new(infix::parse("piecewise(1, glc < 5, 0) > 0").unwrap());
+        ev.delay = Some(infix::parse("tau").unwrap());
+        ev.assignments.push(EventAssignment {
+            variable: "glc".into(),
+            math: infix::parse("glc + bump").unwrap(),
+        });
+        ev.assignments.push(EventAssignment {
+            variable: "atp".into(),
+            math: infix::parse("0").unwrap(),
+        });
+        let m = maps(&[("glc", "glucose"), ("tau", "delay_p"), ("bump", "b")]);
+        let cached = equality::event_key(&options, &ev, &equality::NoMap);
+        assert_eq!(event_key(&cached, &m).unwrap(), equality::event_key(&options, &ev, &m));
+        // No-delay, no-assignment shape.
+        let bare = Event::new(infix::parse("glc > 1").unwrap());
+        let cached = equality::event_key(&options, &bare, &equality::NoMap);
+        assert_eq!(event_key(&cached, &m).unwrap(), equality::event_key(&options, &bare, &m));
+    }
+}

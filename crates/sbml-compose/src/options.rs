@@ -63,6 +63,43 @@ pub struct ComposeOptions {
     /// count; `usize::MAX` disables the parallel path, `0` forces it for
     /// every non-empty push.
     pub parallel_push_threshold: usize,
+    /// Run the Fig. 4 merge passes of one push as a **dependency DAG** on a
+    /// small scoped-thread pipeline instead of strictly in sequence
+    /// (default: true). Each per-kind pass declares the mapping-table kinds
+    /// it reads and writes; passes whose dependencies are satisfied run
+    /// concurrently, with the push's mapping table split into per-kind
+    /// shards so writers never contend. The pipeline only engages when the
+    /// push's content keys were precomputed **and** the push has at least
+    /// [`ComposeOptions::parallel_push_threshold`] keyed components —
+    /// pushes below the threshold (prepared or raw) keep the plain serial
+    /// pass order, which they cannot lose from. Output is
+    /// bit-for-bit identical to the serial passes either way
+    /// (property-tested across thread counts), so this knob — like
+    /// [`ComposeOptions::pipeline_threads`] — is an *execution detail*
+    /// deliberately excluded from [`ComposeOptions::fingerprint`].
+    pub merge_pipeline: bool,
+    /// Worker threads for the merge-pass pipeline; `0` (the default) uses
+    /// the host's available parallelism. The value is an **upper bound**
+    /// — a push's workers are CPU-bound, so the resolved count is capped
+    /// at the host parallelism (oversubscribing adds context-switch churn
+    /// and can never overlap work). An explicit value engages the
+    /// dependency-DAG executor even when the cap resolves to one worker;
+    /// the automatic `0` keeps single-core hosts on the plain serial pass
+    /// order. Never affects output.
+    pub pipeline_threads: usize,
+    /// Revalidate cached content keys by **incremental renaming** when a
+    /// push's ID mappings touch a component's references (default: true,
+    /// heavy semantics only). Instead of re-canonicalising the whole
+    /// formula from its AST, the cached canonical key's identifier leaves
+    /// are rewritten in place and only the commutative operand groups
+    /// whose members changed are re-sorted
+    /// ([`sbml_math::pattern::Pattern::rename_mapped`]) — O(touched
+    /// leaves), not O(formula). Keys are byte-identical either way
+    /// (property-tested), so this is an execution detail excluded from
+    /// [`ComposeOptions::fingerprint`]; turning it off is the
+    /// full-recompute ablation the `pipeline_conflict` bench measures
+    /// against.
+    pub incremental_key_rename: bool,
 }
 
 impl Default for ComposeOptions {
@@ -76,6 +113,9 @@ impl Default for ComposeOptions {
             collect_initial_values: true,
             incremental_initial_values: true,
             parallel_push_threshold: 256,
+            merge_pipeline: true,
+            pipeline_threads: 0,
+            incremental_key_rename: true,
         }
     }
 }
@@ -161,11 +201,41 @@ impl ComposeOptions {
         self
     }
 
+    /// Builder: toggle the merge-pass pipeline (serial Fig. 4 order when
+    /// off — the pipeline ablation).
+    #[must_use]
+    pub fn with_merge_pipeline(mut self, on: bool) -> ComposeOptions {
+        self.merge_pipeline = on;
+        self
+    }
+
+    /// Builder: set the pipeline worker count (`0` = host parallelism,
+    /// `1` = serial).
+    #[must_use]
+    pub fn with_pipeline_threads(mut self, threads: usize) -> ComposeOptions {
+        self.pipeline_threads = threads;
+        self
+    }
+
+    /// Builder: toggle incremental cached-key renaming (the
+    /// full-recompute ablation when off).
+    #[must_use]
+    pub fn with_incremental_key_rename(mut self, on: bool) -> ComposeOptions {
+        self.incremental_key_rename = on;
+        self
+    }
+
     /// Fingerprint of every option that influences canonical content keys
     /// and merge decisions. A [`crate::PreparedModel`] records the
     /// fingerprint it was prepared under; composing it under options with a
     /// different fingerprint is rejected, since the cached analysis would
     /// silently diverge from what the raw path computes.
+    ///
+    /// [`ComposeOptions::merge_pipeline`] and
+    /// [`ComposeOptions::pipeline_threads`] are deliberately **not** part
+    /// of the fingerprint: pipeline scheduling is an execution detail with
+    /// property-tested bit-for-bit identical output, so a preparation built
+    /// under one pipeline setting stays valid under any other.
     pub fn fingerprint(&self) -> OptionsFingerprint {
         OptionsFingerprint {
             semantics: self.semantics,
@@ -265,6 +335,33 @@ mod tests {
         assert_eq!(
             ComposeOptions::default().with_parallel_push_threshold(64).fingerprint(),
             ComposeOptions::default().with_parallel_push_threshold(64).fingerprint()
+        );
+    }
+
+    #[test]
+    fn pipeline_knobs_do_not_change_the_fingerprint() {
+        // Regression: the merge-pass pipeline is an execution detail — a
+        // PreparedModel built under one pipeline setting must be accepted
+        // under any other, so these knobs stay out of the fingerprint.
+        let base = ComposeOptions::default();
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default().with_merge_pipeline(false).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default().with_pipeline_threads(4).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default()
+                .with_merge_pipeline(false)
+                .with_pipeline_threads(1)
+                .fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default().with_incremental_key_rename(false).fingerprint()
         );
     }
 }

@@ -1,0 +1,864 @@
+//! The merge-pass pipeline: Fig. 4 as a dependency DAG, not a list.
+//!
+//! A push's twelve per-kind merge passes (see [`crate::passes`]) are not a
+//! chain — unit definitions can never interact with compartment or species
+//! types, and a rule never writes a mapping any other pass reads. This
+//! module executes the passes on a small scoped-thread scheduler:
+//!
+//! 1. **Plan** ([`plan`]): compute, for this push, which passes must wait
+//!    on which. Three edge families:
+//!    * *mapping edges* — pass `P` reads the mapping table for a set of
+//!      ids (its **lookups**: component attributes plus the free
+//!      identifiers of its maths, straight from the prepared reference
+//!      sets); pass `Q` can only ever write mappings whose source is an
+//!      incoming id of its kind (its **sources**). `Q → P` exactly when
+//!      `lookups(P) ∩ sources(Q) ≠ ∅` and `Q` precedes `P` in Fig. 4
+//!      order. The declared read/write sets are per-kind; this narrows
+//!      them with the push's actual ids, which is what makes the DAG wide
+//!      on real models.
+//!    * *taken-id edges* — `claim_id`/`fresh_id` probe the global id
+//!      registry. A fresh id minted from base `b` is always `b` or
+//!      `b_<n>…`, so two passes can only observe each other's additions
+//!      when their ids share a **root** (the id with trailing `_<digits>`
+//!      groups stripped). Passes with intersecting root families are
+//!      ordered; all others keep disjoint probe spaces and run free.
+//!    * *data edges* — the fixed cross-kind reads: conflict checks resolve
+//!      units (compartments, species, parameters, reactions ← units) and
+//!      the species amount/concentration bridge reads compartments
+//!      (species ← compartments).
+//! 2. **Execute**: per-kind state is moved out of the session into
+//!    [`std::sync::RwLock`]ed slots; each worker claims a ready pass
+//!    (most expensive first), write-locks its own slot and aux (mapping
+//!    shard, taken additions, log buffer), read-locks the slots of its
+//!    completed dependencies, and runs the pass function. Writers never
+//!    contend: every lock acquisition is a `try_*` that panics if the
+//!    dependency analysis ever admitted a conflict.
+//! 3. **Fold**: logs concatenate in Fig. 4 pass order, shards fold into
+//!    the session's per-push mapping table in pass order (later passes
+//!    overwrite, as the single serial table would), taken additions merge
+//!    into the registry — after which `finish_push` proceeds exactly as
+//!    on the serial path.
+//!
+//! Output is bit-for-bit identical to the serial pass order: a pass's
+//! mapping view contains exactly the entries the serial table would hold
+//! for every id it can ask about (upstream shards are consulted
+//! latest-pass-first, reproducing serial overwrite order), probe-visible
+//! taken additions are exactly those its probes can distinguish, and logs
+//! and per-kind state are pass-local. The property tests sweep worker
+//! counts 1..8 across semantics levels and ablations to enforce this.
+
+use std::sync::{Condvar, Mutex, RwLock, RwLockReadGuard};
+
+use sbml_math::rewrite::collect_identifiers;
+
+use crate::index::{ComponentIndex, FastMap, FastSet, IndexKind};
+use crate::passes::{
+    AssignmentsMut, CompartmentTypesMut, CompartmentsMut, CompartmentsRead, ConstraintsMut,
+    EventsMut, FunctionsMut, IdRegistry, Incoming, IvA, MapStore, ParametersMut, PassEnv,
+    ReactionsMut, RulesMut, SpeciesMut, SpeciesTypesMut, TakenStore, UnitsMut, UnitsRead,
+};
+use crate::equality::MappingTable;
+use crate::initial_values::{IncrementalValues, InitialValues};
+use crate::log::MergeLog;
+use crate::options::ComposeOptions;
+use crate::session::CompositionSession;
+use crate::{passes, prepared::IncomingKeys};
+
+/// Pass indices in Fig. 4 order. Kept as plain `usize`s (not an enum) so
+/// they double as bit positions in the dependency masks.
+const FUNCTIONS: usize = 0;
+const UNITS: usize = 1;
+const COMPARTMENT_TYPES: usize = 2;
+const SPECIES_TYPES: usize = 3;
+const COMPARTMENTS: usize = 4;
+const SPECIES: usize = 5;
+const PARAMETERS: usize = 6;
+const INITIAL_ASSIGNMENTS: usize = 7;
+const RULES: usize = 8;
+const CONSTRAINTS: usize = 9;
+const REACTIONS: usize = 10;
+const EVENTS: usize = 11;
+/// Number of passes.
+const N: usize = 12;
+const ALL_DONE: u16 = (1 << N) - 1;
+
+/// The per-push execution plan: dependency bitmasks and cost estimates.
+/// A pure function of the *incoming* side (its ids and free-reference
+/// sets), independent of the accumulator and of every option knob — so a
+/// [`crate::PreparedModel`] caches it and pays the analysis once across
+/// all of its pushes.
+#[derive(Debug)]
+pub(crate) struct Plan {
+    /// All passes `p` waits on (mapping ∪ taken ∪ data edges).
+    deps: [u16; N],
+    /// Passes whose mapping shards `p`'s view must include.
+    shard_deps: [u16; N],
+    /// Passes whose taken-id additions `p`'s probes must see.
+    taken_deps: [u16; N],
+    /// Rough work estimate per pass, for largest-first scheduling.
+    cost: [u64; N],
+}
+
+/// The root of an id's rename family: trailing `_<digits>` groups
+/// stripped. `fresh_id` only ever mints `base` or `base_<n>`, and
+/// `root(base_<n>) == root(base)`, so two passes can observe each other
+/// through the taken registry only when id roots collide.
+fn family_root(id: &str) -> &str {
+    let mut root = id;
+    loop {
+        let Some(pos) = root.rfind('_') else { return root };
+        let tail = &root[pos + 1..];
+        if tail.is_empty() || !tail.bytes().all(|b| b.is_ascii_digit()) {
+            return root;
+        }
+        root = &root[..pos];
+    }
+}
+
+/// Estimated size of a math expression for scheduling cost (not output).
+fn math_cost(m: &sbml_math::MathExpr) -> u64 {
+    m.size() as u64
+}
+
+/// Bitmask of passes whose incoming component list is empty (they would
+/// run zero loop iterations — pre-completed by the scheduler).
+fn empty_passes(model: &sbml_model::Model) -> u16 {
+    let mut mask = 0u16;
+    let counts = [
+        model.function_definitions.len(),
+        model.unit_definitions.len(),
+        model.compartment_types.len(),
+        model.species_types.len(),
+        model.compartments.len(),
+        model.species.len(),
+        model.parameters.len(),
+        model.initial_assignments.len(),
+        model.rules.len(),
+        model.constraints.len(),
+        model.reactions.len(),
+        model.events.len(),
+    ];
+    for (p, count) in counts.into_iter().enumerate() {
+        if count == 0 {
+            mask |= 1 << p;
+        }
+    }
+    mask
+}
+
+/// The ids each pass can claim (and thus mint mappings/taken entries for),
+/// paired with the pass index — one iteration shape for both the source
+/// map and the family-probe edges.
+fn claimable_ids(
+    model: &sbml_model::Model,
+) -> impl Iterator<Item = (usize, Box<dyn Iterator<Item = &str> + '_>)> {
+    let per_pass: [(usize, Box<dyn Iterator<Item = &str> + '_>); 9] = [
+        (FUNCTIONS, Box::new(model.function_definitions.iter().map(|f| f.id.as_str()))),
+        (UNITS, Box::new(model.unit_definitions.iter().map(|u| u.id.as_str()))),
+        (COMPARTMENT_TYPES, Box::new(model.compartment_types.iter().map(|t| t.id.as_str()))),
+        (SPECIES_TYPES, Box::new(model.species_types.iter().map(|t| t.id.as_str()))),
+        (COMPARTMENTS, Box::new(model.compartments.iter().map(|c| c.id.as_str()))),
+        (SPECIES, Box::new(model.species.iter().map(|s| s.id.as_str()))),
+        (PARAMETERS, Box::new(model.parameters.iter().map(|p| p.id.as_str()))),
+        (REACTIONS, Box::new(model.reactions.iter().map(|r| r.id.as_str()))),
+        (EVENTS, Box::new(model.events.iter().filter_map(|ev| ev.id.as_deref()))),
+    ];
+    per_pass.into_iter()
+}
+
+/// Build the per-push plan. Requires precomputed incoming keys (the
+/// engagement gate in the session guarantees them): their free-reference
+/// sets are the lookups of the math-bearing passes.
+fn build_plan(inc: &Incoming<'_>) -> Plan {
+    let model = inc.model;
+    let keys: &IncomingKeys = inc.keys.expect("pipelined push always has incoming keys");
+
+    // sources[id] = kinds for which `id` is an incoming component id (a
+    // candidate mapping source and taken-registry claim).
+    fn add<'m>(
+        sources: &mut FastMap<&'m str, u16>,
+        roots: &mut FastMap<&'m str, u16>,
+        id: &'m str,
+        pass: usize,
+    ) {
+        *sources.entry(id).or_default() |= 1 << pass;
+        *roots.entry(family_root(id)).or_default() |= 1 << pass;
+    }
+    let mut sources: FastMap<&str, u16> = FastMap::default();
+    let mut roots: FastMap<&str, u16> = FastMap::default();
+    for (pass, ids) in claimable_ids(model) {
+        for id in ids {
+            add(&mut sources, &mut roots, id, pass);
+        }
+    }
+
+    let mut shard_deps = [0u16; N];
+    let mut taken_deps = [0u16; N];
+    {
+        let mut lookup = |pass: usize, id: &str| {
+            if let Some(mask) = sources.get(id) {
+                shard_deps[pass] |= mask;
+            }
+        };
+        for refs in &keys.function_refs {
+            for r in refs.iter() {
+                lookup(FUNCTIONS, r);
+            }
+        }
+        for c in &model.compartments {
+            for attr in [&c.compartment_type, &c.units, &c.outside].into_iter().flatten() {
+                lookup(COMPARTMENTS, attr);
+            }
+        }
+        for s in &model.species {
+            lookup(SPECIES, &s.compartment);
+            for attr in [&s.species_type, &s.substance_units].into_iter().flatten() {
+                lookup(SPECIES, attr);
+            }
+        }
+        for p in &model.parameters {
+            if let Some(units) = &p.units {
+                lookup(PARAMETERS, units);
+            }
+        }
+        for ia in &model.initial_assignments {
+            lookup(INITIAL_ASSIGNMENTS, &ia.symbol);
+            for id in collect_identifiers(&ia.math) {
+                lookup(INITIAL_ASSIGNMENTS, &id);
+            }
+        }
+        for refs in &keys.rule_refs {
+            for r in refs.iter() {
+                lookup(RULES, r);
+            }
+        }
+        for refs in &keys.constraint_refs {
+            for r in refs.iter() {
+                lookup(CONSTRAINTS, r);
+            }
+        }
+        for refs in &keys.reaction_refs {
+            for r in refs.iter() {
+                lookup(REACTIONS, r);
+            }
+        }
+        for refs in &keys.event_refs {
+            for r in refs.iter() {
+                lookup(EVENTS, r);
+            }
+        }
+    }
+    // Taken-id family edges: this pass's claimable roots vs earlier
+    // passes' claimable roots.
+    for (pass, ids) in claimable_ids(model) {
+        for id in ids {
+            if let Some(mask) = roots.get(family_root(id)) {
+                taken_deps[pass] |= mask;
+            }
+        }
+    }
+
+    let mut deps = [0u16; N];
+    let mut cost = [0u64; N];
+    for p in 0..N {
+        let earlier = (1u16 << p) - 1;
+        shard_deps[p] &= earlier;
+        taken_deps[p] &= earlier;
+        deps[p] = shard_deps[p] | taken_deps[p];
+    }
+    // Fixed cross-kind data reads (conflict checks).
+    deps[COMPARTMENTS] |= 1 << UNITS;
+    deps[SPECIES] |= (1 << UNITS) | (1 << COMPARTMENTS);
+    deps[PARAMETERS] |= 1 << UNITS;
+    deps[REACTIONS] |= 1 << UNITS;
+
+    // Cost estimates: math-bearing kinds by expression size, the rest by
+    // count. Only affects scheduling order, never output.
+    cost[FUNCTIONS] = model.function_definitions.iter().map(|f| math_cost(&f.body)).sum();
+    cost[UNITS] = model.unit_definitions.len() as u64;
+    cost[COMPARTMENT_TYPES] = model.compartment_types.len() as u64;
+    cost[SPECIES_TYPES] = model.species_types.len() as u64;
+    cost[COMPARTMENTS] = model.compartments.len() as u64;
+    cost[SPECIES] = model.species.len() as u64 * 2;
+    cost[PARAMETERS] = model.parameters.len() as u64;
+    cost[INITIAL_ASSIGNMENTS] =
+        model.initial_assignments.iter().map(|ia| math_cost(&ia.math)).sum();
+    cost[RULES] = model.rules.iter().map(|r| math_cost(r.math())).sum();
+    cost[CONSTRAINTS] = model.constraints.iter().map(|c| math_cost(&c.math)).sum();
+    cost[REACTIONS] = model
+        .reactions
+        .iter()
+        .map(|r| {
+            let math = r.kinetic_law.as_ref().map(|kl| math_cost(&kl.math)).unwrap_or(0);
+            math + (r.reactants.len() + r.products.len() + r.modifiers.len()) as u64
+        })
+        .sum();
+    cost[EVENTS] = model
+        .events
+        .iter()
+        .map(|ev| {
+            math_cost(&ev.trigger)
+                + ev.delay.as_ref().map(math_cost).unwrap_or(0)
+                + ev.assignments.iter().map(|a| math_cost(&a.math)).sum::<u64>()
+        })
+        .sum();
+
+    Plan { deps, shard_deps, taken_deps, cost }
+}
+
+/// Per-pass auxiliary state: its mapping shard, its taken-id additions and
+/// its log buffer.
+#[derive(Default)]
+struct PassAux {
+    shard: MappingTable,
+    added: FastSet<String>,
+    log: MergeLog,
+}
+
+/// Owned per-kind component state, moved out of the session for the
+/// duration of the pipelined passes.
+struct KindSlots {
+    functions: RwLock<(Vec<sbml_model::FunctionDefinition>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
+    units: RwLock<(Vec<sbml_units::UnitDefinition>, [ComponentIndex; 2], Vec<std::sync::Arc<str>>)>,
+    compartment_types: RwLock<(Vec<sbml_model::CompartmentType>, [ComponentIndex; 3])>,
+    species_types: RwLock<(Vec<sbml_model::SpeciesType>, [ComponentIndex; 3])>,
+    compartments: RwLock<(Vec<sbml_model::Compartment>, [ComponentIndex; 3])>,
+    species: RwLock<(Vec<sbml_model::Species>, [ComponentIndex; 3])>,
+    parameters: RwLock<(Vec<sbml_model::Parameter>, [ComponentIndex; 1])>,
+    assignments: RwLock<(Vec<sbml_model::InitialAssignment>, [ComponentIndex; 1])>,
+    rules: RwLock<(Vec<sbml_model::Rule>, [ComponentIndex; 3])>,
+    constraints: RwLock<(Vec<sbml_model::rule::Constraint>, [ComponentIndex; 2])>,
+    reactions: RwLock<(Vec<sbml_model::Reaction>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
+    events: RwLock<(Vec<sbml_model::Event>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
+}
+
+/// Everything the workers share.
+struct Shared<'a> {
+    options: &'a ComposeOptions,
+    slots: KindSlots,
+    aux: [RwLock<PassAux>; N],
+    taken: &'a IdRegistry,
+    iv_store: Option<&'a IncrementalValues>,
+    iv_snap: &'a InitialValues,
+    iv_b: &'a InitialValues,
+}
+
+impl Shared<'_> {
+    fn iv_a(&self) -> IvA<'_> {
+        match self.iv_store {
+            Some(store) => IvA::Store(store),
+            None => IvA::Snap(self.iv_snap),
+        }
+    }
+}
+
+/// Scheduler bookkeeping behind one mutex.
+struct SchedState {
+    ready: Vec<usize>,
+    deps_left: [usize; N],
+    dependents: [u16; N],
+    done: u16,
+    panicked: bool,
+}
+
+fn take_idx(slot: &mut ComponentIndex, kind: IndexKind) -> ComponentIndex {
+    std::mem::replace(slot, ComponentIndex::new(kind))
+}
+
+/// Run one push's merge passes on `workers` scoped threads. Falls out with
+/// the session in exactly the state the serial pass order would leave —
+/// see the module docs for the argument.
+pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers: usize) {
+    // Prepared pushes cache the plan (it is a pure function of the
+    // incoming side); raw pushes build it on the spot.
+    let local_plan;
+    let plan: &Plan = match inc.plan {
+        Some(cell) => cell.get_or_init(|| build_plan(inc)),
+        None => {
+            local_plan = build_plan(inc);
+            &local_plan
+        }
+    };
+    let kind = sess.options.index;
+
+    // Move per-kind state out of the session.
+    let slots = KindSlots {
+        functions: RwLock::new((
+            std::mem::take(&mut sess.merged.function_definitions),
+            [
+                take_idx(&mut sess.idx.functions_by_id, kind),
+                take_idx(&mut sess.idx.functions_by_content, kind),
+                take_idx(&mut sess.delta.functions_by_content, kind),
+            ],
+            std::mem::take(&mut sess.keys.functions),
+        )),
+        units: RwLock::new((
+            std::mem::take(&mut sess.merged.unit_definitions),
+            [
+                take_idx(&mut sess.idx.units_by_id, kind),
+                take_idx(&mut sess.idx.units_by_content, kind),
+            ],
+            std::mem::take(&mut sess.keys.units),
+        )),
+        compartment_types: RwLock::new((
+            std::mem::take(&mut sess.merged.compartment_types),
+            [
+                take_idx(&mut sess.idx.compartment_types_by_id, kind),
+                take_idx(&mut sess.idx.compartment_types_by_name, kind),
+                take_idx(&mut sess.delta.compartment_types_by_name, kind),
+            ],
+        )),
+        species_types: RwLock::new((
+            std::mem::take(&mut sess.merged.species_types),
+            [
+                take_idx(&mut sess.idx.species_types_by_id, kind),
+                take_idx(&mut sess.idx.species_types_by_name, kind),
+                take_idx(&mut sess.delta.species_types_by_name, kind),
+            ],
+        )),
+        compartments: RwLock::new((
+            std::mem::take(&mut sess.merged.compartments),
+            [
+                take_idx(&mut sess.idx.compartments_by_id, kind),
+                take_idx(&mut sess.idx.compartments_by_name, kind),
+                take_idx(&mut sess.delta.compartments_by_name, kind),
+            ],
+        )),
+        species: RwLock::new((
+            std::mem::take(&mut sess.merged.species),
+            [
+                take_idx(&mut sess.idx.species_by_id, kind),
+                take_idx(&mut sess.idx.species_by_name, kind),
+                take_idx(&mut sess.delta.species_by_name, kind),
+            ],
+        )),
+        parameters: RwLock::new((
+            std::mem::take(&mut sess.merged.parameters),
+            [take_idx(&mut sess.idx.parameters_by_id, kind)],
+        )),
+        assignments: RwLock::new((
+            std::mem::take(&mut sess.merged.initial_assignments),
+            [take_idx(&mut sess.idx.assignments_by_symbol, kind)],
+        )),
+        rules: RwLock::new((
+            std::mem::take(&mut sess.merged.rules),
+            [
+                take_idx(&mut sess.idx.rules_by_content, kind),
+                take_idx(&mut sess.idx.rules_by_variable, kind),
+                take_idx(&mut sess.delta.rules_by_content, kind),
+            ],
+        )),
+        constraints: RwLock::new((
+            std::mem::take(&mut sess.merged.constraints),
+            [
+                take_idx(&mut sess.idx.constraints_by_content, kind),
+                take_idx(&mut sess.delta.constraints_by_content, kind),
+            ],
+        )),
+        reactions: RwLock::new((
+            std::mem::take(&mut sess.merged.reactions),
+            [
+                take_idx(&mut sess.idx.reactions_by_id, kind),
+                take_idx(&mut sess.idx.reactions_by_content, kind),
+                take_idx(&mut sess.delta.reactions_by_content, kind),
+            ],
+            std::mem::take(&mut sess.keys.reactions),
+        )),
+        events: RwLock::new((
+            std::mem::take(&mut sess.merged.events),
+            [
+                take_idx(&mut sess.idx.events_by_id, kind),
+                take_idx(&mut sess.idx.events_by_content, kind),
+                take_idx(&mut sess.delta.events_by_content, kind),
+            ],
+            std::mem::take(&mut sess.keys.events),
+        )),
+    };
+    let taken = std::mem::replace(&mut sess.taken, IdRegistry::new());
+
+    let shared = Shared {
+        options: sess.options,
+        slots,
+        aux: std::array::from_fn(|_| RwLock::new(PassAux::default())),
+        taken: &taken,
+        iv_store: sess.incremental.as_ref(),
+        iv_snap: &sess.iv_a,
+        iv_b: &sess.iv_b,
+    };
+
+    // Dependents and initial ready set. A pass with no incoming
+    // components does nothing — pre-mark it done instead of bouncing it
+    // through a worker (its dependents' edges resolve immediately).
+    let empty = empty_passes(inc.model);
+    let mut deps_left = [0usize; N];
+    let mut dependents = [0u16; N];
+    let mut ready = Vec::with_capacity(N);
+    for p in 0..N {
+        deps_left[p] = (plan.deps[p] & !empty).count_ones() as usize;
+        if deps_left[p] == 0 && empty & (1 << p) == 0 {
+            ready.push(p);
+        }
+        for q in 0..p {
+            if plan.deps[p] & (1 << q) != 0 && empty & (1 << q) == 0 {
+                dependents[q] |= 1 << p;
+            }
+        }
+    }
+    let sched =
+        Mutex::new(SchedState { ready, deps_left, dependents, done: empty, panicked: false });
+    let cv = Condvar::new();
+
+    // The calling thread is worker zero — a pipelined push spawns
+    // `workers - 1` threads, so low worker counts (and single-pass tails)
+    // pay almost nothing extra.
+    let workers = workers.min(N).max(1);
+    std::thread::scope(|scope| {
+        for _ in 1..workers {
+            scope.spawn(|| worker(&sched, &cv, &shared, inc, plan));
+        }
+        worker(&sched, &cv, &shared, inc, plan);
+    });
+    assert!(!sched.into_inner().expect("scheduler mutex").panicked, "a merge pass panicked");
+
+    // Move state back into the session...
+    let Shared { slots, aux, .. } = shared;
+    {
+        let (list, [by_id, by_content, delta], keys) =
+            slots.functions.into_inner().expect("functions slot");
+        sess.merged.function_definitions = list;
+        sess.idx.functions_by_id = by_id;
+        sess.idx.functions_by_content = by_content;
+        sess.delta.functions_by_content = delta;
+        sess.keys.functions = keys;
+    }
+    {
+        let (list, [by_id, by_content], keys) = slots.units.into_inner().expect("units slot");
+        sess.merged.unit_definitions = list;
+        sess.idx.units_by_id = by_id;
+        sess.idx.units_by_content = by_content;
+        sess.keys.units = keys;
+    }
+    {
+        let (list, [by_id, by_name, delta]) =
+            slots.compartment_types.into_inner().expect("compartment types slot");
+        sess.merged.compartment_types = list;
+        sess.idx.compartment_types_by_id = by_id;
+        sess.idx.compartment_types_by_name = by_name;
+        sess.delta.compartment_types_by_name = delta;
+    }
+    {
+        let (list, [by_id, by_name, delta]) =
+            slots.species_types.into_inner().expect("species types slot");
+        sess.merged.species_types = list;
+        sess.idx.species_types_by_id = by_id;
+        sess.idx.species_types_by_name = by_name;
+        sess.delta.species_types_by_name = delta;
+    }
+    {
+        let (list, [by_id, by_name, delta]) =
+            slots.compartments.into_inner().expect("compartments slot");
+        sess.merged.compartments = list;
+        sess.idx.compartments_by_id = by_id;
+        sess.idx.compartments_by_name = by_name;
+        sess.delta.compartments_by_name = delta;
+    }
+    {
+        let (list, [by_id, by_name, delta]) = slots.species.into_inner().expect("species slot");
+        sess.merged.species = list;
+        sess.idx.species_by_id = by_id;
+        sess.idx.species_by_name = by_name;
+        sess.delta.species_by_name = delta;
+    }
+    {
+        let (list, [by_id]) = slots.parameters.into_inner().expect("parameters slot");
+        sess.merged.parameters = list;
+        sess.idx.parameters_by_id = by_id;
+    }
+    {
+        let (list, [by_symbol]) = slots.assignments.into_inner().expect("assignments slot");
+        sess.merged.initial_assignments = list;
+        sess.idx.assignments_by_symbol = by_symbol;
+    }
+    {
+        let (list, [by_content, by_variable, delta]) =
+            slots.rules.into_inner().expect("rules slot");
+        sess.merged.rules = list;
+        sess.idx.rules_by_content = by_content;
+        sess.idx.rules_by_variable = by_variable;
+        sess.delta.rules_by_content = delta;
+    }
+    {
+        let (list, [by_content, delta]) = slots.constraints.into_inner().expect("constraints slot");
+        sess.merged.constraints = list;
+        sess.idx.constraints_by_content = by_content;
+        sess.delta.constraints_by_content = delta;
+    }
+    {
+        let (list, [by_id, by_content, delta], keys) =
+            slots.reactions.into_inner().expect("reactions slot");
+        sess.merged.reactions = list;
+        sess.idx.reactions_by_id = by_id;
+        sess.idx.reactions_by_content = by_content;
+        sess.delta.reactions_by_content = delta;
+        sess.keys.reactions = keys;
+    }
+    {
+        let (list, [by_id, by_content, delta], keys) =
+            slots.events.into_inner().expect("events slot");
+        sess.merged.events = list;
+        sess.idx.events_by_id = by_id;
+        sess.idx.events_by_content = by_content;
+        sess.delta.events_by_content = delta;
+        sess.keys.events = keys;
+    }
+
+    // ...and fold the per-pass aux state in Fig. 4 order: logs
+    // concatenate, shards overwrite like the single serial table, taken
+    // additions merge into the registry.
+    sess.taken = taken;
+    for slot in aux {
+        let PassAux { shard, added, log } = slot.into_inner().expect("aux slot");
+        for (from, to) in shard {
+            sess.push_maps.insert(from, to);
+        }
+        sess.taken.added.extend(added);
+        sess.log.events.extend(log.events);
+    }
+}
+
+fn worker(sched: &Mutex<SchedState>, cv: &Condvar, shared: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
+    let mut state = sched.lock().expect("scheduler mutex");
+    loop {
+        if state.panicked || state.done == ALL_DONE {
+            cv.notify_all();
+            return;
+        }
+        // Most expensive ready pass first.
+        let next = state
+            .ready
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &p)| plan.cost[p])
+            .map(|(i, _)| i);
+        let Some(slot) = next else {
+            state = cv.wait(state).expect("scheduler mutex");
+            continue;
+        };
+        let pass = state.ready.swap_remove(slot);
+        drop(state);
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pass(pass, shared, inc, plan);
+        }));
+
+        state = sched.lock().expect("scheduler mutex");
+        match outcome {
+            Ok(()) => {
+                state.done |= 1 << pass;
+                let dependents = state.dependents[pass];
+                for q in 0..N {
+                    if dependents & (1 << q) != 0 {
+                        state.deps_left[q] -= 1;
+                        if state.deps_left[q] == 0 {
+                            state.ready.push(q);
+                        }
+                    }
+                }
+                if state.done == ALL_DONE {
+                    cv.notify_all();
+                } else {
+                    // This worker grabs one ready pass itself on the next
+                    // loop; wake exactly one sleeper per *additional*
+                    // ready pass. Broadcasting here stampedes every
+                    // sleeper through the mutex on each of the twelve
+                    // completions — pure context-switch churn on busy
+                    // hosts.
+                    for _ in 1..state.ready.len() {
+                        cv.notify_one();
+                    }
+                }
+            }
+            Err(payload) => {
+                state.panicked = true;
+                cv.notify_all();
+                drop(state);
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Descending pass indices selected by `mask` — latest pass first, the
+/// precedence order for upstream shard views.
+fn desc(mask: u16) -> impl Iterator<Item = usize> {
+    (0..N).rev().filter(move |p| mask & (1 << p) != 0)
+}
+
+fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
+    // Lock the aux of every pass whose shard or taken additions this pass
+    // reads. They are complete (the scheduler ordered them before us) and
+    // will never be written again this push, so try_read cannot fail.
+    let read_mask = plan.shard_deps[pass] | plan.taken_deps[pass];
+    let guards: Vec<(usize, RwLockReadGuard<'_, PassAux>)> = desc(read_mask)
+        .map(|q| (q, sh.aux[q].try_read().expect("dependency aux is complete")))
+        .collect();
+    let upstream: Vec<&MappingTable> = guards
+        .iter()
+        .filter(|(q, _)| plan.shard_deps[pass] & (1 << *q) != 0)
+        .map(|(_, g)| &g.shard)
+        .collect();
+    let visible: Vec<&FastSet<String>> = guards
+        .iter()
+        .filter(|(q, _)| plan.taken_deps[pass] & (1 << *q) != 0)
+        .map(|(_, g)| &g.added)
+        .collect();
+
+    let mut aux = sh.aux[pass].try_write().expect("own aux is uncontended");
+    let PassAux { shard, added, log } = &mut *aux;
+    let mask = crate::passes::PrefixMask::of_tables(upstream.iter().copied());
+    let mut env = PassEnv {
+        options: sh.options,
+        maps: MapStore::Sharded { own: shard, upstream, mask },
+        taken: TakenStore::Sharded { base: sh.taken, visible, own: added },
+        log,
+        iv_a: sh.iv_a(),
+        iv_b: sh.iv_b,
+    };
+
+    match pass {
+        FUNCTIONS => {
+            let mut st = sh.slots.functions.try_write().expect("functions slot");
+            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            passes::functions(
+                &mut env,
+                &mut FunctionsMut { list, by_id, by_content, delta_by_content: delta, keys },
+                inc,
+            );
+        }
+        UNITS => {
+            let mut st = sh.slots.units.try_write().expect("units slot");
+            let (list, [by_id, by_content], keys) = &mut *st;
+            passes::units(&mut env, &mut UnitsMut { list, by_id, by_content, keys }, inc);
+        }
+        COMPARTMENT_TYPES => {
+            let mut st = sh.slots.compartment_types.try_write().expect("compartment types slot");
+            let (list, [by_id, by_name, delta]) = &mut *st;
+            passes::compartment_types(
+                &mut env,
+                &mut CompartmentTypesMut { list, by_id, by_name, delta_by_name: delta },
+                inc,
+            );
+        }
+        SPECIES_TYPES => {
+            let mut st = sh.slots.species_types.try_write().expect("species types slot");
+            let (list, [by_id, by_name, delta]) = &mut *st;
+            passes::species_types(
+                &mut env,
+                &mut SpeciesTypesMut { list, by_id, by_name, delta_by_name: delta },
+                inc,
+            );
+        }
+        COMPARTMENTS => {
+            let units = sh.slots.units.try_read().expect("units complete");
+            let mut st = sh.slots.compartments.try_write().expect("compartments slot");
+            let (list, [by_id, by_name, delta]) = &mut *st;
+            passes::compartments(
+                &mut env,
+                &mut CompartmentsMut { list, by_id, by_name, delta_by_name: delta },
+                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                inc,
+            );
+        }
+        SPECIES => {
+            let units = sh.slots.units.try_read().expect("units complete");
+            let comps = sh.slots.compartments.try_read().expect("compartments complete");
+            let mut st = sh.slots.species.try_write().expect("species slot");
+            let (list, [by_id, by_name, delta]) = &mut *st;
+            passes::species(
+                &mut env,
+                &mut SpeciesMut { list, by_id, by_name, delta_by_name: delta },
+                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                &CompartmentsRead { list: &comps.0, by_id: &comps.1[0] },
+                inc,
+            );
+        }
+        PARAMETERS => {
+            let units = sh.slots.units.try_read().expect("units complete");
+            let mut st = sh.slots.parameters.try_write().expect("parameters slot");
+            let (list, [by_id]) = &mut *st;
+            passes::parameters(
+                &mut env,
+                &mut ParametersMut { list, by_id },
+                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                inc,
+            );
+        }
+        INITIAL_ASSIGNMENTS => {
+            let mut st = sh.slots.assignments.try_write().expect("assignments slot");
+            let (list, [by_symbol]) = &mut *st;
+            passes::initial_assignments(&mut env, &mut AssignmentsMut { list, by_symbol }, inc);
+        }
+        RULES => {
+            let mut st = sh.slots.rules.try_write().expect("rules slot");
+            let (list, [by_content, by_variable, delta]) = &mut *st;
+            passes::rules(
+                &mut env,
+                &mut RulesMut { list, by_content, by_variable, delta_by_content: delta },
+                inc,
+            );
+        }
+        CONSTRAINTS => {
+            let mut st = sh.slots.constraints.try_write().expect("constraints slot");
+            let (list, [by_content, delta]) = &mut *st;
+            passes::constraints(
+                &mut env,
+                &mut ConstraintsMut { list, by_content, delta_by_content: delta },
+                inc,
+            );
+        }
+        REACTIONS => {
+            let units = sh.slots.units.try_read().expect("units complete");
+            let mut st = sh.slots.reactions.try_write().expect("reactions slot");
+            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            passes::reactions(
+                &mut env,
+                &mut ReactionsMut { list, by_id, by_content, delta_by_content: delta, keys },
+                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                inc,
+            );
+        }
+        EVENTS => {
+            let mut st = sh.slots.events.try_write().expect("events slot");
+            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            passes::events(
+                &mut env,
+                &mut EventsMut { list, by_id, by_content, delta_by_content: delta, keys },
+                inc,
+            );
+        }
+        _ => unreachable!("twelve passes"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_roots() {
+        assert_eq!(family_root("k1"), "k1");
+        assert_eq!(family_root("k_1"), "k");
+        assert_eq!(family_root("k_1_2"), "k");
+        assert_eq!(family_root("sp_001"), "sp");
+        assert_eq!(family_root("x_"), "x_");
+        assert_eq!(family_root("x__1"), "x_");
+        assert_eq!(family_root("_1"), "");
+        assert_eq!(family_root("glucose"), "glucose");
+    }
+
+    #[test]
+    fn descending_mask_iteration() {
+        let picked: Vec<usize> = desc(0b1000_0000_0101).collect();
+        assert_eq!(picked, vec![11, 2, 0]);
+    }
+}

@@ -161,13 +161,6 @@ pub(crate) struct IncomingKeys {
     pub(crate) event_refs: Vec<Box<[String]>>,
 }
 
-/// Does applying `mappings` leave a component with these free references
-/// untouched (so its cached unmapped key is byte-identical to the mapped
-/// key)?
-pub(crate) fn refs_unmapped(refs: &[String], mappings: &crate::equality::MappingTable) -> bool {
-    refs.iter().all(|r| !mappings.contains_key(r))
-}
-
 // Per-kind free-reference sets, shared by the serial analysis and the
 // within-push parallel key builder so the two can never drift apart.
 
@@ -282,19 +275,50 @@ fn compute_key_job(
     }
 }
 
+/// Scheduling weight of one key job: proportional to the work the key
+/// derivation does (canonicalising the component's maths dominates), so
+/// one giant kinetic law no longer serialises a whole chunk. Never
+/// affects output — only which worker computes which key.
+fn key_job_weight(model: &Model, offsets: &[usize; 10], job: usize) -> u64 {
+    let kind = offsets.iter().rposition(|&o| job >= o).expect("job id below every offset");
+    let i = job - offsets[kind];
+    match kind {
+        0 => model.function_definitions[i].body.size() as u64,
+        // Units, types, compartments and species have constant-size keys.
+        1..=5 => 1,
+        6 => model.rules[i].math().size() as u64,
+        7 => model.constraints[i].math.size() as u64,
+        8 => {
+            let r = &model.reactions[i];
+            let math = r.kinetic_law.as_ref().map(|kl| kl.math.size()).unwrap_or(1);
+            (math + r.reactants.len() + r.products.len() + r.modifiers.len()) as u64
+        }
+        9 => {
+            let ev = &model.events[i];
+            (ev.trigger.size()
+                + ev.delay.as_ref().map(MathExpr::size).unwrap_or(0)
+                + ev.assignments.iter().map(|a| a.math.size()).sum::<usize>()) as u64
+        }
+        _ => unreachable!("ten component kinds"),
+    }
+}
+
 impl IncomingKeys {
     /// Compute a model's incoming-side keys — the same artifact
     /// [`ModelAnalysis::build`] fills into its `incoming` argument — with
-    /// the per-component jobs striped across `workers` scoped threads,
-    /// the within-push analogue of [`crate::BatchComposer`]'s per-model
-    /// fan-out. Canonical keys are pure functions of one component each,
-    /// so worker count and striping can never influence the artifact:
-    /// output is byte-identical to the serial path for every `workers`
-    /// value (unit- and property-tested), only wall time changes.
+    /// the per-component jobs distributed across `workers` scoped threads
+    /// by **size-weighted chunking**: jobs are assigned longest-first to
+    /// the least-loaded worker (LPT), weighted by each component's formula
+    /// size, so one giant kinetic law occupies a worker by itself instead
+    /// of serialising everything striped alongside it. Canonical keys are
+    /// pure functions of one component each, so worker count and
+    /// assignment can never influence the artifact: output is
+    /// byte-identical to the serial path for every `workers` value (unit-
+    /// and property-tested), only wall time changes.
     ///
     /// The session invokes this for raw pushes at or above
     /// [`ComposeOptions::parallel_push_threshold`] components, then feeds
-    /// the keys to the serial merge pass exactly as prepared-model keys.
+    /// the keys to the merge passes exactly as prepared-model keys.
     pub(crate) fn build_parallel(
         model: &Model,
         options: &ComposeOptions,
@@ -324,19 +348,34 @@ impl IncomingKeys {
             let ctx = MatchContext::new(options);
             (0..total).map(|job| (job, compute_key_job(model, &ctx, &offsets, job))).collect()
         } else {
+            // Size-weighted chunking (LPT): largest jobs first, each to
+            // the currently least-loaded worker.
+            let mut order: Vec<usize> = (0..total).collect();
+            let weights: Vec<u64> =
+                (0..total).map(|job| key_job_weight(model, &offsets, job).max(1)).collect();
+            order.sort_by_key(|&job| std::cmp::Reverse(weights[job]));
+            let mut loads = vec![0u64; workers];
+            let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); workers];
+            for job in order {
+                let w = loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &load)| load)
+                    .map(|(w, _)| w)
+                    .expect("at least one worker");
+                loads[w] += weights[job];
+                chunks[w].push(job);
+            }
             std::thread::scope(|scope| {
                 let offsets = &offsets;
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|jobs| {
                         scope.spawn(move || {
                             let ctx = MatchContext::new(options);
-                            let mut out = Vec::new();
-                            let mut job = w;
-                            while job < total {
-                                out.push((job, compute_key_job(model, &ctx, offsets, job)));
-                                job += workers;
-                            }
-                            out
+                            jobs.into_iter()
+                                .map(|job| (job, compute_key_job(model, &ctx, offsets, job)))
+                                .collect::<Vec<_>>()
                         })
                     })
                     .collect();
@@ -559,6 +598,10 @@ pub struct PreparedModel {
     pub(crate) analysis: ModelAnalysis,
     pub(crate) incoming: IncomingKeys,
     pub(crate) initial_values: Arc<InitialValues>,
+    /// Lazily-computed merge-pipeline plan (see [`crate::pipeline`]) — a
+    /// pure function of this model's ids and reference sets, shared (via
+    /// `Arc`) across clones and filled on the first pipelined push.
+    pub(crate) plan: Arc<std::sync::OnceLock<crate::pipeline::Plan>>,
 }
 
 impl PreparedModel {
@@ -580,7 +623,14 @@ impl PreparedModel {
         } else {
             InitialValues::default()
         });
-        PreparedModel { model, fingerprint: options.fingerprint(), analysis, incoming, initial_values }
+        PreparedModel {
+            model,
+            fingerprint: options.fingerprint(),
+            analysis,
+            incoming,
+            initial_values,
+            plan: Arc::new(std::sync::OnceLock::new()),
+        }
     }
 
     /// The model this preparation belongs to.
@@ -751,6 +801,27 @@ mod tests {
                 let parallel = IncomingKeys::build_parallel(&model, &options, workers);
                 assert_eq!(parallel, serial, "workers={workers}");
             }
+        }
+    }
+
+    #[test]
+    fn weighted_chunking_handles_skewed_formula_sizes() {
+        // One giant kinetic law among many tiny components: the LPT
+        // assignment gives it a worker of its own, and output stays
+        // byte-identical to serial for every worker count.
+        use sbml_math::infix;
+        let mut m = every_kind();
+        let giant = (0..200).map(|i| format!("glc + {i}")).collect::<Vec<_>>().join(" * ");
+        let mut r = sbml_model::Reaction::new("giant");
+        r.reactants.push(sbml_model::SpeciesReference::new("glc"));
+        r.kinetic_law = Some(sbml_model::KineticLaw::new(infix::parse(&giant).unwrap()));
+        m.reactions.push(r);
+
+        let options = ComposeOptions::default();
+        let mut serial = IncomingKeys::default();
+        ModelAnalysis::build(&m, &options, Some(&mut serial));
+        for workers in [2, 3, 7, 16] {
+            assert_eq!(IncomingKeys::build_parallel(&m, &options, workers), serial, "{workers}");
         }
     }
 

@@ -26,29 +26,47 @@
 //! * **within-push parallel keys** — a raw pushed model at or above
 //!   [`ComposeOptions::parallel_push_threshold`] keyed components gets its
 //!   canonical content keys computed on a scoped thread pool *before* the
-//!   serial merge pass consumes them (the per-model analogue of
-//!   [`crate::BatchComposer::prepare_corpus`]'s across-model fan-out);
-//!   below the threshold, and whenever a key's referenced ids have been
-//!   remapped mid-push, keys are computed inline as before.
+//!   merge passes consume them (the per-model analogue of
+//!   [`crate::BatchComposer::prepare_corpus`]'s across-model fan-out),
+//!   with per-job **size-weighted chunking** so one giant kinetic law
+//!   cannot serialise a chunk; below the threshold, keys are computed
+//!   inline as before,
+//! * **pipelined merge passes** — with [`ComposeOptions::merge_pipeline`]
+//!   (default on) the Fig. 4 passes of one push execute as a
+//!   **dependency DAG** on a scoped-thread scheduler (the crate-internal
+//!   `pipeline` module): per-kind mapping shards, taken-id family
+//!   analysis and fixed cross-kind data edges decide which passes may
+//!   overlap; output is bit-for-bit identical to the serial pass order,
+//! * **incremental mapped-key renaming** — with
+//!   [`ComposeOptions::incremental_key_rename`] (default on, heavy
+//!   semantics) a cached content key whose referenced ids were remapped
+//!   mid-push is revalidated by renaming the cached canonical text (the
+//!   crate-internal `keyrename` module over
+//!   [`sbml_math::pattern::Pattern::rename_mapped`]) — O(touched
+//!   leaves) — instead of re-canonicalising the formula.
 //!
 //! # Anatomy and cost of one push
 //!
 //! A push runs the paper's Fig. 4 pipeline over the incoming model `b`
 //! against the accumulator `A` (sizes `|b|`, `|A|`):
 //!
-//! | phase | work | cost |
-//! |---|---|---|
-//! | per-push reset | clear mapping table + delta indexes | O(1) amortised |
-//! | initial values | incremental store lookup (seeded once) | O(1) per push (O(&#124;A&#124;) once); O(&#124;A&#124;) per push with the store ablated |
-//! | incoming keys | serial inline, or precomputed on the pool at/above the threshold | O(&#124;b&#124;) work, ÷ cores wall-clock when parallel |
-//! | merge passes | functions → units → compartment/species types → compartments → species → parameters → initial assignments → rules → constraints → reactions → events; each component is an O(1) expected index probe (by id, then by content/name) plus a conflict check | O(&#124;b&#124;) |
-//! | finish | fold delta indexes under canonical merged-side keys, extend the key cache and the value store with the push's additions | O(additions) |
+//! | phase | work | serial cost | pipelined |
+//! |---|---|---|---|
+//! | per-push reset | clear mapping table + delta indexes | O(1) amortised | same |
+//! | initial values | incremental store lookup (seeded once) | O(1) per push (O(&#124;A&#124;) once); O(&#124;A&#124;) per push with the store ablated | same |
+//! | incoming keys | serial inline, or precomputed on the pool at/above the threshold (size-weighted chunks) | O(&#124;b&#124;) work, ÷ cores wall-clock when parallel | same |
+//! | merge passes | functions → units → compartment/species types → compartments → species → parameters → initial assignments → rules → constraints → reactions → events; each component is an O(1) expected index probe (by id, then by content/name) plus a conflict check; stale cached keys revalidated by incremental rename (O(touched leaves)) instead of re-canonicalisation (O(formula)) | O(&#124;b&#124;) | independent passes overlap on the scheduler — wall-clock ≈ critical path of the per-push dependency DAG, ÷ min(workers, DAG width) |
+//! | finish | fold per-pass logs/shards in Fig. 4 order (pipelined only), fold delta indexes under canonical merged-side keys, extend the key cache and the value store with the push's additions | O(additions) | same |
 //!
 //! Nothing in a push scales with `|A|` (the two O(n)-per-push costs the
 //! ROADMAP listed — whole-accumulator value re-collection and serial key
 //! computation — were removed by the incremental store and the parallel
 //! key path respectively), so an n-model chain is O(total components)
-//! plus index-probe constants, not O(n²).
+//! plus index-probe constants, not O(n²). The remaining *serial* per-pair
+//! costs — strictly ordered merge passes and O(formula) recomputation of
+//! mapped keys — are what the pipeline and the incremental rename remove;
+//! `BENCH_pipeline.json` (gated ≥ 1.5x by `ci.sh`) tracks their combined
+//! win on the conflict-heavy corpus.
 //!
 //! The output is bit-for-bit identical to a left fold of pairwise
 //! [`Composer::compose`] calls — `tests/properties.rs` proves model, log
@@ -63,137 +81,43 @@
 //!
 //! [`Composer::compose`]: crate::composer::Composer::compose
 //! [`ComposeOptions::parallel_push_threshold`]: crate::options::ComposeOptions::parallel_push_threshold
+//! [`ComposeOptions::merge_pipeline`]: crate::options::ComposeOptions::merge_pipeline
+//! [`ComposeOptions::incremental_key_rename`]: crate::options::ComposeOptions::incremental_key_rename
 
-use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use sbml_math::rewrite;
-use sbml_model::{Compartment, Model, Parameter, Reaction, Species};
-use sbml_units::convert::{
-    conversion_factor, deterministic_to_stochastic, stochastic_to_deterministic, ReactionOrder,
-};
-use sbml_units::UnitDefinition;
+use sbml_model::Model;
 
 use crate::composer::ComposeResult;
-use crate::equality::MatchContext;
-use crate::index::{ComponentIndex, FastSet};
+use crate::equality::{self, MappingTable, NoMap};
+use crate::index::ComponentIndex;
 use crate::initial_values::{collect, IncrementalValues, InitialValues, ValueDelta};
-use crate::log::{EventKind, MergeLog};
-use crate::options::{ComposeOptions, SemanticsLevel};
-use crate::prepared::{refs_unmapped, IncomingKeys, Indexes, KeyCache, ModelAnalysis, PreparedModel};
-
-/// The incoming side of one push: the model plus whatever precomputed
-/// analysis is available for it. Raw pushes carry only the model; prepared
-/// pushes also carry the [`PreparedModel`]'s incoming keys, per-kind
-/// indexes and evaluated initial values.
-struct Incoming<'m> {
-    model: &'m Model,
-    keys: Option<&'m IncomingKeys>,
-    idx: Option<&'m Indexes>,
-    ivs: Option<&'m Arc<InitialValues>>,
-}
-
-impl<'m> Incoming<'m> {
-    /// A raw push: no prepared indexes or initial values, and content
-    /// keys only when the within-push parallel path precomputed them — the
-    /// merge passes then treat those exactly as prepared-model keys,
-    /// cached while the referenced ids are unmapped and recomputed
-    /// otherwise.
-    fn raw_with_keys(model: &'m Model, keys: Option<&'m IncomingKeys>) -> Incoming<'m> {
-        Incoming { model, keys, idx: None, ivs: None }
-    }
-
-    fn prepared(p: &'m PreparedModel) -> Incoming<'m> {
-        Incoming {
-            model: p.model(),
-            keys: Some(&p.incoming),
-            idx: Some(&p.analysis.idx),
-            ivs: Some(&p.initial_values),
-        }
-    }
-
-    /// Species lookup through the prepared index when available (ROADMAP:
-    /// conflict-check lookups stop being linear scans), else the model's
-    /// own linear scan. First-wins index semantics match first-match scans.
-    fn species_by_id(&self, id: &str) -> Option<&'m Species> {
-        match self.idx {
-            Some(ix) => ix.species_by_id.get(id).map(|pos| &self.model.species[pos]),
-            None => self.model.species_by_id(id),
-        }
-    }
-
-    /// Compartment lookup, index-backed when prepared.
-    fn compartment_by_id(&self, id: &str) -> Option<&'m Compartment> {
-        match self.idx {
-            Some(ix) => ix.compartments_by_id.get(id).map(|pos| &self.model.compartments[pos]),
-            None => self.model.compartment_by_id(id),
-        }
-    }
-
-    /// Resolve a units reference against this model, index-backed when
-    /// prepared, falling back to SBML builtins.
-    fn resolve_units(&self, units: Option<&str>) -> Option<UnitDefinition> {
-        let id = units?;
-        match self.idx {
-            Some(ix) => {
-                ix.units_by_id.get(id).map(|pos| self.model.unit_definitions[pos].clone())
-            }
-            None => self.model.unit_definitions.iter().find(|u| u.id == id).cloned(),
-        }
-        .or_else(|| sbml_units::definition::builtin(id))
-    }
-}
-
-/// One incoming component's canonical key: a shared reference into the
-/// [`PreparedModel`]'s key store, or a key computed on the spot. Cached
-/// keys are only used where they are byte-identical to what the raw path
-/// would compute (see [`crate::prepared`] module docs).
-enum IncomingKey<'a> {
-    Cached(&'a Arc<str>),
-    Computed(String),
-}
-
-impl IncomingKey<'_> {
-    fn as_str(&self) -> &str {
-        match self {
-            IncomingKey::Cached(k) => k,
-            IncomingKey::Computed(s) => s,
-        }
-    }
-
-    /// Intern as `Arc<str>`: refcount bump for cached keys, one allocation
-    /// for computed ones.
-    fn to_arc(&self) -> Arc<str> {
-        match self {
-            IncomingKey::Cached(k) => Arc::clone(k),
-            IncomingKey::Computed(s) => Arc::from(s.as_str()),
-        }
-    }
-
-    /// Insert into an index, sharing the `Arc` when cached.
-    fn insert_into(&self, index: &mut ComponentIndex, pos: usize) -> bool {
-        match self {
-            IncomingKey::Cached(k) => index.insert_shared(k, pos),
-            IncomingKey::Computed(s) => index.insert(s, pos),
-        }
-    }
-}
+use crate::log::MergeLog;
+use crate::options::ComposeOptions;
+use crate::passes::{
+    self, AssignmentsMut, CompartmentTypesMut, CompartmentsMut, CompartmentsRead, ConstraintsMut,
+    EventsMut, FunctionsMut, IdRegistry, Incoming, IvA, MapStore, ParametersMut, PassEnv,
+    PrefixMask, ReactionsMut, RulesMut, SpeciesMut, SpeciesTypesMut, TakenStore, UnitsMut,
+    UnitsRead,
+};
+use crate::pipeline;
+use crate::prepared::{IncomingKeys, Indexes, KeyCache, ModelAnalysis, PreparedModel};
 
 /// Per-push staging indexes for components added during the current push,
 /// keyed by their *incoming* (second-model) content/name key. Folded into
 /// [`Indexes`] under canonical merged-side keys at push end.
 #[derive(Debug, Clone)]
-struct DeltaIndexes {
-    functions_by_content: ComponentIndex,
-    compartment_types_by_name: ComponentIndex,
-    species_types_by_name: ComponentIndex,
-    compartments_by_name: ComponentIndex,
-    species_by_name: ComponentIndex,
-    rules_by_content: ComponentIndex,
-    constraints_by_content: ComponentIndex,
-    reactions_by_content: ComponentIndex,
-    events_by_content: ComponentIndex,
+pub(crate) struct DeltaIndexes {
+    pub(crate) functions_by_content: ComponentIndex,
+    pub(crate) compartment_types_by_name: ComponentIndex,
+    pub(crate) species_types_by_name: ComponentIndex,
+    pub(crate) compartments_by_name: ComponentIndex,
+    pub(crate) species_by_name: ComponentIndex,
+    pub(crate) rules_by_content: ComponentIndex,
+    pub(crate) constraints_by_content: ComponentIndex,
+    pub(crate) reactions_by_content: ComponentIndex,
+    pub(crate) events_by_content: ComponentIndex,
 }
 
 impl DeltaIndexes {
@@ -225,50 +149,23 @@ impl DeltaIndexes {
     }
 }
 
-/// The `K[...]` section of a canonical reaction key (see
-/// [`MatchContext::reaction_key`]'s format
-/// `rxn:R[..];P[..];M[..];K[math]:rev=bool`). The math section may
-/// contain almost any character (light/none-semantics keys are infix
-/// text with `=`, and patterns contain `[`/`]` for piecewise), so the
-/// markers rely on position, not alphabet: participant items are
-/// `id*stoich` (SBML ids are word characters, no `;` or `[`), making the
-/// FIRST `;K[` the true section start, and nothing but the literal
-/// `true`/`false` follows the terminator, making the LAST `]:rev=` the
-/// true section end. Do not swap `find`/`rfind` here.
-fn key_math_section(key: &str) -> Option<&str> {
-    let start = key.find(";K[")? + 3;
-    let end = key.rfind("]:rev=")?;
-    key.get(start..end)
-}
-
-/// The taken-global-id registry: an immutable base set (shared by `Arc`
-/// with a [`PreparedModel`] when one is adopted as the accumulator) plus
-/// this session's own additions. Splitting the two makes adopting a
-/// prepared base a refcount bump instead of a clone of every id string.
-#[derive(Debug, Clone)]
-struct IdRegistry {
-    base: Arc<FastSet<String>>,
-    added: FastSet<String>,
-}
-
-impl IdRegistry {
-    fn new() -> IdRegistry {
-        IdRegistry { base: Arc::new(FastSet::default()), added: FastSet::default() }
-    }
-
-    fn contains(&self, id: &str) -> bool {
-        self.base.contains(id) || self.added.contains(id)
-    }
-
-    fn insert(&mut self, id: String) {
-        self.added.insert(id);
-    }
-
-    /// Replace the whole registry with a new base set.
-    fn reset(&mut self, base: Arc<FastSet<String>>) {
-        self.base = base;
-        self.added.clear();
-    }
+/// Keyed-component count of a model: the components that carry a canonical
+/// content or name key (everything except parameters and initial
+/// assignments). This is what [`ComposeOptions::parallel_push_threshold`]
+/// gates — both the within-push key fan-out and the merge-pass pipeline.
+///
+/// [`ComposeOptions::parallel_push_threshold`]: crate::options::ComposeOptions::parallel_push_threshold
+pub(crate) fn keyed_components(model: &Model) -> usize {
+    model.function_definitions.len()
+        + model.unit_definitions.len()
+        + model.compartment_types.len()
+        + model.species_types.len()
+        + model.compartments.len()
+        + model.species.len()
+        + model.rules.len()
+        + model.constraints.len()
+        + model.reactions.len()
+        + model.events.len()
 }
 
 /// Component-list lengths at the start of a push; everything past these
@@ -327,26 +224,34 @@ impl PushStart {
 /// assert_eq!(result.model.species.len(), 1); // pyruvate shared
 /// ```
 pub struct CompositionSession<'o> {
-    ctx: MatchContext<'o>,
-    merged: Model,
-    log: MergeLog,
-    mappings: HashMap<String, String>,
-    taken: IdRegistry,
-    iv_a: Arc<InitialValues>,
-    iv_b: Arc<InitialValues>,
+    pub(crate) options: &'o ComposeOptions,
+    /// The current push's ID mappings (second-model id → merged id) —
+    /// cleared per push, drained into `mappings` at push end. On the
+    /// pipelined path the passes write per-kind shards that are folded in
+    /// here in pass order before `finish_push`.
+    pub(crate) push_maps: MappingTable,
+    /// First-byte index over `push_maps` sources (see
+    /// [`PrefixMask`]); cleared with it per push.
+    pub(crate) push_mask: PrefixMask,
+    pub(crate) merged: Model,
+    pub(crate) log: MergeLog,
+    pub(crate) mappings: HashMap<String, String>,
+    pub(crate) taken: IdRegistry,
+    pub(crate) iv_a: Arc<InitialValues>,
+    pub(crate) iv_b: Arc<InitialValues>,
     /// Initial values of the current accumulator when they are already
     /// known (adopted from a [`PreparedModel`] base); consumed by the next
     /// push instead of re-running [`collect`] over the accumulator.
-    base_ivs: Option<Arc<InitialValues>>,
+    pub(crate) base_ivs: Option<Arc<InitialValues>>,
     /// The accumulator's initial values, maintained incrementally across
     /// pushes (seeded at the first merge, extended with each push's
     /// additions). `None` when [`ComposeOptions::incremental_initial_values`]
     /// is off, when values are not collected at all, or before the first
     /// real merge.
-    incremental: Option<IncrementalValues>,
-    idx: Indexes,
-    delta: DeltaIndexes,
-    keys: KeyCache,
+    pub(crate) incremental: Option<IncrementalValues>,
+    pub(crate) idx: Indexes,
+    pub(crate) delta: DeltaIndexes,
+    pub(crate) keys: KeyCache,
     pushes: usize,
 }
 
@@ -355,7 +260,9 @@ impl<'o> CompositionSession<'o> {
     /// model becomes the base (its id is retained, per Fig. 5 line 25).
     pub fn new(options: &'o ComposeOptions) -> CompositionSession<'o> {
         CompositionSession {
-            ctx: MatchContext::new(options),
+            options,
+            push_maps: MappingTable::default(),
+            push_mask: PrefixMask::default(),
             merged: Model::new("empty"),
             log: MergeLog::new(),
             mappings: HashMap::new(),
@@ -557,17 +464,7 @@ impl<'o> CompositionSession<'o> {
         // parameters and initial assignments have no canonical keys, so a
         // parameter-heavy model must not spawn workers for a handful of
         // name keys.
-        let keyed = b.function_definitions.len()
-            + b.unit_definitions.len()
-            + b.compartment_types.len()
-            + b.species_types.len()
-            + b.compartments.len()
-            + b.species.len()
-            + b.rules.len()
-            + b.constraints.len()
-            + b.reactions.len()
-            + b.events.len();
-        if keyed < self.options().parallel_push_threshold {
+        if keyed_components(b) < self.options().parallel_push_threshold {
             return None;
         }
         let workers = std::thread::available_parallelism()
@@ -577,7 +474,7 @@ impl<'o> CompositionSession<'o> {
     }
 
     fn options(&self) -> &'o ComposeOptions {
-        self.ctx.options
+        self.options
     }
 
     fn cache_keys(&self) -> bool {
@@ -623,7 +520,8 @@ impl<'o> CompositionSession<'o> {
     fn merge_model(&mut self, inc: &Incoming<'_>, final_push: bool) {
         // Per-push state: fresh mappings and initial values, clean deltas
         // (exactly what a pairwise `compose` would start from).
-        self.ctx.mappings.clear();
+        self.push_maps.clear();
+        self.push_mask.clear();
         self.delta.clear();
         if self.options().collect_initial_values {
             if self.options().incremental_initial_values {
@@ -669,21 +567,202 @@ impl<'o> CompositionSession<'o> {
         self.merged.reactions.reserve(b.reactions.len());
         self.merged.events.reserve(b.events.len());
 
-        // Fig. 4 pipeline order.
-        self.merge_function_definitions(inc);
-        self.merge_unit_definitions(inc);
-        self.merge_compartment_types(inc);
-        self.merge_species_types(inc);
-        self.merge_compartments(inc);
-        self.merge_species(inc);
-        self.merge_parameters(inc);
-        self.merge_initial_assignments(inc);
-        self.merge_rules(inc);
-        self.merge_constraints(inc);
-        self.merge_reactions(inc);
-        self.merge_events(inc);
+        // The Fig. 4 passes: as a dependency-DAG pipeline on scoped worker
+        // threads when the knobs and the push shape allow it, else in
+        // strict serial order. Output is bit-for-bit identical either way
+        // (property-tested across thread counts).
+        match self.pipeline_workers(inc) {
+            Some(workers) => pipeline::run(self, inc, workers),
+            None => self.merge_passes_serial(inc),
+        }
 
         self.finish_push(start, final_push);
+    }
+
+    /// Should this push run the pipelined merge, and with how many
+    /// workers? The pipeline needs precomputed incoming keys (their
+    /// free-reference sets feed the dependency analysis) and a push big
+    /// enough to be worth scheduling — the same
+    /// [`ComposeOptions::parallel_push_threshold`] gate the within-push
+    /// key fan-out uses.
+    ///
+    /// [`ComposeOptions::pipeline_threads`] is an **upper bound**: the
+    /// resolved worker count is capped at the host's available
+    /// parallelism, because a push's scoped workers are CPU-bound — extra
+    /// threads beyond the cores can only add context-switch churn, never
+    /// overlap. An *explicit* setting engages the pipelined executor even
+    /// when the cap resolves to one worker (the dependency-DAG executor
+    /// then runs its cost-priority schedule on the calling thread, no
+    /// spawns); the automatic setting (`0`) falls back to the plain
+    /// serial pass order on single-core hosts instead.
+    ///
+    /// [`ComposeOptions::parallel_push_threshold`]: crate::options::ComposeOptions::parallel_push_threshold
+    /// [`ComposeOptions::pipeline_threads`]: crate::options::ComposeOptions::pipeline_threads
+    fn pipeline_workers(&self, inc: &Incoming<'_>) -> Option<usize> {
+        if !self.options.merge_pipeline || inc.keys.is_none() {
+            return None;
+        }
+        if keyed_components(inc.model) < self.options.parallel_push_threshold {
+            return None;
+        }
+        let host = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        match self.options.pipeline_threads {
+            0 if host >= 2 => Some(host),
+            0 => None,
+            n => Some(n.min(host).max(1)),
+        }
+    }
+
+    /// Run the twelve passes in Fig. 4 order over the session's own state
+    /// — the serial schedule, and the reference the pipelined path is
+    /// property-tested against.
+    fn merge_passes_serial(&mut self, inc: &Incoming<'_>) {
+        macro_rules! env {
+            () => {
+                &mut PassEnv {
+                    options: self.options,
+                    maps: MapStore::Single {
+                        table: &mut self.push_maps,
+                        mask: &mut self.push_mask,
+                    },
+                    taken: TakenStore::Single(&mut self.taken),
+                    log: &mut self.log,
+                    iv_a: match &self.incremental {
+                        Some(store) => IvA::Store(store),
+                        None => IvA::Snap(&self.iv_a),
+                    },
+                    iv_b: &self.iv_b,
+                }
+            };
+        }
+        passes::functions(
+            env!(),
+            &mut FunctionsMut {
+                list: &mut self.merged.function_definitions,
+                by_id: &mut self.idx.functions_by_id,
+                by_content: &mut self.idx.functions_by_content,
+                delta_by_content: &mut self.delta.functions_by_content,
+                keys: &mut self.keys.functions,
+            },
+            inc,
+        );
+        passes::units(
+            env!(),
+            &mut UnitsMut {
+                list: &mut self.merged.unit_definitions,
+                by_id: &mut self.idx.units_by_id,
+                by_content: &mut self.idx.units_by_content,
+                keys: &mut self.keys.units,
+            },
+            inc,
+        );
+        passes::compartment_types(
+            env!(),
+            &mut CompartmentTypesMut {
+                list: &mut self.merged.compartment_types,
+                by_id: &mut self.idx.compartment_types_by_id,
+                by_name: &mut self.idx.compartment_types_by_name,
+                delta_by_name: &mut self.delta.compartment_types_by_name,
+            },
+            inc,
+        );
+        passes::species_types(
+            env!(),
+            &mut SpeciesTypesMut {
+                list: &mut self.merged.species_types,
+                by_id: &mut self.idx.species_types_by_id,
+                by_name: &mut self.idx.species_types_by_name,
+                delta_by_name: &mut self.delta.species_types_by_name,
+            },
+            inc,
+        );
+        passes::compartments(
+            env!(),
+            &mut CompartmentsMut {
+                list: &mut self.merged.compartments,
+                by_id: &mut self.idx.compartments_by_id,
+                by_name: &mut self.idx.compartments_by_name,
+                delta_by_name: &mut self.delta.compartments_by_name,
+            },
+            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            inc,
+        );
+        passes::species(
+            env!(),
+            &mut SpeciesMut {
+                list: &mut self.merged.species,
+                by_id: &mut self.idx.species_by_id,
+                by_name: &mut self.idx.species_by_name,
+                delta_by_name: &mut self.delta.species_by_name,
+            },
+            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            &CompartmentsRead {
+                list: &self.merged.compartments,
+                by_id: &self.idx.compartments_by_id,
+            },
+            inc,
+        );
+        passes::parameters(
+            env!(),
+            &mut ParametersMut {
+                list: &mut self.merged.parameters,
+                by_id: &mut self.idx.parameters_by_id,
+            },
+            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            inc,
+        );
+        passes::initial_assignments(
+            env!(),
+            &mut AssignmentsMut {
+                list: &mut self.merged.initial_assignments,
+                by_symbol: &mut self.idx.assignments_by_symbol,
+            },
+            inc,
+        );
+        passes::rules(
+            env!(),
+            &mut RulesMut {
+                list: &mut self.merged.rules,
+                by_content: &mut self.idx.rules_by_content,
+                by_variable: &mut self.idx.rules_by_variable,
+                delta_by_content: &mut self.delta.rules_by_content,
+            },
+            inc,
+        );
+        passes::constraints(
+            env!(),
+            &mut ConstraintsMut {
+                list: &mut self.merged.constraints,
+                by_content: &mut self.idx.constraints_by_content,
+                delta_by_content: &mut self.delta.constraints_by_content,
+            },
+            inc,
+        );
+        passes::reactions(
+            env!(),
+            &mut ReactionsMut {
+                list: &mut self.merged.reactions,
+                by_id: &mut self.idx.reactions_by_id,
+                by_content: &mut self.idx.reactions_by_content,
+                delta_by_content: &mut self.delta.reactions_by_content,
+                keys: &mut self.keys.reactions,
+            },
+            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            inc,
+        );
+        passes::events(
+            env!(),
+            &mut EventsMut {
+                list: &mut self.merged.events,
+                by_id: &mut self.idx.events_by_id,
+                by_content: &mut self.idx.events_by_content,
+                delta_by_content: &mut self.delta.events_by_content,
+                keys: &mut self.keys.events,
+            },
+            inc,
+        );
     }
 
     /// Fold this push's additions into the persistent indexes under their
@@ -694,7 +773,7 @@ impl<'o> CompositionSession<'o> {
     fn finish_push(&mut self, start: PushStart, final_push: bool) {
         if final_push {
             self.delta.clear();
-            self.mappings.extend(self.ctx.mappings.drain());
+            self.mappings.extend(self.push_maps.drain());
             return;
         }
         // Feed the incremental value store exactly the components this
@@ -715,8 +794,10 @@ impl<'o> CompositionSession<'o> {
         }
         let cache = self.cache_keys();
 
+        let options = self.options;
         for pos in start.functions..self.merged.function_definitions.len() {
-            let key = self.ctx.function_key(&self.merged.function_definitions[pos], false);
+            let key =
+                equality::function_key(options, &self.merged.function_definitions[pos], &NoMap);
             let key: Arc<str> = Arc::from(key.as_str());
             self.idx.functions_by_content.insert_shared(&key, pos);
             if cache {
@@ -730,19 +811,25 @@ impl<'o> CompositionSession<'o> {
             let t = &self.merged.compartment_types[pos];
             self.idx
                 .compartment_types_by_name
-                .insert(&self.ctx.name_key(&t.id, t.name.as_deref()), pos);
+                .insert(&equality::name_key(options, &t.id, t.name.as_deref()), pos);
         }
         for pos in start.species_types..self.merged.species_types.len() {
             let t = &self.merged.species_types[pos];
-            self.idx.species_types_by_name.insert(&self.ctx.name_key(&t.id, t.name.as_deref()), pos);
+            self.idx
+                .species_types_by_name
+                .insert(&equality::name_key(options, &t.id, t.name.as_deref()), pos);
         }
         for pos in start.compartments..self.merged.compartments.len() {
             let c = &self.merged.compartments[pos];
-            self.idx.compartments_by_name.insert(&self.ctx.name_key(&c.id, c.name.as_deref()), pos);
+            self.idx
+                .compartments_by_name
+                .insert(&equality::name_key(options, &c.id, c.name.as_deref()), pos);
         }
         for pos in start.species..self.merged.species.len() {
             let s = &self.merged.species[pos];
-            self.idx.species_by_name.insert(&self.ctx.name_key(&s.id, s.name.as_deref()), pos);
+            self.idx
+                .species_by_name
+                .insert(&equality::name_key(options, &s.id, s.name.as_deref()), pos);
         }
         // Conflict-renamed parameters are (deliberately) not visible to
         // by-id lookups within their own push; surface them now.
@@ -750,16 +837,16 @@ impl<'o> CompositionSession<'o> {
             self.idx.parameters_by_id.insert(&self.merged.parameters[pos].id, pos);
         }
         for pos in start.rules..self.merged.rules.len() {
-            let key = self.ctx.rule_key(&self.merged.rules[pos], false);
+            let key = equality::rule_key(options, &self.merged.rules[pos], &NoMap);
             self.idx.rules_by_content.insert(&key, pos);
         }
         for pos in start.constraints..self.merged.constraints.len() {
-            let key = self.ctx.constraint_key(&self.merged.constraints[pos].math, false);
+            let key = equality::constraint_key(options, &self.merged.constraints[pos].math, &NoMap);
             self.idx.constraints_by_content.insert(&key, pos);
         }
         if self.options().cache_patterns {
             for pos in start.reactions..self.merged.reactions.len() {
-                let key = self.ctx.reaction_key(&self.merged.reactions[pos], false);
+                let key = equality::reaction_key(options, &self.merged.reactions[pos], &NoMap);
                 let key: Arc<str> = Arc::from(key.as_str());
                 self.idx.reactions_by_content.insert_shared(&key, pos);
                 if cache {
@@ -768,7 +855,7 @@ impl<'o> CompositionSession<'o> {
             }
         }
         for pos in start.events..self.merged.events.len() {
-            let key = self.ctx.event_key(&self.merged.events[pos], false);
+            let key = equality::event_key(options, &self.merged.events[pos], &NoMap);
             let key: Arc<str> = Arc::from(key.as_str());
             self.idx.events_by_content.insert_shared(&key, pos);
             if cache {
@@ -776,1063 +863,9 @@ impl<'o> CompositionSession<'o> {
             }
         }
         self.delta.clear();
-        self.mappings.extend(self.ctx.mappings.drain());
+        self.mappings.extend(self.push_maps.drain());
     }
 
-    // ---------------------------------------------------------------
-    // Cached merged-side content keys
-    // ---------------------------------------------------------------
-    // Components added by the current push sit past the cache's end and
-    // are recomputed on demand, mirroring the pairwise pass which only
-    // pre-computes keys for components present when the pass started.
-
-    fn function_key_matches(&self, pos: usize, key: &str) -> bool {
-        if let Some(cached) = self.keys.functions.get(pos) {
-            cached.as_ref() == key
-        } else {
-            self.ctx.function_key(&self.merged.function_definitions[pos], false) == key
-        }
-    }
-
-    fn unit_key_matches(&self, pos: usize, key: &str) -> bool {
-        if let Some(cached) = self.keys.units.get(pos) {
-            cached.as_ref() == key
-        } else {
-            self.ctx.unit_key(&self.merged.unit_definitions[pos]) == key
-        }
-    }
-
-    /// Id-hit comparison for reactions: exactly equivalent to comparing
-    /// the merged reaction's canonical key with the incoming mapped key,
-    /// but ordered cheapest-first — reversibility, then participant
-    /// multisets (no string building), then the kinetic-law pattern, for
-    /// which both sides' cached key sections are reused while valid.
-    fn reaction_matches(&self, pos: usize, theirs: &Reaction, inc: &Incoming<'_>, i: usize) -> bool {
-        let ours = &self.merged.reactions[pos];
-        if ours.reversible != theirs.reversible {
-            return false;
-        }
-        if !self.participants_match(&ours.reactants, &theirs.reactants)
-            || !self.participants_match(&ours.products, &theirs.products)
-            || !self.participants_match(&ours.modifiers, &theirs.modifiers)
-        {
-            return false;
-        }
-        let ours_math: Cow<'_, str> = match self.keys.reactions.get(pos).and_then(|k| key_math_section(k)) {
-            Some(section) => Cow::Borrowed(section),
-            None => Cow::Owned(match &ours.kinetic_law {
-                Some(kl) => self.ctx.math_key(&kl.math, false),
-                None => "-".to_owned(),
-            }),
-        };
-        let cached_theirs = match inc.keys {
-            Some(keys) if self.refs_clean(Some(&keys.reaction_math_refs[i])) => {
-                key_math_section(&keys.reactions[i])
-            }
-            _ => None,
-        };
-        let theirs_math: Cow<'_, str> = match cached_theirs {
-            Some(section) => Cow::Borrowed(section),
-            None => Cow::Owned(match &theirs.kinetic_law {
-                Some(kl) => self.ctx.math_key(&kl.math, true),
-                None => "-".to_owned(),
-            }),
-        };
-        ours_math == theirs_math
-    }
-
-    /// Participant-list equality as the canonical key would decide it
-    /// (sorted `id*stoich` multisets, incoming ids mapped), without
-    /// building the canonical string.
-    fn participants_match(
-        &self,
-        ours: &[sbml_model::SpeciesReference],
-        theirs: &[sbml_model::SpeciesReference],
-    ) -> bool {
-        if ours.len() != theirs.len() {
-            return false;
-        }
-        // Stoichiometries compare as their canonical-key text would:
-        // `Display` for f64 is injective up to bit pattern for non-NaN
-        // values (all NaNs print "NaN"), so compare bits with NaN folded.
-        let stoich_key = |v: f64| if v.is_nan() { f64::NAN.to_bits() } else { v.to_bits() };
-        let mut a: Vec<(&str, u64)> =
-            ours.iter().map(|sr| (sr.species.as_str(), stoich_key(sr.stoichiometry))).collect();
-        let mut b: Vec<(&str, u64)> = theirs
-            .iter()
-            .map(|sr| (self.ctx.map_id(&sr.species), stoich_key(sr.stoichiometry)))
-            .collect();
-        a.sort_unstable();
-        b.sort_unstable();
-        a == b
-    }
-
-    fn event_key_matches(&self, pos: usize, key: &str) -> bool {
-        if let Some(cached) = self.keys.events.get(pos) {
-            cached.as_ref() == key
-        } else {
-            self.ctx.event_key(&self.merged.events[pos], false) == key
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Shared merge helpers (paper Fig. 5)
-    // ---------------------------------------------------------------
-
-    /// Fresh id based on `base`, registering it as taken.
-    fn fresh_id(&mut self, base: &str) -> String {
-        if !self.taken.contains(base) {
-            self.taken.insert(base.to_owned());
-            return base.to_owned();
-        }
-        for n in 1.. {
-            let candidate = format!("{base}_{n}");
-            if !self.taken.contains(&candidate) {
-                self.taken.insert(candidate.clone());
-                return candidate;
-            }
-        }
-        unreachable!("id space exhausted")
-    }
-
-    /// Register an id as taken when inserting a B component verbatim, or
-    /// rename it if an unrelated component holds it. Returns the final id
-    /// and logs the rename.
-    fn claim_id(&mut self, kind: &'static str, id: &str) -> String {
-        if self.taken.contains(id) {
-            let fresh = self.fresh_id(id);
-            self.ctx.add_mapping(id, fresh.clone());
-            self.log.push(
-                EventKind::Renamed,
-                kind,
-                id,
-                fresh.clone(),
-                "id already taken by an unrelated component",
-            );
-            fresh
-        } else {
-            self.taken.insert(id.to_owned());
-            id.to_owned()
-        }
-    }
-
-    /// Accumulator-side initial value of `id` as of the start of the
-    /// current push: the incremental store when active, else the batch
-    /// [`collect`] snapshot in `iv_a`. (The store is only extended in
-    /// `finish_push`, so mid-push reads always see the pre-push state,
-    /// exactly like the snapshot.)
-    fn iv_a_get(&self, id: &str) -> Option<f64> {
-        match &self.incremental {
-            Some(store) => store.get(id),
-            None => self.iv_a.get(id),
-        }
-    }
-
-    fn map_string(&self, s: &str) -> String {
-        self.ctx.map_id(s).to_owned()
-    }
-
-    fn map_opt(&self, s: &Option<String>) -> Option<String> {
-        s.as_ref().map(|v| self.map_string(v))
-    }
-
-    fn map_math(&self, math: &sbml_math::MathExpr) -> sbml_math::MathExpr {
-        if self.ctx.mappings.is_empty() {
-            return math.clone();
-        }
-        rewrite::rename(math, &self.ctx.mappings)
-    }
-
-    /// Is a component with the given prepared reference set untouched by
-    /// the current push's mappings (so every `map_*`/`map_math` over it is
-    /// the identity)? Without prepared refs, only an empty mapping table
-    /// guarantees that.
-    fn refs_clean(&self, refs: Option<&[String]>) -> bool {
-        match refs {
-            Some(refs) => {
-                self.ctx.mappings.is_empty() || refs_unmapped(refs, &self.ctx.mappings)
-            }
-            None => self.ctx.mappings.is_empty(),
-        }
-    }
-
-    /// Resolve a units reference against the accumulator through the
-    /// persistent by-id index (ROADMAP: `resolve_units` was a linear scan
-    /// inside conflict checks), falling back to SBML builtins.
-    fn resolve_units_merged(&self, units: Option<&str>) -> Option<UnitDefinition> {
-        let id = units?;
-        self.idx
-            .units_by_id
-            .get(id)
-            .map(|pos| self.merged.unit_definitions[pos].clone())
-            .or_else(|| sbml_units::definition::builtin(id))
-    }
-
-    /// Accumulator compartment lookup through the persistent by-id index
-    /// (replaces `Model::compartment_by_id`'s linear scan in conflict
-    /// checks).
-    fn merged_compartment_by_id(&self, id: &str) -> Option<&Compartment> {
-        self.idx.compartments_by_id.get(id).map(|pos| &self.merged.compartments[pos])
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 1: function definitions
-    // ---------------------------------------------------------------
-    fn merge_function_definitions(&mut self, inc: &Incoming<'_>) {
-        for (i, f) in inc.model.function_definitions.iter().enumerate() {
-            let content_key = match inc.keys {
-                Some(keys) if self.refs_clean(Some(&keys.function_refs[i])) => {
-                    IncomingKey::Cached(&keys.functions[i])
-                }
-                _ => IncomingKey::Computed(self.ctx.function_key(f, true)),
-            };
-            let content_key_str = content_key.as_str();
-            if let Some(pos) = self.idx.functions_by_id.get(&f.id) {
-                if self.function_key_matches(pos, content_key_str) {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "functionDefinition",
-                        &f.id,
-                        &f.id,
-                        "identical definition",
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "functionDefinition",
-                        &f.id,
-                        &f.id,
-                        "same id, different body; first model wins",
-                    );
-                }
-                continue;
-            }
-            let content_pos = self
-                .idx
-                .functions_by_content
-                .get(content_key_str)
-                .or_else(|| self.delta.functions_by_content.get(content_key_str));
-            if let Some(pos) = content_pos {
-                let target = self.merged.function_definitions[pos].id.clone();
-                self.ctx.add_mapping(&f.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "functionDefinition",
-                    &f.id,
-                    target,
-                    "equivalent body (α-renaming/commutativity)",
-                );
-                continue;
-            }
-            let final_id = self.claim_id("functionDefinition", &f.id);
-            let mut nf = f.clone();
-            nf.id = final_id.clone();
-            if !self.refs_clean(inc.keys.map(|k| k.function_refs[i].as_ref())) {
-                nf.body = self.map_math(&f.body);
-            }
-            let pos = self.merged.function_definitions.len();
-            self.idx.functions_by_id.insert(&final_id, pos);
-            content_key.insert_into(&mut self.delta.functions_by_content, pos);
-            self.merged.function_definitions.push(nf);
-            self.log.push(EventKind::Added, "functionDefinition", &f.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 2: unit definitions
-    // ---------------------------------------------------------------
-    fn merge_unit_definitions(&mut self, inc: &Incoming<'_>) {
-        for (i, u) in inc.model.unit_definitions.iter().enumerate() {
-            // Unit keys never depend on ID mappings — always reusable.
-            let content_key = match inc.keys {
-                Some(keys) => IncomingKey::Cached(&keys.units[i]),
-                None => IncomingKey::Computed(self.ctx.unit_key(u)),
-            };
-            let content_key_str = content_key.as_str();
-            if let Some(pos) = self.idx.units_by_id.get(&u.id) {
-                if self.unit_key_matches(pos, content_key_str) {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "unitDefinition",
-                        &u.id,
-                        &u.id,
-                        "same units",
-                    );
-                } else {
-                    let ours = &self.merged.unit_definitions[pos];
-                    self.log.push(
-                        EventKind::Conflict,
-                        "unitDefinition",
-                        &u.id,
-                        &u.id,
-                        format!(
-                            "same id, different units ({} vs {}); first model wins",
-                            ours.signature(),
-                            u.signature()
-                        ),
-                    );
-                }
-                continue;
-            }
-            if let Some(pos) = self.idx.units_by_content.get(content_key_str) {
-                let target = self.merged.unit_definitions[pos].id.clone();
-                self.ctx.add_mapping(&u.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "unitDefinition",
-                    &u.id,
-                    target,
-                    "equivalent unit signature",
-                );
-                continue;
-            }
-            let final_id = self.claim_id("unitDefinition", &u.id);
-            let mut nu = u.clone();
-            nu.id = final_id.clone();
-            let pos = self.merged.unit_definitions.len();
-            self.idx.units_by_id.insert(&final_id, pos);
-            // A unit's content key is invariant under renaming and
-            // mappings, so it can enter the persistent index immediately.
-            let key = content_key.to_arc();
-            self.idx.units_by_content.insert_shared(&key, pos);
-            if self.cache_keys() {
-                self.keys.units.push(key);
-            }
-            self.merged.unit_definitions.push(nu);
-            self.log.push(EventKind::Added, "unitDefinition", &u.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 lines 3–4: compartment types, species types
-    // ---------------------------------------------------------------
-    fn merge_compartment_types(&mut self, inc: &Incoming<'_>) {
-        for (i, t) in inc.model.compartment_types.iter().enumerate() {
-            // Name keys never depend on ID mappings — always reusable.
-            let name_key = match inc.keys {
-                Some(keys) => IncomingKey::Cached(&keys.compartment_types[i]),
-                None => IncomingKey::Computed(self.ctx.name_key(&t.id, t.name.as_deref())),
-            };
-            if self.idx.compartment_types_by_id.get(&t.id).is_some() {
-                self.log.push(EventKind::Duplicate, "compartmentType", &t.id, &t.id, "same id");
-                continue;
-            }
-            let name_pos = self
-                .idx
-                .compartment_types_by_name
-                .get(name_key.as_str())
-                .or_else(|| self.delta.compartment_types_by_name.get(name_key.as_str()));
-            if let Some(pos) = name_pos {
-                let target = self.merged.compartment_types[pos].id.clone();
-                self.ctx.add_mapping(&t.id, &target);
-                self.log.push(EventKind::Mapped, "compartmentType", &t.id, target, "synonymous name");
-                continue;
-            }
-            let final_id = self.claim_id("compartmentType", &t.id);
-            let mut nt = t.clone();
-            nt.id = final_id.clone();
-            let pos = self.merged.compartment_types.len();
-            self.idx.compartment_types_by_id.insert(&final_id, pos);
-            name_key.insert_into(&mut self.delta.compartment_types_by_name, pos);
-            self.merged.compartment_types.push(nt);
-            self.log.push(EventKind::Added, "compartmentType", &t.id, final_id, "new");
-        }
-    }
-
-    fn merge_species_types(&mut self, inc: &Incoming<'_>) {
-        for (i, t) in inc.model.species_types.iter().enumerate() {
-            let name_key = match inc.keys {
-                Some(keys) => IncomingKey::Cached(&keys.species_types[i]),
-                None => IncomingKey::Computed(self.ctx.name_key(&t.id, t.name.as_deref())),
-            };
-            if self.idx.species_types_by_id.get(&t.id).is_some() {
-                self.log.push(EventKind::Duplicate, "speciesType", &t.id, &t.id, "same id");
-                continue;
-            }
-            let name_pos = self
-                .idx
-                .species_types_by_name
-                .get(name_key.as_str())
-                .or_else(|| self.delta.species_types_by_name.get(name_key.as_str()));
-            if let Some(pos) = name_pos {
-                let target = self.merged.species_types[pos].id.clone();
-                self.ctx.add_mapping(&t.id, &target);
-                self.log.push(EventKind::Mapped, "speciesType", &t.id, target, "synonymous name");
-                continue;
-            }
-            let final_id = self.claim_id("speciesType", &t.id);
-            let mut nt = t.clone();
-            nt.id = final_id.clone();
-            let pos = self.merged.species_types.len();
-            self.idx.species_types_by_id.insert(&final_id, pos);
-            name_key.insert_into(&mut self.delta.species_types_by_name, pos);
-            self.merged.species_types.push(nt);
-            self.log.push(EventKind::Added, "speciesType", &t.id, final_id, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 5: compartments
-    // ---------------------------------------------------------------
-    fn merge_compartments(&mut self, inc: &Incoming<'_>) {
-        for (i, c) in inc.model.compartments.iter().enumerate() {
-            let name_key = match inc.keys {
-                Some(keys) => IncomingKey::Cached(&keys.compartments[i]),
-                None => IncomingKey::Computed(self.ctx.name_key(&c.id, c.name.as_deref())),
-            };
-            let matched = self.idx.compartments_by_id.get(&c.id).map(|pos| (pos, true)).or_else(|| {
-                self.idx
-                    .compartments_by_name
-                    .get(name_key.as_str())
-                    .or_else(|| self.delta.compartments_by_name.get(name_key.as_str()))
-                    .map(|pos| (pos, false))
-            });
-            if let Some((pos, by_identifier)) = matched {
-                let ours = &self.merged.compartments[pos];
-                let target = ours.id.clone();
-                let sizes_agree = self.compartment_sizes_agree(ours, c, inc);
-                if !by_identifier {
-                    self.ctx.add_mapping(&c.id, &target);
-                }
-                if sizes_agree && self.merged.compartments[pos].spatial_dimensions == c.spatial_dimensions {
-                    self.log.push(
-                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
-                        "compartment",
-                        &c.id,
-                        target,
-                        "same compartment",
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "compartment",
-                        &c.id,
-                        target,
-                        format!(
-                            "attributes differ (size {:?} vs {:?}); first model wins",
-                            self.merged.compartments[pos].size, c.size
-                        ),
-                    );
-                }
-                continue;
-            }
-            let final_id = self.claim_id("compartment", &c.id);
-            let mut nc = c.clone();
-            nc.id = final_id.clone();
-            nc.compartment_type = self.map_opt(&c.compartment_type);
-            nc.units = self.map_opt(&c.units);
-            nc.outside = self.map_opt(&c.outside);
-            let pos = self.merged.compartments.len();
-            self.idx.compartments_by_id.insert(&final_id, pos);
-            name_key.insert_into(&mut self.delta.compartments_by_name, pos);
-            self.merged.compartments.push(nc);
-            self.log.push(EventKind::Added, "compartment", &c.id, final_id, "new");
-        }
-    }
-
-    fn compartment_sizes_agree(
-        &self,
-        ours: &Compartment,
-        theirs: &Compartment,
-        inc: &Incoming<'_>,
-    ) -> bool {
-        let va = ours.size.or_else(|| self.iv_a_get(&ours.id));
-        let vb = theirs.size.or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        // Try unit conversion (e.g. litres vs millilitres).
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-        let (Some(ua), Some(ub)) = (
-            self.resolve_units_merged(ours.units.as_deref()),
-            inc.resolve_units(theirs.units.as_deref()),
-        ) else {
-            return false;
-        };
-        match conversion_factor(&ub, &ua) {
-            Some(factor) => self.ctx.values_agree(Some(va), Some(vb * factor)),
-            None => false,
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 6: species
-    // ---------------------------------------------------------------
-    fn merge_species(&mut self, inc: &Incoming<'_>) {
-        for (i, s) in inc.model.species.iter().enumerate() {
-            let name_key = match inc.keys {
-                Some(keys) => IncomingKey::Cached(&keys.species[i]),
-                None => IncomingKey::Computed(self.ctx.name_key(&s.id, s.name.as_deref())),
-            };
-            let matched = self.idx.species_by_id.get(&s.id).map(|pos| (pos, true)).or_else(|| {
-                self.idx
-                    .species_by_name
-                    .get(name_key.as_str())
-                    .or_else(|| self.delta.species_by_name.get(name_key.as_str()))
-                    .map(|pos| (pos, false))
-            });
-            if let Some((pos, by_identifier)) = matched {
-                let ours = &self.merged.species[pos];
-                let target = ours.id.clone();
-                let compartments_match = ours.compartment == self.ctx.map_id(&s.compartment);
-                let values_ok = self.species_values_agree(ours, s, inc);
-                if !by_identifier {
-                    self.ctx.add_mapping(&s.id, &target);
-                }
-                if compartments_match && values_ok {
-                    self.log.push(
-                        if by_identifier { EventKind::Duplicate } else { EventKind::Mapped },
-                        "species",
-                        &s.id,
-                        target,
-                        "same species",
-                    );
-                } else {
-                    let reason = if !compartments_match {
-                        "compartments differ; first model wins"
-                    } else {
-                        "initial values differ; first model wins"
-                    };
-                    self.log.push(EventKind::Conflict, "species", &s.id, target, reason);
-                }
-                continue;
-            }
-            let final_id = self.claim_id("species", &s.id);
-            let mut ns = s.clone();
-            ns.id = final_id.clone();
-            ns.compartment = self.map_string(&s.compartment);
-            ns.species_type = self.map_opt(&s.species_type);
-            ns.substance_units = self.map_opt(&s.substance_units);
-            let pos = self.merged.species.len();
-            self.idx.species_by_id.insert(&final_id, pos);
-            name_key.insert_into(&mut self.delta.species_by_name, pos);
-            self.merged.species.push(ns);
-            self.log.push(EventKind::Added, "species", &s.id, final_id, "new");
-        }
-    }
-
-    /// Initial-value agreement with Fig. 6 unit awareness:
-    /// direct comparison → substance-unit conversion → amount vs
-    /// concentration reconciliation through the compartment volume.
-    fn species_values_agree(&self, ours: &Species, theirs: &Species, inc: &Incoming<'_>) -> bool {
-        let va = ours.initial_value().or_else(|| self.iv_a_get(&ours.id));
-        let vb = theirs.initial_value().or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-
-        // Substance-unit conversion (e.g. mole vs millimole).
-        if let (Some(ua), Some(ub)) = (
-            self.resolve_units_merged(ours.substance_units.as_deref()),
-            inc.resolve_units(theirs.substance_units.as_deref()),
-        ) {
-            if let Some(factor) = conversion_factor(&ub, &ua) {
-                if self.ctx.values_agree(Some(va), Some(vb * factor)) {
-                    return true;
-                }
-            }
-        }
-
-        // Amount vs concentration: amount = concentration × volume.
-        let vol_a = self
-            .merged_compartment_by_id(&ours.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_a_get(&ours.compartment));
-        let vol_b = inc
-            .compartment_by_id(&theirs.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_b.get(&theirs.compartment));
-        if let (Some(amount), Some(conc), Some(vol)) =
-            (ours.initial_amount, theirs.initial_concentration, vol_b)
-        {
-            if self.ctx.values_agree(Some(amount), Some(conc * vol)) {
-                return true;
-            }
-        }
-        match (ours.initial_concentration, theirs.initial_amount, vol_a) {
-            (Some(conc), Some(amount), Some(vol))
-                if vol != 0.0 && self.ctx.values_agree(Some(conc), Some(amount / vol)) =>
-            {
-                return true;
-            }
-            _ => {}
-        }
-        false
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 7: parameters (always kept; renamed on clash — §3)
-    // ---------------------------------------------------------------
-    fn merge_parameters(&mut self, inc: &Incoming<'_>) {
-        for p in &inc.model.parameters {
-            if let Some(pos) = self.idx.parameters_by_id.get(&p.id) {
-                let ours_value = self.merged.parameters[pos].value;
-                if self.parameter_values_agree(&self.merged.parameters[pos], p, inc) {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "parameter",
-                        &p.id,
-                        &p.id,
-                        "same id and value",
-                    );
-                } else {
-                    // Keep both: rename the incoming one (paper §3). The
-                    // renamed parameter stays out of the by-id index until
-                    // the push ends, as in the per-pass rebuild.
-                    let fresh = self.fresh_id(&p.id);
-                    self.ctx.add_mapping(&p.id, &fresh);
-                    let mut np = p.clone();
-                    np.id = fresh.clone();
-                    np.units = self.map_opt(&p.units);
-                    self.merged.parameters.push(np);
-                    self.log.push(
-                        EventKind::Conflict,
-                        "parameter",
-                        &p.id,
-                        fresh.clone(),
-                        format!(
-                            "values differ ({:?} vs {:?}); both kept, incoming renamed",
-                            ours_value, p.value
-                        ),
-                    );
-                    self.log.push(
-                        EventKind::Renamed,
-                        "parameter",
-                        &p.id,
-                        fresh,
-                        "renamed to avoid conflict",
-                    );
-                }
-                continue;
-            }
-            // Different id: always include (no content matching for
-            // parameters — the paper: "there is no way of confirming
-            // whether they are intended to be equal or not").
-            let final_id = self.claim_id("parameter", &p.id);
-            let mut np = p.clone();
-            np.id = final_id.clone();
-            np.units = self.map_opt(&p.units);
-            let pos = self.merged.parameters.len();
-            self.idx.parameters_by_id.insert(&final_id, pos);
-            self.merged.parameters.push(np);
-            self.log.push(EventKind::Added, "parameter", &p.id, final_id, "new");
-        }
-    }
-
-    fn parameter_values_agree(&self, ours: &Parameter, theirs: &Parameter, inc: &Incoming<'_>) -> bool {
-        let va = ours.value.or_else(|| self.iv_a_get(&ours.id));
-        let vb = theirs.value.or_else(|| self.iv_b.get(&theirs.id));
-        if self.ctx.values_agree(va, vb) {
-            return true;
-        }
-        if self.options().semantics != SemanticsLevel::Heavy {
-            return false;
-        }
-        let (Some(va), Some(vb)) = (va, vb) else { return false };
-        if let (Some(ua), Some(ub)) = (
-            self.resolve_units_merged(ours.units.as_deref()),
-            inc.resolve_units(theirs.units.as_deref()),
-        ) {
-            if let Some(factor) = conversion_factor(&ub, &ua) {
-                return self.ctx.values_agree(Some(va), Some(vb * factor));
-            }
-        }
-        false
-    }
-
-    // ---------------------------------------------------------------
-    // Initial assignments (collected before merge; conflict-checked here)
-    // ---------------------------------------------------------------
-    fn merge_initial_assignments(&mut self, inc: &Incoming<'_>) {
-        for ia in &inc.model.initial_assignments {
-            let symbol = self.map_string(&ia.symbol);
-            if let Some(pos) = self.idx.assignments_by_symbol.get(&symbol) {
-                let ours = &self.merged.initial_assignments[pos];
-                let math_equal =
-                    self.ctx.math_key(&ours.math, false) == self.ctx.math_key(&ia.math, true);
-                // The paper's improvement over semanticSBML: evaluate the
-                // maths and compare values when structure differs.
-                let values_equal = self.options().collect_initial_values
-                    && self
-                        .ctx
-                        .values_agree(self.iv_a_get(&ours.symbol), self.iv_b.get(&ia.symbol));
-                if math_equal || values_equal {
-                    self.log.push(
-                        EventKind::Duplicate,
-                        "initialAssignment",
-                        &ia.symbol,
-                        symbol,
-                        if math_equal { "same maths" } else { "same evaluated value" },
-                    );
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "initialAssignment",
-                        &ia.symbol,
-                        symbol,
-                        "different initial maths for one symbol; first model wins",
-                    );
-                }
-                continue;
-            }
-            let mut nia = ia.clone();
-            nia.symbol = symbol.clone();
-            nia.math = self.map_math(&ia.math);
-            self.idx.assignments_by_symbol.insert(&symbol, self.merged.initial_assignments.len());
-            self.merged.initial_assignments.push(nia);
-            self.log.push(EventKind::Added, "initialAssignment", &ia.symbol, symbol, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 8: rules
-    // ---------------------------------------------------------------
-    fn merge_rules(&mut self, inc: &Incoming<'_>) {
-        for (i, r) in inc.model.rules.iter().enumerate() {
-            let content_key = match inc.keys {
-                Some(keys) if self.refs_clean(Some(&keys.rule_refs[i])) => {
-                    IncomingKey::Cached(&keys.rules[i])
-                }
-                _ => IncomingKey::Computed(self.ctx.rule_key(r, true)),
-            };
-            let label = r.variable().unwrap_or("<algebraic>").to_owned();
-            if self
-                .idx
-                .rules_by_content
-                .get(content_key.as_str())
-                .or_else(|| self.delta.rules_by_content.get(content_key.as_str()))
-                .is_some()
-            {
-                self.log.push(EventKind::Duplicate, "rule", &label, &label, "identical rule");
-                continue;
-            }
-            if let Some(v) = r.variable() {
-                let mapped_v = self.map_string(v);
-                if self.idx.rules_by_variable.get(&mapped_v).is_some() {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "rule",
-                        &label,
-                        mapped_v,
-                        "variable already ruled with different maths; first model wins",
-                    );
-                    continue;
-                }
-            }
-            let mut nr = r.clone();
-            if !self.refs_clean(inc.keys.map(|k| k.rule_refs[i].as_ref())) {
-                match &mut nr {
-                    sbml_model::Rule::Algebraic { math } => *math = self.map_math(math),
-                    sbml_model::Rule::Assignment { variable, math }
-                    | sbml_model::Rule::Rate { variable, math } => {
-                        *variable = self.map_string(variable);
-                        *math = self.map_math(math);
-                    }
-                }
-            }
-            let pos = self.merged.rules.len();
-            content_key.insert_into(&mut self.delta.rules_by_content, pos);
-            if let Some(v) = nr.variable() {
-                self.idx.rules_by_variable.insert(v, pos);
-            }
-            self.merged.rules.push(nr);
-            self.log.push(EventKind::Added, "rule", &label, &label, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 9: constraints
-    // ---------------------------------------------------------------
-    fn merge_constraints(&mut self, inc: &Incoming<'_>) {
-        for (idx, c) in inc.model.constraints.iter().enumerate() {
-            let key = match inc.keys {
-                Some(keys) if self.refs_clean(Some(&keys.constraint_refs[idx])) => {
-                    IncomingKey::Cached(&keys.constraints[idx])
-                }
-                _ => IncomingKey::Computed(self.ctx.constraint_key(&c.math, true)),
-            };
-            let label = format!("#{idx}");
-            if self
-                .idx
-                .constraints_by_content
-                .get(key.as_str())
-                .or_else(|| self.delta.constraints_by_content.get(key.as_str()))
-                .is_some()
-            {
-                self.log.push(EventKind::Duplicate, "constraint", &label, &label, "identical");
-                continue;
-            }
-            let mut nc = c.clone();
-            if !self.refs_clean(inc.keys.map(|k| k.constraint_refs[idx].as_ref())) {
-                nc.math = self.map_math(&c.math);
-            }
-            key.insert_into(&mut self.delta.constraints_by_content, self.merged.constraints.len());
-            self.merged.constraints.push(nc);
-            self.log.push(EventKind::Added, "constraint", &label, &label, "new");
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 10: reactions (the most involved kind)
-    // ---------------------------------------------------------------
-    fn merge_reactions(&mut self, inc: &Incoming<'_>) {
-        // Pattern cache ablation: when disabled, keys are recomputed per
-        // lookup through a linear rescan instead of being stored.
-        let cache = self.options().cache_patterns;
-        for (i, r) in inc.model.reactions.iter().enumerate() {
-            if let Some(pos) = self.idx.reactions_by_id.get(&r.id) {
-                if self.reaction_matches(pos, r, inc, i) {
-                    self.reconcile_reaction_locals(pos, r, inc);
-                } else {
-                    self.log.push(
-                        EventKind::Conflict,
-                        "reaction",
-                        &r.id,
-                        &r.id,
-                        "same id, different reaction; first model wins",
-                    );
-                }
-                continue;
-            }
-            let content_key = match inc.keys {
-                Some(keys) if self.refs_clean(Some(&keys.reaction_refs[i])) => {
-                    IncomingKey::Cached(&keys.reactions[i])
-                }
-                _ => IncomingKey::Computed(self.ctx.reaction_key(r, true)),
-            };
-            let content_key_str = content_key.as_str();
-            let content_pos = if cache {
-                self.idx
-                    .reactions_by_content
-                    .get(content_key_str)
-                    .or_else(|| self.delta.reactions_by_content.get(content_key_str))
-            } else {
-                // no cache: rescan and recompute every time
-                self.merged
-                    .reactions
-                    .iter()
-                    .position(|ours| self.ctx.reaction_key(ours, false) == content_key_str)
-            };
-            if let Some(pos) = content_pos {
-                let target = self.merged.reactions[pos].id.clone();
-                self.ctx.add_mapping(&r.id, &target);
-                self.log.push(
-                    EventKind::Mapped,
-                    "reaction",
-                    &r.id,
-                    target,
-                    "same participants and kinetics",
-                );
-                self.reconcile_reaction_locals(pos, r, inc);
-                continue;
-            }
-            let final_id = self.claim_id("reaction", &r.id);
-            let mut nr = r.clone();
-            nr.id = final_id.clone();
-            if !self.refs_clean(inc.keys.map(|k| k.reaction_refs[i].as_ref())) {
-                for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
-                    sr.species = self.map_string(&sr.species);
-                }
-                if let Some(kl) = &mut nr.kinetic_law {
-                    // The law's local parameters shadow the mapping table.
-                    // Hide them while renaming (O(locals) removes/restores)
-                    // instead of cloning the whole table per reaction.
-                    let mut hidden: Vec<(String, String)> = Vec::new();
-                    for p in &kl.parameters {
-                        if let Some(target) = self.ctx.mappings.remove(&p.id) {
-                            hidden.push((p.id.clone(), target));
-                        }
-                    }
-                    if !self.ctx.mappings.is_empty() {
-                        kl.math = rewrite::rename(&kl.math, &self.ctx.mappings);
-                    }
-                    for (local, target) in hidden {
-                        self.ctx.mappings.insert(local, target);
-                    }
-                }
-            }
-            let pos = self.merged.reactions.len();
-            self.idx.reactions_by_id.insert(&final_id, pos);
-            if cache {
-                content_key.insert_into(&mut self.delta.reactions_by_content, pos);
-            }
-            self.merged.reactions.push(nr);
-            self.log.push(EventKind::Added, "reaction", &r.id, final_id, "new");
-        }
-    }
-
-    /// Matched reactions may still disagree on local rate-constant values;
-    /// the paper resolves "conflicts in rate constants and stoichiometry
-    /// within reactions" via Fig. 6 conversions before declaring a conflict.
-    fn reconcile_reaction_locals(&mut self, merged_pos: usize, theirs: &Reaction, inc: &Incoming<'_>) {
-        let volume = self.reaction_volume(theirs, inc).unwrap_or(1.0);
-        let order = ReactionOrder::from_reactant_count(theirs.reactant_molecule_count());
-        let ours_law = self.merged.reactions[merged_pos].kinetic_law.clone();
-        let (Some(ours_kl), Some(theirs_kl)) = (ours_law, &theirs.kinetic_law) else {
-            self.log.push(
-                EventKind::Duplicate,
-                "reaction",
-                &theirs.id,
-                self.merged.reactions[merged_pos].id.clone(),
-                "same reaction",
-            );
-            return;
-        };
-        let mut all_ok = true;
-        for tp in &theirs_kl.parameters {
-            let Some(op) = ours_kl.parameters.iter().find(|p| p.id == tp.id) else {
-                continue;
-            };
-            if self.ctx.values_agree(op.value, tp.value) {
-                continue;
-            }
-            // Try plain unit conversion between the declared units.
-            let mut reconciled = false;
-            if self.options().semantics == SemanticsLevel::Heavy {
-                if let (Some(ua), Some(ub), Some(va), Some(vb)) = (
-                    self.resolve_units_merged(op.units.as_deref()),
-                    inc.resolve_units(tp.units.as_deref()),
-                    op.value,
-                    tp.value,
-                ) {
-                    if let Some(factor) = conversion_factor(&ub, &ua) {
-                        reconciled = self.ctx.values_agree(Some(va), Some(vb * factor));
-                    }
-                }
-                // Fig. 6 deterministic ↔ stochastic rate constant bridge.
-                if !reconciled {
-                    if let (Some(order), Some(va), Some(vb)) = (order, op.value, tp.value) {
-                        let as_stoch = deterministic_to_stochastic(vb, order, volume);
-                        let as_det = stochastic_to_deterministic(vb, order, volume);
-                        reconciled = self.ctx.values_agree(Some(va), Some(as_stoch))
-                            || self.ctx.values_agree(Some(va), Some(as_det));
-                    }
-                }
-            }
-            let final_id = self.merged.reactions[merged_pos].id.clone();
-            if reconciled {
-                self.log.push(
-                    EventKind::Warning,
-                    "reaction",
-                    &theirs.id,
-                    final_id,
-                    format!(
-                        "rate constant '{}' agrees after unit conversion (paper Fig. 6)",
-                        tp.id
-                    ),
-                );
-            } else {
-                all_ok = false;
-                self.log.push(
-                    EventKind::Conflict,
-                    "reaction",
-                    &theirs.id,
-                    final_id,
-                    format!(
-                        "local parameter '{}' differs ({:?} vs {:?}); first model wins",
-                        tp.id, op.value, tp.value
-                    ),
-                );
-            }
-        }
-        if all_ok {
-            self.log.push(
-                EventKind::Duplicate,
-                "reaction",
-                &theirs.id,
-                self.merged.reactions[merged_pos].id.clone(),
-                "same reaction",
-            );
-        }
-    }
-
-    /// The volume relevant to a reaction of the second model: the size of
-    /// the compartment of its first reactant (or product).
-    fn reaction_volume(&self, r: &Reaction, inc: &Incoming<'_>) -> Option<f64> {
-        let species_id = r
-            .reactants
-            .first()
-            .or_else(|| r.products.first())
-            .map(|sr| sr.species.as_str())?;
-        let species = inc.species_by_id(species_id)?;
-        inc.compartment_by_id(&species.compartment)
-            .and_then(|c| c.size)
-            .or_else(|| self.iv_b.get(&species.compartment))
-    }
-
-    // ---------------------------------------------------------------
-    // Fig. 4 line 11: events
-    // ---------------------------------------------------------------
-    fn merge_events(&mut self, inc: &Incoming<'_>) {
-        for (idx, ev) in inc.model.events.iter().enumerate() {
-            let label = ev.id.clone().unwrap_or_else(|| format!("#{idx}"));
-            let content_key = match inc.keys {
-                Some(keys) if self.refs_clean(Some(&keys.event_refs[idx])) => {
-                    IncomingKey::Cached(&keys.events[idx])
-                }
-                _ => IncomingKey::Computed(self.ctx.event_key(ev, true)),
-            };
-            if let Some(id) = &ev.id {
-                if let Some(pos) = self.idx.events_by_id.get(id) {
-                    if self.event_key_matches(pos, content_key.as_str()) {
-                        self.log.push(EventKind::Duplicate, "event", &label, id, "identical");
-                    } else {
-                        self.log.push(
-                            EventKind::Conflict,
-                            "event",
-                            &label,
-                            id,
-                            "same id, different event; first model wins",
-                        );
-                    }
-                    continue;
-                }
-            }
-            let content_pos = self
-                .idx
-                .events_by_content
-                .get(content_key.as_str())
-                .or_else(|| self.delta.events_by_content.get(content_key.as_str()));
-            if let Some(pos) = content_pos {
-                let target =
-                    self.merged.events[pos].id.clone().unwrap_or_else(|| format!("@{pos}"));
-                if let Some(id) = &ev.id {
-                    if target != format!("@{pos}") {
-                        self.ctx.add_mapping(id, &target);
-                    }
-                }
-                self.log.push(EventKind::Mapped, "event", &label, target, "identical behaviour");
-                continue;
-            }
-            let mut nev = ev.clone();
-            if let Some(id) = &ev.id {
-                nev.id = Some(self.claim_id("event", id));
-            }
-            if !self.refs_clean(inc.keys.map(|k| k.event_refs[idx].as_ref())) {
-                nev.trigger = self.map_math(&ev.trigger);
-                nev.delay = ev.delay.as_ref().map(|d| self.map_math(d));
-                for a in &mut nev.assignments {
-                    a.variable = self.map_string(&a.variable);
-                    a.math = self.map_math(&a.math);
-                }
-            }
-            let pos = self.merged.events.len();
-            if let Some(id) = &nev.id {
-                self.idx.events_by_id.insert(id, pos);
-            }
-            content_key.insert_into(&mut self.delta.events_by_content, pos);
-            let final_label = nev.id.clone().unwrap_or_else(|| label.clone());
-            self.merged.events.push(nev);
-            self.log.push(EventKind::Added, "event", &label, final_label, "new");
-        }
-    }
 }
 
 #[cfg(test)]
@@ -2151,6 +1184,212 @@ mod tests {
             session.current_initial_values(),
             crate::initial_values::collect(session.model())
         );
+    }
+
+    /// A conflict-heavy model: species ids diverge per version but share
+    /// display names (name-mapped), parameters share ids with diverging
+    /// values (conflict-renamed), and rules/constraints/reactions/events
+    /// all reference the mapped ids — every math-bearing pass has to
+    /// revalidate its cached keys under live mappings.
+    fn conflict_model(v: usize) -> Model {
+        use sbml_math::infix;
+        use sbml_model::{Event, EventAssignment, Rule};
+
+        let mut b = ModelBuilder::new(format!("cm{v}")).compartment("cell", 1.0);
+        for j in 0..6 {
+            b = b.species_named(&format!("s{v}_{j}"), &format!("spec{j}"), j as f64);
+        }
+        for j in 0..4 {
+            b = b.parameter(&format!("k{j}"), 0.1 * (v as f64 + 1.0) * (j as f64 + 1.0));
+        }
+        for j in 0..4 {
+            b = b.parameter(&format!("rv{v}_{j}"), 0.0);
+        }
+        for j in 0..4 {
+            let (a, c) = (format!("s{v}_{}", j % 6), format!("s{v}_{}", (j + 1) % 6));
+            b = b.reaction(
+                &format!("r{v}_{j}"),
+                &[a.as_str()],
+                &[c.as_str()],
+                &format!("k{j}*{a} + k{}*{c}", (j + 1) % 4),
+            );
+        }
+        let mut m = b.build();
+        for j in 0..3 {
+            m.rules.push(Rule::Assignment {
+                variable: format!("rv{v}_{j}"),
+                math: infix::parse(&format!("k{j} * s{v}_{j} + s{v}_{}", j + 1)).unwrap(),
+            });
+        }
+        for j in 0..2 {
+            m.constraints.push(sbml_model::rule::Constraint {
+                math: infix::parse(&format!("s{v}_{j} >= 0")).unwrap(),
+                message: None,
+            });
+        }
+        for j in 0..2 {
+            let mut ev = Event::new(infix::parse(&format!("s{v}_{j} > k{j}")).unwrap());
+            ev.id = Some(format!("ev{v}_{j}"));
+            ev.assignments.push(EventAssignment {
+                variable: format!("s{v}_{j}"),
+                math: infix::parse(&format!("s{v}_{j} + 1")).unwrap(),
+            });
+            m.events.push(ev);
+        }
+        m
+    }
+
+    #[test]
+    fn pipelined_merge_equals_serial_across_thread_counts() {
+        // Conflict-heavy pushes: species mapped by name, parameters
+        // renamed on value conflicts, every later pass revalidating keys
+        // under those mappings — the shape the dependency DAG must get
+        // exactly right.
+        let models: Vec<Model> = (0..4).map(conflict_model).collect();
+        let serial_opts = ComposeOptions::default()
+            .with_merge_pipeline(false)
+            .with_parallel_push_threshold(0);
+        let run = |options: &ComposeOptions| {
+            let mut session = CompositionSession::new(options);
+            for m in &models {
+                session.push(m);
+            }
+            session.finish()
+        };
+        let serial = run(&serial_opts);
+        assert!(
+            serial.log.events.iter().any(|e| e.kind == crate::EventKind::Mapped),
+            "conflict corpus must actually produce mappings"
+        );
+        for threads in [1, 2, 3, 4, 8] {
+            let opts = ComposeOptions::default()
+                .with_parallel_push_threshold(0)
+                .with_pipeline_threads(threads);
+            let out = run(&opts);
+            assert_eq!(out.model, serial.model, "threads={threads}");
+            assert_eq!(out.log.events, serial.log.events, "threads={threads}");
+            assert_eq!(out.mappings, serial.mappings, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pipelined_merge_handles_cross_kind_id_families() {
+        // Adversarial id overlaps across kinds: an incoming parameter and
+        // an incoming species fighting over one id family, a function id
+        // colliding with a pre-existing species id, and references to the
+        // winners from math-bearing kinds. These force the taken-registry
+        // family edges and the cross-kind mapping-shard edges.
+        use sbml_math::infix;
+        use sbml_model::{FunctionDefinition, Rule};
+
+        let mut a = ModelBuilder::new("a")
+            .compartment("cell", 1.0)
+            .species("x", 1.0)
+            .species("x_1", 2.0)
+            .parameter("k", 1.0)
+            .build();
+        a.function_definitions.push(FunctionDefinition::new(
+            "f",
+            vec!["p".into()],
+            infix::parse("p*2").unwrap(),
+        ));
+
+        let mut b = ModelBuilder::new("b")
+            .compartment("cell", 1.0)
+            // Species `x` id-hits A's; `x_2` is fresh but probes the same
+            // family; parameter `x_9` claims into the family from a later
+            // pass.
+            .species("x", 9.0) // conflicting value -> Conflict, first wins
+            .species("x_2", 3.0)
+            .parameter("x_9", 5.0)
+            .parameter("k", 7.0) // value conflict -> renamed k_1, mapping k->k_1
+            .build();
+        // Function under A's species id: claim_id must rename it.
+        b.function_definitions.push(FunctionDefinition::new(
+            "x_1",
+            vec!["p".into()],
+            infix::parse("p+3").unwrap(),
+        ));
+        b.rules.push(Rule::Assignment {
+            variable: "x_9".into(),
+            math: infix::parse("k * x + x_2").unwrap(),
+        });
+        let mut r = sbml_model::Reaction::new("rx");
+        r.reactants.push(sbml_model::SpeciesReference::new("x"));
+        r.products.push(sbml_model::SpeciesReference::new("x_2"));
+        r.kinetic_law =
+            Some(sbml_model::KineticLaw::new(infix::parse("x_1(k) * x").unwrap()));
+        b.reactions.push(r);
+
+        let serial_opts = ComposeOptions::default()
+            .with_merge_pipeline(false)
+            .with_parallel_push_threshold(0);
+        let run = |options: &ComposeOptions| {
+            let mut session = CompositionSession::new(options);
+            session.push(&a);
+            session.push(&b);
+            session.finish()
+        };
+        let serial = run(&serial_opts);
+        for threads in [2, 4, 8] {
+            let opts = ComposeOptions::default()
+                .with_parallel_push_threshold(0)
+                .with_pipeline_threads(threads);
+            let out = run(&opts);
+            assert_eq!(out.model, serial.model, "threads={threads}");
+            assert_eq!(out.log.events, serial.log.events, "threads={threads}");
+            assert_eq!(out.mappings, serial.mappings, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn key_rename_ablation_does_not_change_output() {
+        let models: Vec<Model> = (0..4).map(conflict_model).collect();
+        let run = |options: &ComposeOptions| {
+            let mut session = CompositionSession::new(options);
+            for m in &models {
+                session.push(m);
+            }
+            session.finish()
+        };
+        let fast = run(&ComposeOptions::default().with_parallel_push_threshold(0));
+        let slow = run(
+            &ComposeOptions::default()
+                .with_parallel_push_threshold(0)
+                .with_incremental_key_rename(false),
+        );
+        assert_eq!(fast.model, slow.model);
+        assert_eq!(fast.log.events, slow.log.events);
+        assert_eq!(fast.mappings, slow.mappings);
+    }
+
+    #[test]
+    fn prepared_models_survive_pipeline_setting_changes() {
+        // Pipeline knobs are execution details: a preparation built under
+        // pipeline-off options must be accepted (and produce identical
+        // output) under pipeline-on options and vice versa.
+        let off = ComposeOptions::default()
+            .with_merge_pipeline(false)
+            .with_parallel_push_threshold(0);
+        let on = ComposeOptions::default()
+            .with_parallel_push_threshold(0)
+            .with_pipeline_threads(4);
+        let models: Vec<Model> = (0..3).map(conflict_model).collect();
+        let prepared_off: Vec<PreparedModel> =
+            models.iter().map(|m| PreparedModel::new(m, &off)).collect();
+
+        let run = |options: &ComposeOptions, prepared: &[PreparedModel]| {
+            let mut session = CompositionSession::new(options);
+            for p in prepared {
+                session.push_prepared(p);
+            }
+            session.finish()
+        };
+        let serial = run(&off, &prepared_off);
+        let pipelined = run(&on, &prepared_off); // cross-setting acceptance
+        assert_eq!(pipelined.model, serial.model);
+        assert_eq!(pipelined.log.events, serial.log.events);
+        assert_eq!(pipelined.mappings, serial.mappings);
     }
 
     #[test]

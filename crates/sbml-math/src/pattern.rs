@@ -23,11 +23,13 @@
 //! * lambda parameters are α-renamed to positional names, so function
 //!   definitions equal up to bound-variable naming produce the same pattern.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::BuildHasher;
 
 use crate::ast::{MathExpr, Op};
+use crate::rewrite::Resolver;
 use crate::writer::format_number;
 
 /// A canonical pattern; equality of patterns = equivalence of expressions
@@ -46,6 +48,11 @@ impl Pattern {
     /// Generic over the map's hasher so callers with faster non-SipHash
     /// tables don't have to convert.
     pub fn of_mapped<S: BuildHasher>(expr: &MathExpr, mappings: &HashMap<String, String, S>) -> Pattern {
+        Pattern::of_resolved(expr, mappings)
+    }
+
+    /// [`Pattern::of_mapped`] over any [`Resolver`].
+    pub fn of_resolved<R: Resolver + ?Sized>(expr: &MathExpr, mappings: &R) -> Pattern {
         let mut out = String::with_capacity(expr.size() * 6);
         let mut bound = Vec::new();
         build(expr, mappings, &mut bound, &mut out);
@@ -56,6 +63,66 @@ impl Pattern {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// A pattern string, adopted verbatim. The caller asserts the text was
+    /// produced by this module (a cached canonical key section); arbitrary
+    /// strings produce patterns that compare unequal to every real one.
+    pub fn from_canonical_text(text: String) -> Pattern {
+        Pattern(text)
+    }
+
+    /// The incremental rename path: rewrite the identifier leaves of an
+    /// **already-canonical** pattern through `mappings` and re-normalise
+    /// only the commutative operand groups whose members actually changed.
+    ///
+    /// Equivalent to `Pattern::of_mapped(expr, mappings)` where `self ==
+    /// Pattern::of(expr)` (property-tested), but without revisiting the
+    /// expression tree: untouched subtrees are copied as slices and
+    /// already-sorted groups keep their order, so a rename touching `k`
+    /// leaves costs one scan of the pattern text plus re-sorting the dirty
+    /// groups instead of a full re-canonicalisation. Returns
+    /// [`Cow::Borrowed`] when no leaf resolves (the common
+    /// no-relevant-mapping case: zero allocation).
+    ///
+    /// Bound variables are already positional (`b:i`) in canonical text, so
+    /// lambda shadowing is inherited from the original canonicalisation —
+    /// a mapping for a shadowed name cannot apply, exactly as in
+    /// [`Pattern::of_mapped`].
+    pub fn rename_mapped<S: BuildHasher>(
+        &self,
+        mappings: &HashMap<String, String, S>,
+    ) -> Cow<'_, Pattern> {
+        self.rename_resolved(mappings)
+    }
+
+    /// [`Pattern::rename_mapped`] over any [`Resolver`].
+    pub fn rename_resolved<R: Resolver + ?Sized>(&self, mappings: &R) -> Cow<'_, Pattern> {
+        match rename_canonical_text(&self.0, mappings) {
+            Some(new) => Cow::Owned(Pattern(new)),
+            None => Cow::Borrowed(self),
+        }
+    }
+}
+
+/// Text-level entry point of the incremental rename: rewrite canonical
+/// pattern `text` under `mappings`, returning `None` when nothing changed
+/// (zero allocation — callers keep the original slice). Callers that hold
+/// cached pattern text (canonical-key sections) use this directly instead
+/// of round-tripping through a [`Pattern`] value.
+pub fn rename_canonical_text<R: Resolver + ?Sized>(text: &str, mappings: &R) -> Option<String> {
+    if mappings.is_identity() {
+        return None;
+    }
+    incremental::rewrite_node(text, mappings)
+}
+
+/// Split canonical text on `sep` occurrences at bracket depth 0 (over
+/// `(`/`[`) — the tokenizer the incremental rename itself walks with,
+/// exported for consumers that slice cached canonical *keys* built from
+/// pattern sections (e.g. `trigger|delay|assignments` event keys).
+/// Yields nothing for an empty string.
+pub fn split_canonical_top_level(s: &str, sep: u8) -> impl Iterator<Item = &str> {
+    incremental::split_top_level(s, sep)
 }
 
 impl fmt::Display for Pattern {
@@ -76,9 +143,9 @@ pub fn equivalent<S: BuildHasher>(
     Pattern::of_mapped(a, mappings) == Pattern::of_mapped(b, mappings)
 }
 
-fn build<S: BuildHasher>(
+fn build<R: Resolver + ?Sized>(
     expr: &MathExpr,
-    mappings: &HashMap<String, String, S>,
+    mappings: &R,
     bound: &mut Vec<String>,
     out: &mut String,
 ) {
@@ -93,7 +160,7 @@ fn build<S: BuildHasher>(
                 out.push_str("b:");
                 out.push_str(&idx.to_string());
             } else {
-                let mapped = mappings.get(name).map(String::as_str).unwrap_or(name);
+                let mapped = mappings.resolve(name).unwrap_or(name);
                 out.push_str("v:");
                 out.push_str(mapped);
             }
@@ -113,7 +180,7 @@ fn build<S: BuildHasher>(
         MathExpr::Apply { op, args } => build_apply(*op, args, mappings, bound, out),
         MathExpr::Call { function, args } => {
             out.push_str("f:");
-            let mapped = mappings.get(function).map(String::as_str).unwrap_or(function);
+            let mapped = mappings.resolve(function).unwrap_or(function);
             out.push_str(mapped);
             out.push('(');
             for (i, a) in args.iter().enumerate() {
@@ -157,10 +224,10 @@ fn build<S: BuildHasher>(
     }
 }
 
-fn build_apply<S: BuildHasher>(
+fn build_apply<R: Resolver + ?Sized>(
     op: Op,
     args: &[MathExpr],
-    mappings: &HashMap<String, String, S>,
+    mappings: &R,
     bound: &mut Vec<String>,
     out: &mut String,
 ) {
@@ -212,6 +279,282 @@ fn flatten<'e>(op: Op, args: &'e [MathExpr], out: &mut Vec<&'e MathExpr>) {
             }
             other => out.push(other),
         }
+    }
+}
+
+/// The string-level incremental rename over canonical pattern text: see
+/// [`Pattern::rename_mapped`].
+///
+/// Grammar of the canonical text (as emitted by [`build`]):
+///
+/// ```text
+/// node := "n:" num | "b:" idx | "v:" id | "s:" sym | "c:" const
+///       | "f:" id "(" node,* ")"
+///       | "pw(" ("[" node "|" node "]"),* (",else:" node)? ")"
+///       | "lam" k "(" node ")"
+///       | opname "(" children ")"
+/// children (commutative op)     := node ("," node)*        -- sorted
+/// children (non-commutative op) := "C" i ":" node ("," "C" i ":" node)*
+/// ```
+///
+/// Identifiers are SBML ids (word characters), so the separators
+/// `, ( ) [ ] |` can never occur inside a leaf; nesting depth over
+/// `(`/`[` makes top-level splitting unambiguous.
+mod incremental {
+    use super::{Op, Resolver};
+
+    /// Does the canonical text contain any identifier leaf (`v:` / `f:`)
+    /// the resolver maps? A flat byte scan — no recursion, no allocation —
+    /// that prunes clean subtrees before the structural walk descends
+    /// into them. Leaf starts are recognised positionally: a `v`/`f`
+    /// followed by `:` at the start of a node, i.e. at the very beginning
+    /// or right after one of the separators `, ( [ | :` (identifiers are
+    /// word characters, so neither marker can occur *inside* one).
+    fn contains_mapped_leaf<R: Resolver + ?Sized>(s: &str, maps: &R) -> bool {
+        let bytes = s.as_bytes();
+        let mut at_boundary = true;
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if at_boundary && (b == b'v' || b == b'f') && bytes.get(i + 1) == Some(&b':') {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len()
+                    && !matches!(bytes[end], b',' | b')' | b']' | b'|' | b'(')
+                {
+                    end += 1;
+                }
+                if maps.resolve(&s[start..end]).is_some() {
+                    return true;
+                }
+                i = end;
+                at_boundary = false;
+                continue;
+            }
+            at_boundary = matches!(b, b',' | b'(' | b'[' | b'|' | b':');
+            i += 1;
+        }
+        false
+    }
+
+    /// Rewrite one node; `None` means the subtree is unchanged (callers
+    /// then reuse the original slice — zero copies for clean regions).
+    /// Child lists are gated by the flat dirty-scan, so a clean subtree
+    /// costs one pass over its text and is never structurally parsed.
+    pub(super) fn rewrite_node<R: Resolver + ?Sized>(s: &str, maps: &R) -> Option<String> {
+        let bytes = s.as_bytes();
+        if bytes.len() >= 2 && bytes[1] == b':' {
+            return match bytes[0] {
+                b'v' => maps.resolve(&s[2..]).map(|new| format!("v:{new}")),
+                // numbers, bound variables, csymbols, constants: no ids
+                b'n' | b'b' | b's' | b'c' => None,
+                b'f' => rewrite_call(s, maps),
+                _ => None,
+            };
+        }
+        let open = s.find('(')?;
+        let head = &s[..open];
+        let inner = &s[open + 1..s.len() - 1];
+        if head == "pw" {
+            return rewrite_piecewise(s, inner, open, maps);
+        }
+        if head.starts_with("lam") {
+            let body = rewrite_node(inner, maps)?;
+            return Some(format!("{head}({body})"));
+        }
+        let commutative = Op::from_mathml_name(head).is_some_and(Op::is_commutative);
+        if commutative {
+            rewrite_commutative(s, inner, open, maps)
+        } else {
+            // Non-commutative children keep their `Ci:` prefix and order.
+            splice_children(s, inner, open, maps, |child, maps| {
+                let colon = child.find(':').expect("Ci: prefix on non-commutative child");
+                rewrite_node(&child[colon + 1..], maps)
+                    .map(|new| format!("{}:{new}", &child[..colon]))
+            })
+        }
+    }
+
+    fn rewrite_call<R: Resolver + ?Sized>(s: &str, maps: &R) -> Option<String> {
+        let open = s.find('(').expect("call pattern has an argument list");
+        let name = &s[2..open];
+        let mapped = maps.resolve(name);
+        let inner = &s[open + 1..s.len() - 1];
+        let args = splice_children(s, inner, open, maps, |child, maps| rewrite_node(child, maps));
+        match (mapped, args) {
+            (None, None) => None,
+            (name_change, args_change) => {
+                let final_name = name_change.unwrap_or(name);
+                let args_text = match &args_change {
+                    Some(new) => {
+                        // splice_children rebuilt the whole node under the
+                        // ORIGINAL head; keep just its argument list.
+                        &new[open + 1..new.len() - 1]
+                    }
+                    None => inner,
+                };
+                Some(format!("f:{final_name}({args_text})"))
+            }
+        }
+    }
+
+    fn rewrite_piecewise<R: Resolver + ?Sized>(
+        s: &str,
+        inner: &str,
+        open: usize,
+        maps: &R,
+    ) -> Option<String> {
+        // Pieces are "[value|cond]" segments (order semantic — never
+        // re-sorted), optionally followed by an ",else:" tail.
+        let mut changed = false;
+        let mut out = String::with_capacity(s.len());
+        out.push_str(&s[..open + 1]);
+        for (i, segment) in split_top_level(inner, b',').enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(tail) = segment.strip_prefix("else:") {
+                match gated_rewrite(tail, maps) {
+                    Some(new) => {
+                        changed = true;
+                        out.push_str("else:");
+                        out.push_str(&new);
+                    }
+                    None => out.push_str(segment),
+                }
+                continue;
+            }
+            let piece = &segment[1..segment.len() - 1]; // strip [ ]
+            let mut halves = split_top_level(piece, b'|');
+            let value = halves.next().expect("piecewise piece has a value");
+            let cond = halves.next().expect("piecewise piece has a condition");
+            let new_value = gated_rewrite(value, maps);
+            let new_cond = gated_rewrite(cond, maps);
+            if new_value.is_none() && new_cond.is_none() {
+                out.push_str(segment);
+                continue;
+            }
+            changed = true;
+            out.push('[');
+            out.push_str(new_value.as_deref().unwrap_or(value));
+            out.push('|');
+            out.push_str(new_cond.as_deref().unwrap_or(cond));
+            out.push(']');
+        }
+        out.push(')');
+        changed.then_some(out)
+    }
+
+    /// Commutative group: rewrite each child; if any changed, the group's
+    /// sort order may be stale — re-sort all (rewritten) child texts. An
+    /// unchanged group keeps its original (already sorted) order and is
+    /// reused as a slice.
+    fn rewrite_commutative<R: Resolver + ?Sized>(
+        s: &str,
+        inner: &str,
+        open: usize,
+        maps: &R,
+    ) -> Option<String> {
+        let mut children: Vec<std::borrow::Cow<'_, str>> = Vec::new();
+        let mut dirty = false;
+        for child in split_top_level(inner, b',') {
+            match gated_rewrite(child, maps) {
+                Some(new) => {
+                    dirty = true;
+                    children.push(std::borrow::Cow::Owned(new));
+                }
+                None => children.push(std::borrow::Cow::Borrowed(child)),
+            }
+        }
+        if !dirty {
+            return None;
+        }
+        // Same comparison `build` uses: byte order over full child texts.
+        children.sort_unstable();
+        let mut out = String::with_capacity(s.len());
+        out.push_str(&s[..open + 1]);
+        for (i, c) in children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(c);
+        }
+        out.push(')');
+        Some(out)
+    }
+
+    /// Rewrite one child node only if the flat scan says it can change —
+    /// a clean subtree is never structurally parsed.
+    fn gated_rewrite<R: Resolver + ?Sized>(s: &str, maps: &R) -> Option<String> {
+        if contains_mapped_leaf(s, maps) {
+            rewrite_node(s, maps)
+        } else {
+            None
+        }
+    }
+
+    /// Rewrite an ordered child list via `f`, splicing unchanged children
+    /// as slices (dirty-scan-gated). Returns the full rebuilt node text,
+    /// or `None` when no child changed.
+    fn splice_children<'a, R: Resolver + ?Sized>(
+        s: &'a str,
+        inner: &'a str,
+        open: usize,
+        maps: &R,
+        f: impl Fn(&'a str, &R) -> Option<String>,
+    ) -> Option<String> {
+        let mut changed = false;
+        let mut out = String::with_capacity(s.len());
+        out.push_str(&s[..open + 1]);
+        for (i, child) in split_top_level(inner, b',').enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rewritten =
+                if contains_mapped_leaf(child, maps) { f(child, maps) } else { None };
+            match rewritten {
+                Some(new) => {
+                    changed = true;
+                    out.push_str(&new);
+                }
+                None => out.push_str(child),
+            }
+        }
+        out.push(')');
+        changed.then_some(out)
+    }
+
+    /// Split on `sep` at nesting depth 0 (over `(`/`[`). Yields nothing
+    /// for an empty string (a zero-argument call / empty group). Depth
+    /// saturates on malformed text rather than underflowing — callers
+    /// treat surprising shapes as "no match", never as a panic.
+    pub(super) fn split_top_level(s: &str, sep: u8) -> impl Iterator<Item = &str> {
+        let bytes = s.as_bytes();
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut i = 0usize;
+        std::iter::from_fn(move || {
+            if start > bytes.len() || bytes.is_empty() {
+                return None;
+            }
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth = depth.saturating_sub(1),
+                    b if b == sep && depth == 0 => {
+                        let piece = &s[start..i];
+                        i += 1;
+                        start = i;
+                        return Some(piece);
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            let piece = &s[start..];
+            start = bytes.len() + 1; // exhausted
+            Some(piece)
+        })
     }
 }
 
@@ -332,6 +675,53 @@ mod tests {
         assert_eq!(pat("k1*A - k2*B"), pat("A*k1 - B*k2"));
         assert_ne!(pat("k1*A - k2*B"), pat("k2*B - k1*A"));
         assert_eq!(pat("k1*A*B"), pat("k1*B*A"));
+    }
+
+    fn rename_equals_rebuild(src: &str, pairs: &[(&str, &str)]) {
+        let expr = parse(src).unwrap();
+        let mut map = HashMap::new();
+        for (from, to) in pairs {
+            map.insert((*from).to_owned(), (*to).to_owned());
+        }
+        let cached = Pattern::of(&expr);
+        let renamed = cached.rename_mapped(&map);
+        let rebuilt = Pattern::of_mapped(&expr, &map);
+        assert_eq!(renamed.as_ref(), &rebuilt, "src={src} map={pairs:?}");
+    }
+
+    #[test]
+    fn rename_mapped_equals_of_mapped() {
+        rename_equals_rebuild("k1*A*B", &[("k1", "kf")]);
+        // A rename that changes the sort order of a commutative group.
+        rename_equals_rebuild("a + z", &[("a", "zz")]);
+        rename_equals_rebuild("a*b + c*d", &[("c", "a0"), ("b", "x")]);
+        // Untouched groups keep their order; nested dirt propagates up.
+        rename_equals_rebuild("(a+b) * (c-d) * f(e)", &[("e", "q")]);
+        rename_equals_rebuild("f(x) + g(x)", &[("g", "f")]);
+        rename_equals_rebuild("piecewise(a, a < b, c)", &[("a", "w"), ("c", "v")]);
+        rename_equals_rebuild("pow(a, b) / (c + d)", &[("b", "bb"), ("d", "a")]);
+        rename_equals_rebuild("2 + x*1e30", &[("x", "y")]);
+        // No-op mapping: borrowed, byte-identical.
+        let expr = parse("k1*A + f(B)").unwrap();
+        let cached = Pattern::of(&expr);
+        let mut map = HashMap::new();
+        map.insert("unrelated".to_owned(), "other".to_owned());
+        assert!(matches!(cached.rename_mapped(&map), std::borrow::Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn rename_mapped_respects_bound_variables() {
+        // Lambda params are positional in canonical text; a mapping for the
+        // shadowed name must not leak in — same as of_mapped.
+        let f = MathExpr::Lambda {
+            params: vec!["x".into()],
+            body: Box::new(parse("x + y").unwrap()),
+        };
+        let mut map = HashMap::new();
+        map.insert("x".to_owned(), "z".to_owned());
+        map.insert("y".to_owned(), "w".to_owned());
+        let cached = Pattern::of(&f);
+        assert_eq!(cached.rename_mapped(&map).as_ref(), &Pattern::of_mapped(&f, &map));
     }
 
     #[test]

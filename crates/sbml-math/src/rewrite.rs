@@ -10,6 +10,44 @@ use std::hash::BuildHasher;
 
 use crate::ast::MathExpr;
 
+/// A read-only identifier mapping (old id → new id).
+///
+/// [`rename`] and [`crate::pattern::Pattern::of_mapped`] were originally
+/// hard-wired to `HashMap`; callers that keep their mappings in sharded or
+/// overlaid structures (a composition engine running merge passes
+/// concurrently, a scoped rename that hides lambda/local bindings)
+/// implement this trait instead of materialising a merged map per lookup.
+pub trait Resolver {
+    /// The replacement for `id`, or `None` to leave it unchanged.
+    fn resolve(&self, id: &str) -> Option<&str>;
+
+    /// `true` when no identifier resolves — lets walkers skip work. The
+    /// default is conservative (`false`).
+    fn is_identity(&self) -> bool {
+        false
+    }
+}
+
+impl<S: BuildHasher> Resolver for HashMap<String, String, S> {
+    fn resolve(&self, id: &str) -> Option<&str> {
+        self.get(id).map(String::as_str)
+    }
+
+    fn is_identity(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl<R: Resolver + ?Sized> Resolver for &R {
+    fn resolve(&self, id: &str) -> Option<&str> {
+        (**self).resolve(id)
+    }
+
+    fn is_identity(&self) -> bool {
+        (**self).is_identity()
+    }
+}
+
 /// All free identifiers referenced by the expression (sorted, deduplicated).
 /// Function-call targets are included; lambda-bound parameters are not.
 pub fn collect_identifiers(expr: &MathExpr) -> BTreeSet<String> {
@@ -59,21 +97,26 @@ fn walk_collect(expr: &MathExpr, bound: &mut Vec<String>, out: &mut BTreeSet<Str
 /// Rename free identifiers (and function-call targets) through `map`.
 /// Lambda-bound parameters shadow the map inside their body.
 pub fn rename<S: BuildHasher>(expr: &MathExpr, map: &HashMap<String, String, S>) -> MathExpr {
+    rename_resolved(expr, map)
+}
+
+/// [`rename`] over any [`Resolver`] (sharded tables, scoped overlays, ...).
+pub fn rename_resolved<R: Resolver + ?Sized>(expr: &MathExpr, map: &R) -> MathExpr {
     let mut bound = Vec::new();
     walk_rename(expr, map, &mut bound)
 }
 
-fn walk_rename<S: BuildHasher>(
+fn walk_rename<R: Resolver + ?Sized>(
     expr: &MathExpr,
-    map: &HashMap<String, String, S>,
+    map: &R,
     bound: &mut Vec<String>,
 ) -> MathExpr {
     match expr {
         MathExpr::Ci(name) => {
             if bound.iter().any(|b| b == name) {
                 expr.clone()
-            } else if let Some(new) = map.get(name) {
-                MathExpr::Ci(new.clone())
+            } else if let Some(new) = map.resolve(name) {
+                MathExpr::Ci(new.to_owned())
             } else {
                 expr.clone()
             }
@@ -83,7 +126,7 @@ fn walk_rename<S: BuildHasher>(
             args: args.iter().map(|a| walk_rename(a, map, bound)).collect(),
         },
         MathExpr::Call { function, args } => MathExpr::Call {
-            function: map.get(function).cloned().unwrap_or_else(|| function.clone()),
+            function: map.resolve(function).map(str::to_owned).unwrap_or_else(|| function.clone()),
             args: args.iter().map(|a| walk_rename(a, map, bound)).collect(),
         },
         MathExpr::Piecewise { pieces, otherwise } => MathExpr::Piecewise {
@@ -101,6 +144,63 @@ fn walk_rename<S: BuildHasher>(
             MathExpr::Lambda { params: params.clone(), body: Box::new(new_body) }
         }
         MathExpr::Num(_) | MathExpr::Csymbol { .. } | MathExpr::Const(_) => expr.clone(),
+    }
+}
+
+/// [`rename`] mutating the expression **in place**: free identifier
+/// leaves (and call targets) are rewritten where they stand, so callers
+/// that already own the tree (a freshly cloned component about to be
+/// inserted) skip the full rebuild-and-reallocate walk.
+pub fn rename_in_place<R: Resolver + ?Sized>(expr: &mut MathExpr, map: &R) {
+    if map.is_identity() {
+        return;
+    }
+    let mut bound = Vec::new();
+    walk_rename_in_place(expr, map, &mut bound);
+}
+
+fn walk_rename_in_place<R: Resolver + ?Sized>(
+    expr: &mut MathExpr,
+    map: &R,
+    bound: &mut Vec<String>,
+) {
+    match expr {
+        MathExpr::Ci(name) => {
+            if !bound.iter().any(|b| b == name) {
+                if let Some(new) = map.resolve(name) {
+                    *name = new.to_owned();
+                }
+            }
+        }
+        MathExpr::Apply { args, .. } => {
+            for a in args {
+                walk_rename_in_place(a, map, bound);
+            }
+        }
+        MathExpr::Call { function, args } => {
+            if let Some(new) = map.resolve(function) {
+                *function = new.to_owned();
+            }
+            for a in args {
+                walk_rename_in_place(a, map, bound);
+            }
+        }
+        MathExpr::Piecewise { pieces, otherwise } => {
+            for (v, c) in pieces {
+                walk_rename_in_place(v, map, bound);
+                walk_rename_in_place(c, map, bound);
+            }
+            if let Some(other) = otherwise {
+                walk_rename_in_place(other, map, bound);
+            }
+        }
+        MathExpr::Lambda { params, body } => {
+            let before = bound.len();
+            bound.extend(params.iter().cloned());
+            walk_rename_in_place(body, map, bound);
+            bound.truncate(before);
+        }
+        MathExpr::Num(_) | MathExpr::Csymbol { .. } | MathExpr::Const(_) => {}
     }
 }
 
@@ -197,6 +297,29 @@ mod tests {
                 assert_eq!(*body, parse("k1 + renamed").unwrap());
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rename_in_place_equals_rename() {
+        let exprs = [
+            parse("k1*A + k1*B").unwrap(),
+            parse("f(x) + g(k1)").unwrap(),
+            parse("piecewise(a, a < b, b)").unwrap(),
+            MathExpr::Lambda {
+                params: vec!["k1".into()],
+                body: Box::new(parse("k1 + other").unwrap()),
+            },
+        ];
+        let mut map = HashMap::new();
+        map.insert("k1".to_owned(), "kf".to_owned());
+        map.insert("other".to_owned(), "o2".to_owned());
+        map.insert("g".to_owned(), "f".to_owned());
+        for e in exprs {
+            let rebuilt = rename(&e, &map);
+            let mut in_place = e.clone();
+            rename_in_place(&mut in_place, &map);
+            assert_eq!(in_place, rebuilt);
         }
     }
 

@@ -69,6 +69,68 @@ fn shuffle_commutative(expr: &MathExpr, seed: u64) -> MathExpr {
     }
 }
 
+/// Richer strategy for the rename tests: adds function calls, piecewise
+/// and lambda nodes so every canonical-pattern construct is exercised.
+fn rename_expr_strategy() -> impl Strategy<Value = MathExpr> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(|n| MathExpr::num(n as f64)),
+        prop_oneof![
+            Just("a"),
+            Just("b"),
+            Just("c"),
+            Just("k1"),
+            Just("k2"),
+            Just("x"),
+            Just("zz")
+        ]
+        .prop_map(MathExpr::ci),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|args| MathExpr::apply(Op::Plus, args)),
+            proptest::collection::vec(inner.clone(), 2..4)
+                .prop_map(|args| MathExpr::apply(Op::Times, args)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MathExpr::apply(Op::Minus, vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| MathExpr::apply(Op::Divide, vec![a, b])),
+            (prop_oneof![Just("f"), Just("g"), Just("k1")], proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(name, args)| MathExpr::Call { function: name.to_owned(), args }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(v, c, o)| {
+                MathExpr::Piecewise {
+                    pieces: vec![(v, MathExpr::apply(Op::Lt, vec![c, MathExpr::num(5.0)]))],
+                    otherwise: Some(Box::new(o)),
+                }
+            }),
+            // Lambda params deliberately collide with free ids ("a", "x")
+            // so bound-variable shadowing of mappings is exercised.
+            (prop_oneof![Just("a"), Just("x"), Just("p")], inner)
+                .prop_map(|(p, body)| MathExpr::Lambda {
+                    params: vec![p.to_owned()],
+                    body: Box::new(body),
+                }),
+        ]
+    })
+}
+
+/// Strategy for mapping tables over the same alphabet: includes no-op
+/// entries (unused ids), identity-adjacent targets and order-changing
+/// renames (short → long, long → short).
+fn mapping_strategy() -> impl Strategy<Value = std::collections::HashMap<String, String>> {
+    let sources = ["a", "b", "c", "k1", "k2", "x", "zz", "f", "g", "unused"];
+    let targets = ["a0", "zzz", "m", "k9", "b", "w_1", "longer_name"];
+    proptest::collection::vec((0..sources.len(), 0..targets.len()), 0..6).prop_map(
+        move |pairs| {
+            let mut map = std::collections::HashMap::new();
+            for (s, t) in pairs {
+                map.insert(sources[s].to_owned(), targets[t].to_owned());
+            }
+            map
+        },
+    )
+}
+
 fn env() -> Env {
     Env::new()
         .with_var("a", 1.25)
@@ -146,5 +208,31 @@ proptest! {
     #[test]
     fn infix_parser_never_panics(src in "[a-z0-9+*/() ^.,<>=!&|-]{0,64}") {
         let _ = infix::parse(&src);
+    }
+
+    #[test]
+    fn rename_mapped_equals_of_mapped(
+        expr in rename_expr_strategy(),
+        map in mapping_strategy(),
+    ) {
+        // The incremental string-level rename of a cached canonical
+        // pattern must be byte-identical to re-canonicalising the
+        // expression under the mappings — including lambda shadowing,
+        // dirty-group re-sorting and no-op mappings.
+        let cached = Pattern::of(&expr);
+        let renamed = cached.rename_mapped(&map);
+        let rebuilt = Pattern::of_mapped(&expr, &map);
+        prop_assert_eq!(renamed.as_ref(), &rebuilt, "pattern: {}", cached);
+    }
+
+    #[test]
+    fn rename_mapped_noop_is_borrowed(expr in rename_expr_strategy()) {
+        // A mapping that touches no identifier of the expression returns
+        // the original pattern without allocating.
+        let cached = Pattern::of(&expr);
+        let mut map = std::collections::HashMap::new();
+        map.insert("not_present_anywhere".to_owned(), "whatever".to_owned());
+        let out = cached.rename_mapped(&map);
+        prop_assert!(matches!(out, std::borrow::Cow::Borrowed(_)));
     }
 }

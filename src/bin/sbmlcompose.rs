@@ -3,6 +3,7 @@
 //! ```text
 //! sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]
 //!                      [--semantics heavy|light|none] [--index hash|btree|linear]
+//!                      [--pipeline on|off] [--pipeline-threads N]
 //! sbmlcompose split    <model.xml> [-o prefix]
 //! sbmlcompose zoom     <model.xml> --seed <species>[,<species>...] [--radius N] [-o out.xml]
 //! sbmlcompose validate <model.xml>
@@ -20,9 +21,12 @@
 //! to the pairwise fold either way. `--semantics` picks the §5 matching
 //! level (default `heavy`: synonyms, commutative math patterns, unit
 //! conversion, initial-value evaluation); `--index` the lookup structure
-//! (default `hash`). Without `-o` the merged SBML goes to stdout; without
-//! `--log` the decision log (duplicates, mappings, renames, conflicts)
-//! goes to stderr.
+//! (default `hash`). `--pipeline` toggles the merge-pass dependency-DAG
+//! pipeline (default `on`; output is bit-for-bit identical either way)
+//! and `--pipeline-threads` bounds its workers (default `0` = host
+//! parallelism; the engine caps at the machine's cores). Without `-o` the
+//! merged SBML goes to stdout; without `--log` the decision log
+//! (duplicates, mappings, renames, conflicts) goes to stderr.
 //!
 //! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
 //! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors.
@@ -77,10 +81,13 @@ fn print_usage() {
          usage:\n\
          \x20 sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]\n\
          \x20                      [--semantics heavy|light|none] [--index hash|btree|linear]\n\
+         \x20                      [--pipeline on|off] [--pipeline-threads N]\n\
          \x20        composes two or more models left to right (first file is the base).\n\
          \x20        3+ files are analysed once each (prepared models) and folded through\n\
          \x20        one composition session; output is identical to the pairwise fold.\n\
          \x20        -o: merged SBML (default stdout); --log: decision log (default stderr)\n\
+         \x20        --pipeline: merge-pass dependency-DAG pipeline (default on; output\n\
+         \x20        identical either way); --pipeline-threads: worker bound (0 = cores)\n\
          \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
          \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
          \x20 sbmlcompose validate <model.xml>\n\
@@ -122,6 +129,15 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
         Some("linear") => IndexKind::LinearScan,
         Some(other) => return Err(format!("unknown index kind {other:?}")),
     };
+    let merge_pipeline = match take_flag(&mut args, "--pipeline").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--pipeline takes on|off, not {other:?}")),
+    };
+    let pipeline_threads = match take_flag(&mut args, "--pipeline-threads") {
+        None => 0,
+        Some(v) => v.parse::<usize>().map_err(|_| format!("bad --pipeline-threads {v:?}"))?,
+    };
     if args.len() < 2 {
         return Err("compose needs at least two input files".to_owned());
     }
@@ -133,6 +149,8 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
         SemanticsLevel::None => ComposeOptions::none(),
     };
     options.index = index;
+    options.merge_pipeline = merge_pipeline;
+    options.pipeline_threads = pipeline_threads;
     let composer = Composer::new(options);
     let result = if let [a, b] = models.as_slice() {
         // One-shot pair: no reuse to amortise a preparation over.
