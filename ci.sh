@@ -54,6 +54,20 @@ if [[ "${1:-}" != "quick" ]]; then
         exit 1
     }
 
+    echo "== corpus match benchmark (writes BENCH_match.json) =="
+    cargo run --release -p compose-bench --bin corpus_match
+
+    # Perf gate: posting-list candidate generation must stay >= 5x faster
+    # than the naive per-model VF2 scan over the 187-model fig8 corpus
+    # (the bench also asserts indexed hit sets == naive hit sets for
+    # every query under every semantics level before timing anything).
+    speedup=$(grep -o '"speedup_candidate_generation": [0-9.]*' BENCH_match.json | grep -o '[0-9.]*$')
+    echo "corpus-match candidate-generation speedup: ${speedup}x (gate: >= 5.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 5.0) ? 0 : 1 }' || {
+        echo "FAIL: corpus-match candidate generation regressed below 5x" >&2
+        exit 1
+    }
+
     echo "== pipeline conflict benchmark (writes BENCH_pipeline.json) =="
     cargo run --release -p compose-bench --bin pipeline_conflict
 

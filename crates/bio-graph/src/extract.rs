@@ -2,8 +2,16 @@
 //!
 //! Species become nodes (labelled by name, falling back to id — the label
 //! the paper's `φ` compares); each reaction contributes one edge per
-//! (reactant, product) pair, labelled by the reaction id. This is the graph
+//! (reactant, product) pair, labelled by the reaction id, plus one
+//! **regulatory edge** per (modifier, product) pair labelled distinctly
+//! (`mod:<reaction id>`), so matching sees enzymes and other regulators
+//! as structure, not just as kinetic-law identifiers. This is the graph
 //! whose `nodes + edges` size orders the models in Figure 8.
+//!
+//! [`species_reaction_graph`] returns the bare [`Graph`];
+//! [`model_graph`] additionally keeps the node→species and edge→reaction
+//! correspondence, which subgraph matching (`sbml-match`) needs to turn a
+//! node embedding back into concrete species/reaction id mappings.
 
 use std::collections::HashMap;
 
@@ -11,27 +19,79 @@ use sbml_model::Model;
 
 use crate::graph::{Graph, NodeId};
 
-/// Build the species/reaction graph of a model.
-pub fn species_reaction_graph(model: &Model) -> Graph {
+/// What an extracted edge represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeRole {
+    /// A reactant→product conversion arc (labelled with the reaction id).
+    Conversion,
+    /// A modifier→product regulatory arc (labelled `mod:<reaction id>`).
+    Regulation,
+}
+
+/// The label of a regulatory (modifier) edge for reaction `rid` —
+/// deliberately distinct from the conversion-edge label so the two can
+/// never unify under exact edge-label matching.
+pub fn modifier_edge_label(rid: &str) -> String {
+    format!("mod:{rid}")
+}
+
+/// A [`Graph`] extracted from a model, plus the correspondence back into
+/// the model: which species each node came from and which reaction (and
+/// role) each edge came from.
+#[derive(Debug, Clone)]
+pub struct ModelGraph {
+    /// The species/reaction graph itself. Node `i` *is*
+    /// `model.species[i]`: every species becomes a node, in model order,
+    /// so the node handle doubles as the species index.
+    pub graph: Graph,
+    /// Edge `e` was contributed by `model.reactions[edge_reaction[e]]`.
+    pub edge_reaction: Vec<usize>,
+    /// Role of edge `e` (conversion vs regulation).
+    pub edge_role: Vec<EdgeRole>,
+}
+
+/// Build the species/reaction graph of a model, keeping the node→species
+/// and edge→reaction correspondence.
+pub fn model_graph(model: &Model) -> ModelGraph {
     let mut g = Graph::new();
+    let mut edge_reaction = Vec::new();
+    let mut edge_role = Vec::new();
     let mut by_id: HashMap<&str, NodeId> = HashMap::with_capacity(model.species.len());
     for s in &model.species {
         let label = s.name.as_deref().unwrap_or(&s.id);
         let node = g.add_node(label);
         by_id.insert(s.id.as_str(), node);
     }
-    for r in &model.reactions {
+    for (ri, r) in model.reactions.iter().enumerate() {
         for reactant in &r.reactants {
             for product in &r.products {
                 if let (Some(&from), Some(&to)) =
                     (by_id.get(reactant.species.as_str()), by_id.get(product.species.as_str()))
                 {
                     g.add_edge(from, to, r.id.clone());
+                    edge_reaction.push(ri);
+                    edge_role.push(EdgeRole::Conversion);
+                }
+            }
+        }
+        for modifier in &r.modifiers {
+            for product in &r.products {
+                if let (Some(&from), Some(&to)) =
+                    (by_id.get(modifier.species.as_str()), by_id.get(product.species.as_str()))
+                {
+                    g.add_edge(from, to, modifier_edge_label(&r.id));
+                    edge_reaction.push(ri);
+                    edge_role.push(EdgeRole::Regulation);
                 }
             }
         }
     }
-    g
+    ModelGraph { graph: g, edge_reaction, edge_role }
+}
+
+/// Build the species/reaction graph of a model.
+pub fn species_reaction_graph(model: &Model) -> Graph {
+    model_graph(model).graph
 }
 
 #[cfg(test)]
@@ -103,6 +163,64 @@ mod tests {
             .reaction("r", &["A"], &["A"], "k*A")
             .build();
         m.reactions[0].products[0].species = "ghost".into();
+        let g = species_reaction_graph(&m);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    /// E catalyses A → B: the modifier contributes a distinctly-labelled
+    /// regulatory edge alongside the conversion edge.
+    fn enzyme_model() -> sbml_model::Model {
+        let mut m = ModelBuilder::new("enzyme")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .species_named("E", "hexokinase", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &["B"], "k*E*A")
+            .build();
+        m.reactions[0].modifiers.push(sbml_model::SpeciesReference::new("E"));
+        m
+    }
+
+    #[test]
+    fn modifier_edges_emitted_with_distinct_label() {
+        let m = enzyme_model();
+        let g = species_reaction_graph(&m);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_count(), m.edges(), "graph and Model::edges metrics agree");
+        let (a, b, e) = (
+            g.find_node("A").unwrap(),
+            g.find_node("B").unwrap(),
+            g.find_node("hexokinase").unwrap(),
+        );
+        assert!(g.has_edge(a, b, "r"), "conversion edge keeps the reaction-id label");
+        assert!(g.has_edge(e, b, "mod:r"), "regulatory edge is labelled distinctly");
+        assert!(!g.has_edge(e, b, "r"), "the two labels never unify");
+    }
+
+    #[test]
+    fn model_graph_correspondence() {
+        let m = enzyme_model();
+        let mg = model_graph(&m);
+        assert_eq!(mg.graph.node_count(), 3, "node i is species i");
+        assert_eq!(mg.graph.node_label(NodeId(2)), "hexokinase");
+        assert_eq!(mg.edge_reaction, vec![0, 0], "both edges come from reaction r");
+        assert_eq!(mg.edge_role, vec![EdgeRole::Conversion, EdgeRole::Regulation]);
+    }
+
+    #[test]
+    fn modifier_with_no_products_contributes_no_edge() {
+        // Regulated degradation A -> ∅: there is no product endpoint, so
+        // the modifier has nothing to point at (consistent with the
+        // reactant side contributing no conversion edge either).
+        let mut m = ModelBuilder::new("deg")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .species("E", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &[], "k*E*A")
+            .build();
+        m.reactions[0].modifiers.push(sbml_model::SpeciesReference::new("E"));
         let g = species_reaction_graph(&m);
         assert_eq!(g.edge_count(), 0);
     }

@@ -21,6 +21,6 @@ pub mod metrics;
 pub mod zoom;
 
 pub use compose::{compose, ComposeStats, LabelMatcher, LightSemantics, NoSemantics};
-pub use extract::species_reaction_graph;
+pub use extract::{model_graph, modifier_edge_label, species_reaction_graph, EdgeRole, ModelGraph};
 pub use graph::{EdgeId, Graph, NodeId};
 pub use zoom::{neighbourhood, quotient, Quotient};

@@ -25,6 +25,45 @@
 //! ```
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, RwLock};
+
+/// Dependency-free FxHash-style hasher (multiply-xor over word-sized
+/// chunks), the same idiom the compose engine uses for its component
+/// indexes. `bio-synonyms` is a foundation crate with no intra-workspace
+/// dependencies, so it carries its own copy: match-key lookups are on the
+/// candidate-generation hot path of corpus matching, where SipHash's DoS
+/// resistance buys nothing and costs measurably.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        let mut tail = 0u64;
+        for (i, b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(*b) << (8 * i);
+        }
+        self.hash = (self.hash.rotate_left(5) ^ tail).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed by short trusted strings, using [`FxHasher`].
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// Normalise an entity name for matching: Unicode-aware lowercasing, and
 /// runs of whitespace/underscores/hyphens collapse to a single underscore.
@@ -46,12 +85,30 @@ pub fn normalize(name: &str) -> String {
 }
 
 /// A table of synonym groups over normalised names.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SynonymTable {
     /// Group id → member names as originally registered (first = canonical).
     groups: Vec<Vec<String>>,
     /// Normalised name → group id.
     index: HashMap<String, usize>,
+    /// Raw input name → canonical match key, filled lazily by
+    /// [`SynonymTable::match_key_shared`]. Candidate generation during
+    /// corpus matching probes the same species labels over and over; the
+    /// memo turns each repeat into one hash lookup instead of a fresh
+    /// normalisation pass plus allocations. Cleared on every mutation.
+    key_cache: RwLock<FastMap<String, Arc<str>>>,
+}
+
+impl Clone for SynonymTable {
+    fn clone(&self) -> SynonymTable {
+        // The memo is a pure cache — a clone starts cold rather than
+        // copying (or locking) the original's.
+        SynonymTable {
+            groups: self.groups.clone(),
+            index: self.index.clone(),
+            key_cache: RwLock::new(FastMap::default()),
+        }
+    }
 }
 
 impl SynonymTable {
@@ -121,6 +178,8 @@ impl SynonymTable {
         if names.is_empty() {
             return;
         }
+        // Any registration can change canonical keys; drop the memo.
+        self.key_cache.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         // Find an existing group to join, if any member is known.
         let existing = names.iter().find_map(|n| self.index.get(&normalize(n)).copied());
         let group_id = match existing {
@@ -182,10 +241,32 @@ impl SynonymTable {
     /// A canonical matching key for indexing: the group's canonical name if
     /// known, otherwise the normalised input.
     pub fn match_key(&self, name: &str) -> String {
-        match self.canonical(name) {
-            Some(c) => normalize(c),
-            None => normalize(name),
+        self.match_key_shared(name).as_ref().to_owned()
+    }
+
+    /// As [`SynonymTable::match_key`], but memoised and shared: the first
+    /// lookup of a name normalises and allocates once, every repeat is a
+    /// single hash probe returning a refcount bump on the cached
+    /// `Arc<str>`. This is the form index builders and candidate
+    /// generators should call in loops.
+    pub fn match_key_shared(&self, name: &str) -> Arc<str> {
+        if let Some(hit) = self
+            .key_cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(name)
+        {
+            return Arc::clone(hit);
         }
+        let key: Arc<str> = match self.canonical(name) {
+            Some(c) => Arc::from(normalize(c).as_str()),
+            None => Arc::from(normalize(name).as_str()),
+        };
+        self.key_cache
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(name.to_owned(), Arc::clone(&key));
+        key
     }
 
     /// Absorb every group of `other` into this table.
@@ -291,6 +372,42 @@ mod tests {
         t.add_group(["", "  ", "real"]);
         assert_eq!(t.name_count(), 1);
         assert_eq!(t.canonical("real"), Some("real"));
+    }
+
+    #[test]
+    fn match_key_cache_hits_share_one_allocation() {
+        let mut t = SynonymTable::new();
+        t.add_group(["glucose", "dextrose"]);
+        let first = t.match_key_shared("DEXTROSE");
+        let second = t.match_key_shared("DEXTROSE");
+        assert!(Arc::ptr_eq(&first, &second), "repeat lookups must reuse the memo");
+        assert_eq!(first.as_ref(), "glucose");
+        // The owned form agrees with the shared form.
+        assert_eq!(t.match_key("DEXTROSE"), "glucose");
+    }
+
+    #[test]
+    fn match_key_cache_invalidated_by_registration() {
+        let mut t = SynonymTable::new();
+        assert_eq!(t.match_key("dextrose"), "dextrose", "unknown name normalises");
+        // Registering a group that now canonicalises the name must not be
+        // masked by the earlier cached answer.
+        t.add_group(["glucose", "dextrose"]);
+        assert_eq!(t.match_key("dextrose"), "glucose");
+        // ...and bridging groups after further lookups re-canonicalises.
+        t.add_group(["Glc", "glucose"]);
+        assert_eq!(t.match_key("Glc"), "glucose");
+    }
+
+    #[test]
+    fn cloned_table_answers_like_the_original() {
+        let mut t = SynonymTable::new();
+        t.add_group(["a", "b"]);
+        let _warm = t.match_key_shared("b");
+        let cloned = t.clone();
+        assert_eq!(cloned.match_key("b"), "a");
+        assert!(cloned.are_synonyms("A", "B"));
+        assert_eq!(cloned.content_hash(), t.content_hash());
     }
 
     #[test]

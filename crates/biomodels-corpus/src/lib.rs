@@ -407,6 +407,27 @@ fn conflict_model(i: usize) -> Model {
     m
 }
 
+/// A deterministic connected **query fragment** of a model — the kind of
+/// subnetwork a corpus search starts from ("find this pathway fragment
+/// across the corpus"). The fragment is the radius-`radius` reaction-hop
+/// neighbourhood ([`sbml_compose::extract_submodel`]) of one seed species
+/// (chosen by `seed` modulo the species count), so it keeps the host's
+/// ids, names and kinetics verbatim: by construction it *embeds* in its
+/// host under every semantics level, which is exactly what the matching
+/// benches and property tests exercise. A species-free model yields an
+/// empty fragment.
+pub fn query_fragment(model: &Model, seed: usize, radius: usize) -> Model {
+    let mut fragment = match model.species.len() {
+        0 => Model::new(""),
+        n => {
+            let species = &model.species[seed % n];
+            sbml_compose::extract_submodel(model, &[species.id.as_str()], radius)
+        }
+    };
+    fragment.id = format!("{}_q{}r{}", model.id, seed, radius);
+    fragment
+}
+
 /// Synonym groups used by [`synonym_variant`]: pairs of (canonical, alias)
 /// drawn from the builtin synonym table, so heavy-semantics matching can
 /// unify the variant with the original while id-based matching cannot.
@@ -665,6 +686,28 @@ mod tests {
         assert_eq!(pipelined.model, serial.model);
         assert_eq!(pipelined.log.events, serial.log.events);
         assert_eq!(pipelined.mappings, serial.mappings);
+    }
+
+    #[test]
+    fn query_fragments_are_deterministic_verbatim_subsets() {
+        let m = generate_model(120);
+        let a = query_fragment(&m, 7, 1);
+        let b = query_fragment(&m, 7, 1);
+        assert_eq!(a, b, "fragments must be deterministic");
+        assert!(!a.species.is_empty());
+        assert!(a.species.len() < m.species.len(), "a fragment is a proper subset");
+        // Every fragment component is the host's, verbatim.
+        for s in &a.species {
+            assert_eq!(m.species_by_id(&s.id), Some(s));
+        }
+        for r in &a.reactions {
+            assert_eq!(m.reaction_by_id(&r.id), Some(r));
+        }
+        // Larger radius never shrinks the fragment.
+        let wider = query_fragment(&m, 7, 2);
+        assert!(wider.species.len() >= a.species.len());
+        // Species-free hosts produce empty fragments.
+        assert!(query_fragment(&Model::new("void"), 0, 1).species.is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | Figure 8 batch: prepared reuse vs per-pair recompute (`BENCH_fig8.json`) | `all_pairs` | — |
 //! | chain scaling: session vs pairwise fold (`BENCH_chain.json`) | `chain_scaling` | — |
 //! | Figure 9 (vs semanticSBML, 17 models) | `fig9` | `fig9_baseline` |
+//! | corpus match: indexed vs naive VF2 (`BENCH_match.json`) | `corpus_match` | — |
 //! | future-work §5.7 index ablation | `ablation_index` | `ablation_index` |
 //! | §5 heavy/light/no semantics ablation | `ablation_semantics` | — |
 //! | pattern-cache ablation | — | `ablation_cache` |

@@ -154,6 +154,48 @@ impl BatchComposer {
         slots.into_iter().map(|slot| slot.expect("every model prepared")).collect()
     }
 
+    /// Map every prepared corpus model through `f` on the batch's worker
+    /// threads — the same thread-per-shard fan-out as
+    /// [`BatchComposer::all_pairs`], but one job per *model* instead of
+    /// per pair. Results come back in corpus order regardless of
+    /// scheduling. This is the read-only corpus sweep behind parallel
+    /// matching (`sbml-match`'s `MatchIndex::query_corpus` refines each
+    /// candidate model on one of these shards).
+    pub fn map_corpus<T, F>(&self, prepared: &[Arc<PreparedModel>], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &PreparedModel) -> T + Sync,
+    {
+        let workers = self.worker_count(prepared.len());
+        if workers <= 1 {
+            return prepared.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(prepared.len(), || None);
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < prepared.len() {
+                            out.push((i, f(i, &prepared[i])));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, value) in handle.join().expect("corpus map worker panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+        slots.into_iter().map(|slot| slot.expect("every model mapped")).collect()
+    }
+
     /// Compose every unordered pair `(i, j), i < j` of the prepared
     /// corpus, mapping each [`ComposeResult`] through `map` as it is
     /// produced (so the full merged models never accumulate). Pairs are
@@ -274,6 +316,20 @@ mod tests {
         let _ = batch.all_pairs(&prepared);
         let after: Vec<usize> = prepared.iter().map(Arc::strong_count).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn map_corpus_preserves_order_across_thread_counts() {
+        let models = corpus(7);
+        let serial = BatchComposer::new(Composer::default()).with_threads(1);
+        let threaded = BatchComposer::new(Composer::default()).with_threads(3);
+        let prepared = serial.prepare_corpus(&models);
+        let expected: Vec<(usize, String)> =
+            models.iter().enumerate().map(|(i, m)| (i, m.id.clone())).collect();
+        let a = serial.map_corpus(&prepared, |i, p| (i, p.model().id.clone()));
+        let b = threaded.map_corpus(&prepared, |i, p| (i, p.model().id.clone()));
+        assert_eq!(a, expected);
+        assert_eq!(b, expected);
     }
 
     #[test]

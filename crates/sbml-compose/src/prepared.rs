@@ -211,6 +211,40 @@ fn event_refs(ev: &Event) -> Box<[String]> {
     refs.into_iter().collect()
 }
 
+/// Every canonical content/name key of `model` under `options`, one per
+/// keyed component in Fig. 4 kind order — the same key families
+/// [`PreparedModel::content_keys`] exposes from a full preparation,
+/// derived directly for callers (e.g. match queries) that need the
+/// key-set identity of a model but none of the preparation's indexes or
+/// initial values. The two enumerations are pinned together by a unit
+/// test so they cannot drift.
+pub fn model_content_keys(model: &Model, options: &ComposeOptions) -> Vec<String> {
+    let ctx = MatchContext::new(options);
+    let mut keys = Vec::with_capacity(
+        model.function_definitions.len()
+            + model.unit_definitions.len()
+            + model.compartment_types.len()
+            + model.species_types.len()
+            + model.compartments.len()
+            + model.species.len()
+            + model.rules.len()
+            + model.constraints.len()
+            + model.reactions.len()
+            + model.events.len(),
+    );
+    keys.extend(model.function_definitions.iter().map(|f| ctx.function_key(f, false)));
+    keys.extend(model.unit_definitions.iter().map(|u| ctx.unit_key(u)));
+    keys.extend(model.compartment_types.iter().map(|t| ctx.name_key(&t.id, t.name.as_deref())));
+    keys.extend(model.species_types.iter().map(|t| ctx.name_key(&t.id, t.name.as_deref())));
+    keys.extend(model.compartments.iter().map(|c| ctx.name_key(&c.id, c.name.as_deref())));
+    keys.extend(model.species.iter().map(|s| ctx.name_key(&s.id, s.name.as_deref())));
+    keys.extend(model.rules.iter().map(|r| ctx.rule_key(r, false)));
+    keys.extend(model.constraints.iter().map(|c| ctx.constraint_key(&c.math, false)));
+    keys.extend(model.reactions.iter().map(|r| ctx.reaction_key(r, false)));
+    keys.extend(model.events.iter().map(|ev| ctx.event_key(ev, false)));
+    keys
+}
+
 /// One computed per-component key (see [`IncomingKeys::build_parallel`]):
 /// a bare key, a key with its component's free-reference set, or a
 /// reaction key with both the full and the kinetic-law-only ref sets.
@@ -649,6 +683,43 @@ impl PreparedModel {
         &self.initial_values
     }
 
+    /// Canonical name key of every species, positional with
+    /// `model().species` — the exact keys the species merge pass compares
+    /// (synonym-closed display names under heavy/light semantics, raw ids
+    /// under none). Exposed so the matching layer (`sbml-match`) can
+    /// invert them into posting lists instead of re-deriving them.
+    pub fn species_name_keys(&self) -> &[Arc<str>] {
+        &self.incoming.species
+    }
+
+    /// Canonical content key of every reaction, positional with
+    /// `model().reactions` — participant multisets plus the kinetic-law
+    /// pattern (commutativity-canonical under heavy semantics). The
+    /// id-independent reaction identity corpus matching indexes.
+    pub fn reaction_content_keys(&self) -> &[Arc<str>] {
+        &self.incoming.reactions
+    }
+
+    /// Every canonical content/name key of the preparation, one per keyed
+    /// component, in Fig. 4 kind order (functions, units, types,
+    /// compartments, species, rules, constraints, reactions, events) —
+    /// the key-set identity of the model's content, used for Jaccard
+    /// similarity scoring in approximate corpus matching.
+    pub fn content_keys(&self) -> impl Iterator<Item = &Arc<str>> {
+        let inc = &self.incoming;
+        inc.functions
+            .iter()
+            .chain(&inc.units)
+            .chain(&inc.compartment_types)
+            .chain(&inc.species_types)
+            .chain(&inc.compartments)
+            .chain(&inc.species)
+            .chain(&inc.rules)
+            .chain(&inc.constraints)
+            .chain(&inc.reactions)
+            .chain(&inc.events)
+    }
+
     /// Panic unless this preparation matches `options`; called by every
     /// prepared composition entry point.
     pub(crate) fn check_options(&self, options: &ComposeOptions) {
@@ -723,6 +794,23 @@ mod tests {
     }
 
     #[test]
+    fn public_key_accessors_expose_incoming_keys() {
+        let options = ComposeOptions::default();
+        let m = sample();
+        let p = PreparedModel::new(&m, &options);
+        let ctx = MatchContext::new(&options);
+        assert_eq!(p.species_name_keys().len(), m.species.len());
+        assert_eq!(p.species_name_keys()[0].as_ref(), ctx.name_key("glc", Some("glucose")));
+        assert_eq!(p.reaction_content_keys().len(), m.reactions.len());
+        assert_eq!(
+            p.reaction_content_keys()[0].as_ref(),
+            ctx.reaction_key(&m.reactions[0], false)
+        );
+        // One key per keyed component: 1 compartment + 2 species + 1 reaction.
+        assert_eq!(p.content_keys().count(), 4);
+    }
+
+    #[test]
     #[should_panic(expected = "different options")]
     fn options_mismatch_is_rejected() {
         let m = sample();
@@ -787,6 +875,26 @@ mod tests {
         });
         m.events.push(ev);
         m
+    }
+
+    #[test]
+    fn model_content_keys_equal_prepared_content_keys() {
+        // Pins the standalone enumeration to the preparation's: if a key
+        // family is ever added to (or dropped from) IncomingKeys, this
+        // test forces model_content_keys to follow.
+        for options in
+            [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let m = every_kind();
+            let p = PreparedModel::new(&m, &options);
+            let mut from_prepared: Vec<&str> =
+                p.content_keys().map(|k| k.as_ref()).collect();
+            let direct = model_content_keys(&m, &options);
+            let mut from_direct: Vec<&str> = direct.iter().map(String::as_str).collect();
+            from_prepared.sort_unstable();
+            from_direct.sort_unstable();
+            assert_eq!(from_prepared, from_direct);
+        }
     }
 
     #[test]

@@ -1,0 +1,755 @@
+//! The corpus match index: inverted posting lists over the canonical
+//! keys a prepared corpus already carries, a candidate→refine→rank query
+//! pipeline, and a thread-per-shard parallel corpus search.
+//!
+//! # Index layout
+//!
+//! [`MatchIndex::build`] inverts three key families into posting lists
+//! (key → ascending model ids):
+//!
+//! * **node keys** — canonical species label keys (synonym-closed under
+//!   light/heavy semantics, raw labels under none);
+//! * **edge keys** — extracted edge labels (none/light) or reaction
+//!   content keys (heavy), `mod:`-prefixed for regulatory edges;
+//! * **participant keys** — the node-key multisets of each reaction's
+//!   reactants/products/modifiers, an id- and kinetics-independent
+//!   signal used by approximate ranking.
+//!
+//! Per model it also keeps the [`MatchGraph`] (refinement never re-derives
+//! it) and the full canonical content-key set of the preparation
+//! ([`sbml_compose::PreparedModel::content_keys`]) for Jaccard scoring.
+//!
+//! # Query pipeline
+//!
+//! 1. **candidates** — a model can embed the query only if *every*
+//!    distinct query node key and edge key has it in its posting list;
+//!    the intersection (smallest list first) prunes the corpus without
+//!    touching a single graph.
+//! 2. **refine** — each candidate runs the VF2 refiner
+//!    ([`crate::vf2::find_embedding`]) and exact hits come back with the
+//!    concrete species/reaction mappings ([`Embedding`]).
+//! 3. **rank** — when no exact embedding exists, every model sharing at
+//!    least one posting with the query is scored
+//!    (`score = (jaccard + mapped_fraction) / 2`) and the top
+//!    [`MatchIndex::with_top_k`] come back as [`ApproxHit`]s.
+//!
+//! [`MatchIndex::query_corpus`] fans the refine stage out across worker
+//! threads via [`BatchComposer::map_corpus`], the same thread-per-shard
+//! pattern the Fig. 8 all-pairs workload uses.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sbml_compose::index::{FastMap, FastSet};
+use sbml_compose::{BatchComposer, ComposeOptions, Composer, PreparedModel};
+use sbml_model::{Model, Reaction};
+
+use crate::graph::MatchGraph;
+use crate::semantics::MatchSemantics;
+use crate::vf2::{find_embedding, SearchOutcome};
+
+/// Default VF2 step budget per (query, model) refinement.
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// A concrete embedding of the query into one corpus model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    /// Query species id → target species id, in query species order.
+    pub species: Vec<(String, String)>,
+    /// Query reaction id → a target reaction id whose edge carried the
+    /// match, one entry per query reaction that contributed edges.
+    pub reactions: Vec<(String, String)>,
+}
+
+/// An exact corpus hit: the query embeds in `model`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusHit {
+    /// Index of the hit model in the corpus.
+    pub model: usize,
+    /// The witnessing node/edge mapping.
+    pub embedding: Embedding,
+}
+
+/// A ranked approximate hit (returned when no exact embedding exists).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxHit {
+    /// Index of the model in the corpus.
+    pub model: usize,
+    /// `(jaccard + mapped_fraction) / 2`.
+    pub score: f64,
+    /// Jaccard similarity of the canonical content-key sets.
+    pub jaccard: f64,
+    /// Fraction of query nodes and edges individually mappable into the
+    /// model (node key present; edge key or participant key present).
+    pub mapped_fraction: f64,
+}
+
+/// Result of [`MatchIndex::query_corpus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusMatches {
+    /// Models the query exactly embeds in, ascending, with witnesses.
+    pub exact: Vec<CorpusHit>,
+    /// Ranked near-misses; populated only when `exact` is empty.
+    pub approximate: Vec<ApproxHit>,
+    /// The candidate models the index examined (ascending) — what the
+    /// posting-list intersection could not rule out.
+    pub candidates: Vec<usize>,
+}
+
+/// A query analysed once against an index's options: its match graph,
+/// the distinct keys candidate generation intersects, and the key sets
+/// ranking scores against. Produce one with [`MatchIndex::prepare_query`]
+/// and reuse it across [`MatchIndex::candidates_prepared`] /
+/// [`MatchIndex::query_corpus_prepared`] calls — the per-query analysis
+/// is paid exactly once, the way a [`PreparedModel`] hoists per-model
+/// analysis out of composition.
+pub struct PreparedQuery {
+    graph: MatchGraph,
+    /// Query species ids, positional with graph nodes.
+    species_ids: Vec<String>,
+    /// Query reaction ids, positional with `model.reactions`.
+    reaction_ids: Vec<String>,
+    /// Distinct node keys of the query graph.
+    node_keys: Vec<Arc<str>>,
+    /// Distinct edge keys of the query graph.
+    edge_keys: Vec<Arc<str>>,
+    /// Participant key per query reaction (positional).
+    participant_keys: Vec<String>,
+    /// Full canonical content-key set (for Jaccard).
+    content_keys: FastSet<Arc<str>>,
+}
+
+/// Inverted match index over a prepared corpus; see the
+/// [module docs](self).
+pub struct MatchIndex {
+    options: ComposeOptions,
+    semantics: MatchSemantics,
+    corpus: Vec<Arc<PreparedModel>>,
+    graphs: Vec<MatchGraph>,
+    node_postings: FastMap<Arc<str>, Vec<u32>>,
+    edge_postings: FastMap<Arc<str>, Vec<u32>>,
+    participant_postings: FastMap<String, Vec<u32>>,
+    /// Per model: full canonical content-key set (Jaccard denominator).
+    content_key_sets: Vec<FastSet<Arc<str>>>,
+    /// Per model: participant keys present.
+    participant_sets: Vec<FastSet<String>>,
+    batch: BatchComposer,
+    budget: u64,
+    top_k: usize,
+}
+
+/// The node-key multiset signature of a reaction's participants:
+/// reactants ⇒ products | modifiers, each side sorted — id- and
+/// kinetics-independent, so it survives renamed species and altered rate
+/// laws as long as the *shape* of the reaction is preserved.
+fn participant_key(label_of: &FastMap<&str, Arc<str>>, r: &Reaction) -> String {
+    let side = |refs: &[sbml_model::SpeciesReference]| -> String {
+        let mut keys: Vec<&str> = refs
+            .iter()
+            .map(|sr| label_of.get(sr.species.as_str()).map(|k| k.as_ref()).unwrap_or(&sr.species))
+            .collect();
+        keys.sort_unstable();
+        keys.join(",")
+    };
+    format!("{}=>{}|{}", side(&r.reactants), side(&r.products), side(&r.modifiers))
+}
+
+/// The full canonical content-key set of a model under `options` — the
+/// same per-kind keys a [`PreparedModel`] caches, via the shared
+/// [`sbml_compose::model_content_keys`] enumeration (one source of truth
+/// for the key families; a test in `sbml-compose` pins it to
+/// [`PreparedModel::content_keys`]), so a *query* never pays for the
+/// parts of a preparation matching does not need (indexes, initial-value
+/// evaluation).
+fn content_key_set(model: &Model, options: &ComposeOptions) -> FastSet<Arc<str>> {
+    sbml_compose::model_content_keys(model, options)
+        .into_iter()
+        .map(|key| Arc::from(key.as_str()))
+        .collect()
+}
+
+/// Species id → canonical node key of its graph label.
+fn species_label_keys<'m>(
+    model: &'m Model,
+    semantics: &MatchSemantics,
+) -> FastMap<&'m str, Arc<str>> {
+    model
+        .species
+        .iter()
+        .map(|s| {
+            (s.id.as_str(), semantics.node_key_shared(s.name.as_deref().unwrap_or(&s.id)))
+        })
+        .collect()
+}
+
+impl MatchIndex {
+    /// Build the index over a prepared corpus. Every preparation must
+    /// carry the fingerprint of `options` (the same rule every prepared
+    /// composition entry point enforces): the cached content keys being
+    /// inverted here are only meaningful under the options that derived
+    /// them.
+    ///
+    /// # Panics
+    /// If a preparation's fingerprint does not match `options`.
+    pub fn build(corpus: Vec<Arc<PreparedModel>>, options: &ComposeOptions) -> MatchIndex {
+        MatchIndex::build_with_threads(corpus, options, 0)
+    }
+
+    /// As [`MatchIndex::build`], but with the worker-thread bound applied
+    /// to the build itself as well as to later queries (`0` = one per
+    /// core, the [`MatchIndex::build`] default). Thread count never
+    /// affects the index contents or query results.
+    pub fn build_with_threads(
+        corpus: Vec<Arc<PreparedModel>>,
+        options: &ComposeOptions,
+        threads: usize,
+    ) -> MatchIndex {
+        let semantics = MatchSemantics::from_options(options);
+        let batch = BatchComposer::new(Composer::new(options.clone())).with_threads(threads);
+        let fingerprint = options.fingerprint();
+        for p in &corpus {
+            assert!(
+                p.fingerprint() == fingerprint,
+                "PreparedModel for {:?} was prepared under different options; \
+                 re-prepare it with the matching options",
+                p.model().id,
+            );
+        }
+
+        // Per-model analysis (graph extraction, key resolution) is
+        // independent — fan it out thread-per-shard like prepare_corpus;
+        // map_corpus returns in corpus order, so the serial posting fold
+        // below is deterministic regardless of scheduling.
+        let analysed: Vec<(MatchGraph, FastSet<String>, FastSet<Arc<str>>)> =
+            batch.map_corpus(&corpus, |_, p| {
+                let model = p.model();
+                let reaction_keys =
+                    semantics.content_key_edges().then(|| p.reaction_content_keys());
+                let graph = MatchGraph::build(model, &semantics, options, reaction_keys);
+                let label_of = species_label_keys(model, &semantics);
+                let pset: FastSet<String> =
+                    model.reactions.iter().map(|r| participant_key(&label_of, r)).collect();
+                (graph, pset, p.content_keys().cloned().collect())
+            });
+
+        let mut graphs = Vec::with_capacity(corpus.len());
+        let mut node_postings: FastMap<Arc<str>, Vec<u32>> = FastMap::default();
+        let mut edge_postings: FastMap<Arc<str>, Vec<u32>> = FastMap::default();
+        let mut participant_postings: FastMap<String, Vec<u32>> = FastMap::default();
+        let mut content_key_sets = Vec::with_capacity(corpus.len());
+        let mut participant_sets = Vec::with_capacity(corpus.len());
+        for (i, (graph, pset, ckeys)) in analysed.into_iter().enumerate() {
+            let mi = i as u32;
+            let push = |postings: &mut FastMap<Arc<str>, Vec<u32>>, key: &Arc<str>| {
+                let list = postings.entry(Arc::clone(key)).or_default();
+                if list.last() != Some(&mi) {
+                    list.push(mi);
+                }
+            };
+            for (key, _) in graph.node_key_counts() {
+                push(&mut node_postings, key);
+            }
+            for key in graph.edge_keys() {
+                push(&mut edge_postings, key);
+            }
+            for pkey in &pset {
+                let list = participant_postings.entry(pkey.clone()).or_default();
+                if list.last() != Some(&mi) {
+                    list.push(mi);
+                }
+            }
+            participant_sets.push(pset);
+            content_key_sets.push(ckeys);
+            graphs.push(graph);
+        }
+
+        MatchIndex {
+            semantics,
+            corpus,
+            graphs,
+            node_postings,
+            edge_postings,
+            participant_postings,
+            content_key_sets,
+            participant_sets,
+            batch,
+            budget: DEFAULT_BUDGET,
+            top_k: 10,
+            options: options.clone(),
+        }
+    }
+
+    /// Bound the worker threads [`MatchIndex::query_corpus`] fans out on
+    /// (`0` = one per core). Thread count never affects results.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> MatchIndex {
+        self.batch = BatchComposer::new(Composer::new(self.options.clone())).with_threads(threads);
+        self
+    }
+
+    /// Set the VF2 step budget per (query, model) refinement (default
+    /// [`DEFAULT_BUDGET`]). An exhausted budget counts as "no embedding".
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> MatchIndex {
+        self.budget = budget;
+        self
+    }
+
+    /// How many approximate hits to rank when exact matching fails
+    /// (default 10).
+    #[must_use]
+    pub fn with_top_k(mut self, top_k: usize) -> MatchIndex {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Number of corpus models indexed.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// The indexed corpus.
+    pub fn corpus(&self) -> &[Arc<PreparedModel>] {
+        &self.corpus
+    }
+
+    /// The matching semantics the index was built under.
+    pub fn semantics(&self) -> &MatchSemantics {
+        &self.semantics
+    }
+
+    /// Distinct (node, edge, participant) posting keys — index-size
+    /// telemetry for benches and logs.
+    pub fn posting_stats(&self) -> (usize, usize, usize) {
+        (self.node_postings.len(), self.edge_postings.len(), self.participant_postings.len())
+    }
+
+    /// Analyse a query once: build its match graph, collect the distinct
+    /// keys candidate generation intersects, and derive the key sets
+    /// ranking scores against. Reuse the result across any number of
+    /// candidate/query calls against this index.
+    pub fn prepare_query(&self, query: &Model) -> PreparedQuery {
+        let graph = MatchGraph::build(query, &self.semantics, &self.options, None);
+        // Node i of the graph is query.species[i].
+        let species_ids: Vec<String> = query.species.iter().map(|s| s.id.clone()).collect();
+        let mut node_keys: Vec<Arc<str>> =
+            graph.node_key_counts().map(|(k, _)| Arc::clone(k)).collect();
+        node_keys.sort_unstable();
+        let mut edge_keys: Vec<Arc<str>> = graph.edge_keys().cloned().collect();
+        edge_keys.sort_unstable();
+        let label_of = species_label_keys(query, &self.semantics);
+        let participant_keys = query
+            .reactions
+            .iter()
+            .map(|r| participant_key(&label_of, r))
+            .collect();
+        PreparedQuery {
+            species_ids,
+            reaction_ids: query.reactions.iter().map(|r| r.id.clone()).collect(),
+            node_keys,
+            edge_keys,
+            participant_keys,
+            content_keys: content_key_set(query, &self.options),
+            graph,
+        }
+    }
+
+    /// Candidate generation: models whose posting lists contain *every*
+    /// distinct query node key and edge key, ascending. A query with no
+    /// graph nodes embeds trivially, so every model is a candidate.
+    pub fn candidates(&self, query: &Model) -> Vec<usize> {
+        self.candidates_prepared(&self.prepare_query(query))
+    }
+
+    /// [`MatchIndex::candidates`] over an already-prepared query.
+    pub fn candidates_prepared(&self, qa: &PreparedQuery) -> Vec<usize> {
+        if qa.graph.node_count() == 0 {
+            return (0..self.corpus.len()).collect();
+        }
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(qa.node_keys.len() + qa.edge_keys.len());
+        for key in &qa.node_keys {
+            match self.node_postings.get(key.as_ref()) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        for key in &qa.edge_keys {
+            match self.edge_postings.get(key.as_ref()) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_unstable_by_key(|list| list.len());
+        let mut acc: Vec<u32> = lists[0].to_vec();
+        for list in &lists[1..] {
+            acc.retain(|m| list.binary_search(m).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc.into_iter().map(|m| m as usize).collect()
+    }
+
+    fn refine(&self, qa: &PreparedQuery, target: usize) -> Option<Embedding> {
+        let tg = &self.graphs[target];
+        let mapping = match find_embedding(&qa.graph, tg, self.budget) {
+            SearchOutcome::Found(mapping) => mapping,
+            SearchOutcome::NotFound | SearchOutcome::BudgetExhausted => return None,
+        };
+        let target_model = self.corpus[target].model();
+        let species = mapping
+            .iter()
+            .enumerate()
+            .map(|(q, &t)| {
+                (qa.species_ids[q].clone(), target_model.species[t as usize].id.clone())
+            })
+            .collect();
+        // For each query edge, the first key-equal target edge between the
+        // images witnesses the reaction correspondence.
+        let mut reactions: BTreeMap<usize, String> = BTreeMap::new();
+        for e in 0..qa.graph.edge_count() as u32 {
+            let edge = qa.graph.edge(e);
+            let qr = qa.graph.reaction_of(e);
+            if reactions.contains_key(&qr) {
+                continue;
+            }
+            let (tf, tt) = (mapping[edge.from as usize], mapping[edge.to as usize]);
+            if let Some(&(_, te)) = tg
+                .out_edges(tf)
+                .iter()
+                .find(|&&(n, te)| n == tt && tg.edge(te).key == edge.key)
+            {
+                reactions.insert(qr, target_model.reactions[tg.reaction_of(te)].id.clone());
+            }
+        }
+        let reactions = reactions
+            .into_iter()
+            .map(|(qr, tid)| (qa.reaction_ids[qr].clone(), tid))
+            .collect();
+        Some(Embedding { species, reactions })
+    }
+
+    /// Exact match against one corpus model: the witnessing embedding, or
+    /// `None` when the query does not embed (or the budget ran out).
+    pub fn query_model(&self, query: &Model, target: usize) -> Option<Embedding> {
+        self.refine(&self.prepare_query(query), target)
+    }
+
+    /// Search the whole corpus: candidate generation, parallel VF2
+    /// refinement of the candidates (thread-per-shard via
+    /// [`BatchComposer::map_corpus`]), and — when no model embeds the
+    /// query exactly — ranked approximate matches. Deterministic for a
+    /// given index and query, independent of thread count.
+    pub fn query_corpus(&self, query: &Model) -> CorpusMatches {
+        self.query_corpus_prepared(&self.prepare_query(query))
+    }
+
+    /// [`MatchIndex::query_corpus`] over an already-prepared query.
+    pub fn query_corpus_prepared(&self, qa: &PreparedQuery) -> CorpusMatches {
+        let candidates = self.candidates_prepared(qa);
+        // Refinement of a typical (small) candidate set is microseconds —
+        // below the cutoff, spawning workers costs more than it overlaps.
+        // Results are identical either way.
+        const PARALLEL_REFINE_THRESHOLD: usize = 16;
+        let refined: Vec<Option<Embedding>> =
+            if candidates.len() < PARALLEL_REFINE_THRESHOLD {
+                candidates.iter().map(|&i| self.refine(qa, i)).collect()
+            } else {
+                let subset: Vec<Arc<PreparedModel>> =
+                    candidates.iter().map(|&i| Arc::clone(&self.corpus[i])).collect();
+                self.batch.map_corpus(&subset, |k, _| self.refine(qa, candidates[k]))
+            };
+        let exact: Vec<CorpusHit> = candidates
+            .iter()
+            .zip(refined)
+            .filter_map(|(&model, embedding)| embedding.map(|e| CorpusHit { model, embedding: e }))
+            .collect();
+        let approximate =
+            if exact.is_empty() { self.rank_approximate(qa) } else { Vec::new() };
+        CorpusMatches { exact, approximate, candidates }
+    }
+
+    /// Reference scan: run the VF2 refiner against **every** corpus model
+    /// with no candidate pruning, returning the models the query embeds
+    /// in. [`MatchIndex::query_corpus`]'s exact hit set equals this by
+    /// construction (property-tested); the `corpus_match` bench gates the
+    /// speedup of the indexed path over this naïve one.
+    pub fn naive_hits(&self, query: &Model) -> Vec<usize> {
+        self.naive_hits_prepared(&self.prepare_query(query))
+    }
+
+    /// [`MatchIndex::naive_hits`] over an already-prepared query.
+    pub fn naive_hits_prepared(&self, qa: &PreparedQuery) -> Vec<usize> {
+        (0..self.corpus.len())
+            .filter(|&i| {
+                matches!(find_embedding(&qa.graph, &self.graphs[i], self.budget), SearchOutcome::Found(_))
+            })
+            .collect()
+    }
+
+    /// Rank near-misses: every model sharing at least one node, edge or
+    /// participant posting with the query, scored by content-key Jaccard
+    /// plus mapped fraction.
+    fn rank_approximate(&self, qa: &PreparedQuery) -> Vec<ApproxHit> {
+        let mut pool: Vec<u32> = Vec::new();
+        for key in &qa.node_keys {
+            if let Some(list) = self.node_postings.get(key.as_ref()) {
+                pool.extend_from_slice(list);
+            }
+        }
+        for key in &qa.edge_keys {
+            if let Some(list) = self.edge_postings.get(key.as_ref()) {
+                pool.extend_from_slice(list);
+            }
+        }
+        for key in &qa.participant_keys {
+            if let Some(list) = self.participant_postings.get(key.as_str()) {
+                pool.extend_from_slice(list);
+            }
+        }
+        pool.sort_unstable();
+        pool.dedup();
+
+        let mut hits: Vec<ApproxHit> = pool
+            .into_iter()
+            .map(|m| {
+                let model = m as usize;
+                let jaccard = self.jaccard(&qa.content_keys, model);
+                let mapped_fraction = self.mapped_fraction(qa, model);
+                ApproxHit { model, score: (jaccard + mapped_fraction) / 2.0, jaccard, mapped_fraction }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score.total_cmp(&a.score).then_with(|| a.model.cmp(&b.model))
+        });
+        hits.truncate(self.top_k);
+        hits
+    }
+
+    fn jaccard(&self, query_keys: &FastSet<Arc<str>>, model: usize) -> f64 {
+        let model_keys = &self.content_key_sets[model];
+        if query_keys.is_empty() && model_keys.is_empty() {
+            return 1.0;
+        }
+        let shared = query_keys.iter().filter(|k| model_keys.contains(k.as_ref())).count();
+        let union = query_keys.len() + model_keys.len() - shared;
+        shared as f64 / union as f64
+    }
+
+    fn mapped_fraction(&self, qa: &PreparedQuery, model: usize) -> f64 {
+        let graph = &self.graphs[model];
+        let total = qa.graph.node_count() + qa.graph.edge_count();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut mapped = 0usize;
+        for n in 0..qa.graph.node_count() as u32 {
+            if !graph.nodes_with_key(qa.graph.node_key(n)).is_empty() {
+                mapped += 1;
+            }
+        }
+        for e in 0..qa.graph.edge_count() as u32 {
+            let edge = qa.graph.edge(e);
+            let pkey = &qa.participant_keys[qa.graph.reaction_of(e)];
+            if graph.has_edge_key(&edge.key) || self.participant_sets[model].contains(pkey) {
+                mapped += 1;
+            }
+        }
+        mapped as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_model::builder::ModelBuilder;
+
+    fn corpus_models() -> Vec<Model> {
+        // Three models over a shared species pool; model 2 shares the
+        // whole glycolysis step with model 0.
+        let glyco = ModelBuilder::new("glyco")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 5.0)
+            .species("G6P", 0.0)
+            .species("F6P", 0.0)
+            .parameter("k1", 0.4)
+            .parameter("k2", 0.3)
+            .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+            .reaction("iso", &["G6P"], &["F6P"], "k2*G6P")
+            .build();
+        let tca = ModelBuilder::new("tca")
+            .compartment("cell", 1.0)
+            .species("citrate", 1.0)
+            .species("isocitrate", 0.0)
+            .parameter("k", 0.1)
+            .reaction("aco", &["citrate"], &["isocitrate"], "k*citrate")
+            .build();
+        let super_glyco = ModelBuilder::new("super")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 2.0)
+            .species("G6P", 0.0)
+            .species("F6P", 0.0)
+            .species("FBP", 0.0)
+            .parameter("k1", 0.4)
+            .parameter("k2", 0.3)
+            .parameter("k3", 0.2)
+            .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+            .reaction("iso", &["G6P"], &["F6P"], "k2*G6P")
+            .reaction("pfk", &["F6P"], &["FBP"], "k3*F6P")
+            .build();
+        vec![glyco, tca, super_glyco]
+    }
+
+    fn index(options: &ComposeOptions) -> MatchIndex {
+        let batch = BatchComposer::new(Composer::new(options.clone()));
+        MatchIndex::build(batch.prepare_corpus(&corpus_models()), options)
+    }
+
+    fn fragment() -> Model {
+        ModelBuilder::new("query")
+            .compartment("cell", 1.0)
+            .species_named("glc", "glucose", 5.0)
+            .species("G6P", 0.0)
+            .parameter("k1", 0.4)
+            .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+            .build()
+    }
+
+    #[test]
+    fn exact_hits_with_witness_mappings() {
+        for options in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let idx = index(&options);
+            let result = idx.query_corpus(&fragment());
+            let models: Vec<usize> = result.exact.iter().map(|h| h.model).collect();
+            assert_eq!(models, vec![0, 2], "fragment occurs in glyco and super");
+            assert!(result.approximate.is_empty(), "exact hits suppress ranking");
+            let hit = &result.exact[0];
+            assert!(hit.embedding.species.contains(&("glc".into(), "glc".into())));
+            assert!(hit.embedding.reactions.contains(&("hex".into(), "hex".into())));
+        }
+    }
+
+    #[test]
+    fn candidates_equal_naive_hit_superset() {
+        let options = ComposeOptions::default();
+        let idx = index(&options);
+        let query = fragment();
+        let candidates = idx.candidates(&query);
+        let naive = idx.naive_hits(&query);
+        for hit in &naive {
+            assert!(candidates.contains(hit), "pruning must be sound");
+        }
+        let exact: Vec<usize> = idx.query_corpus(&query).exact.iter().map(|h| h.model).collect();
+        assert_eq!(exact, naive);
+    }
+
+    #[test]
+    fn miss_returns_ranked_approximates() {
+        let options = ComposeOptions::default();
+        let idx = index(&options);
+        // G6P -> F6P exists, but with kinetics no corpus model carries.
+        let near = ModelBuilder::new("near")
+            .compartment("cell", 1.0)
+            .species("G6P", 0.0)
+            .species("F6P", 0.0)
+            .parameter("vmax", 2.0)
+            .parameter("km", 3.0)
+            .reaction("iso", &["G6P"], &["F6P"], "vmax*G6P/(km+G6P)")
+            .build();
+        let result = idx.query_corpus(&near);
+        assert!(result.exact.is_empty());
+        assert!(!result.approximate.is_empty(), "participant overlap must rank");
+        let best = &result.approximate[0];
+        assert!(best.model == 0 || best.model == 2, "a glycolysis model ranks first");
+        assert!(best.score > 0.0 && best.score <= 1.0);
+        assert!(best.mapped_fraction > 0.5, "both nodes + participant-matched edge map");
+        // Scores descend.
+        for pair in result.approximate.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn absent_species_prunes_all_candidates() {
+        let options = ComposeOptions::default();
+        let idx = index(&options);
+        let alien = ModelBuilder::new("alien")
+            .compartment("cell", 1.0)
+            .species("unobtainium", 1.0)
+            .build();
+        assert!(idx.candidates(&alien).is_empty());
+        let result = idx.query_corpus(&alien);
+        assert!(result.exact.is_empty());
+        assert!(result.approximate.is_empty(), "nothing shares a posting");
+    }
+
+    #[test]
+    fn empty_query_matches_every_model() {
+        let options = ComposeOptions::default();
+        let idx = index(&options);
+        let result = idx.query_corpus(&Model::new("empty"));
+        let models: Vec<usize> = result.exact.iter().map(|h| h.model).collect();
+        assert_eq!(models, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let options = ComposeOptions::default();
+        let query = fragment();
+        let reference = index(&options).with_threads(1).query_corpus(&query);
+        for threads in [2, 3, 8] {
+            let result = index(&options).with_threads(threads).query_corpus(&query);
+            assert_eq!(result, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn synonym_queries_hit_under_light_and_heavy_only() {
+        let heavy = ComposeOptions::default();
+        // The query names the species "dextrose"; the corpus says
+        // "glucose". Same id and kinetics, so heavy content keys align.
+        let synonym_query = ModelBuilder::new("syn")
+            .compartment("cell", 1.0)
+            .species_named("glc", "dextrose", 5.0)
+            .species("G6P", 0.0)
+            .parameter("k1", 0.4)
+            .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+            .build();
+        let hits: Vec<usize> = index(&heavy)
+            .query_corpus(&synonym_query)
+            .exact
+            .iter()
+            .map(|h| h.model)
+            .collect();
+        assert_eq!(hits, vec![0, 2]);
+        let none = ComposeOptions::none();
+        assert!(index(&none).query_corpus(&synonym_query).exact.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "different options")]
+    fn fingerprint_mismatch_rejected() {
+        let heavy = ComposeOptions::default();
+        let batch = BatchComposer::new(Composer::new(heavy.clone()));
+        let prepared = batch.prepare_corpus(&corpus_models());
+        let _ = MatchIndex::build(prepared, &ComposeOptions::light());
+    }
+
+    #[test]
+    fn posting_stats_reflect_corpus() {
+        let options = ComposeOptions::default();
+        let idx = index(&options);
+        let (nodes, edges, participants) = idx.posting_stats();
+        assert!(nodes >= 5, "distinct species labels across the corpus");
+        assert!(edges >= 4);
+        assert!(participants >= 4);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+}

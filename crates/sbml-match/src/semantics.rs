@@ -1,0 +1,143 @@
+//! Matching semantics: how node and edge labels compare during subgraph
+//! search, aligned with the composition engine's §5 spectrum.
+//!
+//! * **None** — node labels compare byte-identical, edges by extracted
+//!   label (the reaction id, `mod:`-prefixed for regulatory edges);
+//! * **Light** — node labels are normalised and closed over the synonym
+//!   table ([`bio_synonyms`]); edges still compare by extracted label;
+//! * **Heavy** — node labels as in Light, but edges compare by the
+//!   composition engine's canonical **reaction content key** (participant
+//!   multisets + commutativity-canonical kinetic-law pattern, the keys a
+//!   [`sbml_compose::PreparedModel`] caches) — two reactions match iff
+//!   the composer would consider them content-equal.
+//!
+//! Node compatibility is defined as *equality of canonical node keys*
+//! ([`MatchSemantics::node_key`]), which is exactly the predicate the
+//! [`crate::MatchIndex`] posting lists invert — candidate generation and
+//! refinement can therefore never disagree.
+
+use std::sync::Arc;
+
+use bio_graph::LabelMatcher;
+use bio_synonyms::SynonymTable;
+use sbml_compose::{ComposeOptions, SemanticsLevel};
+
+/// Node/edge matching policy for subgraph search; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct MatchSemantics {
+    level: SemanticsLevel,
+    synonyms: SynonymTable,
+}
+
+impl MatchSemantics {
+    /// A policy at `level` consulting `synonyms` (ignored under
+    /// [`SemanticsLevel::None`]).
+    pub fn new(level: SemanticsLevel, synonyms: SynonymTable) -> MatchSemantics {
+        MatchSemantics { level, synonyms }
+    }
+
+    /// The policy matching a composition-options value: same level, same
+    /// synonym table — so matching agrees with what composing the hit
+    /// would do.
+    pub fn from_options(options: &ComposeOptions) -> MatchSemantics {
+        MatchSemantics::new(options.semantics, options.synonyms.clone())
+    }
+
+    /// Exact-label matching (the generic method "without semantics").
+    pub fn none() -> MatchSemantics {
+        MatchSemantics::new(SemanticsLevel::None, SynonymTable::new())
+    }
+
+    /// Normalised labels + builtin synonym closure.
+    pub fn light() -> MatchSemantics {
+        MatchSemantics::new(SemanticsLevel::Light, SynonymTable::with_builtins())
+    }
+
+    /// Synonym-closed labels + reaction content-key edges.
+    pub fn heavy() -> MatchSemantics {
+        MatchSemantics::new(SemanticsLevel::Heavy, SynonymTable::with_builtins())
+    }
+
+    /// The semantics level.
+    pub fn level(&self) -> SemanticsLevel {
+        self.level
+    }
+
+    /// The synonym table consulted for node labels.
+    pub fn synonyms(&self) -> &SynonymTable {
+        &self.synonyms
+    }
+
+    /// Canonical key of a node label: the label itself under
+    /// [`SemanticsLevel::None`], the synonym-closed
+    /// [`SynonymTable::match_key_shared`] otherwise. Two nodes are
+    /// compatible iff their keys are equal.
+    pub fn node_key_shared(&self, label: &str) -> Arc<str> {
+        match self.level {
+            SemanticsLevel::None => Arc::from(label),
+            SemanticsLevel::Light | SemanticsLevel::Heavy => {
+                self.synonyms.match_key_shared(label)
+            }
+        }
+    }
+
+    /// Does this policy compare edges by reaction *content key* instead
+    /// of by extracted edge label? True exactly for heavy semantics.
+    pub fn content_key_edges(&self) -> bool {
+        self.level == SemanticsLevel::Heavy
+    }
+}
+
+/// [`MatchSemantics`] plugs into the generic graph-composition layer too:
+/// node equality is canonical-key equality, edge labels compare exactly
+/// (the [`mod@bio_graph::compose`] default).
+impl LabelMatcher for MatchSemantics {
+    fn nodes_match(&self, a: &str, b: &str) -> bool {
+        self.node_key_shared(a) == self.node_key_shared(b)
+    }
+
+    fn node_key(&self, label: &str) -> String {
+        self.node_key_shared(label).as_ref().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_resolve_node_keys() {
+        let none = MatchSemantics::none();
+        assert_eq!(none.node_key_shared("Glucose").as_ref(), "Glucose");
+        assert!(!none.nodes_match("glucose", "dextrose"));
+        assert!(!none.content_key_edges());
+
+        let light = MatchSemantics::light();
+        assert_eq!(light.node_key_shared("DEXTROSE").as_ref(), "glucose");
+        assert!(light.nodes_match("glucose", "dextrose"));
+        assert!(!light.content_key_edges());
+
+        let heavy = MatchSemantics::heavy();
+        assert!(heavy.nodes_match("Glc", "glucose"));
+        assert!(heavy.content_key_edges());
+    }
+
+    #[test]
+    fn from_options_tracks_level_and_table() {
+        let m = MatchSemantics::from_options(&ComposeOptions::none());
+        assert_eq!(m.level(), SemanticsLevel::None);
+        assert_eq!(m.synonyms().group_count(), 0);
+        let m = MatchSemantics::from_options(&ComposeOptions::default());
+        assert_eq!(m.level(), SemanticsLevel::Heavy);
+        assert!(m.synonyms().group_count() > 0);
+    }
+
+    #[test]
+    fn label_matcher_impl_agrees_with_keys() {
+        let light = MatchSemantics::light();
+        assert_eq!(LabelMatcher::node_key(&light, "DEXTROSE"), "glucose");
+        assert!(LabelMatcher::nodes_match(&light, "d_glucose", "glucose"));
+        assert!(light.edges_match("r1", "r1") && !light.edges_match("r1", "mod:r1"));
+    }
+}

@@ -88,11 +88,16 @@ impl Model {
     }
 
     /// Network edges = reactant→product arcs summed over reactions
-    /// (Fig. 1's three simple reactions = 3 edges).
+    /// (Fig. 1's three simple reactions = 3 edges), plus one regulatory
+    /// modifier→product arc per (modifier, product) pair — the edges
+    /// `bio_graph::extract` emits so matching sees regulatory structure.
     pub fn edges(&self) -> usize {
         self.reactions
             .iter()
-            .map(|r| (r.reactants.len() * r.products.len()).max(1))
+            .map(|r| {
+                (r.reactants.len() * r.products.len()).max(1)
+                    + r.modifiers.len() * r.products.len()
+            })
             .sum()
     }
 
@@ -402,6 +407,21 @@ mod tests {
             .reaction("r", &["A", "B"], &["C", "D"], "k*A*B")
             .build();
         assert_eq!(m.edges(), 4);
+    }
+
+    #[test]
+    fn edges_count_modifier_arcs() {
+        // E modifies A -> B: one conversion arc plus one regulatory arc.
+        let mut m = ModelBuilder::new("enzyme")
+            .compartment("c", 1.0)
+            .species("A", 1.0)
+            .species("B", 0.0)
+            .species("E", 1.0)
+            .parameter("k", 1.0)
+            .reaction("r", &["A"], &["B"], "k*E*A")
+            .build();
+        m.reactions[0].modifiers.push(crate::SpeciesReference::new("E"));
+        assert_eq!(m.edges(), 2);
     }
 
     #[test]

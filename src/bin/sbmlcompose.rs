@@ -4,6 +4,8 @@
 //! sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]
 //!                      [--semantics heavy|light|none] [--index hash|btree|linear]
 //!                      [--pipeline on|off] [--pipeline-threads N]
+//! sbmlcompose match    <query.xml> <corpus.xml>... [--semantics heavy|light|none]
+//!                      [--top K] [--threads N]
 //! sbmlcompose split    <model.xml> [-o prefix]
 //! sbmlcompose zoom     <model.xml> --seed <species>[,<species>...] [--radius N] [-o out.xml]
 //! sbmlcompose validate <model.xml>
@@ -11,6 +13,17 @@
 //! sbmlcompose check    <model.xml> --property "<PLTL>" [--runs N] [--t-end T] [--theta P]
 //! sbmlcompose diff     <a.xml> <b.xml>
 //! ```
+//!
+//! `match` (alias: `query`) searches a corpus for a query subnetwork: the
+//! corpus files are prepared once each, a match index is built over their
+//! canonical content keys ([`MatchIndex`]), and every exact embedding is
+//! reported with its concrete species/reaction mapping. When no corpus
+//! model embeds the query, the top `--top` (default 10) approximate
+//! matches are ranked by content-key Jaccard + mapped fraction instead.
+//! `--semantics` selects the matching level (heavy: reaction content-key
+//! edges; light: synonym-closed labels; none: exact labels) and
+//! `--threads` bounds the parallel corpus search (0 = one per core).
+//! Exit status: 0 when at least one exact hit exists, 1 otherwise.
 //!
 //! `compose` takes **two or more** input files and folds them left to
 //! right (the first file is the base; its model id survives). Two files
@@ -33,6 +46,7 @@
 //!
 //! [`Composer::prepare`]: sbmlcompose::compose::Composer::prepare
 //! [`CompositionSession`]: sbmlcompose::compose::CompositionSession
+//! [`MatchIndex`]: sbmlcompose::matching::MatchIndex
 
 use std::fs;
 use std::process::ExitCode;
@@ -60,6 +74,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let rest = &args[1..];
     match command.as_str() {
         "compose" => cmd_compose(rest),
+        "match" | "query" => cmd_match(rest),
         "split" => cmd_split(rest),
         "zoom" => cmd_zoom(rest),
         "validate" => cmd_validate(rest),
@@ -88,6 +103,13 @@ fn print_usage() {
          \x20        -o: merged SBML (default stdout); --log: decision log (default stderr)\n\
          \x20        --pipeline: merge-pass dependency-DAG pipeline (default on; output\n\
          \x20        identical either way); --pipeline-threads: worker bound (0 = cores)\n\
+         \x20 sbmlcompose match    <query.xml> <corpus.xml>... [--semantics heavy|light|none]\n\
+         \x20                      [--top K] [--threads N]\n\
+         \x20        (alias: query) searches the corpus for the query subnetwork: exact\n\
+         \x20        embeddings are reported with their species/reaction mappings; when\n\
+         \x20        none exists the top K (default 10) approximate matches are ranked\n\
+         \x20        by content-key Jaccard + mapped fraction. --threads bounds the\n\
+         \x20        parallel corpus search (0 = cores). exit 0 iff an exact hit exists\n\
          \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
          \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
          \x20 sbmlcompose validate <model.xml>\n\
@@ -184,6 +206,91 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
         None => eprint!("{}", result.log.to_text()),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
+    use sbmlcompose::compose::{BatchComposer, Composer as MatchComposer};
+    use sbmlcompose::matching::MatchIndex;
+
+    let mut args = args.to_vec();
+    let semantics = match take_flag(&mut args, "--semantics").as_deref() {
+        None | Some("heavy") => SemanticsLevel::Heavy,
+        Some("light") => SemanticsLevel::Light,
+        Some("none") => SemanticsLevel::None,
+        Some(other) => return Err(format!("unknown semantics level {other:?}")),
+    };
+    let top: usize = take_flag(&mut args, "--top")
+        .map(|v| v.parse().map_err(|_| format!("bad --top {v:?}")))
+        .transpose()?
+        .unwrap_or(10);
+    let threads: usize = take_flag(&mut args, "--threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    if args.len() < 2 {
+        return Err("match needs a query file and at least one corpus file".to_owned());
+    }
+    let query = load_model(&args[0])?;
+    let corpus_paths = &args[1..];
+    let corpus =
+        corpus_paths.iter().map(|path| load_model(path)).collect::<Result<Vec<_>, _>>()?;
+
+    let options = match semantics {
+        SemanticsLevel::Heavy => ComposeOptions::heavy(),
+        SemanticsLevel::Light => ComposeOptions::light(),
+        SemanticsLevel::None => ComposeOptions::none(),
+    };
+    let batch = BatchComposer::new(MatchComposer::new(options.clone())).with_threads(threads);
+    let prepared = batch.prepare_corpus(&corpus);
+    let index = MatchIndex::build_with_threads(prepared, &options, threads).with_top_k(top);
+    let result = index.query_corpus(&query);
+
+    eprintln!(
+        "query {} ({} species, {} reactions) against {} corpus model(s): {} candidate(s)",
+        query.id,
+        query.species.len(),
+        query.reactions.len(),
+        corpus.len(),
+        result.candidates.len()
+    );
+    if result.exact.is_empty() {
+        println!("no exact embedding found");
+        if result.approximate.is_empty() {
+            println!("no approximate match shares any key with the query");
+        }
+        for hit in &result.approximate {
+            println!(
+                "approx {} ({}): score {:.3} (jaccard {:.3}, mapped {:.3})",
+                corpus_paths[hit.model],
+                corpus[hit.model].id,
+                hit.score,
+                hit.jaccard,
+                hit.mapped_fraction
+            );
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    for hit in &result.exact {
+        let species = hit
+            .embedding
+            .species
+            .iter()
+            .map(|(q, t)| format!("{q}->{t}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let reactions = hit
+            .embedding
+            .reactions
+            .iter()
+            .map(|(q, t)| format!("{q}->{t}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "exact {} ({}): species [{species}] reactions [{reactions}]",
+            corpus_paths[hit.model], corpus[hit.model].id
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

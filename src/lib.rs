@@ -16,6 +16,7 @@
 //! | [`synonyms`] | `bio-synonyms` | local synonym tables |
 //! | [`graph`] | `bio-graph` | generic labelled graphs, no/light-semantics composition |
 //! | [`compose`] | `sbml-compose` | **SBMLCompose** — the paper's contribution |
+//! | [`matching`] | `sbml-match` | subnetwork matching & corpus query engine |
 //! | [`baseline`] | `semantic-baseline` | simulated semanticSBML comparator |
 //! | [`sim`] | `bio-sim` | ODE (RK4/RKF45) and Gillespie SSA simulation |
 //! | [`mc2`] | `mc2` | Monte-Carlo PLTL model checker (§4.1.4) |
@@ -116,6 +117,7 @@ pub use bio_synonyms as synonyms;
 pub use biomodels_corpus as corpus;
 pub use mc2;
 pub use sbml_compose as compose;
+pub use sbml_match as matching;
 pub use sbml_math as math;
 pub use sbml_model as model;
 pub use sbml_units as units;

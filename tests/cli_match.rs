@@ -1,0 +1,155 @@
+//! Integration tests for the `sbmlcompose match` / `query` CLI: corpus
+//! search with exact embeddings, approximate fallback, and exit codes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::{write_sbml, Model};
+
+fn glycolysis() -> Model {
+    ModelBuilder::new("glyco")
+        .compartment("cell", 1.0)
+        .species_named("glc", "glucose", 5.0)
+        .species("G6P", 0.0)
+        .species("F6P", 0.0)
+        .parameter("k1", 0.4)
+        .parameter("k2", 0.3)
+        .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+        .reaction("iso", &["G6P"], &["F6P"], "k2*G6P")
+        .build()
+}
+
+fn tca() -> Model {
+    ModelBuilder::new("tca")
+        .compartment("cell", 1.0)
+        .species("citrate", 1.0)
+        .species("isocitrate", 0.0)
+        .parameter("k", 0.1)
+        .reaction("aco", &["citrate"], &["isocitrate"], "k*citrate")
+        .build()
+}
+
+fn fragment() -> Model {
+    ModelBuilder::new("frag")
+        .compartment("cell", 1.0)
+        .species_named("glc", "glucose", 5.0)
+        .species("G6P", 0.0)
+        .parameter("k1", 0.4)
+        .reaction("hex", &["glc"], &["G6P"], "k1*glc")
+        .build()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sbmlcompose_cli_match_{tag}_{}_{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").replace("::", "_"),
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, m: &Model) -> String {
+    let path = dir.join(name);
+    fs::write(&path, write_sbml(m)).expect("write model");
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn match_reports_exact_hit_with_mapping() {
+    let dir = scratch("hit");
+    let q = write(&dir, "query.xml", &fragment());
+    let a = write(&dir, "glyco.xml", &glycolysis());
+    let b = write(&dir, "tca.xml", &tca());
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &q, &a, &b])
+        .output()
+        .expect("run sbmlcompose match");
+    assert!(output.status.success(), "exact hit must exit 0");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("exact"), "stdout: {stdout}");
+    assert!(stdout.contains("glyco"), "stdout: {stdout}");
+    assert!(!stdout.contains("tca.xml"), "tca does not contain the fragment: {stdout}");
+    assert!(stdout.contains("glc->glc"), "species mapping reported: {stdout}");
+    assert!(stdout.contains("hex->hex"), "reaction mapping reported: {stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_alias_and_semantics_flag() {
+    let dir = scratch("alias");
+    // The query names glucose by a synonym; only synonym-aware levels hit.
+    let mut syn = fragment();
+    syn.species[0].name = Some("dextrose".into());
+    let q = write(&dir, "query.xml", &syn);
+    let a = write(&dir, "glyco.xml", &glycolysis());
+
+    let hit = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["query", &q, &a, "--semantics", "heavy"])
+        .output()
+        .expect("run sbmlcompose query");
+    assert!(hit.status.success(), "synonym query hits under heavy semantics");
+
+    let miss = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["query", &q, &a, "--semantics", "none"])
+        .output()
+        .expect("run sbmlcompose query");
+    assert!(!miss.status.success(), "no-semantics must miss the synonym");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn miss_ranks_approximate_matches_and_exits_nonzero() {
+    let dir = scratch("miss");
+    // Shares species with glycolysis but with kinetics no model carries.
+    let near = ModelBuilder::new("near")
+        .compartment("cell", 1.0)
+        .species("G6P", 0.0)
+        .species("F6P", 0.0)
+        .parameter("vmax", 2.0)
+        .parameter("km", 3.0)
+        .reaction("iso", &["G6P"], &["F6P"], "vmax*G6P/(km+G6P)")
+        .build();
+    let q = write(&dir, "query.xml", &near);
+    let a = write(&dir, "glyco.xml", &glycolysis());
+    let b = write(&dir, "tca.xml", &tca());
+
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &q, &a, &b, "--top", "1", "--threads", "2"])
+        .output()
+        .expect("run sbmlcompose match");
+    assert!(!output.status.success(), "a miss must exit nonzero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("no exact embedding"), "stdout: {stdout}");
+    assert!(stdout.contains("approx"), "ranked fallback shown: {stdout}");
+    assert!(stdout.contains("glyco.xml"), "glycolysis is the nearest model: {stdout}");
+    assert_eq!(
+        stdout.lines().filter(|l| l.starts_with("approx ")).count(),
+        1,
+        "--top 1 bounds the ranking: {stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn match_requires_query_and_corpus() {
+    let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", "only_one.xml"])
+        .status()
+        .expect("run sbmlcompose match");
+    assert_eq!(status.code(), Some(2), "usage error exits 2");
+}
+
+#[test]
+fn help_documents_match() {
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("--help")
+        .output()
+        .expect("run sbmlcompose --help");
+    let text = String::from_utf8_lossy(&output.stderr);
+    assert!(text.contains("sbmlcompose match"), "help: {text}");
+    assert!(text.contains("--top"), "help: {text}");
+}
