@@ -13,6 +13,30 @@ cargo build --release
 echo "== test =="
 cargo test -q
 
+echo "== fault-injection suite (deterministic injected faults) =="
+cargo test -q --features fault-injection --test fault_isolation
+
+echo "== panic audit (fan-out modules) =="
+# Containment boundaries (catch_unwind) only help if the code inside them
+# is not sprinkled with *new* input-reachable unwrap/expect/panic sites.
+# Ceilings are the audited counts (tests included); raising one requires
+# justifying the new site in review.
+panic_audit() {
+    local file="$1" ceiling="$2"
+    local count
+    count=$(grep -c '\.unwrap()\|\.expect(\|panic!(' "$file" || true)
+    echo "  ${file}: ${count} (ceiling: ${ceiling})"
+    if (( count > ceiling )); then
+        echo "FAIL: ${file} gained unaudited unwrap/expect/panic sites (${count} > ${ceiling})" >&2
+        exit 1
+    fi
+}
+panic_audit crates/sbml-compose/src/pipeline.rs 20
+panic_audit crates/sbml-compose/src/batch.rs 6
+panic_audit crates/sbml-compose/src/session.rs 12
+panic_audit crates/sbml-match/src/index.rs 0
+panic_audit crates/sbml-match/src/vf2.rs 3
+
 if [[ "${1:-}" != "quick" ]]; then
     echo "== docs (cargo doc --no-deps, warnings are errors) =="
     # Broken intra-doc links or malformed rustdoc fail the build.
@@ -80,6 +104,19 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "conflict-corpus pipelined speedup: ${speedup}x (gate: >= 1.5)"
     awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
         echo "FAIL: pipelined-vs-serial speedup regressed below 1.5x" >&2
+        exit 1
+    }
+
+    echo "== guard overhead benchmark (writes BENCH_robust.json) =="
+    cargo run --release -p compose-bench --bin robust_overhead
+
+    # Perf gate: fault containment + budget metering on the fast path
+    # (push_guarded with an unlimited meter vs plain push) must cost
+    # <= 5%. The value can be negative (noise); the grep is sign-tolerant.
+    overhead=$(grep -o '"guard_overhead_pct": *[-0-9.]*' BENCH_robust.json | grep -o '[-0-9.]*$')
+    echo "guard overhead: ${overhead}% (gate: <= 5.0)"
+    awk -v o="$overhead" 'BEGIN { exit (o <= 5.0) ? 0 : 1 }' || {
+        echo "FAIL: guard overhead exceeded 5%" >&2
         exit 1
     }
 fi

@@ -37,10 +37,12 @@
 //! [`all_pairs_with`]: BatchComposer::all_pairs_with
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use sbml_model::Model;
 
 use crate::composer::{ComposeResult, Composer};
+use crate::guard::{self, BatchReport, Budget, ExecError, ItemOutcome, Site};
 use crate::prepared::PreparedModel;
 
 /// Batch driver over a [`Composer`]; see the [module docs](self).
@@ -248,6 +250,167 @@ impl BatchComposer {
             conflicts: result.log.conflict_count(),
             mappings: result.mappings.len(),
         })
+    }
+
+    /// Fault-contained [`BatchComposer::all_pairs_with`]: every pair runs
+    /// under `budget` with its panics caught at the item boundary, so one
+    /// poisoned pair becomes one [`ItemOutcome::Failed`] entry while all
+    /// surviving pairs complete bit-identical to a fault-free run. The
+    /// step ceiling charges each pair its combined component count in
+    /// ascending pair order, so which pairs a tight budget cuts off is
+    /// deterministic — independent of thread count and scheduling; the
+    /// wall-clock deadline is shared across the batch and checked before
+    /// each pair starts.
+    pub fn try_all_pairs_with<T, F>(
+        &self,
+        prepared: &[Arc<PreparedModel>],
+        budget: &Budget,
+        map: F,
+    ) -> BatchReport<T>
+    where
+        T: Send,
+        F: Fn(usize, usize, ComposeResult) -> T + Sync,
+    {
+        let n = prepared.len();
+        let pairs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+        let costs: Vec<u64> = pairs
+            .iter()
+            .map(|&(i, j)| {
+                (prepared[i].model().component_count() + prepared[j].model().component_count())
+                    as u64
+            })
+            .collect();
+        let outcome = |k: usize| {
+            let (i, j) = pairs[k];
+            map(i, j, self.composer.compose_prepared(&prepared[i], &prepared[j]))
+        };
+        self.run_guarded(pairs.len(), &costs, budget, outcome)
+    }
+
+    /// Fault-contained [`BatchComposer::all_pairs`]: the Fig. 8 grid as a
+    /// [`BatchReport`] of [`PairSummary`] items.
+    pub fn try_all_pairs(
+        &self,
+        prepared: &[Arc<PreparedModel>],
+        budget: &Budget,
+    ) -> BatchReport<PairSummary> {
+        self.try_all_pairs_with(prepared, budget, |a, b, result| PairSummary {
+            a,
+            b,
+            species: result.model.species.len(),
+            reactions: result.model.reactions.len(),
+            components: result.model.component_count(),
+            conflicts: result.log.conflict_count(),
+            mappings: result.mappings.len(),
+        })
+    }
+
+    /// Fault-contained [`BatchComposer::map_corpus`]: one job per corpus
+    /// model under `budget`, with the same containment and deterministic
+    /// step-gating semantics as [`BatchComposer::try_all_pairs_with`]
+    /// (each model costs its component count).
+    pub fn try_map_corpus<T, F>(
+        &self,
+        prepared: &[Arc<PreparedModel>],
+        budget: &Budget,
+        f: F,
+    ) -> BatchReport<T>
+    where
+        T: Send,
+        F: Fn(usize, &PreparedModel) -> T + Sync,
+    {
+        let costs: Vec<u64> =
+            prepared.iter().map(|p| p.model().component_count() as u64).collect();
+        self.run_guarded(prepared.len(), &costs, budget, |k| f(k, &prepared[k]))
+    }
+
+    /// Shared engine of the `try_*` fan-outs: stripe `jobs` items across
+    /// the worker threads, each item gated by the budget and contained by
+    /// `catch_unwind`, and return the outcomes in item order.
+    fn run_guarded<T, J>(
+        &self,
+        jobs: usize,
+        costs: &[u64],
+        budget: &Budget,
+        job: J,
+    ) -> BatchReport<T>
+    where
+        T: Send,
+        J: Fn(usize) -> T + Sync,
+    {
+        // Deterministic step gate: items are charged their cost in item
+        // order up front, so a tight ceiling always cuts off the same
+        // suffix no matter how threads interleave.
+        let gate: Option<(Vec<bool>, u64)> = budget.max_steps().map(|limit| {
+            let mut spent = 0u64;
+            let allowed = costs
+                .iter()
+                .map(|&c| {
+                    spent = spent.saturating_add(c);
+                    spent <= limit
+                })
+                .collect();
+            (allowed, limit)
+        });
+        let started = Instant::now();
+        let deadline = budget.deadline().map(|d| started + d);
+
+        let outcome = |k: usize| -> ItemOutcome<T> {
+            if let Some((allowed, limit)) = &gate {
+                if !allowed[k] {
+                    return ItemOutcome::Failed(ExecError::StepsExhausted {
+                        site: Site::Shard(k),
+                        limit: *limit,
+                    });
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return ItemOutcome::Failed(ExecError::DeadlineExceeded {
+                        site: Site::Shard(k),
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                    });
+                }
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                guard::fail_point(Site::Shard(k));
+                job(k)
+            })) {
+                Ok(value) => ItemOutcome::Ok(value),
+                Err(payload) => ItemOutcome::Failed(ExecError::Panicked {
+                    site: Site::Shard(k),
+                    detail: guard::panic_detail(payload.as_ref()),
+                }),
+            }
+        };
+
+        let workers = self.worker_count(jobs);
+        if workers <= 1 {
+            return BatchReport { items: (0..jobs).map(outcome).collect() };
+        }
+        let mut results: Vec<(usize, ItemOutcome<T>)> = std::thread::scope(|scope| {
+            let outcome = &outcome;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut k = w;
+                        while k < jobs {
+                            out.push((k, outcome(k)));
+                            k += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("guarded batch worker"))
+                .collect()
+        });
+        results.sort_unstable_by_key(|(k, _)| *k);
+        BatchReport { items: results.into_iter().map(|(_, o)| o).collect() }
     }
 }
 

@@ -58,6 +58,7 @@ use crate::passes::{
     ReactionsMut, RulesMut, SpeciesMut, SpeciesTypesMut, TakenStore, UnitsMut, UnitsRead,
 };
 use crate::equality::MappingTable;
+use crate::guard::{self, ExecError, Meter, Site};
 use crate::initial_values::{IncrementalValues, InitialValues};
 use crate::log::MergeLog;
 use crate::options::ComposeOptions;
@@ -341,6 +342,8 @@ struct Shared<'a> {
     iv_store: Option<&'a IncrementalValues>,
     iv_snap: &'a InitialValues,
     iv_b: &'a InitialValues,
+    /// Budget meter of a guarded push; checked before each pass runs.
+    meter: Option<&'a Meter>,
 }
 
 impl Shared<'_> {
@@ -358,17 +361,37 @@ struct SchedState {
     deps_left: [usize; N],
     dependents: [u16; N],
     done: u16,
-    panicked: bool,
+    /// First fault observed (contained pass panic or budget overrun);
+    /// once set, workers drain and the push unwinds via rollback.
+    fault: Option<ExecError>,
+}
+
+/// Recover the inner value of a lock whether or not a contained pass
+/// panic poisoned it — on the fault path the state is discarded by the
+/// session rollback, and on the success path no pass panicked.
+fn unpoison<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn take_idx(slot: &mut ComponentIndex, kind: IndexKind) -> ComponentIndex {
     std::mem::replace(slot, ComponentIndex::new(kind))
 }
 
-/// Run one push's merge passes on `workers` scoped threads. Falls out with
-/// the session in exactly the state the serial pass order would leave —
+/// Run one push's merge passes on `workers` scoped threads. On success
+/// the session is in exactly the state the serial pass order would leave —
 /// see the module docs for the argument.
-pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers: usize) {
+///
+/// Worker panics are contained: a pass that panics (or a `meter` that
+/// runs out between passes) stops the schedule, the per-kind state is
+/// restored into the session (poison-tolerantly — the caller rolls the
+/// push back), the per-pass aux fold is skipped, and the fault comes back
+/// as a structured [`ExecError`].
+pub(crate) fn run(
+    sess: &mut CompositionSession<'_>,
+    inc: &Incoming<'_>,
+    workers: usize,
+    meter: Option<&Meter>,
+) -> Result<(), ExecError> {
     // Prepared pushes cache the plan (it is a pure function of the
     // incoming side); raw pushes build it on the spot.
     let local_plan;
@@ -484,6 +507,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
         iv_store: sess.incremental.as_ref(),
         iv_snap: &sess.iv_a,
         iv_b: &sess.iv_b,
+        meter,
     };
 
     // Dependents and initial ready set. A pass with no incoming
@@ -505,7 +529,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
         }
     }
     let sched =
-        Mutex::new(SchedState { ready, deps_left, dependents, done: empty, panicked: false });
+        Mutex::new(SchedState { ready, deps_left, dependents, done: empty, fault: None });
     let cv = Condvar::new();
 
     // The calling thread is worker zero — a pipelined push spawns
@@ -518,13 +542,14 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
         }
         worker(&sched, &cv, &shared, inc, plan);
     });
-    assert!(!sched.into_inner().expect("scheduler mutex").panicked, "a merge pass panicked");
+    let fault = unpoison(sched.into_inner()).fault;
 
-    // Move state back into the session...
+    // Move state back into the session. Poison-tolerant throughout: after
+    // a contained pass panic the locks may be poisoned, and on that path
+    // the caller discards the push via rollback anyway.
     let Shared { slots, aux, .. } = shared;
     {
-        let (list, [by_id, by_content, delta], keys) =
-            slots.functions.into_inner().expect("functions slot");
+        let (list, [by_id, by_content, delta], keys) = unpoison(slots.functions.into_inner());
         sess.merged.function_definitions = list;
         sess.idx.functions_by_id = by_id;
         sess.idx.functions_by_content = by_content;
@@ -532,7 +557,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
         sess.keys.functions = keys;
     }
     {
-        let (list, [by_id, by_content], keys) = slots.units.into_inner().expect("units slot");
+        let (list, [by_id, by_content], keys) = unpoison(slots.units.into_inner());
         sess.merged.unit_definitions = list;
         sess.idx.units_by_id = by_id;
         sess.idx.units_by_content = by_content;
@@ -540,7 +565,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
     }
     {
         let (list, [by_id, by_name, delta]) =
-            slots.compartment_types.into_inner().expect("compartment types slot");
+            unpoison(slots.compartment_types.into_inner());
         sess.merged.compartment_types = list;
         sess.idx.compartment_types_by_id = by_id;
         sess.idx.compartment_types_by_name = by_name;
@@ -548,7 +573,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
     }
     {
         let (list, [by_id, by_name, delta]) =
-            slots.species_types.into_inner().expect("species types slot");
+            unpoison(slots.species_types.into_inner());
         sess.merged.species_types = list;
         sess.idx.species_types_by_id = by_id;
         sess.idx.species_types_by_name = by_name;
@@ -556,46 +581,46 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
     }
     {
         let (list, [by_id, by_name, delta]) =
-            slots.compartments.into_inner().expect("compartments slot");
+            unpoison(slots.compartments.into_inner());
         sess.merged.compartments = list;
         sess.idx.compartments_by_id = by_id;
         sess.idx.compartments_by_name = by_name;
         sess.delta.compartments_by_name = delta;
     }
     {
-        let (list, [by_id, by_name, delta]) = slots.species.into_inner().expect("species slot");
+        let (list, [by_id, by_name, delta]) = unpoison(slots.species.into_inner());
         sess.merged.species = list;
         sess.idx.species_by_id = by_id;
         sess.idx.species_by_name = by_name;
         sess.delta.species_by_name = delta;
     }
     {
-        let (list, [by_id]) = slots.parameters.into_inner().expect("parameters slot");
+        let (list, [by_id]) = unpoison(slots.parameters.into_inner());
         sess.merged.parameters = list;
         sess.idx.parameters_by_id = by_id;
     }
     {
-        let (list, [by_symbol]) = slots.assignments.into_inner().expect("assignments slot");
+        let (list, [by_symbol]) = unpoison(slots.assignments.into_inner());
         sess.merged.initial_assignments = list;
         sess.idx.assignments_by_symbol = by_symbol;
     }
     {
         let (list, [by_content, by_variable, delta]) =
-            slots.rules.into_inner().expect("rules slot");
+            unpoison(slots.rules.into_inner());
         sess.merged.rules = list;
         sess.idx.rules_by_content = by_content;
         sess.idx.rules_by_variable = by_variable;
         sess.delta.rules_by_content = delta;
     }
     {
-        let (list, [by_content, delta]) = slots.constraints.into_inner().expect("constraints slot");
+        let (list, [by_content, delta]) = unpoison(slots.constraints.into_inner());
         sess.merged.constraints = list;
         sess.idx.constraints_by_content = by_content;
         sess.delta.constraints_by_content = delta;
     }
     {
         let (list, [by_id, by_content, delta], keys) =
-            slots.reactions.into_inner().expect("reactions slot");
+            unpoison(slots.reactions.into_inner());
         sess.merged.reactions = list;
         sess.idx.reactions_by_id = by_id;
         sess.idx.reactions_by_content = by_content;
@@ -604,7 +629,7 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
     }
     {
         let (list, [by_id, by_content, delta], keys) =
-            slots.events.into_inner().expect("events slot");
+            unpoison(slots.events.into_inner());
         sess.merged.events = list;
         sess.idx.events_by_id = by_id;
         sess.idx.events_by_content = by_content;
@@ -614,22 +639,28 @@ pub(crate) fn run(sess: &mut CompositionSession<'_>, inc: &Incoming<'_>, workers
 
     // ...and fold the per-pass aux state in Fig. 4 order: logs
     // concatenate, shards overwrite like the single serial table, taken
-    // additions merge into the registry.
+    // additions merge into the registry. A faulted push skips the fold:
+    // partial shards/logs must not leak, and the rollback rebuilds the
+    // registry from scratch.
     sess.taken = taken;
+    if let Some(fault) = fault {
+        return Err(fault);
+    }
     for slot in aux {
-        let PassAux { shard, added, log } = slot.into_inner().expect("aux slot");
+        let PassAux { shard, added, log } = unpoison(slot.into_inner());
         for (from, to) in shard {
             sess.push_maps.insert(from, to);
         }
         sess.taken.added.extend(added);
         sess.log.events.extend(log.events);
     }
+    Ok(())
 }
 
 fn worker(sched: &Mutex<SchedState>, cv: &Condvar, shared: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
-    let mut state = sched.lock().expect("scheduler mutex");
+    let mut state = unpoison(sched.lock());
     loop {
-        if state.panicked || state.done == ALL_DONE {
+        if state.fault.is_some() || state.done == ALL_DONE {
             cv.notify_all();
             return;
         }
@@ -641,17 +672,27 @@ fn worker(sched: &Mutex<SchedState>, cv: &Condvar, shared: &Shared<'_>, inc: &In
             .max_by_key(|(_, &p)| plan.cost[p])
             .map(|(i, _)| i);
         let Some(slot) = next else {
-            state = cv.wait(state).expect("scheduler mutex");
+            state = unpoison(cv.wait(state));
             continue;
         };
         let pass = state.ready.swap_remove(slot);
         drop(state);
 
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_pass(pass, shared, inc, plan);
-        }));
+        // Budget check at pass granularity, then the pass itself with its
+        // panics contained at this boundary (the pass functions only
+        // borrow state that the fault path discards).
+        let outcome = match shared.meter.map_or(Ok(()), |m| m.check_deadline(Site::Pass(pass))) {
+            Err(overrun) => Err(overrun),
+            Ok(()) => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_pass(pass, shared, inc, plan);
+            }))
+            .map_err(|payload| ExecError::Panicked {
+                site: Site::Pass(pass),
+                detail: guard::panic_detail(payload.as_ref()),
+            }),
+        };
 
-        state = sched.lock().expect("scheduler mutex");
+        state = unpoison(sched.lock());
         match outcome {
             Ok(()) => {
                 state.done |= 1 << pass;
@@ -678,11 +719,15 @@ fn worker(sched: &Mutex<SchedState>, cv: &Condvar, shared: &Shared<'_>, inc: &In
                     }
                 }
             }
-            Err(payload) => {
-                state.panicked = true;
+            Err(fault) => {
+                // Record the first fault and drain: in-flight passes on
+                // other workers finish their bookkeeping, every sleeper
+                // wakes, and run() surfaces the error after restoring the
+                // session state.
+                if state.fault.is_none() {
+                    state.fault = Some(fault);
+                }
                 cv.notify_all();
-                drop(state);
-                std::panic::resume_unwind(payload);
             }
         }
     }
@@ -695,6 +740,7 @@ fn desc(mask: u16) -> impl Iterator<Item = usize> {
 }
 
 fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
+    guard::fail_point(Site::Pass(pass));
     // Lock the aux of every pass whose shard or taken additions this pass
     // reads. They are complete (the scheduler ordered them before us) and
     // will never be written again this push, so try_read cannot fail.

@@ -91,6 +91,7 @@ use sbml_model::Model;
 
 use crate::composer::ComposeResult;
 use crate::equality::{self, MappingTable, NoMap};
+use crate::guard::{self, ExecError, Meter, PushOutcome, Site};
 use crate::index::ComponentIndex;
 use crate::initial_values::{collect, IncrementalValues, InitialValues, ValueDelta};
 use crate::log::MergeLog;
@@ -424,6 +425,63 @@ impl<'o> CompositionSession<'o> {
         self.merge_model(&Incoming::prepared(p), true);
     }
 
+    /// [`CompositionSession::push`] with fault containment and budget
+    /// governance (see [`crate::guard`]). `meter` is charged one step per
+    /// incoming component *before* the accumulator is touched, so an
+    /// exhausted budget fails the push cleanly; a fault inside the merge
+    /// walks the degradation ladder — pipelined attempt, one serial
+    /// retry, rollback — and `Err` guarantees the accumulator, log and
+    /// mappings are exactly their pre-push state.
+    ///
+    /// Output on success is bit-for-bit identical to
+    /// [`CompositionSession::push`] on the same model, degraded or not.
+    pub fn push_guarded(
+        &mut self,
+        b: &Model,
+        meter: Option<&Meter>,
+    ) -> Result<PushOutcome, ExecError> {
+        if let Some(m) = meter {
+            m.charge(b.component_count() as u64, Site::Push(self.pushes))?;
+        }
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.merged = b.clone();
+            self.reindex();
+            return Ok(PushOutcome::clean());
+        }
+        if b.is_empty() {
+            return Ok(PushOutcome::clean());
+        }
+        let keys = self.precomputed_push_keys(b);
+        self.merge_model_guarded(&Incoming::raw_with_keys(b, keys.as_ref()), meter)
+    }
+
+    /// Guarded variant of [`CompositionSession::push_prepared`]: same
+    /// containment and budget semantics as
+    /// [`CompositionSession::push_guarded`]. Panics (only) if `p` was
+    /// prepared under options with a different
+    /// [fingerprint](ComposeOptions::fingerprint) — that is caller
+    /// misuse, not input-driven.
+    pub fn push_prepared_guarded(
+        &mut self,
+        p: &PreparedModel,
+        meter: Option<&Meter>,
+    ) -> Result<PushOutcome, ExecError> {
+        p.check_options(self.options());
+        if let Some(m) = meter {
+            m.charge(p.model().component_count() as u64, Site::Push(self.pushes))?;
+        }
+        self.pushes += 1;
+        if self.merged.is_empty() {
+            self.adopt_prepared(p);
+            return Ok(PushOutcome::clean());
+        }
+        if p.model().is_empty() {
+            return Ok(PushOutcome::clean());
+        }
+        self.merge_model_guarded(&Incoming::prepared(p), meter)
+    }
+
     /// Finish, returning the composed model, cumulative log and mappings.
     pub fn finish(self) -> ComposeResult {
         ComposeResult { model: self.merged, log: self.log, mappings: self.mappings }
@@ -518,6 +576,33 @@ impl<'o> CompositionSession<'o> {
     /// that only a subsequent push would consume (the merged model, log
     /// and mappings are unaffected) — used by the one-shot entry points.
     fn merge_model(&mut self, inc: &Incoming<'_>, final_push: bool) {
+        let start = self.begin_push(inc);
+
+        // The Fig. 4 passes: as a dependency-DAG pipeline on scoped worker
+        // threads when the knobs and the push shape allow it, else in
+        // strict serial order. Output is bit-for-bit identical either way
+        // (property-tested across thread counts).
+        match self.pipeline_workers(inc) {
+            Some(workers) => {
+                if let Err(fault) = pipeline::run(self, inc, workers, None) {
+                    // Unguarded entry point: keep the historical contract
+                    // (a pass panic aborts the push) rather than silently
+                    // degrading. push_guarded is the containing variant.
+                    panic!("a merge pass panicked: {fault}");
+                }
+            }
+            None => self.merge_passes_serial(inc),
+        }
+
+        self.finish_push(start, final_push);
+    }
+
+    /// Everything a push does before the merge passes run: reset the
+    /// per-push state, seed both sides' initial values, snapshot the
+    /// accumulator's component-list lengths and pre-size for the incoming
+    /// model. Shared by the plain and guarded merge paths (the guarded
+    /// path re-runs it for the serial retry after a rollback).
+    fn begin_push(&mut self, inc: &Incoming<'_>) -> PushStart {
         // Per-push state: fresh mappings and initial values, clean deltas
         // (exactly what a pairwise `compose` would start from).
         self.push_maps.clear();
@@ -566,17 +651,84 @@ impl<'o> CompositionSession<'o> {
         self.merged.constraints.reserve(b.constraints.len());
         self.merged.reactions.reserve(b.reactions.len());
         self.merged.events.reserve(b.events.len());
+        start
+    }
 
-        // The Fig. 4 passes: as a dependency-DAG pipeline on scoped worker
-        // threads when the knobs and the push shape allow it, else in
-        // strict serial order. Output is bit-for-bit identical either way
-        // (property-tested across thread counts).
-        match self.pipeline_workers(inc) {
-            Some(workers) => pipeline::run(self, inc, workers),
-            None => self.merge_passes_serial(inc),
+    /// Undo a push whose merge passes did not complete: the passes only
+    /// ever *append* to the accumulator (conflicts keep the first entry;
+    /// reconciliation reads and logs but never rewrites), so truncating
+    /// every component list and the log back to their pre-push lengths
+    /// restores the exact pre-push model, and one `reindex` rebuilds the
+    /// derived state from it. O(accumulator), paid only on the fault path.
+    fn rollback_push(&mut self, start: PushStart, log_start: usize) {
+        let m = &mut self.merged;
+        m.function_definitions.truncate(start.functions);
+        m.unit_definitions.truncate(start.units);
+        m.compartment_types.truncate(start.compartment_types);
+        m.species_types.truncate(start.species_types);
+        m.compartments.truncate(start.compartments);
+        m.species.truncate(start.species);
+        m.parameters.truncate(start.parameters);
+        m.initial_assignments.truncate(start.initial_assignments);
+        m.rules.truncate(start.rules);
+        m.constraints.truncate(start.constraints);
+        m.reactions.truncate(start.reactions);
+        m.events.truncate(start.events);
+        self.log.events.truncate(log_start);
+        self.push_maps.clear();
+        self.push_mask.clear();
+        self.reindex();
+    }
+
+    /// The contained merge behind the guarded push entry points: the
+    /// degradation ladder of ISSUE 6. Rung one is the pipelined DAG
+    /// executor (when the push engages it) with per-pass deadline checks
+    /// and contained worker panics; on a fault the push is rolled back
+    /// and retried once on the serial reference path, which produces the
+    /// identical result ([`crate::guard::PushOutcome::degraded`] records
+    /// the fault). A serial-path panic is contained too: the accumulator
+    /// is rolled back to its exact pre-push state and the fault returned.
+    fn merge_model_guarded(
+        &mut self,
+        inc: &Incoming<'_>,
+        meter: Option<&Meter>,
+    ) -> Result<PushOutcome, ExecError> {
+        let log_start = self.log.events.len();
+        let start = self.begin_push(inc);
+
+        let mut degraded = None;
+        if let Some(workers) = self.pipeline_workers(inc) {
+            match pipeline::run(self, inc, workers, meter) {
+                Ok(()) => {
+                    self.finish_push(start, false);
+                    return Ok(PushOutcome::clean());
+                }
+                Err(fault) => {
+                    self.rollback_push(start, log_start);
+                    degraded = Some(fault);
+                    // Re-seed the per-push state the rollback discarded
+                    // before the serial retry.
+                    self.begin_push(inc);
+                }
+            }
         }
 
-        self.finish_push(start, final_push);
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.merge_passes_serial(inc)
+        }));
+        match attempt {
+            Ok(()) => {
+                self.finish_push(start, false);
+                Ok(PushOutcome { degraded })
+            }
+            Err(payload) => {
+                self.rollback_push(start, log_start);
+                Err(ExecError::Panicked {
+                    site: Site::Push(self.pushes - 1),
+                    detail: crate::guard::panic_detail(payload.as_ref()),
+                })
+            }
+        }
     }
 
     /// Should this push run the pipelined merge, and with how many
@@ -619,6 +771,7 @@ impl<'o> CompositionSession<'o> {
     /// — the serial schedule, and the reference the pipelined path is
     /// property-tested against.
     fn merge_passes_serial(&mut self, inc: &Incoming<'_>) {
+        guard::fail_point(Site::Push(self.pushes.saturating_sub(1)));
         macro_rules! env {
             () => {
                 &mut PassEnv {

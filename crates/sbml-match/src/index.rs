@@ -38,15 +38,18 @@
 //! pattern the Fig. 8 all-pairs workload uses.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use sbml_compose::guard::{self, Site};
 use sbml_compose::index::{FastMap, FastSet};
 use sbml_compose::{BatchComposer, ComposeOptions, Composer, PreparedModel};
 use sbml_model::{Model, Reaction};
 
 use crate::graph::MatchGraph;
 use crate::semantics::MatchSemantics;
-use crate::vf2::{find_embedding, SearchOutcome};
+use crate::vf2::{find_embedding, find_embedding_limited, SearchLimits, SearchOutcome};
 
 /// Default VF2 step budget per (query, model) refinement.
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
@@ -94,6 +97,14 @@ pub struct CorpusMatches {
     /// The candidate models the index examined (ascending) — what the
     /// posting-list intersection could not rule out.
     pub candidates: Vec<usize>,
+    /// Candidates whose refinement ran out of step budget or deadline
+    /// before deciding, ascending. A non-empty list marks the result as
+    /// *partial*: the query might still embed in one of these models.
+    pub truncated: Vec<usize>,
+    /// Candidates whose refinement panicked, ascending. The fault is
+    /// contained per candidate — every other model's verdict is exactly
+    /// what a fault-free run produces.
+    pub failed: Vec<usize>,
 }
 
 /// A query analysed once against an index's options: its match graph,
@@ -135,7 +146,23 @@ pub struct MatchIndex {
     participant_sets: Vec<FastSet<String>>,
     batch: BatchComposer,
     budget: u64,
+    /// Per-query wall-clock allowance for the refinement stage; `None`
+    /// (the default) means unlimited.
+    deadline: Option<Duration>,
     top_k: usize,
+}
+
+/// Per-candidate refinement verdict, internal to
+/// [`MatchIndex::query_corpus_prepared`].
+enum Refined {
+    /// The query embeds; here is the witness.
+    Hit(Embedding),
+    /// The search space was exhausted — the query does not embed.
+    Miss,
+    /// Step budget or deadline ran out before the search decided.
+    Truncated,
+    /// The refinement panicked (contained per candidate).
+    Failed,
 }
 
 /// The node-key multiset signature of a reaction's participants:
@@ -274,6 +301,7 @@ impl MatchIndex {
             participant_sets,
             batch,
             budget: DEFAULT_BUDGET,
+            deadline: None,
             top_k: 10,
             options: options.clone(),
         }
@@ -292,6 +320,20 @@ impl MatchIndex {
     #[must_use]
     pub fn with_budget(mut self, budget: u64) -> MatchIndex {
         self.budget = budget;
+        self
+    }
+
+    /// Bound the wall-clock time each query's refinement stage may spend
+    /// (default: unlimited). Candidates still undecided when the deadline
+    /// passes come back in [`CorpusMatches::truncated`] instead of
+    /// silently counting as misses, and approximate ranking still runs —
+    /// the degradation ladder's "ranked partial answer beats no answer"
+    /// rung. Unlike the step budget, a deadline makes *which* candidates
+    /// truncate machine-speed dependent; results stay deterministic only
+    /// per (machine, load).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u64) -> MatchIndex {
+        self.deadline = Some(Duration::from_millis(ms));
         self
     }
 
@@ -396,10 +438,25 @@ impl MatchIndex {
     }
 
     fn refine(&self, qa: &PreparedQuery, target: usize) -> Option<Embedding> {
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        match self.refine_limited(qa, target, deadline) {
+            Refined::Hit(embedding) => Some(embedding),
+            Refined::Miss | Refined::Truncated | Refined::Failed => None,
+        }
+    }
+
+    fn refine_limited(
+        &self,
+        qa: &PreparedQuery,
+        target: usize,
+        deadline: Option<Instant>,
+    ) -> Refined {
         let tg = &self.graphs[target];
-        let mapping = match find_embedding(&qa.graph, tg, self.budget) {
+        let limits = SearchLimits { budget: self.budget, deadline };
+        let mapping = match find_embedding_limited(&qa.graph, tg, limits) {
             SearchOutcome::Found(mapping) => mapping,
-            SearchOutcome::NotFound | SearchOutcome::BudgetExhausted => return None,
+            SearchOutcome::NotFound => return Refined::Miss,
+            SearchOutcome::BudgetExhausted => return Refined::Truncated,
         };
         let target_model = self.corpus[target].model();
         let species = mapping
@@ -431,7 +488,7 @@ impl MatchIndex {
             .into_iter()
             .map(|(qr, tid)| (qa.reaction_ids[qr].clone(), tid))
             .collect();
-        Some(Embedding { species, reactions })
+        Refined::Hit(Embedding { species, reactions })
     }
 
     /// Exact match against one corpus model: the witnessing embedding, or
@@ -445,6 +502,13 @@ impl MatchIndex {
     /// [`BatchComposer::map_corpus`]), and — when no model embeds the
     /// query exactly — ranked approximate matches. Deterministic for a
     /// given index and query, independent of thread count.
+    ///
+    /// Refinement faults never abort the query: a candidate whose search
+    /// exhausts [`MatchIndex::with_budget`] /
+    /// [`MatchIndex::with_deadline_ms`] lands in
+    /// [`CorpusMatches::truncated`], one that panics lands in
+    /// [`CorpusMatches::failed`], and every other candidate's verdict is
+    /// bit-identical to a fault-free run.
     pub fn query_corpus(&self, query: &Model) -> CorpusMatches {
         self.query_corpus_prepared(&self.prepare_query(query))
     }
@@ -452,26 +516,46 @@ impl MatchIndex {
     /// [`MatchIndex::query_corpus`] over an already-prepared query.
     pub fn query_corpus_prepared(&self, qa: &PreparedQuery) -> CorpusMatches {
         let candidates = self.candidates_prepared(qa);
+        // One shared deadline for the whole refinement stage, not one per
+        // candidate — [`MatchIndex::with_deadline_ms`] bounds the query.
+        let deadline = self.deadline.map(|d| Instant::now() + d);
+        // A refinement that panics or overruns is contained to its own
+        // candidate: unwinding is caught here, budget/deadline overrun is
+        // reported by the search itself, and either way every other
+        // candidate's verdict is untouched.
+        let refine_one = |k: usize| -> Refined {
+            catch_unwind(AssertUnwindSafe(|| {
+                guard::fail_point(Site::Query(k));
+                self.refine_limited(qa, candidates[k], deadline)
+            }))
+            .unwrap_or(Refined::Failed)
+        };
         // Refinement of a typical (small) candidate set is microseconds —
         // below the cutoff, spawning workers costs more than it overlaps.
         // Results are identical either way.
         const PARALLEL_REFINE_THRESHOLD: usize = 16;
-        let refined: Vec<Option<Embedding>> =
+        let refined: Vec<Refined> =
             if candidates.len() < PARALLEL_REFINE_THRESHOLD {
-                candidates.iter().map(|&i| self.refine(qa, i)).collect()
+                (0..candidates.len()).map(refine_one).collect()
             } else {
                 let subset: Vec<Arc<PreparedModel>> =
                     candidates.iter().map(|&i| Arc::clone(&self.corpus[i])).collect();
-                self.batch.map_corpus(&subset, |k, _| self.refine(qa, candidates[k]))
+                self.batch.map_corpus(&subset, |k, _| refine_one(k))
             };
-        let exact: Vec<CorpusHit> = candidates
-            .iter()
-            .zip(refined)
-            .filter_map(|(&model, embedding)| embedding.map(|e| CorpusHit { model, embedding: e }))
-            .collect();
+        let mut exact = Vec::new();
+        let mut truncated = Vec::new();
+        let mut failed = Vec::new();
+        for (&model, outcome) in candidates.iter().zip(refined) {
+            match outcome {
+                Refined::Hit(embedding) => exact.push(CorpusHit { model, embedding }),
+                Refined::Miss => {}
+                Refined::Truncated => truncated.push(model),
+                Refined::Failed => failed.push(model),
+            }
+        }
         let approximate =
             if exact.is_empty() { self.rank_approximate(qa) } else { Vec::new() };
-        CorpusMatches { exact, approximate, candidates }
+        CorpusMatches { exact, approximate, candidates, truncated, failed }
     }
 
     /// Reference scan: run the VF2 refiner against **every** corpus model
@@ -730,6 +814,33 @@ mod tests {
         assert_eq!(hits, vec![0, 2]);
         let none = ComposeOptions::none();
         assert!(index(&none).query_corpus(&synonym_query).exact.is_empty());
+    }
+
+    #[test]
+    fn open_limits_leave_partial_lists_empty() {
+        let options = ComposeOptions::default();
+        let result = index(&options).query_corpus(&fragment());
+        assert!(result.truncated.is_empty());
+        assert!(result.failed.is_empty());
+    }
+
+    #[test]
+    fn exhausted_budget_reports_truncated_candidates() {
+        let options = ComposeOptions::default();
+        let result = index(&options).with_budget(0).query_corpus(&fragment());
+        assert!(result.exact.is_empty(), "no search steps, no verdicts");
+        assert_eq!(result.truncated, result.candidates, "every undecided candidate is listed");
+        assert!(result.failed.is_empty());
+        assert!(!result.approximate.is_empty(), "a truncated query still ranks near-misses");
+    }
+
+    #[test]
+    fn passed_deadline_reports_truncated_candidates() {
+        let options = ComposeOptions::default();
+        let result = index(&options).with_deadline_ms(0).query_corpus(&fragment());
+        assert!(result.exact.is_empty());
+        assert_eq!(result.truncated, result.candidates);
+        assert!(!result.approximate.is_empty());
     }
 
     #[test]

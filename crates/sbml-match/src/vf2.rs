@@ -19,7 +19,12 @@
 //! The search is deterministic (candidates ascend by target node id) and
 //! bounded by a step `budget`; an exhausted budget reports
 //! [`SearchOutcome::BudgetExhausted`] rather than looping on adversarial
-//! self-similar graphs.
+//! self-similar graphs. [`find_embedding_limited`] additionally accepts a
+//! wall-clock deadline ([`SearchLimits`]), checked every
+//! [`DEADLINE_CHECK_INTERVAL`] steps, which exhausts the search the same
+//! way — the outcome vocabulary stays the same, only the cause differs.
+
+use std::time::Instant;
 
 use crate::graph::MatchGraph;
 
@@ -31,8 +36,23 @@ pub enum SearchOutcome {
     Found(Vec<u32>),
     /// No embedding exists.
     NotFound,
-    /// The step budget ran out before the search space was exhausted.
+    /// The step budget (or the wall-clock deadline of
+    /// [`SearchLimits`]) ran out before the search space was exhausted.
     BudgetExhausted,
+}
+
+/// Steps between wall-clock checks in a deadline-bounded search: rare
+/// enough that `Instant::now()` never shows up in profiles, frequent
+/// enough to bound overrun to microseconds of feasibility work.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+
+/// Resource limits for one embedding search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Feasibility-step budget (as in [`find_embedding`]).
+    pub budget: u64,
+    /// Optional absolute wall-clock cutoff.
+    pub deadline: Option<Instant>,
 }
 
 impl SearchOutcome {
@@ -86,6 +106,9 @@ struct Search<'a> {
     mapping: Vec<u32>,
     used: Vec<bool>,
     budget: u64,
+    deadline: Option<Instant>,
+    /// Steps until the next deadline check.
+    until_check: u64,
 }
 
 const UNMAPPED: u32 = u32::MAX;
@@ -180,6 +203,15 @@ impl Search<'_> {
                 return Err(());
             }
             self.budget -= 1;
+            if let Some(deadline) = self.deadline {
+                self.until_check = self.until_check.saturating_sub(1);
+                if self.until_check == 0 {
+                    if Instant::now() >= deadline {
+                        return Err(());
+                    }
+                    self.until_check = DEADLINE_CHECK_INTERVAL;
+                }
+            }
             if !self.feasible(qn, tn) {
                 continue;
             }
@@ -199,6 +231,19 @@ impl Search<'_> {
 /// Search for an embedding of `query` in `target` within `budget`
 /// feasibility steps; see the [module docs](self).
 pub fn find_embedding(query: &MatchGraph, target: &MatchGraph, budget: u64) -> SearchOutcome {
+    find_embedding_limited(query, target, SearchLimits { budget, deadline: None })
+}
+
+/// [`find_embedding`] under full [`SearchLimits`]: a step budget plus an
+/// optional wall-clock deadline. A passed deadline reports
+/// [`SearchOutcome::BudgetExhausted`], exactly like an exhausted step
+/// budget — callers degrade the same way for both.
+pub fn find_embedding_limited(
+    query: &MatchGraph,
+    target: &MatchGraph,
+    limits: SearchLimits,
+) -> SearchOutcome {
+    let SearchLimits { budget, deadline } = limits;
     if query.node_count() == 0 {
         return SearchOutcome::Found(Vec::new());
     }
@@ -223,6 +268,10 @@ pub fn find_embedding(query: &MatchGraph, target: &MatchGraph, budget: u64) -> S
         mapping: vec![UNMAPPED; query.node_count()],
         used: vec![false; target.node_count()],
         budget,
+        deadline,
+        // First check on the first step: an already-passed deadline must
+        // cut the search off promptly, not after one full interval.
+        until_check: 1,
     };
     match search.extend(0) {
         Err(()) => SearchOutcome::BudgetExhausted,
@@ -335,5 +384,17 @@ mod tests {
         let m = chain("m", &["A", "B", "C", "D", "E"]);
         let g = graph(&m, &options);
         assert_eq!(find_embedding(&g, &g, 1), SearchOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn passed_deadline_exhausts_the_search() {
+        let options = ComposeOptions::none();
+        let m = chain("m", &["A", "B", "C", "D", "E"]);
+        let g = graph(&m, &options);
+        let limits = SearchLimits { budget: u64::MAX, deadline: Some(Instant::now()) };
+        assert_eq!(find_embedding_limited(&g, &g, limits), SearchOutcome::BudgetExhausted);
+        // No deadline: same limits type, normal completion.
+        let open = SearchLimits { budget: 10_000, deadline: None };
+        assert!(find_embedding_limited(&g, &g, open).mapping().is_some());
     }
 }

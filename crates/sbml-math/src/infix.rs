@@ -18,10 +18,19 @@
 use crate::ast::{Constant, CsymbolKind, MathExpr, Op};
 use crate::error::MathError;
 
+/// Deepest operator/paren/call nesting [`parse`] accepts. Recursive
+/// descent spends stack per level — roughly nine frames for each
+/// parenthesis — so unbounded nesting would let a hostile formula
+/// (`"((((…"` or `"!!!!…"`) overflow the stack: an abort, not a
+/// catchable error. The bound must leave the guard reachable on a 2 MiB
+/// test-thread stack under debug-sized frames. Real kinetic laws nest a
+/// handful of levels; 128 is orders of magnitude of headroom.
+const MAX_DEPTH: usize = 128;
+
 /// Parse an infix formula into an expression tree.
 pub fn parse(formula: &str) -> Result<MathExpr, MathError> {
     let tokens = lex(formula)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser { tokens, pos: 0, depth: 0 };
     let expr = parser.parse_or()?;
     if parser.pos != parser.tokens.len() {
         return Err(MathError::Syntax {
@@ -186,7 +195,15 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, MathError> {
                 i = j;
             }
             _ => {
-                let c = src[i..].chars().next().expect("in range");
+                // `i` always sits on a char boundary (every arm advances
+                // by whole characters), but a lexer must not be the place
+                // that proves it: fail as a syntax error, never a panic.
+                let Some(c) = src.get(i..).and_then(|rest| rest.chars().next()) else {
+                    return Err(MathError::Syntax {
+                        offset: i,
+                        detail: "unexpected byte inside a character".to_owned(),
+                    });
+                };
                 if c.is_alphabetic() || c == '_' {
                     let mut j = i;
                     for ch in src[i..].chars() {
@@ -213,9 +230,30 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, MathError> {
 struct Parser {
     tokens: Vec<(usize, Tok)>,
     pos: usize,
+    /// Current recursion depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
+    /// Enter one nesting level; errors instead of risking stack overflow
+    /// past [`MAX_DEPTH`]. Pair with [`Parser::ascend`] on success paths
+    /// (an error aborts the whole parse, so unwinding the counter is
+    /// moot there).
+    fn descend(&mut self) -> Result<(), MathError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(MathError::Syntax {
+                offset: self.current_offset(),
+                detail: format!("expression nesting exceeds {MAX_DEPTH} levels"),
+            });
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.tokens.get(self.pos).map(|(_, t)| t)
     }
@@ -277,7 +315,9 @@ impl Parser {
     fn parse_not(&mut self) -> Result<MathExpr, MathError> {
         if self.peek() == Some(&Tok::Bang) {
             self.pos += 1;
+            self.descend()?;
             let inner = self.parse_not()?;
+            self.ascend();
             return Ok(MathExpr::apply(Op::Not, vec![inner]));
         }
         self.parse_rel()
@@ -341,7 +381,9 @@ impl Parser {
         match self.peek() {
             Some(Tok::Minus) => {
                 self.pos += 1;
+                self.descend()?;
                 let inner = self.parse_unary()?;
+                self.ascend();
                 // Fold numeric literals immediately: -3 is a number.
                 if let MathExpr::Num(v) = inner {
                     Ok(MathExpr::Num(-v))
@@ -351,7 +393,10 @@ impl Parser {
             }
             Some(Tok::Plus) => {
                 self.pos += 1;
-                self.parse_unary()
+                self.descend()?;
+                let inner = self.parse_unary();
+                self.ascend();
+                inner
             }
             _ => self.parse_power(),
         }
@@ -361,8 +406,11 @@ impl Parser {
         let base = self.parse_atom()?;
         if self.peek() == Some(&Tok::Caret) {
             self.pos += 1;
-            // right-associative; exponent may itself be unary-negated
+            // right-associative (recursing per link, hence the depth
+            // charge); exponent may itself be unary-negated
+            self.descend()?;
             let exponent = self.parse_unary()?;
+            self.ascend();
             return Ok(MathExpr::apply(Op::Power, vec![base, exponent]));
         }
         Ok(base)
@@ -373,13 +421,16 @@ impl Parser {
         match self.bump() {
             Some(Tok::Num(v)) => Ok(MathExpr::Num(v)),
             Some(Tok::LParen) => {
+                self.descend()?;
                 let inner = self.parse_or()?;
+                self.ascend();
                 self.expect(Tok::RParen)?;
                 Ok(inner)
             }
             Some(Tok::Ident(name)) => {
                 if self.peek() == Some(&Tok::LParen) {
                     self.pos += 1;
+                    self.descend()?;
                     let mut args = Vec::new();
                     if self.peek() != Some(&Tok::RParen) {
                         loop {
@@ -391,6 +442,7 @@ impl Parser {
                             }
                         }
                     }
+                    self.ascend();
                     self.expect(Tok::RParen)?;
                     build_call(&name, args, offset)
                 } else {
@@ -498,11 +550,8 @@ fn build_call(name: &str, mut args: Vec<MathExpr>, offset: usize) -> Result<Math
             Ok(MathExpr::apply(Op::Power, args))
         }
         "piecewise" => {
-            let otherwise = if args.len() % 2 == 1 {
-                Some(Box::new(args.pop().expect("odd length")))
-            } else {
-                None
-            };
+            let otherwise =
+                if args.len() % 2 == 1 { args.pop().map(Box::new) } else { None };
             let mut pieces = Vec::with_capacity(args.len() / 2);
             let mut it = args.into_iter();
             while let (Some(v), Some(c)) = (it.next(), it.next()) {
@@ -681,6 +730,37 @@ mod tests {
         for (src, _) in [("a +", 3), ("(a", 2), ("a b", 2), ("1.2.3", 0), ("a = b", 2), ("&", 0)] {
             let err = parse(src).unwrap_err();
             assert!(matches!(err, MathError::Syntax { .. }), "{src}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn moderate_nesting_parses() {
+        // Well inside MAX_DEPTH: parentheses, negation, powers.
+        let deep = format!("{}x{}", "(".repeat(100), ")".repeat(100));
+        assert!(parse(&deep).is_ok());
+        assert!(parse(&format!("{}x", "!".repeat(100))).is_ok());
+        assert!(parse(&format!("x{}", "^x".repeat(100))).is_ok());
+        assert!(parse(&format!("{}x", "-".repeat(100))).is_ok());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // Each shape drives a different recursion cycle; all must come
+        // back as Err, not blow the stack.
+        for src in [
+            format!("{}x{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}x", "!".repeat(100_000)),
+            format!("{}x", "-".repeat(100_000)),
+            format!("{}x", "+".repeat(100_000)),
+            format!("x{}", "^x".repeat(100_000)),
+            format!("{}x", "f(".repeat(100_000)),
+        ] {
+            let err = parse(&src).unwrap_err();
+            assert!(
+                matches!(err, MathError::Syntax { .. }),
+                "{}...: {err:?}",
+                &src[..20]
+            );
         }
     }
 

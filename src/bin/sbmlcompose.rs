@@ -4,8 +4,9 @@
 //! sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]
 //!                      [--semantics heavy|light|none] [--index hash|btree|linear]
 //!                      [--pipeline on|off] [--pipeline-threads N]
+//!                      [--deadline-ms N] [--max-steps N]
 //! sbmlcompose match    <query.xml> <corpus.xml>... [--semantics heavy|light|none]
-//!                      [--top K] [--threads N]
+//!                      [--top K] [--threads N] [--deadline-ms N] [--max-steps N]
 //! sbmlcompose split    <model.xml> [-o prefix]
 //! sbmlcompose zoom     <model.xml> --seed <species>[,<species>...] [--radius N] [-o out.xml]
 //! sbmlcompose validate <model.xml>
@@ -23,7 +24,12 @@
 //! `--semantics` selects the matching level (heavy: reaction content-key
 //! edges; light: synonym-closed labels; none: exact labels) and
 //! `--threads` bounds the parallel corpus search (0 = one per core).
-//! Exit status: 0 when at least one exact hit exists, 1 otherwise.
+//! `--max-steps` caps the VF2 step budget per candidate and
+//! `--deadline-ms` bounds each query's refinement wall-clock; candidates
+//! still undecided when a limit trips are reported as `truncated` lines.
+//! Exit status: 0 when at least one exact hit exists, 1 on a definitive
+//! miss, 4 when there is no exact hit but some candidates were truncated
+//! or failed (a partial answer, not a verdict).
 //!
 //! `compose` takes **two or more** input files and folds them left to
 //! right (the first file is the base; its model id survives). Two files
@@ -41,8 +47,18 @@
 //! merged SBML goes to stdout; without `--log` the decision log
 //! (duplicates, mappings, renames, conflicts) goes to stderr.
 //!
+//! `--deadline-ms` / `--max-steps` put the whole compose run under a
+//! [`Budget`]: pushes are merged through a guarded session ([the
+//! degradation ladder](sbmlcompose::compose::guard)), and if the budget
+//! runs out (or a push fails on both the pipelined and serial paths) the
+//! models merged so far are still written, flagged partial via exit 4.
+//!
 //! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
-//! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors.
+//! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors,
+//! 3 on unreadable or malformed input files, 4 on partial results
+//! (budget or deadline exhausted).
+//!
+//! [`Budget`]: sbmlcompose::compose::Budget
 //!
 //! [`Composer::prepare`]: sbmlcompose::compose::Composer::prepare
 //! [`CompositionSession`]: sbmlcompose::compose::CompositionSession
@@ -51,22 +67,52 @@
 use std::fs;
 use std::process::ExitCode;
 
-use sbmlcompose::compose::{ComposeOptions, Composer, IndexKind, SemanticsLevel};
+use sbmlcompose::compose::{
+    Budget, ComposeOptions, Composer, CompositionSession, ExecError, IndexKind, SemanticsLevel,
+};
 use sbmlcompose::mc2::{check_probability, Formula};
 use sbmlcompose::model::{parse_sbml, validate, write_sbml, Model, Severity};
+
+/// What went wrong before the command could run, mapped to a distinct
+/// exit code so scripts can tell "you called me wrong" (2) from "your
+/// file is unreadable or not SBML" (3). Exit 4 is reserved for *partial*
+/// results (a budget/deadline cut the work short) and is returned by the
+/// commands themselves, not through this type.
+enum CliError {
+    /// Bad flags or arguments — exit 2.
+    Usage(String),
+    /// Unreadable, unwritable or malformed files — exit 3.
+    Input(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Usage(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::Usage(message.to_owned())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
+        }
+        Err(CliError::Input(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
     let Some(command) = args.first() else {
         print_usage();
         return Ok(ExitCode::from(2));
@@ -85,7 +131,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             print_usage();
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown command {other:?} (try --help)")),
+        other => Err(format!("unknown command {other:?} (try --help)").into()),
     }
 }
 
@@ -97,19 +143,25 @@ fn print_usage() {
          \x20 sbmlcompose compose  <a.xml> <b.xml> [<c.xml>...] [-o merged.xml] [--log log.txt]\n\
          \x20                      [--semantics heavy|light|none] [--index hash|btree|linear]\n\
          \x20                      [--pipeline on|off] [--pipeline-threads N]\n\
+         \x20                      [--deadline-ms N] [--max-steps N]\n\
          \x20        composes two or more models left to right (first file is the base).\n\
          \x20        3+ files are analysed once each (prepared models) and folded through\n\
          \x20        one composition session; output is identical to the pairwise fold.\n\
          \x20        -o: merged SBML (default stdout); --log: decision log (default stderr)\n\
          \x20        --pipeline: merge-pass dependency-DAG pipeline (default on; output\n\
          \x20        identical either way); --pipeline-threads: worker bound (0 = cores)\n\
+         \x20        --deadline-ms/--max-steps: wall-clock/work budget; when it runs out\n\
+         \x20        the models merged so far are written and the exit code is 4\n\
          \x20 sbmlcompose match    <query.xml> <corpus.xml>... [--semantics heavy|light|none]\n\
-         \x20                      [--top K] [--threads N]\n\
+         \x20                      [--top K] [--threads N] [--deadline-ms N] [--max-steps N]\n\
          \x20        (alias: query) searches the corpus for the query subnetwork: exact\n\
          \x20        embeddings are reported with their species/reaction mappings; when\n\
          \x20        none exists the top K (default 10) approximate matches are ranked\n\
          \x20        by content-key Jaccard + mapped fraction. --threads bounds the\n\
-         \x20        parallel corpus search (0 = cores). exit 0 iff an exact hit exists\n\
+         \x20        parallel corpus search (0 = cores); --max-steps/--deadline-ms bound\n\
+         \x20        each candidate's VF2 search (undecided candidates print as\n\
+         \x20        'truncated'). exit 0 iff an exact hit exists; 4 = partial answer\n\
+         \x20 exit codes: 0 success/hit, 1 miss/failure, 2 usage, 3 bad input, 4 partial\n\
          \x20 sbmlcompose split    <model.xml> [-o prefix]\n\
          \x20 sbmlcompose zoom     <model.xml> --seed <ids> [--radius N] [-o out.xml]\n\
          \x20 sbmlcompose validate <model.xml>\n\
@@ -130,38 +182,56 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
-fn load_model(path: &str) -> Result<Model, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_sbml(&text).map_err(|e| format!("{path}: {e}"))
+fn load_model(path: &str) -> Result<Model, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))?;
+    parse_sbml(&text).map_err(|e| CliError::Input(format!("{path}: {e}")))
 }
 
-fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
+/// Write a file, classifying failure as an I/O (exit 3) error.
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    fs::write(path, contents).map_err(|e| CliError::Input(format!("cannot write {path}: {e}")))
+}
+
+/// Parse the shared `--deadline-ms N` / `--max-steps N` budget flags.
+fn take_budget_flags(args: &mut Vec<String>) -> Result<(Option<u64>, Option<u64>), CliError> {
+    let deadline_ms = take_flag(args, "--deadline-ms")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --deadline-ms {v:?}")))
+        .transpose()?;
+    let max_steps = take_flag(args, "--max-steps")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --max-steps {v:?}")))
+        .transpose()?;
+    Ok((deadline_ms, max_steps))
+}
+
+fn cmd_compose(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let out = take_flag(&mut args, "-o");
     let log_path = take_flag(&mut args, "--log");
+    let (deadline_ms, max_steps) = take_budget_flags(&mut args)?;
     let semantics = match take_flag(&mut args, "--semantics").as_deref() {
         None | Some("heavy") => SemanticsLevel::Heavy,
         Some("light") => SemanticsLevel::Light,
         Some("none") => SemanticsLevel::None,
-        Some(other) => return Err(format!("unknown semantics level {other:?}")),
+        Some(other) => return Err(format!("unknown semantics level {other:?}").into()),
     };
     let index = match take_flag(&mut args, "--index").as_deref() {
         None | Some("hash") => IndexKind::HashMap,
         Some("btree") => IndexKind::BTree,
         Some("linear") => IndexKind::LinearScan,
-        Some(other) => return Err(format!("unknown index kind {other:?}")),
+        Some(other) => return Err(format!("unknown index kind {other:?}").into()),
     };
     let merge_pipeline = match take_flag(&mut args, "--pipeline").as_deref() {
         None | Some("on") => true,
         Some("off") => false,
-        Some(other) => return Err(format!("--pipeline takes on|off, not {other:?}")),
+        Some(other) => return Err(format!("--pipeline takes on|off, not {other:?}").into()),
     };
     let pipeline_threads = match take_flag(&mut args, "--pipeline-threads") {
         None => 0,
         Some(v) => v.parse::<usize>().map_err(|_| format!("bad --pipeline-threads {v:?}"))?,
     };
     if args.len() < 2 {
-        return Err("compose needs at least two input files".to_owned());
+        return Err("compose needs at least two input files".into());
     }
 
     let models = args.iter().map(|path| load_model(path)).collect::<Result<Vec<_>, _>>()?;
@@ -173,22 +243,55 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
     options.index = index;
     options.merge_pipeline = merge_pipeline;
     options.pipeline_threads = pipeline_threads;
-    let composer = Composer::new(options);
-    let result = if let [a, b] = models.as_slice() {
+    let (result, guard_fault) = if deadline_ms.is_some() || max_steps.is_some() {
+        // Budgeted run: fold through a guarded session. A push that
+        // exhausts the budget (or panics on both the pipelined and the
+        // serial path) stops the fold; everything merged before it is
+        // still written out, flagged as partial via exit code 4.
+        let mut budget = Budget::unlimited();
+        if let Some(ms) = deadline_ms {
+            budget = budget.with_deadline_ms(ms);
+        }
+        if let Some(steps) = max_steps {
+            budget = budget.with_max_steps(steps);
+        }
+        let meter = budget.start();
+        let mut session = CompositionSession::new(&options);
+        let mut fault: Option<ExecError> = None;
+        for (i, model) in models.iter().enumerate() {
+            match session.push_guarded(model, Some(&meter)) {
+                Ok(outcome) => {
+                    if let Some(degraded) = outcome.degraded {
+                        eprintln!(
+                            "warning: {} merged on the serial fallback path: {degraded}",
+                            args[i]
+                        );
+                    }
+                }
+                Err(error) => {
+                    eprintln!("warning: stopped before {}: {error}", args[i]);
+                    fault = Some(error);
+                    break;
+                }
+            }
+        }
+        (session.finish(), fault)
+    } else if let [a, b] = models.as_slice() {
         // One-shot pair: no reuse to amortise a preparation over.
-        composer.compose(a, b)
+        (Composer::new(options).compose(a, b), None)
     } else {
         // Longer chains run through one session over prepared models, so
         // no step re-derives a model's analysis.
+        let composer = Composer::new(options);
         let prepared: Vec<_> = models.iter().map(|m| composer.prepare(m)).collect();
-        sbmlcompose::compose::compose_many_prepared(&composer, &prepared)
+        (sbmlcompose::compose::compose_many_prepared(&composer, &prepared), None)
     };
 
     let xml = write_sbml(&result.model);
     let chain = models.iter().map(|m| m.id.as_str()).collect::<Vec<_>>().join(" + ");
     match out {
         Some(path) => {
-            fs::write(&path, xml).map_err(|e| format!("cannot write {path}: {e}"))?;
+            write_file(&path, &xml)?;
             eprintln!(
                 "composed {} -> {} ({} species, {} reactions; {})",
                 chain,
@@ -201,16 +304,19 @@ fn cmd_compose(args: &[String]) -> Result<ExitCode, String> {
         None => println!("{xml}"),
     }
     match log_path {
-        Some(path) => {
-            fs::write(&path, result.log.to_text())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
-        }
+        Some(path) => write_file(&path, &result.log.to_text())?,
         None => eprint!("{}", result.log.to_text()),
     }
-    Ok(ExitCode::SUCCESS)
+    match guard_fault {
+        Some(fault) => {
+            eprintln!("compose: output is partial: {fault}");
+            Ok(ExitCode::from(4))
+        }
+        None => Ok(ExitCode::SUCCESS),
+    }
 }
 
-fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_match(args: &[String]) -> Result<ExitCode, CliError> {
     use sbmlcompose::compose::{BatchComposer, Composer as MatchComposer};
     use sbmlcompose::matching::MatchIndex;
 
@@ -219,8 +325,9 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
         None | Some("heavy") => SemanticsLevel::Heavy,
         Some("light") => SemanticsLevel::Light,
         Some("none") => SemanticsLevel::None,
-        Some(other) => return Err(format!("unknown semantics level {other:?}")),
+        Some(other) => return Err(format!("unknown semantics level {other:?}").into()),
     };
+    let (deadline_ms, max_steps) = take_budget_flags(&mut args)?;
     let top: usize = take_flag(&mut args, "--top")
         .map(|v| v.parse().map_err(|_| format!("bad --top {v:?}")))
         .transpose()?
@@ -230,7 +337,7 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
         .transpose()?
         .unwrap_or(0);
     if args.len() < 2 {
-        return Err("match needs a query file and at least one corpus file".to_owned());
+        return Err("match needs a query file and at least one corpus file".into());
     }
     let query = load_model(&args[0])?;
     let corpus_paths = &args[1..];
@@ -244,7 +351,13 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
     };
     let batch = BatchComposer::new(MatchComposer::new(options.clone())).with_threads(threads);
     let prepared = batch.prepare_corpus(&corpus);
-    let index = MatchIndex::build_with_threads(prepared, &options, threads).with_top_k(top);
+    let mut index = MatchIndex::build_with_threads(prepared, &options, threads).with_top_k(top);
+    if let Some(steps) = max_steps {
+        index = index.with_budget(steps);
+    }
+    if let Some(ms) = deadline_ms {
+        index = index.with_deadline_ms(ms);
+    }
     let result = index.query_corpus(&query);
 
     eprintln!(
@@ -255,6 +368,17 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
         corpus.len(),
         result.candidates.len()
     );
+    // Partial verdicts first: candidates the refiner could not decide
+    // (budget/deadline ran out) or where it panicked (contained).
+    for &m in &result.truncated {
+        println!(
+            "truncated {} ({}): refinement budget exhausted before a verdict",
+            corpus_paths[m], corpus[m].id
+        );
+    }
+    for &m in &result.failed {
+        println!("failed {} ({}): refinement panicked", corpus_paths[m], corpus[m].id);
+    }
     if result.exact.is_empty() {
         println!("no exact embedding found");
         if result.approximate.is_empty() {
@@ -269,6 +393,11 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
                 hit.jaccard,
                 hit.mapped_fraction
             );
+        }
+        // Undecided candidates make "no hit" a partial answer, not a
+        // definitive miss — signal that distinctly.
+        if !result.truncated.is_empty() || !result.failed.is_empty() {
+            return Ok(ExitCode::from(4));
         }
         return Ok(ExitCode::FAILURE);
     }
@@ -295,24 +424,24 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_split(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_split(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let prefix = take_flag(&mut args, "-o").unwrap_or_else(|| "part".to_owned());
     let [path] = args.as_slice() else {
-        return Err("split needs exactly one input file".to_owned());
+        return Err("split needs exactly one input file".into());
     };
     let model = load_model(path)?;
     let parts = sbmlcompose::compose::split_components(&model);
     eprintln!("{} component(s)", parts.len());
     for (i, part) in parts.iter().enumerate() {
         let out = format!("{prefix}_{i}.xml");
-        fs::write(&out, write_sbml(part)).map_err(|e| format!("cannot write {out}: {e}"))?;
+        write_file(&out, &write_sbml(part))?;
         eprintln!("  {out}: {} species, {} reactions", part.species.len(), part.reactions.len());
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_zoom(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_zoom(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let seeds_raw =
         take_flag(&mut args, "--seed").ok_or("zoom needs --seed <species>[,<species>...]")?;
@@ -322,7 +451,7 @@ fn cmd_zoom(args: &[String]) -> Result<ExitCode, String> {
         .unwrap_or(1);
     let out = take_flag(&mut args, "-o");
     let [path] = args.as_slice() else {
-        return Err("zoom needs exactly one input file".to_owned());
+        return Err("zoom needs exactly one input file".into());
     };
     let model = load_model(path)?;
     let seeds: Vec<&str> = seeds_raw.split(',').map(str::trim).collect();
@@ -335,15 +464,15 @@ fn cmd_zoom(args: &[String]) -> Result<ExitCode, String> {
     );
     let xml = write_sbml(&sub);
     match out {
-        Some(p) => fs::write(&p, xml).map_err(|e| format!("cannot write {p}: {e}"))?,
+        Some(p) => write_file(&p, &xml)?,
         None => println!("{xml}"),
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_validate(args: &[String]) -> Result<ExitCode, CliError> {
     let [path] = args else {
-        return Err("validate needs exactly one input file".to_owned());
+        return Err("validate needs exactly one input file".into());
     };
     let model = load_model(path)?;
     let issues = validate(&model);
@@ -360,7 +489,7 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
     Ok(if errors == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-fn cmd_simulate(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_simulate(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let t_end: f64 = take_flag(&mut args, "--t-end")
         .map(|v| v.parse().map_err(|_| format!("bad --t-end {v:?}")))
@@ -372,7 +501,7 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, String> {
         .unwrap_or(0.01);
     let out = take_flag(&mut args, "-o");
     let [path] = args.as_slice() else {
-        return Err("simulate needs exactly one input file".to_owned());
+        return Err("simulate needs exactly one input file".into());
     };
     let model = load_model(path)?;
     let trace = sbmlcompose::sim::ode::simulate_rk4(&model, t_end, dt)
@@ -380,7 +509,7 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, String> {
     let csv = trace.to_csv();
     match out {
         Some(p) => {
-            fs::write(&p, csv).map_err(|e| format!("cannot write {p}: {e}"))?;
+            write_file(&p, &csv)?;
             eprintln!("{} samples x {} species -> {}", trace.len(), trace.species.len(), p);
         }
         None => print!("{csv}"),
@@ -388,7 +517,7 @@ fn cmd_simulate(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_check(args: &[String]) -> Result<ExitCode, CliError> {
     let mut args = args.to_vec();
     let property = take_flag(&mut args, "--property").ok_or("check needs --property '<PLTL>'")?;
     let runs: usize = take_flag(&mut args, "--runs")
@@ -404,7 +533,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         .transpose()?
         .unwrap_or(0.95);
     let [path] = args.as_slice() else {
-        return Err("check needs exactly one input file".to_owned());
+        return Err("check needs exactly one input file".into());
     };
     let model = load_model(path)?;
     let phi = Formula::parse(&property).map_err(|e| format!("bad property: {e}"))?;
@@ -421,19 +550,22 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
     Ok(if verdict.satisfied { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
     let [a_path, b_path] = args else {
-        return Err("diff needs exactly two input files".to_owned());
+        return Err("diff needs exactly two input files".into());
     };
-    let a = fs::read_to_string(a_path).map_err(|e| format!("cannot read {a_path}: {e}"))?;
-    let b = fs::read_to_string(b_path).map_err(|e| format!("cannot read {b_path}: {e}"))?;
+    let a = fs::read_to_string(a_path)
+        .map_err(|e| CliError::Input(format!("cannot read {a_path}: {e}")))?;
+    let b = fs::read_to_string(b_path)
+        .map_err(|e| CliError::Input(format!("cannot read {b_path}: {e}")))?;
     let equivalent =
-        sbmlcompose::textdiff::sbml_equivalent(&a, &b).map_err(|e| e.to_string())?;
+        sbmlcompose::textdiff::sbml_equivalent(&a, &b)
+            .map_err(|e| CliError::Input(e.to_string()))?;
     if equivalent {
         println!("equivalent (under SBML ordering rules)");
         Ok(ExitCode::SUCCESS)
     } else {
-        print!("{}", sbmlcompose::textdiff::sbml_text_diff(&a, &b).map_err(|e| e.to_string())?);
+        print!("{}", sbmlcompose::textdiff::sbml_text_diff(&a, &b).map_err(|e| CliError::Input(e.to_string()))?);
         Ok(ExitCode::FAILURE)
     }
 }

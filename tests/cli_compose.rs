@@ -133,6 +133,102 @@ fn compose_pipeline_flags_do_not_change_output() {
 }
 
 #[test]
+fn unreadable_input_is_a_one_line_diagnostic_and_exit_3() {
+    let dir = scratch("missing");
+    let inputs = write_inputs(&dir, &[chain_model(0)]);
+    let ghost = dir.join("does_not_exist.xml");
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .arg(&inputs[0])
+        .arg(&ghost)
+        .output()
+        .expect("run sbmlcompose");
+    assert_eq!(output.status.code(), Some(3), "input error exits 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("does_not_exist.xml"), "names the file: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_input_is_a_one_line_diagnostic_and_exit_3() {
+    let dir = scratch("malformed");
+    let inputs = write_inputs(&dir, &[chain_model(0)]);
+    let bad = dir.join("bad.xml");
+    fs::write(&bad, "<sbml><model id='x'").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .arg(&inputs[0])
+        .arg(&bad)
+        .output()
+        .expect("run sbmlcompose");
+    assert_eq!(output.status.code(), Some(3), "parse error exits 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generous_budget_flags_do_not_change_output() {
+    let dir = scratch("budget_ok");
+    let models: Vec<Model> = (0..3).map(chain_model).collect();
+    let inputs = write_inputs(&dir, &models);
+    let plain = dir.join("plain.xml");
+    let guarded = dir.join("guarded.xml");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .args(["-o", &plain.to_string_lossy()])
+        .status()
+        .expect("run sbmlcompose");
+    assert!(status.success());
+
+    let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .args(["-o", &guarded.to_string_lossy()])
+        .args(["--max-steps", "1000000", "--deadline-ms", "60000"])
+        .status()
+        .expect("run sbmlcompose");
+    assert!(status.success(), "a budget nobody hits must not change the exit code");
+    assert_eq!(
+        fs::read_to_string(&plain).unwrap(),
+        fs::read_to_string(&guarded).unwrap(),
+        "budgets are observability, not semantics"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_budget_writes_partial_output_and_exits_4() {
+    let dir = scratch("budget_cut");
+    let models: Vec<Model> = (0..2).map(chain_model).collect();
+    let inputs = write_inputs(&dir, &models);
+    let out = dir.join("partial.xml");
+
+    // Exactly enough steps for the first model: the second push must be
+    // refused, the first model still written, and the exit code distinct.
+    let allowance = models[0].component_count();
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .arg("compose")
+        .args(&inputs)
+        .args(["-o", &out.to_string_lossy()])
+        .args(["--max-steps", &allowance.to_string()])
+        .output()
+        .expect("run sbmlcompose");
+    assert_eq!(output.status.code(), Some(4), "partial result exits 4");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("partial"), "stderr: {stderr}");
+    assert!(stderr.contains("in1.xml"), "names the model it stopped before: {stderr}");
+    let written = parse_sbml(&fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(written, models[0], "everything merged before the cut is kept");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn compose_rejects_single_file() {
     let dir = scratch("single");
     let inputs = write_inputs(&dir, &[chain_model(0)]);

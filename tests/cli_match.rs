@@ -135,6 +135,66 @@ fn miss_ranks_approximate_matches_and_exits_nonzero() {
 }
 
 #[test]
+fn unreadable_query_is_a_one_line_diagnostic_and_exit_3() {
+    let dir = scratch("missing");
+    let a = write(&dir, "glyco.xml", &glycolysis());
+    let ghost = dir.join("no_query.xml");
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &ghost.to_string_lossy(), &a])
+        .output()
+        .expect("run sbmlcompose match");
+    assert_eq!(output.status.code(), Some(3), "input error exits 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one-line diagnostic: {stderr}");
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    assert!(stderr.contains("no_query.xml"), "names the file: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_corpus_file_exits_3() {
+    let dir = scratch("badcorpus");
+    let q = write(&dir, "query.xml", &fragment());
+    let bad = dir.join("bad.xml");
+    fs::write(&bad, "<sbml><model").unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &q, &bad.to_string_lossy()])
+        .output()
+        .expect("run sbmlcompose match");
+    assert_eq!(output.status.code(), Some(3), "parse error exits 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.starts_with("error:"), "stderr: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_refinement_budget_reports_truncation_and_exits_4() {
+    let dir = scratch("truncated");
+    let q = write(&dir, "query.xml", &fragment());
+    let a = write(&dir, "glyco.xml", &glycolysis());
+
+    // Zero search steps: the candidate survives filtering but refinement
+    // cannot reach a verdict — partial result, distinct exit code.
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &q, &a, "--max-steps", "0"])
+        .output()
+        .expect("run sbmlcompose match");
+    assert_eq!(output.status.code(), Some(4), "truncated verdicts exit 4");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("truncated"), "stdout: {stdout}");
+    assert!(stdout.contains("glyco.xml"), "names the candidate: {stdout}");
+
+    // A budget the search never hits behaves exactly like no budget.
+    let output = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
+        .args(["match", &q, &a, "--max-steps", "1000000", "--deadline-ms", "60000"])
+        .output()
+        .expect("run sbmlcompose match");
+    assert!(output.status.success(), "generous budget still finds the exact hit");
+    assert!(String::from_utf8_lossy(&output.stdout).contains("exact"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn match_requires_query_and_corpus() {
     let status = Command::new(env!("CARGO_BIN_EXE_sbmlcompose"))
         .args(["match", "only_one.xml"])

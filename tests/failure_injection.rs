@@ -2,9 +2,11 @@
 //! clean error (never a panic), and the merge must stay robust when fed
 //! pathological but well-formed models.
 
-use sbmlcompose::compose::{ComposeOptions, Composer};
+use sbmlcompose::compose::{
+    Budget, ComposeOptions, Composer, CompositionSession, ExecError, Site,
+};
 use sbmlcompose::model::builder::ModelBuilder;
-use sbmlcompose::model::{parse_sbml, ModelError};
+use sbmlcompose::model::{parse_sbml, write_sbml, ModelError};
 
 #[test]
 fn malformed_xml_rejected_cleanly() {
@@ -168,6 +170,128 @@ fn empty_vs_empty() {
     let result = Composer::new(ComposeOptions::default()).compose(&empty, &empty);
     assert!(result.model.is_empty());
     assert!(result.log.events.is_empty());
+}
+
+#[test]
+fn hostile_infix_nesting_errors_instead_of_overflowing() {
+    // Each of these would recurse once per level in the parser; at 10k
+    // levels only the explicit depth limit stands between a clean error
+    // and a stack overflow.
+    let n = 10_000;
+    let hostile = [
+        format!("{}x{}", "(".repeat(n), ")".repeat(n)),
+        format!("{}x", "-".repeat(n)),
+        format!("{}x", "!".repeat(n)),
+        format!("{}x", "+".repeat(n)),
+        format!("x{}", "^x".repeat(n)),
+        format!("{}x{}", "f(".repeat(n), ")".repeat(n)),
+    ];
+    for formula in &hostile {
+        let err = sbmlcompose::math::infix::parse(formula)
+            .expect_err("hostile nesting must be rejected");
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+}
+
+/// A minimal multiplicative congruential generator — deterministic
+/// "randomness" without pulling in a dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+#[test]
+fn mutated_sbml_never_panics_through_parse_and_push() {
+    // Serialize a well-formed model, then feed deterministic truncations
+    // and byte corruptions through the full parse → prepare → push path.
+    // Whatever still parses must also still compose; nothing may panic.
+    let base = ModelBuilder::new("base")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .species("B", 0.0)
+        .parameter("k", 0.5)
+        .reaction("r", &["A"], &["B"], "k * A")
+        .initial_assignment("A", "2 + 2")
+        .assignment_rule("B", "A / 2")
+        .constraint("A > 0", None)
+        .event("e", "A > 5", &[("B", "0")])
+        .build();
+    let xml = write_sbml(&base);
+    let bytes = xml.as_bytes();
+
+    let mut rng = Lcg(0x5bd1e995);
+    let mut parsed_ok = 0usize;
+    for trial in 0..200 {
+        let mutated = if trial % 2 == 0 {
+            // Truncate at a pseudo-random offset.
+            let cut = (rng.next() as usize) % bytes.len();
+            String::from_utf8_lossy(&bytes[..cut]).into_owned()
+        } else {
+            // Corrupt a handful of bytes.
+            let mut copy = bytes.to_vec();
+            for _ in 0..1 + rng.next() % 4 {
+                let at = (rng.next() as usize) % copy.len();
+                copy[at] = (rng.next() % 256) as u8;
+            }
+            String::from_utf8_lossy(&copy).into_owned()
+        };
+        if let Ok(model) = parse_sbml(&mutated) {
+            parsed_ok += 1;
+            let options = ComposeOptions::default();
+            let mut session = CompositionSession::new(&options);
+            session.push_guarded(&base, None).expect("clean base push");
+            session.push_guarded(&model, None).expect("mutant merges or is rejected earlier");
+        }
+    }
+    // Sanity: the corruption actually exercised both outcomes.
+    assert!(parsed_ok > 0, "some mutants must survive parsing");
+    assert!(parsed_ok < 200, "some mutants must be rejected");
+}
+
+#[test]
+fn budget_exhausted_push_leaves_accumulator_unchanged() {
+    let a = ModelBuilder::new("a")
+        .compartment("cell", 1.0)
+        .species("A", 1.0)
+        .parameter("k", 0.5)
+        .reaction("r", &["A"], &[], "k * A")
+        .build();
+    let b = ModelBuilder::new("b")
+        .compartment("cell", 1.0)
+        .species("B", 2.0)
+        .parameter("j", 0.25)
+        .reaction("s", &[], &["B"], "j")
+        .build();
+
+    // Exactly enough steps for the first push; the second must exhaust.
+    let options = ComposeOptions::default();
+    let budget = Budget::unlimited().with_max_steps(a.component_count() as u64);
+    let meter = budget.start();
+    let mut session = CompositionSession::new(&options);
+    session.push_guarded(&a, Some(&meter)).expect("first push fits");
+    let err = session.push_guarded(&b, Some(&meter)).expect_err("second push exhausts");
+    match err {
+        ExecError::StepsExhausted { site, limit } => {
+            assert_eq!(site, Site::Push(1));
+            assert_eq!(limit, a.component_count() as u64);
+        }
+        other => panic!("expected steps exhaustion, got {other:?}"),
+    }
+
+    // The failed push must be invisible: same model, same log as a
+    // single-push session.
+    let after = session.finish();
+    let reference = {
+        let mut s = CompositionSession::new(&options);
+        s.push_guarded(&a, None).expect("push");
+        s.finish()
+    };
+    assert_eq!(write_sbml(&after.model), write_sbml(&reference.model));
+    assert_eq!(after.log.to_text(), reference.log.to_text());
 }
 
 #[test]

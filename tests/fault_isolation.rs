@@ -1,0 +1,301 @@
+//! Deterministic fault-injection suite (tentpole of the robustness PR):
+//! every injected fault must surface as a structured [`ExecError`] at the
+//! site it was injected, survivors must be bit-identical to a fault-free
+//! run, and the degradation ladder's serial fallback must reproduce the
+//! pipelined result.
+//!
+//! Compiled only with the `fault-injection` feature (`ci.sh` runs
+//! `cargo test --features fault-injection --test fault_isolation`); the
+//! armed fail points live behind [`guard::fail_point`]. Plans are armed
+//! through a global serial lock, so these tests never contaminate each
+//! other even under the parallel test runner.
+
+#![cfg(feature = "fault-injection")]
+
+use sbmlcompose::compose::guard::injection::{with_plan, FailPlan, INJECTED};
+use sbmlcompose::compose::{
+    BatchComposer, Budget, ComposeOptions, Composer, CompositionSession, ExecError, ItemOutcome,
+    Site,
+};
+use sbmlcompose::model::builder::ModelBuilder;
+use sbmlcompose::model::{write_sbml, Model};
+
+/// A linear pathway with `n` reactions over distinctly-named species;
+/// `tag` keeps two chains overlapping but not identical.
+fn chain(id: &str, tag: &str, n: usize) -> Model {
+    let mut b = ModelBuilder::new(id).compartment("cell", 1.0);
+    for i in 0..=n {
+        b = b.species(&format!("S{tag}{i}"), i as f64);
+    }
+    for i in 0..n {
+        b = b.parameter(&format!("k{tag}{i}"), 0.1 * (i + 1) as f64).reaction(
+            &format!("r{tag}{i}"),
+            &[&format!("S{tag}{i}")],
+            &[&format!("S{tag}{}", i + 1)],
+            &format!("k{tag}{i} * S{tag}{i}"),
+        );
+    }
+    b.build()
+}
+
+/// A [`chain`] extended with every remaining component kind (functions,
+/// units, types, initial assignments, rules, constraints, events). The
+/// pipeline pre-marks a pass whose kind is absent from the incoming model
+/// as done without running it, so a pushed model must populate all twelve
+/// kinds for all twelve `Site::Pass` fail points to be reachable.
+fn rich(id: &str, tag: &str, n: usize) -> Model {
+    use sbmlcompose::units::{Unit, UnitDefinition, UnitKind};
+    let mut b = ModelBuilder::new(id)
+        .function(&format!("f{tag}"), &["x"], "x + 1")
+        .unit_definition(UnitDefinition::new(
+            format!("per_s_{tag}"),
+            vec![Unit::of(UnitKind::Second).pow(-1)],
+        ))
+        .compartment_type(&format!("ct{tag}"))
+        .species_type(&format!("st{tag}"))
+        .compartment("cell", 1.0);
+    for i in 0..=n {
+        b = b.species(&format!("S{tag}{i}"), i as f64);
+    }
+    for i in 0..n {
+        b = b.parameter(&format!("k{tag}{i}"), 0.1 * (i + 1) as f64).reaction(
+            &format!("r{tag}{i}"),
+            &[&format!("S{tag}{i}")],
+            &[&format!("S{tag}{}", i + 1)],
+            &format!("k{tag}{i} * S{tag}{i}"),
+        );
+    }
+    b.initial_assignment(&format!("S{tag}0"), "1 + 1")
+        .rate_rule(&format!("S{tag}1"), &format!("k{tag}0 * S{tag}0"))
+        .constraint(&format!("S{tag}0 > 0"), None)
+        .event(
+            &format!("e{tag}"),
+            &format!("S{tag}0 > 5"),
+            &[(&format!("S{tag}1"), "0")],
+        )
+        .build()
+}
+
+/// Options that force the pipelined DAG executor on for every push, so
+/// the `Site::Pass` fail points are actually reached.
+fn pipelined_options() -> ComposeOptions {
+    ComposeOptions::default()
+        .with_parallel_push_threshold(1)
+        .with_merge_pipeline(true)
+        .with_pipeline_threads(2)
+}
+
+/// The merged output of a fault-free guarded two-model composition.
+fn fault_free_reference(options: &ComposeOptions, a: &Model, b: &Model) -> (String, String) {
+    let mut session = CompositionSession::new(options);
+    session.push_guarded(a, None).expect("fault-free push");
+    let outcome = session.push_guarded(b, None).expect("fault-free push");
+    assert_eq!(outcome.degraded, None, "no fault, no degradation");
+    let result = session.finish();
+    (write_sbml(&result.model), result.log.to_text())
+}
+
+#[test]
+fn injected_pass_fault_degrades_to_identical_serial_result() {
+    let options = pipelined_options();
+    let a = rich("a", "x", 6);
+    let b = rich("b", "x", 9);
+    let (want_xml, want_log) = fault_free_reference(&options, &a, &b);
+
+    // Every one of the twelve merge passes is a containment boundary.
+    for pass in 0..12 {
+        let plan = FailPlan::new().fail_at(Site::Pass(pass));
+        let (xml, log, outcome) = with_plan(plan, || {
+            let mut session = CompositionSession::new(&options);
+            session.push_guarded(&a, None).expect("first push adopts the base");
+            let outcome = session.push_guarded(&b, None).expect("degraded, not failed");
+            let result = session.finish();
+            (write_sbml(&result.model), result.log.to_text(), outcome)
+        });
+        match outcome.degraded {
+            Some(ExecError::Panicked { site, ref detail }) => {
+                assert_eq!(site, Site::Pass(pass), "fault attributed to the injected site");
+                assert!(detail.contains(INJECTED), "payload preserved: {detail}");
+            }
+            other => panic!("pass {pass}: expected a contained panic, got {other:?}"),
+        }
+        assert_eq!(xml, want_xml, "pass {pass}: serial fallback must reproduce the result");
+        assert_eq!(log, want_log, "pass {pass}: decision log identical too");
+    }
+}
+
+#[test]
+fn pass_and_push_fault_fails_push_and_leaves_accumulator_intact() {
+    let options = pipelined_options();
+    let a = rich("a", "x", 6);
+    let b = rich("b", "x", 9);
+
+    // Base-only reference: what the session must still hold after the
+    // second push fails on *both* rungs of the ladder.
+    let base_only = {
+        let mut session = CompositionSession::new(&options);
+        session.push_guarded(&a, None).expect("push");
+        let result = session.finish();
+        (write_sbml(&result.model), result.log.to_text())
+    };
+
+    // Fail the pipelined attempt (any pass) and the serial retry (the
+    // push-level fail point) — the whole push must error out.
+    let plan = FailPlan::new().fail_at(Site::Pass(3)).fail_at(Site::Push(1));
+    let (xml, log, err) = with_plan(plan, || {
+        let mut session = CompositionSession::new(&options);
+        session.push_guarded(&a, None).expect("first push adopts the base");
+        let err = session.push_guarded(&b, None).expect_err("both rungs fail");
+        let result = session.finish();
+        (write_sbml(&result.model), result.log.to_text(), err)
+    });
+    match err {
+        ExecError::Panicked { site, ref detail } => {
+            assert_eq!(site, Site::Push(1), "attributed to the failed push");
+            assert!(detail.contains(INJECTED), "{detail}");
+        }
+        other => panic!("expected a contained panic, got {other:?}"),
+    }
+    assert_eq!(xml, base_only.0, "failed push must not change the accumulator");
+    assert_eq!(log, base_only.1, "failed push must not leak log events");
+}
+
+#[test]
+fn session_survives_a_failed_push_and_accepts_the_next() {
+    let options = pipelined_options();
+    let a = rich("a", "x", 6);
+    let b = rich("b", "x", 9);
+
+    let mut session = CompositionSession::new(&options);
+    session.push_guarded(&a, None).expect("push");
+    let plan = FailPlan::new().fail_at(Site::Pass(0)).fail_at(Site::Push(1));
+    with_plan(plan, || {
+        session.push_guarded(&b, None).expect_err("both rungs fail");
+    });
+    // Disarmed again: the same push now succeeds cleanly.
+    let outcome = session.push_guarded(&b, None).expect("push after rollback");
+    assert_eq!(outcome.degraded, None);
+    let merged = session.finish().model;
+    assert!(merged.species.len() >= b.species.len(), "second model actually merged");
+}
+
+#[test]
+fn batch_shard_fault_is_contained_to_its_item() {
+    let options = ComposeOptions::default();
+    let batch = BatchComposer::new(Composer::new(options));
+    let models: Vec<Model> =
+        (0..5).map(|i| chain(&format!("m{i}"), "x", 3 + i)).collect();
+    let prepared = batch.prepare_corpus(&models);
+    let want = batch.all_pairs(&prepared); // 10 pairs, fault-free
+
+    let faulty = 4; // pair ordinal, deterministic: (0,1)..(0,4),(1,2)..
+    let report = with_plan(FailPlan::new().fail_at(Site::Shard(faulty)), || {
+        batch.try_all_pairs(&prepared, &Budget::unlimited())
+    });
+    assert_eq!(report.items.len(), want.len());
+    assert_eq!(report.failed_count(), 1, "exactly the faulted item failed");
+    for (k, (item, want)) in report.items.iter().zip(&want).enumerate() {
+        if k == faulty {
+            match item {
+                ItemOutcome::Failed(ExecError::Panicked { site, detail }) => {
+                    assert_eq!(*site, Site::Shard(faulty));
+                    assert!(detail.contains(INJECTED), "{detail}");
+                }
+                other => panic!("item {k}: expected a contained panic, got {other:?}"),
+            }
+        } else {
+            assert_eq!(item, &ItemOutcome::Ok(want.clone()), "survivor {k} bit-identical");
+        }
+    }
+}
+
+#[test]
+fn batch_step_budget_cuts_a_deterministic_suffix() {
+    let options = ComposeOptions::default();
+    let models: Vec<Model> =
+        (0..6).map(|i| chain(&format!("m{i}"), "x", 4)).collect();
+    // Allow exactly the first two items' worth of component steps.
+    let allowance: u64 =
+        models.iter().take(2).map(|m| m.component_count() as u64).sum();
+    let budget = Budget::unlimited().with_max_steps(allowance);
+
+    // Which items get cut must not depend on the worker count: the step
+    // gate is a prefix sum over item order, not a race.
+    let mut reports = Vec::new();
+    for threads in [1, 4] {
+        let batch = BatchComposer::new(Composer::new(options.clone())).with_threads(threads);
+        let prepared = batch.prepare_corpus(&models);
+        let report =
+            batch.try_map_corpus(&prepared, &budget, |_, p| p.model().species.len());
+        for (k, item) in report.items.iter().enumerate() {
+            if k < 2 {
+                assert!(item.is_ok(), "threads={threads}: item {k} fits the allowance");
+            } else {
+                match item {
+                    ItemOutcome::Failed(ExecError::StepsExhausted { site, limit }) => {
+                        assert_eq!(*site, Site::Shard(k));
+                        assert_eq!(*limit, allowance);
+                    }
+                    other => panic!("threads={threads}, item {k}: {other:?}"),
+                }
+            }
+        }
+        reports.push(report);
+    }
+    assert_eq!(reports[0], reports[1], "outcome pattern is schedule-independent");
+}
+
+#[test]
+fn zero_deadline_fails_every_batch_item() {
+    let options = ComposeOptions::default();
+    let batch = BatchComposer::new(Composer::new(options));
+    let models: Vec<Model> = (0..4).map(|i| chain(&format!("m{i}"), "x", 3)).collect();
+    let prepared = batch.prepare_corpus(&models);
+    let report = batch.try_map_corpus(
+        &prepared,
+        &Budget::unlimited().with_deadline_ms(0),
+        |_, p| p.model().species.len(),
+    );
+    assert_eq!(report.ok_count(), 0);
+    for (k, item) in report.items.iter().enumerate() {
+        match item {
+            ItemOutcome::Failed(ExecError::DeadlineExceeded { site, .. }) => {
+                assert_eq!(*site, Site::Shard(k));
+            }
+            other => panic!("item {k}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn query_fault_is_contained_per_candidate() {
+    use sbmlcompose::matching::MatchIndex;
+
+    let options = ComposeOptions::default();
+    let corpus: Vec<Model> = vec![
+        chain("c0", "x", 6), // embeds the query
+        chain("c1", "y", 4), // disjoint species: pruned from candidates
+        chain("c2", "x", 9), // embeds the query
+    ];
+    let query = chain("q", "x", 3);
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&corpus);
+    let index = MatchIndex::build(prepared, &options);
+
+    let clean = index.query_corpus(&query);
+    let clean_hits: Vec<usize> = clean.exact.iter().map(|h| h.model).collect();
+    assert_eq!(clean_hits, vec![0, 2], "fixture sanity");
+    assert!(clean.failed.is_empty() && clean.truncated.is_empty());
+
+    // Fail candidate ordinal 1 (= corpus model 2). The other candidate's
+    // verdict and witness must be exactly the fault-free ones.
+    let faulted = with_plan(FailPlan::new().fail_at(Site::Query(1)), || {
+        index.query_corpus(&query)
+    });
+    assert_eq!(faulted.candidates, clean.candidates);
+    assert_eq!(faulted.failed, vec![2], "the faulted candidate is reported");
+    assert!(faulted.truncated.is_empty());
+    let faulted_hits: Vec<usize> = faulted.exact.iter().map(|h| h.model).collect();
+    assert_eq!(faulted_hits, vec![0]);
+    assert_eq!(faulted.exact[0], clean.exact[0], "survivor embedding bit-identical");
+}
