@@ -16,6 +16,9 @@ cargo test -q
 echo "== fault-injection suite (deterministic injected faults) =="
 cargo test -q --features fault-injection --test fault_isolation
 
+echo "== wire-protocol suite (frame codec + live daemon round-trips) =="
+cargo test -q --test serve_protocol
+
 echo "== panic audit (fan-out modules) =="
 # Containment boundaries (catch_unwind) only help if the code inside them
 # is not sprinkled with *new* input-reachable unwrap/expect/panic sites.
@@ -104,6 +107,21 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "conflict-corpus pipelined speedup: ${speedup}x (gate: >= 1.5)"
     awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
         echo "FAIL: pipelined-vs-serial speedup regressed below 1.5x" >&2
+        exit 1
+    }
+
+    echo "== snapshot load benchmark (writes BENCH_serve.json) =="
+    cargo run --release -p compose-bench --bin serve_snapshot
+
+    # Perf gate: loading a prepared-corpus snapshot (decode only — no
+    # re-canonicalisation, no re-analysis, lazy graphs/refs) must stay
+    # >= 10x faster than rebuilding the corpus from SBML XML. The bench
+    # asserts posting-list stats and a 23-query battery are identical
+    # between the loaded and rebuilt corpus before timing anything.
+    speedup=$(grep -o '"speedup_snapshot_load": [0-9.]*' BENCH_serve.json | grep -o '[0-9.]*$')
+    echo "snapshot-load speedup: ${speedup}x (gate: >= 10.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 10.0) ? 0 : 1 }' || {
+        echo "FAIL: snapshot-load speedup regressed below 10x" >&2
         exit 1
     }
 

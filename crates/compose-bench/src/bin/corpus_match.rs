@@ -48,7 +48,7 @@ fn workspace_root() -> PathBuf {
 
 fn build_index(models: &[Model], options: &ComposeOptions, threads: usize) -> MatchIndex {
     let batch = BatchComposer::new(Composer::new(options.clone())).with_threads(threads);
-    MatchIndex::build_with_threads(batch.prepare_corpus(models), options, threads)
+    MatchIndex::build_with_threads(&batch.prepare_corpus(models), options, threads)
 }
 
 fn main() {

@@ -15,7 +15,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use compose_bench::time_median;
+use compose_bench::time_median_interleaved;
 use sbml_compose::guard::Budget;
 use sbml_compose::{ComposeOptions, CompositionSession};
 use sbml_model::Model;
@@ -63,12 +63,18 @@ fn main() {
     let guarded = run_guarded(&options, &chain);
     assert_eq!(plain, guarded, "guarded output diverged from plain push");
 
-    let plain_seconds = time_median(RUNS, || {
-        std::hint::black_box(run_plain(&options, &chain));
-    });
-    let guarded_seconds = time_median(RUNS, || {
-        std::hint::black_box(run_guarded(&options, &chain));
-    });
+    // Interleaved rounds: on a loaded single-CPU host, sampling all plain
+    // runs before all guarded runs lets scheduling drift masquerade as
+    // guard overhead (or hide it).
+    let (plain_seconds, guarded_seconds) = time_median_interleaved(
+        RUNS,
+        || {
+            std::hint::black_box(run_plain(&options, &chain));
+        },
+        || {
+            std::hint::black_box(run_guarded(&options, &chain));
+        },
+    );
     let overhead_pct = (guarded_seconds / plain_seconds.max(1e-12) - 1.0) * 100.0;
 
     println!("guard overhead — push vs push_guarded(unlimited meter), length-{CHAIN_LENGTH} chain");

@@ -41,6 +41,40 @@ pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Median wall-clock seconds for two workloads sampled in interleaved
+/// rounds (A then B, order flipped every round). For head-to-head
+/// overhead comparisons on a loaded host, block sampling (all A, then
+/// all B) lets scheduling drift land entirely on one side; interleaving
+/// exposes both workloads to the same load profile.
+pub fn time_median_interleaved<A: FnMut(), B: FnMut()>(
+    runs: usize,
+    mut a: A,
+    mut b: B,
+) -> (f64, f64) {
+    let runs = runs.max(1);
+    let mut samples_a = Vec::with_capacity(runs);
+    let mut samples_b = Vec::with_capacity(runs);
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    };
+    for round in 0..runs {
+        if round % 2 == 0 {
+            samples_a.push(time(&mut a));
+            samples_b.push(time(&mut b));
+        } else {
+            samples_b.push(time(&mut b));
+            samples_a.push(time(&mut a));
+        }
+    }
+    let median = |mut s: Vec<f64>| {
+        s.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        s[s.len() / 2]
+    };
+    (median(samples_a), median(samples_b))
+}
+
 /// `log10` of a time in milliseconds, the paper's Figure 8/9 y-axis.
 /// Times are clamped below at 1 µs to keep the log finite.
 pub fn log10_ms(seconds: f64) -> f64 {

@@ -267,6 +267,48 @@ pub struct OptionsFingerprint {
     synonym_hash: u64,
 }
 
+impl OptionsFingerprint {
+    /// A stable 64-bit digest of the fingerprint, suitable for embedding
+    /// in on-disk formats (the `sbml-serve` snapshot header records it so
+    /// a snapshot is rejected when loaded under options whose cached
+    /// analysis would diverge). Equal fingerprints always digest equal;
+    /// the digest is a pure function of the fingerprint's fields, not of
+    /// process layout, so it is comparable across runs and builds.
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a over an explicit field encoding: no derived Hash (whose
+        // output is allowed to vary across compiler versions), no
+        // pointers.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(match self.semantics {
+            SemanticsLevel::Heavy => 0,
+            SemanticsLevel::Light => 1,
+            SemanticsLevel::None => 2,
+        });
+        eat(match self.index {
+            IndexKind::HashMap => 0,
+            IndexKind::BTree => 1,
+            IndexKind::LinearScan => 2,
+        });
+        eat(u8::from(self.cache_patterns));
+        eat(u8::from(self.cache_content_keys));
+        eat(u8::from(self.collect_initial_values));
+        eat(u8::from(self.incremental_initial_values));
+        for byte in (self.parallel_push_threshold as u64).to_le_bytes() {
+            eat(byte);
+        }
+        for byte in self.synonym_hash.to_le_bytes() {
+            eat(byte);
+        }
+        h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +377,24 @@ mod tests {
         assert_eq!(
             ComposeOptions::default().with_parallel_push_threshold(64).fingerprint(),
             ComposeOptions::default().with_parallel_push_threshold(64).fingerprint()
+        );
+    }
+
+    #[test]
+    fn stable_hash_tracks_fingerprint_equality() {
+        let heavy = ComposeOptions::heavy().fingerprint();
+        assert_eq!(heavy.stable_hash(), ComposeOptions::heavy().fingerprint().stable_hash());
+        for other in [ComposeOptions::light(), ComposeOptions::none()] {
+            assert_ne!(heavy.stable_hash(), other.fingerprint().stable_hash());
+        }
+        assert_ne!(
+            heavy.stable_hash(),
+            ComposeOptions::default().with_pattern_cache(false).fingerprint().stable_hash()
+        );
+        // Pipeline knobs are fingerprint-neutral, hence digest-neutral.
+        assert_eq!(
+            heavy.stable_hash(),
+            ComposeOptions::default().with_merge_pipeline(false).fingerprint().stable_hash()
         );
     }
 

@@ -100,7 +100,7 @@ impl<'m> Incoming<'m> {
         Incoming {
             model: p.model(),
             keys: Some(&p.incoming),
-            idx: Some(&p.analysis.idx),
+            idx: Some(&p.analysis().idx),
             ivs: Some(&p.initial_values),
             plan: Some(&p.plan),
         }
@@ -534,10 +534,10 @@ impl PassEnv<'_> {
     /// the current push's mappings (so every `map_*`/`map_math` over it is
     /// the identity)? Without prepared refs, only an empty mapping table
     /// guarantees that.
-    fn refs_clean(&self, refs: Option<&[String]>) -> bool {
+    fn refs_clean(&self, refs: Option<&[Arc<str>]>) -> bool {
         match refs {
             Some(refs) => {
-                self.maps.is_empty() || refs.iter().all(|r| !self.maps.contains(r))
+                self.maps.is_empty() || refs.iter().all(|r| !self.maps.contains(r.as_ref()))
             }
             None => self.maps.is_empty(),
         }
@@ -730,7 +730,7 @@ fn function_key_matches(env: &PassEnv<'_>, st: &FunctionsMut<'_>, pos: usize, ke
 pub(crate) fn functions(env: &mut PassEnv<'_>, st: &mut FunctionsMut<'_>, inc: &Incoming<'_>) {
     for (i, f) in inc.model.function_definitions.iter().enumerate() {
         let content_key = match inc.keys {
-            Some(keys) if env.refs_clean(Some(&keys.function_refs[i])) => {
+            Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).functions[i])) => {
                 IncomingKey::Cached(&keys.functions[i])
             }
             Some(keys) if env.key_rename_on() => IncomingKey::Computed(
@@ -779,7 +779,7 @@ pub(crate) fn functions(env: &mut PassEnv<'_>, st: &mut FunctionsMut<'_>, inc: &
         let final_id = env.claim_id("functionDefinition", &f.id);
         let mut nf = f.clone();
         nf.id = final_id.clone();
-        if !env.refs_clean(inc.keys.map(|k| k.function_refs[i].as_ref())) {
+        if !env.refs_clean(inc.keys.map(|k| k.refs(inc.model).functions[i].as_ref())) {
             env.map_math_in_place(&mut nf.body);
         }
         let pos = st.list.len();
@@ -1285,7 +1285,7 @@ pub(crate) fn initial_assignments(
 pub(crate) fn rules(env: &mut PassEnv<'_>, st: &mut RulesMut<'_>, inc: &Incoming<'_>) {
     for (i, r) in inc.model.rules.iter().enumerate() {
         let content_key = match inc.keys {
-            Some(keys) if env.refs_clean(Some(&keys.rule_refs[i])) => {
+            Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).rules[i])) => {
                 IncomingKey::Cached(&keys.rules[i])
             }
             Some(keys) if env.key_rename_on() => IncomingKey::Computed(
@@ -1318,7 +1318,7 @@ pub(crate) fn rules(env: &mut PassEnv<'_>, st: &mut RulesMut<'_>, inc: &Incoming
             }
         }
         let mut nr = r.clone();
-        if !env.refs_clean(inc.keys.map(|k| k.rule_refs[i].as_ref())) {
+        if !env.refs_clean(inc.keys.map(|k| k.refs(inc.model).rules[i].as_ref())) {
             match &mut nr {
                 Rule::Algebraic { math } => env.map_math_in_place(math),
                 Rule::Assignment { variable, math } | Rule::Rate { variable, math } => {
@@ -1344,7 +1344,7 @@ pub(crate) fn rules(env: &mut PassEnv<'_>, st: &mut RulesMut<'_>, inc: &Incoming
 pub(crate) fn constraints(env: &mut PassEnv<'_>, st: &mut ConstraintsMut<'_>, inc: &Incoming<'_>) {
     for (idx, c) in inc.model.constraints.iter().enumerate() {
         let key = match inc.keys {
-            Some(keys) if env.refs_clean(Some(&keys.constraint_refs[idx])) => {
+            Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).constraints[idx])) => {
                 IncomingKey::Cached(&keys.constraints[idx])
             }
             Some(keys) if env.key_rename_on() => IncomingKey::Computed(
@@ -1364,7 +1364,7 @@ pub(crate) fn constraints(env: &mut PassEnv<'_>, st: &mut ConstraintsMut<'_>, in
             continue;
         }
         let mut nc = c.clone();
-        if !env.refs_clean(inc.keys.map(|k| k.constraint_refs[idx].as_ref())) {
+        if !env.refs_clean(inc.keys.map(|k| k.refs(inc.model).constraints[idx].as_ref())) {
             env.map_math_in_place(&mut nc.math);
         }
         key.insert_into(st.delta_by_content, st.list.len());
@@ -1434,7 +1434,7 @@ fn reaction_matches(
         }),
     };
     let cached_theirs = match inc.keys {
-        Some(keys) if env.refs_clean(Some(&keys.reaction_math_refs[i])) => {
+        Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).reaction_math[i])) => {
             key_math_section(&keys.reactions[i])
         }
         _ => None,
@@ -1587,7 +1587,7 @@ pub(crate) fn reactions(
             continue;
         }
         let content_key = match inc.keys {
-            Some(keys) if env.refs_clean(Some(&keys.reaction_refs[i])) => {
+            Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).reactions[i])) => {
                 IncomingKey::Cached(&keys.reactions[i])
             }
             Some(keys) if env.key_rename_on() => IncomingKey::Computed(
@@ -1621,7 +1621,7 @@ pub(crate) fn reactions(
         let final_id = env.claim_id("reaction", &r.id);
         let mut nr = r.clone();
         nr.id = final_id.clone();
-        if !env.refs_clean(inc.keys.map(|k| k.reaction_refs[i].as_ref())) {
+        if !env.refs_clean(inc.keys.map(|k| k.refs(inc.model).reactions[i].as_ref())) {
             for sr in nr.reactants.iter_mut().chain(&mut nr.products).chain(&mut nr.modifiers) {
                 sr.species = env.map_string(&sr.species);
             }
@@ -1666,7 +1666,7 @@ pub(crate) fn events(env: &mut PassEnv<'_>, st: &mut EventsMut<'_>, inc: &Incomi
     for (idx, ev) in inc.model.events.iter().enumerate() {
         let label = ev.id.clone().unwrap_or_else(|| format!("#{idx}"));
         let content_key = match inc.keys {
-            Some(keys) if env.refs_clean(Some(&keys.event_refs[idx])) => {
+            Some(keys) if env.refs_clean(Some(&keys.refs(inc.model).events[idx])) => {
                 IncomingKey::Cached(&keys.events[idx])
             }
             Some(keys) if env.key_rename_on() => IncomingKey::Computed(
@@ -1709,7 +1709,7 @@ pub(crate) fn events(env: &mut PassEnv<'_>, st: &mut EventsMut<'_>, inc: &Incomi
         if let Some(id) = &ev.id {
             nev.id = Some(env.claim_id("event", id));
         }
-        if !env.refs_clean(inc.keys.map(|k| k.event_refs[idx].as_ref())) {
+        if !env.refs_clean(inc.keys.map(|k| k.refs(inc.model).events[idx].as_ref())) {
             env.map_math_in_place(&mut nev.trigger);
             if let Some(d) = &mut nev.delay {
                 env.map_math_in_place(d);

@@ -173,6 +173,7 @@ fn claimable_ids(
 fn build_plan(inc: &Incoming<'_>) -> Plan {
     let model = inc.model;
     let keys: &IncomingKeys = inc.keys.expect("pipelined push always has incoming keys");
+    let krefs = keys.refs(model);
 
     // sources[id] = kinds for which `id` is an incoming component id (a
     // candidate mapping source and taken-registry claim).
@@ -201,7 +202,7 @@ fn build_plan(inc: &Incoming<'_>) -> Plan {
                 shard_deps[pass] |= mask;
             }
         };
-        for refs in &keys.function_refs {
+        for refs in &krefs.functions {
             for r in refs.iter() {
                 lookup(FUNCTIONS, r);
             }
@@ -228,22 +229,22 @@ fn build_plan(inc: &Incoming<'_>) -> Plan {
                 lookup(INITIAL_ASSIGNMENTS, &id);
             }
         }
-        for refs in &keys.rule_refs {
+        for refs in &krefs.rules {
             for r in refs.iter() {
                 lookup(RULES, r);
             }
         }
-        for refs in &keys.constraint_refs {
+        for refs in &krefs.constraints {
             for r in refs.iter() {
                 lookup(CONSTRAINTS, r);
             }
         }
-        for refs in &keys.reaction_refs {
+        for refs in &krefs.reactions {
             for r in refs.iter() {
                 lookup(REACTIONS, r);
             }
         }
-        for refs in &keys.event_refs {
+        for refs in &krefs.events {
             for r in refs.iter() {
                 lookup(EVENTS, r);
             }

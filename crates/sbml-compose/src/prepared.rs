@@ -76,7 +76,11 @@ pub(crate) struct Indexes {
 
 impl Indexes {
     pub(crate) fn new(options: &ComposeOptions) -> Indexes {
-        let mk = || ComponentIndex::new(options.index);
+        Indexes::with_kind(options.index)
+    }
+
+    pub(crate) fn with_kind(kind: crate::index::IndexKind) -> Indexes {
+        let mk = || ComponentIndex::new(kind);
         Indexes {
             functions_by_id: mk(),
             functions_by_content: mk(),
@@ -134,60 +138,92 @@ pub(crate) struct ModelAnalysis {
 /// has been recorded. Positional — entry `i` belongs to component `i`.
 ///
 /// The mapping-sensitive kinds additionally carry each component's *free
-/// reference set* (every identifier the key derivation would run through
-/// the mapping table): the cached key equals the mapped key exactly when
-/// none of those identifiers has a mapping, which lets the merge reuse the
-/// cache far beyond the no-mappings-yet window.
+/// reference set* (see [`IncomingRefs`]): the cached key equals the mapped
+/// key exactly when none of those identifiers has a mapping, which lets
+/// the merge reuse the cache far beyond the no-mappings-yet window.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct IncomingKeys {
     pub(crate) functions: Vec<Arc<str>>,
-    pub(crate) function_refs: Vec<Box<[String]>>,
     pub(crate) units: Vec<Arc<str>>,
     pub(crate) compartment_types: Vec<Arc<str>>,
     pub(crate) species_types: Vec<Arc<str>>,
     pub(crate) compartments: Vec<Arc<str>>,
     pub(crate) species: Vec<Arc<str>>,
     pub(crate) rules: Vec<Arc<str>>,
-    pub(crate) rule_refs: Vec<Box<[String]>>,
     pub(crate) constraints: Vec<Arc<str>>,
-    pub(crate) constraint_refs: Vec<Box<[String]>>,
     pub(crate) reactions: Vec<Arc<str>>,
-    pub(crate) reaction_refs: Vec<Box<[String]>>,
+    pub(crate) events: Vec<Arc<str>>,
+    /// Free-reference sets of the mapping-sensitive kinds. Fresh
+    /// preparations fill the cell eagerly (the sets fall out of the same
+    /// pass that computes the keys); snapshot loads leave it empty and
+    /// [`IncomingKeys::refs`] derives it from the model on the first
+    /// compose use — refs are pure derived state (no canonicalisation,
+    /// no options), so the snapshot format does not persist them.
+    pub(crate) refs: std::sync::OnceLock<IncomingRefs>,
+}
+
+/// Per-component *free reference sets* of the mapping-sensitive kinds:
+/// every identifier each component's key derivation would run through the
+/// mapping table. Positional — entry `i` belongs to component `i` of the
+/// corresponding model list. A pure function of the model (no
+/// canonicalisation, no options), which is why it can live behind a
+/// `OnceLock` and be rebuilt on demand after a snapshot load.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct IncomingRefs {
+    pub(crate) functions: Vec<Box<[Arc<str>]>>,
+    pub(crate) rules: Vec<Box<[Arc<str>]>>,
+    pub(crate) constraints: Vec<Box<[Arc<str>]>>,
+    pub(crate) reactions: Vec<Box<[Arc<str>]>>,
     /// Free identifiers of the kinetic law alone (no participants): the
     /// cached math *section* of a reaction key stays valid as long as
     /// these are unmapped, even when a participant has been renamed.
-    pub(crate) reaction_math_refs: Vec<Box<[String]>>,
-    pub(crate) events: Vec<Arc<str>>,
-    pub(crate) event_refs: Vec<Box<[String]>>,
+    pub(crate) reaction_math: Vec<Box<[Arc<str>]>>,
+    pub(crate) events: Vec<Box<[Arc<str>]>>,
 }
 
-// Per-kind free-reference sets, shared by the serial analysis and the
-// within-push parallel key builder so the two can never drift apart.
+impl IncomingRefs {
+    /// Collect every free-reference set of `model`, in positional order.
+    fn build(model: &Model) -> IncomingRefs {
+        let (reactions, reaction_math) = model.reactions.iter().map(reaction_refs).unzip();
+        IncomingRefs {
+            functions: model.function_definitions.iter().map(function_refs).collect(),
+            rules: model.rules.iter().map(rule_refs).collect(),
+            constraints: model.constraints.iter().map(|c| constraint_refs(&c.math)).collect(),
+            reactions,
+            reaction_math,
+            events: model.events.iter().map(event_refs).collect(),
+        }
+    }
+}
+
+// Per-kind free-reference helpers, shared by [`IncomingRefs::build`]
+// and the within-push parallel key builder so the two can never drift
+// apart.
 
 /// Refs come from the BARE body, where params are free: the merge renames
 /// `f.body` directly (params included), so a param sharing a name with a
 /// mapped id must count as a reference. For the content key this is merely
 /// conservative (the pattern binds params positionally).
-fn function_refs(f: &FunctionDefinition) -> Box<[String]> {
-    collect_identifiers(&f.body).into_iter().collect()
+fn function_refs(f: &FunctionDefinition) -> Box<[Arc<str>]> {
+    collect_identifiers(&f.body).into_iter().map(Arc::from).collect()
 }
 
-fn rule_refs(r: &Rule) -> Box<[String]> {
+fn rule_refs(r: &Rule) -> Box<[Arc<str>]> {
     let mut refs = collect_identifiers(r.math());
     if let Some(v) = r.variable() {
         refs.insert(v.to_owned());
     }
-    refs.into_iter().collect()
+    refs.into_iter().map(Arc::from).collect()
 }
 
-fn constraint_refs(math: &MathExpr) -> Box<[String]> {
-    collect_identifiers(math).into_iter().collect()
+fn constraint_refs(math: &MathExpr) -> Box<[Arc<str>]> {
+    collect_identifiers(math).into_iter().map(Arc::from).collect()
 }
 
 /// A reaction's full reference set (kinetic-law ids plus participants) and
 /// the kinetic-law-only subset that governs reuse of the cached math
 /// *section* of its key.
-fn reaction_refs(r: &Reaction) -> (Box<[String]>, Box<[String]>) {
+fn reaction_refs(r: &Reaction) -> (Box<[Arc<str>]>, Box<[Arc<str>]>) {
     let math_refs = match &r.kinetic_law {
         Some(kl) => collect_identifiers(&kl.math),
         None => BTreeSet::new(),
@@ -196,10 +232,13 @@ fn reaction_refs(r: &Reaction) -> (Box<[String]>, Box<[String]>) {
     for sr in r.reactants.iter().chain(&r.products).chain(&r.modifiers) {
         refs.insert(sr.species.clone());
     }
-    (refs.into_iter().collect(), math_refs.into_iter().collect())
+    (
+        refs.into_iter().map(Arc::from).collect(),
+        math_refs.into_iter().map(Arc::from).collect(),
+    )
 }
 
-fn event_refs(ev: &Event) -> Box<[String]> {
+fn event_refs(ev: &Event) -> Box<[Arc<str>]> {
     let mut refs = collect_identifiers(&ev.trigger);
     if let Some(delay) = &ev.delay {
         refs.append(&mut collect_identifiers(delay));
@@ -208,7 +247,7 @@ fn event_refs(ev: &Event) -> Box<[String]> {
         refs.insert(a.variable.clone());
         refs.append(&mut collect_identifiers(&a.math));
     }
-    refs.into_iter().collect()
+    refs.into_iter().map(Arc::from).collect()
 }
 
 /// Every canonical content/name key of `model` under `options`, one per
@@ -245,13 +284,54 @@ pub fn model_content_keys(model: &Model, options: &ComposeOptions) -> Vec<String
     keys
 }
 
+/// The serialisable raw parts of a [`PreparedModel`]: the model itself,
+/// every cached canonical key family (positional with the model's
+/// component lists, Fig. 4 kind order), and the evaluated initial values
+/// (sorted by symbol). Produced by [`PreparedModel::to_raw`], consumed by
+/// [`PreparedModel::from_raw`]; the `sbml-serve` snapshot format is a
+/// binary encoding of exactly this struct per corpus model.
+///
+/// Everything *not* here — the taken-id set, the per-kind lookup indexes,
+/// the key cache, the free-reference sets, the pipeline plan — is cheap
+/// derived state that the preparation rebuilds on demand from these parts,
+/// with no canonicalisation, synonym closure or math evaluation. (The
+/// reference sets in particular are a pure function of the model, so
+/// persisting them would only store what one model walk re-derives.)
+#[derive(Debug, Clone, Default)]
+pub struct RawPrepared {
+    /// The model the preparation belongs to.
+    pub model: Model,
+    /// Canonical content key per function definition.
+    pub function_keys: Vec<Arc<str>>,
+    /// Canonical signature key per unit definition.
+    pub unit_keys: Vec<Arc<str>>,
+    /// Canonical name key per compartment type.
+    pub compartment_type_keys: Vec<Arc<str>>,
+    /// Canonical name key per species type.
+    pub species_type_keys: Vec<Arc<str>>,
+    /// Canonical name key per compartment.
+    pub compartment_keys: Vec<Arc<str>>,
+    /// Canonical name key per species.
+    pub species_keys: Vec<Arc<str>>,
+    /// Canonical content key per rule.
+    pub rule_keys: Vec<Arc<str>>,
+    /// Canonical content key per constraint.
+    pub constraint_keys: Vec<Arc<str>>,
+    /// Canonical content key per reaction.
+    pub reaction_keys: Vec<Arc<str>>,
+    /// Canonical content key per event.
+    pub event_keys: Vec<Arc<str>>,
+    /// Evaluated initial values, sorted by symbol.
+    pub initial_values: Vec<(String, f64)>,
+}
+
 /// One computed per-component key (see [`IncomingKeys::build_parallel`]):
 /// a bare key, a key with its component's free-reference set, or a
 /// reaction key with both the full and the kinetic-law-only ref sets.
 enum ComputedKey {
     Plain(Arc<str>),
-    WithRefs(Arc<str>, Box<[String]>),
-    Reaction(Arc<str>, Box<[String]>, Box<[String]>),
+    WithRefs(Arc<str>, Box<[Arc<str>]>),
+    Reaction(Arc<str>, Box<[Arc<str>]>, Box<[Arc<str>]>),
 }
 
 /// Compute the incoming key of one flattened job. `offsets[k]` is the
@@ -338,6 +418,13 @@ fn key_job_weight(model: &Model, offsets: &[usize; 10], job: usize) -> u64 {
 }
 
 impl IncomingKeys {
+    /// The free-reference sets, deriving them from `model` on first use
+    /// after a snapshot load (fresh preparations store them pre-filled).
+    /// Thread-safe; at most one derivation ever runs.
+    pub(crate) fn refs(&self, model: &Model) -> &IncomingRefs {
+        self.refs.get_or_init(|| IncomingRefs::build(model))
+    }
+
     /// Compute a model's incoming-side keys — the same artifact
     /// [`ModelAnalysis::build`] fills into its `incoming` argument — with
     /// the per-component jobs distributed across `workers` scoped threads
@@ -424,38 +511,40 @@ impl IncomingKeys {
         // Ascending job order is per-kind positional order, so plain
         // pushes reassemble every vector.
         let mut keys = IncomingKeys::default();
+        let mut refs = IncomingRefs::default();
         for (job, slot) in computed {
             let kind = offsets.iter().rposition(|&o| job >= o).expect("job id below every offset");
             match (kind, slot) {
-                (0, ComputedKey::WithRefs(key, refs)) => {
+                (0, ComputedKey::WithRefs(key, r)) => {
                     keys.functions.push(key);
-                    keys.function_refs.push(refs);
+                    refs.functions.push(r);
                 }
                 (1, ComputedKey::Plain(key)) => keys.units.push(key),
                 (2, ComputedKey::Plain(key)) => keys.compartment_types.push(key),
                 (3, ComputedKey::Plain(key)) => keys.species_types.push(key),
                 (4, ComputedKey::Plain(key)) => keys.compartments.push(key),
                 (5, ComputedKey::Plain(key)) => keys.species.push(key),
-                (6, ComputedKey::WithRefs(key, refs)) => {
+                (6, ComputedKey::WithRefs(key, r)) => {
                     keys.rules.push(key);
-                    keys.rule_refs.push(refs);
+                    refs.rules.push(r);
                 }
-                (7, ComputedKey::WithRefs(key, refs)) => {
+                (7, ComputedKey::WithRefs(key, r)) => {
                     keys.constraints.push(key);
-                    keys.constraint_refs.push(refs);
+                    refs.constraints.push(r);
                 }
-                (8, ComputedKey::Reaction(key, refs, math_refs)) => {
+                (8, ComputedKey::Reaction(key, r, math_refs)) => {
                     keys.reactions.push(key);
-                    keys.reaction_refs.push(refs);
-                    keys.reaction_math_refs.push(math_refs);
+                    refs.reactions.push(r);
+                    refs.reaction_math.push(math_refs);
                 }
-                (9, ComputedKey::WithRefs(key, refs)) => {
+                (9, ComputedKey::WithRefs(key, r)) => {
                     keys.events.push(key);
-                    keys.event_refs.push(refs);
+                    refs.events.push(r);
                 }
                 _ => unreachable!("job kind and payload always agree"),
             }
         }
+        let _ = keys.refs.set(refs);
         keys
     }
 }
@@ -489,7 +578,6 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.functions.push(key);
-                inc.function_refs.push(function_refs(f));
             }
         }
         for (i, u) in model.unit_definitions.iter().enumerate() {
@@ -549,7 +637,6 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.rules.push(key);
-                inc.rule_refs.push(rule_refs(r));
             }
         }
         for (i, c) in model.constraints.iter().enumerate() {
@@ -557,7 +644,6 @@ impl ModelAnalysis {
             idx.constraints_by_content.insert_shared(&key, i);
             if let Some(inc) = inc.as_deref_mut() {
                 inc.constraints.push(key);
-                inc.constraint_refs.push(constraint_refs(&c.math));
             }
         }
         let rxn_content = options.cache_patterns;
@@ -576,9 +662,6 @@ impl ModelAnalysis {
                 }
                 if let Some(inc) = inc.as_deref_mut() {
                     inc.reactions.push(key);
-                    let (refs, math_refs) = reaction_refs(r);
-                    inc.reaction_math_refs.push(math_refs);
-                    inc.reaction_refs.push(refs);
                 }
             }
         }
@@ -593,8 +676,12 @@ impl ModelAnalysis {
             }
             if let Some(inc) = inc.as_deref_mut() {
                 inc.events.push(key);
-                inc.event_refs.push(event_refs(ev));
             }
+        }
+        // Fresh preparations carry their reference sets pre-filled (the
+        // incoming path is exactly where the merge will need them).
+        if let Some(inc) = inc {
+            let _ = inc.refs.set(IncomingRefs::build(model));
         }
         analysis
     }
@@ -629,13 +716,42 @@ impl ModelAnalysis {
 pub struct PreparedModel {
     model: Model,
     fingerprint: OptionsFingerprint,
-    pub(crate) analysis: ModelAnalysis,
+    /// The base-side analysis. Fresh preparations fill it eagerly (the
+    /// keys come out of the same canonicalisation pass); snapshot loads
+    /// leave it empty and [`PreparedModel::analysis`] rebuilds it from
+    /// the cached incoming keys on the first composition use — corpus
+    /// models that only ever answer match queries never pay for it.
+    analysis: Arc<std::sync::OnceLock<ModelAnalysis>>,
+    /// The option bits the lazy analysis rebuild needs (the full options
+    /// — synonym table included — are not required: nothing is
+    /// re-canonicalised).
+    analysis_config: AnalysisConfig,
     pub(crate) incoming: IncomingKeys,
     pub(crate) initial_values: Arc<InitialValues>,
     /// Lazily-computed merge-pipeline plan (see [`crate::pipeline`]) — a
     /// pure function of this model's ids and reference sets, shared (via
     /// `Arc`) across clones and filled on the first pipelined push.
     pub(crate) plan: Arc<std::sync::OnceLock<crate::pipeline::Plan>>,
+}
+
+/// The slice of [`ComposeOptions`] that shapes a [`ModelAnalysis`] built
+/// from already-canonical keys: the index structure and the two cache
+/// ablation flags.
+#[derive(Debug, Clone, Copy)]
+struct AnalysisConfig {
+    index: crate::index::IndexKind,
+    cache_patterns: bool,
+    cache_content_keys: bool,
+}
+
+impl AnalysisConfig {
+    fn of(options: &ComposeOptions) -> AnalysisConfig {
+        AnalysisConfig {
+            index: options.index,
+            cache_patterns: options.cache_patterns,
+            cache_content_keys: options.cache_content_keys,
+        }
+    }
 }
 
 impl PreparedModel {
@@ -657,14 +773,28 @@ impl PreparedModel {
         } else {
             InitialValues::default()
         });
+        // The analysis fell out of the same canonicalisation pass that
+        // produced the keys — store it filled.
+        let cell = std::sync::OnceLock::new();
+        let _ = cell.set(analysis);
         PreparedModel {
             model,
             fingerprint: options.fingerprint(),
-            analysis,
+            analysis: Arc::new(cell),
+            analysis_config: AnalysisConfig::of(options),
             incoming,
             initial_values,
             plan: Arc::new(std::sync::OnceLock::new()),
         }
+    }
+
+    /// The base-side analysis, rebuilding it from the cached incoming
+    /// keys on first use after a snapshot load (fresh preparations carry
+    /// it pre-filled). Thread-safe; at most one rebuild ever runs.
+    pub(crate) fn analysis(&self) -> &ModelAnalysis {
+        self.analysis.get_or_init(|| {
+            ModelAnalysis::from_incoming(&self.model, &self.incoming, self.analysis_config)
+        })
     }
 
     /// The model this preparation belongs to.
@@ -720,6 +850,199 @@ impl PreparedModel {
             .chain(&inc.events)
     }
 
+    /// Decompose the preparation into its serialisable raw parts: the
+    /// model, every cached canonical key family, and the evaluated
+    /// initial values. The parts are exactly what
+    /// [`PreparedModel::from_raw`] needs to reconstruct the preparation
+    /// without re-canonicalising a single key — the `sbml-serve` snapshot
+    /// format persists them verbatim. (Free-reference sets are *not*
+    /// part of the raw form: they are derived from the model on first
+    /// compose use.)
+    pub fn to_raw(&self) -> RawPrepared {
+        let inc = &self.incoming;
+        let mut initial_values: Vec<(String, f64)> =
+            self.initial_values.values.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        initial_values.sort_by(|a, b| a.0.cmp(&b.0));
+        RawPrepared {
+            model: self.model.clone(),
+            function_keys: inc.functions.clone(),
+            unit_keys: inc.units.clone(),
+            compartment_type_keys: inc.compartment_types.clone(),
+            species_type_keys: inc.species_types.clone(),
+            compartment_keys: inc.compartments.clone(),
+            species_keys: inc.species.clone(),
+            rule_keys: inc.rules.clone(),
+            constraint_keys: inc.constraints.clone(),
+            reaction_keys: inc.reactions.clone(),
+            event_keys: inc.events.clone(),
+            initial_values,
+        }
+    }
+
+    /// Reassemble a preparation from raw parts produced by
+    /// [`PreparedModel::to_raw`] (possibly via a round-trip through disk).
+    ///
+    /// Nothing is re-canonicalised: the cached keys are taken as given
+    /// and the cheap derived state — the taken-id set, the per-kind
+    /// lookup indexes, the key cache — is rebuilt from them by plain
+    /// hash-map insertion, mirroring the control flow of the fresh
+    /// analysis (including the `cache_patterns` / `cache_content_keys`
+    /// ablations). The caller is responsible for checking that `options`
+    /// carries the fingerprint the parts were prepared under (the
+    /// snapshot loader verifies the recorded
+    /// [`OptionsFingerprint::stable_hash`] before calling this);
+    /// structural mismatches between the parts and the model are reported
+    /// as errors, never panics.
+    pub fn from_raw(raw: RawPrepared, options: &ComposeOptions) -> Result<PreparedModel, String> {
+        let model = raw.model;
+        let check = |family: &str, got: usize, want: usize| -> Result<(), String> {
+            if got == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "prepared parts for {:?} are inconsistent: {family} has {got} entries, \
+                     model has {want}",
+                    model.id
+                ))
+            }
+        };
+        check("function keys", raw.function_keys.len(), model.function_definitions.len())?;
+        check("unit keys", raw.unit_keys.len(), model.unit_definitions.len())?;
+        check(
+            "compartment type keys",
+            raw.compartment_type_keys.len(),
+            model.compartment_types.len(),
+        )?;
+        check("species type keys", raw.species_type_keys.len(), model.species_types.len())?;
+        check("compartment keys", raw.compartment_keys.len(), model.compartments.len())?;
+        check("species keys", raw.species_keys.len(), model.species.len())?;
+        check("rule keys", raw.rule_keys.len(), model.rules.len())?;
+        check("constraint keys", raw.constraint_keys.len(), model.constraints.len())?;
+        check("reaction keys", raw.reaction_keys.len(), model.reactions.len())?;
+        check("event keys", raw.event_keys.len(), model.events.len())?;
+
+        let incoming = IncomingKeys {
+            functions: raw.function_keys,
+            units: raw.unit_keys,
+            compartment_types: raw.compartment_type_keys,
+            species_types: raw.species_type_keys,
+            compartments: raw.compartment_keys,
+            species: raw.species_keys,
+            rules: raw.rule_keys,
+            constraints: raw.constraint_keys,
+            reactions: raw.reaction_keys,
+            events: raw.event_keys,
+            // Left empty: [`IncomingKeys::refs`] derives the reference
+            // sets from the model on the first compose use.
+            refs: std::sync::OnceLock::new(),
+        };
+
+        let initial_values =
+            Arc::new(InitialValues { values: raw.initial_values.into_iter().collect() });
+        Ok(PreparedModel {
+            model,
+            fingerprint: options.fingerprint(),
+            // Left empty: the length checks above guarantee the lazy
+            // rebuild in [`PreparedModel::analysis`] cannot index out of
+            // bounds, and a corpus that only answers match queries never
+            // needs the base-side indexes at all.
+            analysis: Arc::new(std::sync::OnceLock::new()),
+            analysis_config: AnalysisConfig::of(options),
+            incoming,
+            initial_values,
+            plan: Arc::new(std::sync::OnceLock::new()),
+        })
+    }
+}
+
+impl ModelAnalysis {
+    /// Rebuild the derived state exactly as [`ModelAnalysis::build`]
+    /// fills it, but from the cached incoming keys instead of fresh
+    /// canonicalisation. The caller guarantees every key family is
+    /// positional with its component list (the snapshot loader checks
+    /// the lengths before constructing the [`PreparedModel`]).
+    fn from_incoming(
+        model: &Model,
+        incoming: &IncomingKeys,
+        config: AnalysisConfig,
+    ) -> ModelAnalysis {
+        let cache = config.cache_content_keys;
+        let mut idx = Indexes::with_kind(config.index);
+        let mut keys = KeyCache::default();
+        for (i, f) in model.function_definitions.iter().enumerate() {
+            idx.functions_by_id.insert(&f.id, i);
+            idx.functions_by_content.insert_shared(&incoming.functions[i], i);
+            if cache {
+                keys.functions.push(Arc::clone(&incoming.functions[i]));
+            }
+        }
+        for (i, u) in model.unit_definitions.iter().enumerate() {
+            idx.units_by_id.insert(&u.id, i);
+            idx.units_by_content.insert_shared(&incoming.units[i], i);
+            if cache {
+                keys.units.push(Arc::clone(&incoming.units[i]));
+            }
+        }
+        for (i, t) in model.compartment_types.iter().enumerate() {
+            idx.compartment_types_by_id.insert(&t.id, i);
+            idx.compartment_types_by_name.insert_shared(&incoming.compartment_types[i], i);
+        }
+        for (i, t) in model.species_types.iter().enumerate() {
+            idx.species_types_by_id.insert(&t.id, i);
+            idx.species_types_by_name.insert_shared(&incoming.species_types[i], i);
+        }
+        for (i, c) in model.compartments.iter().enumerate() {
+            idx.compartments_by_id.insert(&c.id, i);
+            idx.compartments_by_name.insert_shared(&incoming.compartments[i], i);
+        }
+        for (i, s) in model.species.iter().enumerate() {
+            idx.species_by_id.insert(&s.id, i);
+            idx.species_by_name.insert_shared(&incoming.species[i], i);
+        }
+        for (i, p) in model.parameters.iter().enumerate() {
+            idx.parameters_by_id.insert(&p.id, i);
+        }
+        for (i, ia) in model.initial_assignments.iter().enumerate() {
+            idx.assignments_by_symbol.insert(&ia.symbol, i);
+        }
+        for (i, r) in model.rules.iter().enumerate() {
+            idx.rules_by_content.insert_shared(&incoming.rules[i], i);
+            if let Some(v) = r.variable() {
+                idx.rules_by_variable.insert(v, i);
+            }
+        }
+        for i in 0..model.constraints.len() {
+            idx.constraints_by_content.insert_shared(&incoming.constraints[i], i);
+        }
+        let rxn_content = config.cache_patterns;
+        for (i, r) in model.reactions.iter().enumerate() {
+            idx.reactions_by_id.insert(&r.id, i);
+            if rxn_content {
+                idx.reactions_by_content.insert_shared(&incoming.reactions[i], i);
+                if cache {
+                    keys.reactions.push(Arc::clone(&incoming.reactions[i]));
+                }
+            }
+        }
+        for (i, ev) in model.events.iter().enumerate() {
+            if let Some(id) = &ev.id {
+                idx.events_by_id.insert(id, i);
+            }
+            idx.events_by_content.insert_shared(&incoming.events[i], i);
+            if cache {
+                keys.events.push(Arc::clone(&incoming.events[i]));
+            }
+        }
+
+        ModelAnalysis {
+            taken: Arc::new(model.global_ids().into_iter().collect()),
+            idx,
+            keys,
+        }
+    }
+}
+
+impl PreparedModel {
     /// Panic unless this preparation matches `options`; called by every
     /// prepared composition entry point.
     pub(crate) fn check_options(&self, options: &ComposeOptions) {
@@ -756,12 +1079,12 @@ mod tests {
         let m = sample();
         let p = PreparedModel::new(&m, &options);
         assert_eq!(p.model(), &m);
-        assert_eq!(p.analysis.idx.species_by_id.len(), 2);
-        assert_eq!(p.analysis.idx.reactions_by_id.len(), 1);
+        assert_eq!(p.analysis().idx.species_by_id.len(), 2);
+        assert_eq!(p.analysis().idx.reactions_by_id.len(), 1);
         assert_eq!(p.incoming.species.len(), 2);
         assert_eq!(p.incoming.reactions.len(), 1);
         assert_eq!(p.incoming.compartments.len(), 1);
-        assert!(p.analysis.taken.contains("hex"));
+        assert!(p.analysis().taken.contains("hex"));
         // Initial assignment evaluated at preparation time.
         assert_eq!(p.initial_values().get("G6P"), Some(4.0));
     }
@@ -931,6 +1254,63 @@ mod tests {
         for workers in [2, 3, 7, 16] {
             assert_eq!(IncomingKeys::build_parallel(&m, &options, workers), serial, "{workers}");
         }
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_preparation() {
+        for options in
+            [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let m = every_kind();
+            let fresh = PreparedModel::new(&m, &options);
+            let rebuilt = PreparedModel::from_raw(fresh.to_raw(), &options)
+                .expect("raw parts from to_raw are consistent");
+            assert_eq!(rebuilt.model(), fresh.model());
+            // Force the lazily-derived reference sets so the equality
+            // below also pins them to the fresh (eager) ones.
+            rebuilt.incoming.refs(rebuilt.model());
+            assert_eq!(rebuilt.incoming, fresh.incoming);
+            assert_eq!(rebuilt.initial_values(), fresh.initial_values());
+            assert_eq!(rebuilt.fingerprint(), fresh.fingerprint());
+            assert_eq!(rebuilt.analysis().taken, fresh.analysis().taken);
+            assert_eq!(
+                rebuilt.analysis().idx.reactions_by_content.len(),
+                fresh.analysis().idx.reactions_by_content.len()
+            );
+            // The rebuilt preparation composes bit-identically.
+            let composer = crate::Composer::new(options.clone());
+            let other = PreparedModel::new(&sample(), &options);
+            let a = composer.compose_prepared(&fresh, &other);
+            let b = composer.compose_prepared(&rebuilt, &other);
+            assert_eq!(a.model, b.model);
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_honours_cache_ablations() {
+        let options = ComposeOptions::default()
+            .with_pattern_cache(false)
+            .with_content_key_cache(false);
+        let m = every_kind();
+        let fresh = PreparedModel::new(&m, &options);
+        let rebuilt = PreparedModel::from_raw(fresh.to_raw(), &options).expect("consistent");
+        assert_eq!(rebuilt.analysis().keys.reactions.len(), fresh.analysis().keys.reactions.len());
+        assert_eq!(
+            rebuilt.analysis().idx.reactions_by_content.len(),
+            fresh.analysis().idx.reactions_by_content.len()
+        );
+        rebuilt.incoming.refs(rebuilt.model());
+        assert_eq!(rebuilt.incoming, fresh.incoming);
+    }
+
+    #[test]
+    fn inconsistent_raw_parts_are_rejected_not_panicking() {
+        let options = ComposeOptions::default();
+        let fresh = PreparedModel::new(&every_kind(), &options);
+        let mut raw = fresh.to_raw();
+        raw.species_keys.pop();
+        let err = PreparedModel::from_raw(raw, &options).unwrap_err();
+        assert!(err.contains("species keys"), "{err}");
     }
 
     #[test]

@@ -560,9 +560,9 @@ impl<'o> CompositionSession<'o> {
     /// its base-side analysis instead of rebuilding it.
     fn adopt_prepared(&mut self, p: &PreparedModel) {
         self.merged = p.model().clone();
-        self.taken.reset(Arc::clone(&p.analysis.taken));
-        self.idx = p.analysis.idx.clone();
-        self.keys = p.analysis.keys.clone();
+        self.taken.reset(Arc::clone(&p.analysis().taken));
+        self.idx = p.analysis().idx.clone();
+        self.keys = p.analysis().keys.clone();
         self.delta = DeltaIndexes::new(self.options());
         self.incremental = None;
         self.base_ivs = self

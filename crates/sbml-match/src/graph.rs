@@ -24,6 +24,21 @@ pub(crate) struct EdgeRec {
     pub(crate) key: Arc<str>,
 }
 
+/// The serialisable skeleton of a [`MatchGraph`]: exactly the state that
+/// cannot be derived in O(nodes + edges) — canonical node keys (synonym
+/// closure is *not* re-run at load), keyed edges, and which model
+/// reaction each edge came from. See [`MatchGraph::to_raw`] /
+/// [`MatchGraph::from_raw`].
+#[derive(Debug, Clone, Default)]
+pub struct RawGraph {
+    /// Canonical node key per node (node `i` is `model.species[i]`).
+    pub node_keys: Vec<Arc<str>>,
+    /// Edges as `(from, to, canonical key)` in extraction order.
+    pub edges: Vec<(u32, u32, Arc<str>)>,
+    /// Edge `e` came from `model.reactions[edge_reaction[e]]`.
+    pub edge_reaction: Vec<usize>,
+}
+
 /// A model's graph prepared for matching; see the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct MatchGraph {
@@ -124,6 +139,102 @@ impl MatchGraph {
             edge_key_set,
             edge_reaction: mg.edge_reaction,
         }
+    }
+
+    /// Decompose into the serialisable skeleton: node keys, edges (with
+    /// their canonical keys) and the edge→reaction map. Adjacency lists,
+    /// the node-key index and the edge-key set are all derivable in
+    /// O(nodes + edges) and are therefore *not* part of the skeleton —
+    /// [`MatchGraph::from_raw`] rebuilds them.
+    pub fn to_raw(&self) -> RawGraph {
+        RawGraph {
+            node_keys: self.node_keys.clone(),
+            edges: self.edges.iter().map(|e| (e.from, e.to, Arc::clone(&e.key))).collect(),
+            edge_reaction: self.edge_reaction.clone(),
+        }
+    }
+
+    /// Check a skeleton's structural claims — length agreement and edge
+    /// endpoints in range — without building anything. A skeleton that
+    /// passes can be handed to [`MatchGraph::from_validated`] later (the
+    /// snapshot load path validates everything up front, then defers the
+    /// actual build until a query touches the graph). Violations are
+    /// reported as errors, never panics — the input may come from a
+    /// corrupt snapshot.
+    pub fn validate_raw(raw: &RawGraph) -> Result<(), String> {
+        let n = raw.node_keys.len();
+        if raw.edge_reaction.len() != raw.edges.len() {
+            return Err(format!(
+                "match graph skeleton inconsistent: {} edges but {} edge-reaction entries",
+                raw.edges.len(),
+                raw.edge_reaction.len()
+            ));
+        }
+        for (e, (from, to, _)) in raw.edges.iter().enumerate() {
+            if *from as usize >= n || *to as usize >= n {
+                return Err(format!(
+                    "match graph skeleton inconsistent: edge {e} connects {from}->{to} \
+                     but the graph has {n} nodes"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild a graph from a skeleton that [`MatchGraph::validate_raw`]
+    /// has accepted, deriving adjacency, the node-key index and the
+    /// edge-key set. Infallible and panic-free: an out-of-range endpoint
+    /// (impossible for validated input) drops that edge instead of
+    /// indexing out of bounds.
+    pub fn from_validated(raw: RawGraph) -> MatchGraph {
+        let n = raw.node_keys.len();
+        let mut by_key: FastMap<Arc<str>, Vec<u32>> = FastMap::default();
+        for (i, key) in raw.node_keys.iter().enumerate() {
+            by_key.entry(Arc::clone(key)).or_default().push(i as u32);
+        }
+        // Degrees are counted first so the adjacency vectors allocate
+        // exactly once.
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for (from, to, _) in &raw.edges {
+            if (*from as usize) < n && (*to as usize) < n {
+                out_deg[*from as usize] += 1;
+                in_deg[*to as usize] += 1;
+            }
+        }
+        let mut edges = Vec::with_capacity(raw.edges.len());
+        let mut out: Vec<Vec<(u32, u32)>> =
+            out_deg.iter().map(|&d| Vec::with_capacity(d as usize)).collect();
+        let mut inc: Vec<Vec<(u32, u32)>> =
+            in_deg.iter().map(|&d| Vec::with_capacity(d as usize)).collect();
+        let mut edge_key_set: FastSet<Arc<str>> = FastSet::default();
+        for (e, (from, to, key)) in raw.edges.into_iter().enumerate() {
+            if from as usize >= n || to as usize >= n {
+                continue;
+            }
+            edge_key_set.insert(Arc::clone(&key));
+            out[from as usize].push((to, e as u32));
+            inc[to as usize].push((from, e as u32));
+            edges.push(EdgeRec { from, to, key });
+        }
+        MatchGraph {
+            node_keys: raw.node_keys,
+            edges,
+            out,
+            inc,
+            by_key,
+            edge_key_set,
+            edge_reaction: raw.edge_reaction,
+        }
+    }
+
+    /// Validate a skeleton and rebuild the graph in one step.
+    ///
+    /// # Errors
+    /// Whatever [`MatchGraph::validate_raw`] rejects.
+    pub fn from_raw(raw: RawGraph) -> Result<MatchGraph, String> {
+        MatchGraph::validate_raw(&raw)?;
+        Ok(MatchGraph::from_validated(raw))
     }
 
     /// Number of nodes.
@@ -229,6 +340,43 @@ mod tests {
             Some(p.reaction_content_keys()),
         );
         assert_eq!(g2.edge(0).key, g.edge(0).key);
+    }
+
+    #[test]
+    fn raw_round_trip_rebuilds_derived_state() {
+        let m = two_step();
+        for options in
+            [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let g = MatchGraph::build(&m, &MatchSemantics::from_options(&options), &options, None);
+            let r = MatchGraph::from_raw(g.to_raw()).expect("skeleton is consistent");
+            assert_eq!(r.node_count(), g.node_count());
+            assert_eq!(r.edge_count(), g.edge_count());
+            for n in 0..g.node_count() as u32 {
+                assert_eq!(r.node_key(n), g.node_key(n));
+                assert_eq!(r.out_edges(n), g.out_edges(n));
+                assert_eq!(r.in_edges(n), g.in_edges(n));
+                assert_eq!(r.nodes_with_key(g.node_key(n)), g.nodes_with_key(g.node_key(n)));
+            }
+            for e in 0..g.edge_count() as u32 {
+                assert_eq!(r.edge(e).key, g.edge(e).key);
+                assert_eq!(r.reaction_of(e), g.reaction_of(e));
+            }
+            assert_eq!(r.edge_keys().count(), g.edge_keys().count());
+        }
+    }
+
+    #[test]
+    fn inconsistent_raw_graph_is_rejected() {
+        let m = two_step();
+        let options = ComposeOptions::none();
+        let g = MatchGraph::build(&m, &MatchSemantics::from_options(&options), &options, None);
+        let mut raw = g.to_raw();
+        raw.edges[0].0 = 99; // endpoint out of range
+        assert!(MatchGraph::from_raw(raw).is_err());
+        let mut raw = g.to_raw();
+        raw.edge_reaction.pop();
+        assert!(MatchGraph::from_raw(raw).is_err());
     }
 
     #[test]

@@ -47,7 +47,7 @@ use sbml_compose::index::{FastMap, FastSet};
 use sbml_compose::{BatchComposer, ComposeOptions, Composer, PreparedModel};
 use sbml_model::{Model, Reaction};
 
-use crate::graph::MatchGraph;
+use crate::graph::{MatchGraph, RawGraph};
 use crate::semantics::MatchSemantics;
 use crate::vf2::{find_embedding, find_embedding_limited, SearchLimits, SearchOutcome};
 
@@ -130,26 +130,117 @@ pub struct PreparedQuery {
     content_keys: FastSet<Arc<str>>,
 }
 
+/// The serialisable skeleton of a [`MatchIndex`]: everything the build
+/// derives from the corpus, minus the pieces that are cheap `Arc` clones
+/// of the corpus itself (content-key sets) or runtime-only (thread pool,
+/// budget knobs). Posting lists are sorted by key so the skeleton — and
+/// any snapshot encoding of it — is byte-deterministic for a given
+/// corpus and options. Produced by [`MatchIndex::to_raw`], consumed by
+/// [`MatchIndex::from_raw`].
+#[derive(Debug, Clone, Default)]
+pub struct RawIndex {
+    /// Per-model match graph skeletons, corpus order.
+    pub graphs: Vec<RawGraph>,
+    /// Node-key posting lists, sorted by key; ids ascending per list.
+    pub node_postings: Vec<(Arc<str>, Vec<u32>)>,
+    /// Edge-key posting lists, sorted by key; ids ascending per list.
+    pub edge_postings: Vec<(Arc<str>, Vec<u32>)>,
+    /// Participant-key posting lists, sorted by key.
+    pub participant_postings: Vec<(String, Vec<u32>)>,
+}
+
+/// A corpus graph that may still be in skeleton form after a snapshot
+/// load: [`MatchIndex::from_raw`] validates every skeleton up front but
+/// defers deriving adjacency and key indexes until a query actually
+/// refines against the model, so loading a snapshot costs decoding, not
+/// rebuilding. [`MatchIndex::build`] stores graphs already built.
+/// Thread-safe: at most one build ever runs per graph.
+struct LazyGraph {
+    /// The validated skeleton; taken by the first build.
+    raw: std::sync::Mutex<Option<RawGraph>>,
+    built: std::sync::OnceLock<MatchGraph>,
+}
+
+impl LazyGraph {
+    fn from_built(graph: MatchGraph) -> LazyGraph {
+        let built = std::sync::OnceLock::new();
+        let _ = built.set(graph);
+        LazyGraph { raw: std::sync::Mutex::new(None), built }
+    }
+
+    fn deferred(raw: RawGraph) -> LazyGraph {
+        LazyGraph { raw: std::sync::Mutex::new(Some(raw)), built: std::sync::OnceLock::new() }
+    }
+
+    fn get(&self) -> &MatchGraph {
+        self.built.get_or_init(|| {
+            let raw = match self.raw.lock() {
+                Ok(mut slot) => slot.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            };
+            // The skeleton was validated when the index was constructed;
+            // a missing one (impossible by construction) degrades to an
+            // empty graph rather than panicking.
+            MatchGraph::from_validated(raw.unwrap_or_default())
+        })
+    }
+
+    /// The skeleton, without forcing a build: still-deferred graphs are
+    /// encoded from the stored raw directly.
+    fn to_raw(&self) -> RawGraph {
+        if let Some(graph) = self.built.get() {
+            return graph.to_raw();
+        }
+        let raw = match self.raw.lock() {
+            Ok(slot) => slot.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        match raw {
+            Some(raw) => raw,
+            // A build raced us and took the raw; it has finished (or
+            // will) — get() blocks until the graph is available.
+            None => self.get().to_raw(),
+        }
+    }
+}
+
 /// Inverted match index over a prepared corpus; see the
 /// [module docs](self).
 pub struct MatchIndex {
     options: ComposeOptions,
     semantics: MatchSemantics,
     corpus: Vec<Arc<PreparedModel>>,
-    graphs: Vec<MatchGraph>,
+    graphs: Vec<LazyGraph>,
     node_postings: FastMap<Arc<str>, Vec<u32>>,
     edge_postings: FastMap<Arc<str>, Vec<u32>>,
     participant_postings: FastMap<String, Vec<u32>>,
-    /// Per model: full canonical content-key set (Jaccard denominator).
-    content_key_sets: Vec<FastSet<Arc<str>>>,
-    /// Per model: participant keys present.
-    participant_sets: Vec<FastSet<String>>,
+    /// Per model: full canonical content-key set (Jaccard denominator),
+    /// derived from the corpus preparation on first use after a snapshot
+    /// load ([`MatchIndex::build`] fills it eagerly).
+    content_key_sets: Vec<std::sync::OnceLock<FastSet<Arc<str>>>>,
+    /// Per model: participant keys present, sorted. A pure function of
+    /// the prepared model and the semantics (like free-reference sets on
+    /// the compose side), so it is NOT serialised: snapshot loads leave
+    /// the cells empty and the list is re-derived on first ranked use
+    /// ([`MatchIndex::build`] fills it eagerly).
+    participant_raw: Vec<std::sync::OnceLock<Vec<String>>>,
+    /// Per model: `participant_raw[i]` as a set, built on first use after
+    /// a snapshot load.
+    participant_sets: Vec<std::sync::OnceLock<FastSet<String>>>,
     batch: BatchComposer,
     budget: u64,
     /// Per-query wall-clock allowance for the refinement stage; `None`
     /// (the default) means unlimited.
     deadline: Option<Duration>,
     top_k: usize,
+}
+
+/// A `OnceLock` already holding `value` — the eager-construction side of
+/// the lazy per-model state above.
+fn filled<T>(value: T) -> std::sync::OnceLock<T> {
+    let cell = std::sync::OnceLock::new();
+    let _ = cell.set(value);
+    cell
 }
 
 /// Per-candidate refinement verdict, internal to
@@ -216,9 +307,14 @@ impl MatchIndex {
     /// inverted here are only meaningful under the options that derived
     /// them.
     ///
+    /// The corpus is borrowed as `&[Arc<PreparedModel>]` — the index
+    /// keeps `Arc` clones (refcount bumps, no model copies), so a daemon
+    /// can share one prepared corpus across the index, a
+    /// [`BatchComposer`], and its own handlers without cloning models.
+    ///
     /// # Panics
     /// If a preparation's fingerprint does not match `options`.
-    pub fn build(corpus: Vec<Arc<PreparedModel>>, options: &ComposeOptions) -> MatchIndex {
+    pub fn build(corpus: &[Arc<PreparedModel>], options: &ComposeOptions) -> MatchIndex {
         MatchIndex::build_with_threads(corpus, options, 0)
     }
 
@@ -227,14 +323,14 @@ impl MatchIndex {
     /// core, the [`MatchIndex::build`] default). Thread count never
     /// affects the index contents or query results.
     pub fn build_with_threads(
-        corpus: Vec<Arc<PreparedModel>>,
+        corpus: &[Arc<PreparedModel>],
         options: &ComposeOptions,
         threads: usize,
     ) -> MatchIndex {
         let semantics = MatchSemantics::from_options(options);
         let batch = BatchComposer::new(Composer::new(options.clone())).with_threads(threads);
         let fingerprint = options.fingerprint();
-        for p in &corpus {
+        for p in corpus {
             assert!(
                 p.fingerprint() == fingerprint,
                 "PreparedModel for {:?} was prepared under different options; \
@@ -242,6 +338,7 @@ impl MatchIndex {
                 p.model().id,
             );
         }
+        let corpus: Vec<Arc<PreparedModel>> = corpus.to_vec();
 
         // Per-model analysis (graph extraction, key resolution) is
         // independent — fan it out thread-per-shard like prepare_corpus;
@@ -265,6 +362,7 @@ impl MatchIndex {
         let mut participant_postings: FastMap<String, Vec<u32>> = FastMap::default();
         let mut content_key_sets = Vec::with_capacity(corpus.len());
         let mut participant_sets = Vec::with_capacity(corpus.len());
+        let mut participant_raw = Vec::with_capacity(corpus.len());
         for (i, (graph, pset, ckeys)) in analysed.into_iter().enumerate() {
             let mi = i as u32;
             let push = |postings: &mut FastMap<Arc<str>, Vec<u32>>, key: &Arc<str>| {
@@ -285,9 +383,12 @@ impl MatchIndex {
                     list.push(mi);
                 }
             }
-            participant_sets.push(pset);
-            content_key_sets.push(ckeys);
-            graphs.push(graph);
+            let mut sorted: Vec<String> = pset.iter().cloned().collect();
+            sorted.sort_unstable();
+            participant_raw.push(filled(sorted));
+            participant_sets.push(filled(pset));
+            content_key_sets.push(filled(ckeys));
+            graphs.push(LazyGraph::from_built(graph));
         }
 
         MatchIndex {
@@ -298,6 +399,7 @@ impl MatchIndex {
             edge_postings,
             participant_postings,
             content_key_sets,
+            participant_raw,
             participant_sets,
             batch,
             budget: DEFAULT_BUDGET,
@@ -305,6 +407,114 @@ impl MatchIndex {
             top_k: 10,
             options: options.clone(),
         }
+    }
+
+    /// Extract the serialisable skeleton of this index: graphs and
+    /// posting lists, with every map flattened into key-sorted vectors so
+    /// the result is deterministic for a given corpus and options.
+    /// Content-key sets and per-model participant-key lists are *not*
+    /// carried — both are pure functions of the corpus's
+    /// [`PreparedModel`]s, so [`MatchIndex::from_raw`] re-derives them
+    /// lazily on first use.
+    pub fn to_raw(&self) -> RawIndex {
+        let flatten_arc = |postings: &FastMap<Arc<str>, Vec<u32>>| {
+            let mut out: Vec<(Arc<str>, Vec<u32>)> =
+                postings.iter().map(|(k, v)| (Arc::clone(k), v.clone())).collect();
+            out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            out
+        };
+        let mut participant_postings: Vec<(String, Vec<u32>)> = self
+            .participant_postings
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        participant_postings.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        RawIndex {
+            graphs: self.graphs.iter().map(LazyGraph::to_raw).collect(),
+            node_postings: flatten_arc(&self.node_postings),
+            edge_postings: flatten_arc(&self.edge_postings),
+            participant_postings,
+        }
+    }
+
+    /// Rebuild a [`MatchIndex`] from a skeleton and the corpus it was
+    /// extracted over, skipping graph extraction, key resolution, and
+    /// posting inversion entirely — the snapshot fast path. Content-key
+    /// sets come straight off each [`PreparedModel`] as `Arc` clones (no
+    /// re-canonicalisation). Every structural claim the skeleton makes is
+    /// validated (family lengths against the corpus, posting ids against
+    /// the corpus size, graph consistency); violations return a
+    /// structured error, never a panic, because the skeleton may come
+    /// from an untrusted snapshot file.
+    ///
+    /// # Errors
+    /// If a preparation's fingerprint does not match `options`, or the
+    /// skeleton is inconsistent with the corpus.
+    pub fn from_raw(
+        raw: RawIndex,
+        corpus: &[Arc<PreparedModel>],
+        options: &ComposeOptions,
+        threads: usize,
+    ) -> Result<MatchIndex, String> {
+        let fingerprint = options.fingerprint();
+        for p in corpus {
+            if p.fingerprint() != fingerprint {
+                return Err(format!(
+                    "PreparedModel for {:?} was prepared under different options",
+                    p.model().id,
+                ));
+            }
+        }
+        let n = corpus.len();
+        if raw.graphs.len() != n {
+            return Err(format!("raw index carries {} graphs for {n} models", raw.graphs.len()));
+        }
+        // Skeletons are validated now (a corrupt one must surface as an
+        // error here, not a panic later), but built lazily: adjacency and
+        // key indexes are derived on the first query that refines against
+        // the model, keeping the load itself a pure decode.
+        let mut graphs = Vec::with_capacity(n);
+        for (i, g) in raw.graphs.into_iter().enumerate() {
+            if let Err(e) = MatchGraph::validate_raw(&g) {
+                return Err(format!("graph {i}: {e}"));
+            }
+            graphs.push(LazyGraph::deferred(g));
+        }
+        let check_ids = |family: &str, lists: &mut dyn Iterator<Item = &[u32]>| -> Result<(), String> {
+            for (k, list) in lists.enumerate() {
+                if list.iter().any(|&m| m as usize >= n) {
+                    return Err(format!(
+                        "{family} posting {k} references a model id >= corpus size {n}"
+                    ));
+                }
+            }
+            Ok(())
+        };
+        check_ids("node", &mut raw.node_postings.iter().map(|(_, v)| v.as_slice()))?;
+        check_ids("edge", &mut raw.edge_postings.iter().map(|(_, v)| v.as_slice()))?;
+        check_ids(
+            "participant",
+            &mut raw.participant_postings.iter().map(|(_, v)| v.as_slice()),
+        )?;
+        let content_key_sets = (0..n).map(|_| std::sync::OnceLock::new()).collect();
+        let participant_raw = (0..n).map(|_| std::sync::OnceLock::new()).collect();
+        let participant_sets = (0..n).map(|_| std::sync::OnceLock::new()).collect();
+        Ok(MatchIndex {
+            semantics: MatchSemantics::from_options(options),
+            corpus: corpus.to_vec(),
+            graphs,
+            node_postings: raw.node_postings.into_iter().collect(),
+            edge_postings: raw.edge_postings.into_iter().collect(),
+            participant_postings: raw.participant_postings.into_iter().collect(),
+            content_key_sets,
+            participant_raw,
+            participant_sets,
+            batch: BatchComposer::new(Composer::new(options.clone())).with_threads(threads),
+            budget: DEFAULT_BUDGET,
+            deadline: None,
+            top_k: 10,
+            options: options.clone(),
+        })
     }
 
     /// Bound the worker threads [`MatchIndex::query_corpus`] fans out on
@@ -445,13 +655,47 @@ impl MatchIndex {
         }
     }
 
+    /// The match graph of corpus model `i`, built from its skeleton on
+    /// first use after a snapshot load.
+    fn graph(&self, i: usize) -> &MatchGraph {
+        self.graphs[i].get()
+    }
+
+    /// The content-key set of corpus model `i` (Jaccard denominator),
+    /// derived from the preparation on first use after a snapshot load.
+    fn content_keys_of(&self, i: usize) -> &FastSet<Arc<str>> {
+        self.content_key_sets[i]
+            .get_or_init(|| self.corpus[i].content_keys().cloned().collect())
+    }
+
+    /// The sorted participant-key list of corpus model `i`, re-derived
+    /// from the prepared model on first use after a snapshot load.
+    fn participant_raw_of(&self, i: usize) -> &[String] {
+        self.participant_raw[i].get_or_init(|| {
+            let model = self.corpus[i].model();
+            let label_of = species_label_keys(model, &self.semantics);
+            let pset: FastSet<String> =
+                model.reactions.iter().map(|r| participant_key(&label_of, r)).collect();
+            let mut sorted: Vec<String> = pset.into_iter().collect();
+            sorted.sort_unstable();
+            sorted
+        })
+    }
+
+    /// The participant-key set of corpus model `i`, derived from the
+    /// sorted key list on first use after a snapshot load.
+    fn participants_of(&self, i: usize) -> &FastSet<String> {
+        self.participant_sets[i]
+            .get_or_init(|| self.participant_raw_of(i).iter().cloned().collect())
+    }
+
     fn refine_limited(
         &self,
         qa: &PreparedQuery,
         target: usize,
         deadline: Option<Instant>,
     ) -> Refined {
-        let tg = &self.graphs[target];
+        let tg = self.graph(target);
         let limits = SearchLimits { budget: self.budget, deadline };
         let mapping = match find_embedding_limited(&qa.graph, tg, limits) {
             SearchOutcome::Found(mapping) => mapping,
@@ -571,7 +815,7 @@ impl MatchIndex {
     pub fn naive_hits_prepared(&self, qa: &PreparedQuery) -> Vec<usize> {
         (0..self.corpus.len())
             .filter(|&i| {
-                matches!(find_embedding(&qa.graph, &self.graphs[i], self.budget), SearchOutcome::Found(_))
+                matches!(find_embedding(&qa.graph, self.graph(i), self.budget), SearchOutcome::Found(_))
             })
             .collect()
     }
@@ -616,7 +860,7 @@ impl MatchIndex {
     }
 
     fn jaccard(&self, query_keys: &FastSet<Arc<str>>, model: usize) -> f64 {
-        let model_keys = &self.content_key_sets[model];
+        let model_keys = self.content_keys_of(model);
         if query_keys.is_empty() && model_keys.is_empty() {
             return 1.0;
         }
@@ -626,7 +870,7 @@ impl MatchIndex {
     }
 
     fn mapped_fraction(&self, qa: &PreparedQuery, model: usize) -> f64 {
-        let graph = &self.graphs[model];
+        let graph = self.graph(model);
         let total = qa.graph.node_count() + qa.graph.edge_count();
         if total == 0 {
             return 1.0;
@@ -640,7 +884,7 @@ impl MatchIndex {
         for e in 0..qa.graph.edge_count() as u32 {
             let edge = qa.graph.edge(e);
             let pkey = &qa.participant_keys[qa.graph.reaction_of(e)];
-            if graph.has_edge_key(&edge.key) || self.participant_sets[model].contains(pkey) {
+            if graph.has_edge_key(&edge.key) || self.participants_of(model).contains(pkey) {
                 mapped += 1;
             }
         }
@@ -691,7 +935,7 @@ mod tests {
 
     fn index(options: &ComposeOptions) -> MatchIndex {
         let batch = BatchComposer::new(Composer::new(options.clone()));
-        MatchIndex::build(batch.prepare_corpus(&corpus_models()), options)
+        MatchIndex::build(&batch.prepare_corpus(&corpus_models()), options)
     }
 
     fn fragment() -> Model {
@@ -849,7 +1093,45 @@ mod tests {
         let heavy = ComposeOptions::default();
         let batch = BatchComposer::new(Composer::new(heavy.clone()));
         let prepared = batch.prepare_corpus(&corpus_models());
-        let _ = MatchIndex::build(prepared, &ComposeOptions::light());
+        let _ = MatchIndex::build(&prepared, &ComposeOptions::light());
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_query_results() {
+        for options in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let batch = BatchComposer::new(Composer::new(options.clone()));
+            let corpus = batch.prepare_corpus(&corpus_models());
+            let idx = MatchIndex::build(&corpus, &options);
+            let Ok(rebuilt) = MatchIndex::from_raw(idx.to_raw(), &corpus, &options, 0) else {
+                unreachable!("skeleton extracted from a live index is consistent")
+            };
+            assert_eq!(rebuilt.posting_stats(), idx.posting_stats());
+            for query in [fragment(), Model::new("empty")] {
+                assert_eq!(rebuilt.query_corpus(&query), idx.query_corpus(&query));
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_raw_index_is_rejected() {
+        let options = ComposeOptions::default();
+        let batch = BatchComposer::new(Composer::new(options.clone()));
+        let corpus = batch.prepare_corpus(&corpus_models());
+        let idx = MatchIndex::build(&corpus, &options);
+        let mut raw = idx.to_raw();
+        raw.graphs.pop();
+        assert!(MatchIndex::from_raw(raw, &corpus, &options, 0).is_err());
+        let mut raw = idx.to_raw();
+        if let Some((_, list)) = raw.node_postings.first_mut() {
+            list.push(1000); // model id beyond the corpus
+        }
+        assert!(MatchIndex::from_raw(raw, &corpus, &options, 0).is_err());
+        let raw = idx.to_raw();
+        assert!(
+            MatchIndex::from_raw(raw, &corpus, &ComposeOptions::light(), 0).is_err(),
+            "fingerprint mismatch must be an error, not a panic",
+        );
     }
 
     #[test]

@@ -56,7 +56,7 @@
 //! let options = ComposeOptions::default();
 //! let batch = BatchComposer::new(Composer::new(options.clone()));
 //! let corpus = batch.prepare_corpus(&[glycolysis, tca]);
-//! let index = MatchIndex::build(corpus, &options);
+//! let index = MatchIndex::build(&corpus, &options);
 //!
 //! // "Where does glucose -> G6P occur?"
 //! let query = ModelBuilder::new("query")
@@ -79,9 +79,10 @@ pub mod index;
 pub mod semantics;
 pub mod vf2;
 
-pub use graph::MatchGraph;
+pub use graph::{MatchGraph, RawGraph};
 pub use index::{
-    ApproxHit, CorpusHit, CorpusMatches, Embedding, MatchIndex, PreparedQuery, DEFAULT_BUDGET,
+    ApproxHit, CorpusHit, CorpusMatches, Embedding, MatchIndex, PreparedQuery, RawIndex,
+    DEFAULT_BUDGET,
 };
 pub use semantics::MatchSemantics;
 pub use vf2::{find_embedding, SearchOutcome};

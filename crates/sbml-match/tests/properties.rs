@@ -70,7 +70,7 @@ fn levels() -> [ComposeOptions; 3] {
 
 fn index_over(models: &[Model], options: &ComposeOptions) -> MatchIndex {
     let batch = BatchComposer::new(Composer::new(options.clone()));
-    MatchIndex::build(batch.prepare_corpus(models), options)
+    MatchIndex::build(&batch.prepare_corpus(models), options)
 }
 
 /// Are the model's node keys unambiguous (no two species share a key)?

@@ -1,0 +1,36 @@
+//! A blocking protocol client — what `sbmlcompose client` and the
+//! end-to-end tests speak to the daemon with.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// One connection to a daemon; may carry any number of requests.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client { stream: TcpStream::connect(addr)? })
+    }
+
+    /// Send one request and read back the raw response payload bytes
+    /// (status line + body) — what the cache-identity tests compare.
+    pub fn roundtrip_raw(&mut self, request: &Request) -> io::Result<Vec<u8>> {
+        write_frame(&mut self.stream, &request.encode())?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed the connection")
+        })
+    }
+
+    /// Send one request and decode the response.
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        let payload = self.roundtrip_raw(request)?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

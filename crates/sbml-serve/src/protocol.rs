@@ -1,0 +1,355 @@
+//! The daemon's wire protocol: length-prefixed frames carrying
+//! newline-delimited verb lines.
+//!
+//! Every message — request or response — travels as one **frame**: a
+//! `u32` little-endian byte length followed by that many payload bytes
+//! ([`write_frame`] / [`read_frame`]). A request payload is a verb line
+//! (`MATCH`, `QUERY`, `COMPOSE <n>`, `STATS`, `SHUTDOWN`) terminated by
+//! `\n`, followed by the verb's body; a response payload is a status
+//! line (`OK <code>` or `ERR <kind> <message>`) followed by the response
+//! body. The `<code>` of an `OK` is the exit code the equivalent
+//! one-shot CLI run would return (0 hit, 1 miss, 4 partial), so
+//! `sbmlcompose client` can forward it verbatim.
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes in both directions; a peer
+//! declaring more is a protocol error, not an allocation.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload (64 MiB) — far above any
+/// real corpus answer, low enough that a hostile length prefix cannot
+/// OOM the peer.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Full corpus search of an SBML query: exact embeddings, or ranked
+    /// approximate matches when none exists.
+    Match {
+        /// The query model as SBML XML.
+        query_xml: String,
+    },
+    /// Candidate generation only: which models survive the posting-list
+    /// intersection (no VF2 refinement).
+    Query {
+        /// The query model as SBML XML.
+        query_xml: String,
+    },
+    /// Compose two or more models left to right under the server's
+    /// options, under the per-request budget.
+    Compose {
+        /// The models as SBML XML documents, in fold order.
+        models_xml: Vec<String>,
+    },
+    /// Usage metering: counters, cache statistics, latency percentiles.
+    Stats,
+    /// Stop accepting connections and shut the daemon down.
+    Shutdown,
+}
+
+/// What kind of error a response frame reports, mapped by
+/// `sbmlcompose client` onto the CLI exit-code contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// The request body was not parseable SBML (client exit 3).
+    Parse,
+    /// The per-request budget or deadline cut the work short (exit 4).
+    Budget,
+    /// The frame itself was malformed (client exit 2).
+    Proto,
+}
+
+impl ErrKind {
+    /// Wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrKind::Parse => "parse",
+            ErrKind::Budget => "budget",
+            ErrKind::Proto => "proto",
+        }
+    }
+
+    /// Inverse of [`ErrKind::token`].
+    pub fn from_token(token: &str) -> Option<ErrKind> {
+        Some(match token {
+            "parse" => ErrKind::Parse,
+            "budget" => ErrKind::Budget,
+            "proto" => ErrKind::Proto,
+            _ => return None,
+        })
+    }
+
+    /// The exit code `sbmlcompose client` maps this error onto.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrKind::Parse => 3,
+            ErrKind::Budget => 4,
+            ErrKind::Proto => 2,
+        }
+    }
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request was served.
+    Ok {
+        /// Suggested process exit code (CLI contract: 0 hit/success,
+        /// 1 miss, 4 partial).
+        code: u8,
+        /// Verb-specific body (match report, merged SBML, stats text).
+        body: Vec<u8>,
+    },
+    /// The request failed; the daemon keeps serving.
+    Err {
+        /// Failure class.
+        kind: ErrKind,
+        /// One-line human-readable detail.
+        message: String,
+    },
+}
+
+/// Write one frame: `u32` LE payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean EOF before the length
+/// prefix (the peer hung up between requests); a declared length above
+/// [`MAX_FRAME`] is an error before any allocation.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Split a payload at its first newline into (line, rest).
+fn split_line(payload: &[u8]) -> Result<(&str, &[u8]), String> {
+    let nl = payload
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| "missing verb line".to_owned())?;
+    let line = std::str::from_utf8(&payload[..nl])
+        .map_err(|_| "verb line is not UTF-8".to_owned())?;
+    Ok((line, &payload[nl + 1..]))
+}
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Match { query_xml } => {
+                let mut out = b"MATCH\n".to_vec();
+                out.extend_from_slice(query_xml.as_bytes());
+                out
+            }
+            Request::Query { query_xml } => {
+                let mut out = b"QUERY\n".to_vec();
+                out.extend_from_slice(query_xml.as_bytes());
+                out
+            }
+            Request::Compose { models_xml } => {
+                let mut out = format!("COMPOSE {}\n", models_xml.len()).into_bytes();
+                for doc in models_xml {
+                    out.extend_from_slice(&(doc.len() as u32).to_le_bytes());
+                    out.extend_from_slice(doc.as_bytes());
+                }
+                out
+            }
+            Request::Stats => b"STATS\n".to_vec(),
+            Request::Shutdown => b"SHUTDOWN\n".to_vec(),
+        }
+    }
+
+    /// Decode a frame payload; the error string becomes an
+    /// [`ErrKind::Proto`] response.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        let (line, body) = split_line(payload)?;
+        let mut words = line.split_whitespace();
+        let verb = words.next().ok_or_else(|| "empty verb line".to_owned())?;
+        let body_str = |what: &str| -> Result<String, String> {
+            String::from_utf8(body.to_vec()).map_err(|_| format!("{what} body is not UTF-8"))
+        };
+        match verb {
+            "MATCH" => Ok(Request::Match { query_xml: body_str("MATCH")? }),
+            "QUERY" => Ok(Request::Query { query_xml: body_str("QUERY")? }),
+            "COMPOSE" => {
+                let n: usize = words
+                    .next()
+                    .ok_or_else(|| "COMPOSE needs a document count".to_owned())?
+                    .parse()
+                    .map_err(|_| "bad COMPOSE document count".to_owned())?;
+                let mut rest = body;
+                let mut models_xml = Vec::new();
+                for i in 0..n {
+                    if rest.len() < 4 {
+                        return Err(format!("COMPOSE document {i}: missing length prefix"));
+                    }
+                    let len =
+                        u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                    rest = &rest[4..];
+                    if len > rest.len() {
+                        return Err(format!(
+                            "COMPOSE document {i}: declares {len} byte(s), {} remain",
+                            rest.len(),
+                        ));
+                    }
+                    let doc = std::str::from_utf8(&rest[..len])
+                        .map_err(|_| format!("COMPOSE document {i} is not UTF-8"))?;
+                    models_xml.push(doc.to_owned());
+                    rest = &rest[len..];
+                }
+                if !rest.is_empty() {
+                    return Err(format!("COMPOSE: {} trailing byte(s)", rest.len()));
+                }
+                Ok(Request::Compose { models_xml })
+            }
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok { code, body } => {
+                let mut out = format!("OK {code}\n").into_bytes();
+                out.extend_from_slice(body);
+                out
+            }
+            Response::Err { kind, message } => {
+                // The message must stay on the status line.
+                let one_line = message.replace('\n', " ");
+                format!("ERR {} {one_line}\n", kind.token()).into_bytes()
+            }
+        }
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        let (line, body) = split_line(payload)?;
+        if let Some(rest) = line.strip_prefix("OK ") {
+            let code: u8 = rest.trim().parse().map_err(|_| format!("bad OK code {rest:?}"))?;
+            return Ok(Response::Ok { code, body: body.to_vec() });
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (token, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            let kind = ErrKind::from_token(token)
+                .ok_or_else(|| format!("unknown error kind {token:?}"))?;
+            return Ok(Response::Err { kind, message: message.to_owned() });
+        }
+        Err(format!("bad status line {line:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Match { query_xml: "<sbml/>".into() },
+            Request::Query { query_xml: "<sbml>\nmultiline\n</sbml>".into() },
+            Request::Compose { models_xml: vec!["<a/>".into(), "<b/>".into()] },
+            Request::Compose { models_xml: vec![] },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let payload = req.encode();
+            assert_eq!(Request::decode(&payload).as_ref(), Ok(&req), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok { code: 0, body: b"exact m1: ...".to_vec() },
+            Response::Ok { code: 4, body: Vec::new() },
+            Response::Err { kind: ErrKind::Parse, message: "bad xml".into() },
+            Response::Err { kind: ErrKind::Budget, message: "steps exhausted".into() },
+            Response::Err { kind: ErrKind::Proto, message: "unknown verb".into() },
+        ];
+        for resp in cases {
+            let payload = resp.encode();
+            assert_eq!(Response::decode(&payload).as_ref(), Ok(&resp), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let mut wire: Vec<u8> = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        let mut wire: Vec<u8> = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert!(Request::decode(b"").is_err(), "no verb line");
+        assert!(Request::decode(b"NONSENSE\n").is_err(), "unknown verb");
+        assert!(Request::decode(b"COMPOSE\n").is_err(), "missing count");
+        assert!(Request::decode(b"COMPOSE 2\n\x05\x00\x00\x00<a/>").is_err(), "short doc");
+        assert!(Response::decode(b"WAT 0\n").is_err(), "bad status line");
+        let newline_msg = Response::Err {
+            kind: ErrKind::Parse,
+            message: "two\nlines".into(),
+        };
+        let decoded = Response::decode(&newline_msg.encode()).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Err { kind: ErrKind::Parse, message: "two lines".into() },
+            "newlines in messages are flattened onto the status line",
+        );
+    }
+
+    #[test]
+    fn err_kinds_map_to_cli_exit_codes() {
+        assert_eq!(ErrKind::Parse.exit_code(), 3);
+        assert_eq!(ErrKind::Budget.exit_code(), 4);
+        assert_eq!(ErrKind::Proto.exit_code(), 2);
+        for kind in [ErrKind::Parse, ErrKind::Budget, ErrKind::Proto] {
+            assert_eq!(ErrKind::from_token(kind.token()), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The one formatter for corpus match results.
+//!
+//! Both the one-shot CLI (`sbmlcompose match`) and the daemon's `MATCH`
+//! responses render a [`CorpusMatches`] through [`format_matches`], so a
+//! daemon answer is bit-identical to a one-shot answer whenever the two
+//! label models the same way (the CLI labels by file path, the daemon by
+//! model id — pass the same labels to get the same bytes). The exit code
+//! follows the CLI contract: 0 when an exact hit exists, 1 on a
+//! definitive miss, 4 when truncated/failed candidates make the answer
+//! partial.
+
+use sbml_match::CorpusMatches;
+
+/// Render a match result as report text plus the CLI exit code.
+/// `labels[m]` names corpus model `m` in the output (a file path for the
+/// CLI, a model id for the daemon); `ids[m]` is always the model id.
+pub fn format_matches(result: &CorpusMatches, labels: &[String], ids: &[String]) -> (u8, String) {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    // Partial verdicts first: candidates the refiner could not decide
+    // (budget/deadline ran out) or where it panicked (contained).
+    for &m in &result.truncated {
+        let _ = writeln!(
+            out,
+            "truncated {} ({}): refinement budget exhausted before a verdict",
+            labels[m], ids[m],
+        );
+    }
+    for &m in &result.failed {
+        let _ = writeln!(out, "failed {} ({}): refinement panicked", labels[m], ids[m]);
+    }
+    if result.exact.is_empty() {
+        let _ = writeln!(out, "no exact embedding found");
+        if result.approximate.is_empty() {
+            let _ = writeln!(out, "no approximate match shares any key with the query");
+        }
+        for hit in &result.approximate {
+            let _ = writeln!(
+                out,
+                "approx {} ({}): score {:.3} (jaccard {:.3}, mapped {:.3})",
+                labels[hit.model], ids[hit.model], hit.score, hit.jaccard, hit.mapped_fraction,
+            );
+        }
+        // Undecided candidates make "no hit" a partial answer, not a
+        // definitive miss — signal that distinctly.
+        let code = if result.truncated.is_empty() && result.failed.is_empty() { 1 } else { 4 };
+        return (code, out);
+    }
+    for hit in &result.exact {
+        let species = hit
+            .embedding
+            .species
+            .iter()
+            .map(|(q, t)| format!("{q}->{t}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let reactions = hit
+            .embedding
+            .reactions
+            .iter()
+            .map(|(q, t)| format!("{q}->{t}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "exact {} ({}): species [{species}] reactions [{reactions}]",
+            labels[hit.model], ids[hit.model],
+        );
+    }
+    (0, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbml_match::{ApproxHit, CorpusHit, Embedding};
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("m{i}")).collect()
+    }
+
+    #[test]
+    fn exact_hits_format_with_exit_zero() {
+        let result = CorpusMatches {
+            exact: vec![CorpusHit {
+                model: 1,
+                embedding: Embedding {
+                    species: vec![("a".into(), "x".into())],
+                    reactions: vec![("r".into(), "s".into())],
+                },
+            }],
+            approximate: vec![],
+            candidates: vec![1],
+            truncated: vec![],
+            failed: vec![],
+        };
+        let (code, text) = format_matches(&result, &names(3), &names(3));
+        assert_eq!(code, 0);
+        assert_eq!(text, "exact m1 (m1): species [a->x] reactions [r->s]\n");
+    }
+
+    #[test]
+    fn truncated_miss_is_partial_exit_four() {
+        let result = CorpusMatches {
+            exact: vec![],
+            approximate: vec![ApproxHit { model: 0, score: 0.5, jaccard: 0.25, mapped_fraction: 0.75 }],
+            candidates: vec![0, 2],
+            truncated: vec![2],
+            failed: vec![],
+        };
+        let (code, text) = format_matches(&result, &names(3), &names(3));
+        assert_eq!(code, 4);
+        assert!(text.starts_with("truncated m2 (m2):"));
+        assert!(text.contains("no exact embedding found\n"));
+        assert!(text.contains("approx m0 (m0): score 0.500 (jaccard 0.250, mapped 0.750)\n"));
+    }
+
+    #[test]
+    fn clean_miss_is_exit_one() {
+        let result = CorpusMatches {
+            exact: vec![],
+            approximate: vec![],
+            candidates: vec![],
+            truncated: vec![],
+            failed: vec![],
+        };
+        let (code, text) = format_matches(&result, &names(1), &names(1));
+        assert_eq!(code, 1);
+        assert!(text.contains("no approximate match shares any key with the query\n"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The long-running daemon: a `std::net::TcpListener` accept loop
+//! feeding a bounded worker pool, with the snapshot corpus hot behind
+//! `Arc`s.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept → frame read → Request::decode
+//!        → parse SBML body          (failure → ERR parse)
+//!        → cache lookup (MATCH/QUERY; key = verb + the query's sorted
+//!          canonical content keys)
+//!        → hit: the cached bytes are sent verbatim — bit-identical to
+//!          the first answer
+//!        → miss: query/compose under the per-request guard::Budget
+//!          (ExecError → ERR budget; the daemon keeps serving)
+//!        → Response::encode → frame write → cache fill → metrics
+//! ```
+//!
+//! Every worker shares one `ServeState`: the corpus and index are
+//! immutable after bind (queries need `&self` only), the cache sits
+//! behind a `Mutex`, the counters are atomics. `SHUTDOWN` flips a flag
+//! and pokes the listener with a loopback connection so the accept loop
+//! observes it.
+//!
+//! Connections are **multiplexed round-robin** over the bounded pool: a
+//! worker takes a connection off the shared queue, polls it for at most
+//! one frame (a short read timeout, `POLL`), answers it, and puts the
+//! connection back on the queue. A persistent connection therefore
+//! never pins a worker while idle — with one worker and any number of
+//! long-lived clients, every request still gets served (the alternative,
+//! worker-per-connection-until-EOF, deadlocks as soon as idle
+//! connections outnumber workers).
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sbml_compose::{Budget, ComposeOptions, CompositionSession, PreparedModel};
+use sbml_match::MatchIndex;
+use sbml_model::{parse_sbml, write_sbml, Model};
+
+use crate::cache::QueryCache;
+use crate::metrics::Metrics;
+use crate::protocol::{write_frame, ErrKind, Request, Response, MAX_FRAME};
+use crate::report::format_matches;
+
+/// How long a worker waits on one connection for the start of a frame
+/// before putting it back on the queue and serving someone else.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Tunables applied at [`Server::bind`] time.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (`0` = one per core).
+    pub threads: usize,
+    /// Result-cache capacity in entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Per-request step ceiling: VF2 steps per `MATCH` candidate, guard
+    /// steps per `COMPOSE` push. `None` = the engine defaults.
+    pub max_steps: Option<u64>,
+    /// Per-request wall-clock allowance in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Approximate hits ranked per `MATCH` miss.
+    pub top_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 0,
+            cache_capacity: 256,
+            max_steps: None,
+            deadline_ms: None,
+            top_k: 10,
+        }
+    }
+}
+
+/// Everything the workers share.
+struct ServeState {
+    corpus: Vec<Arc<PreparedModel>>,
+    index: MatchIndex,
+    options: ComposeOptions,
+    /// Model ids, positional with the corpus — the daemon's labels.
+    ids: Vec<String>,
+    cache: Mutex<QueryCache>,
+    metrics: Metrics,
+    config: ServerConfig,
+    threads: usize,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] blocks until a
+/// `SHUTDOWN` request arrives.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// The cache key of a query: verb + the model's sorted canonical
+/// content keys. Content keys canonically encode every component —
+/// names up to synonyms, math up to commutative patterns, units up to
+/// conversion — so two spellings of the same network (different model
+/// id, reordered components, synonym names) land on one entry and get
+/// byte-identical answers.
+fn cache_key(verb: &str, model: &Model, options: &ComposeOptions) -> String {
+    let mut keys = sbml_compose::model_content_keys(model, options);
+    keys.sort_unstable();
+    let mut out = String::with_capacity(keys.iter().map(|k| k.len() + 1).sum::<usize>() + 8);
+    out.push_str(verb);
+    out.push('\n');
+    for k in &keys {
+        out.push_str(k);
+        out.push('\n');
+    }
+    out
+}
+
+impl Server {
+    /// Bind the daemon to `addr` (use port 0 for an ephemeral port) over
+    /// a loaded corpus and index. The config's budget knobs are baked
+    /// into the index here — every `MATCH` runs under them.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        corpus: Vec<Arc<PreparedModel>>,
+        index: MatchIndex,
+        options: ComposeOptions,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let threads = resolve_threads(config.threads);
+        let mut index = index.with_threads(threads).with_top_k(config.top_k);
+        if let Some(steps) = config.max_steps {
+            index = index.with_budget(steps);
+        }
+        if let Some(ms) = config.deadline_ms {
+            index = index.with_deadline_ms(ms);
+        }
+        let ids = corpus.iter().map(|p| p.model().id.clone()).collect();
+        let state = Arc::new(ServeState {
+            cache: Mutex::new(QueryCache::new(config.cache_capacity)),
+            metrics: Metrics::new(),
+            ids,
+            corpus,
+            index,
+            options,
+            config,
+            threads,
+            addr: local,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The address the daemon is listening on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serve until a `SHUTDOWN` request arrives: accept connections and
+    /// hand them to the worker pool. Each connection may carry any
+    /// number of request frames; workers serve one frame per dispatch
+    /// and re-enqueue the connection, so idle persistent connections
+    /// never pin a worker.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, state } = self;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(state.threads);
+        for _ in 0..state.threads {
+            let rx = Arc::clone(&rx);
+            let tx = tx.clone();
+            let state = Arc::clone(&state);
+            workers.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let Ok(guard) = rx.lock() else { return };
+                    // A bounded wait, not recv(): workers must observe
+                    // the shutdown flag even while the queue is quiet.
+                    guard.recv_timeout(POLL)
+                };
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match stream {
+                    Ok(stream) => service_once(stream, &state, &tx),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }));
+        }
+        for stream in listener.incoming() {
+            if state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// What one poll of a connection yielded.
+enum Polled {
+    /// A complete request frame.
+    Frame(Vec<u8>),
+    /// No data within `POLL` — the connection is alive but quiet.
+    Idle,
+    /// The peer hung up cleanly.
+    Closed,
+}
+
+fn would_block(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Wait up to `POLL` for the start of a frame. Once the first length
+/// byte arrives, the rest of the frame is read in blocking mode — peers
+/// write whole frames at once, so the remainder follows promptly.
+fn poll_frame(stream: &mut TcpStream) -> io::Result<Polled> {
+    stream.set_read_timeout(Some(POLL))?;
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut len[filled..]) {
+            Ok(0) => return Ok(Polled::Closed),
+            Ok(n) => filled += n,
+            Err(e) if would_block(&e) => {
+                if filled == 0 {
+                    stream.set_read_timeout(None)?;
+                    return Ok(Polled::Idle);
+                }
+                // Mid-prefix: the frame has started, keep waiting.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    stream.set_read_timeout(None)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Polled::Frame(payload))
+}
+
+/// Poll one connection for one frame, answer it, and put the connection
+/// back on the queue unless it closed, errored, or asked for shutdown.
+fn service_once(mut stream: TcpStream, state: &ServeState, tx: &mpsc::Sender<TcpStream>) {
+    let payload = match poll_frame(&mut stream) {
+        Ok(Polled::Frame(payload)) => payload,
+        Ok(Polled::Idle) => {
+            let _ = tx.send(stream); // alive but quiet: back of the line
+            return;
+        }
+        Ok(Polled::Closed) | Err(_) => return,
+    };
+    let started = Instant::now();
+    Metrics::bump(&state.metrics.requests);
+    let mut shutdown = false;
+    let response: Arc<[u8]> = match Request::decode(&payload) {
+        Ok(request) => respond(state, request, &mut shutdown),
+        Err(message) => {
+            Metrics::bump(&state.metrics.errors);
+            encode(Response::Err { kind: ErrKind::Proto, message })
+        }
+    };
+    state.metrics.record_latency_us(started.elapsed().as_micros() as u64);
+    if write_frame(&mut stream, &response).is_err() {
+        return;
+    }
+    if shutdown {
+        state.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(state.addr);
+        return;
+    }
+    let _ = tx.send(stream);
+}
+
+fn encode(response: Response) -> Arc<[u8]> {
+    Arc::from(response.encode().into_boxed_slice())
+}
+
+fn parse_query(xml: &str, metrics: &Metrics) -> Result<Model, Arc<[u8]>> {
+    parse_sbml(xml).map_err(|e| {
+        Metrics::bump(&metrics.errors);
+        encode(Response::Err { kind: ErrKind::Parse, message: e.to_string() })
+    })
+}
+
+/// Serve one decoded request. Returns the fully encoded response
+/// payload — on a cache hit, the exact bytes of the first answer.
+fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8]> {
+    match request {
+        Request::Match { query_xml } => {
+            Metrics::bump(&state.metrics.match_requests);
+            let query = match parse_query(&query_xml, &state.metrics) {
+                Ok(query) => query,
+                Err(response) => return response,
+            };
+            let key = cache_key("MATCH", &query, &state.options);
+            with_cache(state, key, || {
+                let result = state.index.query_corpus(&query);
+                if !result.truncated.is_empty() {
+                    Metrics::bump(&state.metrics.budget_cuts);
+                }
+                let (code, text) = format_matches(&result, &state.ids, &state.ids);
+                Response::Ok { code, body: text.into_bytes() }
+            })
+        }
+        Request::Query { query_xml } => {
+            Metrics::bump(&state.metrics.query_requests);
+            let query = match parse_query(&query_xml, &state.metrics) {
+                Ok(query) => query,
+                Err(response) => return response,
+            };
+            let key = cache_key("QUERY", &query, &state.options);
+            with_cache(state, key, || {
+                let candidates = state.index.candidates(&query);
+                let mut body =
+                    format!("candidates {}/{}\n", candidates.len(), state.corpus.len());
+                for &m in &candidates {
+                    body.push_str("candidate ");
+                    body.push_str(&state.ids[m]);
+                    body.push('\n');
+                }
+                let code = if candidates.is_empty() { 1 } else { 0 };
+                Response::Ok { code, body: body.into_bytes() }
+            })
+        }
+        Request::Compose { models_xml } => {
+            Metrics::bump(&state.metrics.compose_requests);
+            if models_xml.len() < 2 {
+                Metrics::bump(&state.metrics.errors);
+                return encode(Response::Err {
+                    kind: ErrKind::Proto,
+                    message: "COMPOSE needs at least two documents".into(),
+                });
+            }
+            let mut models = Vec::with_capacity(models_xml.len());
+            for xml in &models_xml {
+                match parse_query(xml, &state.metrics) {
+                    Ok(model) => models.push(model),
+                    Err(response) => return response,
+                }
+            }
+            // Each COMPOSE runs under its own budget: a hostile request
+            // is cut off with a structured error, the daemon keeps
+            // serving.
+            let mut budget = Budget::unlimited();
+            if let Some(steps) = state.config.max_steps {
+                budget = budget.with_max_steps(steps);
+            }
+            if let Some(ms) = state.config.deadline_ms {
+                budget = budget.with_deadline_ms(ms);
+            }
+            let meter = budget.start();
+            let mut session = CompositionSession::new(&state.options);
+            for model in &models {
+                if let Err(error) = session.push_guarded(model, Some(&meter)) {
+                    Metrics::bump(&state.metrics.budget_cuts);
+                    return encode(Response::Err {
+                        kind: ErrKind::Budget,
+                        message: error.to_string(),
+                    });
+                }
+            }
+            let result = session.finish();
+            encode(Response::Ok { code: 0, body: write_sbml(&result.model).into_bytes() })
+        }
+        Request::Stats => {
+            Metrics::bump(&state.metrics.stats_requests);
+            let cache_entries = state.cache.lock().map(|c| c.len()).unwrap_or(0);
+            let body = state.metrics.report().render(
+                cache_entries,
+                state.corpus.len(),
+                state.threads,
+            );
+            encode(Response::Ok { code: 0, body: body.into_bytes() })
+        }
+        Request::Shutdown => {
+            *shutdown = true;
+            encode(Response::Ok { code: 0, body: b"shutting down\n".to_vec() })
+        }
+    }
+}
+
+/// Answer from the cache, or compute, cache and answer.
+fn with_cache(state: &ServeState, key: String, compute: impl FnOnce() -> Response) -> Arc<[u8]> {
+    if let Ok(mut cache) = state.cache.lock() {
+        if let Some(hit) = cache.get(&key) {
+            Metrics::bump(&state.metrics.cache_hits);
+            return hit;
+        }
+    }
+    Metrics::bump(&state.metrics.cache_misses);
+    let response = encode(compute());
+    if let Ok(mut cache) = state.cache.lock() {
+        cache.put(key, Arc::clone(&response));
+    }
+    response
+}

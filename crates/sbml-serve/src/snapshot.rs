@@ -1,0 +1,561 @@
+//! Versioned binary corpus snapshots.
+//!
+//! A snapshot persists a *prepared* corpus — every
+//! [`PreparedModel`]'s model, canonical content keys and initial
+//! values — plus the full [`MatchIndex`] skeleton (graphs and posting
+//! lists), so a daemon restart is a single file read and a slice-based
+//! decode instead of re-parsing, re-canonicalising and re-indexing 187
+//! models. State that is a pure function of the model (free-reference
+//! sets, per-kind lookup indexes, graph adjacency) is *not* stored:
+//! the loaded corpus re-derives it lazily on first use.
+//!
+//! # On-disk layout (format version 1)
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic  "SBMLSNAP"                                   8 bytes  │
+//! │ format version (u32 le)                             4 bytes  │
+//! │ semantics level (u8: 0 heavy, 1 light, 2 none)      1 byte   │
+//! │ options fingerprint (stable FNV-1a, u64 le)         8 bytes  │
+//! │ model count (u32 le)                                4 bytes  │
+//! │ posting counts: node / edge / participant (3×u32)  12 bytes  │
+//! │ section count (u32 le)                              4 bytes  │
+//! │ section table: (tag u8, byte length u64 le) × n              │
+//! │ section payloads, in table order                             │
+//! │   tag 0 MODELS — RawPrepared per model, sequential           │
+//! │   tag 1 INDEX  — RawIndex (graphs + posting lists)           │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian; every list is length-prefixed; every
+//! declared length is validated against the bytes actually present
+//! before any allocation (see [`crate::codec`]). Loading never panics on
+//! hostile input: truncation, bit flips and impossible counts surface as
+//! [`SnapshotError::Corrupt`], a wrong options fingerprint as
+//! [`SnapshotError::FingerprintMismatch`].
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use sbml_compose::{ComposeOptions, PreparedModel, RawPrepared, SemanticsLevel};
+use sbml_match::{MatchIndex, RawGraph, RawIndex};
+
+use crate::codec::{read_model, write_model, Reader, Writer};
+
+/// The 8-byte magic prefix of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"SBMLSNAP";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_MODELS: u8 = 0;
+const SECTION_INDEX: u8 = 1;
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file is a snapshot, but of a format this build cannot read.
+    UnsupportedVersion(u32),
+    /// The snapshot was built under different [`ComposeOptions`] than
+    /// the caller supplied — its cached keys would be meaningless.
+    FingerprintMismatch {
+        /// Fingerprint of the caller's options.
+        expected: u64,
+        /// Fingerprint stored in the file.
+        found: u64,
+    },
+    /// Truncated or bit-flipped content; the detail says where.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "options fingerprint mismatch: snapshot was built under {found:#018x}, \
+                 caller options hash to {expected:#018x}",
+            ),
+            SnapshotError::Corrupt(detail) => write!(f, "corrupt snapshot: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> SnapshotError {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(detail: String) -> SnapshotError {
+    SnapshotError::Corrupt(detail)
+}
+
+/// Header facts about a snapshot, without decoding its payload. What
+/// `sbmlcompose snapshot inspect` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version of the file.
+    pub version: u32,
+    /// Semantics level the corpus was prepared under.
+    pub semantics: SemanticsLevel,
+    /// Stable hash of the build options ([`sbml_compose::OptionsFingerprint::stable_hash`]).
+    pub fingerprint: u64,
+    /// Number of prepared models in the corpus.
+    pub models: usize,
+    /// Distinct node-key posting lists in the index.
+    pub node_postings: usize,
+    /// Distinct edge-key posting lists.
+    pub edge_postings: usize,
+    /// Distinct participant-key posting lists.
+    pub participant_postings: usize,
+    /// Total snapshot size in bytes.
+    pub bytes: usize,
+}
+
+/// A fully decoded snapshot: the shared corpus and the hot index over
+/// it, ready to serve queries.
+pub struct LoadedSnapshot {
+    /// The prepared corpus; the index holds `Arc` clones of the same
+    /// preparations.
+    pub corpus: Vec<Arc<PreparedModel>>,
+    /// The match index rebuilt from the stored skeleton.
+    pub index: MatchIndex,
+    /// The options the snapshot was built (and now loaded) under.
+    pub options: ComposeOptions,
+    /// Header facts.
+    pub info: SnapshotInfo,
+}
+
+/// The preset [`ComposeOptions`] a snapshot's semantics byte denotes.
+/// Snapshots built through the CLI always use a preset; a snapshot built
+/// through the library with bespoke options can still be loaded by
+/// passing those options to [`Snapshot::load`] explicitly.
+pub fn preset_options(semantics: SemanticsLevel) -> ComposeOptions {
+    match semantics {
+        SemanticsLevel::Heavy => ComposeOptions::heavy(),
+        SemanticsLevel::Light => ComposeOptions::light(),
+        SemanticsLevel::None => ComposeOptions::none(),
+    }
+}
+
+fn semantics_tag(level: SemanticsLevel) -> u8 {
+    match level {
+        SemanticsLevel::Heavy => 0,
+        SemanticsLevel::Light => 1,
+        SemanticsLevel::None => 2,
+    }
+}
+
+fn semantics_from_tag(tag: u8) -> Result<SemanticsLevel, SnapshotError> {
+    match tag {
+        0 => Ok(SemanticsLevel::Heavy),
+        1 => Ok(SemanticsLevel::Light),
+        2 => Ok(SemanticsLevel::None),
+        other => Err(corrupt(format!("invalid semantics byte {other}"))),
+    }
+}
+
+// Key families are written through the codec's interning dictionary
+// ([`Writer::key`]): canonical content keys repeat heavily across the
+// models of a corpus (the same species, compartments and reaction
+// patterns recur), so each distinct string is stored once and decoded
+// to `Arc` clones of a single allocation.
+
+fn write_key_family(w: &mut Writer, keys: &[Arc<str>]) {
+    w.count(keys.len());
+    for k in keys {
+        w.key(k);
+    }
+}
+
+fn read_key_family(r: &mut Reader<'_>, what: &str) -> Result<Vec<Arc<str>>, String> {
+    let n = r.count(4, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.key(what)?);
+    }
+    Ok(out)
+}
+
+// Free-reference sets are deliberately NOT part of the format: they are
+// a pure function of the model (no canonicalisation), so the preparation
+// re-derives them lazily on first compose use instead of spending disk
+// and decode time on them.
+fn write_prepared(w: &mut Writer, raw: &RawPrepared) {
+    write_model(w, &raw.model);
+    write_key_family(w, &raw.function_keys);
+    write_key_family(w, &raw.unit_keys);
+    write_key_family(w, &raw.compartment_type_keys);
+    write_key_family(w, &raw.species_type_keys);
+    write_key_family(w, &raw.compartment_keys);
+    write_key_family(w, &raw.species_keys);
+    write_key_family(w, &raw.rule_keys);
+    write_key_family(w, &raw.constraint_keys);
+    write_key_family(w, &raw.reaction_keys);
+    write_key_family(w, &raw.event_keys);
+    w.count(raw.initial_values.len());
+    for (symbol, value) in &raw.initial_values {
+        w.key(symbol);
+        w.f64(*value);
+    }
+}
+
+fn read_prepared(r: &mut Reader<'_>) -> Result<RawPrepared, String> {
+    let model = read_model(r)?;
+    let function_keys = read_key_family(r, "function keys")?;
+    let unit_keys = read_key_family(r, "unit keys")?;
+    let compartment_type_keys = read_key_family(r, "compartment type keys")?;
+    let species_type_keys = read_key_family(r, "species type keys")?;
+    let compartment_keys = read_key_family(r, "compartment keys")?;
+    let species_keys = read_key_family(r, "species keys")?;
+    let rule_keys = read_key_family(r, "rule keys")?;
+    let constraint_keys = read_key_family(r, "constraint keys")?;
+    let reaction_keys = read_key_family(r, "reaction keys")?;
+    let event_keys = read_key_family(r, "event keys")?;
+    let n = r.count(12, "initial values")?;
+    let mut initial_values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let symbol = r.key_string("initial value symbol")?;
+        let value = r.f64("initial value")?;
+        initial_values.push((symbol, value));
+    }
+    Ok(RawPrepared {
+        model,
+        function_keys,
+        unit_keys,
+        compartment_type_keys,
+        species_type_keys,
+        compartment_keys,
+        species_keys,
+        rule_keys,
+        constraint_keys,
+        reaction_keys,
+        event_keys,
+        initial_values,
+    })
+}
+
+fn write_postings_arc(w: &mut Writer, postings: &[(Arc<str>, Vec<u32>)]) {
+    w.count(postings.len());
+    for (key, ids) in postings {
+        w.key(key);
+        w.count(ids.len());
+        for id in ids {
+            w.u32(*id);
+        }
+    }
+}
+
+fn read_postings_arc(
+    r: &mut Reader<'_>,
+    what: &str,
+) -> Result<Vec<(Arc<str>, Vec<u32>)>, String> {
+    let n = r.count(8, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.key(what)?;
+        let m = r.count(4, what)?;
+        out.push((key, r.u32_list(m, what)?));
+    }
+    Ok(out)
+}
+
+fn write_index(w: &mut Writer, raw: &RawIndex) {
+    w.count(raw.graphs.len());
+    for g in &raw.graphs {
+        write_key_family(w, &g.node_keys);
+        w.count(g.edges.len());
+        for (from, to, key) in &g.edges {
+            w.u32(*from);
+            w.u32(*to);
+            w.key(key);
+        }
+        w.count(g.edge_reaction.len());
+        for rx in &g.edge_reaction {
+            w.u32(*rx as u32);
+        }
+    }
+    write_postings_arc(w, &raw.node_postings);
+    write_postings_arc(w, &raw.edge_postings);
+    w.count(raw.participant_postings.len());
+    for (key, ids) in &raw.participant_postings {
+        w.key(key);
+        w.count(ids.len());
+        for id in ids {
+            w.u32(*id);
+        }
+    }
+    // Per-model participant-key lists are deliberately NOT part of the
+    // format: they are a pure function of the prepared model and the
+    // semantics, so the index re-derives them lazily on first ranked use.
+}
+
+fn read_index(r: &mut Reader<'_>) -> Result<RawIndex, String> {
+    let ng = r.count(12, "graphs")?;
+    let mut graphs = Vec::with_capacity(ng);
+    for _ in 0..ng {
+        let node_keys = read_key_family(r, "graph node keys")?;
+        let ne = r.count(12, "graph edges")?;
+        let mut edges = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            let from = r.u32("edge from")?;
+            let to = r.u32("edge to")?;
+            let key = r.key("edge key")?;
+            edges.push((from, to, key));
+        }
+        let nr = r.count(4, "edge reactions")?;
+        let edge_reaction =
+            r.u32_list(nr, "edge reactions")?.into_iter().map(|v| v as usize).collect();
+        graphs.push(RawGraph { node_keys, edges, edge_reaction });
+    }
+    let node_postings = read_postings_arc(r, "node postings")?;
+    let edge_postings = read_postings_arc(r, "edge postings")?;
+    let np = r.count(8, "participant postings")?;
+    let mut participant_postings = Vec::with_capacity(np);
+    for _ in 0..np {
+        let key = r.key_string("participant key")?;
+        let m = r.count(4, "participant posting ids")?;
+        participant_postings.push((key, r.u32_list(m, "participant posting ids")?));
+    }
+    Ok(RawIndex { graphs, node_postings, edge_postings, participant_postings })
+}
+
+/// Entry points for writing and reading snapshot files; see the
+/// [module docs](self) for the format.
+pub struct Snapshot;
+
+impl Snapshot {
+    /// Encode a prepared corpus and its index into snapshot bytes.
+    /// Deterministic: the same corpus and options always produce the
+    /// same bytes (postings and key sets are sorted on the way out).
+    pub fn encode(
+        corpus: &[Arc<PreparedModel>],
+        index: &MatchIndex,
+        options: &ComposeOptions,
+    ) -> Vec<u8> {
+        let mut models = Writer::new();
+        models.count(corpus.len());
+        for p in corpus {
+            write_prepared(&mut models, &p.to_raw());
+        }
+        let raw = index.to_raw();
+        let mut idx = Writer::new();
+        write_index(&mut idx, &raw);
+
+        let mut w = Writer::new();
+        for b in MAGIC {
+            w.u8(b);
+        }
+        w.u32(FORMAT_VERSION);
+        w.u8(semantics_tag(options.semantics));
+        w.u64(options.fingerprint().stable_hash());
+        w.count(corpus.len());
+        w.count(raw.node_postings.len());
+        w.count(raw.edge_postings.len());
+        w.count(raw.participant_postings.len());
+        w.count(2); // section count
+        let models = models.into_bytes();
+        let idx = idx.into_bytes();
+        w.u8(SECTION_MODELS);
+        w.u64(models.len() as u64);
+        w.u8(SECTION_INDEX);
+        w.u64(idx.len() as u64);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&models);
+        bytes.extend_from_slice(&idx);
+        bytes
+    }
+
+    /// Write a snapshot file.
+    pub fn write(
+        path: impl AsRef<Path>,
+        corpus: &[Arc<PreparedModel>],
+        index: &MatchIndex,
+        options: &ComposeOptions,
+    ) -> Result<(), SnapshotError> {
+        fs::write(path, Snapshot::encode(corpus, index, options))?;
+        Ok(())
+    }
+
+    /// Decode the header and section table; returns the info plus the
+    /// byte ranges of the MODELS and INDEX sections.
+    fn header(bytes: &[u8]) -> Result<(SnapshotInfo, Vec<(u8, usize, usize)>), SnapshotError> {
+        let mut r = Reader::new(bytes);
+        let mut magic = [0u8; 8];
+        for b in &mut magic {
+            *b = r.u8("magic").map_err(|_| SnapshotError::BadMagic)?;
+        }
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32("version").map_err(corrupt)?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let semantics = semantics_from_tag(r.u8("semantics").map_err(corrupt)?)?;
+        let fingerprint = r.u64("fingerprint").map_err(corrupt)?;
+        let models = r.count(0, "model count").map_err(corrupt)?;
+        let node_postings = r.u32("node posting count").map_err(corrupt)? as usize;
+        let edge_postings = r.u32("edge posting count").map_err(corrupt)? as usize;
+        let participant_postings =
+            r.u32("participant posting count").map_err(corrupt)? as usize;
+        let nsec = r.count(9, "section count").map_err(corrupt)?;
+        let mut table = Vec::with_capacity(nsec);
+        let mut declared: u64 = 0;
+        for _ in 0..nsec {
+            let tag = r.u8("section tag").map_err(corrupt)?;
+            let len = r.u64("section length").map_err(corrupt)?;
+            declared = declared.saturating_add(len);
+            table.push((tag, len));
+        }
+        // Cap every declared section length against the bytes that are
+        // actually in the file before anything is sliced or allocated.
+        if declared > r.remaining() as u64 {
+            return Err(corrupt(format!(
+                "section table declares {declared} payload byte(s) but only {} remain",
+                r.remaining(),
+            )));
+        }
+        let mut offset = bytes.len() - r.remaining();
+        let mut sections = Vec::with_capacity(table.len());
+        for (tag, len) in table {
+            sections.push((tag, offset, offset + len as usize));
+            offset += len as usize;
+        }
+        let info = SnapshotInfo {
+            version,
+            semantics,
+            fingerprint,
+            models,
+            node_postings,
+            edge_postings,
+            participant_postings,
+            bytes: bytes.len(),
+        };
+        Ok((info, sections))
+    }
+
+    /// Read the header of a snapshot file — version, fingerprint, model
+    /// and posting counts — without decoding the payload.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
+        Snapshot::inspect_bytes(&fs::read(path)?)
+    }
+
+    /// [`Snapshot::inspect`] over bytes already in memory.
+    pub fn inspect_bytes(bytes: &[u8]) -> Result<SnapshotInfo, SnapshotError> {
+        Ok(Snapshot::header(bytes)?.0)
+    }
+
+    /// Load a snapshot file under explicitly supplied options (they must
+    /// fingerprint-match the snapshot). `threads` bounds the query
+    /// thread pool of the rebuilt index (`0` = one per core).
+    pub fn load(
+        path: impl AsRef<Path>,
+        options: &ComposeOptions,
+        threads: usize,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        Snapshot::load_bytes(&fs::read(path)?, options, threads)
+    }
+
+    /// Load a snapshot file using the preset options its semantics byte
+    /// denotes — the CLI path, where options always come from
+    /// `--semantics`.
+    pub fn load_auto(
+        path: impl AsRef<Path>,
+        threads: usize,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        let bytes = fs::read(path)?;
+        let (info, _) = Snapshot::header(&bytes)?;
+        let options = preset_options(info.semantics);
+        Snapshot::load_bytes(&bytes, &options, threads)
+    }
+
+    /// [`Snapshot::load`] over bytes already in memory — the corruption
+    /// property tests drive this directly.
+    pub fn load_bytes(
+        bytes: &[u8],
+        options: &ComposeOptions,
+        threads: usize,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        let (info, sections) = Snapshot::header(bytes)?;
+        let expected = options.fingerprint().stable_hash();
+        if info.fingerprint != expected {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected,
+                found: info.fingerprint,
+            });
+        }
+        if options.semantics != info.semantics {
+            return Err(corrupt(
+                "semantics byte disagrees with options of the same fingerprint".into(),
+            ));
+        }
+        let mut models_section: Option<&[u8]> = None;
+        let mut index_section: Option<&[u8]> = None;
+        for (tag, start, end) in sections {
+            match tag {
+                SECTION_MODELS => models_section = Some(&bytes[start..end]),
+                SECTION_INDEX => index_section = Some(&bytes[start..end]),
+                // Unknown sections are skipped: a future writer may
+                // append new ones without breaking this reader.
+                _ => {}
+            }
+        }
+        let models_section =
+            models_section.ok_or_else(|| corrupt("missing MODELS section".into()))?;
+        let index_section =
+            index_section.ok_or_else(|| corrupt("missing INDEX section".into()))?;
+
+        let mut r = Reader::new(models_section);
+        let n = r.count(1, "model count").map_err(corrupt)?;
+        if n != info.models {
+            return Err(corrupt(format!(
+                "MODELS section holds {n} model(s), header says {}",
+                info.models,
+            )));
+        }
+        let mut corpus = Vec::with_capacity(n);
+        for i in 0..n {
+            let raw = read_prepared(&mut r).map_err(|e| corrupt(format!("model {i}: {e}")))?;
+            let prepared = PreparedModel::from_raw(raw, options)
+                .map_err(|e| corrupt(format!("model {i}: {e}")))?;
+            corpus.push(Arc::new(prepared));
+        }
+        // Forward compatibility lives at the section level (unknown tags
+        // are skipped above); *within* a section, bytes left over after a
+        // full decode mean the payload and the decoder disagree.
+        if !r.is_done() {
+            return Err(corrupt(format!(
+                "MODELS section holds {} undecoded trailing byte(s)",
+                r.remaining(),
+            )));
+        }
+
+        let mut r = Reader::new(index_section);
+        let raw_index = read_index(&mut r).map_err(corrupt)?;
+        if !r.is_done() {
+            return Err(corrupt(format!(
+                "INDEX section holds {} undecoded trailing byte(s)",
+                r.remaining(),
+            )));
+        }
+        let index = MatchIndex::from_raw(raw_index, &corpus, options, threads)
+            .map_err(|e| corrupt(format!("index: {e}")))?;
+
+        Ok(LoadedSnapshot { corpus, index, options: options.clone(), info })
+    }
+}

@@ -37,7 +37,7 @@ fn main() {
     );
 
     // Index the corpus and search it.
-    let index = MatchIndex::build(prepared.clone(), &options);
+    let index = MatchIndex::build(&prepared, &options);
     let (nodes, edges, participants) = index.posting_stats();
     println!(
         "index over {} models: {} node keys, {} edge keys, {} participant keys",

@@ -13,6 +13,11 @@
 //! sbmlcompose simulate <model.xml> [--t-end T] [--dt DT] [-o trace.csv]
 //! sbmlcompose check    <model.xml> --property "<PLTL>" [--runs N] [--t-end T] [--theta P]
 //! sbmlcompose diff     <a.xml> <b.xml>
+//! sbmlcompose snapshot build <corpus-dir> -o <file> [--semantics heavy|light|none] [--threads N]
+//! sbmlcompose snapshot inspect <file>
+//! sbmlcompose serve    <snapshot> [--addr host:port] [--threads N] [--cache N] [--top K]
+//!                      [--deadline-ms N] [--max-steps N]
+//! sbmlcompose client   <addr> match|query <query.xml> | compose <a.xml> <b.xml>... | stats | shutdown
 //! ```
 //!
 //! `match` (alias: `query`) searches a corpus for a query subnetwork: the
@@ -53,6 +58,19 @@
 //! runs out (or a push fails on both the pipelined and serial paths) the
 //! models merged so far are still written, flagged partial via exit 4.
 //!
+//! `snapshot build` prepares every `.xml` model in a directory once,
+//! builds the match index, and persists both to a versioned binary
+//! snapshot ([`Snapshot`]); `snapshot inspect` prints a snapshot's
+//! header (format version, semantics, options fingerprint, model and
+//! posting-list counts) without decoding the payload. `serve` loads a
+//! snapshot in milliseconds — no re-parsing, no re-analysis — and
+//! answers `MATCH`/`QUERY`/`COMPOSE`/`STATS`/`SHUTDOWN` requests over a
+//! plain TCP frame protocol from a bounded worker pool, with an LRU
+//! result cache keyed by canonical content keys and every request under
+//! the same budget flags as the one-shot commands. `client` sends one
+//! request and exits with the code the one-shot command would have used
+//! (`ERR budget` → 4, `ERR parse` → 3, `ERR proto` → 2).
+//!
 //! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
 //! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors,
 //! 3 on unreadable or malformed input files, 4 on partial results
@@ -63,6 +81,7 @@
 //! [`Composer::prepare`]: sbmlcompose::compose::Composer::prepare
 //! [`CompositionSession`]: sbmlcompose::compose::CompositionSession
 //! [`MatchIndex`]: sbmlcompose::matching::MatchIndex
+//! [`Snapshot`]: sbmlcompose::serve::Snapshot
 
 use std::fs;
 use std::process::ExitCode;
@@ -127,6 +146,9 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "simulate" => cmd_simulate(rest),
         "check" => cmd_check(rest),
         "diff" => cmd_diff(rest),
+        "snapshot" => cmd_snapshot(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(ExitCode::SUCCESS)
@@ -167,7 +189,25 @@ fn print_usage() {
          \x20 sbmlcompose validate <model.xml>\n\
          \x20 sbmlcompose simulate <model.xml> [--t-end T] [--dt DT] [-o trace.csv]\n\
          \x20 sbmlcompose check    <model.xml> --property '<PLTL>' [--runs N] [--t-end T] [--theta P]\n\
-         \x20 sbmlcompose diff     <a.xml> <b.xml>"
+         \x20 sbmlcompose diff     <a.xml> <b.xml>\n\
+         \x20 sbmlcompose snapshot build <corpus-dir> -o <file> [--semantics heavy|light|none]\n\
+         \x20                      [--threads N]\n\
+         \x20        prepares every .xml model in the directory, builds the match index,\n\
+         \x20        and persists both to a versioned binary snapshot\n\
+         \x20 sbmlcompose snapshot inspect <file>\n\
+         \x20        prints the snapshot header (version, semantics, fingerprint, model\n\
+         \x20        and posting counts) without decoding the payload; exit 3 if corrupt\n\
+         \x20 sbmlcompose serve    <snapshot> [--addr host:port] [--threads N] [--cache N]\n\
+         \x20                      [--top K] [--deadline-ms N] [--max-steps N]\n\
+         \x20        loads the snapshot (no re-analysis) and serves MATCH/QUERY/COMPOSE/\n\
+         \x20        STATS/SHUTDOWN over plain TCP frames; prints the bound address.\n\
+         \x20        --cache: LRU result-cache entries (default 256, 0 disables);\n\
+         \x20        --deadline-ms/--max-steps: per-request budget (hostile requests get\n\
+         \x20        a structured budget error; the daemon keeps serving)\n\
+         \x20 sbmlcompose client   <addr> match <query.xml> | query <query.xml> |\n\
+         \x20                      compose <a.xml> <b.xml>... | stats | shutdown\n\
+         \x20        sends one request; prints the response body and exits with the\n\
+         \x20        one-shot command's code (budget error -> 4, parse error -> 3)"
     );
 }
 
@@ -351,7 +391,7 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let batch = BatchComposer::new(MatchComposer::new(options.clone())).with_threads(threads);
     let prepared = batch.prepare_corpus(&corpus);
-    let mut index = MatchIndex::build_with_threads(prepared, &options, threads).with_top_k(top);
+    let mut index = MatchIndex::build_with_threads(&prepared, &options, threads).with_top_k(top);
     if let Some(steps) = max_steps {
         index = index.with_budget(steps);
     }
@@ -368,60 +408,14 @@ fn cmd_match(args: &[String]) -> Result<ExitCode, CliError> {
         corpus.len(),
         result.candidates.len()
     );
-    // Partial verdicts first: candidates the refiner could not decide
-    // (budget/deadline ran out) or where it panicked (contained).
-    for &m in &result.truncated {
-        println!(
-            "truncated {} ({}): refinement budget exhausted before a verdict",
-            corpus_paths[m], corpus[m].id
-        );
-    }
-    for &m in &result.failed {
-        println!("failed {} ({}): refinement panicked", corpus_paths[m], corpus[m].id);
-    }
-    if result.exact.is_empty() {
-        println!("no exact embedding found");
-        if result.approximate.is_empty() {
-            println!("no approximate match shares any key with the query");
-        }
-        for hit in &result.approximate {
-            println!(
-                "approx {} ({}): score {:.3} (jaccard {:.3}, mapped {:.3})",
-                corpus_paths[hit.model],
-                corpus[hit.model].id,
-                hit.score,
-                hit.jaccard,
-                hit.mapped_fraction
-            );
-        }
-        // Undecided candidates make "no hit" a partial answer, not a
-        // definitive miss — signal that distinctly.
-        if !result.truncated.is_empty() || !result.failed.is_empty() {
-            return Ok(ExitCode::from(4));
-        }
-        return Ok(ExitCode::FAILURE);
-    }
-    for hit in &result.exact {
-        let species = hit
-            .embedding
-            .species
-            .iter()
-            .map(|(q, t)| format!("{q}->{t}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        let reactions = hit
-            .embedding
-            .reactions
-            .iter()
-            .map(|(q, t)| format!("{q}->{t}"))
-            .collect::<Vec<_>>()
-            .join(", ");
-        println!(
-            "exact {} ({}): species [{species}] reactions [{reactions}]",
-            corpus_paths[hit.model], corpus[hit.model].id
-        );
-    }
-    Ok(ExitCode::SUCCESS)
+    // The same formatter renders one-shot and daemon answers, which is
+    // what keeps `sbmlcompose match` and a served MATCH bit-identical
+    // for the same labels.
+    let labels = corpus_paths.to_vec();
+    let ids: Vec<String> = corpus.iter().map(|m| m.id.clone()).collect();
+    let (code, text) = sbmlcompose::serve::format_matches(&result, &labels, &ids);
+    print!("{text}");
+    Ok(ExitCode::from(code))
 }
 
 fn cmd_split(args: &[String]) -> Result<ExitCode, CliError> {
@@ -567,5 +561,186 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
     } else {
         print!("{}", sbmlcompose::textdiff::sbml_text_diff(&a, &b).map_err(|e| CliError::Input(e.to_string()))?);
         Ok(ExitCode::FAILURE)
+    }
+}
+
+fn semantics_name(level: SemanticsLevel) -> &'static str {
+    match level {
+        SemanticsLevel::Heavy => "heavy",
+        SemanticsLevel::Light => "light",
+        SemanticsLevel::None => "none",
+    }
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
+    use sbmlcompose::compose::BatchComposer;
+    use sbmlcompose::matching::MatchIndex;
+    use sbmlcompose::serve::Snapshot;
+
+    let Some(sub) = args.first() else {
+        return Err("snapshot needs a subcommand: build or inspect".into());
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "build" => {
+            let mut args = rest.to_vec();
+            let out = take_flag(&mut args, "-o").ok_or("snapshot build needs -o <file>")?;
+            let semantics = match take_flag(&mut args, "--semantics").as_deref() {
+                None | Some("heavy") => SemanticsLevel::Heavy,
+                Some("light") => SemanticsLevel::Light,
+                Some("none") => SemanticsLevel::None,
+                Some(other) => return Err(format!("unknown semantics level {other:?}").into()),
+            };
+            let threads: usize = take_flag(&mut args, "--threads")
+                .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
+                .transpose()?
+                .unwrap_or(0);
+            let [dir] = args.as_slice() else {
+                return Err("snapshot build needs exactly one corpus directory".into());
+            };
+            let entries = fs::read_dir(dir)
+                .map_err(|e| CliError::Input(format!("cannot read {dir}: {e}")))?;
+            let mut paths: Vec<String> = entries
+                .filter_map(|entry| {
+                    let path = entry.ok()?.path();
+                    (path.extension().is_some_and(|ext| ext == "xml"))
+                        .then(|| path.to_string_lossy().into_owned())
+                })
+                .collect();
+            paths.sort();
+            if paths.is_empty() {
+                return Err(CliError::Input(format!("{dir}: no .xml models found")));
+            }
+            let models =
+                paths.iter().map(|path| load_model(path)).collect::<Result<Vec<_>, _>>()?;
+            let options = sbmlcompose::serve::preset_options(semantics);
+            let composer = Composer::new(options.clone());
+            let batch = BatchComposer::new(composer).with_threads(threads);
+            let prepared = batch.prepare_corpus(&models);
+            let index = MatchIndex::build_with_threads(&prepared, &options, threads);
+            Snapshot::write(&out, &prepared, &index, &options)
+                .map_err(|e| CliError::Input(format!("cannot write {out}: {e}")))?;
+            let info = Snapshot::inspect(&out)
+                .map_err(|e| CliError::Input(format!("{out}: {e}")))?;
+            eprintln!(
+                "snapshot {out}: {} model(s), {} bytes, semantics {}, fingerprint {:016x}",
+                info.models,
+                info.bytes,
+                semantics_name(info.semantics),
+                info.fingerprint,
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "inspect" => {
+            let [path] = rest else {
+                return Err("snapshot inspect needs exactly one file".into());
+            };
+            let info = Snapshot::inspect(path)
+                .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            println!("version {}", info.version);
+            println!("semantics {}", semantics_name(info.semantics));
+            println!("fingerprint {:016x}", info.fingerprint);
+            println!("models {}", info.models);
+            println!("node_postings {}", info.node_postings);
+            println!("edge_postings {}", info.edge_postings);
+            println!("participant_postings {}", info.participant_postings);
+            println!("bytes {}", info.bytes);
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown snapshot subcommand {other:?} (build|inspect)").into()),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
+    use sbmlcompose::serve::{Server, ServerConfig, Snapshot};
+
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let threads: usize = take_flag(&mut args, "--threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let cache_capacity: usize = take_flag(&mut args, "--cache")
+        .map(|v| v.parse().map_err(|_| format!("bad --cache {v:?}")))
+        .transpose()?
+        .unwrap_or(256);
+    let top_k: usize = take_flag(&mut args, "--top")
+        .map(|v| v.parse().map_err(|_| format!("bad --top {v:?}")))
+        .transpose()?
+        .unwrap_or(10);
+    let (deadline_ms, max_steps) = take_budget_flags(&mut args)?;
+    let [snapshot_path] = args.as_slice() else {
+        return Err("serve needs exactly one snapshot file".into());
+    };
+    let loaded = Snapshot::load_auto(snapshot_path, threads)
+        .map_err(|e| CliError::Input(format!("{snapshot_path}: {e}")))?;
+    let sbmlcompose::serve::LoadedSnapshot { corpus, index, options, info } = loaded;
+    let config =
+        ServerConfig { threads, cache_capacity, max_steps, deadline_ms, top_k };
+    let server = Server::bind(addr.as_str(), corpus, index, options, config)
+        .map_err(|e| CliError::Input(format!("cannot bind {addr}: {e}")))?;
+    println!(
+        "listening on {} ({} model(s), semantics {})",
+        server.local_addr(),
+        info.models,
+        semantics_name(info.semantics),
+    );
+    // Scripts wait for the address line before connecting; stdout may be
+    // a pipe, so push it out before blocking in the accept loop.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.run().map_err(|e| CliError::Input(format!("serve failed: {e}")))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
+    use sbmlcompose::serve::{Client, Request, Response};
+
+    if args.len() < 2 {
+        return Err(
+            "client needs <addr> and a verb: match|query <file>, compose <files...>, \
+             stats, shutdown"
+                .into(),
+        );
+    }
+    let addr = &args[0];
+    let rest = &args[2..];
+    let read_doc = |path: &String| {
+        fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("cannot read {path}: {e}")))
+    };
+    let request = match args[1].as_str() {
+        "match" => {
+            let [path] = rest else { return Err("client match needs one query file".into()) };
+            Request::Match { query_xml: read_doc(path)? }
+        }
+        "query" => {
+            let [path] = rest else { return Err("client query needs one query file".into()) };
+            Request::Query { query_xml: read_doc(path)? }
+        }
+        "compose" => {
+            if rest.len() < 2 {
+                return Err("client compose needs at least two model files".into());
+            }
+            let models_xml = rest.iter().map(read_doc).collect::<Result<Vec<_>, _>>()?;
+            Request::Compose { models_xml }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown client verb {other:?}").into()),
+    };
+    let mut client = Client::connect(addr.as_str())
+        .map_err(|e| CliError::Input(format!("cannot connect to {addr}: {e}")))?;
+    let response = client
+        .roundtrip(&request)
+        .map_err(|e| CliError::Input(format!("{addr}: {e}")))?;
+    match response {
+        Response::Ok { code, body } => {
+            let _ = std::io::Write::write_all(&mut std::io::stdout(), &body);
+            Ok(ExitCode::from(code))
+        }
+        Response::Err { kind, message } => {
+            eprintln!("error ({}): {message}", kind.token());
+            Ok(ExitCode::from(kind.exit_code()))
+        }
     }
 }

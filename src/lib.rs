@@ -17,6 +17,7 @@
 //! | [`graph`] | `bio-graph` | generic labelled graphs, no/light-semantics composition |
 //! | [`compose`] | `sbml-compose` | **SBMLCompose** — the paper's contribution |
 //! | [`matching`] | `sbml-match` | subnetwork matching & corpus query engine |
+//! | [`serve`] | `sbml-serve` | corpus snapshots + long-running match/compose daemon |
 //! | [`baseline`] | `semantic-baseline` | simulated semanticSBML comparator |
 //! | [`sim`] | `bio-sim` | ODE (RK4/RKF45) and Gillespie SSA simulation |
 //! | [`mc2`] | `mc2` | Monte-Carlo PLTL model checker (§4.1.4) |
@@ -120,6 +121,7 @@ pub use sbml_compose as compose;
 pub use sbml_match as matching;
 pub use sbml_math as math;
 pub use sbml_model as model;
+pub use sbml_serve as serve;
 pub use sbml_units as units;
 pub use sbml_xml as xml;
 pub use semantic_baseline as baseline;

@@ -280,7 +280,7 @@ fn query_fault_is_contained_per_candidate() {
     let query = chain("q", "x", 3);
     let batch = BatchComposer::new(Composer::new(options.clone()));
     let prepared = batch.prepare_corpus(&corpus);
-    let index = MatchIndex::build(prepared, &options);
+    let index = MatchIndex::build(&prepared, &options);
 
     let clean = index.query_corpus(&query);
     let clean_hits: Vec<usize> = clean.exact.iter().map(|h| h.model).collect();

@@ -1,0 +1,299 @@
+//! End-to-end daemon tests: a real `Server` on an ephemeral port,
+//! concurrent clients, and the contract that a served answer is
+//! bit-identical to the one-shot engine's answer for the same request.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::thread;
+
+use sbmlcompose::compose::{
+    BatchComposer, ComposeOptions, Composer, CompositionSession, PreparedModel,
+};
+use sbmlcompose::corpus::{corpus_slice, query_fragment};
+use sbmlcompose::matching::MatchIndex;
+use sbmlcompose::model::{write_sbml, Model};
+use sbmlcompose::serve::{format_matches, Client, ErrKind, Request, Response, Server, ServerConfig};
+
+fn corpus_and_index(options: &ComposeOptions) -> (Vec<Model>, Vec<Arc<PreparedModel>>, MatchIndex) {
+    let models = corpus_slice(60..68);
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let index = MatchIndex::build(&prepared, options);
+    (models, prepared, index)
+}
+
+/// Bind a server on an ephemeral port, run it on a background thread,
+/// and hand back its address plus the join handle.
+fn start(config: ServerConfig) -> (std::net::SocketAddr, thread::JoinHandle<()>) {
+    let options = ComposeOptions::heavy();
+    let (_, prepared, index) = corpus_and_index(&options);
+    let server = Server::bind("127.0.0.1:0", prepared, index, options, config)
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn shut_down(addr: std::net::SocketAddr, handle: thread::JoinHandle<()>) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    match client.roundtrip(&Request::Shutdown).expect("shutdown roundtrip") {
+        Response::Ok { code: 0, .. } => {}
+        other => panic!("shutdown not acknowledged: {other:?}"),
+    }
+    handle.join().expect("server thread exits after SHUTDOWN");
+}
+
+#[test]
+fn concurrent_match_answers_are_bit_identical_to_one_shot() {
+    let options = ComposeOptions::heavy();
+    let (models, prepared, _) = corpus_and_index(&options);
+    // The reference: a freshly built index rendered through the shared
+    // formatter — exactly what `sbmlcompose match` prints (modulo its
+    // file-path labels; the daemon labels by model id on both slots).
+    let reference = MatchIndex::build(&prepared, &options);
+    let ids: Vec<String> = models.iter().map(|m| m.id.clone()).collect();
+
+    let (addr, handle) = start(ServerConfig { threads: 3, ..ServerConfig::default() });
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let ids = ids.clone();
+            let queries: Vec<Model> = (0..3)
+                .map(|i| query_fragment(&models[(w * 3 + i) % models.len()], i, 1 + i % 2))
+                .collect();
+            let expected: Vec<(u8, String)> = queries
+                .iter()
+                .map(|q| format_matches(&reference.query_corpus(q), &ids, &ids))
+                .collect();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (q, (want_code, want_text)) in queries.iter().zip(&expected) {
+                    let request = Request::Match { query_xml: write_sbml(q) };
+                    match client.roundtrip(&request).expect("roundtrip") {
+                        Response::Ok { code, body } => {
+                            assert_eq!(code, *want_code, "worker {w}: exit code");
+                            assert_eq!(
+                                body,
+                                want_text.as_bytes(),
+                                "worker {w}: daemon answer must be bit-identical"
+                            );
+                        }
+                        Response::Err { kind, message } => {
+                            panic!("worker {w}: unexpected error {kind:?}: {message}")
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client worker");
+    }
+    shut_down(addr, handle);
+}
+
+#[test]
+fn cache_hits_return_the_exact_bytes_of_the_first_answer() {
+    let (addr, handle) = start(ServerConfig::default());
+    let models = corpus_slice(60..68);
+    let query = query_fragment(&models[2], 0, 1);
+    let request = Request::Match { query_xml: write_sbml(&query) };
+    // Same network, different spelling: model ids don't enter content
+    // keys, so this must land on the same cache entry.
+    let mut respelled = query.clone();
+    respelled.id = "different_spelling".into();
+    let respelled = Request::Match { query_xml: write_sbml(&respelled) };
+
+    let mut client = Client::connect(addr).expect("connect");
+    let first = client.roundtrip_raw(&request).expect("miss");
+    let second = client.roundtrip_raw(&request).expect("hit");
+    let third = client.roundtrip_raw(&respelled).expect("respelled hit");
+    assert_eq!(first, second, "a cache hit must be byte-for-byte the first answer");
+    assert_eq!(first, third, "content-key identity must see through the respelling");
+
+    match client.roundtrip(&Request::Stats).expect("stats") {
+        Response::Ok { code: 0, body } => {
+            let text = String::from_utf8(body).expect("stats are utf-8");
+            assert!(text.contains("cache_hits 2\n"), "stats: {text}");
+            assert!(text.contains("cache_misses 1\n"), "stats: {text}");
+            assert!(text.contains("cache_entries 1\n"), "one entry serves all three: {text}");
+            assert!(text.contains("match 3\n"), "stats: {text}");
+            assert!(text.contains("models 8\n"), "stats: {text}");
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+    shut_down(addr, handle);
+}
+
+#[test]
+fn compose_through_the_daemon_matches_a_local_session() {
+    let options = ComposeOptions::heavy();
+    let models = corpus_slice(60..68);
+    let mut session = CompositionSession::new(&options);
+    session.push(&models[0]);
+    session.push(&models[1]);
+    let expected = write_sbml(&session.finish().model);
+
+    let (addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let request = Request::Compose {
+        models_xml: vec![write_sbml(&models[0]), write_sbml(&models[1])],
+    };
+    match client.roundtrip(&request).expect("compose") {
+        Response::Ok { code: 0, body } => {
+            assert_eq!(body, expected.as_bytes(), "daemon compose must equal the local session");
+        }
+        other => panic!("compose failed: {other:?}"),
+    }
+    shut_down(addr, handle);
+}
+
+#[test]
+fn hostile_requests_get_structured_errors_and_the_daemon_keeps_serving() {
+    // A budget of zero steps: every COMPOSE push is cut immediately.
+    let config = ServerConfig { max_steps: Some(0), ..ServerConfig::default() };
+    let (addr, handle) = start(config);
+    let models = corpus_slice(60..68);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let hostile = Request::Compose {
+        models_xml: vec![write_sbml(&models[0]), write_sbml(&models[1])],
+    };
+    match client.roundtrip(&hostile).expect("hostile compose") {
+        Response::Err { kind: ErrKind::Budget, message } => {
+            assert!(!message.is_empty(), "budget errors carry a diagnostic");
+        }
+        other => panic!("expected ERR budget, got {other:?}"),
+    }
+
+    // Unparseable SBML → ERR parse (maps to the CLI's exit 3).
+    let garbage = Request::Match { query_xml: "<sbml><model".into() };
+    match client.roundtrip(&garbage).expect("garbage match") {
+        Response::Err { kind: ErrKind::Parse, .. } => {}
+        other => panic!("expected ERR parse, got {other:?}"),
+    }
+    assert_eq!(ErrKind::Parse.exit_code(), 3);
+    assert_eq!(ErrKind::Budget.exit_code(), 4);
+    assert_eq!(ErrKind::Proto.exit_code(), 2);
+
+    // A MATCH under a zero budget is a *partial* answer (code 4), not a
+    // protocol error — candidates exist but none can be refined.
+    let query = query_fragment(&models[0], 0, 1);
+    match client.roundtrip(&Request::Match { query_xml: write_sbml(&query) }).expect("match") {
+        Response::Ok { code: 4, body } => {
+            let text = String::from_utf8(body).expect("utf-8");
+            assert!(text.contains("truncated"), "body: {text}");
+        }
+        other => panic!("expected a partial answer, got {other:?}"),
+    }
+
+    // After all of that, the daemon still answers: fault isolation held.
+    match client.roundtrip(&Request::Stats).expect("stats after faults") {
+        Response::Ok { code: 0, body } => {
+            let text = String::from_utf8(body).expect("utf-8");
+            assert!(text.contains("budget_cuts 2\n"), "stats: {text}");
+            assert!(text.contains("errors 1\n"), "stats: {text}");
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+    shut_down(addr, handle);
+}
+
+#[test]
+fn cli_snapshot_serve_client_pipeline_round_trips() {
+    let options = ComposeOptions::heavy();
+    let models = corpus_slice(60..65);
+    let dir = std::env::temp_dir().join(format!("sbmlserve_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The corpus lives in its own subdirectory: `snapshot build` sweeps
+    // every `.xml` in the directory it is pointed at, and the query file
+    // must not be swept up with the corpus.
+    let corpus_dir = dir.join("corpus");
+    std::fs::create_dir_all(&corpus_dir).expect("scratch dir");
+    for model in &models {
+        std::fs::write(corpus_dir.join(format!("{}.xml", model.id)), write_sbml(model))
+            .expect("write corpus model");
+    }
+    let snap = dir.join("corpus.snap");
+    let query = query_fragment(&models[1], 0, 1);
+    let query_path = dir.join("query.xml");
+    std::fs::write(&query_path, write_sbml(&query)).expect("write query");
+
+    let bin = env!("CARGO_BIN_EXE_sbmlcompose");
+    let built = Command::new(bin)
+        .args(["snapshot", "build", &corpus_dir.to_string_lossy(), "-o", &snap.to_string_lossy()])
+        .output()
+        .expect("snapshot build");
+    assert!(built.status.success(), "stderr: {}", String::from_utf8_lossy(&built.stderr));
+
+    let inspect = Command::new(bin)
+        .args(["snapshot", "inspect", &snap.to_string_lossy()])
+        .output()
+        .expect("snapshot inspect");
+    assert!(inspect.status.success());
+    let info = String::from_utf8_lossy(&inspect.stdout);
+    assert!(info.contains("version 1\n"), "inspect: {info}");
+    assert!(info.contains("semantics heavy\n"), "inspect: {info}");
+    assert!(info.contains("models 5\n"), "inspect: {info}");
+
+    // Corrupt file → exit 3, structured diagnostic.
+    let bad = dir.join("bad.snap");
+    std::fs::write(&bad, b"SBMLSNAPgarbage").expect("write bad snapshot");
+    let corrupt = Command::new(bin)
+        .args(["snapshot", "inspect", &bad.to_string_lossy()])
+        .output()
+        .expect("inspect corrupt");
+    assert_eq!(corrupt.status.code(), Some(3), "corrupt snapshots exit 3");
+
+    // Serve the snapshot on an ephemeral port; the first stdout line
+    // announces the bound address.
+    let mut daemon = Command::new(bin)
+        .args(["serve", &snap.to_string_lossy(), "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut announced = String::new();
+    BufReader::new(daemon.stdout.take().expect("daemon stdout"))
+        .read_line(&mut announced)
+        .expect("read address line");
+    let addr = announced
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected announcement: {announced:?}"))
+        .to_owned();
+
+    // The daemon's answer must match the engine run in-process over the
+    // same corpus (labels are model ids on both slots).
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let index = MatchIndex::build(&prepared, &options);
+    let ids: Vec<String> = models.iter().map(|m| m.id.clone()).collect();
+    let (want_code, want_text) = format_matches(&index.query_corpus(&query), &ids, &ids);
+
+    let answer = Command::new(bin)
+        .args(["client", &addr, "match", &query_path.to_string_lossy()])
+        .output()
+        .expect("client match");
+    assert_eq!(answer.status.code(), Some(i32::from(want_code)), "client forwards the code");
+    assert_eq!(
+        String::from_utf8_lossy(&answer.stdout),
+        want_text,
+        "served answer equals the one-shot engine's"
+    );
+
+    let stats = Command::new(bin)
+        .args(["client", &addr, "stats"])
+        .output()
+        .expect("client stats");
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("requests "), "stats body");
+
+    let down = Command::new(bin)
+        .args(["client", &addr, "shutdown"])
+        .output()
+        .expect("client shutdown");
+    assert!(down.status.success());
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}

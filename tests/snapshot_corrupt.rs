@@ -1,0 +1,115 @@
+//! Corrupt-snapshot hardening: *no* sequence of bytes handed to the
+//! snapshot loader may panic, abort or allocate absurdly — every
+//! truncation, bit flip and hostile length field must come back as a
+//! structured [`SnapshotError`]. A daemon loads snapshots from disk at
+//! startup; a half-written or bit-rotted file must produce a clean
+//! diagnostic, not a crash.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sbmlcompose::compose::{BatchComposer, ComposeOptions, Composer};
+use sbmlcompose::corpus::corpus_slice;
+use sbmlcompose::matching::MatchIndex;
+use sbmlcompose::serve::Snapshot;
+
+/// Deterministic xorshift-style LCG — the mutation schedule must be
+/// reproducible across runs (no process-dependent randomness).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+fn snapshot_bytes() -> (Vec<u8>, ComposeOptions) {
+    let options = ComposeOptions::heavy();
+    let models = corpus_slice(60..66);
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let index = MatchIndex::build(&prepared, &options);
+    (Snapshot::encode(&prepared, &index, &options), options)
+}
+
+/// Feed `bytes` through every decode entry point; the only acceptable
+/// outcomes are `Ok` (a benign mutation) or a structured error.
+fn must_not_panic(bytes: &[u8], options: &ComposeOptions, what: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = Snapshot::inspect_bytes(bytes);
+        let _ = Snapshot::load_bytes(bytes, options, 1);
+    }));
+    assert!(result.is_ok(), "decoder panicked on {what}");
+}
+
+#[test]
+fn every_truncation_yields_a_structured_error() {
+    let (bytes, options) = snapshot_bytes();
+    // Every prefix through the header and section table, then stepped
+    // cuts through the payload (every length would be quadratic in the
+    // snapshot size for no extra coverage).
+    let dense_prefix = 256.min(bytes.len());
+    let mut cuts: Vec<usize> = (0..dense_prefix).collect();
+    cuts.extend((dense_prefix..bytes.len()).step_by(37));
+    for len in cuts {
+        let cut = &bytes[..len];
+        must_not_panic(cut, &options, &format!("truncation to {len} bytes"));
+        assert!(
+            Snapshot::load_bytes(cut, &options, 1).is_err(),
+            "a snapshot cut to {len}/{} bytes cannot load successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn random_byte_flips_never_panic() {
+    let (bytes, options) = snapshot_bytes();
+    let mut rng = Lcg(0x5eed_cafe);
+    for round in 0..300 {
+        let mut mutated = bytes.clone();
+        // 1–4 independent single-byte corruptions per round.
+        let flips = 1 + (rng.next() as usize % 4);
+        for _ in 0..flips {
+            let at = rng.next() as usize % mutated.len();
+            let bit = 1u8 << (rng.next() % 8);
+            mutated[at] ^= bit;
+        }
+        must_not_panic(&mutated, &options, &format!("bit-flip round {round}"));
+    }
+}
+
+#[test]
+fn hostile_length_fields_cannot_cause_huge_allocations() {
+    let (bytes, options) = snapshot_bytes();
+    let mut rng = Lcg(0xdead_2bad);
+    // Overwrite 4- and 8-byte windows with all-ones and huge values:
+    // every count and section length the format declares must be capped
+    // against the bytes actually present before anything allocates.
+    for round in 0..200 {
+        let mut mutated = bytes.clone();
+        let at = rng.next() as usize % mutated.len().saturating_sub(8);
+        let value: u64 = match round % 3 {
+            0 => u64::MAX,
+            1 => u64::from(u32::MAX),
+            _ => rng.next() | (1 << 40),
+        };
+        let width = if round % 2 == 0 { 8 } else { 4 };
+        mutated[at..at + width].copy_from_slice(&value.to_le_bytes()[..width]);
+        must_not_panic(&mutated, &options, &format!("length-bomb round {round} at {at}"));
+    }
+}
+
+#[test]
+fn garbage_and_empty_inputs_error_cleanly() {
+    let (_, options) = snapshot_bytes();
+    must_not_panic(&[], &options, "empty input");
+    assert!(Snapshot::load_bytes(&[], &options, 1).is_err());
+
+    let mut rng = Lcg(42);
+    for len in [1usize, 7, 8, 9, 64, 4096] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        must_not_panic(&garbage, &options, &format!("{len} bytes of garbage"));
+        assert!(Snapshot::load_bytes(&garbage, &options, 1).is_err());
+    }
+}

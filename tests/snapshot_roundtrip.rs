@@ -1,0 +1,154 @@
+//! Snapshot round-trip fidelity: write → load must yield bit-identical
+//! match, query and compose results at every semantics level — a loaded
+//! corpus is the *same* corpus, not a re-derived approximation.
+
+use std::sync::Arc;
+
+use sbmlcompose::compose::{
+    BatchComposer, ComposeOptions, Composer, CompositionSession, PreparedModel, SemanticsLevel,
+};
+use sbmlcompose::corpus::{corpus_slice, query_fragment, synonym_variant};
+use sbmlcompose::matching::MatchIndex;
+use sbmlcompose::model::{write_sbml, Model};
+use sbmlcompose::serve::{format_matches, preset_options, Snapshot, SnapshotError};
+
+const LEVELS: [SemanticsLevel; 3] =
+    [SemanticsLevel::Heavy, SemanticsLevel::Light, SemanticsLevel::None];
+
+fn build(options: &ComposeOptions, models: &[Model]) -> (Vec<Arc<PreparedModel>>, MatchIndex) {
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(models);
+    let index = MatchIndex::build(&prepared, options);
+    (prepared, index)
+}
+
+fn queries(models: &[Model]) -> Vec<Model> {
+    let mut queries = vec![
+        query_fragment(&models[3], 1, 1),
+        query_fragment(&models[7], 2, 2),
+        synonym_variant(&query_fragment(&models[0], 0, 1)),
+        Model::new("unrelated"), // definitive miss
+    ];
+    // A whole corpus model embeds trivially — the strongest exact hit.
+    queries.push(models[5].clone());
+    queries
+}
+
+#[test]
+fn loaded_snapshot_answers_match_queries_bit_identically() {
+    let models = corpus_slice(58..70);
+    for semantics in LEVELS {
+        let options = preset_options(semantics);
+        let (prepared, index) = build(&options, &models);
+        let ids: Vec<String> = models.iter().map(|m| m.id.clone()).collect();
+
+        let bytes = Snapshot::encode(&prepared, &index, &options);
+        let loaded = Snapshot::load_bytes(&bytes, &options, 0)
+            .unwrap_or_else(|e| panic!("{semantics:?}: load failed: {e}"));
+        assert_eq!(loaded.corpus.len(), prepared.len());
+        assert_eq!(loaded.info.models, prepared.len());
+        assert_eq!(loaded.index.posting_stats(), index.posting_stats(), "{semantics:?}");
+
+        for (qi, query) in queries(&models).iter().enumerate() {
+            let fresh = format_matches(&index.query_corpus(query), &ids, &ids);
+            let reloaded = format_matches(&loaded.index.query_corpus(query), &ids, &ids);
+            assert_eq!(fresh, reloaded, "{semantics:?} query {qi}: answers must be bit-identical");
+            assert_eq!(
+                index.candidates(query),
+                loaded.index.candidates(query),
+                "{semantics:?} query {qi}: candidate sets must agree"
+            );
+        }
+    }
+}
+
+#[test]
+fn loaded_prepared_models_compose_bit_identically() {
+    let models = corpus_slice(60..66);
+    for semantics in LEVELS {
+        let options = preset_options(semantics);
+        let (prepared, index) = build(&options, &models);
+        let bytes = Snapshot::encode(&prepared, &index, &options);
+        let loaded = Snapshot::load_bytes(&bytes, &options, 0).expect("load");
+
+        // Fold the same chain once through the original preparations and
+        // once through the reloaded ones.
+        let mut fresh = CompositionSession::new(&options);
+        for p in &prepared {
+            fresh.push_prepared(p);
+        }
+        let mut reloaded = CompositionSession::new(&options);
+        for p in &loaded.corpus {
+            reloaded.push_prepared(p);
+        }
+        assert_eq!(
+            write_sbml(&fresh.finish().model),
+            write_sbml(&reloaded.finish().model),
+            "{semantics:?}: composition through reloaded preparations must be bit-identical"
+        );
+    }
+}
+
+#[test]
+fn snapshot_encoding_is_deterministic_and_idempotent() {
+    let models = corpus_slice(60..68);
+    let options = ComposeOptions::heavy();
+    let (prepared, index) = build(&options, &models);
+    let bytes = Snapshot::encode(&prepared, &index, &options);
+    assert_eq!(bytes, Snapshot::encode(&prepared, &index, &options), "same inputs, same bytes");
+
+    // Snapshotting a loaded snapshot reproduces the file exactly: the
+    // decode loses nothing the encode needs.
+    let loaded = Snapshot::load_bytes(&bytes, &options, 0).expect("load");
+    let again = Snapshot::encode(&loaded.corpus, &loaded.index, &loaded.options);
+    assert_eq!(bytes, again, "load → encode must be the identity on snapshot bytes");
+}
+
+#[test]
+fn fingerprint_mismatch_is_a_structured_error() {
+    let models = corpus_slice(60..64);
+    let options = ComposeOptions::heavy();
+    let (prepared, index) = build(&options, &models);
+    let bytes = Snapshot::encode(&prepared, &index, &options);
+
+    let wrong = ComposeOptions::light();
+    match Snapshot::load_bytes(&bytes, &wrong, 0) {
+        Err(SnapshotError::FingerprintMismatch { expected, found }) => {
+            assert_eq!(expected, wrong.fingerprint().stable_hash());
+            assert_eq!(found, options.fingerprint().stable_hash());
+        }
+        Err(other) => panic!("expected FingerprintMismatch, got {other:?}"),
+        Ok(_) => panic!("expected FingerprintMismatch, got a successful load"),
+    }
+
+    // Same semantics level, different knobs: still a mismatch — the
+    // fingerprint covers every option that shapes preparation.
+    let mut tweaked = ComposeOptions::heavy();
+    tweaked.cache_patterns = !tweaked.cache_patterns;
+    assert!(
+        matches!(
+            Snapshot::load_bytes(&bytes, &tweaked, 0),
+            Err(SnapshotError::FingerprintMismatch { .. })
+        ),
+        "a single toggled option must be rejected"
+    );
+}
+
+#[test]
+fn inspect_reports_the_header_without_decoding() {
+    let models = corpus_slice(60..65);
+    let options = ComposeOptions::light();
+    let (prepared, index) = build(&options, &models);
+    let bytes = Snapshot::encode(&prepared, &index, &options);
+
+    let info = Snapshot::inspect_bytes(&bytes).expect("inspect");
+    assert_eq!(info.version, sbmlcompose::serve::FORMAT_VERSION);
+    assert_eq!(info.semantics, SemanticsLevel::Light);
+    assert_eq!(info.fingerprint, options.fingerprint().stable_hash());
+    assert_eq!(info.models, 5);
+    assert_eq!(info.bytes, bytes.len());
+    let (nodes, edges, participants) = index.posting_stats();
+    assert_eq!(info.node_postings, nodes);
+    assert_eq!(info.edge_postings, edges);
+    assert_eq!(info.participant_postings, participants);
+}
