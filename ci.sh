@@ -13,6 +13,15 @@ cargo build --release
 echo "== test =="
 cargo test -q
 
+echo "== COW differential harness (clone oracle vs zero-copy engine) =="
+# tests/cow_differential.rs replays every scenario through both engines —
+# the eager clone-on-adopt reference and the copy-on-write candidate —
+# and asserts bit-identity. Run under the default build and again with
+# the fault-injection hooks compiled in, so the proof holds for the
+# exact binary the fault suite exercises.
+cargo test -q --test cow_differential
+cargo test -q --features fault-injection --test cow_differential
+
 echo "== fault-injection suite (deterministic injected faults) =="
 cargo test -q --features fault-injection --test fault_isolation
 
@@ -36,7 +45,14 @@ panic_audit() {
 }
 panic_audit crates/sbml-compose/src/pipeline.rs 20
 panic_audit crates/sbml-compose/src/batch.rs 6
-panic_audit crates/sbml-compose/src/session.rs 12
+# session.rs 12 -> 14 with the COW/pool refactor: two audited invariant
+# expects (the installed session pool; the shared accumulator's base).
+panic_audit crates/sbml-compose/src/session.rs 14
+# New fan-out modules after the worker-pool refactor: the pool itself
+# (spawn + chunking expects, two injected-panic test sites) and the
+# parallel incoming-key build in prepared.rs.
+panic_audit crates/sbml-compose/src/pool.rs 4
+panic_audit crates/sbml-compose/src/prepared.rs 17
 panic_audit crates/sbml-match/src/index.rs 0
 panic_audit crates/sbml-match/src/vf2.rs 3
 
@@ -66,6 +82,16 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "all-pairs prepared-reuse speedup: ${speedup}x (gate: >= 2.0)"
     awk -v s="$speedup" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
         echo "FAIL: fig8 all-pairs prepared-reuse speedup regressed below 2x" >&2
+        exit 1
+    }
+
+    # Perf gate: copy-on-write base adoption must keep the per-pair fixed
+    # cost (tiny duplicate-only push vs growing bases) >= 1.5x cheaper
+    # than eager clone-on-adopt.
+    speedup=$(grep -o '"speedup_fixed_cost": [0-9.]*' BENCH_fig8.json | grep -o '[0-9.]*$')
+    echo "fig8 fixed-cost speedup (COW adoption): ${speedup}x (gate: >= 1.5)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+        echo "FAIL: COW fixed-cost speedup regressed below 1.5x" >&2
         exit 1
     }
 

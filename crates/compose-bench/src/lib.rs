@@ -21,6 +21,8 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+pub mod oracle;
+
 /// The host's available parallelism (1 when undetectable). Recorded in
 /// every `BENCH_*.json` so perf trajectories are comparable across
 /// machines.

@@ -36,13 +36,14 @@
 //!
 //! [`all_pairs_with`]: BatchComposer::all_pairs_with
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use sbml_model::Model;
 
-use crate::composer::{ComposeResult, Composer};
+use crate::composer::{ComposeResult, Composer, SharedComposeResult};
 use crate::guard::{self, BatchReport, Budget, ExecError, ItemOutcome, Site};
+use crate::pool::WorkerPool;
 use crate::prepared::PreparedModel;
 
 /// Batch driver over a [`Composer`]; see the [module docs](self).
@@ -70,6 +71,10 @@ use crate::prepared::PreparedModel;
 pub struct BatchComposer {
     composer: Composer,
     threads: usize,
+    /// Lazily-spawned batch-lifetime [`WorkerPool`], shared by every
+    /// pair session of every `all_pairs*` call on this composer, so a
+    /// session that needs intra-push parallelism never spawns per pair.
+    pool: OnceLock<Arc<WorkerPool>>,
 }
 
 /// Compact per-pair outcome of [`BatchComposer::all_pairs`] — the corpus
@@ -98,7 +103,7 @@ impl BatchComposer {
     /// Batch driver using `composer`'s options, with automatic thread
     /// count (one worker per available core).
     pub fn new(composer: Composer) -> BatchComposer {
-        BatchComposer { composer, threads: 0 }
+        BatchComposer { composer, threads: 0, pool: OnceLock::new() }
     }
 
     /// Fix the worker-thread count (`0` = automatic). Thread count never
@@ -112,6 +117,18 @@ impl BatchComposer {
     /// The underlying composer.
     pub fn composer(&self) -> &Composer {
         &self.composer
+    }
+
+    /// The batch-lifetime worker pool, spawned on first use and sized by
+    /// the composer's [`pool_threads`](crate::ComposeOptions::pool_threads)
+    /// knob (`0` = host parallelism).
+    fn shared_pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(self.pool.get_or_init(|| {
+            Arc::new(match self.composer.options().pool_threads {
+                0 => WorkerPool::for_host(),
+                n => WorkerPool::new(n),
+            })
+        }))
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
@@ -208,13 +225,32 @@ impl BatchComposer {
         T: Send,
         F: Fn(usize, usize, ComposeResult) -> T + Sync,
     {
+        self.all_pairs_shared_with(prepared, |i, j, result| {
+            map(i, j, result.into_compose_result())
+        })
+    }
+
+    /// [`BatchComposer::all_pairs_with`] without forcing a materialised
+    /// model per pair: each base is adopted copy-on-write
+    /// ([`Composer::compose_shared`]), so a pair whose second model is
+    /// fully absorbed as duplicates yields
+    /// [`SharedModel::Base`](crate::SharedModel::Base) — the corpus `Arc`
+    /// itself, no per-pair clone of the base. This is the engine under
+    /// [`BatchComposer::all_pairs`]: the Fig. 8 fixed cost per pair drops
+    /// from O(base size) to O(1) + merge work.
+    pub fn all_pairs_shared_with<T, F>(&self, prepared: &[Arc<PreparedModel>], map: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize, SharedComposeResult) -> T + Sync,
+    {
         let n = prepared.len();
         let pairs: Vec<(usize, usize)> =
             (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
         let workers = self.worker_count(pairs.len());
+        let pool = self.shared_pool();
         let mut results: Vec<(usize, T)> = std::thread::scope(|scope| {
             let composer = &self.composer;
-            let (pairs, prepared, map) = (&pairs, prepared, &map);
+            let (pairs, prepared, map, pool) = (&pairs, prepared, &map, &pool);
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
@@ -222,7 +258,11 @@ impl BatchComposer {
                         let mut k = w;
                         while k < pairs.len() {
                             let (i, j) = pairs[k];
-                            let result = composer.compose_prepared(&prepared[i], &prepared[j]);
+                            let result = composer.compose_shared_on(
+                                Arc::clone(&prepared[i]),
+                                &prepared[j],
+                                Some(Arc::clone(pool)),
+                            );
                             out.push((k, map(i, j, result)));
                             k += workers;
                         }
@@ -239,16 +279,21 @@ impl BatchComposer {
         results.into_iter().map(|(_, value)| value).collect()
     }
 
-    /// The Fig. 8 workload: every unordered corpus pair, summarised.
+    /// The Fig. 8 workload: every unordered corpus pair, summarised. Runs
+    /// on the copy-on-write pair path — a Duplicate-only pair never
+    /// clones its base.
     pub fn all_pairs(&self, prepared: &[Arc<PreparedModel>]) -> Vec<PairSummary> {
-        self.all_pairs_with(prepared, |a, b, result| PairSummary {
-            a,
-            b,
-            species: result.model.species.len(),
-            reactions: result.model.reactions.len(),
-            components: result.model.component_count(),
-            conflicts: result.log.conflict_count(),
-            mappings: result.mappings.len(),
+        self.all_pairs_shared_with(prepared, |a, b, result| {
+            let model = result.model.as_model();
+            PairSummary {
+                a,
+                b,
+                species: model.species.len(),
+                reactions: model.reactions.len(),
+                components: model.component_count(),
+                conflicts: result.log.conflict_count(),
+                mappings: result.mappings.len(),
+            }
         })
     }
 
@@ -281,9 +326,15 @@ impl BatchComposer {
                     as u64
             })
             .collect();
+        let pool = self.shared_pool();
         let outcome = |k: usize| {
             let (i, j) = pairs[k];
-            map(i, j, self.composer.compose_prepared(&prepared[i], &prepared[j]))
+            let result = self.composer.compose_shared_on(
+                Arc::clone(&prepared[i]),
+                &prepared[j],
+                Some(Arc::clone(&pool)),
+            );
+            map(i, j, result.into_compose_result())
         };
         self.run_guarded(pairs.len(), &costs, budget, outcome)
     }

@@ -25,6 +25,7 @@
 //! the accumulator is never cloned and its indexes are never rebuilt.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use sbml_model::Model;
 
@@ -43,6 +44,63 @@ pub struct ComposeResult {
     /// Final ID mappings: second-model id → composed-model id, for every
     /// component that was matched or renamed.
     pub mappings: HashMap<String, String>,
+}
+
+/// A composed model that may still *be* the adopted base: the zero-copy
+/// outcome of [`Composer::compose_shared`] /
+/// [`CompositionSession::finish_shared`].
+#[derive(Debug, Clone)]
+pub enum SharedModel {
+    /// At least one push changed the accumulator; this is the
+    /// materialised result.
+    Owned(Model),
+    /// Every push was absorbed without touching the base (Duplicate-only
+    /// composition): the result is the base itself, no bytes copied.
+    Base(Arc<PreparedModel>),
+}
+
+impl SharedModel {
+    /// The composed model, by reference — uniform over both outcomes.
+    pub fn as_model(&self) -> &Model {
+        match self {
+            SharedModel::Owned(m) => m,
+            SharedModel::Base(p) => p.model(),
+        }
+    }
+
+    /// The composed model by value, cloning only in the [`SharedModel::Base`]
+    /// case (the base stays shared with its other users).
+    pub fn into_model(self) -> Model {
+        match self {
+            SharedModel::Owned(m) => m,
+            SharedModel::Base(p) => p.model().clone(),
+        }
+    }
+
+    /// Did the composition finish without ever copying the base?
+    pub fn is_base(&self) -> bool {
+        matches!(self, SharedModel::Base(_))
+    }
+}
+
+/// [`ComposeResult`] for the zero-copy entry points: identical log and
+/// mappings, with the model as a [`SharedModel`].
+#[derive(Debug, Clone)]
+pub struct SharedComposeResult {
+    /// The composed model, possibly still the shared base.
+    pub model: SharedModel,
+    /// Decision log (duplicates, mappings, renames, conflicts).
+    pub log: MergeLog,
+    /// Final ID mappings, as in [`ComposeResult::mappings`].
+    pub mappings: HashMap<String, String>,
+}
+
+impl SharedComposeResult {
+    /// Materialise into a plain [`ComposeResult`], cloning the model only
+    /// in the [`SharedModel::Base`] outcome.
+    pub fn into_compose_result(self) -> ComposeResult {
+        ComposeResult { model: self.model.into_model(), log: self.log, mappings: self.mappings }
+    }
 }
 
 /// The SBMLCompose engine.
@@ -98,7 +156,7 @@ impl Composer {
     /// canonical content keys, per-kind indexes, evaluated initial values
     /// and the global id set are computed here instead of inside every
     /// [`Composer::compose`] call. Wrap the result in an
-    /// [`Arc`](std::sync::Arc) to share it between threads — see
+    /// [`Arc`] to share it between threads — see
     /// [`crate::BatchComposer`] for the corpus-scale fan-out.
     pub fn prepare(&self, model: &Model) -> PreparedModel {
         PreparedModel::new(model, &self.options)
@@ -136,6 +194,55 @@ impl Composer {
         let mut session = CompositionSession::with_prepared_base(&self.options, a);
         session.push_prepared_final(b);
         session.finish()
+    }
+
+    /// [`Composer::compose_prepared`] without copying the base up front:
+    /// the session adopts `a` copy-on-write
+    /// ([`CompositionSession::with_shared_base`]), so the per-pair fixed
+    /// cost is a few `Arc` bumps and a composition in which every `b`
+    /// component matches the base returns [`SharedModel::Base`] — the
+    /// original `Arc`, zero model bytes cloned end to end. Output (model
+    /// contents, log, mappings) is bit-for-bit identical to
+    /// [`Composer::compose_prepared`] (the differential harness enforces
+    /// this); panics on a fingerprint mismatch, as there.
+    pub fn compose_shared(&self, a: Arc<PreparedModel>, b: &PreparedModel) -> SharedComposeResult {
+        self.compose_shared_on(a, b, None)
+    }
+
+    /// [`Composer::compose_shared`] with an optional pre-spawned
+    /// [`WorkerPool`](crate::WorkerPool) for the session's parallel stages.
+    /// Without one, a session that needs parallelism spins up its own
+    /// pool; batch and daemon callers pass a long-lived pool instead so
+    /// thousands of compositions share one set of parked threads.
+    pub fn compose_shared_on(
+        &self,
+        a: Arc<PreparedModel>,
+        b: &PreparedModel,
+        pool: Option<Arc<crate::pool::WorkerPool>>,
+    ) -> SharedComposeResult {
+        a.check_options(&self.options);
+        b.check_options(&self.options);
+        // Fig. 5 lines 1–2: if one model is empty, return the other.
+        if a.model().is_empty() {
+            return SharedComposeResult {
+                model: SharedModel::Owned(b.model().clone()),
+                log: MergeLog::new(),
+                mappings: HashMap::new(),
+            };
+        }
+        if b.model().is_empty() {
+            return SharedComposeResult {
+                model: SharedModel::Base(a),
+                log: MergeLog::new(),
+                mappings: HashMap::new(),
+            };
+        }
+        let mut session = CompositionSession::with_shared_base(&self.options, a);
+        if let Some(pool) = pool {
+            session.set_pool(pool);
+        }
+        session.push_prepared_final(b);
+        session.finish_shared()
     }
 }
 

@@ -100,6 +100,30 @@ pub struct ComposeOptions {
     /// full-recompute ablation the `pipeline_conflict` bench measures
     /// against.
     pub incremental_key_rename: bool,
+    /// Adopt an `Arc`-shared prepared base **copy-on-write** (default:
+    /// true): [`crate::session::CompositionSession::with_shared_base`]
+    /// and [`crate::Composer::compose_shared`] then start with no owned
+    /// copy of the base — component lists, per-kind indexes, the interned
+    /// key cache and the initial-value store stay shared with the
+    /// [`crate::PreparedModel`] until a push actually appends something,
+    /// so a Duplicate-only composition never clones the base at all.
+    /// Turning this off makes the shared entry points fall back to the
+    /// eager clone-on-adopt path (the differential harness's oracle
+    /// engine). Output is bit-for-bit identical either way
+    /// (property-tested), so this knob — like the pipeline knobs — is an
+    /// execution detail excluded from [`ComposeOptions::fingerprint`].
+    pub adopt_base: bool,
+    /// Size of the session-lifetime [`crate::WorkerPool`] that replaces
+    /// per-push scoped thread spawns in the merge-pass pipeline and the
+    /// within-push key fan-out; `0` (the default) sizes it to the host's
+    /// available parallelism. A session creates its pool lazily on the
+    /// first push that goes parallel and parks it between pushes;
+    /// [`crate::BatchComposer`] and the `sbml-serve` daemon inject one
+    /// shared batch-lifetime pool instead so hot serving reuses warm
+    /// workers. `1` means no background workers (all lanes run on the
+    /// calling thread). Never affects output, hence
+    /// fingerprint-neutral.
+    pub pool_threads: usize,
 }
 
 impl Default for ComposeOptions {
@@ -116,6 +140,8 @@ impl Default for ComposeOptions {
             merge_pipeline: true,
             pipeline_threads: 0,
             incremental_key_rename: true,
+            adopt_base: true,
+            pool_threads: 0,
         }
     }
 }
@@ -222,6 +248,22 @@ impl ComposeOptions {
     #[must_use]
     pub fn with_incremental_key_rename(mut self, on: bool) -> ComposeOptions {
         self.incremental_key_rename = on;
+        self
+    }
+
+    /// Builder: toggle copy-on-write base adoption (eager clone-on-adopt
+    /// when off — the differential harness's oracle engine).
+    #[must_use]
+    pub fn with_adopt_base(mut self, on: bool) -> ComposeOptions {
+        self.adopt_base = on;
+        self
+    }
+
+    /// Builder: set the session worker-pool size (`0` = host
+    /// parallelism, `1` = no background workers).
+    #[must_use]
+    pub fn with_pool_threads(mut self, threads: usize) -> ComposeOptions {
+        self.pool_threads = threads;
         self
     }
 
@@ -422,6 +464,25 @@ mod tests {
         assert_eq!(
             base.fingerprint(),
             ComposeOptions::default().with_incremental_key_rename(false).fingerprint()
+        );
+        // The zero-copy knobs are execution details too: a preparation
+        // built under either engine or any pool size stays valid — and
+        // digest-equal — under every other.
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default().with_adopt_base(false).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint(),
+            ComposeOptions::default().with_pool_threads(3).fingerprint()
+        );
+        assert_eq!(
+            base.fingerprint().stable_hash(),
+            ComposeOptions::default()
+                .with_adopt_base(false)
+                .with_pool_threads(1)
+                .fingerprint()
+                .stable_hash()
         );
     }
 }

@@ -59,6 +59,7 @@ use sbml_units::convert::{
 };
 use sbml_units::UnitDefinition;
 
+use crate::cow::{CowIndex, CowKeys, CowList};
 use crate::equality::{self, MappingTable, NoMap};
 use crate::index::{ComponentIndex, FastSet};
 use crate::keyrename;
@@ -314,6 +315,13 @@ impl IdRegistry {
         self.base = base;
         self.added.clear();
     }
+
+    /// Has any push registered an id beyond the shared base set? Used by
+    /// the COW restore path to assert a stayed-shared push really touched
+    /// nothing.
+    pub(crate) fn has_additions(&self) -> bool {
+        !self.added.is_empty()
+    }
 }
 
 /// The taken-id state a pass probes and extends: the session registry
@@ -407,86 +415,91 @@ impl CompartmentsRead<'_> {
 // Per-kind mutable state views
 // ---------------------------------------------------------------------
 
+// Accumulator-side lists, persistent indexes and key caches arrive as
+// copy-on-write wrappers ([`crate::cow`]): reads go through `Deref` into
+// the shared base, the first append/insert materialises that kind. The
+// per-push delta indexes stay plain — they start empty every push.
+
 pub(crate) struct FunctionsMut<'a> {
-    pub(crate) list: &'a mut Vec<FunctionDefinition>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_content: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<FunctionDefinition>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_content: &'a mut CowIndex,
     pub(crate) delta_by_content: &'a mut ComponentIndex,
-    pub(crate) keys: &'a mut Vec<Arc<str>>,
+    pub(crate) keys: &'a mut CowKeys,
 }
 
 pub(crate) struct UnitsMut<'a> {
-    pub(crate) list: &'a mut Vec<UnitDefinition>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_content: &'a mut ComponentIndex,
-    pub(crate) keys: &'a mut Vec<Arc<str>>,
+    pub(crate) list: &'a mut CowList<UnitDefinition>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_content: &'a mut CowIndex,
+    pub(crate) keys: &'a mut CowKeys,
 }
 
 pub(crate) struct CompartmentTypesMut<'a> {
-    pub(crate) list: &'a mut Vec<CompartmentType>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_name: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<CompartmentType>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_name: &'a mut CowIndex,
     pub(crate) delta_by_name: &'a mut ComponentIndex,
 }
 
 pub(crate) struct SpeciesTypesMut<'a> {
-    pub(crate) list: &'a mut Vec<SpeciesType>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_name: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<SpeciesType>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_name: &'a mut CowIndex,
     pub(crate) delta_by_name: &'a mut ComponentIndex,
 }
 
 pub(crate) struct CompartmentsMut<'a> {
-    pub(crate) list: &'a mut Vec<Compartment>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_name: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Compartment>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_name: &'a mut CowIndex,
     pub(crate) delta_by_name: &'a mut ComponentIndex,
 }
 
 pub(crate) struct SpeciesMut<'a> {
-    pub(crate) list: &'a mut Vec<Species>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_name: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Species>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_name: &'a mut CowIndex,
     pub(crate) delta_by_name: &'a mut ComponentIndex,
 }
 
 pub(crate) struct ParametersMut<'a> {
-    pub(crate) list: &'a mut Vec<Parameter>,
-    pub(crate) by_id: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Parameter>,
+    pub(crate) by_id: &'a mut CowIndex,
 }
 
 pub(crate) struct AssignmentsMut<'a> {
-    pub(crate) list: &'a mut Vec<InitialAssignment>,
-    pub(crate) by_symbol: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<InitialAssignment>,
+    pub(crate) by_symbol: &'a mut CowIndex,
 }
 
 pub(crate) struct RulesMut<'a> {
-    pub(crate) list: &'a mut Vec<Rule>,
-    pub(crate) by_content: &'a mut ComponentIndex,
-    pub(crate) by_variable: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Rule>,
+    pub(crate) by_content: &'a mut CowIndex,
+    pub(crate) by_variable: &'a mut CowIndex,
     pub(crate) delta_by_content: &'a mut ComponentIndex,
 }
 
 pub(crate) struct ConstraintsMut<'a> {
-    pub(crate) list: &'a mut Vec<Constraint>,
-    pub(crate) by_content: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Constraint>,
+    pub(crate) by_content: &'a mut CowIndex,
     pub(crate) delta_by_content: &'a mut ComponentIndex,
 }
 
 pub(crate) struct ReactionsMut<'a> {
-    pub(crate) list: &'a mut Vec<Reaction>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_content: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Reaction>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_content: &'a mut CowIndex,
     pub(crate) delta_by_content: &'a mut ComponentIndex,
-    pub(crate) keys: &'a mut Vec<Arc<str>>,
+    pub(crate) keys: &'a mut CowKeys,
 }
 
 pub(crate) struct EventsMut<'a> {
-    pub(crate) list: &'a mut Vec<Event>,
-    pub(crate) by_id: &'a mut ComponentIndex,
-    pub(crate) by_content: &'a mut ComponentIndex,
+    pub(crate) list: &'a mut CowList<Event>,
+    pub(crate) by_id: &'a mut CowIndex,
+    pub(crate) by_content: &'a mut CowIndex,
     pub(crate) delta_by_content: &'a mut ComponentIndex,
-    pub(crate) keys: &'a mut Vec<Arc<str>>,
+    pub(crate) keys: &'a mut CowKeys,
 }
 
 // ---------------------------------------------------------------------

@@ -51,7 +51,8 @@ use std::sync::{Condvar, Mutex, RwLock, RwLockReadGuard};
 
 use sbml_math::rewrite::collect_identifiers;
 
-use crate::index::{ComponentIndex, FastMap, FastSet, IndexKind};
+use crate::cow::{CowIndex, CowKeys, CowList, CowState};
+use crate::index::{ComponentIndex, FastMap, FastSet};
 use crate::passes::{
     AssignmentsMut, CompartmentTypesMut, CompartmentsMut, CompartmentsRead, ConstraintsMut,
     EventsMut, FunctionsMut, IdRegistry, Incoming, IvA, MapStore, ParametersMut, PassEnv,
@@ -62,6 +63,7 @@ use crate::guard::{self, ExecError, Meter, Site};
 use crate::initial_values::{IncrementalValues, InitialValues};
 use crate::log::MergeLog;
 use crate::options::ComposeOptions;
+use crate::pool::WorkerPool;
 use crate::session::CompositionSession;
 use crate::{passes, prepared::IncomingKeys};
 
@@ -317,21 +319,32 @@ struct PassAux {
     log: MergeLog,
 }
 
-/// Owned per-kind component state, moved out of the session for the
-/// duration of the pipelined passes.
+/// Per-kind component state, taken out of the session (as copy-on-write
+/// wrappers — see [`crate::cow`]) for the duration of the pipelined
+/// passes. Tuple order per slot: list, persistent indexes (Fig. 4
+/// declaration order), per-push delta index (where the kind has one),
+/// key-cache column (where the kind has one).
 struct KindSlots {
-    functions: RwLock<(Vec<sbml_model::FunctionDefinition>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
-    units: RwLock<(Vec<sbml_units::UnitDefinition>, [ComponentIndex; 2], Vec<std::sync::Arc<str>>)>,
-    compartment_types: RwLock<(Vec<sbml_model::CompartmentType>, [ComponentIndex; 3])>,
-    species_types: RwLock<(Vec<sbml_model::SpeciesType>, [ComponentIndex; 3])>,
-    compartments: RwLock<(Vec<sbml_model::Compartment>, [ComponentIndex; 3])>,
-    species: RwLock<(Vec<sbml_model::Species>, [ComponentIndex; 3])>,
-    parameters: RwLock<(Vec<sbml_model::Parameter>, [ComponentIndex; 1])>,
-    assignments: RwLock<(Vec<sbml_model::InitialAssignment>, [ComponentIndex; 1])>,
-    rules: RwLock<(Vec<sbml_model::Rule>, [ComponentIndex; 3])>,
-    constraints: RwLock<(Vec<sbml_model::rule::Constraint>, [ComponentIndex; 2])>,
-    reactions: RwLock<(Vec<sbml_model::Reaction>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
-    events: RwLock<(Vec<sbml_model::Event>, [ComponentIndex; 3], Vec<std::sync::Arc<str>>)>,
+    functions: RwLock<(
+        CowList<sbml_model::FunctionDefinition>,
+        CowIndex,
+        CowIndex,
+        ComponentIndex,
+        CowKeys,
+    )>,
+    units: RwLock<(CowList<sbml_units::UnitDefinition>, CowIndex, CowIndex, CowKeys)>,
+    compartment_types:
+        RwLock<(CowList<sbml_model::CompartmentType>, CowIndex, CowIndex, ComponentIndex)>,
+    species_types: RwLock<(CowList<sbml_model::SpeciesType>, CowIndex, CowIndex, ComponentIndex)>,
+    compartments: RwLock<(CowList<sbml_model::Compartment>, CowIndex, CowIndex, ComponentIndex)>,
+    species: RwLock<(CowList<sbml_model::Species>, CowIndex, CowIndex, ComponentIndex)>,
+    parameters: RwLock<(CowList<sbml_model::Parameter>, CowIndex)>,
+    assignments: RwLock<(CowList<sbml_model::InitialAssignment>, CowIndex)>,
+    rules: RwLock<(CowList<sbml_model::Rule>, CowIndex, CowIndex, ComponentIndex)>,
+    constraints: RwLock<(CowList<sbml_model::rule::Constraint>, CowIndex, ComponentIndex)>,
+    reactions:
+        RwLock<(CowList<sbml_model::Reaction>, CowIndex, CowIndex, ComponentIndex, CowKeys)>,
+    events: RwLock<(CowList<sbml_model::Event>, CowIndex, CowIndex, ComponentIndex, CowKeys)>,
 }
 
 /// Everything the workers share.
@@ -374,13 +387,11 @@ fn unpoison<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
     result.unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn take_idx(slot: &mut ComponentIndex, kind: IndexKind) -> ComponentIndex {
-    std::mem::replace(slot, ComponentIndex::new(kind))
-}
-
-/// Run one push's merge passes on `workers` scoped threads. On success
-/// the session is in exactly the state the serial pass order would leave —
-/// see the module docs for the argument.
+/// Run one push's merge passes on `workers` lanes of the session's
+/// [`WorkerPool`] (the calling thread is lane zero; parked pool threads
+/// take the rest — no per-push spawns). On success the session is in
+/// exactly the state the serial pass order would leave — see the module
+/// docs for the argument.
 ///
 /// Worker panics are contained: a pass that panics (or a `meter` that
 /// runs out between passes) stops the schedule, the per-kind state is
@@ -391,6 +402,7 @@ pub(crate) fn run(
     sess: &mut CompositionSession<'_>,
     inc: &Incoming<'_>,
     workers: usize,
+    pool: &WorkerPool,
     meter: Option<&Meter>,
 ) -> Result<(), ExecError> {
     // Prepared pushes cache the plan (it is a pure function of the
@@ -403,99 +415,56 @@ pub(crate) fn run(
             &local_plan
         }
     };
-    let kind = sess.options.index;
 
-    // Move per-kind state out of the session.
+    // Take per-kind state out of the session — COW wrappers over the
+    // shared base for an adopted session, moved-out owned state otherwise
+    // — and distribute it into the per-pass slots.
+    let st = sess.take_cow_state();
     let slots = KindSlots {
         functions: RwLock::new((
-            std::mem::take(&mut sess.merged.function_definitions),
-            [
-                take_idx(&mut sess.idx.functions_by_id, kind),
-                take_idx(&mut sess.idx.functions_by_content, kind),
-                take_idx(&mut sess.delta.functions_by_content, kind),
-            ],
-            std::mem::take(&mut sess.keys.functions),
+            st.functions,
+            st.functions_by_id,
+            st.functions_by_content,
+            st.functions_delta,
+            st.functions_keys,
         )),
-        units: RwLock::new((
-            std::mem::take(&mut sess.merged.unit_definitions),
-            [
-                take_idx(&mut sess.idx.units_by_id, kind),
-                take_idx(&mut sess.idx.units_by_content, kind),
-            ],
-            std::mem::take(&mut sess.keys.units),
-        )),
+        units: RwLock::new((st.units, st.units_by_id, st.units_by_content, st.units_keys)),
         compartment_types: RwLock::new((
-            std::mem::take(&mut sess.merged.compartment_types),
-            [
-                take_idx(&mut sess.idx.compartment_types_by_id, kind),
-                take_idx(&mut sess.idx.compartment_types_by_name, kind),
-                take_idx(&mut sess.delta.compartment_types_by_name, kind),
-            ],
+            st.compartment_types,
+            st.compartment_types_by_id,
+            st.compartment_types_by_name,
+            st.compartment_types_delta,
         )),
         species_types: RwLock::new((
-            std::mem::take(&mut sess.merged.species_types),
-            [
-                take_idx(&mut sess.idx.species_types_by_id, kind),
-                take_idx(&mut sess.idx.species_types_by_name, kind),
-                take_idx(&mut sess.delta.species_types_by_name, kind),
-            ],
+            st.species_types,
+            st.species_types_by_id,
+            st.species_types_by_name,
+            st.species_types_delta,
         )),
         compartments: RwLock::new((
-            std::mem::take(&mut sess.merged.compartments),
-            [
-                take_idx(&mut sess.idx.compartments_by_id, kind),
-                take_idx(&mut sess.idx.compartments_by_name, kind),
-                take_idx(&mut sess.delta.compartments_by_name, kind),
-            ],
+            st.compartments,
+            st.compartments_by_id,
+            st.compartments_by_name,
+            st.compartments_delta,
         )),
-        species: RwLock::new((
-            std::mem::take(&mut sess.merged.species),
-            [
-                take_idx(&mut sess.idx.species_by_id, kind),
-                take_idx(&mut sess.idx.species_by_name, kind),
-                take_idx(&mut sess.delta.species_by_name, kind),
-            ],
-        )),
-        parameters: RwLock::new((
-            std::mem::take(&mut sess.merged.parameters),
-            [take_idx(&mut sess.idx.parameters_by_id, kind)],
-        )),
-        assignments: RwLock::new((
-            std::mem::take(&mut sess.merged.initial_assignments),
-            [take_idx(&mut sess.idx.assignments_by_symbol, kind)],
-        )),
-        rules: RwLock::new((
-            std::mem::take(&mut sess.merged.rules),
-            [
-                take_idx(&mut sess.idx.rules_by_content, kind),
-                take_idx(&mut sess.idx.rules_by_variable, kind),
-                take_idx(&mut sess.delta.rules_by_content, kind),
-            ],
-        )),
-        constraints: RwLock::new((
-            std::mem::take(&mut sess.merged.constraints),
-            [
-                take_idx(&mut sess.idx.constraints_by_content, kind),
-                take_idx(&mut sess.delta.constraints_by_content, kind),
-            ],
-        )),
+        species: RwLock::new((st.species, st.species_by_id, st.species_by_name, st.species_delta)),
+        parameters: RwLock::new((st.parameters, st.parameters_by_id)),
+        assignments: RwLock::new((st.assignments, st.assignments_by_symbol)),
+        rules: RwLock::new((st.rules, st.rules_by_content, st.rules_by_variable, st.rules_delta)),
+        constraints: RwLock::new((st.constraints, st.constraints_by_content, st.constraints_delta)),
         reactions: RwLock::new((
-            std::mem::take(&mut sess.merged.reactions),
-            [
-                take_idx(&mut sess.idx.reactions_by_id, kind),
-                take_idx(&mut sess.idx.reactions_by_content, kind),
-                take_idx(&mut sess.delta.reactions_by_content, kind),
-            ],
-            std::mem::take(&mut sess.keys.reactions),
+            st.reactions,
+            st.reactions_by_id,
+            st.reactions_by_content,
+            st.reactions_delta,
+            st.reactions_keys,
         )),
         events: RwLock::new((
-            std::mem::take(&mut sess.merged.events),
-            [
-                take_idx(&mut sess.idx.events_by_id, kind),
-                take_idx(&mut sess.idx.events_by_content, kind),
-                take_idx(&mut sess.delta.events_by_content, kind),
-            ],
-            std::mem::take(&mut sess.keys.events),
+            st.events,
+            st.events_by_id,
+            st.events_by_content,
+            st.events_delta,
+            st.events_keys,
         )),
     };
     let taken = std::mem::replace(&mut sess.taken, IdRegistry::new());
@@ -533,110 +502,95 @@ pub(crate) fn run(
         Mutex::new(SchedState { ready, deps_left, dependents, done: empty, fault: None });
     let cv = Condvar::new();
 
-    // The calling thread is worker zero — a pipelined push spawns
-    // `workers - 1` threads, so low worker counts (and single-pass tails)
-    // pay almost nothing extra.
+    // The calling thread is worker zero; `workers - 1` parked pool
+    // threads pick up the remaining lanes through the per-push injector —
+    // no thread is spawned on this path, ever.
     let workers = workers.min(N).max(1);
-    std::thread::scope(|scope| {
-        for _ in 1..workers {
-            scope.spawn(|| worker(&sched, &cv, &shared, inc, plan));
-        }
-        worker(&sched, &cv, &shared, inc, plan);
-    });
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (1..workers)
+        .map(|_| {
+            Box::new(|| worker(&sched, &cv, &shared, inc, plan)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run_scoped(|| worker(&sched, &cv, &shared, inc, plan), tasks);
     let fault = unpoison(sched.into_inner()).fault;
 
     // Move state back into the session. Poison-tolerant throughout: after
     // a contained pass panic the locks may be poisoned, and on that path
     // the caller discards the push via rollback anyway.
     let Shared { slots, aux, .. } = shared;
-    {
-        let (list, [by_id, by_content, delta], keys) = unpoison(slots.functions.into_inner());
-        sess.merged.function_definitions = list;
-        sess.idx.functions_by_id = by_id;
-        sess.idx.functions_by_content = by_content;
-        sess.delta.functions_by_content = delta;
-        sess.keys.functions = keys;
-    }
-    {
-        let (list, [by_id, by_content], keys) = unpoison(slots.units.into_inner());
-        sess.merged.unit_definitions = list;
-        sess.idx.units_by_id = by_id;
-        sess.idx.units_by_content = by_content;
-        sess.keys.units = keys;
-    }
-    {
-        let (list, [by_id, by_name, delta]) =
-            unpoison(slots.compartment_types.into_inner());
-        sess.merged.compartment_types = list;
-        sess.idx.compartment_types_by_id = by_id;
-        sess.idx.compartment_types_by_name = by_name;
-        sess.delta.compartment_types_by_name = delta;
-    }
-    {
-        let (list, [by_id, by_name, delta]) =
-            unpoison(slots.species_types.into_inner());
-        sess.merged.species_types = list;
-        sess.idx.species_types_by_id = by_id;
-        sess.idx.species_types_by_name = by_name;
-        sess.delta.species_types_by_name = delta;
-    }
-    {
-        let (list, [by_id, by_name, delta]) =
-            unpoison(slots.compartments.into_inner());
-        sess.merged.compartments = list;
-        sess.idx.compartments_by_id = by_id;
-        sess.idx.compartments_by_name = by_name;
-        sess.delta.compartments_by_name = delta;
-    }
-    {
-        let (list, [by_id, by_name, delta]) = unpoison(slots.species.into_inner());
-        sess.merged.species = list;
-        sess.idx.species_by_id = by_id;
-        sess.idx.species_by_name = by_name;
-        sess.delta.species_by_name = delta;
-    }
-    {
-        let (list, [by_id]) = unpoison(slots.parameters.into_inner());
-        sess.merged.parameters = list;
-        sess.idx.parameters_by_id = by_id;
-    }
-    {
-        let (list, [by_symbol]) = unpoison(slots.assignments.into_inner());
-        sess.merged.initial_assignments = list;
-        sess.idx.assignments_by_symbol = by_symbol;
-    }
-    {
-        let (list, [by_content, by_variable, delta]) =
-            unpoison(slots.rules.into_inner());
-        sess.merged.rules = list;
-        sess.idx.rules_by_content = by_content;
-        sess.idx.rules_by_variable = by_variable;
-        sess.delta.rules_by_content = delta;
-    }
-    {
-        let (list, [by_content, delta]) = unpoison(slots.constraints.into_inner());
-        sess.merged.constraints = list;
-        sess.idx.constraints_by_content = by_content;
-        sess.delta.constraints_by_content = delta;
-    }
-    {
-        let (list, [by_id, by_content, delta], keys) =
-            unpoison(slots.reactions.into_inner());
-        sess.merged.reactions = list;
-        sess.idx.reactions_by_id = by_id;
-        sess.idx.reactions_by_content = by_content;
-        sess.delta.reactions_by_content = delta;
-        sess.keys.reactions = keys;
-    }
-    {
-        let (list, [by_id, by_content, delta], keys) =
-            unpoison(slots.events.into_inner());
-        sess.merged.events = list;
-        sess.idx.events_by_id = by_id;
-        sess.idx.events_by_content = by_content;
-        sess.delta.events_by_content = delta;
-        sess.keys.events = keys;
-    }
+    let (functions, functions_by_id, functions_by_content, functions_delta, functions_keys) =
+        unpoison(slots.functions.into_inner());
+    let (units, units_by_id, units_by_content, units_keys) = unpoison(slots.units.into_inner());
+    let (
+        compartment_types,
+        compartment_types_by_id,
+        compartment_types_by_name,
+        compartment_types_delta,
+    ) = unpoison(slots.compartment_types.into_inner());
+    let (species_types, species_types_by_id, species_types_by_name, species_types_delta) =
+        unpoison(slots.species_types.into_inner());
+    let (compartments, compartments_by_id, compartments_by_name, compartments_delta) =
+        unpoison(slots.compartments.into_inner());
+    let (species, species_by_id, species_by_name, species_delta) =
+        unpoison(slots.species.into_inner());
+    let (parameters, parameters_by_id) = unpoison(slots.parameters.into_inner());
+    let (assignments, assignments_by_symbol) = unpoison(slots.assignments.into_inner());
+    let (rules, rules_by_content, rules_by_variable, rules_delta) =
+        unpoison(slots.rules.into_inner());
+    let (constraints, constraints_by_content, constraints_delta) =
+        unpoison(slots.constraints.into_inner());
+    let (reactions, reactions_by_id, reactions_by_content, reactions_delta, reactions_keys) =
+        unpoison(slots.reactions.into_inner());
+    let (events, events_by_id, events_by_content, events_delta, events_keys) =
+        unpoison(slots.events.into_inner());
+    sess.restore_cow_state(CowState {
+        functions,
+        functions_by_id,
+        functions_by_content,
+        functions_delta,
+        functions_keys,
+        units,
+        units_by_id,
+        units_by_content,
+        units_keys,
+        compartment_types,
+        compartment_types_by_id,
+        compartment_types_by_name,
+        compartment_types_delta,
+        species_types,
+        species_types_by_id,
+        species_types_by_name,
+        species_types_delta,
+        compartments,
+        compartments_by_id,
+        compartments_by_name,
+        compartments_delta,
+        species,
+        species_by_id,
+        species_by_name,
+        species_delta,
+        parameters,
+        parameters_by_id,
+        assignments,
+        assignments_by_symbol,
+        rules,
+        rules_by_content,
+        rules_by_variable,
+        rules_delta,
+        constraints,
+        constraints_by_content,
+        constraints_delta,
+        reactions,
+        reactions_by_id,
+        reactions_by_content,
+        reactions_delta,
+        reactions_keys,
+        events,
+        events_by_id,
+        events_by_content,
+        events_delta,
+        events_keys,
+    });
 
     // ...and fold the per-pass aux state in Fig. 4 order: logs
     // concatenate, shards overwrite like the single serial table, taken
@@ -775,7 +729,7 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
     match pass {
         FUNCTIONS => {
             let mut st = sh.slots.functions.try_write().expect("functions slot");
-            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            let (list, by_id, by_content, delta, keys) = &mut *st;
             passes::functions(
                 &mut env,
                 &mut FunctionsMut { list, by_id, by_content, delta_by_content: delta, keys },
@@ -784,12 +738,12 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
         }
         UNITS => {
             let mut st = sh.slots.units.try_write().expect("units slot");
-            let (list, [by_id, by_content], keys) = &mut *st;
+            let (list, by_id, by_content, keys) = &mut *st;
             passes::units(&mut env, &mut UnitsMut { list, by_id, by_content, keys }, inc);
         }
         COMPARTMENT_TYPES => {
             let mut st = sh.slots.compartment_types.try_write().expect("compartment types slot");
-            let (list, [by_id, by_name, delta]) = &mut *st;
+            let (list, by_id, by_name, delta) = &mut *st;
             passes::compartment_types(
                 &mut env,
                 &mut CompartmentTypesMut { list, by_id, by_name, delta_by_name: delta },
@@ -798,7 +752,7 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
         }
         SPECIES_TYPES => {
             let mut st = sh.slots.species_types.try_write().expect("species types slot");
-            let (list, [by_id, by_name, delta]) = &mut *st;
+            let (list, by_id, by_name, delta) = &mut *st;
             passes::species_types(
                 &mut env,
                 &mut SpeciesTypesMut { list, by_id, by_name, delta_by_name: delta },
@@ -808,11 +762,11 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
         COMPARTMENTS => {
             let units = sh.slots.units.try_read().expect("units complete");
             let mut st = sh.slots.compartments.try_write().expect("compartments slot");
-            let (list, [by_id, by_name, delta]) = &mut *st;
+            let (list, by_id, by_name, delta) = &mut *st;
             passes::compartments(
                 &mut env,
                 &mut CompartmentsMut { list, by_id, by_name, delta_by_name: delta },
-                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                &UnitsRead { list: &units.0, by_id: &units.1 },
                 inc,
             );
         }
@@ -820,34 +774,34 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
             let units = sh.slots.units.try_read().expect("units complete");
             let comps = sh.slots.compartments.try_read().expect("compartments complete");
             let mut st = sh.slots.species.try_write().expect("species slot");
-            let (list, [by_id, by_name, delta]) = &mut *st;
+            let (list, by_id, by_name, delta) = &mut *st;
             passes::species(
                 &mut env,
                 &mut SpeciesMut { list, by_id, by_name, delta_by_name: delta },
-                &UnitsRead { list: &units.0, by_id: &units.1[0] },
-                &CompartmentsRead { list: &comps.0, by_id: &comps.1[0] },
+                &UnitsRead { list: &units.0, by_id: &units.1 },
+                &CompartmentsRead { list: &comps.0, by_id: &comps.1 },
                 inc,
             );
         }
         PARAMETERS => {
             let units = sh.slots.units.try_read().expect("units complete");
             let mut st = sh.slots.parameters.try_write().expect("parameters slot");
-            let (list, [by_id]) = &mut *st;
+            let (list, by_id) = &mut *st;
             passes::parameters(
                 &mut env,
                 &mut ParametersMut { list, by_id },
-                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                &UnitsRead { list: &units.0, by_id: &units.1 },
                 inc,
             );
         }
         INITIAL_ASSIGNMENTS => {
             let mut st = sh.slots.assignments.try_write().expect("assignments slot");
-            let (list, [by_symbol]) = &mut *st;
+            let (list, by_symbol) = &mut *st;
             passes::initial_assignments(&mut env, &mut AssignmentsMut { list, by_symbol }, inc);
         }
         RULES => {
             let mut st = sh.slots.rules.try_write().expect("rules slot");
-            let (list, [by_content, by_variable, delta]) = &mut *st;
+            let (list, by_content, by_variable, delta) = &mut *st;
             passes::rules(
                 &mut env,
                 &mut RulesMut { list, by_content, by_variable, delta_by_content: delta },
@@ -856,7 +810,7 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
         }
         CONSTRAINTS => {
             let mut st = sh.slots.constraints.try_write().expect("constraints slot");
-            let (list, [by_content, delta]) = &mut *st;
+            let (list, by_content, delta) = &mut *st;
             passes::constraints(
                 &mut env,
                 &mut ConstraintsMut { list, by_content, delta_by_content: delta },
@@ -866,17 +820,17 @@ fn run_pass(pass: usize, sh: &Shared<'_>, inc: &Incoming<'_>, plan: &Plan) {
         REACTIONS => {
             let units = sh.slots.units.try_read().expect("units complete");
             let mut st = sh.slots.reactions.try_write().expect("reactions slot");
-            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            let (list, by_id, by_content, delta, keys) = &mut *st;
             passes::reactions(
                 &mut env,
                 &mut ReactionsMut { list, by_id, by_content, delta_by_content: delta, keys },
-                &UnitsRead { list: &units.0, by_id: &units.1[0] },
+                &UnitsRead { list: &units.0, by_id: &units.1 },
                 inc,
             );
         }
         EVENTS => {
             let mut st = sh.slots.events.try_write().expect("events slot");
-            let (list, [by_id, by_content, delta], keys) = &mut *st;
+            let (list, by_id, by_content, delta, keys) = &mut *st;
             passes::events(
                 &mut env,
                 &mut EventsMut { list, by_id, by_content, delta_by_content: delta, keys },

@@ -45,6 +45,7 @@ use crate::equality::MatchContext;
 use crate::index::ComponentIndex;
 use crate::initial_values::{collect, InitialValues};
 use crate::options::{ComposeOptions, OptionsFingerprint};
+use crate::pool::WorkerPool;
 
 /// Persistent per-kind indexes over a model (paper Fig. 5 line 5, without
 /// the per-pass rebuild). Maintained live by a session over its
@@ -325,7 +326,7 @@ pub struct RawPrepared {
     pub initial_values: Vec<(String, f64)>,
 }
 
-/// One computed per-component key (see [`IncomingKeys::build_parallel`]):
+/// One computed per-component key (see [`IncomingKeys::build_parallel_on`]):
 /// a bare key, a key with its component's free-reference set, or a
 /// reaction key with both the full and the kinetic-law-only ref sets.
 enum ComputedKey {
@@ -440,10 +441,17 @@ impl IncomingKeys {
     /// The session invokes this for raw pushes at or above
     /// [`ComposeOptions::parallel_push_threshold`] components, then feeds
     /// the keys to the merge passes exactly as prepared-model keys.
-    pub(crate) fn build_parallel(
+    /// An optional persistent [`WorkerPool`] carries the chunks: with
+    /// `Some(pool)` the per-chunk jobs run on the pool's parked lanes (the
+    /// calling thread takes the first chunk) instead of spawning fresh
+    /// scoped threads per push; with `None` a `thread::scope` is used.
+    /// Chunk assignment, and therefore the artifact, is identical either
+    /// way.
+    pub(crate) fn build_parallel_on(
         model: &Model,
         options: &ComposeOptions,
         workers: usize,
+        pool: Option<&WorkerPool>,
     ) -> IncomingKeys {
         let counts = [
             model.function_definitions.len(),
@@ -487,24 +495,48 @@ impl IncomingKeys {
                 loads[w] += weights[job];
                 chunks[w].push(job);
             }
-            std::thread::scope(|scope| {
-                let offsets = &offsets;
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|jobs| {
-                        scope.spawn(move || {
-                            let ctx = MatchContext::new(options);
-                            jobs.into_iter()
-                                .map(|job| (job, compute_key_job(model, &ctx, offsets, job)))
-                                .collect::<Vec<_>>()
+            match pool {
+                Some(pool) => {
+                    let offsets = &offsets;
+                    let out = std::sync::Mutex::new(Vec::with_capacity(total));
+                    let mut chunks = chunks.into_iter();
+                    let first = chunks.next().unwrap_or_default();
+                    let run_chunk = |jobs: Vec<usize>| {
+                        let ctx = MatchContext::new(options);
+                        let part: Vec<(usize, ComputedKey)> = jobs
+                            .into_iter()
+                            .map(|job| (job, compute_key_job(model, &ctx, offsets, job)))
+                            .collect();
+                        out.lock().expect("push key results").extend(part);
+                    };
+                    let run_chunk = &run_chunk;
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                        .map(|jobs| {
+                            Box::new(move || run_chunk(jobs)) as Box<dyn FnOnce() + Send + '_>
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|handle| handle.join().expect("push key worker panicked"))
-                    .collect()
-            })
+                        .collect();
+                    pool.run_scoped(move || run_chunk(first), tasks);
+                    out.into_inner().expect("push key results")
+                }
+                None => std::thread::scope(|scope| {
+                    let offsets = &offsets;
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|jobs| {
+                            scope.spawn(move || {
+                                let ctx = MatchContext::new(options);
+                                jobs.into_iter()
+                                    .map(|job| (job, compute_key_job(model, &ctx, offsets, job)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|handle| handle.join().expect("push key worker panicked"))
+                        .collect()
+                }),
+            }
         };
         computed.sort_unstable_by_key(|(job, _)| *job);
 
@@ -1229,8 +1261,12 @@ mod tests {
             let mut serial = IncomingKeys::default();
             ModelAnalysis::build(&model, &options, Some(&mut serial));
             for workers in [1, 2, 3, 5, 8, 64] {
-                let parallel = IncomingKeys::build_parallel(&model, &options, workers);
+                let parallel = IncomingKeys::build_parallel_on(&model, &options, workers, None);
                 assert_eq!(parallel, serial, "workers={workers}");
+                let pool = WorkerPool::new(workers.min(4));
+                let pooled =
+                    IncomingKeys::build_parallel_on(&model, &options, workers, Some(&pool));
+                assert_eq!(pooled, serial, "workers={workers} (pooled)");
             }
         }
     }
@@ -1252,7 +1288,11 @@ mod tests {
         let mut serial = IncomingKeys::default();
         ModelAnalysis::build(&m, &options, Some(&mut serial));
         for workers in [2, 3, 7, 16] {
-            assert_eq!(IncomingKeys::build_parallel(&m, &options, workers), serial, "{workers}");
+            assert_eq!(
+                IncomingKeys::build_parallel_on(&m, &options, workers, None),
+                serial,
+                "{workers}"
+            );
         }
     }
 
@@ -1319,8 +1359,16 @@ mod tests {
         for model in [Model::new("empty"), sample()] {
             let mut serial = IncomingKeys::default();
             ModelAnalysis::build(&model, &options, Some(&mut serial));
+            let pool = WorkerPool::new(2);
             for workers in [1, 4] {
-                assert_eq!(IncomingKeys::build_parallel(&model, &options, workers), serial);
+                assert_eq!(
+                    IncomingKeys::build_parallel_on(&model, &options, workers, None),
+                    serial
+                );
+                assert_eq!(
+                    IncomingKeys::build_parallel_on(&model, &options, workers, Some(&pool)),
+                    serial
+                );
             }
         }
     }

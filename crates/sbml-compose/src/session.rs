@@ -89,13 +89,15 @@ use std::sync::Arc;
 
 use sbml_model::Model;
 
-use crate::composer::ComposeResult;
+use crate::composer::{ComposeResult, SharedComposeResult, SharedModel};
+use crate::cow::{Accum, CowState};
 use crate::equality::{self, MappingTable, NoMap};
 use crate::guard::{self, ExecError, Meter, PushOutcome, Site};
 use crate::index::ComponentIndex;
 use crate::initial_values::{collect, IncrementalValues, InitialValues, ValueDelta};
 use crate::log::MergeLog;
 use crate::options::ComposeOptions;
+use crate::pool::WorkerPool;
 use crate::passes::{
     self, AssignmentsMut, CompartmentTypesMut, CompartmentsMut, CompartmentsRead, ConstraintsMut,
     EventsMut, FunctionsMut, IdRegistry, Incoming, IvA, MapStore, ParametersMut, PassEnv,
@@ -234,7 +236,20 @@ pub struct CompositionSession<'o> {
     /// First-byte index over `push_maps` sources (see
     /// [`PrefixMask`]); cleared with it per push.
     pub(crate) push_mask: PrefixMask,
-    pub(crate) merged: Model,
+    /// The accumulator: a shared prepared base (copy-on-write, nothing
+    /// cloned yet) or a plain owned model. See [`crate::cow`].
+    pub(crate) accum: Accum,
+    /// The adopted COW base, kept (sticky) so a failed push that
+    /// materialised mid-pass can roll all the way back to the fully
+    /// shared state. `Some` only for sessions created through
+    /// [`CompositionSession::with_shared_base`] with
+    /// [`ComposeOptions::adopt_base`] on.
+    base: Option<Arc<PreparedModel>>,
+    /// Session-lifetime worker pool backing the merge-pass pipeline and
+    /// the within-push key fan-out; created lazily on the first parallel
+    /// push ([`ComposeOptions::pool_threads`] sizes it) or injected by
+    /// [`CompositionSession::set_pool`] for batch-/daemon-lifetime reuse.
+    pool: Option<Arc<WorkerPool>>,
     pub(crate) log: MergeLog,
     pub(crate) mappings: HashMap<String, String>,
     pub(crate) taken: IdRegistry,
@@ -264,7 +279,9 @@ impl<'o> CompositionSession<'o> {
             options,
             push_maps: MappingTable::default(),
             push_mask: PrefixMask::default(),
-            merged: Model::new("empty"),
+            accum: Accum::Owned(Model::new("empty")),
+            base: None,
+            pool: None,
             log: MergeLog::new(),
             mappings: HashMap::new(),
             taken: IdRegistry::new(),
@@ -283,7 +300,7 @@ impl<'o> CompositionSession<'o> {
     /// clone.
     pub fn with_base(options: &'o ComposeOptions, base: Model) -> CompositionSession<'o> {
         let mut session = CompositionSession::new(options);
-        session.merged = base;
+        session.accum = Accum::Owned(base);
         session.reindex();
         session
     }
@@ -305,9 +322,79 @@ impl<'o> CompositionSession<'o> {
         session
     }
 
+    /// A session whose accumulator *is* `base`, adopted by reference: with
+    /// [`ComposeOptions::adopt_base`] on (the default) nothing is cloned —
+    /// component lists, indexes, key cache and evaluated initial values
+    /// all stay shared with the `Arc` until a push actually mutates the
+    /// accumulator (see the `cow` module). A composition whose every
+    /// incoming component matches the base (Duplicate-only) finishes with
+    /// the base still fully shared; [`CompositionSession::finish_shared`]
+    /// then hands the `Arc` back instead of a copy.
+    ///
+    /// With `adopt_base` off this falls back to the eager clone of
+    /// [`CompositionSession::with_prepared_base`] — the oracle engine the
+    /// differential tests compare against. Output is bit-for-bit
+    /// identical either way.
+    ///
+    /// Panics if `base` was prepared under options with a different
+    /// [fingerprint](ComposeOptions::fingerprint).
+    pub fn with_shared_base(
+        options: &'o ComposeOptions,
+        base: Arc<PreparedModel>,
+    ) -> CompositionSession<'o> {
+        base.check_options(options);
+        let mut session = CompositionSession::new(options);
+        if options.adopt_base {
+            session.taken.reset(Arc::clone(&base.analysis().taken));
+            session.base_ivs =
+                options.collect_initial_values.then(|| Arc::clone(&base.initial_values));
+            session.incremental = None;
+            session.base = Some(Arc::clone(&base));
+            session.accum = Accum::Shared(base);
+        } else {
+            session.adopt_prepared(&base);
+        }
+        session
+    }
+
     /// The merged model so far.
     pub fn model(&self) -> &Model {
-        &self.merged
+        self.accum.model()
+    }
+
+    /// Is the accumulator still fully shared with an adopted base — i.e.
+    /// has no push cloned anything yet? Observability hook for the COW
+    /// differential and fault-isolation tests.
+    pub fn is_base_shared(&self) -> bool {
+        self.accum.is_shared()
+    }
+
+    /// Install a caller-owned worker pool for this session's parallel
+    /// work (merge-pass pipeline, within-push key fan-out). Without one
+    /// the session lazily creates its own, sized by
+    /// [`ComposeOptions::pool_threads`]; batch and daemon callers inject
+    /// a shared pool here so hot paths reuse warm, parked workers instead
+    /// of spawning per push.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Builder form of [`CompositionSession::set_pool`].
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.set_pool(pool);
+        self
+    }
+
+    /// The session's pool, creating it on first use. Sized by
+    /// [`ComposeOptions::pool_threads`] (`0` = host parallelism).
+    pub(crate) fn ensure_pool(&mut self) -> Arc<WorkerPool> {
+        if self.pool.is_none() {
+            self.pool = Some(Arc::new(match self.options.pool_threads {
+                0 => WorkerPool::for_host(),
+                n => WorkerPool::new(n),
+            }));
+        }
+        Arc::clone(self.pool.as_ref().expect("pool installed above"))
     }
 
     /// The cumulative merge log across all pushes.
@@ -331,8 +418,8 @@ impl<'o> CompositionSession<'o> {
     pub fn push(&mut self, b: &Model) {
         self.pushes += 1;
         // Fig. 5 lines 1–2: an empty side returns the other unchanged.
-        if self.merged.is_empty() {
-            self.merged = b.clone();
+        if self.accum.model().is_empty() {
+            self.accum = Accum::Owned(b.clone());
             self.reindex();
             return;
         }
@@ -346,8 +433,8 @@ impl<'o> CompositionSession<'o> {
     /// model that becomes the base is moved, not cloned.
     pub fn push_owned(&mut self, b: Model) {
         self.pushes += 1;
-        if self.merged.is_empty() {
-            self.merged = b;
+        if self.accum.model().is_empty() {
+            self.accum = Accum::Owned(b);
             self.reindex();
             return;
         }
@@ -362,10 +449,10 @@ impl<'o> CompositionSession<'o> {
     /// push would read. Same output, internal-only.
     pub(crate) fn push_final(&mut self, b: &Model) {
         self.pushes += 1;
-        if self.merged.is_empty() {
+        if self.accum.model().is_empty() {
             // The model becomes the result as-is; no push follows, so the
             // indexes it would seed are never consulted.
-            self.merged = b.clone();
+            self.accum = Accum::Owned(b.clone());
             return;
         }
         if b.is_empty() {
@@ -377,8 +464,8 @@ impl<'o> CompositionSession<'o> {
     /// Final-push variant of [`CompositionSession::push_owned`].
     pub(crate) fn push_owned_final(&mut self, b: Model) {
         self.pushes += 1;
-        if self.merged.is_empty() {
-            self.merged = b;
+        if self.accum.model().is_empty() {
+            self.accum = Accum::Owned(b);
             return;
         }
         if b.is_empty() {
@@ -401,7 +488,7 @@ impl<'o> CompositionSession<'o> {
     pub fn push_prepared(&mut self, p: &PreparedModel) {
         p.check_options(self.options());
         self.pushes += 1;
-        if self.merged.is_empty() {
+        if self.accum.model().is_empty() {
             self.adopt_prepared(p);
             return;
         }
@@ -415,8 +502,8 @@ impl<'o> CompositionSession<'o> {
     pub(crate) fn push_prepared_final(&mut self, p: &PreparedModel) {
         p.check_options(self.options());
         self.pushes += 1;
-        if self.merged.is_empty() {
-            self.merged = p.model().clone();
+        if self.accum.model().is_empty() {
+            self.accum = Accum::Owned(p.model().clone());
             return;
         }
         if p.model().is_empty() {
@@ -444,8 +531,8 @@ impl<'o> CompositionSession<'o> {
             m.charge(b.component_count() as u64, Site::Push(self.pushes))?;
         }
         self.pushes += 1;
-        if self.merged.is_empty() {
-            self.merged = b.clone();
+        if self.accum.model().is_empty() {
+            self.accum = Accum::Owned(b.clone());
             self.reindex();
             return Ok(PushOutcome::clean());
         }
@@ -472,7 +559,7 @@ impl<'o> CompositionSession<'o> {
             m.charge(p.model().component_count() as u64, Site::Push(self.pushes))?;
         }
         self.pushes += 1;
-        if self.merged.is_empty() {
+        if self.accum.model().is_empty() {
             self.adopt_prepared(p);
             return Ok(PushOutcome::clean());
         }
@@ -483,8 +570,21 @@ impl<'o> CompositionSession<'o> {
     }
 
     /// Finish, returning the composed model, cumulative log and mappings.
+    /// A still-shared COW accumulator is cloned here (once); use
+    /// [`CompositionSession::finish_shared`] to keep the zero-copy result.
     pub fn finish(self) -> ComposeResult {
-        ComposeResult { model: self.merged, log: self.log, mappings: self.mappings }
+        ComposeResult { model: self.accum.into_model(), log: self.log, mappings: self.mappings }
+    }
+
+    /// Finish without forcing a copy: a Duplicate-only composition over an
+    /// adopted base returns [`SharedModel::Base`] — the original `Arc`,
+    /// refcount-bumped, no model bytes cloned end to end.
+    pub fn finish_shared(self) -> SharedComposeResult {
+        let model = match self.accum {
+            Accum::Shared(base) => SharedModel::Base(base),
+            Accum::Owned(m) => SharedModel::Owned(m),
+        };
+        SharedComposeResult { model, log: self.log, mappings: self.mappings }
     }
 
     /// The evaluated initial values of the current accumulator — exactly
@@ -499,7 +599,13 @@ impl<'o> CompositionSession<'o> {
         }
         match &self.incremental {
             Some(store) => store.snapshot(),
-            None => collect(&self.merged),
+            // A still-shared accumulator's values are the base's evaluated
+            // values, adopted at `with_shared_base`; avoid the O(model)
+            // re-collect.
+            None => match &self.base_ivs {
+                Some(iv) if self.accum.is_shared() => iv.as_ref().clone(),
+                _ => collect(self.accum.model()),
+            },
         }
     }
 
@@ -511,13 +617,13 @@ impl<'o> CompositionSession<'o> {
         self.merge_model(&Incoming::raw_with_keys(b, keys.as_ref()), final_push);
     }
 
-    /// Content keys for a raw push, computed up front on a scoped thread
-    /// pool when the model clears
+    /// Content keys for a raw push, computed up front on the session's
+    /// worker pool when the model clears
     /// [`ComposeOptions::parallel_push_threshold`] — the within-push
     /// analogue of [`crate::BatchComposer::prepare_corpus`]'s per-model
     /// fan-out. `None` below the threshold (the merge passes then compute
     /// keys inline, as before).
-    fn precomputed_push_keys(&self, b: &Model) -> Option<IncomingKeys> {
+    fn precomputed_push_keys(&mut self, b: &Model) -> Option<IncomingKeys> {
         // Gate on the components that actually produce key jobs —
         // parameters and initial assignments have no canonical keys, so a
         // parameter-heavy model must not spawn workers for a handful of
@@ -525,10 +631,8 @@ impl<'o> CompositionSession<'o> {
         if keyed_components(b) < self.options().parallel_push_threshold {
             return None;
         }
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Some(IncomingKeys::build_parallel(b, self.options(), workers))
+        let pool = self.ensure_pool();
+        Some(IncomingKeys::build_parallel_on(b, self.options(), pool.threads(), Some(&pool)))
     }
 
     fn options(&self) -> &'o ComposeOptions {
@@ -547,19 +651,21 @@ impl<'o> CompositionSession<'o> {
     /// current merged model. Only needed when the accumulator is replaced
     /// wholesale; pushes maintain the indexes incrementally.
     fn reindex(&mut self) {
-        let analysis = ModelAnalysis::build(&self.merged, self.options(), None);
+        let analysis = ModelAnalysis::build(self.accum.model(), self.options(), None);
         self.taken.reset(analysis.taken);
         self.idx = analysis.idx;
         self.keys = analysis.keys;
         self.delta = DeltaIndexes::new(self.options());
         self.base_ivs = None;
         self.incremental = None;
+        self.base = None;
     }
 
     /// Replace the accumulator with a clone of a prepared model, adopting
     /// its base-side analysis instead of rebuilding it.
     fn adopt_prepared(&mut self, p: &PreparedModel) {
-        self.merged = p.model().clone();
+        self.accum = Accum::Owned(p.model().clone());
+        self.base = None;
         self.taken.reset(Arc::clone(&p.analysis().taken));
         self.idx = p.analysis().idx.clone();
         self.keys = p.analysis().keys.clone();
@@ -584,7 +690,8 @@ impl<'o> CompositionSession<'o> {
         // (property-tested across thread counts).
         match self.pipeline_workers(inc) {
             Some(workers) => {
-                if let Err(fault) = pipeline::run(self, inc, workers, None) {
+                let pool = self.ensure_pool();
+                if let Err(fault) = pipeline::run(self, inc, workers, &pool, None) {
                     // Unguarded entry point: keep the historical contract
                     // (a pass panic aborts the push) rather than silently
                     // degrading. push_guarded is the containing variant.
@@ -609,7 +716,16 @@ impl<'o> CompositionSession<'o> {
         self.push_mask.clear();
         self.delta.clear();
         if self.options().collect_initial_values {
-            if self.options().incremental_initial_values {
+            if self.accum.is_shared() {
+                // COW base, untouched so far: the accumulator's values ARE
+                // the base's evaluated values. Serve them as a snapshot
+                // (IvA::Snap) and defer any incremental seeding until a
+                // push actually materialises — `base_ivs` is kept, not
+                // taken, so a Duplicate-only push costs one Arc bump.
+                if let Some(iv) = &self.base_ivs {
+                    self.iv_a = Arc::clone(iv);
+                }
+            } else if self.options().incremental_initial_values {
                 // Incremental path: seed the store once — from the
                 // prepared base's already-evaluated values when we have
                 // them, else one collect-equivalent fixed point — and let
@@ -618,13 +734,13 @@ impl<'o> CompositionSession<'o> {
                 if self.incremental.is_none() {
                     let known = self.base_ivs.take();
                     self.incremental = Some(match known {
-                        Some(iv) => IncrementalValues::seed_with_known(&self.merged, &iv),
-                        None => IncrementalValues::seed(&self.merged),
+                        Some(iv) => IncrementalValues::seed_with_known(self.accum.model(), &iv),
+                        None => IncrementalValues::seed(self.accum.model()),
                     });
                 }
             } else {
                 let base_ivs = self.base_ivs.take();
-                self.iv_a = base_ivs.unwrap_or_else(|| Arc::new(collect(&self.merged)));
+                self.iv_a = base_ivs.unwrap_or_else(|| Arc::new(collect(self.accum.model())));
             }
             self.iv_b = match inc.ivs {
                 Some(ivs) => Arc::clone(ivs),
@@ -636,21 +752,25 @@ impl<'o> CompositionSession<'o> {
             self.iv_a = Arc::new(InitialValues::default());
             self.iv_b = Arc::new(InitialValues::default());
         }
-        let start = PushStart::of(&self.merged);
+        let start = PushStart::of(self.accum.model());
 
         // Pre-size the accumulator for the worst case (every incoming
         // component added) — one reserve beats repeated regrow-and-copy.
-        let b = inc.model;
-        self.merged.function_definitions.reserve(b.function_definitions.len());
-        self.merged.unit_definitions.reserve(b.unit_definitions.len());
-        self.merged.compartments.reserve(b.compartments.len());
-        self.merged.species.reserve(b.species.len());
-        self.merged.parameters.reserve(b.parameters.len());
-        self.merged.initial_assignments.reserve(b.initial_assignments.len());
-        self.merged.rules.reserve(b.rules.len());
-        self.merged.constraints.reserve(b.constraints.len());
-        self.merged.reactions.reserve(b.reactions.len());
-        self.merged.events.reserve(b.events.len());
+        // A still-shared accumulator has nothing to reserve into; sizing
+        // happens if and when a list materialises.
+        if let Accum::Owned(m) = &mut self.accum {
+            let b = inc.model;
+            m.function_definitions.reserve(b.function_definitions.len());
+            m.unit_definitions.reserve(b.unit_definitions.len());
+            m.compartments.reserve(b.compartments.len());
+            m.species.reserve(b.species.len());
+            m.parameters.reserve(b.parameters.len());
+            m.initial_assignments.reserve(b.initial_assignments.len());
+            m.rules.reserve(b.rules.len());
+            m.constraints.reserve(b.constraints.len());
+            m.reactions.reserve(b.reactions.len());
+            m.events.reserve(b.events.len());
+        }
         start
     }
 
@@ -660,8 +780,33 @@ impl<'o> CompositionSession<'o> {
     /// every component list and the log back to their pre-push lengths
     /// restores the exact pre-push model, and one `reindex` rebuilds the
     /// derived state from it. O(accumulator), paid only on the fault path.
-    fn rollback_push(&mut self, start: PushStart, log_start: usize) {
-        let m = &mut self.merged;
+    ///
+    /// `was_shared` records whether the accumulator was still the fully
+    /// shared COW base *before* this push: then the failed push itself did
+    /// any materialising, so rollback is re-adoption — drop whatever was
+    /// cloned and point back at the base `Arc`. O(1), no reindex.
+    fn rollback_push(&mut self, start: PushStart, log_start: usize, was_shared: bool) {
+        self.log.events.truncate(log_start);
+        self.push_maps.clear();
+        self.push_mask.clear();
+        if was_shared {
+            let base = Arc::clone(
+                self.base.as_ref().expect("a shared accumulator always has its base recorded"),
+            );
+            self.delta.clear();
+            self.taken.reset(Arc::clone(&base.analysis().taken));
+            self.idx = Indexes::new(self.options());
+            self.keys = KeyCache::default();
+            self.incremental = None;
+            self.base_ivs =
+                self.options().collect_initial_values.then(|| Arc::clone(&base.initial_values));
+            self.accum = Accum::Shared(base);
+            return;
+        }
+        let m = match &mut self.accum {
+            Accum::Owned(m) => m,
+            Accum::Shared(_) => unreachable!("push on a shared accumulator has was_shared set"),
+        };
         m.function_definitions.truncate(start.functions);
         m.unit_definitions.truncate(start.units);
         m.compartment_types.truncate(start.compartment_types);
@@ -674,9 +819,6 @@ impl<'o> CompositionSession<'o> {
         m.constraints.truncate(start.constraints);
         m.reactions.truncate(start.reactions);
         m.events.truncate(start.events);
-        self.log.events.truncate(log_start);
-        self.push_maps.clear();
-        self.push_mask.clear();
         self.reindex();
     }
 
@@ -694,17 +836,22 @@ impl<'o> CompositionSession<'o> {
         meter: Option<&Meter>,
     ) -> Result<PushOutcome, ExecError> {
         let log_start = self.log.events.len();
+        // Captured before the push runs: a fault must roll a COW session
+        // all the way back to the fully shared base, not to a half-cloned
+        // accumulator.
+        let was_shared = self.accum.is_shared();
         let start = self.begin_push(inc);
 
         let mut degraded = None;
         if let Some(workers) = self.pipeline_workers(inc) {
-            match pipeline::run(self, inc, workers, meter) {
+            let pool = self.ensure_pool();
+            match pipeline::run(self, inc, workers, &pool, meter) {
                 Ok(()) => {
                     self.finish_push(start, false);
                     return Ok(PushOutcome::clean());
                 }
                 Err(fault) => {
-                    self.rollback_push(start, log_start);
+                    self.rollback_push(start, log_start, was_shared);
                     degraded = Some(fault);
                     // Re-seed the per-push state the rollback discarded
                     // before the serial retry.
@@ -722,7 +869,7 @@ impl<'o> CompositionSession<'o> {
                 Ok(PushOutcome { degraded })
             }
             Err(payload) => {
-                self.rollback_push(start, log_start);
+                self.rollback_push(start, log_start, was_shared);
                 Err(ExecError::Panicked {
                     site: Site::Push(self.pushes - 1),
                     detail: crate::guard::panic_detail(payload.as_ref()),
@@ -767,11 +914,70 @@ impl<'o> CompositionSession<'o> {
         }
     }
 
+    /// Take everything the merge passes mutate out of the session for the
+    /// duration of one push: COW wrappers over the shared base when the
+    /// accumulator is still [`Accum::Shared`], plain moved-out owned state
+    /// otherwise. Must be paired with
+    /// [`CompositionSession::restore_cow_state`] on every exit path
+    /// (including unwinds), or the accumulator is left empty.
+    pub(crate) fn take_cow_state(&mut self) -> CowState {
+        match &mut self.accum {
+            Accum::Shared(base) => CowState::from_shared(base, &mut self.delta),
+            Accum::Owned(model) => {
+                CowState::from_owned(model, &mut self.idx, &mut self.keys, &mut self.delta)
+            }
+        }
+    }
+
+    /// Put one push's worked state back into the session. Three cases:
+    /// everything still shared — the accumulator stays [`Accum::Shared`]
+    /// and only the per-push deltas move (the zero-copy push); something
+    /// materialised under a shared accumulator — consolidate every kind to
+    /// owned (untouched kinds clone from the base here, once) and flip to
+    /// [`Accum::Owned`]; accumulator already owned — move the parts back
+    /// verbatim.
+    pub(crate) fn restore_cow_state(&mut self, st: CowState) {
+        if self.accum.is_shared() && !st.any_materialised() {
+            debug_assert!(
+                !self.taken.has_additions(),
+                "a push that registered fresh IDs must have materialised"
+            );
+            st.restore_delta(&mut self.delta);
+            return;
+        }
+        let shared_before = self.accum.is_shared();
+        let (model, idx, keys) = st.into_owned_parts(self.accum.model(), &mut self.delta);
+        self.accum = Accum::Owned(model);
+        self.idx = idx;
+        self.keys = keys;
+        if shared_before {
+            // The accumulator's contents just diverged from the base; its
+            // adopted values no longer describe them. The next push
+            // re-collects (or seeds the incremental store) from the owned
+            // model via the established begin_push paths.
+            self.base_ivs = None;
+        }
+    }
+
     /// Run the twelve passes in Fig. 4 order over the session's own state
     /// — the serial schedule, and the reference the pipelined path is
-    /// property-tested against.
+    /// property-tested against. The pass state is taken out as a
+    /// [`CowState`] and restored on both the success and unwind paths, so
+    /// a pass panic never strands a half-taken session (the guarded
+    /// caller's rollback then sees a structurally whole accumulator).
     fn merge_passes_serial(&mut self, inc: &Incoming<'_>) {
         guard::fail_point(Site::Push(self.pushes.saturating_sub(1)));
+        let mut st = self.take_cow_state();
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_passes_serial(&mut st, inc)
+        }));
+        self.restore_cow_state(st);
+        if let Err(payload) = attempt {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn run_passes_serial(&mut self, st: &mut CowState, inc: &Incoming<'_>) {
         macro_rules! env {
             () => {
                 &mut PassEnv {
@@ -793,126 +999,120 @@ impl<'o> CompositionSession<'o> {
         passes::functions(
             env!(),
             &mut FunctionsMut {
-                list: &mut self.merged.function_definitions,
-                by_id: &mut self.idx.functions_by_id,
-                by_content: &mut self.idx.functions_by_content,
-                delta_by_content: &mut self.delta.functions_by_content,
-                keys: &mut self.keys.functions,
+                list: &mut st.functions,
+                by_id: &mut st.functions_by_id,
+                by_content: &mut st.functions_by_content,
+                delta_by_content: &mut st.functions_delta,
+                keys: &mut st.functions_keys,
             },
             inc,
         );
         passes::units(
             env!(),
             &mut UnitsMut {
-                list: &mut self.merged.unit_definitions,
-                by_id: &mut self.idx.units_by_id,
-                by_content: &mut self.idx.units_by_content,
-                keys: &mut self.keys.units,
+                list: &mut st.units,
+                by_id: &mut st.units_by_id,
+                by_content: &mut st.units_by_content,
+                keys: &mut st.units_keys,
             },
             inc,
         );
         passes::compartment_types(
             env!(),
             &mut CompartmentTypesMut {
-                list: &mut self.merged.compartment_types,
-                by_id: &mut self.idx.compartment_types_by_id,
-                by_name: &mut self.idx.compartment_types_by_name,
-                delta_by_name: &mut self.delta.compartment_types_by_name,
+                list: &mut st.compartment_types,
+                by_id: &mut st.compartment_types_by_id,
+                by_name: &mut st.compartment_types_by_name,
+                delta_by_name: &mut st.compartment_types_delta,
             },
             inc,
         );
         passes::species_types(
             env!(),
             &mut SpeciesTypesMut {
-                list: &mut self.merged.species_types,
-                by_id: &mut self.idx.species_types_by_id,
-                by_name: &mut self.idx.species_types_by_name,
-                delta_by_name: &mut self.delta.species_types_by_name,
+                list: &mut st.species_types,
+                by_id: &mut st.species_types_by_id,
+                by_name: &mut st.species_types_by_name,
+                delta_by_name: &mut st.species_types_delta,
             },
             inc,
         );
         passes::compartments(
             env!(),
             &mut CompartmentsMut {
-                list: &mut self.merged.compartments,
-                by_id: &mut self.idx.compartments_by_id,
-                by_name: &mut self.idx.compartments_by_name,
-                delta_by_name: &mut self.delta.compartments_by_name,
+                list: &mut st.compartments,
+                by_id: &mut st.compartments_by_id,
+                by_name: &mut st.compartments_by_name,
+                delta_by_name: &mut st.compartments_delta,
             },
-            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            &UnitsRead { list: &st.units, by_id: &st.units_by_id },
             inc,
         );
         passes::species(
             env!(),
             &mut SpeciesMut {
-                list: &mut self.merged.species,
-                by_id: &mut self.idx.species_by_id,
-                by_name: &mut self.idx.species_by_name,
-                delta_by_name: &mut self.delta.species_by_name,
+                list: &mut st.species,
+                by_id: &mut st.species_by_id,
+                by_name: &mut st.species_by_name,
+                delta_by_name: &mut st.species_delta,
             },
-            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
-            &CompartmentsRead {
-                list: &self.merged.compartments,
-                by_id: &self.idx.compartments_by_id,
-            },
+            &UnitsRead { list: &st.units, by_id: &st.units_by_id },
+            &CompartmentsRead { list: &st.compartments, by_id: &st.compartments_by_id },
             inc,
         );
         passes::parameters(
             env!(),
-            &mut ParametersMut {
-                list: &mut self.merged.parameters,
-                by_id: &mut self.idx.parameters_by_id,
-            },
-            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            &mut ParametersMut { list: &mut st.parameters, by_id: &mut st.parameters_by_id },
+            &UnitsRead { list: &st.units, by_id: &st.units_by_id },
             inc,
         );
         passes::initial_assignments(
             env!(),
             &mut AssignmentsMut {
-                list: &mut self.merged.initial_assignments,
-                by_symbol: &mut self.idx.assignments_by_symbol,
+                list: &mut st.assignments,
+                by_symbol: &mut st.assignments_by_symbol,
             },
             inc,
         );
         passes::rules(
             env!(),
             &mut RulesMut {
-                list: &mut self.merged.rules,
-                by_content: &mut self.idx.rules_by_content,
-                by_variable: &mut self.idx.rules_by_variable,
-                delta_by_content: &mut self.delta.rules_by_content,
+                list: &mut st.rules,
+                by_content: &mut st.rules_by_content,
+                by_variable: &mut st.rules_by_variable,
+                delta_by_content: &mut st.rules_delta,
             },
             inc,
         );
         passes::constraints(
             env!(),
             &mut ConstraintsMut {
-                list: &mut self.merged.constraints,
-                by_content: &mut self.idx.constraints_by_content,
-                delta_by_content: &mut self.delta.constraints_by_content,
+                list: &mut st.constraints,
+                by_content: &mut st.constraints_by_content,
+                delta_by_content: &mut st.constraints_delta,
             },
             inc,
         );
         passes::reactions(
             env!(),
             &mut ReactionsMut {
-                list: &mut self.merged.reactions,
-                by_id: &mut self.idx.reactions_by_id,
-                by_content: &mut self.idx.reactions_by_content,
-                delta_by_content: &mut self.delta.reactions_by_content,
-                keys: &mut self.keys.reactions,
+                list: &mut st.reactions,
+                by_id: &mut st.reactions_by_id,
+                by_content: &mut st.reactions_by_content,
+                delta_by_content: &mut st.reactions_delta,
+                keys: &mut st.reactions_keys,
             },
-            &UnitsRead { list: &self.merged.unit_definitions, by_id: &self.idx.units_by_id },
+            &UnitsRead { list: &st.units, by_id: &st.units_by_id },
             inc,
         );
         passes::events(
             env!(),
             &mut EventsMut {
-                list: &mut self.merged.events,
-                by_id: &mut self.idx.events_by_id,
-                by_content: &mut self.idx.events_by_content,
-                delta_by_content: &mut self.delta.events_by_content,
-                keys: &mut self.keys.events,
+                list: &mut st.events,
+                by_id: &mut st.events_by_id,
+                by_content: &mut st.events_by_content,
+                delta_by_content: &mut st.events_delta,
+                keys: &mut st.events_keys,
             },
             inc,
         );
@@ -933,9 +1133,11 @@ impl<'o> CompositionSession<'o> {
         // push appended (already renamed/mapped — the merged model is the
         // source of truth); it re-evaluates only the affected dependency
         // closure, O(push), where the re-collect path is O(accumulator).
+        // A still-shared accumulator appended nothing and has no store:
+        // every range below is empty and the loops cost zero.
         if let Some(store) = &mut self.incremental {
             store.absorb(
-                &self.merged,
+                self.accum.model(),
                 &ValueDelta {
                     functions: start.functions,
                     compartments: start.compartments,
@@ -948,9 +1150,9 @@ impl<'o> CompositionSession<'o> {
         let cache = self.cache_keys();
 
         let options = self.options;
-        for pos in start.functions..self.merged.function_definitions.len() {
-            let key =
-                equality::function_key(options, &self.merged.function_definitions[pos], &NoMap);
+        let merged = self.accum.model();
+        for pos in start.functions..merged.function_definitions.len() {
+            let key = equality::function_key(options, &merged.function_definitions[pos], &NoMap);
             let key: Arc<str> = Arc::from(key.as_str());
             self.idx.functions_by_content.insert_shared(&key, pos);
             if cache {
@@ -960,46 +1162,46 @@ impl<'o> CompositionSession<'o> {
         // Units need no fix-up: their content key is invariant under
         // renaming, so both indexes were final at insertion time.
         let _ = start.units;
-        for pos in start.compartment_types..self.merged.compartment_types.len() {
-            let t = &self.merged.compartment_types[pos];
+        for pos in start.compartment_types..merged.compartment_types.len() {
+            let t = &merged.compartment_types[pos];
             self.idx
                 .compartment_types_by_name
                 .insert(&equality::name_key(options, &t.id, t.name.as_deref()), pos);
         }
-        for pos in start.species_types..self.merged.species_types.len() {
-            let t = &self.merged.species_types[pos];
+        for pos in start.species_types..merged.species_types.len() {
+            let t = &merged.species_types[pos];
             self.idx
                 .species_types_by_name
                 .insert(&equality::name_key(options, &t.id, t.name.as_deref()), pos);
         }
-        for pos in start.compartments..self.merged.compartments.len() {
-            let c = &self.merged.compartments[pos];
+        for pos in start.compartments..merged.compartments.len() {
+            let c = &merged.compartments[pos];
             self.idx
                 .compartments_by_name
                 .insert(&equality::name_key(options, &c.id, c.name.as_deref()), pos);
         }
-        for pos in start.species..self.merged.species.len() {
-            let s = &self.merged.species[pos];
+        for pos in start.species..merged.species.len() {
+            let s = &merged.species[pos];
             self.idx
                 .species_by_name
                 .insert(&equality::name_key(options, &s.id, s.name.as_deref()), pos);
         }
         // Conflict-renamed parameters are (deliberately) not visible to
         // by-id lookups within their own push; surface them now.
-        for pos in start.parameters..self.merged.parameters.len() {
-            self.idx.parameters_by_id.insert(&self.merged.parameters[pos].id, pos);
+        for pos in start.parameters..merged.parameters.len() {
+            self.idx.parameters_by_id.insert(&merged.parameters[pos].id, pos);
         }
-        for pos in start.rules..self.merged.rules.len() {
-            let key = equality::rule_key(options, &self.merged.rules[pos], &NoMap);
+        for pos in start.rules..merged.rules.len() {
+            let key = equality::rule_key(options, &merged.rules[pos], &NoMap);
             self.idx.rules_by_content.insert(&key, pos);
         }
-        for pos in start.constraints..self.merged.constraints.len() {
-            let key = equality::constraint_key(options, &self.merged.constraints[pos].math, &NoMap);
+        for pos in start.constraints..merged.constraints.len() {
+            let key = equality::constraint_key(options, &merged.constraints[pos].math, &NoMap);
             self.idx.constraints_by_content.insert(&key, pos);
         }
         if self.options().cache_patterns {
-            for pos in start.reactions..self.merged.reactions.len() {
-                let key = equality::reaction_key(options, &self.merged.reactions[pos], &NoMap);
+            for pos in start.reactions..merged.reactions.len() {
+                let key = equality::reaction_key(options, &merged.reactions[pos], &NoMap);
                 let key: Arc<str> = Arc::from(key.as_str());
                 self.idx.reactions_by_content.insert_shared(&key, pos);
                 if cache {
@@ -1007,8 +1209,8 @@ impl<'o> CompositionSession<'o> {
                 }
             }
         }
-        for pos in start.events..self.merged.events.len() {
-            let key = equality::event_key(options, &self.merged.events[pos], &NoMap);
+        for pos in start.events..merged.events.len() {
+            let key = equality::event_key(options, &merged.events[pos], &NoMap);
             let key: Arc<str> = Arc::from(key.as_str());
             self.idx.events_by_content.insert_shared(&key, pos);
             if cache {

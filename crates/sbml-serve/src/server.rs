@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sbml_compose::{Budget, ComposeOptions, CompositionSession, PreparedModel};
+use sbml_compose::{Budget, ComposeOptions, CompositionSession, PreparedModel, WorkerPool};
 use sbml_match::MatchIndex;
 use sbml_model::{parse_sbml, write_sbml, Model};
 
@@ -91,6 +91,10 @@ struct ServeState {
     threads: usize,
     addr: SocketAddr,
     shutdown: AtomicBool,
+    /// Daemon-lifetime compose worker pool: every COMPOSE session on
+    /// every connection shares these parked threads instead of spawning
+    /// scoped threads per request.
+    compose_pool: Arc<WorkerPool>,
 }
 
 /// A bound, not-yet-running daemon. [`Server::run`] blocks until a
@@ -149,6 +153,7 @@ impl Server {
             index = index.with_deadline_ms(ms);
         }
         let ids = corpus.iter().map(|p| p.model().id.clone()).collect();
+        let options_pool_threads = options.pool_threads;
         let state = Arc::new(ServeState {
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             metrics: Metrics::new(),
@@ -160,6 +165,10 @@ impl Server {
             threads,
             addr: local,
             shutdown: AtomicBool::new(false),
+            compose_pool: Arc::new(match options_pool_threads {
+                0 => WorkerPool::for_host(),
+                n => WorkerPool::new(n),
+            }),
         });
         Ok(Server { listener, state })
     }
@@ -382,6 +391,7 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             }
             let meter = budget.start();
             let mut session = CompositionSession::new(&state.options);
+            session.set_pool(Arc::clone(&state.compose_pool));
             for model in &models {
                 if let Err(error) = session.push_guarded(model, Some(&meter)) {
                     Metrics::bump(&state.metrics.budget_cuts);

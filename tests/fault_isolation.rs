@@ -268,6 +268,93 @@ fn zero_deadline_fails_every_batch_item() {
 }
 
 #[test]
+fn cow_failed_push_leaves_shared_base_unmaterialised() {
+    use std::sync::Arc;
+
+    let options = pipelined_options();
+    let composer = Composer::new(options.clone());
+    let base = rich("base", "x", 8);
+    let prepared_base = Arc::new(composer.prepare(&base));
+    let base_xml = write_sbml(prepared_base.model());
+    let incoming = rich("b", "y", 6);
+
+    // Fail every one of the twelve pass boundaries (pipelined rung), plus
+    // the serial retry, while the accumulator still *is* the shared base.
+    for pass in 0..12 {
+        let mut session =
+            CompositionSession::with_shared_base(&options, Arc::clone(&prepared_base));
+        assert!(session.is_base_shared());
+        let arcs_before = Arc::strong_count(&prepared_base);
+
+        let plan = FailPlan::new().fail_at(Site::Pass(pass)).fail_at(Site::Push(0));
+        let err = with_plan(plan, || {
+            session.push_guarded(&incoming, None).expect_err("both rungs fail")
+        });
+        assert!(matches!(err, ExecError::Panicked { site: Site::Push(0), .. }), "{err:?}");
+
+        // Rollback must re-adopt the base wholesale: no kind left
+        // materialised, no extra Arc handle leaked, accumulator
+        // byte-identical, log empty.
+        assert!(session.is_base_shared(), "pass {pass}: base must stay shared");
+        assert_eq!(Arc::strong_count(&prepared_base), arcs_before, "pass {pass}");
+        assert_eq!(write_sbml(session.model()), base_xml, "pass {pass}");
+        assert!(session.log().events.is_empty(), "pass {pass}");
+    }
+}
+
+#[test]
+fn cow_session_interleaved_entrypoints_under_faults_match_fault_free() {
+    use std::sync::Arc;
+
+    let options = pipelined_options();
+    let composer = Composer::new(options.clone());
+    let base = rich("base", "x", 8);
+    let prepared_base = Arc::new(composer.prepare(&base));
+    // A strict subset of the base: absorbed without materialising.
+    let dup = composer.prepare(&rich("dup", "x", 5));
+    // Overlapping but not contained: materialises when merged.
+    let overlap = rich("ov", "x", 10);
+    let stranger = rich("st", "z", 4);
+
+    // Reference: the same interleaving without the doomed push.
+    let want = {
+        let mut session =
+            CompositionSession::with_shared_base(&options, Arc::clone(&prepared_base));
+        session.push_prepared(&dup);
+        session.push(&stranger);
+        session.push_guarded(&overlap, None).expect("fault-free");
+        let result = session.finish();
+        (write_sbml(&result.model), result.log.to_text())
+    };
+
+    for pass in 0..12 {
+        let mut session =
+            CompositionSession::with_shared_base(&options, Arc::clone(&prepared_base));
+        // Duplicate-only prepared push: still zero-copy afterwards.
+        session.push_prepared(&dup);
+        assert!(session.is_base_shared(), "pass {pass}: duplicates must not materialise");
+
+        // Guarded push faulted on both rungs: rolls back to the shared
+        // base (the only push so far was absorbed, so the at-rest state
+        // is Shared and rollback must restore exactly that).
+        let plan = FailPlan::new().fail_at(Site::Pass(pass)).fail_at(Site::Push(1));
+        with_plan(plan, || {
+            session.push_guarded(&stranger, None).expect_err("both rungs fail");
+        });
+        assert!(session.is_base_shared(), "pass {pass}: rollback keeps the base shared");
+
+        // Disarmed: the rest of the interleaving must land bit-identical
+        // to the fault-free reference.
+        session.push(&stranger);
+        session.push_guarded(&overlap, None).expect("disarmed");
+        assert!(!session.is_base_shared(), "pass {pass}: overlap materialises");
+        let result = session.finish();
+        assert_eq!(write_sbml(&result.model), want.0, "pass {pass}");
+        assert_eq!(result.log.to_text(), want.1, "pass {pass}");
+    }
+}
+
+#[test]
 fn query_fault_is_contained_per_candidate() {
     use sbmlcompose::matching::MatchIndex;
 

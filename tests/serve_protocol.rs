@@ -199,6 +199,151 @@ fn hostile_requests_get_structured_errors_and_the_daemon_keeps_serving() {
     shut_down(addr, handle);
 }
 
+/// `Threads:` line of `/proc/<pid>/status` — the kernel's thread count
+/// for the daemon process.
+#[cfg(target_os = "linux")]
+fn process_threads(pid: u32) -> usize {
+    let status =
+        std::fs::read_to_string(format!("/proc/{pid}/status")).expect("read /proc status");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .map(|v| v.trim().parse().expect("numeric thread count"))
+        .expect("Threads: line present")
+}
+
+/// The serving shape the worker pool exists for: one hot snapshot, many
+/// COMPOSE requests. Every answer — sequential or concurrent — must be
+/// bit-identical to a local one-shot session, and the daemon's kernel
+/// thread count must be flat across requests: the pool is spawned once
+/// at bind, so serving must not create (or leak) a single thread per
+/// request the way per-push scoped spawns would.
+#[test]
+#[cfg(target_os = "linux")]
+fn hot_snapshot_compose_is_bit_identical_with_a_flat_thread_count() {
+    let options = ComposeOptions::heavy();
+    let models = corpus_slice(60..66);
+    let dir = std::env::temp_dir().join(format!("sbmlserve_pool_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus_dir = dir.join("corpus");
+    std::fs::create_dir_all(&corpus_dir).expect("scratch dir");
+    for model in &models {
+        std::fs::write(corpus_dir.join(format!("{}.xml", model.id)), write_sbml(model))
+            .expect("write corpus model");
+    }
+    let snap = dir.join("corpus.snap");
+    let bin = env!("CARGO_BIN_EXE_sbmlcompose");
+    let built = Command::new(bin)
+        .args(["snapshot", "build", &corpus_dir.to_string_lossy(), "-o", &snap.to_string_lossy()])
+        .output()
+        .expect("snapshot build");
+    assert!(built.status.success(), "stderr: {}", String::from_utf8_lossy(&built.stderr));
+
+    let mut daemon = Command::new(bin)
+        .args(["serve", &snap.to_string_lossy(), "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut announced = String::new();
+    BufReader::new(daemon.stdout.take().expect("daemon stdout"))
+        .read_line(&mut announced)
+        .expect("read address line");
+    let addr: std::net::SocketAddr = announced
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected announcement: {announced:?}"))
+        .parse()
+        .expect("announced address parses");
+    let pid = daemon.id();
+
+    // Local one-shot reference per pair.
+    let reference = |i: usize, j: usize| {
+        let mut session = CompositionSession::new(&options);
+        session.push(&models[i]);
+        session.push(&models[j]);
+        write_sbml(&session.finish().model)
+    };
+    let pairs: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|i| (i + 1..models.len()).map(move |j| (i, j)))
+        .collect();
+    let compose = |client: &mut Client, i: usize, j: usize| -> Vec<u8> {
+        let request = Request::Compose {
+            models_xml: vec![write_sbml(&models[i]), write_sbml(&models[j])],
+        };
+        match client.roundtrip(&request).expect("compose roundtrip") {
+            Response::Ok { code: 0, body } => body,
+            other => panic!("compose ({i},{j}) failed: {other:?}"),
+        }
+    };
+
+    // Warm-up: first request takes the connection and any lazy setup.
+    let mut client = Client::connect(addr).expect("connect");
+    let (i0, j0) = pairs[0];
+    assert_eq!(compose(&mut client, i0, j0), reference(i0, j0).as_bytes());
+    let baseline = process_threads(pid);
+
+    // Sequential phase: the count must not move between requests.
+    for &(i, j) in pairs.iter().take(10) {
+        assert_eq!(
+            compose(&mut client, i, j),
+            reference(i, j).as_bytes(),
+            "sequential COMPOSE ({i},{j}) must equal the local session"
+        );
+        assert_eq!(
+            process_threads(pid),
+            baseline,
+            "COMPOSE ({i},{j}) changed the daemon's thread count"
+        );
+    }
+
+    // Concurrent phase: several connections at once, every answer still
+    // bit-identical, and afterwards the count is back at the baseline —
+    // no per-request or per-connection thread survives.
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let pairs = pairs.clone();
+            let expected: Vec<(usize, usize, String)> = (0..3)
+                .map(|r| {
+                    let (i, j) = pairs[(w * 3 + r) % pairs.len()];
+                    (i, j, reference(i, j))
+                })
+                .collect();
+            let models = models.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (i, j, want) in &expected {
+                    let request = Request::Compose {
+                        models_xml: vec![write_sbml(&models[*i]), write_sbml(&models[*j])],
+                    };
+                    match client.roundtrip(&request).expect("compose roundtrip") {
+                        Response::Ok { code: 0, body } => {
+                            assert_eq!(
+                                body,
+                                want.as_bytes(),
+                                "worker {w}: concurrent COMPOSE ({i},{j})"
+                            );
+                        }
+                        other => panic!("worker {w}: compose failed: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client worker");
+    }
+    assert_eq!(process_threads(pid), baseline, "concurrent load must not leak threads");
+
+    let down = Command::new(bin)
+        .args(["client", &addr.to_string(), "shutdown"])
+        .output()
+        .expect("client shutdown");
+    assert!(down.status.success());
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert!(status.success(), "daemon exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_snapshot_serve_client_pipeline_round_trips() {
     let options = ComposeOptions::heavy();
