@@ -28,6 +28,13 @@ cargo test -q --features fault-injection --test fault_isolation
 echo "== wire-protocol suite (frame codec + live daemon round-trips) =="
 cargo test -q --test serve_protocol
 
+echo "== incremental ≡ rebuild property suite (sharded MatchIndex) =="
+# Random insert/remove interleavings replayed against a fresh build of
+# the surviving corpus, across shard counts and every semantics level —
+# an incrementally mutated index must answer bit-identically to one
+# built from scratch, or UPSERT/REMOVE silently corrupt the daemon.
+cargo test -q -p sbml-match --test properties
+
 echo "== panic audit (fan-out modules) =="
 # Containment boundaries (catch_unwind) only help if the code inside them
 # is not sprinkled with *new* input-reachable unwrap/expect/panic sites.
@@ -148,6 +155,32 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "snapshot-load speedup: ${speedup}x (gate: >= 10.0)"
     awk -v s="$speedup" 'BEGIN { exit (s >= 10.0) ? 0 : 1 }' || {
         echo "FAIL: snapshot-load speedup regressed below 10x" >&2
+        exit 1
+    }
+
+    echo "== 10k-model scale benchmark (writes BENCH_scale.json) =="
+    cargo run --release -p compose-bench --bin index_scale
+
+    # Perf gate: absorbing a 100-model batch through MatchIndex::insert
+    # must stay >= 10x cheaper than rebuilding the 10k-model index from
+    # scratch — the whole point of the daemon's in-place UPSERT path.
+    # (The bench asserts bit-identical answers across shard counts
+    # 1/2/4/8 before timing anything.)
+    speedup=$(grep -o '"speedup_incremental_append": [0-9.]*' BENCH_scale.json | grep -o '[0-9.]*$')
+    echo "incremental-append speedup: ${speedup}x (gate: >= 10.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 10.0) ? 0 : 1 }' || {
+        echo "FAIL: incremental append fell below 10x cheaper than a full rebuild" >&2
+        exit 1
+    }
+
+    # Perf gate: scatter-gather query latency must stay flat-to-sublinear
+    # in the shard count — 8 shards may cost at most 1.5x a single shard
+    # on the same 10k corpus, or partitioning overhead has eaten the
+    # parallelism sharding exists to provide.
+    ratio=$(grep -o '"latency_ratio_shards_8_vs_1": [0-9.]*' BENCH_scale.json | grep -o '[0-9.]*$')
+    echo "8-shard vs 1-shard latency ratio: ${ratio} (gate: <= 1.5)"
+    awk -v r="$ratio" 'BEGIN { exit (r <= 1.5) ? 0 : 1 }' || {
+        echo "FAIL: scatter-gather latency grew superlinearly with shard count" >&2
         exit 1
     }
 

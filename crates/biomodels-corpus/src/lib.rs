@@ -23,6 +23,12 @@
 //!
 //! Everything is seeded: `corpus_187()` returns byte-identical models on
 //! every call, which the benches rely on.
+//!
+//! For index-scale workloads there is additionally a **scale tier**
+//! ([`corpus_scale`]): an arbitrarily large deterministic corpus of
+//! motif-sharing models (most tiny, a right-skewed tail of large ones)
+//! whose posting lists genuinely collide — the input of the 10k-model
+//! incremental/sharded index benches.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -85,6 +91,118 @@ pub fn corpus_17() -> Vec<Model> {
             build_small_annotated(&format!("SEMSBML{i:02}"), nodes, edges, &mut rng, i)
         })
         .collect()
+}
+
+/// Number of shared reaction motifs the scale tier draws from: every
+/// scale-tier model carries at least one motif family's chain verbatim
+/// (same species labels, same kinetics), so index postings collide the
+/// way conserved pathways make real BioModels entries collide.
+pub const SCALE_MOTIF_FAMILIES: usize = 48;
+
+/// Species pool of the scale tier (wider than the Fig. 8 pool so 10k
+/// models do not degenerate into one fully-connected key space).
+pub const SCALE_SPECIES_POOL: usize = 600;
+
+/// A deterministic `n`-model corpus for the 10k+ **scale tier** —
+/// the index growth/sharding benches' input. Same generator idioms as
+/// [`corpus_187`] (seeded [`StdRng`] per model, overlapping species
+/// pool, mass-action kinetics) but shaped for indexing at corpus scale:
+///
+/// * **size-skewed**: most models are motif-sized (3–8 species), with a
+///   right-skewed tail of larger ones — so per-model analysis cost is
+///   CI-sane at 10 000 models;
+/// * **shared-motif families**: model `i` embeds motif family
+///   `i % `[`SCALE_MOTIF_FAMILIES`] — a fixed 3-step reaction chain over
+///   fixed pool species with fixed kinetics — so posting lists genuinely
+///   collide (~`n / 48` models per family key) and candidate generation
+///   has real pruning work at every semantics level;
+/// * **unique tails**: larger models add private species and random
+///   reactions, giving every model distinguishing postings too.
+///
+/// `scale_model(i)` is independent of `n`: growing the corpus appends
+/// models without changing existing ones, which the incremental-append
+/// bench relies on.
+pub fn corpus_scale(n: usize) -> Vec<Model> {
+    (0..n).map(scale_model).collect()
+}
+
+/// Scale-tier model `i` (deterministic, independent of corpus size).
+pub fn scale_model(i: usize) -> Model {
+    let mut rng = StdRng::seed_from_u64(0x5CA1E_0000 + i as u64);
+    let family = i % SCALE_MOTIF_FAMILIES;
+    let mut b = ModelBuilder::new(format!("SCALE{i:05}"))
+        .name(format!("scale-tier entry {i}, motif family {family}"))
+        .compartment("cell", 1.0);
+
+    // Collect the pool species first (deduplicated), add them to the
+    // builder in one pass, then wire the reactions over their ids.
+    let mut pool_slots: Vec<usize> = Vec::new();
+    let add_slot = |pool_slots: &mut Vec<usize>, slot: usize| -> String {
+        let slot = slot % SCALE_SPECIES_POOL;
+        if !pool_slots.contains(&slot) {
+            pool_slots.push(slot);
+        }
+        pool_species(slot).0
+    };
+
+    // The family motif: a fixed 3-step chain over the family's own pool
+    // slice with fixed per-family kinetics — identical in every model of
+    // the family, so node, edge, participant and heavy content keys all
+    // collide across the family.
+    let base = family * 12;
+    let chain: Vec<String> = (0..4).map(|j| add_slot(&mut pool_slots, base + j)).collect();
+
+    // Cross-family overlap: a couple of species from the rolling Fig. 8
+    // style offset, connecting neighbouring models outside their family.
+    for j in 0..2 {
+        add_slot(&mut pool_slots, i * 3 + j);
+    }
+
+    let mut ids: Vec<String> = Vec::new();
+    for slot in pool_slots {
+        let (sid, name) = pool_species(slot);
+        b = match name {
+            Some(display) => b.species_named(&sid, &display, (slot % 10) as f64),
+            None => b.species(&sid, (slot % 10) as f64),
+        };
+        ids.push(sid);
+    }
+
+    for j in 0..3 {
+        let k_id = format!("kf{family}_{j}");
+        let k_val = round3(0.05 + ((family * 7 + j * 3) % 190) as f64 / 100.0);
+        b = b.parameter(&k_id, k_val).reaction(
+            &format!("m{family}_r{j}"),
+            &[chain[j].as_str()],
+            &[chain[j + 1].as_str()],
+            &format!("{k_id}*{}", chain[j]),
+        );
+    }
+
+    // Right-skewed unique tail: most models stop at the motif; a few
+    // grow private species and random mass-action reactions on top.
+    let frac = rng.gen_range(0.0..1.0_f64);
+    let extra = (48.0 * frac.powf(6.0)).round() as usize;
+    for j in 0..extra {
+        let sid = format!("u{i}_{j}");
+        b = b.species(&sid, j as f64);
+        ids.push(sid);
+    }
+    for r in 0..extra / 3 {
+        let from = ids[rng.gen_range(0..ids.len())].clone();
+        let to = ids[rng.gen_range(0..ids.len())].clone();
+        if from == to {
+            continue;
+        }
+        let k_id = format!("ku{r}");
+        b = b.parameter(&k_id, round3(rng.gen_range(0.01..2.0))).reaction(
+            &format!("u{i}_r{r}"),
+            &[from.as_str()],
+            &[to.as_str()],
+            &format!("{k_id}*{from}"),
+        );
+    }
+    b.build()
 }
 
 /// Species id for pool slot `n`: common vocabulary first, then generic.
@@ -530,6 +648,32 @@ fn reverse_commutative(expr: &sbml_math::MathExpr) -> sbml_math::MathExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_tier_is_deterministic_and_collides() {
+        let corpus = corpus_scale(200);
+        assert_eq!(corpus.len(), 200);
+        // Deterministic and independent of corpus size: regenerating a
+        // prefix yields byte-identical models.
+        assert_eq!(corpus_scale(50), corpus[..50], "prefix-stable generation");
+        // Family members share the motif chain verbatim: same species
+        // ids and same reaction kinetics.
+        let (a, b) = (&corpus[3], &corpus[3 + SCALE_MOTIF_FAMILIES]);
+        let motif = |m: &Model| -> Vec<_> {
+            m.reactions
+                .iter()
+                .filter(|r| r.id.starts_with("m3_"))
+                .map(|r| (r.id.clone(), r.reactants.clone(), r.products.clone()))
+                .collect()
+        };
+        assert_eq!(motif(a).len(), 3, "every model carries its family's 3-step chain");
+        assert_eq!(motif(a), motif(b), "family members share the chain verbatim");
+        // Size skew: most models are motif-sized, some grow a tail.
+        let sizes: Vec<usize> = corpus.iter().map(|m| m.species.len()).collect();
+        let small = sizes.iter().filter(|&&s| s <= 10).count();
+        assert!(small > corpus.len() / 2, "most models are motif-sized");
+        assert!(sizes.iter().any(|&s| s > 20), "a right-skewed tail exists");
+    }
 
     #[test]
     fn corpus_has_documented_shape() {

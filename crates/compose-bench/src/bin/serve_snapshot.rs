@@ -65,8 +65,8 @@ fn main() {
         (prepared, index)
     };
 
-    let (prepared, index) = rebuild();
-    let bytes = Snapshot::encode(&prepared, &index, &options);
+    let (_prepared, index) = rebuild();
+    let bytes = Snapshot::encode(&index, &options);
 
     // One connected 1-hop fragment per eighth corpus model (skipping the
     // species-free models at the bottom of the size ramp).

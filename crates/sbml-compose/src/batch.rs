@@ -121,8 +121,14 @@ impl BatchComposer {
 
     /// The batch-lifetime worker pool, spawned on first use and sized by
     /// the composer's [`pool_threads`](crate::ComposeOptions::pool_threads)
-    /// knob (`0` = host parallelism).
-    fn shared_pool(&self) -> Arc<WorkerPool> {
+    /// knob (`0` = host parallelism). Every fan-out on this composer —
+    /// pair grids, corpus sweeps, and the per-pair session internals —
+    /// runs on this one pool, and callers layering their own fan-out on
+    /// top (e.g. `sbml-match`'s shard scatter) should reuse it via
+    /// [`WorkerPool::run_scoped`] rather than spawning threads: nested
+    /// `run_scoped` calls on the same pool are deadlock-free by
+    /// construction.
+    pub fn shared_pool(&self) -> Arc<WorkerPool> {
         Arc::clone(self.pool.get_or_init(|| {
             Arc::new(match self.composer.options().pool_threads {
                 0 => WorkerPool::for_host(),
@@ -147,30 +153,49 @@ impl BatchComposer {
         if workers <= 1 {
             return models.iter().map(|m| Arc::new(self.composer.prepare(m))).collect();
         }
-        let mut slots: Vec<Option<Arc<PreparedModel>>> = Vec::new();
-        slots.resize_with(models.len(), || None);
-        std::thread::scope(|scope| {
-            let composer = &self.composer;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < models.len() {
-                            out.push((i, Arc::new(composer.prepare(&models[i]))));
-                            i += workers;
-                        }
-                        out
-                    })
+        self.striped(models.len(), workers, |i| Arc::new(self.composer.prepare(&models[i])))
+    }
+
+    /// Shared engine of the corpus fan-outs: run `job` for `0..jobs`
+    /// striped across `workers` stripes on the shared pool (the caller
+    /// thread runs stripe 0 and drains unclaimed stripes, per
+    /// [`WorkerPool::run_scoped`]), returning results in job order
+    /// regardless of scheduling.
+    fn striped<T, J>(&self, jobs: usize, workers: usize, job: J) -> Vec<T>
+    where
+        T: Send,
+        J: Fn(usize) -> T + Sync,
+    {
+        let mut stripes: Vec<Vec<(usize, T)>> = Vec::new();
+        stripes.resize_with(workers, Vec::new);
+        {
+            let run_stripe = |w: usize| -> Vec<(usize, T)> {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < jobs {
+                    out.push((i, job(i)));
+                    i += workers;
+                }
+                out
+            };
+            let (head, tail) = stripes.split_at_mut(1);
+            let run_stripe = &run_stripe;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = tail
+                .iter_mut()
+                .enumerate()
+                .map(|(k, cell)| {
+                    Box::new(move || *cell = run_stripe(k + 1)) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            for handle in handles {
-                for (i, p) in handle.join().expect("prepare worker panicked") {
-                    slots[i] = Some(p);
-                }
-            }
-        });
-        slots.into_iter().map(|slot| slot.expect("every model prepared")).collect()
+            let head_cell = &mut head[0];
+            self.shared_pool().run_scoped(|| *head_cell = run_stripe(0), tasks);
+        }
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(jobs, || None);
+        for (i, value) in stripes.into_iter().flatten() {
+            slots[i] = Some(value);
+        }
+        slots.into_iter().map(|slot| slot.expect("every job produced a result")).collect()
     }
 
     /// Map every prepared corpus model through `f` on the batch's worker
@@ -189,30 +214,7 @@ impl BatchComposer {
         if workers <= 1 {
             return prepared.iter().enumerate().map(|(i, p)| f(i, p)).collect();
         }
-        let mut slots: Vec<Option<T>> = Vec::new();
-        slots.resize_with(prepared.len(), || None);
-        std::thread::scope(|scope| {
-            let f = &f;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        let mut i = w;
-                        while i < prepared.len() {
-                            out.push((i, f(i, &prepared[i])));
-                            i += workers;
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, value) in handle.join().expect("corpus map worker panicked") {
-                    slots[i] = Some(value);
-                }
-            }
-        });
-        slots.into_iter().map(|slot| slot.expect("every model mapped")).collect()
+        self.striped(prepared.len(), workers, |i| f(i, &prepared[i]))
     }
 
     /// Compose every unordered pair `(i, j), i < j` of the prepared

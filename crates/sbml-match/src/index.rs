@@ -1,11 +1,12 @@
 //! The corpus match index: inverted posting lists over the canonical
-//! keys a prepared corpus already carries, a candidate→refine→rank query
-//! pipeline, and a thread-per-shard parallel corpus search.
+//! keys a prepared corpus already carries, sharded for scatter-gather
+//! queries and mutable in place (incremental insert, tombstoned remove,
+//! threshold-triggered compaction).
 //!
 //! # Index layout
 //!
 //! [`MatchIndex::build`] inverts three key families into posting lists
-//! (key → ascending model ids):
+//! (key → ascending slot ids):
 //!
 //! * **node keys** — canonical species label keys (synonym-closed under
 //!   light/heavy semantics, raw labels under none);
@@ -13,29 +14,66 @@
 //!   content keys (heavy), `mod:`-prefixed for regulatory edges;
 //! * **participant keys** — the node-key multisets of each reaction's
 //!   reactants/products/modifiers, an id- and kinetics-independent
-//!   signal used by approximate ranking.
+//!   signal used by approximate ranking. Interned as `Arc<str>` like the
+//!   other two families.
 //!
 //! Per model it also keeps the [`MatchGraph`] (refinement never re-derives
 //! it) and the full canonical content-key set of the preparation
 //! ([`sbml_compose::PreparedModel::content_keys`]) for Jaccard scoring.
 //!
+//! # Slots, shards, tombstones
+//!
+//! Internally models live in **slots**: monotonically assigned `u32` ids
+//! that are never renumbered, so posting lists stay ascending under any
+//! insert/remove interleaving (a new model's slot is always the largest).
+//! The *public* model indices every query result reports are **ranks** —
+//! positions in the live corpus ([`MatchIndex::corpus`]), exactly what a
+//! fresh [`MatchIndex::build`] over the same live models would report.
+//!
+//! Postings are partitioned into [`IndexShard`]s by the deterministic
+//! rule `slot % shard_count` ([`MatchIndex::with_shards`]; default 1).
+//! Each shard carries its own posting maps, live-member list, tombstone
+//! set + deletion bitmap, and a generation counter that bumps on every
+//! mutation — the snapshot layer uses generations to rewrite only the
+//! shards that changed.
+//!
+//! The mutation lifecycle:
+//!
+//! * [`MatchIndex::insert`] analyses the prepared model once and appends
+//!   its postings to its home shard — O(model), no rebuild.
+//! * [`MatchIndex::remove`] *tombstones* the slot: membership moves to
+//!   the shard's dead set, the deletion bitmap masks the slot out of
+//!   every posting list at query time, and the per-slot caches are
+//!   dropped. Posting entries linger until compaction.
+//! * When a shard's [`IndexShard::tombstone_fraction`] (dead posting
+//!   entries over live + dead) exceeds
+//!   [`MatchIndex::with_compaction_threshold`] (default
+//!   [`DEFAULT_COMPACTION_THRESHOLD`]), the shard **compacts**: dead
+//!   slots are scrubbed from its posting lists in place. Slot ids never
+//!   change, so other shards are untouched.
+//!
+//! The invariant the property suite pins: an index grown by any
+//! insert/remove sequence answers every query **bit-identically** to a
+//! fresh single-shard `build` over the surviving models in insertion
+//! order, at every shard count.
+//!
 //! # Query pipeline
 //!
-//! 1. **candidates** — a model can embed the query only if *every*
-//!    distinct query node key and edge key has it in its posting list;
-//!    the intersection (smallest list first) prunes the corpus without
-//!    touching a single graph.
-//! 2. **refine** — each candidate runs the VF2 refiner
-//!    ([`crate::vf2::find_embedding`]) and exact hits come back with the
-//!    concrete species/reaction mappings ([`Embedding`]).
-//! 3. **rank** — when no exact embedding exists, every model sharing at
-//!    least one posting with the query is scored
-//!    (`score = (jaccard + mapped_fraction) / 2`) and the top
-//!    [`MatchIndex::with_top_k`] come back as [`ApproxHit`]s.
+//! 1. **scatter** — each shard generates candidates (posting-list
+//!    intersection, smallest list first, tombstones masked) and refines
+//!    them with the VF2 refiner ([`crate::vf2::find_embedding`]); shards
+//!    fan out one-per-worker on the [`BatchComposer`]'s shared
+//!    [`WorkerPool`](sbml_compose::pool::WorkerPool). Shard count 1 runs
+//!    the same code inline — the serial reference stays exercised.
+//! 2. **gather** — exact hits merge in corpus order (slot-sorted, then
+//!    remapped to ranks); when no model embeds the query, every model
+//!    sharing a posting is scored per shard
+//!    (`score = (jaccard + mapped_fraction) / 2`) and the per-shard
+//!    lists merge rank-stably into the global top
+//!    [`MatchIndex::with_top_k`].
 //!
-//! [`MatchIndex::query_corpus`] fans the refine stage out across worker
-//! threads via [`BatchComposer::map_corpus`], the same thread-per-shard
-//! pattern the Fig. 8 all-pairs workload uses.
+//! Results are deterministic for a given index and query — independent
+//! of thread count, shard count, and compaction timing.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,6 +92,10 @@ use crate::vf2::{find_embedding, find_embedding_limited, SearchLimits, SearchOut
 /// Default VF2 step budget per (query, model) refinement.
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
 
+/// Default tombstone fraction above which a shard compacts its posting
+/// lists in place (see [`MatchIndex::with_compaction_threshold`]).
+pub const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.3;
+
 /// A concrete embedding of the query into one corpus model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Embedding {
@@ -67,7 +109,7 @@ pub struct Embedding {
 /// An exact corpus hit: the query embeds in `model`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CorpusHit {
-    /// Index of the hit model in the corpus.
+    /// Index of the hit model in the live corpus.
     pub model: usize,
     /// The witnessing node/edge mapping.
     pub embedding: Embedding,
@@ -76,7 +118,7 @@ pub struct CorpusHit {
 /// A ranked approximate hit (returned when no exact embedding exists).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ApproxHit {
-    /// Index of the model in the corpus.
+    /// Index of the model in the live corpus.
     pub model: usize,
     /// `(jaccard + mapped_fraction) / 2`.
     pub score: f64,
@@ -125,9 +167,33 @@ pub struct PreparedQuery {
     /// Distinct edge keys of the query graph.
     edge_keys: Vec<Arc<str>>,
     /// Participant key per query reaction (positional).
-    participant_keys: Vec<String>,
+    participant_keys: Vec<Arc<str>>,
     /// Full canonical content-key set (for Jaccard).
     content_keys: FastSet<Arc<str>>,
+}
+
+/// The serialisable skeleton of one [`IndexShard`]: its generation, the
+/// slots it owns (live members and tombstones), and its posting lists —
+/// **scrubbed**: tombstoned slots are filtered out of the lists at
+/// extraction, so a round trip through [`MatchIndex::from_raw`] loads a
+/// shard with zero pending tombstone entries (membership tombstones are
+/// preserved — slot ids stay stable across save/mutate/save cycles).
+#[derive(Debug, Clone, Default)]
+pub struct RawShard {
+    /// Mutation counter at extraction time; the snapshot layer reuses a
+    /// shard's encoded section verbatim when its generation (and member
+    /// lists) are unchanged.
+    pub generation: u64,
+    /// Live slots owned by this shard, ascending.
+    pub members: Vec<u32>,
+    /// Tombstoned slots owned by this shard, ascending.
+    pub dead: Vec<u32>,
+    /// Node-key posting lists, sorted by key; slot ids ascending.
+    pub node_postings: Vec<(Arc<str>, Vec<u32>)>,
+    /// Edge-key posting lists, sorted by key; slot ids ascending.
+    pub edge_postings: Vec<(Arc<str>, Vec<u32>)>,
+    /// Participant-key posting lists, sorted by key; slots ascending.
+    pub participant_postings: Vec<(Arc<str>, Vec<u32>)>,
 }
 
 /// The serialisable skeleton of a [`MatchIndex`]: everything the build
@@ -135,18 +201,22 @@ pub struct PreparedQuery {
 /// of the corpus itself (content-key sets) or runtime-only (thread pool,
 /// budget knobs). Posting lists are sorted by key so the skeleton — and
 /// any snapshot encoding of it — is byte-deterministic for a given
-/// corpus and options. Produced by [`MatchIndex::to_raw`], consumed by
-/// [`MatchIndex::from_raw`].
+/// corpus, options, and mutation history. The slot universe is exactly
+/// `live ∪ every shard's dead`, dense from 0 — validated on load so a
+/// hostile skeleton can never claim an unbounded slot space. Produced by
+/// [`MatchIndex::to_raw`], consumed by [`MatchIndex::from_raw`].
 #[derive(Debug, Clone, Default)]
 pub struct RawIndex {
-    /// Per-model match graph skeletons, corpus order.
+    /// Index-wide mutation counter.
+    pub generation: u64,
+    /// Live slots, ascending; `corpus[i]` (live order) lives in slot
+    /// `live[i]`.
+    pub live: Vec<u32>,
+    /// Per-model match graph skeletons, live order.
     pub graphs: Vec<RawGraph>,
-    /// Node-key posting lists, sorted by key; ids ascending per list.
-    pub node_postings: Vec<(Arc<str>, Vec<u32>)>,
-    /// Edge-key posting lists, sorted by key; ids ascending per list.
-    pub edge_postings: Vec<(Arc<str>, Vec<u32>)>,
-    /// Participant-key posting lists, sorted by key.
-    pub participant_postings: Vec<(String, Vec<u32>)>,
+    /// One entry per shard; slot `s` belongs to shard
+    /// `s % shards.len()`.
+    pub shards: Vec<RawShard>,
 }
 
 /// A corpus graph that may still be in skeleton form after a snapshot
@@ -170,6 +240,12 @@ impl LazyGraph {
 
     fn deferred(raw: RawGraph) -> LazyGraph {
         LazyGraph { raw: std::sync::Mutex::new(Some(raw)), built: std::sync::OnceLock::new() }
+    }
+
+    /// The placeholder of a tombstoned or never-filled slot; builds to
+    /// an empty graph if ever forced (queries never reach dead slots).
+    fn empty() -> LazyGraph {
+        LazyGraph { raw: std::sync::Mutex::new(None), built: std::sync::OnceLock::new() }
     }
 
     fn get(&self) -> &MatchGraph {
@@ -204,29 +280,177 @@ impl LazyGraph {
     }
 }
 
+/// Is `slot`'s bit set in a deletion bitmap?
+fn slot_bit(bits: &[u64], slot: u32) -> bool {
+    bits.get(slot as usize / 64).is_some_and(|w| w >> (slot % 64) & 1 == 1)
+}
+
+/// One partition of the index: the posting lists, membership, and
+/// tombstone state for every slot `s` with `s % shard_count == self`.
+/// Shards are the unit of query fan-out (one worker per shard), of
+/// compaction (a shard scrubs alone), and of snapshot rewriting (a
+/// mutated shard re-encodes alone, keyed by [`IndexShard::generation`]).
+pub struct IndexShard {
+    node_postings: FastMap<Arc<str>, Vec<u32>>,
+    edge_postings: FastMap<Arc<str>, Vec<u32>>,
+    participant_postings: FastMap<Arc<str>, Vec<u32>>,
+    /// Live slots owned by this shard, ascending.
+    live_members: Vec<u32>,
+    /// Every tombstoned slot this shard has ever owned, ascending.
+    /// Membership is permanent (slot ids are never reused), so the slot
+    /// universe stays dense and snapshot slot ids stay stable.
+    dead: Vec<u32>,
+    /// Deletion bitmap over global slot ids (only this shard's slots are
+    /// ever set): the per-list filter applied to every posting list at
+    /// query time, equivalent to a per-list bitmap without duplicating
+    /// it across lists.
+    dead_bits: Vec<u64>,
+    /// Tombstones whose posting entries have not been compacted away
+    /// yet — the numerator of [`IndexShard::tombstone_fraction`].
+    dead_pending: usize,
+    /// Bumped on every mutation (insert, remove, compaction, reshard).
+    generation: u64,
+}
+
+impl IndexShard {
+    fn new() -> IndexShard {
+        IndexShard {
+            node_postings: FastMap::default(),
+            edge_postings: FastMap::default(),
+            participant_postings: FastMap::default(),
+            live_members: Vec::new(),
+            dead: Vec::new(),
+            dead_bits: Vec::new(),
+            dead_pending: 0,
+            generation: 0,
+        }
+    }
+
+    fn is_dead(&self, slot: u32) -> bool {
+        slot_bit(&self.dead_bits, slot)
+    }
+
+    fn mark_dead(&mut self, slot: u32) {
+        let word = slot as usize / 64;
+        if self.dead_bits.len() <= word {
+            self.dead_bits.resize(word + 1, 0);
+        }
+        self.dead_bits[word] |= 1u64 << (slot % 64);
+    }
+
+    /// Append `slot`'s postings; `slot` must be larger than every slot
+    /// already present (guaranteed: slot ids are monotonic), which keeps
+    /// every list ascending with a constant-time dedup.
+    fn absorb(&mut self, slot: u32, analysed: &Analysed) {
+        fn push(postings: &mut FastMap<Arc<str>, Vec<u32>>, key: &Arc<str>, slot: u32) {
+            let list = postings.entry(Arc::clone(key)).or_default();
+            if list.last() != Some(&slot) {
+                list.push(slot);
+            }
+        }
+        for (key, _) in analysed.graph.node_key_counts() {
+            push(&mut self.node_postings, key, slot);
+        }
+        for key in analysed.graph.edge_keys() {
+            push(&mut self.edge_postings, key, slot);
+        }
+        for pkey in &analysed.participants {
+            push(&mut self.participant_postings, pkey, slot);
+        }
+        self.live_members.push(slot);
+    }
+
+    /// Scrub tombstoned slots out of every posting list in place and
+    /// drop emptied lists. Slot ids never change, so no other shard is
+    /// affected.
+    fn compact(&mut self) {
+        let bits = &self.dead_bits;
+        for map in
+            [&mut self.node_postings, &mut self.edge_postings, &mut self.participant_postings]
+        {
+            for list in map.values_mut() {
+                list.retain(|&s| !slot_bit(bits, s));
+            }
+            map.retain(|_, list| !list.is_empty());
+        }
+        self.dead_pending = 0;
+    }
+
+    /// Live models this shard owns.
+    pub fn live_models(&self) -> usize {
+        self.live_members.len()
+    }
+
+    /// Tombstoned models this shard owns (membership is permanent, so
+    /// this counts compacted tombstones too).
+    pub fn tombstoned_models(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Tombstones whose posting entries are still in the lists (resets
+    /// to zero on compaction).
+    pub fn pending_tombstones(&self) -> usize {
+        self.dead_pending
+    }
+
+    /// Mutation counter; bumps on insert, remove, compaction and
+    /// reshard. The snapshot layer reuses a shard's encoded section when
+    /// the generation is unchanged.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Distinct (node, edge, participant) posting keys in this shard.
+    pub fn posting_stats(&self) -> (usize, usize, usize) {
+        (self.node_postings.len(), self.edge_postings.len(), self.participant_postings.len())
+    }
+
+    /// Fraction of posting membership that is tombstoned-but-uncompacted:
+    /// `pending / (live + pending)`. The compaction trigger; never
+    /// exceeds 1.0, so a threshold of 1.0 disables compaction.
+    pub fn tombstone_fraction(&self) -> f64 {
+        let entries = self.live_members.len() + self.dead_pending;
+        if entries == 0 {
+            return 0.0;
+        }
+        self.dead_pending as f64 / entries as f64
+    }
+}
+
 /// Inverted match index over a prepared corpus; see the
 /// [module docs](self).
 pub struct MatchIndex {
     options: ComposeOptions,
     semantics: MatchSemantics,
-    corpus: Vec<Arc<PreparedModel>>,
+    /// Slot-addressed storage; `None` marks a tombstoned slot. Slot ids
+    /// are monotonic and never reused.
+    slots: Vec<Option<Arc<PreparedModel>>>,
+    /// Per slot: the match graph (refinement never re-derives it).
     graphs: Vec<LazyGraph>,
-    node_postings: FastMap<Arc<str>, Vec<u32>>,
-    edge_postings: FastMap<Arc<str>, Vec<u32>>,
-    participant_postings: FastMap<String, Vec<u32>>,
-    /// Per model: full canonical content-key set (Jaccard denominator),
+    /// Per slot: full canonical content-key set (Jaccard denominator),
     /// derived from the corpus preparation on first use after a snapshot
     /// load ([`MatchIndex::build`] fills it eagerly).
     content_key_sets: Vec<std::sync::OnceLock<FastSet<Arc<str>>>>,
-    /// Per model: participant keys present, sorted. A pure function of
-    /// the prepared model and the semantics (like free-reference sets on
-    /// the compose side), so it is NOT serialised: snapshot loads leave
-    /// the cells empty and the list is re-derived on first ranked use
-    /// ([`MatchIndex::build`] fills it eagerly).
-    participant_raw: Vec<std::sync::OnceLock<Vec<String>>>,
-    /// Per model: `participant_raw[i]` as a set, built on first use after
+    /// Per slot: participant keys present, sorted. A pure function of
+    /// the prepared model and the semantics, so it is NOT serialised:
+    /// snapshot loads leave the cells empty and the list is re-derived
+    /// on first ranked use ([`MatchIndex::build`] fills it eagerly).
+    participant_raw: Vec<std::sync::OnceLock<Vec<Arc<str>>>>,
+    /// Per slot: `participant_raw[s]` as a set, built on first use after
     /// a snapshot load.
-    participant_sets: Vec<std::sync::OnceLock<FastSet<String>>>,
+    participant_sets: Vec<std::sync::OnceLock<FastSet<Arc<str>>>>,
+    /// Live slots, ascending (== insertion order, since slot ids are
+    /// monotonic). Position in this list is the public model index.
+    live: Vec<u32>,
+    /// The live models in live order — what [`MatchIndex::corpus`]
+    /// returns and what a fresh `build` would be given.
+    live_corpus: Vec<Arc<PreparedModel>>,
+    /// The posting partitions; slot `s` belongs to
+    /// `shards[s % shards.len()]`.
+    shards: Vec<IndexShard>,
+    /// Index-wide mutation counter.
+    generation: u64,
+    compaction_threshold: f64,
     batch: BatchComposer,
     budget: u64,
     /// Per-query wall-clock allowance for the refinement stage; `None`
@@ -236,7 +460,7 @@ pub struct MatchIndex {
 }
 
 /// A `OnceLock` already holding `value` — the eager-construction side of
-/// the lazy per-model state above.
+/// the lazy per-slot state above.
 fn filled<T>(value: T) -> std::sync::OnceLock<T> {
     let cell = std::sync::OnceLock::new();
     let _ = cell.set(value);
@@ -254,6 +478,16 @@ enum Refined {
     Truncated,
     /// The refinement panicked (contained per candidate).
     Failed,
+}
+
+/// One shard's contribution to a corpus query, merged by the gather
+/// stage. All ids are slots.
+#[derive(Default)]
+struct ShardAnswer {
+    candidates: Vec<u32>,
+    exact: Vec<(u32, Embedding)>,
+    truncated: Vec<u32>,
+    failed: Vec<u32>,
 }
 
 /// The node-key multiset signature of a reaction's participants:
@@ -300,6 +534,27 @@ fn species_label_keys<'m>(
         .collect()
 }
 
+/// Everything one model contributes to the index, derived once per
+/// insert (and fanned out across workers by the bulk build).
+struct Analysed {
+    graph: MatchGraph,
+    participants: FastSet<Arc<str>>,
+    content: FastSet<Arc<str>>,
+}
+
+fn analyse(p: &PreparedModel, semantics: &MatchSemantics, options: &ComposeOptions) -> Analysed {
+    let model = p.model();
+    let reaction_keys = semantics.content_key_edges().then(|| p.reaction_content_keys());
+    let graph = MatchGraph::build(model, semantics, options, reaction_keys);
+    let label_of = species_label_keys(model, semantics);
+    let participants: FastSet<Arc<str>> = model
+        .reactions
+        .iter()
+        .map(|r| Arc::<str>::from(participant_key(&label_of, r).as_str()))
+        .collect();
+    Analysed { graph, participants, content: p.content_keys().cloned().collect() }
+}
+
 impl MatchIndex {
     /// Build the index over a prepared corpus. Every preparation must
     /// carry the fingerprint of `options` (the same rule every prepared
@@ -315,7 +570,7 @@ impl MatchIndex {
     /// # Panics
     /// If a preparation's fingerprint does not match `options`.
     pub fn build(corpus: &[Arc<PreparedModel>], options: &ComposeOptions) -> MatchIndex {
-        MatchIndex::build_with_threads(corpus, options, 0)
+        MatchIndex::build_sharded(corpus, options, 0, 1)
     }
 
     /// As [`MatchIndex::build`], but with the worker-thread bound applied
@@ -326,6 +581,20 @@ impl MatchIndex {
         corpus: &[Arc<PreparedModel>],
         options: &ComposeOptions,
         threads: usize,
+    ) -> MatchIndex {
+        MatchIndex::build_sharded(corpus, options, threads, 1)
+    }
+
+    /// As [`MatchIndex::build_with_threads`], partitioned into `shards`
+    /// posting shards (clamped to at least 1). Shard count never affects
+    /// query results, only fan-out granularity; equivalent to
+    /// `build_with_threads(..).with_shards(shards)` but without the
+    /// reshard pass.
+    pub fn build_sharded(
+        corpus: &[Arc<PreparedModel>],
+        options: &ComposeOptions,
+        threads: usize,
+        shards: usize,
     ) -> MatchIndex {
         let semantics = MatchSemantics::from_options(options);
         let batch = BatchComposer::new(Composer::new(options.clone())).with_threads(threads);
@@ -338,114 +607,278 @@ impl MatchIndex {
                 p.model().id,
             );
         }
-        let corpus: Vec<Arc<PreparedModel>> = corpus.to_vec();
-
         // Per-model analysis (graph extraction, key resolution) is
         // independent — fan it out thread-per-shard like prepare_corpus;
-        // map_corpus returns in corpus order, so the serial posting fold
+        // map_corpus returns in corpus order, so the serial append fold
         // below is deterministic regardless of scheduling.
-        let analysed: Vec<(MatchGraph, FastSet<String>, FastSet<Arc<str>>)> =
-            batch.map_corpus(&corpus, |_, p| {
-                let model = p.model();
-                let reaction_keys =
-                    semantics.content_key_edges().then(|| p.reaction_content_keys());
-                let graph = MatchGraph::build(model, &semantics, options, reaction_keys);
-                let label_of = species_label_keys(model, &semantics);
-                let pset: FastSet<String> =
-                    model.reactions.iter().map(|r| participant_key(&label_of, r)).collect();
-                (graph, pset, p.content_keys().cloned().collect())
-            });
-
-        let mut graphs = Vec::with_capacity(corpus.len());
-        let mut node_postings: FastMap<Arc<str>, Vec<u32>> = FastMap::default();
-        let mut edge_postings: FastMap<Arc<str>, Vec<u32>> = FastMap::default();
-        let mut participant_postings: FastMap<String, Vec<u32>> = FastMap::default();
-        let mut content_key_sets = Vec::with_capacity(corpus.len());
-        let mut participant_sets = Vec::with_capacity(corpus.len());
-        let mut participant_raw = Vec::with_capacity(corpus.len());
-        for (i, (graph, pset, ckeys)) in analysed.into_iter().enumerate() {
-            let mi = i as u32;
-            let push = |postings: &mut FastMap<Arc<str>, Vec<u32>>, key: &Arc<str>| {
-                let list = postings.entry(Arc::clone(key)).or_default();
-                if list.last() != Some(&mi) {
-                    list.push(mi);
-                }
-            };
-            for (key, _) in graph.node_key_counts() {
-                push(&mut node_postings, key);
-            }
-            for key in graph.edge_keys() {
-                push(&mut edge_postings, key);
-            }
-            for pkey in &pset {
-                let list = participant_postings.entry(pkey.clone()).or_default();
-                if list.last() != Some(&mi) {
-                    list.push(mi);
-                }
-            }
-            let mut sorted: Vec<String> = pset.iter().cloned().collect();
-            sorted.sort_unstable();
-            participant_raw.push(filled(sorted));
-            participant_sets.push(filled(pset));
-            content_key_sets.push(filled(ckeys));
-            graphs.push(LazyGraph::from_built(graph));
-        }
-
-        MatchIndex {
+        let analysed: Vec<Analysed> =
+            batch.map_corpus(corpus, |_, p| analyse(p, &semantics, options));
+        let count = shards.max(1);
+        let mut index = MatchIndex {
             semantics,
-            corpus,
-            graphs,
-            node_postings,
-            edge_postings,
-            participant_postings,
-            content_key_sets,
-            participant_raw,
-            participant_sets,
+            slots: Vec::with_capacity(corpus.len()),
+            graphs: Vec::with_capacity(corpus.len()),
+            content_key_sets: Vec::with_capacity(corpus.len()),
+            participant_raw: Vec::with_capacity(corpus.len()),
+            participant_sets: Vec::with_capacity(corpus.len()),
+            live: Vec::with_capacity(corpus.len()),
+            live_corpus: Vec::with_capacity(corpus.len()),
+            shards: (0..count).map(|_| IndexShard::new()).collect(),
+            generation: 0,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             batch,
             budget: DEFAULT_BUDGET,
             deadline: None,
             top_k: 10,
             options: options.clone(),
+        };
+        for (p, a) in corpus.iter().zip(analysed) {
+            index.append(Arc::clone(p), a);
+        }
+        index
+    }
+
+    /// Append an analysed model in the next slot. Shared by the bulk
+    /// build and [`MatchIndex::insert`], so "built all at once" and
+    /// "grown one insert at a time" produce identical posting state.
+    fn append(&mut self, prepared: Arc<PreparedModel>, analysed: Analysed) -> usize {
+        let slot = self.slots.len() as u32;
+        let si = slot as usize % self.shards.len();
+        self.shards[si].absorb(slot, &analysed);
+        self.shards[si].generation += 1;
+        self.generation += 1;
+        let mut sorted: Vec<Arc<str>> = analysed.participants.iter().cloned().collect();
+        sorted.sort_unstable();
+        self.participant_raw.push(filled(sorted));
+        self.participant_sets.push(filled(analysed.participants));
+        self.content_key_sets.push(filled(analysed.content));
+        self.graphs.push(LazyGraph::from_built(analysed.graph));
+        self.slots.push(Some(Arc::clone(&prepared)));
+        self.live.push(slot);
+        self.live_corpus.push(prepared);
+        self.live.len() - 1
+    }
+
+    /// Incrementally index one more prepared model: analyse it once and
+    /// append its postings to its home shard in place — O(model) work,
+    /// no rebuild, no effect on any other model's postings. Returns the
+    /// new model's index in the live corpus (always the current
+    /// [`MatchIndex::len`]` - 1` after the call).
+    ///
+    /// The grown index answers every query identically to a fresh
+    /// [`MatchIndex::build`] over the same live models (property-tested
+    /// across insert/remove/query interleavings).
+    ///
+    /// # Panics
+    /// If the preparation's fingerprint does not match the index
+    /// options.
+    pub fn insert(&mut self, prepared: Arc<PreparedModel>) -> usize {
+        assert!(
+            prepared.fingerprint() == self.options.fingerprint(),
+            "PreparedModel for {:?} was prepared under different options; \
+             re-prepare it with the matching options",
+            prepared.model().id,
+        );
+        let analysed = analyse(&prepared, &self.semantics, &self.options);
+        self.append(prepared, analysed)
+    }
+
+    /// Remove the live model at index `model` (as reported by query
+    /// results / [`MatchIndex::corpus`]), returning its preparation, or
+    /// `None` when the index is out of range. Later models shift down by
+    /// one, exactly as if the corpus had been rebuilt without the model.
+    ///
+    /// Internally the model's slot is *tombstoned*: the shard's deletion
+    /// bitmap masks it out of every posting list at query time and the
+    /// per-slot caches are dropped immediately; the posting entries
+    /// themselves linger until the shard's tombstone fraction crosses
+    /// [`MatchIndex::with_compaction_threshold`] and the shard compacts
+    /// in place. Slot ids are never reused.
+    pub fn remove(&mut self, model: usize) -> Option<Arc<PreparedModel>> {
+        if model >= self.live.len() {
+            return None;
+        }
+        let slot = self.live.remove(model);
+        let removed = self.live_corpus.remove(model);
+        let si = slot as usize % self.shards.len();
+        {
+            let shard = &mut self.shards[si];
+            if let Ok(pos) = shard.live_members.binary_search(&slot) {
+                shard.live_members.remove(pos);
+            }
+            if let Err(pos) = shard.dead.binary_search(&slot) {
+                shard.dead.insert(pos, slot);
+            }
+            shard.mark_dead(slot);
+            shard.dead_pending += 1;
+            shard.generation += 1;
+        }
+        self.generation += 1;
+        self.slots[slot as usize] = None;
+        self.graphs[slot as usize] = LazyGraph::empty();
+        self.content_key_sets[slot as usize] = std::sync::OnceLock::new();
+        self.participant_raw[slot as usize] = std::sync::OnceLock::new();
+        self.participant_sets[slot as usize] = std::sync::OnceLock::new();
+        if self.shards[si].tombstone_fraction() > self.compaction_threshold {
+            self.shards[si].compact();
+            self.shards[si].generation += 1;
+            self.generation += 1;
+        }
+        Some(removed)
+    }
+
+    /// Compact every shard that has pending tombstones, regardless of
+    /// threshold — scrubs dead slots out of the posting lists in place.
+    pub fn compact(&mut self) {
+        let mut changed = false;
+        for shard in &mut self.shards {
+            if shard.dead_pending > 0 {
+                shard.compact();
+                shard.generation += 1;
+                changed = true;
+            }
+        }
+        if changed {
+            self.generation += 1;
         }
     }
 
-    /// Extract the serialisable skeleton of this index: graphs and
-    /// posting lists, with every map flattened into key-sorted vectors so
-    /// the result is deterministic for a given corpus and options.
-    /// Content-key sets and per-model participant-key lists are *not*
-    /// carried — both are pure functions of the corpus's
+    /// Repartition the posting lists into `shards` shards (clamped to at
+    /// least 1) by the deterministic rule `slot % shards`. Pure data
+    /// movement — no model is re-analysed — and implicitly a full
+    /// compaction (tombstoned entries are dropped while redistributing).
+    /// Shard count never affects query results, only fan-out
+    /// granularity.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> MatchIndex {
+        let count = shards.max(1);
+        if count == self.shards.len() {
+            return self;
+        }
+        let mut next: Vec<IndexShard> = (0..count).map(|_| IndexShard::new()).collect();
+        for shard in &self.shards {
+            for family in 0..3usize {
+                let src = match family {
+                    0 => &shard.node_postings,
+                    1 => &shard.edge_postings,
+                    _ => &shard.participant_postings,
+                };
+                for (key, list) in src {
+                    for &slot in list {
+                        if shard.is_dead(slot) {
+                            continue;
+                        }
+                        let dst = &mut next[slot as usize % count];
+                        let map = match family {
+                            0 => &mut dst.node_postings,
+                            1 => &mut dst.edge_postings,
+                            _ => &mut dst.participant_postings,
+                        };
+                        map.entry(Arc::clone(key)).or_default().push(slot);
+                    }
+                }
+            }
+            for &slot in &shard.live_members {
+                next[slot as usize % count].live_members.push(slot);
+            }
+            for &slot in &shard.dead {
+                let dst = &mut next[slot as usize % count];
+                dst.dead.push(slot);
+                dst.mark_dead(slot);
+            }
+        }
+        self.generation += 1;
+        for shard in &mut next {
+            for map in [
+                &mut shard.node_postings,
+                &mut shard.edge_postings,
+                &mut shard.participant_postings,
+            ] {
+                // Old shards interleave in slot space, so redistributed
+                // lists arrive out of order exactly once, here.
+                for list in map.values_mut() {
+                    list.sort_unstable();
+                }
+            }
+            shard.live_members.sort_unstable();
+            shard.dead.sort_unstable();
+            shard.generation = self.generation;
+        }
+        self.shards = next;
+        self
+    }
+
+    /// Set the tombstone fraction above which a shard compacts its
+    /// posting lists in place (default
+    /// [`DEFAULT_COMPACTION_THRESHOLD`]). `0.0` compacts on every
+    /// removal; `1.0` never compacts automatically (the fraction cannot
+    /// exceed 1.0 — use [`MatchIndex::compact`] to scrub manually).
+    #[must_use]
+    pub fn with_compaction_threshold(mut self, fraction: f64) -> MatchIndex {
+        self.compaction_threshold = fraction;
+        self
+    }
+
+    /// Extract the serialisable skeleton of this index: graphs (live
+    /// order), per-shard membership and posting lists, with every map
+    /// flattened into key-sorted vectors so the result is deterministic
+    /// for a given corpus, options, and mutation history. Posting lists
+    /// are scrubbed of tombstoned entries on the way out (an unchanged
+    /// shard still flattens identically — scrubbing is a pure function
+    /// of its state). Content-key sets and per-slot participant-key
+    /// lists are *not* carried — both are pure functions of the corpus's
     /// [`PreparedModel`]s, so [`MatchIndex::from_raw`] re-derives them
     /// lazily on first use.
     pub fn to_raw(&self) -> RawIndex {
-        let flatten_arc = |postings: &FastMap<Arc<str>, Vec<u32>>| {
-            let mut out: Vec<(Arc<str>, Vec<u32>)> =
-                postings.iter().map(|(k, v)| (Arc::clone(k), v.clone())).collect();
+        let flatten = |postings: &FastMap<Arc<str>, Vec<u32>>,
+                       shard: &IndexShard|
+         -> Vec<(Arc<str>, Vec<u32>)> {
+            let mut out: Vec<(Arc<str>, Vec<u32>)> = postings
+                .iter()
+                .filter_map(|(k, v)| {
+                    let list: Vec<u32> =
+                        v.iter().copied().filter(|&s| !shard.is_dead(s)).collect();
+                    if list.is_empty() {
+                        None
+                    } else {
+                        Some((Arc::clone(k), list))
+                    }
+                })
+                .collect();
             out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             out
         };
-        let mut participant_postings: Vec<(String, Vec<u32>)> = self
-            .participant_postings
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
-        participant_postings.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         RawIndex {
-            graphs: self.graphs.iter().map(LazyGraph::to_raw).collect(),
-            node_postings: flatten_arc(&self.node_postings),
-            edge_postings: flatten_arc(&self.edge_postings),
-            participant_postings,
+            generation: self.generation,
+            live: self.live.clone(),
+            graphs: self.live.iter().map(|&s| self.graphs[s as usize].to_raw()).collect(),
+            shards: self
+                .shards
+                .iter()
+                .map(|shard| RawShard {
+                    generation: shard.generation,
+                    members: shard.live_members.clone(),
+                    dead: shard.dead.clone(),
+                    node_postings: flatten(&shard.node_postings, shard),
+                    edge_postings: flatten(&shard.edge_postings, shard),
+                    participant_postings: flatten(&shard.participant_postings, shard),
+                })
+                .collect(),
         }
     }
 
-    /// Rebuild a [`MatchIndex`] from a skeleton and the corpus it was
-    /// extracted over, skipping graph extraction, key resolution, and
-    /// posting inversion entirely — the snapshot fast path. Content-key
-    /// sets come straight off each [`PreparedModel`] as `Arc` clones (no
-    /// re-canonicalisation). Every structural claim the skeleton makes is
-    /// validated (family lengths against the corpus, posting ids against
-    /// the corpus size, graph consistency); violations return a
-    /// structured error, never a panic, because the skeleton may come
-    /// from an untrusted snapshot file.
+    /// Rebuild a [`MatchIndex`] from a skeleton and its **live** corpus
+    /// (the models in live order, as returned by [`MatchIndex::corpus`]),
+    /// skipping graph extraction, key resolution, and posting inversion
+    /// entirely — the snapshot fast path. Content-key sets come straight
+    /// off each [`PreparedModel`] as `Arc` clones (no
+    /// re-canonicalisation). Every structural claim the skeleton makes
+    /// is validated — the slot universe must be exactly `live ∪ dead`
+    /// and dense from 0, shard membership must follow `slot % count`,
+    /// posting lists must be ascending over member-or-tombstoned slots,
+    /// graphs must be consistent; violations return a structured error,
+    /// never a panic, because the skeleton may come from an untrusted
+    /// snapshot file.
     ///
     /// # Errors
     /// If a preparation's fingerprint does not match `options`, or the
@@ -466,49 +899,119 @@ impl MatchIndex {
             }
         }
         let n = corpus.len();
+        if raw.live.len() != n {
+            return Err(format!("raw index lists {} live slots for {n} models", raw.live.len()));
+        }
         if raw.graphs.len() != n {
             return Err(format!("raw index carries {} graphs for {n} models", raw.graphs.len()));
+        }
+        if !raw.live.windows(2).all(|w| w[0] < w[1]) {
+            return Err("live slots must be strictly ascending".into());
+        }
+        let count = raw.shards.len();
+        if count == 0 {
+            return Err("raw index carries no shards".into());
+        }
+        let ascending = |list: &[u32]| list.windows(2).all(|w| w[0] < w[1]);
+        // The slot universe must be exactly live ∪ dead, dense from 0 —
+        // this both validates membership and bounds every allocation
+        // below by the data actually present.
+        let mut universe: Vec<u32> = raw.live.clone();
+        let mut members: Vec<u32> = Vec::new();
+        for (si, shard) in raw.shards.iter().enumerate() {
+            if !ascending(&shard.members) || !ascending(&shard.dead) {
+                return Err(format!("shard {si} membership lists must be strictly ascending"));
+            }
+            for &slot in shard.members.iter().chain(&shard.dead) {
+                if slot as usize % count != si {
+                    return Err(format!("slot {slot} listed in shard {si}, not its home shard"));
+                }
+            }
+            universe.extend_from_slice(&shard.dead);
+            members.extend_from_slice(&shard.members);
+        }
+        universe.sort_unstable();
+        if universe.iter().enumerate().any(|(i, &s)| s as usize != i) {
+            return Err("slot universe (live ∪ dead) must be dense from 0".into());
+        }
+        members.sort_unstable();
+        if members != raw.live {
+            return Err("shard live members disagree with the index live list".into());
+        }
+        let slot_count = universe.len();
+        for (si, shard) in raw.shards.iter().enumerate() {
+            for (family, lists) in [
+                ("node", &shard.node_postings),
+                ("edge", &shard.edge_postings),
+                ("participant", &shard.participant_postings),
+            ] {
+                for (key, list) in lists {
+                    if !ascending(list) {
+                        return Err(format!(
+                            "shard {si} {family} posting {key:?} is not ascending"
+                        ));
+                    }
+                    for &slot in list {
+                        let owned = shard.members.binary_search(&slot).is_ok()
+                            || shard.dead.binary_search(&slot).is_ok();
+                        if !owned {
+                            return Err(format!(
+                                "shard {si} {family} posting {key:?} references slot {slot} \
+                                 the shard does not own"
+                            ));
+                        }
+                    }
+                }
+            }
         }
         // Skeletons are validated now (a corrupt one must surface as an
         // error here, not a panic later), but built lazily: adjacency and
         // key indexes are derived on the first query that refines against
         // the model, keeping the load itself a pure decode.
-        let mut graphs = Vec::with_capacity(n);
+        let mut graphs: Vec<LazyGraph> = Vec::new();
+        graphs.resize_with(slot_count, LazyGraph::empty);
+        let mut slots: Vec<Option<Arc<PreparedModel>>> = vec![None; slot_count];
         for (i, g) in raw.graphs.into_iter().enumerate() {
             if let Err(e) = MatchGraph::validate_raw(&g) {
                 return Err(format!("graph {i}: {e}"));
             }
-            graphs.push(LazyGraph::deferred(g));
+            let slot = raw.live[i] as usize;
+            graphs[slot] = LazyGraph::deferred(g);
+            slots[slot] = Some(Arc::clone(&corpus[i]));
         }
-        let check_ids = |family: &str, lists: &mut dyn Iterator<Item = &[u32]>| -> Result<(), String> {
-            for (k, list) in lists.enumerate() {
-                if list.iter().any(|&m| m as usize >= n) {
-                    return Err(format!(
-                        "{family} posting {k} references a model id >= corpus size {n}"
-                    ));
+        let shards: Vec<IndexShard> = raw
+            .shards
+            .into_iter()
+            .map(|rs| {
+                let mut shard = IndexShard::new();
+                shard.generation = rs.generation;
+                // Rebuild the deletion bitmap from the tombstone list;
+                // extracted lists are scrubbed, so nothing is pending —
+                // the bitmap only guards against hostile skeletons that
+                // smuggled dead slots back into a list.
+                for &slot in &rs.dead {
+                    shard.mark_dead(slot);
                 }
-            }
-            Ok(())
-        };
-        check_ids("node", &mut raw.node_postings.iter().map(|(_, v)| v.as_slice()))?;
-        check_ids("edge", &mut raw.edge_postings.iter().map(|(_, v)| v.as_slice()))?;
-        check_ids(
-            "participant",
-            &mut raw.participant_postings.iter().map(|(_, v)| v.as_slice()),
-        )?;
-        let content_key_sets = (0..n).map(|_| std::sync::OnceLock::new()).collect();
-        let participant_raw = (0..n).map(|_| std::sync::OnceLock::new()).collect();
-        let participant_sets = (0..n).map(|_| std::sync::OnceLock::new()).collect();
+                shard.live_members = rs.members;
+                shard.dead = rs.dead;
+                shard.node_postings = rs.node_postings.into_iter().collect();
+                shard.edge_postings = rs.edge_postings.into_iter().collect();
+                shard.participant_postings = rs.participant_postings.into_iter().collect();
+                shard
+            })
+            .collect();
         Ok(MatchIndex {
             semantics: MatchSemantics::from_options(options),
-            corpus: corpus.to_vec(),
+            slots,
             graphs,
-            node_postings: raw.node_postings.into_iter().collect(),
-            edge_postings: raw.edge_postings.into_iter().collect(),
-            participant_postings: raw.participant_postings.into_iter().collect(),
-            content_key_sets,
-            participant_raw,
-            participant_sets,
+            content_key_sets: (0..slot_count).map(|_| std::sync::OnceLock::new()).collect(),
+            participant_raw: (0..slot_count).map(|_| std::sync::OnceLock::new()).collect(),
+            participant_sets: (0..slot_count).map(|_| std::sync::OnceLock::new()).collect(),
+            live: raw.live,
+            live_corpus: corpus.to_vec(),
+            shards,
+            generation: raw.generation,
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             batch: BatchComposer::new(Composer::new(options.clone())).with_threads(threads),
             budget: DEFAULT_BUDGET,
             deadline: None,
@@ -555,19 +1058,19 @@ impl MatchIndex {
         self
     }
 
-    /// Number of corpus models indexed.
+    /// Number of live corpus models indexed.
     pub fn len(&self) -> usize {
-        self.corpus.len()
+        self.live.len()
     }
 
-    /// True when the corpus is empty.
+    /// True when no live model is indexed.
     pub fn is_empty(&self) -> bool {
-        self.corpus.is_empty()
+        self.live.is_empty()
     }
 
-    /// The indexed corpus.
+    /// The live indexed corpus, in the order query results index into.
     pub fn corpus(&self) -> &[Arc<PreparedModel>] {
-        &self.corpus
+        &self.live_corpus
     }
 
     /// The matching semantics the index was built under.
@@ -575,10 +1078,35 @@ impl MatchIndex {
         &self.semantics
     }
 
-    /// Distinct (node, edge, participant) posting keys — index-size
-    /// telemetry for benches and logs.
+    /// The posting shards (read-only view, for stats and snapshots).
+    pub fn shards(&self) -> &[IndexShard] {
+        &self.shards
+    }
+
+    /// How many shards the posting lists are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Index-wide mutation counter: bumps on every insert, remove,
+    /// compaction and reshard. Survives a raw/snapshot round trip.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total tombstoned models across all shards (compacted or not).
+    pub fn tombstoned_len(&self) -> usize {
+        self.shards.iter().map(|s| s.dead.len()).sum()
+    }
+
+    /// Distinct (node, edge, participant) posting keys, summed across
+    /// shards — index-size telemetry for benches and logs. (A key shared
+    /// by models in different shards counts once per shard.)
     pub fn posting_stats(&self) -> (usize, usize, usize) {
-        (self.node_postings.len(), self.edge_postings.len(), self.participant_postings.len())
+        self.shards.iter().fold((0, 0, 0), |acc, s| {
+            let (n, e, p) = s.posting_stats();
+            (acc.0 + n, acc.1 + e, acc.2 + p)
+        })
     }
 
     /// Analyse a query once: build its match graph, collect the distinct
@@ -598,7 +1126,7 @@ impl MatchIndex {
         let participant_keys = query
             .reactions
             .iter()
-            .map(|r| participant_key(&label_of, r))
+            .map(|r| Arc::<str>::from(participant_key(&label_of, r).as_str()))
             .collect();
         PreparedQuery {
             species_ids,
@@ -613,25 +1141,38 @@ impl MatchIndex {
 
     /// Candidate generation: models whose posting lists contain *every*
     /// distinct query node key and edge key, ascending. A query with no
-    /// graph nodes embeds trivially, so every model is a candidate.
+    /// graph nodes embeds trivially, so every live model is a candidate.
     pub fn candidates(&self, query: &Model) -> Vec<usize> {
         self.candidates_prepared(&self.prepare_query(query))
     }
 
     /// [`MatchIndex::candidates`] over an already-prepared query.
     pub fn candidates_prepared(&self, qa: &PreparedQuery) -> Vec<usize> {
+        let mut slots: Vec<u32> = Vec::new();
+        for shard in &self.shards {
+            slots.extend(self.shard_candidates(shard, qa));
+        }
+        slots.sort_unstable();
+        slots.into_iter().map(|s| self.rank_of(s)).collect()
+    }
+
+    /// One shard's candidates (as slots, ascending): intersect the
+    /// shard's posting lists for every query key, then mask tombstones.
+    /// A key missing from this shard just means no candidates *here* —
+    /// other shards may still carry it.
+    fn shard_candidates(&self, shard: &IndexShard, qa: &PreparedQuery) -> Vec<u32> {
         if qa.graph.node_count() == 0 {
-            return (0..self.corpus.len()).collect();
+            return shard.live_members.clone();
         }
         let mut lists: Vec<&[u32]> = Vec::with_capacity(qa.node_keys.len() + qa.edge_keys.len());
         for key in &qa.node_keys {
-            match self.node_postings.get(key.as_ref()) {
+            match shard.node_postings.get(key.as_ref()) {
                 Some(list) => lists.push(list),
                 None => return Vec::new(),
             }
         }
         for key in &qa.edge_keys {
-            match self.edge_postings.get(key.as_ref()) {
+            match shard.edge_postings.get(key.as_ref()) {
                 Some(list) => lists.push(list),
                 None => return Vec::new(),
             }
@@ -644,65 +1185,87 @@ impl MatchIndex {
                 break;
             }
         }
-        acc.into_iter().map(|m| m as usize).collect()
+        acc.retain(|&s| !shard.is_dead(s));
+        acc
+    }
+
+    /// Public model index (rank in the live corpus) of a live slot.
+    fn rank_of(&self, slot: u32) -> usize {
+        // Live slots are ascending, so the remap is monotonic: sorting
+        // by slot then remapping equals sorting by rank.
+        self.live.binary_search(&slot).unwrap_or_else(|pos| pos)
     }
 
     fn refine(&self, qa: &PreparedQuery, target: usize) -> Option<Embedding> {
+        let &slot = self.live.get(target)?;
         let deadline = self.deadline.map(|d| Instant::now() + d);
-        match self.refine_limited(qa, target, deadline) {
+        match self.refine_limited(qa, slot as usize, deadline) {
             Refined::Hit(embedding) => Some(embedding),
             Refined::Miss | Refined::Truncated | Refined::Failed => None,
         }
     }
 
-    /// The match graph of corpus model `i`, built from its skeleton on
+    /// The match graph stored in `slot`, built from its skeleton on
     /// first use after a snapshot load.
-    fn graph(&self, i: usize) -> &MatchGraph {
-        self.graphs[i].get()
+    fn graph(&self, slot: usize) -> &MatchGraph {
+        self.graphs[slot].get()
     }
 
-    /// The content-key set of corpus model `i` (Jaccard denominator),
+    /// The content-key set of the model in `slot` (Jaccard denominator),
     /// derived from the preparation on first use after a snapshot load.
-    fn content_keys_of(&self, i: usize) -> &FastSet<Arc<str>> {
-        self.content_key_sets[i]
-            .get_or_init(|| self.corpus[i].content_keys().cloned().collect())
-    }
-
-    /// The sorted participant-key list of corpus model `i`, re-derived
-    /// from the prepared model on first use after a snapshot load.
-    fn participant_raw_of(&self, i: usize) -> &[String] {
-        self.participant_raw[i].get_or_init(|| {
-            let model = self.corpus[i].model();
-            let label_of = species_label_keys(model, &self.semantics);
-            let pset: FastSet<String> =
-                model.reactions.iter().map(|r| participant_key(&label_of, r)).collect();
-            let mut sorted: Vec<String> = pset.into_iter().collect();
-            sorted.sort_unstable();
-            sorted
+    fn content_keys_of(&self, slot: usize) -> &FastSet<Arc<str>> {
+        self.content_key_sets[slot].get_or_init(|| match &self.slots[slot] {
+            Some(p) => p.content_keys().cloned().collect(),
+            None => FastSet::default(),
         })
     }
 
-    /// The participant-key set of corpus model `i`, derived from the
+    /// The sorted participant-key list of the model in `slot`, re-derived
+    /// from the prepared model on first use after a snapshot load.
+    fn participant_raw_of(&self, slot: usize) -> &[Arc<str>] {
+        self.participant_raw[slot].get_or_init(|| match &self.slots[slot] {
+            Some(p) => {
+                let model = p.model();
+                let label_of = species_label_keys(model, &self.semantics);
+                let pset: FastSet<Arc<str>> = model
+                    .reactions
+                    .iter()
+                    .map(|r| Arc::<str>::from(participant_key(&label_of, r).as_str()))
+                    .collect();
+                let mut sorted: Vec<Arc<str>> = pset.into_iter().collect();
+                sorted.sort_unstable();
+                sorted
+            }
+            None => Vec::new(),
+        })
+    }
+
+    /// The participant-key set of the model in `slot`, derived from the
     /// sorted key list on first use after a snapshot load.
-    fn participants_of(&self, i: usize) -> &FastSet<String> {
-        self.participant_sets[i]
-            .get_or_init(|| self.participant_raw_of(i).iter().cloned().collect())
+    fn participants_of(&self, slot: usize) -> &FastSet<Arc<str>> {
+        self.participant_sets[slot]
+            .get_or_init(|| self.participant_raw_of(slot).iter().cloned().collect())
     }
 
     fn refine_limited(
         &self,
         qa: &PreparedQuery,
-        target: usize,
+        slot: usize,
         deadline: Option<Instant>,
     ) -> Refined {
-        let tg = self.graph(target);
+        // Dead slots never reach refinement (candidates are masked);
+        // degrade to a miss rather than panicking if one ever did.
+        let Some(prepared) = &self.slots[slot] else {
+            return Refined::Miss;
+        };
+        let tg = self.graph(slot);
         let limits = SearchLimits { budget: self.budget, deadline };
         let mapping = match find_embedding_limited(&qa.graph, tg, limits) {
             SearchOutcome::Found(mapping) => mapping,
             SearchOutcome::NotFound => return Refined::Miss,
             SearchOutcome::BudgetExhausted => return Refined::Truncated,
         };
-        let target_model = self.corpus[target].model();
+        let target_model = prepared.model();
         let species = mapping
             .iter()
             .enumerate()
@@ -735,17 +1298,20 @@ impl MatchIndex {
         Refined::Hit(Embedding { species, reactions })
     }
 
-    /// Exact match against one corpus model: the witnessing embedding, or
-    /// `None` when the query does not embed (or the budget ran out).
+    /// Exact match against one live corpus model: the witnessing
+    /// embedding, or `None` when the query does not embed (or the budget
+    /// ran out, or `target` is out of range).
     pub fn query_model(&self, query: &Model, target: usize) -> Option<Embedding> {
         self.refine(&self.prepare_query(query), target)
     }
 
-    /// Search the whole corpus: candidate generation, parallel VF2
-    /// refinement of the candidates (thread-per-shard via
-    /// [`BatchComposer::map_corpus`]), and — when no model embeds the
-    /// query exactly — ranked approximate matches. Deterministic for a
-    /// given index and query, independent of thread count.
+    /// Search the whole corpus: candidate generation and VF2 refinement
+    /// scattered shard-per-worker over the [`BatchComposer`]'s shared
+    /// [`WorkerPool`](sbml_compose::pool::WorkerPool), then a
+    /// rank-stable gather — exact hits in corpus order; when no model
+    /// embeds the query, the per-shard score lists merge into the global
+    /// ranked top-k. Deterministic for a given index and query,
+    /// independent of thread and shard count.
     ///
     /// Refinement faults never abort the query: a candidate whose search
     /// exhausts [`MatchIndex::with_budget`] /
@@ -759,10 +1325,105 @@ impl MatchIndex {
 
     /// [`MatchIndex::query_corpus`] over an already-prepared query.
     pub fn query_corpus_prepared(&self, qa: &PreparedQuery) -> CorpusMatches {
-        let candidates = self.candidates_prepared(qa);
         // One shared deadline for the whole refinement stage, not one per
-        // candidate — [`MatchIndex::with_deadline_ms`] bounds the query.
+        // candidate or shard — [`MatchIndex::with_deadline_ms`] bounds
+        // the query.
         let deadline = self.deadline.map(|d| Instant::now() + d);
+        let answers = self.scatter(|shard| self.query_shard(shard, qa, deadline));
+        let mut exact: Vec<(u32, Embedding)> = Vec::new();
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut truncated: Vec<u32> = Vec::new();
+        let mut failed: Vec<u32> = Vec::new();
+        for answer in answers {
+            exact.extend(answer.exact);
+            candidates.extend(answer.candidates);
+            truncated.extend(answer.truncated);
+            failed.extend(answer.failed);
+        }
+        // Gather: slots interleave across shards; one sort restores
+        // corpus order, and the slot→rank remap is monotonic, so the
+        // result is exactly what a single-shard index reports.
+        exact.sort_by_key(|&(slot, _)| slot);
+        candidates.sort_unstable();
+        truncated.sort_unstable();
+        failed.sort_unstable();
+        let approximate = if exact.is_empty() {
+            let mut hits: Vec<ApproxHit> =
+                self.scatter(|shard| self.rank_shard(shard, qa)).into_iter().flatten().collect();
+            // Rank-stable top-k merge: score descending, slot (== rank
+            // order) ascending on ties — the same total order the
+            // single-shard ranking sorts by.
+            hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.model.cmp(&b.model)));
+            hits.truncate(self.top_k);
+            for hit in &mut hits {
+                hit.model = self.rank_of(hit.model as u32);
+            }
+            hits
+        } else {
+            Vec::new()
+        };
+        CorpusMatches {
+            exact: exact
+                .into_iter()
+                .map(|(slot, embedding)| CorpusHit { model: self.rank_of(slot), embedding })
+                .collect(),
+            approximate,
+            candidates: candidates.into_iter().map(|s| self.rank_of(s)).collect(),
+            truncated: truncated.into_iter().map(|s| self.rank_of(s)).collect(),
+            failed: failed.into_iter().map(|s| self.rank_of(s)).collect(),
+        }
+    }
+
+    /// Run `f` once per shard, fanned out one-shard-per-worker on the
+    /// batch's shared pool. A single shard runs inline on the caller —
+    /// the same code path, no pool touched. Results come back in shard
+    /// order.
+    fn scatter<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&IndexShard) -> R + Sync,
+    {
+        if self.shards.len() <= 1 {
+            return self.shards.iter().map(&f).collect();
+        }
+        let mut cells: Vec<Option<R>> = Vec::new();
+        cells.resize_with(self.shards.len(), || None);
+        {
+            let f = &f;
+            let (head, tail) = cells.split_at_mut(1);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = tail
+                .iter_mut()
+                .zip(&self.shards[1..])
+                .map(|(cell, shard)| {
+                    Box::new(move || {
+                        *cell = Some(f(shard));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            let head_cell = &mut head[0];
+            let head_shard = &self.shards[0];
+            self.batch.shared_pool().run_scoped(
+                || {
+                    *head_cell = Some(f(head_shard));
+                },
+                tasks,
+            );
+        }
+        cells.into_iter().flatten().collect()
+    }
+
+    /// One shard's scatter step: generate its candidates and refine each
+    /// one. Per-candidate faults are contained exactly as in the serial
+    /// path; with a single shard a large candidate set additionally fans
+    /// out per-candidate (the pre-shard parallelism), while multi-shard
+    /// runs keep refinement inside the shard's worker.
+    fn query_shard(
+        &self,
+        shard: &IndexShard,
+        qa: &PreparedQuery,
+        deadline: Option<Instant>,
+    ) -> ShardAnswer {
+        let candidates = self.shard_candidates(shard, qa);
         // A refinement that panics or overruns is contained to its own
         // candidate: unwinding is caught here, budget/deadline overrun is
         // reported by the search itself, and either way every other
@@ -770,7 +1431,7 @@ impl MatchIndex {
         let refine_one = |k: usize| -> Refined {
             catch_unwind(AssertUnwindSafe(|| {
                 guard::fail_point(Site::Query(k));
-                self.refine_limited(qa, candidates[k], deadline)
+                self.refine_limited(qa, candidates[k] as usize, deadline)
             }))
             .unwrap_or(Refined::Failed)
         };
@@ -778,89 +1439,95 @@ impl MatchIndex {
         // below the cutoff, spawning workers costs more than it overlaps.
         // Results are identical either way.
         const PARALLEL_REFINE_THRESHOLD: usize = 16;
-        let refined: Vec<Refined> =
-            if candidates.len() < PARALLEL_REFINE_THRESHOLD {
-                (0..candidates.len()).map(refine_one).collect()
-            } else {
-                let subset: Vec<Arc<PreparedModel>> =
-                    candidates.iter().map(|&i| Arc::clone(&self.corpus[i])).collect();
+        let parallel = self.shards.len() == 1 && candidates.len() >= PARALLEL_REFINE_THRESHOLD;
+        let refined: Vec<Refined> = if parallel {
+            let subset: Vec<Arc<PreparedModel>> =
+                candidates.iter().filter_map(|&s| self.slots[s as usize].clone()).collect();
+            if subset.len() == candidates.len() {
                 self.batch.map_corpus(&subset, |k, _| refine_one(k))
-            };
-        let mut exact = Vec::new();
-        let mut truncated = Vec::new();
-        let mut failed = Vec::new();
-        for (&model, outcome) in candidates.iter().zip(refined) {
+            } else {
+                (0..candidates.len()).map(refine_one).collect()
+            }
+        } else {
+            (0..candidates.len()).map(refine_one).collect()
+        };
+        let mut answer = ShardAnswer { candidates: Vec::new(), ..ShardAnswer::default() };
+        for (&slot, outcome) in candidates.iter().zip(refined) {
             match outcome {
-                Refined::Hit(embedding) => exact.push(CorpusHit { model, embedding }),
+                Refined::Hit(embedding) => answer.exact.push((slot, embedding)),
                 Refined::Miss => {}
-                Refined::Truncated => truncated.push(model),
-                Refined::Failed => failed.push(model),
+                Refined::Truncated => answer.truncated.push(slot),
+                Refined::Failed => answer.failed.push(slot),
             }
         }
-        let approximate =
-            if exact.is_empty() { self.rank_approximate(qa) } else { Vec::new() };
-        CorpusMatches { exact, approximate, candidates, truncated, failed }
+        answer.candidates = candidates;
+        answer
     }
 
-    /// Reference scan: run the VF2 refiner against **every** corpus model
-    /// with no candidate pruning, returning the models the query embeds
-    /// in. [`MatchIndex::query_corpus`]'s exact hit set equals this by
-    /// construction (property-tested); the `corpus_match` bench gates the
-    /// speedup of the indexed path over this naïve one.
+    /// Reference scan: run the VF2 refiner against **every** live corpus
+    /// model with no candidate pruning, returning the models the query
+    /// embeds in. [`MatchIndex::query_corpus`]'s exact hit set equals
+    /// this by construction (property-tested); the `corpus_match` bench
+    /// gates the speedup of the indexed path over this naïve one.
     pub fn naive_hits(&self, query: &Model) -> Vec<usize> {
         self.naive_hits_prepared(&self.prepare_query(query))
     }
 
     /// [`MatchIndex::naive_hits`] over an already-prepared query.
     pub fn naive_hits_prepared(&self, qa: &PreparedQuery) -> Vec<usize> {
-        (0..self.corpus.len())
-            .filter(|&i| {
-                matches!(find_embedding(&qa.graph, self.graph(i), self.budget), SearchOutcome::Found(_))
+        (0..self.live.len())
+            .filter(|&rank| {
+                let slot = self.live[rank] as usize;
+                matches!(
+                    find_embedding(&qa.graph, self.graph(slot), self.budget),
+                    SearchOutcome::Found(_)
+                )
             })
             .collect()
     }
 
-    /// Rank near-misses: every model sharing at least one node, edge or
-    /// participant posting with the query, scored by content-key Jaccard
-    /// plus mapped fraction.
-    fn rank_approximate(&self, qa: &PreparedQuery) -> Vec<ApproxHit> {
+    /// One shard's ranking step: every live model of the shard sharing
+    /// at least one node, edge or participant posting with the query,
+    /// scored by content-key Jaccard plus mapped fraction. Hit `model`
+    /// fields are slots; the gather remaps them.
+    fn rank_shard(&self, shard: &IndexShard, qa: &PreparedQuery) -> Vec<ApproxHit> {
         let mut pool: Vec<u32> = Vec::new();
         for key in &qa.node_keys {
-            if let Some(list) = self.node_postings.get(key.as_ref()) {
+            if let Some(list) = shard.node_postings.get(key.as_ref()) {
                 pool.extend_from_slice(list);
             }
         }
         for key in &qa.edge_keys {
-            if let Some(list) = self.edge_postings.get(key.as_ref()) {
+            if let Some(list) = shard.edge_postings.get(key.as_ref()) {
                 pool.extend_from_slice(list);
             }
         }
         for key in &qa.participant_keys {
-            if let Some(list) = self.participant_postings.get(key.as_str()) {
+            if let Some(list) = shard.participant_postings.get(key.as_ref()) {
                 pool.extend_from_slice(list);
             }
         }
         pool.sort_unstable();
         pool.dedup();
+        pool.retain(|&s| !shard.is_dead(s));
 
-        let mut hits: Vec<ApproxHit> = pool
-            .into_iter()
-            .map(|m| {
-                let model = m as usize;
-                let jaccard = self.jaccard(&qa.content_keys, model);
-                let mapped_fraction = self.mapped_fraction(qa, model);
-                ApproxHit { model, score: (jaccard + mapped_fraction) / 2.0, jaccard, mapped_fraction }
+        pool.into_iter()
+            .map(|s| {
+                let slot = s as usize;
+                let jaccard = self.jaccard(&qa.content_keys, slot);
+                let mapped_fraction = self.mapped_fraction(qa, slot);
+                ApproxHit {
+                    model: slot,
+                    score: (jaccard + mapped_fraction) / 2.0,
+                    jaccard,
+                    mapped_fraction,
+                }
             })
-            .collect();
-        hits.sort_by(|a, b| {
-            b.score.total_cmp(&a.score).then_with(|| a.model.cmp(&b.model))
-        });
-        hits.truncate(self.top_k);
-        hits
+            .collect()
     }
 
-    fn jaccard(&self, query_keys: &FastSet<Arc<str>>, model: usize) -> f64 {
-        let model_keys = self.content_keys_of(model);
+    fn jaccard(&self, query_keys: &FastSet<Arc<str>>, slot: usize) -> f64 {
+        let model_keys = self.content_keys_of(slot);
         if query_keys.is_empty() && model_keys.is_empty() {
             return 1.0;
         }
@@ -869,8 +1536,8 @@ impl MatchIndex {
         shared as f64 / union as f64
     }
 
-    fn mapped_fraction(&self, qa: &PreparedQuery, model: usize) -> f64 {
-        let graph = self.graph(model);
+    fn mapped_fraction(&self, qa: &PreparedQuery, slot: usize) -> f64 {
+        let graph = self.graph(slot);
         let total = qa.graph.node_count() + qa.graph.edge_count();
         if total == 0 {
             return 1.0;
@@ -884,7 +1551,8 @@ impl MatchIndex {
         for e in 0..qa.graph.edge_count() as u32 {
             let edge = qa.graph.edge(e);
             let pkey = &qa.participant_keys[qa.graph.reaction_of(e)];
-            if graph.has_edge_key(&edge.key) || self.participants_of(model).contains(pkey) {
+            if graph.has_edge_key(&edge.key) || self.participants_of(slot).contains(pkey.as_ref())
+            {
                 mapped += 1;
             }
         }
@@ -933,9 +1601,12 @@ mod tests {
         vec![glyco, tca, super_glyco]
     }
 
+    fn prepared_corpus(options: &ComposeOptions) -> Vec<Arc<PreparedModel>> {
+        BatchComposer::new(Composer::new(options.clone())).prepare_corpus(&corpus_models())
+    }
+
     fn index(options: &ComposeOptions) -> MatchIndex {
-        let batch = BatchComposer::new(Composer::new(options.clone()));
-        MatchIndex::build(&batch.prepare_corpus(&corpus_models()), options)
+        MatchIndex::build(&prepared_corpus(options), options)
     }
 
     fn fragment() -> Model {
@@ -946,6 +1617,32 @@ mod tests {
             .parameter("k1", 0.4)
             .reaction("hex", &["glc"], &["G6P"], "k1*glc")
             .build()
+    }
+
+    fn near_miss_query() -> Model {
+        // G6P -> F6P exists, but with kinetics no corpus model carries.
+        ModelBuilder::new("near")
+            .compartment("cell", 1.0)
+            .species("G6P", 0.0)
+            .species("F6P", 0.0)
+            .parameter("vmax", 2.0)
+            .parameter("km", 3.0)
+            .reaction("iso", &["G6P"], &["F6P"], "vmax*G6P/(km+G6P)")
+            .build()
+    }
+
+    /// Both indexes answer the standard query battery identically —
+    /// the incremental≡rebuild / sharded≡single-shard invariant.
+    fn assert_same_answers(a: &MatchIndex, b: &MatchIndex, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: live corpus size");
+        for query in [fragment(), Model::new("empty"), near_miss_query()] {
+            assert_eq!(
+                a.query_corpus(&query),
+                b.query_corpus(&query),
+                "{what}: query {:?}",
+                query.id,
+            );
+        }
     }
 
     #[test]
@@ -981,16 +1678,7 @@ mod tests {
     fn miss_returns_ranked_approximates() {
         let options = ComposeOptions::default();
         let idx = index(&options);
-        // G6P -> F6P exists, but with kinetics no corpus model carries.
-        let near = ModelBuilder::new("near")
-            .compartment("cell", 1.0)
-            .species("G6P", 0.0)
-            .species("F6P", 0.0)
-            .parameter("vmax", 2.0)
-            .parameter("km", 3.0)
-            .reaction("iso", &["G6P"], &["F6P"], "vmax*G6P/(km+G6P)")
-            .build();
-        let result = idx.query_corpus(&near);
+        let result = idx.query_corpus(&near_miss_query());
         assert!(result.exact.is_empty());
         assert!(!result.approximate.is_empty(), "participant overlap must rank");
         let best = &result.approximate[0];
@@ -1097,11 +1785,188 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "different options")]
+    fn insert_fingerprint_mismatch_rejected() {
+        let heavy = ComposeOptions::default();
+        let batch = BatchComposer::new(Composer::new(heavy.clone()));
+        let prepared = batch.prepare_corpus(&corpus_models());
+        let light = ComposeOptions::light();
+        let mut idx = MatchIndex::build(&[], &light);
+        let _ = idx.insert(Arc::clone(&prepared[0]));
+    }
+
+    #[test]
+    fn incremental_growth_equals_fresh_build() {
+        for options in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let corpus = prepared_corpus(&options);
+            let mut grown = MatchIndex::build(&[], &options);
+            for (i, p) in corpus.iter().enumerate() {
+                assert_eq!(grown.insert(Arc::clone(p)), i, "insert returns the new rank");
+            }
+            let fresh = MatchIndex::build(&corpus, &options);
+            assert_same_answers(&grown, &fresh, "grown vs fresh");
+            assert_eq!(grown.posting_stats(), fresh.posting_stats());
+        }
+    }
+
+    #[test]
+    fn removal_equals_fresh_build_of_remaining() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build(&corpus, &options);
+        let removed = idx.remove(1);
+        assert!(
+            removed.is_some_and(|p| p.model().id == "tca"),
+            "remove returns the evicted preparation",
+        );
+        assert_eq!(idx.tombstoned_len(), 1);
+        assert!(idx.remove(5).is_none(), "out-of-range removal is a no-op");
+        let remaining = vec![Arc::clone(&corpus[0]), Arc::clone(&corpus[2])];
+        let fresh = MatchIndex::build(&remaining, &options);
+        assert_same_answers(&idx, &fresh, "after remove(1)");
+    }
+
+    #[test]
+    fn reinserting_a_removed_model_matches_fresh_order() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build(&corpus, &options);
+        let Some(glyco) = idx.remove(0) else {
+            unreachable!("model 0 exists")
+        };
+        assert_eq!(idx.insert(glyco), 2, "re-inserted model goes to the end");
+        // Live order is now tca, super, glyco — the fragment hits super
+        // (rank 1) and glyco (rank 2).
+        let hits: Vec<usize> =
+            idx.query_corpus(&fragment()).exact.iter().map(|h| h.model).collect();
+        assert_eq!(hits, vec![1, 2]);
+        let reordered =
+            vec![Arc::clone(&corpus[1]), Arc::clone(&corpus[2]), Arc::clone(&corpus[0])];
+        let fresh = MatchIndex::build(&reordered, &options);
+        assert_same_answers(&idx, &fresh, "after remove(0) + re-insert");
+    }
+
+    #[test]
+    fn removing_every_model_leaves_empty_answers() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build(&corpus, &options);
+        while !idx.is_empty() {
+            assert!(idx.remove(0).is_some());
+        }
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.tombstoned_len(), 3);
+        for query in [fragment(), Model::new("empty"), near_miss_query()] {
+            let result = idx.query_corpus(&query);
+            assert!(result.exact.is_empty());
+            assert!(result.approximate.is_empty());
+            assert!(result.candidates.is_empty());
+        }
+        // The emptied index is still usable.
+        let rank = idx.insert(Arc::clone(&corpus[0]));
+        assert_eq!(rank, 0);
+        let hits: Vec<usize> =
+            idx.query_corpus(&fragment()).exact.iter().map(|h| h.model).collect();
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn empty_corpus_build_answers_empty() {
+        let options = ComposeOptions::default();
+        let idx = MatchIndex::build(&[], &options);
+        assert!(idx.is_empty());
+        assert_eq!(idx.posting_stats(), (0, 0, 0));
+        for query in [fragment(), Model::new("empty")] {
+            let result = idx.query_corpus(&query);
+            assert_eq!(result, CorpusMatches {
+                exact: Vec::new(),
+                approximate: Vec::new(),
+                candidates: Vec::new(),
+                truncated: Vec::new(),
+                failed: Vec::new(),
+            });
+        }
+    }
+
+    #[test]
+    fn shard_counts_never_change_results() {
+        for options in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
+        {
+            let corpus = prepared_corpus(&options);
+            let reference = MatchIndex::build(&corpus, &options);
+            // 8 shards over 3 models: every shard holds at most one
+            // model, most hold none.
+            for shards in [1usize, 2, 3, 8] {
+                let built = MatchIndex::build_sharded(&corpus, &options, 0, shards);
+                assert_eq!(built.shard_count(), shards);
+                assert_same_answers(&built, &reference, "build_sharded");
+                let resharded = MatchIndex::build(&corpus, &options).with_shards(shards);
+                assert_same_answers(&resharded, &reference, "with_shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_incremental_mutation_equals_fresh() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build(&[], &options).with_shards(3);
+        for p in &corpus {
+            idx.insert(Arc::clone(p));
+        }
+        assert!(idx.remove(1).is_some());
+        let remaining = vec![Arc::clone(&corpus[0]), Arc::clone(&corpus[2])];
+        let fresh = MatchIndex::build(&remaining, &options);
+        assert_same_answers(&idx, &fresh, "sharded grown vs fresh single-shard");
+    }
+
+    #[test]
+    fn eager_compaction_preserves_answers() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build(&corpus, &options).with_compaction_threshold(0.0);
+        let before = idx.generation();
+        assert!(idx.remove(0).is_some());
+        assert!(
+            idx.shards().iter().all(|s| s.pending_tombstones() == 0),
+            "threshold 0.0 compacts on every removal",
+        );
+        assert!(idx.generation() > before, "mutations bump the generation");
+        let remaining = vec![Arc::clone(&corpus[1]), Arc::clone(&corpus[2])];
+        let fresh = MatchIndex::build(&remaining, &options);
+        assert_same_answers(&idx, &fresh, "compacted vs fresh");
+        // Manual compaction with nothing pending is a no-op.
+        let generation = idx.generation();
+        idx.compact();
+        assert_eq!(idx.generation(), generation);
+    }
+
+    #[test]
+    fn shard_stats_reflect_membership() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build_sharded(&corpus, &options, 0, 2);
+        // Slots 0, 2 land in shard 0; slot 1 in shard 1.
+        assert_eq!(idx.shards()[0].live_models(), 2);
+        assert_eq!(idx.shards()[1].live_models(), 1);
+        assert!(idx.remove(1).is_some(), "tca lives in slot 1");
+        let shard = &idx.shards()[1];
+        assert_eq!(shard.live_models(), 0);
+        assert_eq!(shard.tombstoned_models(), 1);
+        // Its tombstone fraction hit 1.0 > the default threshold, so the
+        // shard compacted immediately.
+        assert_eq!(shard.pending_tombstones(), 0);
+        assert_eq!(shard.tombstone_fraction(), 0.0);
+        assert_eq!(shard.posting_stats(), (0, 0, 0));
+        assert_eq!(idx.shards()[0].live_models(), 2, "other shard untouched");
+    }
+
+    #[test]
     fn raw_round_trip_preserves_query_results() {
         for options in [ComposeOptions::heavy(), ComposeOptions::light(), ComposeOptions::none()]
         {
-            let batch = BatchComposer::new(Composer::new(options.clone()));
-            let corpus = batch.prepare_corpus(&corpus_models());
+            let corpus = prepared_corpus(&options);
             let idx = MatchIndex::build(&corpus, &options);
             let Ok(rebuilt) = MatchIndex::from_raw(idx.to_raw(), &corpus, &options, 0) else {
                 unreachable!("skeleton extracted from a live index is consistent")
@@ -1114,18 +1979,48 @@ mod tests {
     }
 
     #[test]
+    fn raw_round_trip_preserves_mutated_sharded_index() {
+        let options = ComposeOptions::default();
+        let corpus = prepared_corpus(&options);
+        let mut idx = MatchIndex::build_sharded(&corpus, &options, 0, 2);
+        assert!(idx.remove(1).is_some());
+        let live = idx.corpus().to_vec();
+        let raw = idx.to_raw();
+        let Ok(rebuilt) = MatchIndex::from_raw(raw, &live, &options, 0) else {
+            unreachable!("skeleton extracted from a mutated index is consistent")
+        };
+        assert_eq!(rebuilt.generation(), idx.generation());
+        assert_eq!(rebuilt.shard_count(), 2);
+        assert_eq!(rebuilt.tombstoned_len(), 1);
+        for (a, b) in rebuilt.shards().iter().zip(idx.shards()) {
+            assert_eq!(a.generation(), b.generation());
+            assert_eq!(a.live_models(), b.live_models());
+            assert_eq!(a.tombstoned_models(), b.tombstoned_models());
+        }
+        assert_same_answers(&rebuilt, &idx, "raw round trip of mutated index");
+    }
+
+    #[test]
     fn inconsistent_raw_index_is_rejected() {
         let options = ComposeOptions::default();
-        let batch = BatchComposer::new(Composer::new(options.clone()));
-        let corpus = batch.prepare_corpus(&corpus_models());
+        let corpus = prepared_corpus(&options);
         let idx = MatchIndex::build(&corpus, &options);
         let mut raw = idx.to_raw();
         raw.graphs.pop();
         assert!(MatchIndex::from_raw(raw, &corpus, &options, 0).is_err());
         let mut raw = idx.to_raw();
-        if let Some((_, list)) = raw.node_postings.first_mut() {
-            list.push(1000); // model id beyond the corpus
+        if let Some((_, list)) = raw.shards[0].node_postings.first_mut() {
+            list.push(1000); // slot id beyond the universe
         }
+        assert!(MatchIndex::from_raw(raw, &corpus, &options, 0).is_err());
+        let mut raw = idx.to_raw();
+        raw.shards[0].members.push(999);
+        assert!(
+            MatchIndex::from_raw(raw, &corpus, &options, 0).is_err(),
+            "a member outside the dense slot universe must be rejected",
+        );
+        let mut raw = idx.to_raw();
+        raw.shards.clear();
         assert!(MatchIndex::from_raw(raw, &corpus, &options, 0).is_err());
         let raw = idx.to_raw();
         assert!(

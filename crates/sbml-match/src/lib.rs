@@ -27,6 +27,17 @@
 //! **candidate generation → VF2 refinement → ranking**; see the
 //! [`index`] module docs for the posting-list layout.
 //!
+//! The index is *mutable in place* — [`MatchIndex::insert`] appends one
+//! model's postings without a rebuild, [`MatchIndex::remove`] tombstones
+//! a model behind a deletion bitmap (compacted once the tombstone
+//! fraction crosses [`MatchIndex::with_compaction_threshold`]) — and
+//! *sharded*: [`MatchIndex::with_shards`] partitions the posting lists
+//! into [`IndexShard`]s whose candidate generation and refinement fan
+//! out shard-per-worker and merge by a rank-stable gather. Both are
+//! answer-preserving: a mutated or sharded index is property-tested to
+//! answer every query identically to a fresh single-shard build over the
+//! same live models.
+//!
 //! # Querying a corpus
 //!
 //! ```
@@ -81,8 +92,8 @@ pub mod vf2;
 
 pub use graph::{MatchGraph, RawGraph};
 pub use index::{
-    ApproxHit, CorpusHit, CorpusMatches, Embedding, MatchIndex, PreparedQuery, RawIndex,
-    DEFAULT_BUDGET,
+    ApproxHit, CorpusHit, CorpusMatches, Embedding, IndexShard, MatchIndex, PreparedQuery,
+    RawIndex, RawShard, DEFAULT_BUDGET, DEFAULT_COMPACTION_THRESHOLD,
 };
 pub use semantics::MatchSemantics;
 pub use vf2::{find_embedding, SearchOutcome};

@@ -174,6 +174,67 @@ proptest! {
             prop_assert_eq!(exact, naive);
         }
     }
+
+    /// The incremental/sharded invariant: an index grown by a random
+    /// interleaving of inserts and removals, at any shard count and any
+    /// compaction threshold, answers every query bit-identically to a
+    /// fresh single-shard [`MatchIndex::build`] over the surviving models
+    /// in insertion order — at every semantics level.
+    #[test]
+    fn mutated_sharded_index_equals_fresh_build(
+        pool in proptest::collection::vec(model_strategy(), 2..7),
+        // Interleaved operations: 0..8 inserts pool model op (mod len),
+        // 8 removes the oldest surviving model.
+        ops in proptest::collection::vec(0usize..9, 1..12),
+        shards in 1usize..8,
+        threshold in 0u64..3,
+        query in model_strategy(),
+        fragment_seed in 0usize..8,
+    ) {
+        let threshold = [0.0, 0.3, 1.0][threshold as usize];
+        for options in levels() {
+            let batch = BatchComposer::new(Composer::new(options.clone()));
+            let prepared = batch.prepare_corpus(&pool);
+            let mut grown = MatchIndex::build(&[], &options)
+                .with_shards(shards)
+                .with_compaction_threshold(threshold);
+            // The live corpus a fresh build would be given, maintained
+            // alongside the mutations.
+            let mut live: Vec<Arc<sbml_compose::PreparedModel>> = Vec::new();
+            for &op in &ops {
+                if op < 8 {
+                    let p = Arc::clone(&prepared[op % prepared.len()]);
+                    live.push(Arc::clone(&p));
+                    grown.insert(p);
+                } else if !live.is_empty() {
+                    live.remove(0);
+                    prop_assert!(grown.remove(0).is_some());
+                }
+            }
+            let fresh = MatchIndex::build(&live, &options);
+            prop_assert_eq!(grown.len(), fresh.len());
+            let fragment = if live.is_empty() {
+                query.clone()
+            } else {
+                biomodels_corpus::query_fragment(
+                    live[fragment_seed % live.len()].model(),
+                    fragment_seed,
+                    1,
+                )
+            };
+            for q in [&query, &fragment, &Model::new("empty")] {
+                prop_assert_eq!(
+                    grown.query_corpus(q),
+                    fresh.query_corpus(q),
+                    "shards={} threshold={} semantics={:?} query={:?}",
+                    shards,
+                    threshold,
+                    options.semantics,
+                    q.id
+                );
+            }
+        }
+    }
 }
 
 /// The fig8 corpus in miniature: fragments of deterministic corpus models

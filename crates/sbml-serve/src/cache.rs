@@ -37,6 +37,12 @@ impl QueryCache {
         self.map.is_empty()
     }
 
+    /// Drop every entry — called after a corpus mutation (`UPSERT` /
+    /// `REMOVE`), when any cached answer may be stale.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Look up a response, refreshing its recency on a hit.
     pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
         self.tick += 1;
@@ -97,6 +103,16 @@ mod tests {
         assert!(cache.get("b").is_none(), "LRU entry evicted");
         assert!(cache.get("c").is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let mut cache = QueryCache::new(4);
+        cache.put("a".into(), payload("1"));
+        cache.put("b".into(), payload("2"));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
     }
 
     #[test]

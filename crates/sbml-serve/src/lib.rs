@@ -20,8 +20,10 @@
 //! * **[`server`]** — `sbmlcompose serve`: a daemon on
 //!   `std::net::TcpListener` (the workspace is offline — no HTTP
 //!   crates) speaking a length-prefixed frame protocol
-//!   ([`protocol`]: `MATCH`, `QUERY`, `COMPOSE`, `STATS`, `SHUTDOWN`)
-//!   from a bounded worker pool. The snapshot stays hot behind `Arc`s;
+//!   ([`protocol`]: `MATCH`, `QUERY`, `COMPOSE`, `UPSERT`, `REMOVE`,
+//!   `STATS`, `SHUTDOWN`) from a bounded worker pool. The index stays
+//!   hot behind an `RwLock` and mutates *in place* — `UPSERT` appends
+//!   postings, `REMOVE` tombstones — with no rebuild and no restart;
 //!   each request runs under a [`sbml_compose::Budget`] so a hostile
 //!   query gets a structured `ERR budget` frame while the daemon keeps
 //!   serving; answers are cached by canonical content keys with LRU
@@ -57,7 +59,7 @@
 //! let index = MatchIndex::build(&corpus, &options);
 //!
 //! // Persist, then reload without re-preparing anything.
-//! let bytes = Snapshot::encode(&corpus, &index, &options);
+//! let bytes = Snapshot::encode(&index, &options);
 //! let loaded = sbml_serve::Snapshot::load_bytes(&bytes, &options, 0).unwrap();
 //! assert_eq!(loaded.corpus.len(), 1);
 //! assert_eq!(loaded.index.posting_stats(), index.posting_stats());
@@ -79,5 +81,6 @@ pub use protocol::{read_frame, write_frame, ErrKind, Request, Response, MAX_FRAM
 pub use report::format_matches;
 pub use server::{Server, ServerConfig};
 pub use snapshot::{
-    preset_options, LoadedSnapshot, Snapshot, SnapshotError, SnapshotInfo, FORMAT_VERSION, MAGIC,
+    preset_options, LoadedSnapshot, Snapshot, SnapshotError, SnapshotInfo, SnapshotShardInfo,
+    FORMAT_VERSION, MAGIC,
 };

@@ -20,6 +20,10 @@ pub struct Metrics {
     pub query_requests: AtomicU64,
     /// `COMPOSE` requests served.
     pub compose_requests: AtomicU64,
+    /// `UPSERT` requests served (index mutations).
+    pub upsert_requests: AtomicU64,
+    /// `REMOVE` requests served (index mutations).
+    pub remove_requests: AtomicU64,
     /// `STATS` requests served.
     pub stats_requests: AtomicU64,
     /// Responses answered straight from the cache.
@@ -44,8 +48,8 @@ struct LatencyRing {
 pub struct MetricsReport {
     /// Total requests decoded.
     pub requests: u64,
-    /// Per-verb counts: match, query, compose, stats.
-    pub by_verb: [u64; 4],
+    /// Per-verb counts: match, query, compose, upsert, remove, stats.
+    pub by_verb: [u64; 6],
     /// Cache hits.
     pub cache_hits: u64,
     /// Cache misses.
@@ -100,6 +104,8 @@ impl Metrics {
                 self.match_requests.load(Ordering::Relaxed),
                 self.query_requests.load(Ordering::Relaxed),
                 self.compose_requests.load(Ordering::Relaxed),
+                self.upsert_requests.load(Ordering::Relaxed),
+                self.remove_requests.load(Ordering::Relaxed),
                 self.stats_requests.load(Ordering::Relaxed),
             ],
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -122,7 +128,7 @@ impl MetricsReport {
     /// line, machine- and human-readable.
     pub fn render(&self, cache_entries: usize, models: usize, threads: usize) -> String {
         format!(
-            "requests {}\nmatch {}\nquery {}\ncompose {}\nstats {}\n\
+            "requests {}\nmatch {}\nquery {}\ncompose {}\nupsert {}\nremove {}\nstats {}\n\
              cache_hits {}\ncache_misses {}\ncache_entries {cache_entries}\n\
              budget_cuts {}\nerrors {}\np50_us {}\np99_us {}\n\
              models {models}\nthreads {threads}\n",
@@ -131,6 +137,8 @@ impl MetricsReport {
             self.by_verb[1],
             self.by_verb[2],
             self.by_verb[3],
+            self.by_verb[4],
+            self.by_verb[5],
             self.cache_hits,
             self.cache_misses,
             self.budget_cuts,

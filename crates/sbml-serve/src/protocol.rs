@@ -4,8 +4,8 @@
 //! Every message — request or response — travels as one **frame**: a
 //! `u32` little-endian byte length followed by that many payload bytes
 //! ([`write_frame`] / [`read_frame`]). A request payload is a verb line
-//! (`MATCH`, `QUERY`, `COMPOSE <n>`, `STATS`, `SHUTDOWN`) terminated by
-//! `\n`, followed by the verb's body; a response payload is a status
+//! (`MATCH`, `QUERY`, `COMPOSE <n>`, `UPSERT`, `REMOVE <id>`, `STATS`,
+//! `SHUTDOWN`) terminated by `\n`, followed by the verb's body; a response payload is a status
 //! line (`OK <code>` or `ERR <kind> <message>`) followed by the response
 //! body. The `<code>` of an `OK` is the exit code the equivalent
 //! one-shot CLI run would return (0 hit, 1 miss, 4 partial), so
@@ -41,6 +41,19 @@ pub enum Request {
     Compose {
         /// The models as SBML XML documents, in fold order.
         models_xml: Vec<String>,
+    },
+    /// Insert a model into the live index, replacing any live model
+    /// with the same SBML id (an in-place mutation — no rebuild, no
+    /// restart).
+    Upsert {
+        /// The model as SBML XML.
+        model_xml: String,
+    },
+    /// Tombstone a live model by SBML id; it stops answering
+    /// immediately and its postings are compacted away lazily.
+    Remove {
+        /// The SBML model id to remove.
+        model_id: String,
     },
     /// Usage metering: counters, cache statistics, latency percentiles.
     Stats,
@@ -181,6 +194,12 @@ impl Request {
                 }
                 out
             }
+            Request::Upsert { model_xml } => {
+                let mut out = b"UPSERT\n".to_vec();
+                out.extend_from_slice(model_xml.as_bytes());
+                out
+            }
+            Request::Remove { model_id } => format!("REMOVE {model_id}\n").into_bytes(),
             Request::Stats => b"STATS\n".to_vec(),
             Request::Shutdown => b"SHUTDOWN\n".to_vec(),
         }
@@ -228,6 +247,15 @@ impl Request {
                     return Err(format!("COMPOSE: {} trailing byte(s)", rest.len()));
                 }
                 Ok(Request::Compose { models_xml })
+            }
+            "UPSERT" => Ok(Request::Upsert { model_xml: body_str("UPSERT")? }),
+            "REMOVE" => {
+                let model_id =
+                    words.next().ok_or_else(|| "REMOVE needs a model id".to_owned())?;
+                if !body.is_empty() {
+                    return Err(format!("REMOVE: {} trailing byte(s)", body.len()));
+                }
+                Ok(Request::Remove { model_id: model_id.to_owned() })
             }
             "STATS" => Ok(Request::Stats),
             "SHUTDOWN" => Ok(Request::Shutdown),
@@ -281,6 +309,8 @@ mod tests {
             Request::Query { query_xml: "<sbml>\nmultiline\n</sbml>".into() },
             Request::Compose { models_xml: vec!["<a/>".into(), "<b/>".into()] },
             Request::Compose { models_xml: vec![] },
+            Request::Upsert { model_xml: "<sbml>\nnew model\n</sbml>".into() },
+            Request::Remove { model_id: "BIOMD0000000042".into() },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -330,6 +360,8 @@ mod tests {
         assert!(Request::decode(b"NONSENSE\n").is_err(), "unknown verb");
         assert!(Request::decode(b"COMPOSE\n").is_err(), "missing count");
         assert!(Request::decode(b"COMPOSE 2\n\x05\x00\x00\x00<a/>").is_err(), "short doc");
+        assert!(Request::decode(b"REMOVE\n").is_err(), "missing model id");
+        assert!(Request::decode(b"REMOVE m1\ntrailing").is_err(), "REMOVE takes no body");
         assert!(Response::decode(b"WAT 0\n").is_err(), "bad status line");
         let newline_msg = Response::Err {
             kind: ErrKind::Parse,

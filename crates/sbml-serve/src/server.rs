@@ -16,8 +16,10 @@
 //!        → Response::encode → frame write → cache fill → metrics
 //! ```
 //!
-//! Every worker shares one `ServeState`: the corpus and index are
-//! immutable after bind (queries need `&self` only), the cache sits
+//! Every worker shares one `ServeState`: the index (which owns the live
+//! corpus) sits behind an `RwLock` — queries take read locks and run
+//! concurrently; `UPSERT`/`REMOVE` take the write lock, mutate the index
+//! in place (no rebuild) and clear the response cache; the cache sits
 //! behind a `Mutex`, the counters are atomics. `SHUTDOWN` flips a flag
 //! and pokes the listener with a loopback connection so the accept loop
 //! observes it.
@@ -34,10 +36,12 @@
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 
-use sbml_compose::{Budget, ComposeOptions, CompositionSession, PreparedModel, WorkerPool};
+use sbml_compose::{
+    BatchComposer, Budget, ComposeOptions, Composer, CompositionSession, WorkerPool,
+};
 use sbml_match::MatchIndex;
 use sbml_model::{parse_sbml, write_sbml, Model};
 
@@ -78,13 +82,26 @@ impl Default for ServerConfig {
     }
 }
 
+/// The mutable heart of the daemon: the index (owner of the live
+/// corpus) plus the positional model-id labels, kept in lockstep so a
+/// result's model number maps to its id without touching the corpus.
+struct Indexed {
+    index: MatchIndex,
+    /// Model ids, positional with the index's live corpus.
+    ids: Vec<String>,
+}
+
+impl Indexed {
+    fn new(index: MatchIndex) -> Indexed {
+        let ids = index.corpus().iter().map(|p| p.model().id.clone()).collect();
+        Indexed { index, ids }
+    }
+}
+
 /// Everything the workers share.
 struct ServeState {
-    corpus: Vec<Arc<PreparedModel>>,
-    index: MatchIndex,
+    indexed: RwLock<Indexed>,
     options: ComposeOptions,
-    /// Model ids, positional with the corpus — the daemon's labels.
-    ids: Vec<String>,
     cache: Mutex<QueryCache>,
     metrics: Metrics,
     config: ServerConfig,
@@ -133,11 +150,11 @@ fn cache_key(verb: &str, model: &Model, options: &ComposeOptions) -> String {
 
 impl Server {
     /// Bind the daemon to `addr` (use port 0 for an ephemeral port) over
-    /// a loaded corpus and index. The config's budget knobs are baked
-    /// into the index here — every `MATCH` runs under them.
+    /// a loaded index (which owns its live corpus). The config's budget
+    /// knobs are baked into the index here — every `MATCH` runs under
+    /// them.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        corpus: Vec<Arc<PreparedModel>>,
         index: MatchIndex,
         options: ComposeOptions,
         config: ServerConfig,
@@ -152,14 +169,11 @@ impl Server {
         if let Some(ms) = config.deadline_ms {
             index = index.with_deadline_ms(ms);
         }
-        let ids = corpus.iter().map(|p| p.model().id.clone()).collect();
         let options_pool_threads = options.pool_threads;
         let state = Arc::new(ServeState {
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             metrics: Metrics::new(),
-            ids,
-            corpus,
-            index,
+            indexed: RwLock::new(Indexed::new(index)),
             options,
             config,
             threads,
@@ -323,6 +337,24 @@ fn parse_query(xml: &str, metrics: &Metrics) -> Result<Model, Arc<[u8]>> {
     })
 }
 
+/// Read-lock the live index; a poisoned lock (a panicked mutation
+/// holding it) still yields the data — mutations are applied in one
+/// in-place call, so the state is consistent.
+fn read_indexed(state: &ServeState) -> RwLockReadGuard<'_, Indexed> {
+    state.indexed.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn write_indexed(state: &ServeState) -> RwLockWriteGuard<'_, Indexed> {
+    state.indexed.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A corpus mutation happened: every cached answer may be stale.
+fn invalidate_cache(state: &ServeState) {
+    if let Ok(mut cache) = state.cache.lock() {
+        cache.clear();
+    }
+}
+
 /// Serve one decoded request. Returns the fully encoded response
 /// payload — on a cache hit, the exact bytes of the first answer.
 fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8]> {
@@ -335,11 +367,12 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             };
             let key = cache_key("MATCH", &query, &state.options);
             with_cache(state, key, || {
-                let result = state.index.query_corpus(&query);
+                let ix = read_indexed(state);
+                let result = ix.index.query_corpus(&query);
                 if !result.truncated.is_empty() {
                     Metrics::bump(&state.metrics.budget_cuts);
                 }
-                let (code, text) = format_matches(&result, &state.ids, &state.ids);
+                let (code, text) = format_matches(&result, &ix.ids, &ix.ids);
                 Response::Ok { code, body: text.into_bytes() }
             })
         }
@@ -351,12 +384,13 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             };
             let key = cache_key("QUERY", &query, &state.options);
             with_cache(state, key, || {
-                let candidates = state.index.candidates(&query);
+                let ix = read_indexed(state);
+                let candidates = ix.index.candidates(&query);
                 let mut body =
-                    format!("candidates {}/{}\n", candidates.len(), state.corpus.len());
+                    format!("candidates {}/{}\n", candidates.len(), ix.index.len());
                 for &m in &candidates {
                     body.push_str("candidate ");
-                    body.push_str(&state.ids[m]);
+                    body.push_str(&ix.ids[m]);
                     body.push('\n');
                 }
                 let code = if candidates.is_empty() { 1 } else { 0 };
@@ -404,14 +438,73 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             let result = session.finish();
             encode(Response::Ok { code: 0, body: write_sbml(&result.model).into_bytes() })
         }
+        Request::Upsert { model_xml } => {
+            Metrics::bump(&state.metrics.upsert_requests);
+            let model = match parse_query(&model_xml, &state.metrics) {
+                Ok(model) => model,
+                Err(response) => return response,
+            };
+            // Prepare outside the write lock: canonicalisation is the
+            // expensive part, the index mutation is an append.
+            let batch = BatchComposer::new(Composer::new(state.options.clone()));
+            let prepared = batch.prepare_corpus(std::slice::from_ref(&model));
+            let Some(prepared) = prepared.into_iter().next() else {
+                Metrics::bump(&state.metrics.errors);
+                return encode(Response::Err {
+                    kind: ErrKind::Parse,
+                    message: "model did not survive preparation".into(),
+                });
+            };
+            let mut ix = write_indexed(state);
+            let replaced = ix.ids.iter().position(|id| *id == model.id);
+            if let Some(rank) = replaced {
+                ix.index.remove(rank);
+                ix.ids.remove(rank);
+            }
+            let rank = ix.index.insert(prepared);
+            ix.ids.push(model.id.clone());
+            drop(ix);
+            invalidate_cache(state);
+            let verb = if replaced.is_some() { "replaced" } else { "inserted" };
+            encode(Response::Ok {
+                code: 0,
+                body: format!("{verb} {} model {rank}\n", model.id).into_bytes(),
+            })
+        }
+        Request::Remove { model_id } => {
+            Metrics::bump(&state.metrics.remove_requests);
+            let mut ix = write_indexed(state);
+            let Some(rank) = ix.ids.iter().position(|id| *id == model_id) else {
+                return encode(Response::Ok {
+                    code: 1,
+                    body: format!("no such model {model_id}\n").into_bytes(),
+                });
+            };
+            ix.index.remove(rank);
+            ix.ids.remove(rank);
+            drop(ix);
+            invalidate_cache(state);
+            encode(Response::Ok {
+                code: 0,
+                body: format!("removed {model_id}\n").into_bytes(),
+            })
+        }
         Request::Stats => {
             Metrics::bump(&state.metrics.stats_requests);
             let cache_entries = state.cache.lock().map(|c| c.len()).unwrap_or(0);
-            let body = state.metrics.report().render(
+            let ix = read_indexed(state);
+            let mut body = state.metrics.report().render(
                 cache_entries,
-                state.corpus.len(),
+                ix.index.len(),
                 state.threads,
             );
+            body.push_str(&format!(
+                "index_generation {}\nshards {}\nlive_models {}\ntombstoned_models {}\n",
+                ix.index.generation(),
+                ix.index.shard_count(),
+                ix.index.len(),
+                ix.index.tombstoned_len(),
+            ));
             encode(Response::Ok { code: 0, body: body.into_bytes() })
         }
         Request::Shutdown => {

@@ -9,7 +9,7 @@
 //! sets, per-kind lookup indexes, graph adjacency) is *not* stored:
 //! the loaded corpus re-derives it lazily on first use.
 //!
-//! # On-disk layout (format version 1)
+//! # On-disk layout (format version 2)
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
@@ -17,15 +17,28 @@
 //! │ format version (u32 le)                             4 bytes  │
 //! │ semantics level (u8: 0 heavy, 1 light, 2 none)      1 byte   │
 //! │ options fingerprint (stable FNV-1a, u64 le)         8 bytes  │
-//! │ model count (u32 le)                                4 bytes  │
-//! │ posting counts: node / edge / participant (3×u32)  12 bytes  │
+//! │ live model count (u32 le)                           4 bytes  │
+//! │ index generation (u64 le)                           8 bytes  │
+//! │ shard count (u32 le)                                4 bytes  │
+//! │ per shard: generation u64, live u32, dead u32,               │
+//! │            node / edge / participant postings 3×u32          │
 //! │ section count (u32 le)                              4 bytes  │
 //! │ section table: (tag u8, byte length u64 le) × n              │
 //! │ section payloads, in table order                             │
-//! │   tag 0 MODELS — RawPrepared per model, sequential           │
-//! │   tag 1 INDEX  — RawIndex (graphs + posting lists)           │
+//! │   tag 0 MODELS — RawPrepared per live model, sequential      │
+//! │   tag 2 LAYOUT — live slot list + per-model match graphs     │
+//! │   tag 3 SHARD  — one per shard: membership + posting lists   │
 //! └──────────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Every section carries its **own** string-interning dictionary, so a
+//! SHARD section is a self-contained byte range: when only one shard of
+//! a mutated index changed, [`Snapshot::write_update`] re-encodes that
+//! shard and splices the other shards' bytes from the previous file
+//! verbatim (generation counters in the header say which is which).
+//! Per-shard stats — generation, live/tombstoned models, posting counts
+//! per family — live in the fixed header, so `sbmlcompose snapshot
+//! inspect` reports them without touching any payload.
 //!
 //! All integers are little-endian; every list is length-prefixed; every
 //! declared length is validated against the bytes actually present
@@ -40,18 +53,22 @@ use std::path::Path;
 use std::sync::Arc;
 
 use sbml_compose::{ComposeOptions, PreparedModel, RawPrepared, SemanticsLevel};
-use sbml_match::{MatchIndex, RawGraph, RawIndex};
+use sbml_match::{MatchIndex, RawGraph, RawIndex, RawShard};
 
 use crate::codec::{read_model, write_model, Reader, Writer};
 
 /// The 8-byte magic prefix of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"SBMLSNAP";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 introduced sharded
+/// indexes: per-shard self-contained sections, per-shard header stats,
+/// and the live-slot layout section (version 1 files are not readable
+/// by this build — regenerate with `sbmlcompose snapshot build`).
+pub const FORMAT_VERSION: u32 = 2;
 
 const SECTION_MODELS: u8 = 0;
-const SECTION_INDEX: u8 = 1;
+const SECTION_LAYOUT: u8 = 2;
+const SECTION_SHARD: u8 = 3;
 
 /// Why a snapshot could not be written or loaded.
 #[derive(Debug)]
@@ -104,6 +121,39 @@ fn corrupt(detail: String) -> SnapshotError {
     SnapshotError::Corrupt(detail)
 }
 
+/// Per-shard facts stored in the fixed snapshot header — available to
+/// `sbmlcompose snapshot inspect` without decoding any payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotShardInfo {
+    /// The shard's mutation counter at write time.
+    pub generation: u64,
+    /// Live models the shard owns.
+    pub live: usize,
+    /// Tombstoned models the shard owns (slots stay reserved so slot
+    /// ids survive save/mutate/save cycles).
+    pub dead: usize,
+    /// Distinct node-key posting lists in the shard.
+    pub node_postings: usize,
+    /// Distinct edge-key posting lists.
+    pub edge_postings: usize,
+    /// Distinct participant-key posting lists.
+    pub participant_postings: usize,
+}
+
+impl SnapshotShardInfo {
+    /// Fraction of the shard's slot ownership that is tombstoned:
+    /// `dead / (live + dead)` (0.0 for an empty shard). Written
+    /// snapshots are always compacted, so this measures membership
+    /// history, not pending posting garbage.
+    pub fn tombstone_fraction(&self) -> f64 {
+        let total = self.live + self.dead;
+        if total == 0 {
+            return 0.0;
+        }
+        self.dead as f64 / total as f64
+    }
+}
+
 /// Header facts about a snapshot, without decoding its payload. What
 /// `sbmlcompose snapshot inspect` prints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,13 +164,17 @@ pub struct SnapshotInfo {
     pub semantics: SemanticsLevel,
     /// Stable hash of the build options ([`sbml_compose::OptionsFingerprint::stable_hash`]).
     pub fingerprint: u64,
-    /// Number of prepared models in the corpus.
+    /// Number of live prepared models in the corpus.
     pub models: usize,
-    /// Distinct node-key posting lists in the index.
+    /// Index-wide mutation counter at write time.
+    pub generation: u64,
+    /// Per-shard stats, in shard order.
+    pub shards: Vec<SnapshotShardInfo>,
+    /// Distinct node-key posting lists, summed across shards.
     pub node_postings: usize,
-    /// Distinct edge-key posting lists.
+    /// Distinct edge-key posting lists, summed across shards.
     pub edge_postings: usize,
-    /// Distinct participant-key posting lists.
+    /// Distinct participant-key posting lists, summed across shards.
     pub participant_postings: usize,
     /// Total snapshot size in bytes.
     pub bytes: usize,
@@ -274,10 +328,20 @@ fn read_postings_arc(
     Ok(out)
 }
 
-fn write_index(w: &mut Writer, raw: &RawIndex) {
+/// The LAYOUT section: the live slot list plus every live model's match
+/// graph, in live order. Self-contained (own interning dictionary).
+/// Per-model participant-key lists are deliberately NOT part of the
+/// format: they are a pure function of the prepared model and the
+/// semantics, so the index re-derives them lazily on first ranked use.
+fn write_layout(raw: &RawIndex) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.count(raw.live.len());
+    for slot in &raw.live {
+        w.u32(*slot);
+    }
     w.count(raw.graphs.len());
     for g in &raw.graphs {
-        write_key_family(w, &g.node_keys);
+        write_key_family(&mut w, &g.node_keys);
         w.count(g.edges.len());
         for (from, to, key) in &g.edges {
             w.u32(*from);
@@ -289,22 +353,12 @@ fn write_index(w: &mut Writer, raw: &RawIndex) {
             w.u32(*rx as u32);
         }
     }
-    write_postings_arc(w, &raw.node_postings);
-    write_postings_arc(w, &raw.edge_postings);
-    w.count(raw.participant_postings.len());
-    for (key, ids) in &raw.participant_postings {
-        w.key(key);
-        w.count(ids.len());
-        for id in ids {
-            w.u32(*id);
-        }
-    }
-    // Per-model participant-key lists are deliberately NOT part of the
-    // format: they are a pure function of the prepared model and the
-    // semantics, so the index re-derives them lazily on first ranked use.
+    w.into_bytes()
 }
 
-fn read_index(r: &mut Reader<'_>) -> Result<RawIndex, String> {
+fn read_layout(r: &mut Reader<'_>) -> Result<(Vec<u32>, Vec<RawGraph>), String> {
+    let nl = r.count(4, "live slots")?;
+    let live = r.u32_list(nl, "live slots")?;
     let ng = r.count(12, "graphs")?;
     let mut graphs = Vec::with_capacity(ng);
     for _ in 0..ng {
@@ -322,16 +376,46 @@ fn read_index(r: &mut Reader<'_>) -> Result<RawIndex, String> {
             r.u32_list(nr, "edge reactions")?.into_iter().map(|v| v as usize).collect();
         graphs.push(RawGraph { node_keys, edges, edge_reaction });
     }
+    Ok((live, graphs))
+}
+
+/// One SHARD section: the shard's membership and its three posting
+/// families. Self-contained — its own interning dictionary and no
+/// references into other sections — so [`Snapshot::write_update`] can
+/// splice an unchanged shard's bytes verbatim from a previous file.
+/// (The shard generation lives in the header, not here.)
+fn write_shard(raw: &RawShard) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.count(raw.members.len());
+    for slot in &raw.members {
+        w.u32(*slot);
+    }
+    w.count(raw.dead.len());
+    for slot in &raw.dead {
+        w.u32(*slot);
+    }
+    write_postings_arc(&mut w, &raw.node_postings);
+    write_postings_arc(&mut w, &raw.edge_postings);
+    write_postings_arc(&mut w, &raw.participant_postings);
+    w.into_bytes()
+}
+
+fn read_shard(r: &mut Reader<'_>) -> Result<RawShard, String> {
+    let nm = r.count(4, "shard members")?;
+    let members = r.u32_list(nm, "shard members")?;
+    let nd = r.count(4, "shard tombstones")?;
+    let dead = r.u32_list(nd, "shard tombstones")?;
     let node_postings = read_postings_arc(r, "node postings")?;
     let edge_postings = read_postings_arc(r, "edge postings")?;
-    let np = r.count(8, "participant postings")?;
-    let mut participant_postings = Vec::with_capacity(np);
-    for _ in 0..np {
-        let key = r.key_string("participant key")?;
-        let m = r.count(4, "participant posting ids")?;
-        participant_postings.push((key, r.u32_list(m, "participant posting ids")?));
-    }
-    Ok(RawIndex { graphs, node_postings, edge_postings, participant_postings })
+    let participant_postings = read_postings_arc(r, "participant postings")?;
+    Ok(RawShard {
+        generation: 0, // filled from the header by the caller
+        members,
+        dead,
+        node_postings,
+        edge_postings,
+        participant_postings,
+    })
 }
 
 /// Entry points for writing and reading snapshot files; see the
@@ -339,22 +423,52 @@ fn read_index(r: &mut Reader<'_>) -> Result<RawIndex, String> {
 pub struct Snapshot;
 
 impl Snapshot {
-    /// Encode a prepared corpus and its index into snapshot bytes.
-    /// Deterministic: the same corpus and options always produce the
-    /// same bytes (postings and key sets are sorted on the way out).
-    pub fn encode(
-        corpus: &[Arc<PreparedModel>],
+    /// Encode an index — its live prepared corpus
+    /// ([`MatchIndex::corpus`]) plus the full skeleton — into snapshot
+    /// bytes. Deterministic: the same index state and options always
+    /// produce the same bytes (postings and key sets are sorted on the
+    /// way out).
+    pub fn encode(index: &MatchIndex, options: &ComposeOptions) -> Vec<u8> {
+        Snapshot::encode_update(index, options, None).0
+    }
+
+    /// [`Snapshot::encode`] with incremental shard reuse: when
+    /// `previous` holds the bytes of a snapshot written from an earlier
+    /// state of the *same* index (same options, same shard count), every
+    /// shard whose generation and header stats are unchanged is spliced
+    /// into the output verbatim — only mutated shards re-encode. Returns
+    /// the bytes and how many shard sections were reused.
+    pub fn encode_update(
         index: &MatchIndex,
         options: &ComposeOptions,
-    ) -> Vec<u8> {
+        previous: Option<&[u8]>,
+    ) -> (Vec<u8>, usize) {
+        let corpus = index.corpus();
+        let raw = index.to_raw();
+        let reusable: Vec<Option<&[u8]>> = previous
+            .and_then(|bytes| Snapshot::reusable_shards(bytes, options, &raw))
+            .unwrap_or_default();
+
         let mut models = Writer::new();
         models.count(corpus.len());
         for p in corpus {
             write_prepared(&mut models, &p.to_raw());
         }
-        let raw = index.to_raw();
-        let mut idx = Writer::new();
-        write_index(&mut idx, &raw);
+        let models = models.into_bytes();
+        let layout = write_layout(&raw);
+        let mut reused = 0usize;
+        let shard_bytes: Vec<Vec<u8>> = raw
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, rs)| match reusable.get(i).copied().flatten() {
+                Some(bytes) => {
+                    reused += 1;
+                    bytes.to_vec()
+                }
+                None => write_shard(rs),
+            })
+            .collect();
 
         let mut w = Writer::new();
         for b in MAGIC {
@@ -364,35 +478,105 @@ impl Snapshot {
         w.u8(semantics_tag(options.semantics));
         w.u64(options.fingerprint().stable_hash());
         w.count(corpus.len());
-        w.count(raw.node_postings.len());
-        w.count(raw.edge_postings.len());
-        w.count(raw.participant_postings.len());
-        w.count(2); // section count
-        let models = models.into_bytes();
-        let idx = idx.into_bytes();
+        w.u64(raw.generation);
+        w.count(raw.shards.len());
+        for rs in &raw.shards {
+            w.u64(rs.generation);
+            w.count(rs.members.len());
+            w.count(rs.dead.len());
+            w.count(rs.node_postings.len());
+            w.count(rs.edge_postings.len());
+            w.count(rs.participant_postings.len());
+        }
+        w.count(2 + shard_bytes.len()); // section count
         w.u8(SECTION_MODELS);
         w.u64(models.len() as u64);
-        w.u8(SECTION_INDEX);
-        w.u64(idx.len() as u64);
+        w.u8(SECTION_LAYOUT);
+        w.u64(layout.len() as u64);
+        for sb in &shard_bytes {
+            w.u8(SECTION_SHARD);
+            w.u64(sb.len() as u64);
+        }
         let mut bytes = w.into_bytes();
         bytes.extend_from_slice(&models);
-        bytes.extend_from_slice(&idx);
-        bytes
+        bytes.extend_from_slice(&layout);
+        for sb in &shard_bytes {
+            bytes.extend_from_slice(sb);
+        }
+        (bytes, reused)
     }
 
-    /// Write a snapshot file.
+    /// Which of `raw`'s shards can reuse their encoded section from a
+    /// previous snapshot's bytes: the previous file must parse, carry
+    /// the same fingerprint and shard count, and the shard's generation
+    /// and header stats must be unchanged. Any mismatch (or an
+    /// unreadable previous file) simply disables reuse — never an error.
+    fn reusable_shards<'a>(
+        bytes: &'a [u8],
+        options: &ComposeOptions,
+        raw: &RawIndex,
+    ) -> Option<Vec<Option<&'a [u8]>>> {
+        let (info, sections) = Snapshot::header(bytes).ok()?;
+        if info.fingerprint != options.fingerprint().stable_hash()
+            || info.shards.len() != raw.shards.len()
+        {
+            return None;
+        }
+        let shard_sections: Vec<&[u8]> = sections
+            .iter()
+            .filter(|&&(tag, _, _)| tag == SECTION_SHARD)
+            .map(|&(_, start, end)| &bytes[start..end])
+            .collect();
+        if shard_sections.len() != info.shards.len() {
+            return None;
+        }
+        Some(
+            raw.shards
+                .iter()
+                .zip(info.shards.iter().zip(shard_sections))
+                .map(|(rs, (si, section))| {
+                    (si.generation == rs.generation
+                        && si.live == rs.members.len()
+                        && si.dead == rs.dead.len()
+                        && si.node_postings == rs.node_postings.len()
+                        && si.edge_postings == rs.edge_postings.len()
+                        && si.participant_postings == rs.participant_postings.len())
+                        .then_some(section)
+                })
+                .collect(),
+        )
+    }
+
+    /// Write a snapshot file (full encode).
     pub fn write(
         path: impl AsRef<Path>,
-        corpus: &[Arc<PreparedModel>],
         index: &MatchIndex,
         options: &ComposeOptions,
     ) -> Result<(), SnapshotError> {
-        fs::write(path, Snapshot::encode(corpus, index, options))?;
+        fs::write(path, Snapshot::encode(index, options))?;
         Ok(())
     }
 
+    /// Rewrite a snapshot file incrementally: shard sections whose
+    /// generation is unchanged since the file was last written are
+    /// copied from it byte-for-byte instead of re-encoded (a mutated
+    /// shard rewrites alone). A missing or stale previous file falls
+    /// back to a full write. Returns how many shard sections were
+    /// reused.
+    pub fn write_update(
+        path: impl AsRef<Path>,
+        index: &MatchIndex,
+        options: &ComposeOptions,
+    ) -> Result<usize, SnapshotError> {
+        let path = path.as_ref();
+        let previous = fs::read(path).ok();
+        let (bytes, reused) = Snapshot::encode_update(index, options, previous.as_deref());
+        fs::write(path, bytes)?;
+        Ok(reused)
+    }
+
     /// Decode the header and section table; returns the info plus the
-    /// byte ranges of the MODELS and INDEX sections.
+    /// `(tag, start, end)` byte ranges of every section.
     fn header(bytes: &[u8]) -> Result<(SnapshotInfo, Vec<(u8, usize, usize)>), SnapshotError> {
         let mut r = Reader::new(bytes);
         let mut magic = [0u8; 8];
@@ -409,10 +593,23 @@ impl Snapshot {
         let semantics = semantics_from_tag(r.u8("semantics").map_err(corrupt)?)?;
         let fingerprint = r.u64("fingerprint").map_err(corrupt)?;
         let models = r.count(0, "model count").map_err(corrupt)?;
-        let node_postings = r.u32("node posting count").map_err(corrupt)? as usize;
-        let edge_postings = r.u32("edge posting count").map_err(corrupt)? as usize;
-        let participant_postings =
-            r.u32("participant posting count").map_err(corrupt)? as usize;
+        let generation = r.u64("index generation").map_err(corrupt)?;
+        // Each shard entry is 8 + 5×4 = 28 header bytes, so the count is
+        // bounded by the bytes actually present before any allocation.
+        let nshards = r.count(28, "shard count").map_err(corrupt)?;
+        let mut shards = Vec::with_capacity(nshards);
+        for _ in 0..nshards {
+            shards.push(SnapshotShardInfo {
+                generation: r.u64("shard generation").map_err(corrupt)?,
+                live: r.count(0, "shard live count").map_err(corrupt)?,
+                dead: r.count(0, "shard tombstone count").map_err(corrupt)?,
+                node_postings: r.count(0, "shard node posting count").map_err(corrupt)?,
+                edge_postings: r.count(0, "shard edge posting count").map_err(corrupt)?,
+                participant_postings: r
+                    .count(0, "shard participant posting count")
+                    .map_err(corrupt)?,
+            });
+        }
         let nsec = r.count(9, "section count").map_err(corrupt)?;
         let mut table = Vec::with_capacity(nsec);
         let mut declared: u64 = 0;
@@ -436,14 +633,17 @@ impl Snapshot {
             sections.push((tag, offset, offset + len as usize));
             offset += len as usize;
         }
+        let sum = |f: fn(&SnapshotShardInfo) -> usize| shards.iter().map(f).sum();
         let info = SnapshotInfo {
             version,
             semantics,
             fingerprint,
             models,
-            node_postings,
-            edge_postings,
-            participant_postings,
+            generation,
+            node_postings: sum(|s| s.node_postings),
+            edge_postings: sum(|s| s.edge_postings),
+            participant_postings: sum(|s| s.participant_postings),
+            shards,
             bytes: bytes.len(),
         };
         Ok((info, sections))
@@ -505,11 +705,13 @@ impl Snapshot {
             ));
         }
         let mut models_section: Option<&[u8]> = None;
-        let mut index_section: Option<&[u8]> = None;
+        let mut layout_section: Option<&[u8]> = None;
+        let mut shard_sections: Vec<&[u8]> = Vec::new();
         for (tag, start, end) in sections {
             match tag {
                 SECTION_MODELS => models_section = Some(&bytes[start..end]),
-                SECTION_INDEX => index_section = Some(&bytes[start..end]),
+                SECTION_LAYOUT => layout_section = Some(&bytes[start..end]),
+                SECTION_SHARD => shard_sections.push(&bytes[start..end]),
                 // Unknown sections are skipped: a future writer may
                 // append new ones without breaking this reader.
                 _ => {}
@@ -517,8 +719,15 @@ impl Snapshot {
         }
         let models_section =
             models_section.ok_or_else(|| corrupt("missing MODELS section".into()))?;
-        let index_section =
-            index_section.ok_or_else(|| corrupt("missing INDEX section".into()))?;
+        let layout_section =
+            layout_section.ok_or_else(|| corrupt("missing LAYOUT section".into()))?;
+        if shard_sections.len() != info.shards.len() {
+            return Err(corrupt(format!(
+                "{} SHARD section(s) but the header declares {} shard(s)",
+                shard_sections.len(),
+                info.shards.len(),
+            )));
+        }
 
         let mut r = Reader::new(models_section);
         let n = r.count(1, "model count").map_err(corrupt)?;
@@ -545,14 +754,50 @@ impl Snapshot {
             )));
         }
 
-        let mut r = Reader::new(index_section);
-        let raw_index = read_index(&mut r).map_err(corrupt)?;
+        let mut r = Reader::new(layout_section);
+        let (live, graphs) = read_layout(&mut r).map_err(corrupt)?;
         if !r.is_done() {
             return Err(corrupt(format!(
-                "INDEX section holds {} undecoded trailing byte(s)",
+                "LAYOUT section holds {} undecoded trailing byte(s)",
                 r.remaining(),
             )));
         }
+
+        let mut raw_shards = Vec::with_capacity(shard_sections.len());
+        for (i, (section, si)) in shard_sections.iter().zip(&info.shards).enumerate() {
+            let mut r = Reader::new(section);
+            let mut shard = read_shard(&mut r).map_err(|e| corrupt(format!("shard {i}: {e}")))?;
+            if !r.is_done() {
+                return Err(corrupt(format!(
+                    "SHARD section {i} holds {} undecoded trailing byte(s)",
+                    r.remaining(),
+                )));
+            }
+            // The payload must agree with the header stats — they gate
+            // shard-section reuse on the next incremental write.
+            if shard.members.len() != si.live || shard.dead.len() != si.dead {
+                return Err(corrupt(format!(
+                    "shard {i} holds {} live / {} dead slot(s), header says {} / {}",
+                    shard.members.len(),
+                    shard.dead.len(),
+                    si.live,
+                    si.dead,
+                )));
+            }
+            let stats =
+                (shard.node_postings.len(), shard.edge_postings.len(), shard.participant_postings.len());
+            if stats != (si.node_postings, si.edge_postings, si.participant_postings) {
+                return Err(corrupt(format!(
+                    "shard {i} posting counts {stats:?} disagree with header ({}, {}, {})",
+                    si.node_postings, si.edge_postings, si.participant_postings,
+                )));
+            }
+            shard.generation = si.generation;
+            raw_shards.push(shard);
+        }
+
+        let raw_index =
+            RawIndex { generation: info.generation, live, graphs, shards: raw_shards };
         let index = MatchIndex::from_raw(raw_index, &corpus, options, threads)
             .map_err(|e| corrupt(format!("index: {e}")))?;
 

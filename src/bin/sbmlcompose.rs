@@ -14,10 +14,12 @@
 //! sbmlcompose check    <model.xml> --property "<PLTL>" [--runs N] [--t-end T] [--theta P]
 //! sbmlcompose diff     <a.xml> <b.xml>
 //! sbmlcompose snapshot build <corpus-dir> -o <file> [--semantics heavy|light|none] [--threads N]
+//!                      [--shards N]
 //! sbmlcompose snapshot inspect <file>
 //! sbmlcompose serve    <snapshot> [--addr host:port] [--threads N] [--cache N] [--top K]
 //!                      [--deadline-ms N] [--max-steps N]
-//! sbmlcompose client   <addr> match|query <query.xml> | compose <a.xml> <b.xml>... | stats | shutdown
+//! sbmlcompose client   <addr> match|query <query.xml> | compose <a.xml> <b.xml>... |
+//!                      upsert <model.xml> | remove <model-id> | stats | shutdown
 //! ```
 //!
 //! `match` (alias: `query`) searches a corpus for a query subnetwork: the
@@ -59,17 +61,24 @@
 //! models merged so far are still written, flagged partial via exit 4.
 //!
 //! `snapshot build` prepares every `.xml` model in a directory once,
-//! builds the match index, and persists both to a versioned binary
-//! snapshot ([`Snapshot`]); `snapshot inspect` prints a snapshot's
-//! header (format version, semantics, options fingerprint, model and
-//! posting-list counts) without decoding the payload. `serve` loads a
-//! snapshot in milliseconds — no re-parsing, no re-analysis — and
-//! answers `MATCH`/`QUERY`/`COMPOSE`/`STATS`/`SHUTDOWN` requests over a
-//! plain TCP frame protocol from a bounded worker pool, with an LRU
-//! result cache keyed by canonical content keys and every request under
-//! the same budget flags as the one-shot commands. `client` sends one
-//! request and exits with the code the one-shot command would have used
-//! (`ERR budget` → 4, `ERR parse` → 3, `ERR proto` → 2).
+//! builds the match index (`--shards` partitions its posting lists for
+//! scatter-gather queries; answers are identical at every shard count),
+//! and persists both to a versioned binary snapshot ([`Snapshot`]);
+//! `snapshot inspect` prints a snapshot's header — format version,
+//! semantics, options fingerprint, model count, index generation, and
+//! one line per shard (generation, live/tombstoned models, tombstone
+//! fraction, posting counts per family) — without decoding the payload.
+//! `serve` loads a snapshot in milliseconds — no re-parsing, no
+//! re-analysis — and answers
+//! `MATCH`/`QUERY`/`COMPOSE`/`UPSERT`/`REMOVE`/`STATS`/`SHUTDOWN`
+//! requests over a plain TCP frame protocol from a bounded worker pool,
+//! with an LRU result cache keyed by canonical content keys and every
+//! request under the same budget flags as the one-shot commands.
+//! `UPSERT` and `REMOVE` mutate the live index in place (append /
+//! tombstone — no rebuild, no restart) and clear the result cache.
+//! `client` sends one request and exits with the code the one-shot
+//! command would have used (`ERR budget` → 4, `ERR parse` → 3,
+//! `ERR proto` → 2).
 //!
 //! Exit status: 0 on success (for `check`: property satisfied; for `diff`:
 //! equivalent), 1 on failure / unsatisfied / different, 2 on usage errors,
@@ -191,21 +200,25 @@ fn print_usage() {
          \x20 sbmlcompose check    <model.xml> --property '<PLTL>' [--runs N] [--t-end T] [--theta P]\n\
          \x20 sbmlcompose diff     <a.xml> <b.xml>\n\
          \x20 sbmlcompose snapshot build <corpus-dir> -o <file> [--semantics heavy|light|none]\n\
-         \x20                      [--threads N]\n\
-         \x20        prepares every .xml model in the directory, builds the match index,\n\
-         \x20        and persists both to a versioned binary snapshot\n\
+         \x20                      [--threads N] [--shards N]\n\
+         \x20        prepares every .xml model in the directory, builds the match index\n\
+         \x20        (--shards partitions its posting lists; answers are identical at\n\
+         \x20        every shard count), and persists both to a binary snapshot\n\
          \x20 sbmlcompose snapshot inspect <file>\n\
          \x20        prints the snapshot header (version, semantics, fingerprint, model\n\
-         \x20        and posting counts) without decoding the payload; exit 3 if corrupt\n\
+         \x20        count, index generation, per-shard stats, posting counts) without\n\
+         \x20        decoding the payload; exit 3 if corrupt\n\
          \x20 sbmlcompose serve    <snapshot> [--addr host:port] [--threads N] [--cache N]\n\
          \x20                      [--top K] [--deadline-ms N] [--max-steps N]\n\
          \x20        loads the snapshot (no re-analysis) and serves MATCH/QUERY/COMPOSE/\n\
-         \x20        STATS/SHUTDOWN over plain TCP frames; prints the bound address.\n\
+         \x20        UPSERT/REMOVE/STATS/SHUTDOWN over plain TCP frames; prints the bound\n\
+         \x20        address. UPSERT/REMOVE mutate the live index in place (no restart).\n\
          \x20        --cache: LRU result-cache entries (default 256, 0 disables);\n\
          \x20        --deadline-ms/--max-steps: per-request budget (hostile requests get\n\
          \x20        a structured budget error; the daemon keeps serving)\n\
          \x20 sbmlcompose client   <addr> match <query.xml> | query <query.xml> |\n\
-         \x20                      compose <a.xml> <b.xml>... | stats | shutdown\n\
+         \x20                      compose <a.xml> <b.xml>... | upsert <model.xml> |\n\
+         \x20                      remove <model-id> | stats | shutdown\n\
          \x20        sends one request; prints the response body and exits with the\n\
          \x20        one-shot command's code (budget error -> 4, parse error -> 3)"
     );
@@ -595,6 +608,13 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
                 .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
                 .transpose()?
                 .unwrap_or(0);
+            let shards: usize = take_flag(&mut args, "--shards")
+                .map(|v| v.parse().map_err(|_| format!("bad --shards {v:?}")))
+                .transpose()?
+                .unwrap_or(1);
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
             let [dir] = args.as_slice() else {
                 return Err("snapshot build needs exactly one corpus directory".into());
             };
@@ -617,14 +637,16 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
             let composer = Composer::new(options.clone());
             let batch = BatchComposer::new(composer).with_threads(threads);
             let prepared = batch.prepare_corpus(&models);
-            let index = MatchIndex::build_with_threads(&prepared, &options, threads);
-            Snapshot::write(&out, &prepared, &index, &options)
+            let index = MatchIndex::build_sharded(&prepared, &options, threads, shards);
+            Snapshot::write(&out, &index, &options)
                 .map_err(|e| CliError::Input(format!("cannot write {out}: {e}")))?;
             let info = Snapshot::inspect(&out)
                 .map_err(|e| CliError::Input(format!("{out}: {e}")))?;
             eprintln!(
-                "snapshot {out}: {} model(s), {} bytes, semantics {}, fingerprint {:016x}",
+                "snapshot {out}: {} model(s), {} shard(s), {} bytes, semantics {}, \
+                 fingerprint {:016x}",
                 info.models,
+                info.shards.len(),
                 info.bytes,
                 semantics_name(info.semantics),
                 info.fingerprint,
@@ -641,6 +663,21 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
             println!("semantics {}", semantics_name(info.semantics));
             println!("fingerprint {:016x}", info.fingerprint);
             println!("models {}", info.models);
+            println!("generation {}", info.generation);
+            println!("shards {}", info.shards.len());
+            for (i, shard) in info.shards.iter().enumerate() {
+                println!(
+                    "shard {i} generation {} live {} dead {} tombstone_fraction {:.3} \
+                     node_postings {} edge_postings {} participant_postings {}",
+                    shard.generation,
+                    shard.live,
+                    shard.dead,
+                    shard.tombstone_fraction(),
+                    shard.node_postings,
+                    shard.edge_postings,
+                    shard.participant_postings,
+                );
+            }
             println!("node_postings {}", info.node_postings);
             println!("edge_postings {}", info.edge_postings);
             println!("participant_postings {}", info.participant_postings);
@@ -674,10 +711,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     };
     let loaded = Snapshot::load_auto(snapshot_path, threads)
         .map_err(|e| CliError::Input(format!("{snapshot_path}: {e}")))?;
-    let sbmlcompose::serve::LoadedSnapshot { corpus, index, options, info } = loaded;
+    let sbmlcompose::serve::LoadedSnapshot { index, options, info, .. } = loaded;
     let config =
         ServerConfig { threads, cache_capacity, max_steps, deadline_ms, top_k };
-    let server = Server::bind(addr.as_str(), corpus, index, options, config)
+    let server = Server::bind(addr.as_str(), index, options, config)
         .map_err(|e| CliError::Input(format!("cannot bind {addr}: {e}")))?;
     println!(
         "listening on {} ({} model(s), semantics {})",
@@ -698,7 +735,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
     if args.len() < 2 {
         return Err(
             "client needs <addr> and a verb: match|query <file>, compose <files...>, \
-             stats, shutdown"
+             upsert <file>, remove <model-id>, stats, shutdown"
                 .into(),
         );
     }
@@ -723,6 +760,16 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
             }
             let models_xml = rest.iter().map(read_doc).collect::<Result<Vec<_>, _>>()?;
             Request::Compose { models_xml }
+        }
+        "upsert" => {
+            let [path] = rest else { return Err("client upsert needs one model file".into()) };
+            Request::Upsert { model_xml: read_doc(path)? }
+        }
+        "remove" => {
+            let [model_id] = rest else {
+                return Err("client remove needs one model id".into());
+            };
+            Request::Remove { model_id: model_id.clone() }
         }
         "stats" => Request::Stats,
         "shutdown" => Request::Shutdown,

@@ -27,9 +27,9 @@ fn corpus_and_index(options: &ComposeOptions) -> (Vec<Model>, Vec<Arc<PreparedMo
 /// and hand back its address plus the join handle.
 fn start(config: ServerConfig) -> (std::net::SocketAddr, thread::JoinHandle<()>) {
     let options = ComposeOptions::heavy();
-    let (_, prepared, index) = corpus_and_index(&options);
-    let server = Server::bind("127.0.0.1:0", prepared, index, options, config)
-        .expect("bind ephemeral port");
+    let (_, _, index) = corpus_and_index(&options);
+    let server =
+        Server::bind("127.0.0.1:0", index, options, config).expect("bind ephemeral port");
     let addr = server.local_addr();
     let handle = thread::spawn(move || server.run().expect("server run"));
     (addr, handle)
@@ -121,6 +121,65 @@ fn cache_hits_return_the_exact_bytes_of_the_first_answer() {
             assert!(text.contains("models 8\n"), "stats: {text}");
         }
         other => panic!("stats failed: {other:?}"),
+    }
+    shut_down(addr, handle);
+}
+
+#[test]
+fn upsert_and_remove_mutate_the_live_index_without_a_restart() {
+    let (addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let newcomer = corpus_slice(58..59).remove(0);
+    let id = newcomer.id.clone();
+    let match_whole = Request::Match { query_xml: write_sbml(&newcomer) };
+
+    let body_of = |response: Response| -> String {
+        match response {
+            Response::Ok { body, .. } => String::from_utf8(body).expect("utf-8 body"),
+            other => panic!("expected OK, got {other:?}"),
+        }
+    };
+
+    // Before the upsert the model is not in the corpus.
+    let before = body_of(client.roundtrip(&match_whole).expect("match before"));
+    assert!(!before.contains(&id), "not served yet: {before}");
+
+    // UPSERT inserts; the very next MATCH sees it — no rebuild, no
+    // restart, and the stale cached answer is gone.
+    let upsert = Request::Upsert { model_xml: write_sbml(&newcomer) };
+    let inserted = body_of(client.roundtrip(&upsert).expect("upsert"));
+    assert!(inserted.starts_with("inserted "), "first upsert inserts: {inserted}");
+    let after = body_of(client.roundtrip(&match_whole).expect("match after"));
+    assert!(after.contains(&id), "served immediately after UPSERT: {after}");
+
+    // A second UPSERT of the same SBML id replaces, not duplicates.
+    let replaced = body_of(client.roundtrip(&upsert).expect("re-upsert"));
+    assert!(replaced.starts_with("replaced "), "same id replaces: {replaced}");
+
+    match client.roundtrip(&Request::Stats).expect("stats") {
+        Response::Ok { code: 0, body } => {
+            let text = String::from_utf8(body).expect("stats are utf-8");
+            assert!(text.contains("upsert 2\n"), "stats: {text}");
+            assert!(text.contains("live_models 9\n"), "stats: {text}");
+            assert!(text.contains("tombstoned_models 1\n"), "replace tombstones: {text}");
+            assert!(text.contains("index_generation "), "stats: {text}");
+            assert!(text.contains("shards 1\n"), "stats: {text}");
+        }
+        other => panic!("stats failed: {other:?}"),
+    }
+
+    // REMOVE tombstones it; answers revert at once.
+    let removed = body_of(client.roundtrip(&Request::Remove { model_id: id.clone() }).expect("remove"));
+    assert_eq!(removed, format!("removed {id}\n"));
+    let gone = body_of(client.roundtrip(&match_whole).expect("match after remove"));
+    assert!(!gone.contains(&id), "gone after REMOVE: {gone}");
+
+    // Removing a missing id is a miss (code 1), not an error.
+    match client.roundtrip(&Request::Remove { model_id: id.clone() }).expect("re-remove") {
+        Response::Ok { code: 1, body } => {
+            assert_eq!(String::from_utf8_lossy(&body), format!("no such model {id}\n"));
+        }
+        other => panic!("expected a miss, got {other:?}"),
     }
     shut_down(addr, handle);
 }
@@ -377,9 +436,14 @@ fn cli_snapshot_serve_client_pipeline_round_trips() {
         .expect("snapshot inspect");
     assert!(inspect.status.success());
     let info = String::from_utf8_lossy(&inspect.stdout);
-    assert!(info.contains("version 1\n"), "inspect: {info}");
+    assert!(info.contains("version 2\n"), "inspect: {info}");
     assert!(info.contains("semantics heavy\n"), "inspect: {info}");
     assert!(info.contains("models 5\n"), "inspect: {info}");
+    assert!(info.contains("shards 1\n"), "inspect: {info}");
+    assert!(
+        info.contains("shard 0 generation 5 live 5 dead 0 tombstone_fraction 0.000"),
+        "inspect per-shard stats: {info}"
+    );
 
     // Corrupt file → exit 3, structured diagnostic.
     let bad = dir.join("bad.snap");

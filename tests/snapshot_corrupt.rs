@@ -28,8 +28,10 @@ fn snapshot_bytes() -> (Vec<u8>, ComposeOptions) {
     let models = corpus_slice(60..66);
     let batch = BatchComposer::new(Composer::new(options.clone()));
     let prepared = batch.prepare_corpus(&models);
-    let index = MatchIndex::build(&prepared, &options);
-    (Snapshot::encode(&prepared, &index, &options), options)
+    // Shard the index: corruption must surface cleanly in the per-shard
+    // header entries and section payloads too, not just a monolith.
+    let index = MatchIndex::build(&prepared, &options).with_shards(3);
+    (Snapshot::encode(&index, &options), options)
 }
 
 /// Feed `bytes` through every decode entry point; the only acceptable

@@ -42,7 +42,7 @@ fn loaded_snapshot_answers_match_queries_bit_identically() {
         let (prepared, index) = build(&options, &models);
         let ids: Vec<String> = models.iter().map(|m| m.id.clone()).collect();
 
-        let bytes = Snapshot::encode(&prepared, &index, &options);
+        let bytes = Snapshot::encode(&index, &options);
         let loaded = Snapshot::load_bytes(&bytes, &options, 0)
             .unwrap_or_else(|e| panic!("{semantics:?}: load failed: {e}"));
         assert_eq!(loaded.corpus.len(), prepared.len());
@@ -68,7 +68,7 @@ fn loaded_prepared_models_compose_bit_identically() {
     for semantics in LEVELS {
         let options = preset_options(semantics);
         let (prepared, index) = build(&options, &models);
-        let bytes = Snapshot::encode(&prepared, &index, &options);
+        let bytes = Snapshot::encode(&index, &options);
         let loaded = Snapshot::load_bytes(&bytes, &options, 0).expect("load");
 
         // Fold the same chain once through the original preparations and
@@ -94,14 +94,66 @@ fn snapshot_encoding_is_deterministic_and_idempotent() {
     let models = corpus_slice(60..68);
     let options = ComposeOptions::heavy();
     let (prepared, index) = build(&options, &models);
-    let bytes = Snapshot::encode(&prepared, &index, &options);
-    assert_eq!(bytes, Snapshot::encode(&prepared, &index, &options), "same inputs, same bytes");
+    let bytes = Snapshot::encode(&index, &options);
+    assert_eq!(bytes, Snapshot::encode(&index, &options), "same inputs, same bytes");
 
     // Snapshotting a loaded snapshot reproduces the file exactly: the
     // decode loses nothing the encode needs.
     let loaded = Snapshot::load_bytes(&bytes, &options, 0).expect("load");
-    let again = Snapshot::encode(&loaded.corpus, &loaded.index, &loaded.options);
+    let again = Snapshot::encode(&loaded.index, &loaded.options);
     assert_eq!(bytes, again, "load → encode must be the identity on snapshot bytes");
+}
+
+#[test]
+fn mutated_sharded_snapshot_round_trips() {
+    let models = corpus_slice(58..70);
+    let options = ComposeOptions::heavy();
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let mut index = MatchIndex::build(&prepared[..8], &options).with_shards(3);
+    index.insert(Arc::clone(&prepared[8]));
+    index.insert(Arc::clone(&prepared[9]));
+    assert!(index.remove(2).is_some());
+
+    let bytes = Snapshot::encode(&index, &options);
+    let loaded = Snapshot::load_bytes(&bytes, &options, 0).expect("load");
+    assert_eq!(loaded.index.len(), index.len());
+    assert_eq!(loaded.index.shard_count(), 3);
+    assert_eq!(loaded.index.generation(), index.generation());
+    assert_eq!(loaded.index.tombstoned_len(), index.tombstoned_len());
+    let ids: Vec<String> = index.corpus().iter().map(|p| p.model().id.clone()).collect();
+    for (qi, query) in queries(&models).iter().enumerate() {
+        assert_eq!(
+            format_matches(&index.query_corpus(query), &ids, &ids),
+            format_matches(&loaded.index.query_corpus(query), &ids, &ids),
+            "query {qi}: a mutated sharded index must reload bit-identically"
+        );
+    }
+}
+
+#[test]
+fn encode_update_reuses_unchanged_shard_sections() {
+    let models = corpus_slice(58..68);
+    let options = ComposeOptions::heavy();
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let mut index = MatchIndex::build(&prepared[..9], &options).with_shards(4);
+
+    let before = Snapshot::encode(&index, &options);
+    index.insert(Arc::clone(&prepared[9]));
+    let (after, reused) = Snapshot::encode_update(&index, &options, Some(&before));
+    assert_eq!(reused, 3, "an insert touches one shard; the other three splice through");
+    assert_eq!(
+        after,
+        Snapshot::encode(&index, &options),
+        "shard-section reuse must be byte-transparent"
+    );
+
+    // An unreadable previous file disables reuse without corrupting the
+    // output — incremental writes always fall back to a full encode.
+    let (full, reused) = Snapshot::encode_update(&index, &options, Some(b"not a snapshot"));
+    assert_eq!(reused, 0);
+    assert_eq!(full, after);
 }
 
 #[test]
@@ -109,7 +161,7 @@ fn fingerprint_mismatch_is_a_structured_error() {
     let models = corpus_slice(60..64);
     let options = ComposeOptions::heavy();
     let (prepared, index) = build(&options, &models);
-    let bytes = Snapshot::encode(&prepared, &index, &options);
+    let bytes = Snapshot::encode(&index, &options);
 
     let wrong = ComposeOptions::light();
     match Snapshot::load_bytes(&bytes, &wrong, 0) {
@@ -139,16 +191,21 @@ fn inspect_reports_the_header_without_decoding() {
     let models = corpus_slice(60..65);
     let options = ComposeOptions::light();
     let (prepared, index) = build(&options, &models);
-    let bytes = Snapshot::encode(&prepared, &index, &options);
+    let bytes = Snapshot::encode(&index, &options);
 
     let info = Snapshot::inspect_bytes(&bytes).expect("inspect");
     assert_eq!(info.version, sbmlcompose::serve::FORMAT_VERSION);
     assert_eq!(info.semantics, SemanticsLevel::Light);
     assert_eq!(info.fingerprint, options.fingerprint().stable_hash());
     assert_eq!(info.models, 5);
+    assert_eq!(info.generation, index.generation());
     assert_eq!(info.bytes, bytes.len());
     let (nodes, edges, participants) = index.posting_stats();
     assert_eq!(info.node_postings, nodes);
     assert_eq!(info.edge_postings, edges);
     assert_eq!(info.participant_postings, participants);
+    assert_eq!(info.shards.len(), 1, "a default build is single-shard");
+    assert_eq!(info.shards[0].live, 5);
+    assert_eq!(info.shards[0].dead, 0);
+    assert_eq!(info.shards[0].tombstone_fraction(), 0.0);
 }
