@@ -28,6 +28,15 @@ cargo test -q --features fault-injection --test fault_isolation
 echo "== wire-protocol suite (frame codec + live daemon round-trips) =="
 cargo test -q --test serve_protocol
 
+echo "== cluster suite (shard daemons + coordinator, loopback TCP) =="
+# In-process daemons on ephemeral ports: the coordinator must be
+# bit-identical to a single-process daemon at shard counts 1/2/4 across
+# all three semantics levels and under randomized UPSERT/REMOVE
+# interleavings; a killed shard degrades reads (exit 4, shard named)
+# and fails writes loudly.
+cargo test -q --release --test cluster
+cargo test -q --release --test cluster_e2e
+
 echo "== incremental ≡ rebuild property suite (sharded MatchIndex) =="
 # Random insert/remove interleavings replayed against a fresh build of
 # the surviving corpus, across shard counts and every semantics level —
@@ -181,6 +190,32 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "8-shard vs 1-shard latency ratio: ${ratio} (gate: <= 1.5)"
     awk -v r="$ratio" 'BEGIN { exit (r <= 1.5) ? 0 : 1 }' || {
         echo "FAIL: scatter-gather latency grew superlinearly with shard count" >&2
+        exit 1
+    }
+
+    echo "== cluster scatter-gather benchmark (writes BENCH_cluster.json) =="
+    cargo run --release -p compose-bench --bin cluster_scatter
+
+    # Perf gate: a MATCH through the coordinator fronting 4 shard
+    # daemons may cost at most 1.5x the same request through a 1-shard
+    # cluster over the 10k corpus — the scatter fans out concurrently,
+    # so the fan-out must not eat the partitioning. (The bench asserts
+    # both widths answer byte-identically to a single-process daemon
+    # before timing anything.)
+    ratio=$(grep -o '"latency_ratio_cluster_4_vs_1": [0-9.]*' BENCH_cluster.json | grep -o '[0-9.]*$')
+    echo "4-shard vs 1-shard cluster MATCH latency ratio: ${ratio} (gate: <= 1.5)"
+    awk -v r="$ratio" 'BEGIN { exit (r <= 1.5) ? 0 : 1 }' || {
+        echo "FAIL: coordinator scatter-gather latency grew superlinearly with shard count" >&2
+        exit 1
+    }
+
+    # Perf gate: absorbing a 100-model batch as coordinator-routed
+    # UPSERT frames must stay >= 10x cheaper than re-preparing and
+    # rebuilding the 10k index from source models.
+    speedup=$(grep -o '"speedup_cluster_upsert": [0-9.]*' BENCH_cluster.json | grep -o '[0-9.]*$')
+    echo "coordinator UPSERT speedup: ${speedup}x (gate: >= 10.0)"
+    awk -v s="$speedup" 'BEGIN { exit (s >= 10.0) ? 0 : 1 }' || {
+        echo "FAIL: coordinator UPSERT fell below 10x cheaper than a rebuild" >&2
         exit 1
     }
 

@@ -219,6 +219,89 @@ pub struct RawIndex {
     pub shards: Vec<RawShard>,
 }
 
+impl RawIndex {
+    /// Carve shard `shard` out of this skeleton as a self-contained
+    /// **single-shard** skeleton over a dense local slot space, plus the
+    /// translation table back to the global space: `global[j]` is the
+    /// global slot id of local live rank `j` (ascending, so local rank
+    /// order ≡ global slot order — the property a scatter-gather merge
+    /// relies on to reassemble shard answers in global order without
+    /// shipping ranks over the wire).
+    ///
+    /// Local slots are the shard's owned slots (live ∪ tombstoned, which
+    /// is exactly the `slot % count == shard` residue class) renumbered
+    /// by ascending global slot; posting lists and tombstone lists are
+    /// remapped monotonically, so every ordering invariant
+    /// [`MatchIndex::from_raw`] checks is preserved. Pair the result
+    /// with the matching sub-corpus (`corpus()` entries whose slot lands
+    /// in this shard, in order).
+    ///
+    /// # Errors
+    /// If `shard` is out of range or the skeleton is inconsistent
+    /// (membership lists disagreeing with `live`, postings referencing
+    /// unowned slots) — the skeleton may come from an untrusted
+    /// snapshot, so violations are structured errors, never panics.
+    pub fn carve_shard(&self, shard: usize) -> Result<(RawIndex, Vec<u32>), String> {
+        let count = self.shards.len();
+        if shard >= count {
+            return Err(format!("shard {shard} out of range (index has {count})"));
+        }
+        let rs = &self.shards[shard];
+        // The local slot universe: every slot the shard owns, ascending.
+        let mut owned: Vec<u32> = Vec::with_capacity(rs.members.len() + rs.dead.len());
+        owned.extend_from_slice(&rs.members);
+        owned.extend_from_slice(&rs.dead);
+        owned.sort_unstable();
+        if owned.windows(2).any(|w| w[0] == w[1]) {
+            return Err(format!("shard {shard} lists a slot as both live and tombstoned"));
+        }
+        let local = |slot: u32| -> Result<u32, String> {
+            match owned.binary_search(&slot) {
+                Ok(pos) => Ok(pos as u32),
+                Err(_) => Err(format!("slot {slot} not owned by shard {shard}")),
+            }
+        };
+        let remap = |list: &[u32]| -> Result<Vec<u32>, String> { list.iter().map(|&s| local(s)).collect() };
+        let remap_postings = |lists: &[(Arc<str>, Vec<u32>)]| -> Result<Vec<(Arc<str>, Vec<u32>)>, String> {
+            lists.iter().map(|(k, v)| Ok((Arc::clone(k), remap(v)?))).collect()
+        };
+        if self.graphs.len() != self.live.len() {
+            return Err(format!(
+                "raw index carries {} graphs for {} live slots",
+                self.graphs.len(),
+                self.live.len()
+            ));
+        }
+        // Owned live models, in live (= ascending slot) order.
+        let mut graphs = Vec::with_capacity(rs.members.len());
+        let mut global = Vec::with_capacity(rs.members.len());
+        for (i, &slot) in self.live.iter().enumerate() {
+            if slot as usize % count == shard {
+                graphs.push(self.graphs[i].clone());
+                global.push(slot);
+            }
+        }
+        if global != rs.members {
+            return Err(format!("shard {shard} members disagree with the index live list"));
+        }
+        let members = remap(&rs.members)?;
+        let raw = RawIndex {
+            generation: self.generation,
+            live: members.clone(),
+            graphs,
+            shards: vec![RawShard {
+                generation: rs.generation,
+                members,
+                dead: remap(&rs.dead)?,
+                node_postings: remap_postings(&rs.node_postings)?,
+                edge_postings: remap_postings(&rs.edge_postings)?,
+                participant_postings: remap_postings(&rs.participant_postings)?,
+            }],
+        };
+        Ok((raw, global))
+    }
+}
+
 /// A corpus graph that may still be in skeleton form after a snapshot
 /// load: [`MatchIndex::from_raw`] validates every skeleton up front but
 /// defers deriving adjacency and key indexes until a query actually
@@ -1107,6 +1190,23 @@ impl MatchIndex {
             let (n, e, p) = s.posting_stats();
             (acc.0 + n, acc.1 + e, acc.2 + p)
         })
+    }
+
+    /// Live slot ids, ascending: `corpus()[i]` occupies slot
+    /// `live_slots()[i]`. Public result indices ("model `k`") are ranks
+    /// into this list; slot ids themselves are stable across mutations,
+    /// which is what lets a remote merge layer translate shard-local
+    /// answers back into global positions.
+    pub fn live_slots(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// Size of the dense slot universe (live ∪ tombstoned) — equivalently
+    /// the slot id the next insert will take. Slots are never reused, so
+    /// this only grows; a cluster coordinator allocating global slots
+    /// starts from here.
+    pub fn slot_universe(&self) -> usize {
+        self.slots.len()
     }
 
     /// Analyse a query once: build its match graph, collect the distinct

@@ -15,7 +15,10 @@ pub struct Client {
 impl Client {
     /// Connect to a daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        Ok(Client { stream: TcpStream::connect(addr)? })
+        let stream = TcpStream::connect(addr)?;
+        // Request/response framing; Nagle only adds latency here.
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
     }
 
     /// Send one request and read back the raw response payload bytes

@@ -73,14 +73,16 @@ pub mod protocol;
 pub mod report;
 pub mod server;
 pub mod snapshot;
+pub mod wire;
 
 pub use cache::QueryCache;
 pub use client::Client;
 pub use metrics::{Metrics, MetricsReport};
 pub use protocol::{read_frame, write_frame, ErrKind, Request, Response, MAX_FRAME};
 pub use report::format_matches;
-pub use server::{Server, ServerConfig};
+pub use server::{serve_frames, FrameHandler, FrameOutcome, Server, ServerConfig, ShardIdentity};
 pub use snapshot::{
-    preset_options, LoadedSnapshot, Snapshot, SnapshotError, SnapshotInfo, SnapshotShardInfo,
-    FORMAT_VERSION, MAGIC,
+    preset_options, semantics_from_token, semantics_token, ClusterInfo, LoadedSnapshot, Snapshot,
+    SnapshotError, SnapshotInfo, SnapshotShardInfo, FORMAT_VERSION, MAGIC,
 };
+pub use wire::{PartialCandidates, PartialMatches};

@@ -4,12 +4,21 @@
 //! Every message — request or response — travels as one **frame**: a
 //! `u32` little-endian byte length followed by that many payload bytes
 //! ([`write_frame`] / [`read_frame`]). A request payload is a verb line
-//! (`MATCH`, `QUERY`, `COMPOSE <n>`, `UPSERT`, `REMOVE <id>`, `STATS`,
-//! `SHUTDOWN`) terminated by `\n`, followed by the verb's body; a response payload is a status
+//! (`MATCH`, `QUERY`, `COMPOSE <n>`, `UPSERT [slot]`, `REMOVE <id>`,
+//! `PMATCH`, `PQUERY`, `STATS`, `SHUTDOWN`) terminated by `\n`,
+//! followed by the verb's body; a response payload is a status
 //! line (`OK <code>` or `ERR <kind> <message>`) followed by the response
 //! body. The `<code>` of an `OK` is the exit code the equivalent
 //! one-shot CLI run would return (0 hit, 1 miss, 4 partial), so
 //! `sbmlcompose client` can forward it verbatim.
+//!
+//! `PMATCH`/`PQUERY` are the cluster-internal halves of `MATCH`/`QUERY`:
+//! a shard daemon answers with a *binary* partial-result body (see
+//! [`crate::wire`]) carrying global slot ids instead of rendered text,
+//! so a coordinator can merge answers from many shards bit-identically
+//! to a single-process index. `UPSERT <slot>` pins the inserted model to
+//! an explicit global slot — the coordinator allocates slots so routing
+//! (`slot % n`) and result ordering stay consistent across the fleet.
 //!
 //! Frames are capped at [`MAX_FRAME`] bytes in both directions; a peer
 //! declaring more is a protocol error, not an allocation.
@@ -48,12 +57,30 @@ pub enum Request {
     Upsert {
         /// The model as SBML XML.
         model_xml: String,
+        /// Pin the insert to this global slot id (cluster-internal: the
+        /// coordinator allocates slots; the daemon validates ownership
+        /// and monotonicity). `None` lets the daemon pick the next slot
+        /// itself — the standalone behaviour.
+        slot: Option<u64>,
     },
     /// Tombstone a live model by SBML id; it stops answering
     /// immediately and its postings are compacted away lazily.
     Remove {
         /// The SBML model id to remove.
         model_id: String,
+    },
+    /// Cluster-internal `MATCH`: same search, but the body is a binary
+    /// [`crate::wire::PartialMatches`] carrying global slot ids for a
+    /// coordinator to merge, not rendered text.
+    PartialMatch {
+        /// The query model as SBML XML.
+        query_xml: String,
+    },
+    /// Cluster-internal `QUERY`: candidate generation answered as a
+    /// binary [`crate::wire::PartialCandidates`].
+    PartialQuery {
+        /// The query model as SBML XML.
+        query_xml: String,
     },
     /// Usage metering: counters, cache statistics, latency percentiles.
     Stats,
@@ -124,10 +151,17 @@ pub enum Response {
 }
 
 /// Write one frame: `u32` LE payload length, then the payload.
+///
+/// Prefix and payload go out in a **single** write: two back-to-back
+/// small writes on a TCP socket interact with Nagle + delayed ACK and
+/// can stall every request/response hop by tens of milliseconds —
+/// ruinous for the coordinator, which adds a second hop to each query.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     debug_assert!(payload.len() <= MAX_FRAME);
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -194,12 +228,25 @@ impl Request {
                 }
                 out
             }
-            Request::Upsert { model_xml } => {
-                let mut out = b"UPSERT\n".to_vec();
+            Request::Upsert { model_xml, slot } => {
+                let mut out = match slot {
+                    Some(slot) => format!("UPSERT {slot}\n").into_bytes(),
+                    None => b"UPSERT\n".to_vec(),
+                };
                 out.extend_from_slice(model_xml.as_bytes());
                 out
             }
             Request::Remove { model_id } => format!("REMOVE {model_id}\n").into_bytes(),
+            Request::PartialMatch { query_xml } => {
+                let mut out = b"PMATCH\n".to_vec();
+                out.extend_from_slice(query_xml.as_bytes());
+                out
+            }
+            Request::PartialQuery { query_xml } => {
+                let mut out = b"PQUERY\n".to_vec();
+                out.extend_from_slice(query_xml.as_bytes());
+                out
+            }
             Request::Stats => b"STATS\n".to_vec(),
             Request::Shutdown => b"SHUTDOWN\n".to_vec(),
         }
@@ -248,7 +295,17 @@ impl Request {
                 }
                 Ok(Request::Compose { models_xml })
             }
-            "UPSERT" => Ok(Request::Upsert { model_xml: body_str("UPSERT")? }),
+            "UPSERT" => {
+                let slot = match words.next() {
+                    Some(word) => Some(
+                        word.parse::<u64>().map_err(|_| format!("bad UPSERT slot {word:?}"))?,
+                    ),
+                    None => None,
+                };
+                Ok(Request::Upsert { model_xml: body_str("UPSERT")?, slot })
+            }
+            "PMATCH" => Ok(Request::PartialMatch { query_xml: body_str("PMATCH")? }),
+            "PQUERY" => Ok(Request::PartialQuery { query_xml: body_str("PQUERY")? }),
             "REMOVE" => {
                 let model_id =
                     words.next().ok_or_else(|| "REMOVE needs a model id".to_owned())?;
@@ -309,8 +366,11 @@ mod tests {
             Request::Query { query_xml: "<sbml>\nmultiline\n</sbml>".into() },
             Request::Compose { models_xml: vec!["<a/>".into(), "<b/>".into()] },
             Request::Compose { models_xml: vec![] },
-            Request::Upsert { model_xml: "<sbml>\nnew model\n</sbml>".into() },
+            Request::Upsert { model_xml: "<sbml>\nnew model\n</sbml>".into(), slot: None },
+            Request::Upsert { model_xml: "<sbml/>".into(), slot: Some(1042) },
             Request::Remove { model_id: "BIOMD0000000042".into() },
+            Request::PartialMatch { query_xml: "<sbml/>".into() },
+            Request::PartialQuery { query_xml: "<sbml>\nq\n</sbml>".into() },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -361,6 +421,7 @@ mod tests {
         assert!(Request::decode(b"COMPOSE\n").is_err(), "missing count");
         assert!(Request::decode(b"COMPOSE 2\n\x05\x00\x00\x00<a/>").is_err(), "short doc");
         assert!(Request::decode(b"REMOVE\n").is_err(), "missing model id");
+        assert!(Request::decode(b"UPSERT nine\n<x/>").is_err(), "non-numeric slot");
         assert!(Request::decode(b"REMOVE m1\ntrailing").is_err(), "REMOVE takes no body");
         assert!(Response::decode(b"WAT 0\n").is_err(), "bad status line");
         let newline_msg = Response::Err {

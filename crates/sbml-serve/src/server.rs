@@ -49,6 +49,8 @@ use crate::cache::QueryCache;
 use crate::metrics::Metrics;
 use crate::protocol::{write_frame, ErrKind, Request, Response, MAX_FRAME};
 use crate::report::format_matches;
+use crate::snapshot::semantics_token;
+use crate::wire::{PartialCandidates, PartialMatches};
 
 /// How long a worker waits on one connection for the start of a frame
 /// before putting it back on the queue and serving someone else.
@@ -82,19 +84,52 @@ impl Default for ServerConfig {
     }
 }
 
+/// What one daemon is within a cluster: which residue class of the
+/// global slot space it owns, and where its live models sit in that
+/// space. A standalone daemon is the degenerate `0/1` identity whose
+/// global slots equal its local ones. Built by the cluster layer (from
+/// [`sbml_match::RawIndex::carve_shard`] or a per-shard snapshot) and
+/// handed to [`Server::bind_shard`].
+#[derive(Debug, Clone)]
+pub struct ShardIdentity {
+    /// This daemon's shard index (`slot % shards == shard` for every
+    /// slot it owns).
+    pub shard: usize,
+    /// Total shards in the cluster.
+    pub shards: usize,
+    /// Global slot of each live model, positional with the index's live
+    /// corpus (ascending — local rank order is global slot order).
+    pub global_slots: Vec<u64>,
+    /// Size of the cluster-wide slot universe (the next slot a
+    /// coordinator will allocate).
+    pub universe: u64,
+}
+
 /// The mutable heart of the daemon: the index (owner of the live
-/// corpus) plus the positional model-id labels, kept in lockstep so a
-/// result's model number maps to its id without touching the corpus.
+/// corpus) plus the positional model-id labels and global slot table,
+/// kept in lockstep so a result's model number maps to its id and
+/// cluster-wide position without touching the corpus.
 struct Indexed {
     index: MatchIndex,
     /// Model ids, positional with the index's live corpus.
     ids: Vec<String>,
+    /// Global slot per live model, positional with `ids`, ascending.
+    slots: Vec<u64>,
+    /// Global slot universe observed so far (next slot ≥ this).
+    universe: u64,
 }
 
 impl Indexed {
     fn new(index: MatchIndex) -> Indexed {
         let ids = index.corpus().iter().map(|p| p.model().id.clone()).collect();
-        Indexed { index, ids }
+        let slots = index.live_slots().iter().map(|&s| u64::from(s)).collect();
+        let universe = index.slot_universe() as u64;
+        Indexed { index, ids, slots, universe }
+    }
+
+    fn with_identity(index: MatchIndex, slots: Vec<u64>, universe: u64) -> Indexed {
+        let ids = index.corpus().iter().map(|p| p.model().id.clone()).collect();
+        Indexed { index, ids, slots, universe }
     }
 }
 
@@ -107,7 +142,9 @@ struct ServeState {
     config: ServerConfig,
     threads: usize,
     addr: SocketAddr,
-    shutdown: AtomicBool,
+    /// This daemon's (shard, shards) position; `(0, 1)` standalone.
+    shard: usize,
+    shards: usize,
     /// Daemon-lifetime compose worker pool: every COMPOSE session on
     /// every connection shares these parked threads instead of spawning
     /// scoped threads per request.
@@ -135,7 +172,7 @@ fn resolve_threads(threads: usize) -> usize {
 /// conversion — so two spellings of the same network (different model
 /// id, reordered components, synonym names) land on one entry and get
 /// byte-identical answers.
-fn cache_key(verb: &str, model: &Model, options: &ComposeOptions) -> String {
+pub fn cache_key(verb: &str, model: &Model, options: &ComposeOptions) -> String {
     let mut keys = sbml_compose::model_content_keys(model, options);
     keys.sort_unstable();
     let mut out = String::with_capacity(keys.iter().map(|k| k.len() + 1).sum::<usize>() + 8);
@@ -159,6 +196,31 @@ impl Server {
         options: ComposeOptions,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Server::bind_with(addr, index, options, config, None)
+    }
+
+    /// [`Server::bind`] for a cluster shard daemon: the daemon owns only
+    /// `identity.shard`'s residue class of the global slot space, maps
+    /// its local ranks through `identity.global_slots`, and validates
+    /// slot ownership on pinned `UPSERT`s. Everything else — verbs,
+    /// caching, budgets — behaves exactly like a standalone daemon.
+    pub fn bind_shard(
+        addr: impl ToSocketAddrs,
+        index: MatchIndex,
+        options: ComposeOptions,
+        config: ServerConfig,
+        identity: ShardIdentity,
+    ) -> io::Result<Server> {
+        Server::bind_with(addr, index, options, config, Some(identity))
+    }
+
+    fn bind_with(
+        addr: impl ToSocketAddrs,
+        index: MatchIndex,
+        options: ComposeOptions,
+        config: ServerConfig,
+        identity: Option<ShardIdentity>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let threads = resolve_threads(config.threads);
@@ -169,16 +231,58 @@ impl Server {
         if let Some(ms) = config.deadline_ms {
             index = index.with_deadline_ms(ms);
         }
+        let bad = |message: String| io::Error::new(io::ErrorKind::InvalidInput, message);
+        let (shard, shards, indexed) = match identity {
+            None => (0, 1, Indexed::new(index)),
+            Some(identity) => {
+                if identity.shards == 0 || identity.shard >= identity.shards {
+                    return Err(bad(format!(
+                        "shard {} out of range for {} shard(s)",
+                        identity.shard, identity.shards,
+                    )));
+                }
+                if identity.global_slots.len() != index.len() {
+                    return Err(bad(format!(
+                        "{} global slot(s) for {} live model(s)",
+                        identity.global_slots.len(),
+                        index.len(),
+                    )));
+                }
+                if !identity.global_slots.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(bad("global slots must be strictly ascending".into()));
+                }
+                for &slot in &identity.global_slots {
+                    if slot as usize % identity.shards != identity.shard {
+                        return Err(bad(format!(
+                            "global slot {slot} is not owned by shard {}/{}",
+                            identity.shard, identity.shards,
+                        )));
+                    }
+                    if slot >= identity.universe {
+                        return Err(bad(format!(
+                            "global slot {slot} beyond the declared universe {}",
+                            identity.universe,
+                        )));
+                    }
+                }
+                (
+                    identity.shard,
+                    identity.shards,
+                    Indexed::with_identity(index, identity.global_slots, identity.universe),
+                )
+            }
+        };
         let options_pool_threads = options.pool_threads;
         let state = Arc::new(ServeState {
             cache: Mutex::new(QueryCache::new(config.cache_capacity)),
             metrics: Metrics::new(),
-            indexed: RwLock::new(Indexed::new(index)),
+            indexed: RwLock::new(indexed),
             options,
             config,
             threads,
             addr: local,
-            shutdown: AtomicBool::new(false),
+            shard,
+            shards,
             compose_pool: Arc::new(match options_pool_threads {
                 0 => WorkerPool::for_host(),
                 n => WorkerPool::new(n),
@@ -199,49 +303,113 @@ impl Server {
     /// never pin a worker.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, state } = self;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(state.threads);
-        for _ in 0..state.threads {
-            let rx = Arc::clone(&rx);
-            let tx = tx.clone();
-            let state = Arc::clone(&state);
-            workers.push(std::thread::spawn(move || loop {
-                let stream = {
-                    let Ok(guard) = rx.lock() else { return };
-                    // A bounded wait, not recv(): workers must observe
-                    // the shutdown flag even while the queue is quiet.
-                    guard.recv_timeout(POLL)
-                };
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
+        let threads = state.threads;
+        let handler: FrameHandler = Arc::new(move |payload: &[u8]| {
+            let started = Instant::now();
+            Metrics::bump(&state.metrics.requests);
+            let mut shutdown = false;
+            let response: Arc<[u8]> = match Request::decode(payload) {
+                Ok(request) => respond(&state, request, &mut shutdown),
+                Err(message) => {
+                    Metrics::bump(&state.metrics.errors);
+                    encode(Response::Err { kind: ErrKind::Proto, message })
                 }
-                match stream {
-                    Ok(stream) => service_once(stream, &state, &tx),
-                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
-                }
-            }));
-        }
-        for stream in listener.incoming() {
-            if state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
+            };
+            state.metrics.record_latency_us(started.elapsed().as_micros() as u64);
+            FrameOutcome { response, shutdown }
+        });
+        serve_frames(listener, threads, handler)
+    }
+}
+
+/// What a [`FrameHandler`] produced for one request frame.
+pub struct FrameOutcome {
+    /// The fully encoded response payload.
+    pub response: Arc<[u8]>,
+    /// True when this request asked the daemon to shut down (the
+    /// response is still written first).
+    pub shutdown: bool,
+}
+
+/// One request frame in, one encoded response out — the pluggable core
+/// [`serve_frames`] runs for every frame. Must be panic-free for
+/// malformed input; both the daemon and the cluster coordinator route
+/// errors into `ERR` responses instead.
+pub type FrameHandler = Arc<dyn Fn(&[u8]) -> FrameOutcome + Send + Sync>;
+
+/// The daemon accept/serve loop, shared by [`Server::run`] and the
+/// cluster coordinator: a `TcpListener` accept loop feeding a bounded
+/// worker pool that multiplexes connections round-robin (one frame per
+/// dispatch, then back on the queue — idle persistent connections never
+/// pin a worker).
+///
+/// **Shutdown drains.** When a handler reports `shutdown`, its response
+/// is written first, then the flag flips and the accept loop is poked.
+/// Connections already queued (or carrying frames already sent) are not
+/// dropped: each is polled once more and any complete in-flight request
+/// frames are answered before the connection closes. Only then do the
+/// workers exit — a client that pipelined `UPSERT; SHUTDOWN` over two
+/// connections gets both answers.
+pub fn serve_frames(listener: TcpListener, threads: usize, handler: FrameHandler) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = Arc::clone(&rx);
+        let tx = tx.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let handler = Arc::clone(&handler);
+        workers.push(std::thread::spawn(move || loop {
+            let stream = {
+                let Ok(guard) = rx.lock() else { return };
+                // A bounded wait, not recv(): workers must observe
+                // the shutdown flag even while the queue is quiet.
+                guard.recv_timeout(POLL)
+            };
             match stream {
                 Ok(stream) => {
-                    if tx.send(stream).is_err() {
-                        break;
+                    if shutdown.load(Ordering::SeqCst) {
+                        // Drain, don't drop: answer the frames this
+                        // connection already sent, then let it close.
+                        drain_connection(stream, &handler);
+                    } else {
+                        service_once(stream, addr, &shutdown, &handler, &tx);
                     }
                 }
-                Err(_) => continue,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        // Queue quiet and the flag is up: every queued
+                        // connection has been drained.
+                        return;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
-        }
-        drop(tx);
-        for worker in workers {
-            let _ = worker.join();
-        }
-        Ok(())
+        }));
     }
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                // Responses must leave immediately — Nagle holding a
+                // small frame back stalls every client roundtrip.
+                let _ = stream.set_nodelay(true);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
 }
 
 /// What one poll of a connection yielded.
@@ -294,7 +462,13 @@ fn poll_frame(stream: &mut TcpStream) -> io::Result<Polled> {
 
 /// Poll one connection for one frame, answer it, and put the connection
 /// back on the queue unless it closed, errored, or asked for shutdown.
-fn service_once(mut stream: TcpStream, state: &ServeState, tx: &mpsc::Sender<TcpStream>) {
+fn service_once(
+    mut stream: TcpStream,
+    addr: SocketAddr,
+    shutdown: &AtomicBool,
+    handler: &FrameHandler,
+    tx: &mpsc::Sender<TcpStream>,
+) {
     let payload = match poll_frame(&mut stream) {
         Ok(Polled::Frame(payload)) => payload,
         Ok(Polled::Idle) => {
@@ -303,27 +477,30 @@ fn service_once(mut stream: TcpStream, state: &ServeState, tx: &mpsc::Sender<Tcp
         }
         Ok(Polled::Closed) | Err(_) => return,
     };
-    let started = Instant::now();
-    Metrics::bump(&state.metrics.requests);
-    let mut shutdown = false;
-    let response: Arc<[u8]> = match Request::decode(&payload) {
-        Ok(request) => respond(state, request, &mut shutdown),
-        Err(message) => {
-            Metrics::bump(&state.metrics.errors);
-            encode(Response::Err { kind: ErrKind::Proto, message })
-        }
-    };
-    state.metrics.record_latency_us(started.elapsed().as_micros() as u64);
-    if write_frame(&mut stream, &response).is_err() {
+    let outcome = handler(&payload);
+    if write_frame(&mut stream, &outcome.response).is_err() {
         return;
     }
-    if shutdown {
-        state.shutdown.store(true, Ordering::SeqCst);
+    if outcome.shutdown {
+        shutdown.store(true, Ordering::SeqCst);
         // Poke the accept loop so it observes the flag.
-        let _ = TcpStream::connect(state.addr);
+        let _ = TcpStream::connect(addr);
         return;
     }
     let _ = tx.send(stream);
+}
+
+/// Answer every request frame this connection has already sent, then
+/// drop it — the shutdown path's bounded farewell (at most one `POLL`
+/// wait after the last in-flight frame; the connection is not
+/// re-enqueued, so a peer that keeps streaming cannot stall shutdown).
+fn drain_connection(mut stream: TcpStream, handler: &FrameHandler) {
+    while let Ok(Polled::Frame(payload)) = poll_frame(&mut stream) {
+        let outcome = handler(&payload);
+        if write_frame(&mut stream, &outcome.response).is_err() {
+            return;
+        }
+    }
 }
 
 fn encode(response: Response) -> Arc<[u8]> {
@@ -438,7 +615,7 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             let result = session.finish();
             encode(Response::Ok { code: 0, body: write_sbml(&result.model).into_bytes() })
         }
-        Request::Upsert { model_xml } => {
+        Request::Upsert { model_xml, slot } => {
             Metrics::bump(&state.metrics.upsert_requests);
             let model = match parse_query(&model_xml, &state.metrics) {
                 Ok(model) => model,
@@ -456,13 +633,56 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
                 });
             };
             let mut ix = write_indexed(state);
+            // A pinned slot must be fresh (appends keep the global-slot
+            // table ascending, mirroring local insertion order) and must
+            // land in this daemon's residue class — a misrouted frame is
+            // a protocol error, not a silent reshard.
+            let global = match slot {
+                Some(slot) => {
+                    if slot < ix.universe {
+                        Metrics::bump(&state.metrics.errors);
+                        return encode(Response::Err {
+                            kind: ErrKind::Proto,
+                            message: format!(
+                                "stale slot {slot}: universe is already {}",
+                                ix.universe,
+                            ),
+                        });
+                    }
+                    if slot as usize % state.shards != state.shard {
+                        Metrics::bump(&state.metrics.errors);
+                        return encode(Response::Err {
+                            kind: ErrKind::Proto,
+                            message: format!(
+                                "slot {slot} is not owned by shard {}/{}",
+                                state.shard, state.shards,
+                            ),
+                        });
+                    }
+                    slot
+                }
+                // Standalone behaviour: take the next owned slot.
+                None => {
+                    let n = state.shards as u64;
+                    let i = state.shard as u64;
+                    let r = ix.universe % n;
+                    if r <= i {
+                        ix.universe + (i - r)
+                    } else {
+                        ix.universe + (n - r) + i
+                    }
+                }
+            };
             let replaced = ix.ids.iter().position(|id| *id == model.id);
             if let Some(rank) = replaced {
                 ix.index.remove(rank);
                 ix.ids.remove(rank);
+                ix.slots.remove(rank);
             }
             let rank = ix.index.insert(prepared);
             ix.ids.push(model.id.clone());
+            ix.slots.push(global);
+            ix.universe = global + 1;
             drop(ix);
             invalidate_cache(state);
             let verb = if replaced.is_some() { "replaced" } else { "inserted" };
@@ -482,11 +702,43 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
             };
             ix.index.remove(rank);
             ix.ids.remove(rank);
+            ix.slots.remove(rank);
             drop(ix);
             invalidate_cache(state);
             encode(Response::Ok {
                 code: 0,
                 body: format!("removed {model_id}\n").into_bytes(),
+            })
+        }
+        Request::PartialMatch { query_xml } => {
+            Metrics::bump(&state.metrics.match_requests);
+            let query = match parse_query(&query_xml, &state.metrics) {
+                Ok(query) => query,
+                Err(response) => return response,
+            };
+            let key = cache_key("PMATCH", &query, &state.options);
+            with_cache(state, key, || {
+                let ix = read_indexed(state);
+                let result = ix.index.query_corpus(&query);
+                if !result.truncated.is_empty() {
+                    Metrics::bump(&state.metrics.budget_cuts);
+                }
+                let part = PartialMatches::from_result(&result, &ix.ids, &ix.slots);
+                Response::Ok { code: 0, body: part.encode() }
+            })
+        }
+        Request::PartialQuery { query_xml } => {
+            Metrics::bump(&state.metrics.query_requests);
+            let query = match parse_query(&query_xml, &state.metrics) {
+                Ok(query) => query,
+                Err(response) => return response,
+            };
+            let key = cache_key("PQUERY", &query, &state.options);
+            with_cache(state, key, || {
+                let ix = read_indexed(state);
+                let candidates = ix.index.candidates(&query);
+                let part = PartialCandidates::from_candidates(&candidates, &ix.ids, &ix.slots);
+                Response::Ok { code: 0, body: part.encode() }
             })
         }
         Request::Stats => {
@@ -504,6 +756,16 @@ fn respond(state: &ServeState, request: Request, shutdown: &mut bool) -> Arc<[u8
                 ix.index.shard_count(),
                 ix.index.len(),
                 ix.index.tombstoned_len(),
+            ));
+            // Cluster identity lines: a coordinator's bind handshake
+            // reads these to validate topology and adopt the universe.
+            body.push_str(&format!(
+                "shard_index {}\nshard_total {}\nuniverse {}\nfingerprint {:016x}\nsemantics {}\n",
+                state.shard,
+                state.shards,
+                ix.universe,
+                state.options.fingerprint().stable_hash(),
+                semantics_token(state.options.semantics),
             ));
             encode(Response::Ok { code: 0, body: body.into_bytes() })
         }

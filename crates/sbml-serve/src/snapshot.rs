@@ -69,6 +69,11 @@ pub const FORMAT_VERSION: u32 = 2;
 const SECTION_MODELS: u8 = 0;
 const SECTION_LAYOUT: u8 = 2;
 const SECTION_SHARD: u8 = 3;
+/// Cluster identity of a per-shard snapshot emitted by
+/// [`Snapshot::split_bytes`]: which residue class of which global slot
+/// space this file holds. Old readers skip the unknown tag and load the
+/// file as an ordinary standalone snapshot.
+const SECTION_CLUSTER: u8 = 4;
 
 /// Why a snapshot could not be written or loaded.
 #[derive(Debug)]
@@ -180,6 +185,51 @@ pub struct SnapshotInfo {
     pub bytes: usize,
 }
 
+/// Cluster identity of a per-shard snapshot: which slot residue class
+/// this file holds out of a global slot universe. Written as the
+/// CLUSTER section by [`Snapshot::split_bytes`]; reconstructed by
+/// [`Snapshot::load_shard`] when carving a shard out of a full
+/// snapshot. Because global slots are allocated densely from 0, shard
+/// `i` of `n` owns exactly the slots `{i, i+n, i+2n, ...}` below
+/// `universe`, so a local (dense) slot `l` maps to global slot
+/// `i + n*l` — no explicit slot table is stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterInfo {
+    /// Which residue class this file holds (`0 <= shard < shards`).
+    pub shard: usize,
+    /// Total shard processes in the cluster.
+    pub shards: usize,
+    /// Size of the *global* slot universe (live + tombstoned slots
+    /// across every shard) at split time.
+    pub universe: u64,
+}
+
+impl ClusterInfo {
+    /// Translate a shard-local slot id to its global slot id.
+    pub fn global_slot(&self, local: u32) -> u64 {
+        self.shard as u64 + self.shards as u64 * local as u64
+    }
+
+    /// The global slot ids of a shard-local index's live models, in
+    /// live (rank) order — ascending, because local slots ascend.
+    pub fn global_slots(&self, index: &MatchIndex) -> Vec<u64> {
+        index.live_slots().iter().map(|&l| self.global_slot(l)).collect()
+    }
+
+    /// How many global slots this shard owns: `|{s < universe : s ≡
+    /// shard (mod shards)}|`. A per-shard file whose local slot
+    /// universe disagrees with this is corrupt — the shard would
+    /// silently drop or invent slots it is responsible for.
+    pub fn owned_slots(&self) -> u64 {
+        let (i, n) = (self.shard as u64, self.shards as u64);
+        if self.universe <= i {
+            0
+        } else {
+            (self.universe - i).div_ceil(n)
+        }
+    }
+}
+
 /// A fully decoded snapshot: the shared corpus and the hot index over
 /// it, ready to serve queries.
 pub struct LoadedSnapshot {
@@ -192,6 +242,10 @@ pub struct LoadedSnapshot {
     pub options: ComposeOptions,
     /// Header facts.
     pub info: SnapshotInfo,
+    /// Cluster identity, when this is one shard of a partitioned
+    /// corpus (a per-shard file, or a [`Snapshot::load_shard`] carve).
+    /// `None` for ordinary standalone snapshots.
+    pub cluster: Option<ClusterInfo>,
 }
 
 /// The preset [`ComposeOptions`] a snapshot's semantics byte denotes.
@@ -220,6 +274,28 @@ fn semantics_from_tag(tag: u8) -> Result<SemanticsLevel, SnapshotError> {
         1 => Ok(SemanticsLevel::Light),
         2 => Ok(SemanticsLevel::None),
         other => Err(corrupt(format!("invalid semantics byte {other}"))),
+    }
+}
+
+/// The canonical lowercase token for a semantics level — what the CLI's
+/// `--semantics` flag accepts and what daemon STATS / `snapshot inspect`
+/// print. The coordinator's handshake compares these tokens across
+/// shards, so they must stay stable.
+pub fn semantics_token(level: SemanticsLevel) -> &'static str {
+    match level {
+        SemanticsLevel::Heavy => "heavy",
+        SemanticsLevel::Light => "light",
+        SemanticsLevel::None => "none",
+    }
+}
+
+/// Parse a [`semantics_token`] back to its level.
+pub fn semantics_from_token(token: &str) -> Option<SemanticsLevel> {
+    match token {
+        "heavy" => Some(SemanticsLevel::Heavy),
+        "light" => Some(SemanticsLevel::Light),
+        "none" => Some(SemanticsLevel::None),
+        _ => None,
     }
 }
 
@@ -418,6 +494,27 @@ fn read_shard(r: &mut Reader<'_>) -> Result<RawShard, String> {
     })
 }
 
+/// Decode a CLUSTER section payload: shard index u32, shard count u32,
+/// global slot universe u64.
+fn read_cluster(section: &[u8]) -> Result<ClusterInfo, SnapshotError> {
+    let mut r = Reader::new(section);
+    let shard = r.u32("cluster shard").map_err(corrupt)? as usize;
+    let shards = r.u32("cluster shard count").map_err(corrupt)? as usize;
+    let universe = r.u64("cluster universe").map_err(corrupt)?;
+    if !r.is_done() {
+        return Err(corrupt(format!(
+            "CLUSTER section holds {} undecoded trailing byte(s)",
+            r.remaining(),
+        )));
+    }
+    if shards == 0 || shard >= shards {
+        return Err(corrupt(format!(
+            "CLUSTER section names shard {shard} of {shards}",
+        )));
+    }
+    Ok(ClusterInfo { shard, shards, universe })
+}
+
 /// Entry points for writing and reading snapshot files; see the
 /// [module docs](self) for the format.
 pub struct Snapshot;
@@ -442,6 +539,17 @@ impl Snapshot {
         index: &MatchIndex,
         options: &ComposeOptions,
         previous: Option<&[u8]>,
+    ) -> (Vec<u8>, usize) {
+        Snapshot::encode_with(index, options, previous, None)
+    }
+
+    /// [`Snapshot::encode_update`] plus an optional CLUSTER section
+    /// stamping the bytes as one shard of a partitioned corpus.
+    fn encode_with(
+        index: &MatchIndex,
+        options: &ComposeOptions,
+        previous: Option<&[u8]>,
+        cluster: Option<&ClusterInfo>,
     ) -> (Vec<u8>, usize) {
         let corpus = index.corpus();
         let raw = index.to_raw();
@@ -488,7 +596,14 @@ impl Snapshot {
             w.count(rs.edge_postings.len());
             w.count(rs.participant_postings.len());
         }
-        w.count(2 + shard_bytes.len()); // section count
+        let cluster_bytes = cluster.map(|c| {
+            let mut cw = Writer::new();
+            cw.u32(c.shard as u32);
+            cw.u32(c.shards as u32);
+            cw.u64(c.universe);
+            cw.into_bytes()
+        });
+        w.count(2 + shard_bytes.len() + usize::from(cluster_bytes.is_some()));
         w.u8(SECTION_MODELS);
         w.u64(models.len() as u64);
         w.u8(SECTION_LAYOUT);
@@ -497,11 +612,18 @@ impl Snapshot {
             w.u8(SECTION_SHARD);
             w.u64(sb.len() as u64);
         }
+        if let Some(cb) = &cluster_bytes {
+            w.u8(SECTION_CLUSTER);
+            w.u64(cb.len() as u64);
+        }
         let mut bytes = w.into_bytes();
         bytes.extend_from_slice(&models);
         bytes.extend_from_slice(&layout);
         for sb in &shard_bytes {
             bytes.extend_from_slice(sb);
+        }
+        if let Some(cb) = &cluster_bytes {
+            bytes.extend_from_slice(cb);
         }
         (bytes, reused)
     }
@@ -707,16 +829,19 @@ impl Snapshot {
         let mut models_section: Option<&[u8]> = None;
         let mut layout_section: Option<&[u8]> = None;
         let mut shard_sections: Vec<&[u8]> = Vec::new();
+        let mut cluster_section: Option<&[u8]> = None;
         for (tag, start, end) in sections {
             match tag {
                 SECTION_MODELS => models_section = Some(&bytes[start..end]),
                 SECTION_LAYOUT => layout_section = Some(&bytes[start..end]),
                 SECTION_SHARD => shard_sections.push(&bytes[start..end]),
+                SECTION_CLUSTER => cluster_section = Some(&bytes[start..end]),
                 // Unknown sections are skipped: a future writer may
                 // append new ones without breaking this reader.
                 _ => {}
             }
         }
+        let cluster = cluster_section.map(read_cluster).transpose()?;
         let models_section =
             models_section.ok_or_else(|| corrupt("missing MODELS section".into()))?;
         let layout_section =
@@ -801,6 +926,236 @@ impl Snapshot {
         let index = MatchIndex::from_raw(raw_index, &corpus, options, threads)
             .map_err(|e| corrupt(format!("index: {e}")))?;
 
-        Ok(LoadedSnapshot { corpus, index, options: options.clone(), info })
+        if let Some(c) = &cluster {
+            // The file's local slot universe must account for exactly
+            // the global slots its residue class owns — anything else
+            // means the shard would drop or invent slot ownership.
+            let local = index.slot_universe() as u64;
+            if local != c.owned_slots() {
+                return Err(corrupt(format!(
+                    "CLUSTER section claims shard {}/{} of a {}-slot universe \
+                     (owning {} slot(s)) but the file holds {local} slot(s)",
+                    c.shard,
+                    c.shards,
+                    c.universe,
+                    c.owned_slots(),
+                )));
+            }
+        }
+
+        Ok(LoadedSnapshot { corpus, index, options: options.clone(), info, cluster })
+    }
+
+    /// Read just the CLUSTER identity of a snapshot file, if it has one
+    /// — `None` for ordinary standalone snapshots. Decodes only the
+    /// header and the (16-byte) CLUSTER payload.
+    pub fn cluster_info(path: impl AsRef<Path>) -> Result<Option<ClusterInfo>, SnapshotError> {
+        Snapshot::cluster_info_bytes(&fs::read(path)?)
+    }
+
+    /// [`Snapshot::cluster_info`] over bytes already in memory.
+    pub fn cluster_info_bytes(bytes: &[u8]) -> Result<Option<ClusterInfo>, SnapshotError> {
+        let (_, sections) = Snapshot::header(bytes)?;
+        sections
+            .iter()
+            .find(|&&(tag, _, _)| tag == SECTION_CLUSTER)
+            .map(|&(_, start, end)| read_cluster(&bytes[start..end]))
+            .transpose()
+    }
+
+    /// Carve one shard's partition out of a full snapshot: decode the
+    /// layout, retain only the models whose slot satisfies
+    /// `slot % shards == shard`, decode **only** that shard's SHARD
+    /// section (the others' byte ranges are never touched — the same
+    /// splice-awareness [`Snapshot::write_update`] exploits), and remap
+    /// the partition to a dense local slot space. The returned
+    /// [`LoadedSnapshot`] holds a single-shard index over the owned
+    /// models with `cluster` describing the global identity.
+    ///
+    /// `shards` must equal the snapshot's physical shard count (built
+    /// with `snapshot build --shards n`) — slot ownership on disk is
+    /// `slot % n`, so the file's own partitioning defines the cluster
+    /// topology.
+    pub fn load_shard(
+        path: impl AsRef<Path>,
+        threads: usize,
+        shard: usize,
+        shards: usize,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        let bytes = fs::read(path)?;
+        let (info, _) = Snapshot::header(&bytes)?;
+        let options = preset_options(info.semantics);
+        Snapshot::load_shard_bytes(&bytes, &options, threads, shard, shards)
+    }
+
+    /// [`Snapshot::load_shard`] over bytes already in memory, under
+    /// explicitly supplied options.
+    pub fn load_shard_bytes(
+        bytes: &[u8],
+        options: &ComposeOptions,
+        threads: usize,
+        shard: usize,
+        shards: usize,
+    ) -> Result<LoadedSnapshot, SnapshotError> {
+        let (info, sections) = Snapshot::header(bytes)?;
+        let expected = options.fingerprint().stable_hash();
+        if info.fingerprint != expected {
+            return Err(SnapshotError::FingerprintMismatch {
+                expected,
+                found: info.fingerprint,
+            });
+        }
+        if options.semantics != info.semantics {
+            return Err(corrupt(
+                "semantics byte disagrees with options of the same fingerprint".into(),
+            ));
+        }
+        if shards == 0 || shard >= shards {
+            return Err(corrupt(format!("shard {shard}/{shards} is not a valid identity")));
+        }
+        if info.shards.len() != shards {
+            return Err(corrupt(format!(
+                "snapshot partitions into {} shard(s); cannot serve shard {shard}/{shards} \
+                 (rebuild with `snapshot build --shards {shards}`)",
+                info.shards.len(),
+            )));
+        }
+        let mut models_section: Option<&[u8]> = None;
+        let mut layout_section: Option<&[u8]> = None;
+        let mut shard_sections: Vec<&[u8]> = Vec::new();
+        for (tag, start, end) in sections {
+            match tag {
+                SECTION_MODELS => models_section = Some(&bytes[start..end]),
+                SECTION_LAYOUT => layout_section = Some(&bytes[start..end]),
+                SECTION_SHARD => shard_sections.push(&bytes[start..end]),
+                _ => {}
+            }
+        }
+        let models_section =
+            models_section.ok_or_else(|| corrupt("missing MODELS section".into()))?;
+        let layout_section =
+            layout_section.ok_or_else(|| corrupt("missing LAYOUT section".into()))?;
+        if shard_sections.len() != info.shards.len() {
+            return Err(corrupt(format!(
+                "{} SHARD section(s) but the header declares {} shard(s)",
+                shard_sections.len(),
+                info.shards.len(),
+            )));
+        }
+
+        let mut r = Reader::new(layout_section);
+        let (live, graphs) = read_layout(&mut r).map_err(corrupt)?;
+        if !r.is_done() {
+            return Err(corrupt(format!(
+                "LAYOUT section holds {} undecoded trailing byte(s)",
+                r.remaining(),
+            )));
+        }
+        if live.len() != info.models {
+            return Err(corrupt(format!(
+                "LAYOUT lists {} live slot(s), header says {} model(s)",
+                live.len(),
+                info.models,
+            )));
+        }
+
+        // The MODELS section is one sequential stream (a shared
+        // interning dictionary), so every model is decoded — but only
+        // the owned residue class pays preparation and retention.
+        let mut r = Reader::new(models_section);
+        let n = r.count(1, "model count").map_err(corrupt)?;
+        if n != info.models {
+            return Err(corrupt(format!(
+                "MODELS section holds {n} model(s), header says {}",
+                info.models,
+            )));
+        }
+        let mut corpus = Vec::new();
+        for i in 0..n {
+            let raw = read_prepared(&mut r).map_err(|e| corrupt(format!("model {i}: {e}")))?;
+            if live[i] as usize % shards == shard {
+                let prepared = PreparedModel::from_raw(raw, options)
+                    .map_err(|e| corrupt(format!("model {i}: {e}")))?;
+                corpus.push(Arc::new(prepared));
+            }
+        }
+        if !r.is_done() {
+            return Err(corrupt(format!(
+                "MODELS section holds {} undecoded trailing byte(s)",
+                r.remaining(),
+            )));
+        }
+
+        // Decode only the owned SHARD section.
+        let si = &info.shards[shard];
+        let mut r = Reader::new(shard_sections[shard]);
+        let mut owned =
+            read_shard(&mut r).map_err(|e| corrupt(format!("shard {shard}: {e}")))?;
+        if !r.is_done() {
+            return Err(corrupt(format!(
+                "SHARD section {shard} holds {} undecoded trailing byte(s)",
+                r.remaining(),
+            )));
+        }
+        if owned.members.len() != si.live || owned.dead.len() != si.dead {
+            return Err(corrupt(format!(
+                "shard {shard} holds {} live / {} dead slot(s), header says {} / {}",
+                owned.members.len(),
+                owned.dead.len(),
+                si.live,
+                si.dead,
+            )));
+        }
+        owned.generation = si.generation;
+
+        // A full RawIndex with every *other* shard left empty: carving
+        // only reads the target shard's lists plus the global live
+        // layout, so the placeholders are never consulted.
+        let mut placeholder: Vec<RawShard> = Vec::with_capacity(shards);
+        placeholder.resize_with(shards, RawShard::default);
+        placeholder[shard] = owned;
+        let full = RawIndex {
+            generation: info.generation,
+            live,
+            graphs,
+            shards: placeholder,
+        };
+        let (local_raw, _global) = full
+            .carve_shard(shard)
+            .map_err(|e| corrupt(format!("shard {shard}: {e}")))?;
+        let index = MatchIndex::from_raw(local_raw, &corpus, options, threads)
+            .map_err(|e| corrupt(format!("shard {shard} index: {e}")))?;
+        let universe =
+            info.models as u64 + info.shards.iter().map(|s| s.dead as u64).sum::<u64>();
+        let cluster = ClusterInfo { shard, shards, universe };
+
+        Ok(LoadedSnapshot { corpus, index, options: options.clone(), info, cluster: Some(cluster) })
+    }
+
+    /// Split a full snapshot into one standalone per-shard snapshot per
+    /// physical shard. Each output is an ordinary single-shard format-2
+    /// file (loadable by any reader) plus a CLUSTER section recording
+    /// its identity, so `sbmlcompose serve --shard i/n` can start from
+    /// it without reading the other partitions at all.
+    pub fn split(path: impl AsRef<Path>) -> Result<Vec<Vec<u8>>, SnapshotError> {
+        Snapshot::split_bytes(&fs::read(path)?)
+    }
+
+    /// [`Snapshot::split`] over bytes already in memory.
+    pub fn split_bytes(bytes: &[u8]) -> Result<Vec<Vec<u8>>, SnapshotError> {
+        let (info, _) = Snapshot::header(bytes)?;
+        let options = preset_options(info.semantics);
+        let shards = info.shards.len();
+        (0..shards)
+            .map(|i| {
+                let loaded = Snapshot::load_shard_bytes(bytes, &options, 1, i, shards)?;
+                let cluster = loaded
+                    .cluster
+                    .ok_or_else(|| corrupt(format!("shard {i}: carve lost cluster identity")))?;
+                let (out, _) =
+                    Snapshot::encode_with(&loaded.index, &options, None, Some(&cluster));
+                Ok(out)
+            })
+            .collect()
     }
 }

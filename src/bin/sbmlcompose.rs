@@ -157,6 +157,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "diff" => cmd_diff(rest),
         "snapshot" => cmd_snapshot(rest),
         "serve" => cmd_serve(rest),
+        "coordinator" => cmd_coordinator(rest),
+        "cluster" => cmd_cluster(rest),
         "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -204,18 +206,37 @@ fn print_usage() {
          \x20        prepares every .xml model in the directory, builds the match index\n\
          \x20        (--shards partitions its posting lists; answers are identical at\n\
          \x20        every shard count), and persists both to a binary snapshot\n\
-         \x20 sbmlcompose snapshot inspect <file>\n\
+         \x20 sbmlcompose snapshot inspect <file> [--shard I]\n\
          \x20        prints the snapshot header (version, semantics, fingerprint, model\n\
          \x20        count, index generation, per-shard stats, posting counts) without\n\
-         \x20        decoding the payload; exit 3 if corrupt\n\
-         \x20 sbmlcompose serve    <snapshot> [--addr host:port] [--threads N] [--cache N]\n\
-         \x20                      [--top K] [--deadline-ms N] [--max-steps N]\n\
+         \x20        decoding the payload; --shard I describes one shard (its stats plus\n\
+         \x20        the slots it owns); split files also print their cluster identity;\n\
+         \x20        exit 3 if corrupt\n\
+         \x20 sbmlcompose snapshot split <file> [-o prefix]\n\
+         \x20        carves a full snapshot into one self-contained file per physical\n\
+         \x20        shard (prefix.shard0, prefix.shard1, ...); each loads standalone as\n\
+         \x20        a shard daemon corpus and records its i/n identity and slot universe\n\
+         \x20 sbmlcompose serve    <snapshot> [--shard I/N] [--addr host:port] [--threads N]\n\
+         \x20                      [--cache N] [--top K] [--deadline-ms N] [--max-steps N]\n\
          \x20        loads the snapshot (no re-analysis) and serves MATCH/QUERY/COMPOSE/\n\
          \x20        UPSERT/REMOVE/STATS/SHUTDOWN over plain TCP frames; prints the bound\n\
          \x20        address. UPSERT/REMOVE mutate the live index in place (no restart).\n\
-         \x20        --cache: LRU result-cache entries (default 256, 0 disables);\n\
-         \x20        --deadline-ms/--max-steps: per-request budget (hostile requests get\n\
-         \x20        a structured budget error; the daemon keeps serving)\n\
+         \x20        --shard I/N: serve only shard I of an N-wide cluster (loads just\n\
+         \x20        that slice of a full snapshot; a split file carries its identity and\n\
+         \x20        needs no flag). --cache: LRU result-cache entries (default 256,\n\
+         \x20        0 disables); --deadline-ms/--max-steps: per-request budget (hostile\n\
+         \x20        requests get a structured budget error; the daemon keeps serving)\n\
+         \x20 sbmlcompose coordinator --shards addr,addr,... [--addr host:port]\n\
+         \x20                      [--threads N] [--cache N] [--top K] [--deadline-ms N]\n\
+         \x20                      [--max-steps N] [--retry-attempts N] [--retry-backoff-ms N]\n\
+         \x20        serves the same client protocol over a cluster of shard daemons:\n\
+         \x20        routes UPSERT/REMOVE by slot ownership, scatters MATCH/QUERY to all\n\
+         \x20        shards and merges answers bit-identically to a single process. A\n\
+         \x20        dead shard degrades reads to a partial answer (exit 4, shard named)\n\
+         \x20        and fails writes loudly\n\
+         \x20 sbmlcompose cluster  status <addr>\n\
+         \x20        prints the coordinator's aggregated STATS (cluster identity plus\n\
+         \x20        each shard's counters, or a dead marker naming the shard)\n\
          \x20 sbmlcompose client   <addr> match <query.xml> | query <query.xml> |\n\
          \x20                      compose <a.xml> <b.xml>... | upsert <model.xml> |\n\
          \x20                      remove <model-id> | stats | shutdown\n\
@@ -653,12 +674,59 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
             );
             Ok(ExitCode::SUCCESS)
         }
+        "split" => {
+            let mut args = rest.to_vec();
+            let prefix = take_flag(&mut args, "-o");
+            let [path] = args.as_slice() else {
+                return Err("snapshot split needs exactly one file".into());
+            };
+            let prefix = prefix.unwrap_or_else(|| path.clone());
+            let parts =
+                Snapshot::split(path).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            let n = parts.len();
+            for (i, bytes) in parts.iter().enumerate() {
+                let out = format!("{prefix}.shard{i}");
+                fs::write(&out, bytes)
+                    .map_err(|e| CliError::Input(format!("cannot write {out}: {e}")))?;
+                eprintln!("shard {i}/{n}: {out} ({} bytes)", bytes.len());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
         "inspect" => {
-            let [path] = rest else {
+            let mut args = rest.to_vec();
+            let shard_filter: Option<usize> = take_flag(&mut args, "--shard")
+                .map(|v| v.parse().map_err(|_| format!("bad --shard {v:?}")))
+                .transpose()?;
+            let [path] = args.as_slice() else {
                 return Err("snapshot inspect needs exactly one file".into());
             };
             let info = Snapshot::inspect(path)
                 .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            let cluster = Snapshot::cluster_info(path)
+                .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            if let Some(i) = shard_filter {
+                if i >= info.shards.len() {
+                    return Err(CliError::Input(format!(
+                        "shard {i} out of range: snapshot has {} shard(s)",
+                        info.shards.len(),
+                    )));
+                }
+                let shard = &info.shards[i];
+                println!("shard {i}/{}", info.shards.len());
+                println!("generation {}", shard.generation);
+                println!("live {}", shard.live);
+                println!("dead {}", shard.dead);
+                println!("owned_slots {}", shard.live + shard.dead);
+                println!("tombstone_fraction {:.3}", shard.tombstone_fraction());
+                println!("node_postings {}", shard.node_postings);
+                println!("edge_postings {}", shard.edge_postings);
+                println!("participant_postings {}", shard.participant_postings);
+                if let Some(c) = cluster {
+                    println!("cluster_shard {}/{}", c.shard, c.shards);
+                    println!("cluster_universe {}", c.universe);
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
             println!("version {}", info.version);
             println!("semantics {}", semantics_name(info.semantics));
             println!("fingerprint {:016x}", info.fingerprint);
@@ -682,17 +750,37 @@ fn cmd_snapshot(args: &[String]) -> Result<ExitCode, CliError> {
             println!("edge_postings {}", info.edge_postings);
             println!("participant_postings {}", info.participant_postings);
             println!("bytes {}", info.bytes);
+            if let Some(c) = cluster {
+                println!("cluster_shard {}/{}", c.shard, c.shards);
+                println!("cluster_universe {}", c.universe);
+            }
             Ok(ExitCode::SUCCESS)
         }
-        other => Err(format!("unknown snapshot subcommand {other:?} (build|inspect)").into()),
+        other => {
+            Err(format!("unknown snapshot subcommand {other:?} (build|inspect|split)").into())
+        }
     }
 }
 
+/// Parse `--shard I/N` (e.g. `2/4`) into `(shard, shards)`.
+fn parse_shard_spec(spec: &str) -> Result<(usize, usize), CliError> {
+    let parsed = spec.split_once('/').and_then(|(i, n)| {
+        let shard: usize = i.parse().ok()?;
+        let shards: usize = n.parse().ok()?;
+        (shards > 0 && shard < shards).then_some((shard, shards))
+    });
+    parsed.ok_or_else(|| {
+        CliError::Usage(format!("--shard takes I/N with I < N, not {spec:?}"))
+    })
+}
+
 fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
-    use sbmlcompose::serve::{Server, ServerConfig, Snapshot};
+    use sbmlcompose::serve::{Server, ServerConfig, ShardIdentity, Snapshot};
 
     let mut args = args.to_vec();
     let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_owned());
+    let shard_spec =
+        take_flag(&mut args, "--shard").map(|v| parse_shard_spec(&v)).transpose()?;
     let threads: usize = take_flag(&mut args, "--threads")
         .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
         .transpose()?
@@ -709,17 +797,51 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let [snapshot_path] = args.as_slice() else {
         return Err("serve needs exactly one snapshot file".into());
     };
-    let loaded = Snapshot::load_auto(snapshot_path, threads)
+    let on_disk = Snapshot::cluster_info(snapshot_path)
         .map_err(|e| CliError::Input(format!("{snapshot_path}: {e}")))?;
-    let sbmlcompose::serve::LoadedSnapshot { index, options, info, .. } = loaded;
+    let loaded = match (shard_spec, on_disk) {
+        // A split file carries its own identity; --shard may restate it.
+        (spec, Some(c)) => {
+            if let Some((shard, shards)) = spec {
+                if (shard, shards) != (c.shard, c.shards) {
+                    return Err(CliError::Input(format!(
+                        "{snapshot_path} is shard {}/{} (asked to serve {shard}/{shards})",
+                        c.shard, c.shards,
+                    )));
+                }
+            }
+            Snapshot::load_auto(snapshot_path, threads)
+        }
+        (Some((shard, shards)), None) => {
+            Snapshot::load_shard(snapshot_path, threads, shard, shards)
+        }
+        (None, None) => Snapshot::load_auto(snapshot_path, threads),
+    }
+    .map_err(|e| CliError::Input(format!("{snapshot_path}: {e}")))?;
+    let sbmlcompose::serve::LoadedSnapshot { index, options, info, cluster, .. } = loaded;
     let config =
         ServerConfig { threads, cache_capacity, max_steps, deadline_ms, top_k };
-    let server = Server::bind(addr.as_str(), index, options, config)
-        .map_err(|e| CliError::Input(format!("cannot bind {addr}: {e}")))?;
+    let identity = cluster.map(|c| ShardIdentity {
+        shard: c.shard,
+        shards: c.shards,
+        global_slots: c.global_slots(&index),
+        universe: c.universe,
+    });
+    let role = match &identity {
+        Some(id) => format!(", shard {}/{}", id.shard, id.shards),
+        None => String::new(),
+    };
+    // `info.models` counts the whole file; a --shard load serves a slice.
+    let serving = index.len();
+    let server = match identity {
+        Some(id) => Server::bind_shard(addr.as_str(), index, options, config, id),
+        None => Server::bind(addr.as_str(), index, options, config),
+    }
+    .map_err(|e| CliError::Input(format!("cannot bind {addr}: {e}")))?;
     println!(
-        "listening on {} ({} model(s), semantics {})",
+        "listening on {} ({} model(s), semantics {}{role})",
         server.local_addr(),
-        info.models,
+        serving,
         semantics_name(info.semantics),
     );
     // Scripts wait for the address line before connecting; stdout may be
@@ -727,6 +849,98 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, CliError> {
     let _ = std::io::Write::flush(&mut std::io::stdout());
     server.run().map_err(|e| CliError::Input(format!("serve failed: {e}")))?;
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_coordinator(args: &[String]) -> Result<ExitCode, CliError> {
+    use sbmlcompose::cluster::{Coordinator, CoordinatorConfig, RetryPolicy};
+
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_owned());
+    let shards_flag = take_flag(&mut args, "--shards")
+        .ok_or("coordinator needs --shards addr,addr,... (one per shard, in order)")?;
+    let shard_addrs: Vec<String> = shards_flag
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shard_addrs.is_empty() {
+        return Err("--shards needs at least one address".into());
+    }
+    let threads: usize = take_flag(&mut args, "--threads")
+        .map(|v| v.parse().map_err(|_| format!("bad --threads {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let cache_capacity: usize = take_flag(&mut args, "--cache")
+        .map(|v| v.parse().map_err(|_| format!("bad --cache {v:?}")))
+        .transpose()?
+        .unwrap_or(256);
+    let top_k: usize = take_flag(&mut args, "--top")
+        .map(|v| v.parse().map_err(|_| format!("bad --top {v:?}")))
+        .transpose()?
+        .unwrap_or(10);
+    let (deadline_ms, max_steps) = take_budget_flags(&mut args)?;
+    let mut retry = RetryPolicy::default();
+    if let Some(v) = take_flag(&mut args, "--retry-attempts") {
+        retry.attempts = v.parse().map_err(|_| format!("bad --retry-attempts {v:?}"))?;
+    }
+    if let Some(v) = take_flag(&mut args, "--retry-backoff-ms") {
+        retry.backoff_ms = v.parse().map_err(|_| format!("bad --retry-backoff-ms {v:?}"))?;
+    }
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected coordinator argument {stray:?}").into());
+    }
+    let config = CoordinatorConfig {
+        threads,
+        cache_capacity,
+        max_steps,
+        deadline_ms,
+        top_k,
+        retry,
+        options: None,
+    };
+    let coordinator = Coordinator::bind(addr.as_str(), &shard_addrs, config)
+        .map_err(|e| CliError::Input(format!("cannot start coordinator on {addr}: {e}")))?;
+    println!(
+        "listening on {} (coordinator, {} shard(s), {} model(s))",
+        coordinator.local_addr(),
+        coordinator.shards(),
+        coordinator.live_models(),
+    );
+    // Scripts wait for the address line before connecting.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    coordinator.run().map_err(|e| CliError::Input(format!("coordinator failed: {e}")))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_cluster(args: &[String]) -> Result<ExitCode, CliError> {
+    use sbmlcompose::serve::{Client, Request, Response};
+
+    let Some(sub) = args.first() else {
+        return Err("cluster needs a subcommand: status <addr>".into());
+    };
+    match sub.as_str() {
+        "status" => {
+            let [addr] = &args[1..] else {
+                return Err("cluster status needs exactly one coordinator address".into());
+            };
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| CliError::Input(format!("cannot connect to {addr}: {e}")))?;
+            let response = client
+                .roundtrip(&Request::Stats)
+                .map_err(|e| CliError::Input(format!("{addr}: {e}")))?;
+            match response {
+                Response::Ok { body, .. } => {
+                    let _ = std::io::Write::write_all(&mut std::io::stdout(), &body);
+                    Ok(ExitCode::SUCCESS)
+                }
+                Response::Err { kind, message } => {
+                    eprintln!("error ({}): {message}", kind.token());
+                    Ok(ExitCode::from(kind.exit_code()))
+                }
+            }
+        }
+        other => Err(format!("unknown cluster subcommand {other:?} (status)").into()),
+    }
 }
 
 fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
@@ -763,7 +977,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, CliError> {
         }
         "upsert" => {
             let [path] = rest else { return Err("client upsert needs one model file".into()) };
-            Request::Upsert { model_xml: read_doc(path)? }
+            Request::Upsert { model_xml: read_doc(path)?, slot: None }
         }
         "remove" => {
             let [model_id] = rest else {

@@ -18,6 +18,7 @@
 //! | [`compose`] | `sbml-compose` | **SBMLCompose** — the paper's contribution |
 //! | [`matching`] | `sbml-match` | subnetwork matching & corpus query engine |
 //! | [`serve`] | `sbml-serve` | corpus snapshots + long-running match/compose daemon |
+//! | [`cluster`] | `sbml-cluster` | shard daemons + scatter-gather coordinator |
 //! | [`baseline`] | `semantic-baseline` | simulated semanticSBML comparator |
 //! | [`sim`] | `bio-sim` | ODE (RK4/RKF45) and Gillespie SSA simulation |
 //! | [`mc2`] | `mc2` | Monte-Carlo PLTL model checker (§4.1.4) |
@@ -117,6 +118,7 @@ pub use bio_sim as sim;
 pub use bio_synonyms as synonyms;
 pub use biomodels_corpus as corpus;
 pub use mc2;
+pub use sbml_cluster as cluster;
 pub use sbml_compose as compose;
 pub use sbml_match as matching;
 pub use sbml_math as math;

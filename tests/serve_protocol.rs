@@ -146,7 +146,7 @@ fn upsert_and_remove_mutate_the_live_index_without_a_restart() {
 
     // UPSERT inserts; the very next MATCH sees it — no rebuild, no
     // restart, and the stale cached answer is gone.
-    let upsert = Request::Upsert { model_xml: write_sbml(&newcomer) };
+    let upsert = Request::Upsert { model_xml: write_sbml(&newcomer), slot: None };
     let inserted = body_of(client.roundtrip(&upsert).expect("upsert"));
     assert!(inserted.starts_with("inserted "), "first upsert inserts: {inserted}");
     let after = body_of(client.roundtrip(&match_whole).expect("match after"));

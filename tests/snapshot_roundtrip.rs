@@ -209,3 +209,94 @@ fn inspect_reports_the_header_without_decoding() {
     assert_eq!(info.shards[0].dead, 0);
     assert_eq!(info.shards[0].tombstone_fraction(), 0.0);
 }
+
+/// The two ways to stand up a shard daemon's corpus — carving the
+/// in-memory index and slicing the snapshot bytes — must agree exactly:
+/// same cluster identity, same local corpus, bit-identical answers.
+#[test]
+fn load_shard_matches_the_in_memory_carve() {
+    let models = corpus_slice(58..70);
+    let options = ComposeOptions::heavy();
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let mut index = MatchIndex::build_sharded(&prepared, &options, 0, 3);
+    // A tombstone keeps the slot universe honest: slots are never
+    // reused, so universe stays at 12 while only 11 models live.
+    index.remove(4);
+    let bytes = Snapshot::encode(&index, &options);
+
+    for shard in 0..3 {
+        let carved = sbmlcompose::cluster::carve(&index, &options, 0, shard)
+            .unwrap_or_else(|e| panic!("carve shard {shard}: {e}"));
+        let loaded = Snapshot::load_shard_bytes(&bytes, &options, 0, shard, 3)
+            .unwrap_or_else(|e| panic!("load shard {shard}: {e}"));
+        let (local, identity) = carved;
+        let cluster = loaded.cluster.unwrap_or_else(|| panic!("shard {shard} identity"));
+        assert_eq!(cluster.shard, shard);
+        assert_eq!(cluster.shards, 3);
+        assert_eq!(cluster.universe, identity.universe, "slot universe agrees");
+        assert_eq!(
+            cluster.global_slots(&loaded.index),
+            identity.global_slots,
+            "shard {shard}: global slot maps agree"
+        );
+        assert_eq!(loaded.index.len(), local.len(), "shard {shard}: corpus size");
+        let ids: Vec<String> =
+            loaded.index.corpus().iter().map(|p| p.model().id.clone()).collect();
+        let carved_ids: Vec<String> =
+            local.corpus().iter().map(|p| p.model().id.clone()).collect();
+        assert_eq!(ids, carved_ids, "shard {shard}: same models in the same order");
+        for (qi, query) in queries(&models).iter().enumerate() {
+            assert_eq!(
+                format_matches(&loaded.index.query_corpus(query), &ids, &ids),
+                format_matches(&local.query_corpus(query), &ids, &ids),
+                "shard {shard} query {qi}: answers must be bit-identical"
+            );
+        }
+    }
+    // Out-of-range and mismatched widths are structured errors, not
+    // silently empty shards.
+    assert!(Snapshot::load_shard_bytes(&bytes, &options, 0, 3, 3).is_err());
+    assert!(Snapshot::load_shard_bytes(&bytes, &options, 0, 0, 2).is_err());
+}
+
+/// `split` emits one self-contained snapshot per shard: each loads on
+/// its own, remembers its place in the cluster, and together they cover
+/// the corpus exactly once.
+#[test]
+fn split_files_load_standalone_and_partition_the_corpus() {
+    let models = corpus_slice(58..68);
+    let options = ComposeOptions::light();
+    let batch = BatchComposer::new(Composer::new(options.clone()));
+    let prepared = batch.prepare_corpus(&models);
+    let index = MatchIndex::build_sharded(&prepared, &options, 0, 4);
+    let bytes = Snapshot::encode(&index, &options);
+
+    let parts = Snapshot::split_bytes(&bytes).expect("split");
+    assert_eq!(parts.len(), 4, "one file per physical shard");
+    let mut seen: Vec<String> = Vec::new();
+    for (shard, part) in parts.iter().enumerate() {
+        let info = Snapshot::cluster_info_bytes(part)
+            .expect("readable part")
+            .unwrap_or_else(|| panic!("part {shard} must carry its identity"));
+        assert_eq!((info.shard, info.shards, info.universe), (shard, 4, 10));
+        let loaded = Snapshot::load_bytes(part, &options, 0)
+            .unwrap_or_else(|e| panic!("part {shard}: {e}"));
+        assert_eq!(loaded.cluster, Some(info), "identity survives the load");
+        for p in loaded.index.corpus() {
+            seen.push(p.model().id.clone());
+        }
+        // Every model in this part belongs to this residue class.
+        for (rank, p) in loaded.index.corpus().iter().enumerate() {
+            let global = info.global_slot(rank as u32) as usize;
+            assert_eq!(global % 4, shard, "{} owned by the wrong shard", p.model().id);
+        }
+    }
+    seen.sort();
+    let mut all: Vec<String> = models.iter().map(|m| m.id.clone()).collect();
+    all.sort();
+    assert_eq!(seen, all, "the parts partition the corpus exactly");
+
+    // A full snapshot has no cluster identity to report.
+    assert_eq!(Snapshot::cluster_info_bytes(&bytes).expect("readable"), None);
+}
